@@ -1,0 +1,69 @@
+// Ablation: ER blocking (extension). §2.4 motivates adversary effort as a
+// first-class cost ("if a sophisticated ER algorithm takes quadratic time
+// ... it may not be feasible"); blocking is the standard lever. This
+// harness sweeps |R| and compares full pairwise transitive closure against
+// label-value blocked resolution: identical partitions, divergent match
+// counts.
+
+#include "bench/harness.h"
+#include "util/string_util.h"
+#include "core/leakage.h"
+#include "er/blocking.h"
+#include "er/transitive.h"
+#include "gen/population.h"
+
+using namespace infoleak;
+using namespace infoleak::bench;
+
+int main() {
+  GeneratorConfig base = GeneratorConfig::Basic();
+  base.n = 12;
+  base.perturb_prob = 0.1;
+  const std::size_t kPeople = 20;
+  PrintTitle("Ablation: blocked vs full pairwise entity resolution",
+             base.ToString() + StrCat("  people=", std::to_string(kPeople)) +
+                 "  (sweeping records/person)");
+  RowPrinter rows({"|R|", "engine", "matches", "merges", "seconds",
+                   "entities", "max_leak"}, 20);
+
+  std::vector<std::string> labels;
+  for (std::size_t l = 0; l < base.n; ++l) {
+    labels.push_back(StrCat("L", std::to_string(l)));
+  }
+  auto match = RuleMatch::SharedValue(labels);
+  UnionMerge merge;
+  LabelValueBlocking blocking(labels);
+  BlockedResolver blocked(blocking, *match, merge);
+  TransitiveClosureResolver full(*match, merge);
+  ExactLeakage engine;
+
+  for (std::size_t per_person : {2u, 5u, 10u, 20u, 40u}) {
+    auto data = GeneratePopulation(base, kPeople, per_person);
+    if (!data.ok()) return 1;
+    for (const EntityResolver* resolver :
+         std::initializer_list<const EntityResolver*>{&full, &blocked}) {
+      ErStats stats;
+      auto resolved = resolver->Resolve(data->records, &stats);
+      if (!resolved.ok()) return 1;
+      // Worst-case person leakage after resolution.
+      double max_leak = 0.0;
+      for (const auto& reference : data->references) {
+        auto l = SetLeakage(*resolved, reference, data->weights, engine);
+        if (!l.ok()) return 1;
+        max_leak = std::max(max_leak, *l);
+      }
+      rows.Row({std::to_string(data->records.size()),
+                std::string(resolver->name()),
+                std::to_string(stats.match_calls),
+                std::to_string(stats.merge_calls),
+                Fmt(stats.elapsed_seconds, 4),
+                std::to_string(resolved->size()), Fmt(max_leak, 5)});
+    }
+  }
+  std::printf(
+      "\nreading: both engines find the same entities and leakage; the\n"
+      "blocked resolver's match calls grow with block sizes (per-entity)\n"
+      "instead of quadratically with |R| — the difference is the adversary\n"
+      "effort C(E,R) the paper prices.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Ablation: entity-resolution engine choice. The paper abstracts E and its
+// cost C(E, R) (§2.4); this harness quantifies the trade-off between the
+// two engines we provide — pairwise transitive closure (always |R|²/2 match
+// calls) and R-Swoosh (merging early shrinks the comparison set) — and
+// shows both reach the same leakage.
+
+#include "bench/harness.h"
+#include "core/leakage.h"
+#include "er/swoosh.h"
+#include "er/transitive.h"
+#include "gen/generator.h"
+#include "ops/cost.h"
+
+using namespace infoleak;
+using namespace infoleak::bench;
+
+namespace {
+
+/// Records of the same person share copied attribute values, so "share any
+/// (label, value) pair" is the natural synthetic match predicate.
+bool ShareAnyAttribute(const Record& a, const Record& b) {
+  // Both attribute vectors are sorted; intersect in linear time.
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (ia->Key() < ib->Key()) {
+      ++ia;
+    } else if (ib->Key() < ia->Key()) {
+      ++ib;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main() {
+  GeneratorConfig base = GeneratorConfig::Basic();
+  base.n = 30;
+  base.perturb_prob = 0.2;  // mostly-correct copies so records link up
+  PrintTitle("Ablation: ER engine cost vs leakage",
+             base.ToString() + "  (sweeping |R|; match = share any "
+                               "attribute)");
+  RowPrinter rows({"|R|", "engine", "matches", "merges", "seconds",
+                   "entities", "leakage", "C(E,R)"}, 20);
+
+  PredicateMatch match(ShareAnyAttribute, "share-any");
+  UnionMerge merge;
+  SwooshResolver swoosh(match, merge);
+  TransitiveClosureResolver transitive(match, merge);
+  PolynomialCostModel paper_cost(1.0 / 1000.0, 2.0);
+  ExactLeakage engine;
+
+  for (std::size_t records : {50u, 100u, 200u, 400u, 800u}) {
+    GeneratorConfig config = base;
+    config.num_records = records;
+    auto data = GenerateDataset(config);
+    if (!data.ok()) return 1;
+    for (const EntityResolver* resolver :
+         std::initializer_list<const EntityResolver*>{&transitive, &swoosh}) {
+      ErStats stats;
+      auto resolved = resolver->Resolve(data->records, &stats);
+      if (!resolved.ok()) return 1;
+      auto leakage = SetLeakage(*resolved, data->reference, data->weights,
+                                engine);
+      if (!leakage.ok()) return 1;
+      rows.Row({std::to_string(records), std::string(resolver->name()),
+                std::to_string(stats.match_calls),
+                std::to_string(stats.merge_calls),
+                Fmt(stats.elapsed_seconds, 4),
+                std::to_string(resolved->size()), Fmt(*leakage),
+                Fmt(paper_cost.Cost(data->records), 3)});
+    }
+  }
+  std::printf(
+      "\nreading: both engines produce identical leakage; R-Swoosh needs\n"
+      "far fewer match calls once merges collapse the Alice cluster, while\n"
+      "transitive closure always pays the full |R|(|R|-1)/2 — the adversary\n"
+      "effort C(E,R) the paper models as c*|R|^2.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Population-scale linkage attack (extension bench): K people, per-person
+// records mixed into one adversary database. Reports per-person leakage
+// distribution and re-identification accuracy as the copy probability
+// varies — the population-level generalization of Figure 3(a), and the
+// "law-enforcement adversary" scenario of the paper's introduction.
+
+#include <algorithm>
+#include <cmath>
+
+#include "apps/population.h"
+#include "bench/harness.h"
+#include "util/string_util.h"
+#include "er/blocking.h"
+#include "gen/population.h"
+
+using namespace infoleak;
+using namespace infoleak::bench;
+
+int main() {
+  GeneratorConfig base = GeneratorConfig::Basic();
+  base.n = 20;
+  base.perturb_prob = 0.2;
+  const std::size_t kPeople = 25;
+  const std::size_t kRecordsPerPerson = 8;
+  PrintTitle("Population linkage attack (extension)",
+             base.ToString() + StrCat("  people=", std::to_string(kPeople)) +
+                 StrCat(" records/person=", std::to_string(kRecordsPerPerson)) +
+                 "  (sweeping pc)");
+  RowPrinter rows({"pc", "min_leak", "median_leak", "max_leak",
+                   "reid_accuracy", "entities"});
+
+  ExactLeakage engine;
+  for (int i = 1; i <= 9; i += 2) {
+    GeneratorConfig config = base;
+    config.copy_prob = static_cast<double>(i) / 10.0;
+    auto data = GeneratePopulation(config, kPeople, kRecordsPerPerson);
+    if (!data.ok()) {
+      std::fprintf(stderr, "generation failed: %s\n",
+                   data.status().ToString().c_str());
+      return 1;
+    }
+
+    // The adversary first links records per entity with blocked ER over
+    // all attribute labels (complete for shared-value matching).
+    std::vector<std::string> labels;
+    for (std::size_t l = 0; l < config.n; ++l) {
+      labels.push_back(StrCat("L", std::to_string(l)));
+    }
+    auto match = RuleMatch::SharedValue(labels);
+    UnionMerge merge;
+    LabelValueBlocking blocking(labels);
+    BlockedResolver resolver(blocking, *match, merge);
+    ErOperator er(resolver);
+
+    auto leakages = PerPersonLeakage(data->records, data->references, er,
+                                     data->weights, engine);
+    if (!leakages.ok()) {
+      std::fprintf(stderr, "leakage failed: %s\n",
+                   leakages.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<double> values;
+    for (const auto& entry : *leakages) values.push_back(entry.leakage);
+    std::sort(values.begin(), values.end());
+
+    auto reid = ReidentifyRecords(data->records, data->references,
+                                  data->weights, engine, &data->owner);
+    if (!reid.ok()) return 1;
+    auto resolved = resolver.Resolve(data->records, nullptr);
+    if (!resolved.ok()) return 1;
+
+    rows.Row({Fmt(config.copy_prob, 1), Fmt(values.front(), 5),
+              Fmt(values[values.size() / 2], 5), Fmt(values.back(), 5),
+              Fmt(reid->accuracy, 4), std::to_string(resolved->size())});
+  }
+  std::printf(
+      "\nreading: higher copy probability concentrates each person's data\n"
+      "into linkable records — per-person leakage and re-identification\n"
+      "both rise; the entity count approaches the true population size.\n");
+  return 0;
+}

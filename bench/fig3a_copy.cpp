@@ -1,0 +1,11 @@
+// Figure 3(a): information leakage as the copy probability pc grows.
+// Paper shape: monotonically increasing from 0 to ~0.27 at pc = 1 — more of
+// p's attributes copied into r raise recall and thus leakage.
+
+#include "bench/trend_common.h"
+
+int main() {
+  return infoleak::bench::RunTrendSweep(
+      "Figure 3(a): leakage vs probability of copying (pc)", "pc",
+      [](infoleak::GeneratorConfig* c, double v) { c->copy_prob = v; });
+}

@@ -1,0 +1,11 @@
+// Figure 3(b): information leakage as the perturbation probability pp grows.
+// Paper shape: monotonically decreasing to exactly 0 at pp = 1 — perturbed
+// copies are incorrect, killing precision.
+
+#include "bench/trend_common.h"
+
+int main() {
+  return infoleak::bench::RunTrendSweep(
+      "Figure 3(b): leakage vs probability of perturbation (pp)", "pp",
+      [](infoleak::GeneratorConfig* c, double v) { c->perturb_prob = v; });
+}

@@ -1,0 +1,11 @@
+// Figure 3(c): information leakage as the maximum confidence m grows.
+// Paper shape: increasing — higher confidence on correct information
+// outweighs higher confidence on incorrect information in the base setup.
+
+#include "bench/trend_common.h"
+
+int main() {
+  return infoleak::bench::RunTrendSweep(
+      "Figure 3(c): leakage vs maximum confidence (m)", "m",
+      [](infoleak::GeneratorConfig* c, double v) { c->max_confidence = v; });
+}

@@ -1,0 +1,62 @@
+// Shared helpers for the reproduction harness binaries. Each bench binary
+// regenerates one table or figure of the paper and prints:
+//   * a header naming the experiment and the generator configuration,
+//   * one row per sweep point (aligned columns, also parseable as CSV via
+//     the trailing "csv:" lines),
+//   * where the paper reports concrete values, a paper-vs-measured note.
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace infoleak::bench {
+
+inline void PrintTitle(const std::string& title, const std::string& config) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  if (!config.empty()) std::printf("config: %s\n", config.c_str());
+  std::printf("==============================================================\n");
+}
+
+/// Fixed-width row printer that also emits a machine-readable csv line.
+class RowPrinter {
+ public:
+  explicit RowPrinter(std::vector<std::string> columns, int width = 14)
+      : columns_(std::move(columns)), width_(width) {
+    for (const auto& c : columns_) std::printf("%-*s", width_, c.c_str());
+    std::printf("\n");
+    std::string csv = "csv:";
+    csv += Join(columns_, ",");
+    std::printf("%s\n", csv.c_str());
+  }
+
+  void Row(const std::vector<std::string>& cells) const {
+    for (const auto& c : cells) std::printf("%-*s", width_, c.c_str());
+    std::printf("\n");
+    std::string csv = "csv:";
+    csv += Join(cells, ",");
+    std::printf("%s\n", csv.c_str());
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  int width_;
+};
+
+inline std::string Fmt(double v, int digits = 7) {
+  return FormatDouble(v, digits);
+}
+
+/// Paper-vs-measured comparison line for the EXPERIMENTS.md record.
+inline void PaperCheck(const std::string& what, double paper,
+                       double measured) {
+  std::printf("check: %-44s paper=%-10s measured=%-10s %s\n", what.c_str(),
+              Fmt(paper, 6).c_str(), Fmt(measured, 6).c_str(),
+              std::abs(paper - measured) < 1e-9 ? "EXACT" : "");
+}
+
+}  // namespace infoleak::bench

@@ -1,0 +1,132 @@
+// google-benchmark micro kernels for the library's hot paths: the three
+// record-leakage engines, set leakage, entity resolution, merging, and the
+// synthetic generator. Complements the figure harnesses with statistically
+// robust per-operation timings.
+
+#include <benchmark/benchmark.h>
+
+#include "core/leakage.h"
+#include "core/possible_worlds.h"
+#include "er/swoosh.h"
+#include "er/transitive.h"
+#include "gen/generator.h"
+
+namespace infoleak {
+namespace {
+
+SyntheticDataset MakeData(std::size_t n, std::size_t records,
+                          bool random_weights = false) {
+  GeneratorConfig config;
+  config.n = n;
+  config.num_records = records;
+  config.random_weights = random_weights;
+  auto data = GenerateDataset(config);
+  return std::move(data).value();
+}
+
+void BM_RecordLeakageNaive(benchmark::State& state) {
+  auto data = MakeData(static_cast<std::size_t>(state.range(0)), 1);
+  NaiveLeakage engine(kMaxEnumerableAttributes);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.RecordLeakage(data.records[0], data.reference, data.weights));
+  }
+}
+BENCHMARK(BM_RecordLeakageNaive)->Arg(4)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_RecordLeakageExact(benchmark::State& state) {
+  auto data = MakeData(static_cast<std::size_t>(state.range(0)), 1);
+  ExactLeakage engine;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.RecordLeakage(data.records[0], data.reference, data.weights));
+  }
+}
+BENCHMARK(BM_RecordLeakageExact)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_RecordLeakageApprox(benchmark::State& state) {
+  auto data = MakeData(static_cast<std::size_t>(state.range(0)), 1);
+  ApproxLeakage engine;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.RecordLeakage(data.records[0], data.reference, data.weights));
+  }
+}
+BENCHMARK(BM_RecordLeakageApprox)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_SetLeakage(benchmark::State& state) {
+  auto data = MakeData(50, static_cast<std::size_t>(state.range(0)));
+  ExactLeakage engine;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SetLeakage(data.records, data.reference, data.weights, engine));
+  }
+}
+BENCHMARK(BM_SetLeakage)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_SetLeakageParallel(benchmark::State& state) {
+  auto data = MakeData(50, 1000);
+  ExactLeakage engine;
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SetLeakageParallel(
+        data.records, data.reference, data.weights, engine, threads));
+  }
+}
+BENCHMARK(BM_SetLeakageParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ExpectedRecall(benchmark::State& state) {
+  auto data = MakeData(static_cast<std::size_t>(state.range(0)), 1);
+  ExactLeakage engine;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.ExpectedRecall(
+        data.records[0], data.reference, data.weights));
+  }
+}
+BENCHMARK(BM_ExpectedRecall)->Arg(100)->Arg(1000);
+
+void BM_RecordMerge(benchmark::State& state) {
+  auto data = MakeData(static_cast<std::size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Record::Merge(data.records[0], data.records[1]));
+  }
+}
+BENCHMARK(BM_RecordMerge)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_ErSwoosh(benchmark::State& state) {
+  auto data = MakeData(20, static_cast<std::size_t>(state.range(0)));
+  auto match = RuleMatch::SharedValue({"L0", "L1", "L2"});
+  UnionMerge merge;
+  SwooshResolver resolver(*match, merge);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(resolver.Resolve(data.records, nullptr));
+  }
+}
+BENCHMARK(BM_ErSwoosh)->Arg(20)->Arg(100)->Arg(400);
+
+void BM_ErTransitive(benchmark::State& state) {
+  auto data = MakeData(20, static_cast<std::size_t>(state.range(0)));
+  auto match = RuleMatch::SharedValue({"L0", "L1", "L2"});
+  UnionMerge merge;
+  TransitiveClosureResolver resolver(*match, merge);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(resolver.Resolve(data.records, nullptr));
+  }
+}
+BENCHMARK(BM_ErTransitive)->Arg(20)->Arg(100)->Arg(400);
+
+void BM_GenerateDataset(benchmark::State& state) {
+  GeneratorConfig config;
+  config.n = 100;
+  config.num_records = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GenerateDataset(config));
+  }
+}
+BENCHMARK(BM_GenerateDataset)->Arg(100)->Arg(1000);
+
+}  // namespace
+}  // namespace infoleak
+
+BENCHMARK_MAIN();

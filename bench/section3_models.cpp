@@ -1,0 +1,114 @@
+// §3 (Tables 1-3): comparison with k-anonymity and l-diversity. Rebuilds
+// the patient tables, anonymizes Table 1 into Table 2, and reproduces every
+// leakage number the paper derives: Alice 2/3, Zoe 3/4, Alice-with-
+// background 4/5, and the l-diversity semantic-merge pair 2/3 -> 3/4.
+
+#include "anon/bridge.h"
+#include "anon/generalized_er.h"
+#include "anon/kanonymity.h"
+#include "anon/ldiversity.h"
+#include "bench/harness.h"
+#include "core/leakage.h"
+#include "er/transitive.h"
+#include "ops/operator.h"
+
+using namespace infoleak;
+using namespace infoleak::bench;
+
+namespace {
+
+Table PaperTable1() {
+  auto t = Table::Create({"Name", "Zip", "Age", "Disease"});
+  t->AddRow({"Alice", "111", "30", "Heart"});
+  t->AddRow({"Bob", "112", "31", "Breast"});
+  t->AddRow({"Carol", "115", "33", "Cancer"});
+  t->AddRow({"Dave", "222", "50", "Hair"});
+  t->AddRow({"Pat", "299", "70", "Flu"});
+  t->AddRow({"Zoe", "241", "60", "Flu"});
+  return std::move(t).value();
+}
+
+/// Builds Table 2 via the anonymization substrate (mapping hierarchies
+/// reproducing the paper's exact renderings).
+Table BuildTable2(const Table& table1) {
+  auto no_names = table1.DropColumns({"Name"}).value();
+  MappingHierarchy zip(1);
+  for (const char* v : {"111", "112", "115"}) zip.AddMapping(1, v, "11*");
+  for (const char* v : {"222", "299", "241"}) zip.AddMapping(1, v, "2**");
+  MappingHierarchy age(1);
+  for (const char* v : {"30", "31", "33"}) age.AddMapping(1, v, "3*");
+  for (const char* v : {"50", "70", "60"}) age.AddMapping(1, v, ">=50");
+  std::vector<QuasiIdentifier> qis{{"Zip", &zip}, {"Age", &age}};
+  return GeneralizeTable(no_names, qis, {1, 1}).value();
+}
+
+double LeakageAgainst(const Database& db, const Record& reference) {
+  GeneralizedRuleMatch match(MatchRules{{"Zip", "Age"}});
+  GeneralizationMerge merge;
+  TransitiveClosureResolver er(match, merge);
+  auto resolved = er.Resolve(db, nullptr);
+  WeightModel unit;
+  ExactLeakage engine;
+  double best = 0.0;
+  for (const auto& r : *resolved) {
+    Record aligned = AlignGeneralizedToReference(r, reference);
+    best = std::max(best, engine.RecordLeakage(aligned, reference, unit)
+                              .value_or(0.0));
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  Table table1 = PaperTable1();
+  PrintTitle("Section 3: information leakage vs k-anonymity / l-diversity",
+             "patient tables of Tables 1-3");
+
+  std::printf("Table 1 (private):\n%s\n", table1.ToCsv().c_str());
+  Table table2 = BuildTable2(table1);
+  std::printf("Table 2 (published, 3-anonymous):\n%s\n",
+              table2.ToCsv().c_str());
+  std::printf("3-anonymous: %s;  min distinct diseases per class: %zu\n\n",
+              IsKAnonymous(table2, {"Zip", "Age"}, 3).value() ? "yes" : "no",
+              MinDistinctSensitive(table2, {"Zip", "Age"}, "Disease")
+                  .value());
+
+  Record alice{{"Name", "Alice"}, {"Zip", "111"}, {"Age", "30"},
+               {"Disease", "Heart"}};
+  Record zoe{{"Name", "Zoe"}, {"Zip", "241"}, {"Age", "60"},
+             {"Disease", "Flu"}};
+  Database published = TableToDatabase(table2).value();
+
+  PaperCheck("Alice leakage (k-anon says both safe)", 2.0 / 3.0,
+             LeakageAgainst(published, alice));
+  PaperCheck("Zoe leakage", 3.0 / 4.0, LeakageAgainst(published, zoe));
+
+  Database with_background = published;
+  with_background.Add(
+      Record{{"Name", "Alice"}, {"Zip", "111"}, {"Age", "30"}});
+  PaperCheck("Alice leakage with background (Table 3)", 4.0 / 5.0,
+             LeakageAgainst(with_background, alice));
+
+  // §3.2: the 3-diverse variant (Zoe's Flu renamed to Influenza).
+  Table diverse = table2;
+  diverse.SetCell(5, "Disease", "Influenza");
+  std::printf("\n3-diverse variant: min distinct diseases per class: %zu\n",
+              MinDistinctSensitive(diverse, {"Zip", "Age"}, "Disease")
+                  .value());
+  Database diverse_db = TableToDatabase(diverse).value();
+  PaperCheck("Zoe leakage, E (Influenza != Flu)", 2.0 / 3.0,
+             LeakageAgainst(diverse_db, zoe));
+
+  ValueNormalizer n;
+  n.AddSynonym("Disease", "Influenza", "Flu");
+  SemanticNormalizeOperator normalize(std::move(n));
+  Database normalized = normalize.Apply(diverse_db).value();
+  PaperCheck("Zoe leakage, E' (Influenza -> Flu)", 3.0 / 4.0,
+             LeakageAgainst(normalized, zoe));
+
+  std::printf(
+      "\nconclusion (paper): leakage quantifies per-individual privacy and\n"
+      "application semantics; k-anonymity / l-diversity are all-or-nothing.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Extension bench: the privacy/utility tradeoff of k-anonymization,
+// measured with information leakage. The paper argues leakage quantifies
+// what all-or-nothing models cannot; here it prices the frontier the
+// related work (Rastogi et al.) studies: as k grows, utility (Prec,
+// discernibility) falls — how much leakage does each step actually buy?
+
+#include "anon/bridge.h"
+#include "anon/generalized_er.h"
+#include "anon/kanonymity.h"
+#include "anon/utility.h"
+#include "bench/harness.h"
+#include "util/string_util.h"
+#include "core/leakage.h"
+#include "er/transitive.h"
+#include "util/rng.h"
+
+using namespace infoleak;
+using namespace infoleak::bench;
+
+namespace {
+
+/// A synthetic patient registry: zips cluster by prefix, ages by decade,
+/// diseases drawn from a small vocabulary.
+Table MakeRegistry(std::size_t rows, Rng* rng) {
+  auto t = Table::Create({"Name", "Zip", "Age", "Disease"});
+  const char* diseases[] = {"Flu", "Heart", "Cancer", "Asthma", "Diabetes"};
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::string zip = std::to_string(100 + rng->NextBounded(6)) +
+                      std::to_string(rng->NextBounded(10));
+    std::string age = std::to_string(20 + rng->NextBounded(60));
+    t->AddRow({StrCat("P", std::to_string(i)), zip, age,
+               diseases[rng->NextBounded(5)]});
+  }
+  return std::move(t).value();
+}
+
+/// Worst per-patient leakage from the published table (the §3.1 pipeline:
+/// generalization-aware ER + covering alignment).
+double WorstLeakage(const Table& published, const Table& original) {
+  auto db = TableToDatabase(published).value();
+  GeneralizedRuleMatch match(MatchRules{{"Zip", "Age"}});
+  GeneralizationMerge merge;
+  TransitiveClosureResolver er(match, merge);
+  auto resolved = er.Resolve(db, nullptr);
+  WeightModel unit;
+  ExactLeakage engine;
+  double worst = 0.0;
+  for (std::size_t row = 0; row < original.num_rows(); ++row) {
+    Record reference = RowToRecord(original, row).value();
+    double best = 0.0;
+    for (const auto& r : *resolved) {
+      Record aligned = AlignGeneralizedToReference(r, reference);
+      best = std::max(
+          best, engine.RecordLeakage(aligned, reference, unit).value_or(0.0));
+    }
+    worst = std::max(worst, best);
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(2026);
+  Table registry = MakeRegistry(60, &rng);
+  auto published_base = registry.DropColumns({"Name"}).value();
+  SuffixSuppressionHierarchy zip(4);
+  IntervalHierarchy age({10, 30, 100});
+  std::vector<QuasiIdentifier> qis{{"Zip", &zip}, {"Age", &age}};
+
+  PrintTitle("Extension: privacy/utility tradeoff of k-anonymization",
+             "60-row synthetic registry; QI = {Zip, Age}; leakage = worst "
+             "patient, Section-3 pipeline");
+  RowPrinter rows({"k", "levels", "Prec", "discern", "avg_class/k",
+                   "worst_leakage"});
+
+  for (std::size_t k : {1u, 2u, 3u, 5u, 10u, 20u}) {
+    auto result = MinimalFullDomainGeneralization(published_base, qis, k);
+    if (!result.ok()) {
+      rows.Row({std::to_string(k), "-", "-", "-", "-", "-"});
+      continue;
+    }
+    std::string levels = std::to_string(result->levels[0]) + StrCat("/", std::to_string(result->levels[1]));
+    double prec = GeneralizationPrecision(qis, result->levels);
+    double discern =
+        DiscernibilityMetric(result->table, {"Zip", "Age"}).value_or(-1);
+    double avg =
+        AverageClassSizeMetric(result->table, {"Zip", "Age"}, k).value_or(-1);
+    double leakage = WorstLeakage(result->table, registry);
+    rows.Row({std::to_string(k), levels, Fmt(prec, 3), Fmt(discern, 0),
+              Fmt(avg, 3), Fmt(leakage, 5)});
+  }
+  std::printf(
+      "\nreading: raising k spends generalization levels (Prec falls,\n"
+      "discernibility rises) while the worst-patient leakage declines —\n"
+      "the continuous frontier that the all-or-nothing k-anonymity\n"
+      "criterion cannot express.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// §4.2 scenario: Alice has already leaked records r and s; with a limited
+// budget, which fake records should she publish to minimize what an
+// ER-running adversary can piece together?
+//
+// Demonstrates: candidate generation (self vs linkage disinformation, the
+// Figure 2 topology), the budgeted exhaustive and greedy optimizers, and
+// per-record incremental effects.
+
+#include <cstdio>
+
+#include "apps/disinformation.h"
+#include "er/swoosh.h"
+
+using namespace infoleak;
+
+int main() {
+  // Alice's full information.
+  Record p{{"N", "alice"}, {"P", "123"}, {"C", "999"}, {"A", "main-st"},
+           {"Z", "94305"}};
+
+  // What is already out there (Figure 2): r, s are Alice's; t, u, v are
+  // other people's records.
+  Database db;
+  db.Add(Record{{"N", "alice"}, {"P", "123"}});              // r
+  db.Add(Record{{"N", "alice"}, {"C", "999"}});              // s
+  db.Add(Record{{"N", "bob"}, {"K", "k1"}});                 // t
+  db.Add(Record{{"N", "bob"}, {"P", "555"}});                // u
+  db.Add(Record{{"N", "carol"}, {"K", "k2"}, {"S", "000"}}); // v
+
+  RuleMatch match(MatchRules{{"N"}, {"P"}, {"K"}});
+  UnionMerge merge;
+  SwooshResolver resolver(match, merge);
+  ErOperator adversary(resolver);
+  RuleMatchFactory factory(MatchRules{{"N"}, {"P"}, {"K"}});
+  DisinformationOptimizer optimizer(factory);
+  WeightModel weights;
+  ExactLeakage engine;
+
+  auto baseline = InformationLeakage(db, p, adversary, weights, engine);
+  std::printf("Database:\n%s\n", db.ToString().c_str());
+  std::printf("Baseline leakage after adversary ER: %.4f\n\n",
+              baseline.value_or(-1.0));
+
+  auto candidates = optimizer.GenerateCandidates(db, p,
+                                                 /*max_record_size=*/4,
+                                                 /*max_bogus=*/2);
+  if (!candidates.ok()) {
+    std::fprintf(stderr, "%s\n", candidates.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Generated %zu disinformation candidates, e.g.:\n",
+              candidates->size());
+  for (std::size_t i = 0; i < candidates->size() && i < 4; ++i) {
+    std::printf("  [%s, cost %.0f] %s\n", (*candidates)[i].strategy.c_str(),
+                (*candidates)[i].cost,
+                (*candidates)[i].record.ToString().c_str());
+  }
+
+  for (double budget : {4.0, 8.0, 16.0}) {
+    auto plan = optimizer.OptimizeGreedy(db, p, adversary, *candidates,
+                                         budget, weights, engine);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "%s\n", plan.status().ToString().c_str());
+      return 1;
+    }
+    std::printf(
+        "\nbudget %5.1f: leakage %.4f -> %.4f using %zu records (cost "
+        "%.0f)\n",
+        budget, plan->leakage_before, plan->leakage_after,
+        plan->chosen.size(), plan->total_cost);
+    for (const auto& c : plan->chosen) {
+      std::printf("  publish [%s] %s\n", c.strategy.c_str(),
+                  c.record.ToString().c_str());
+    }
+  }
+  std::printf(
+      "\nSelf disinformation pollutes Alice's own composite with bogus\n"
+      "attributes; linkage disinformation splices strangers' data into it.\n"
+      "Either way the adversary's merged record gets less precise. (§4.2)\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// §3 scenario: a hospital publishes a k-anonymized patient table; how much
+// do individual patients actually leak? Demonstrates the anonymization
+// substrate (hierarchies, k-anonymity, l-diversity), the bridge from typed
+// tables to leakage records, and generalization-aware entity resolution
+// with background information.
+
+#include <cstdio>
+
+#include "anon/bridge.h"
+#include "anon/generalized_er.h"
+#include "anon/kanonymity.h"
+#include "anon/ldiversity.h"
+#include "core/leakage.h"
+#include "er/transitive.h"
+
+using namespace infoleak;
+
+namespace {
+
+double PatientLeakage(const Database& published, const Record& reference) {
+  GeneralizedRuleMatch match(MatchRules{{"Zip", "Age"}});
+  GeneralizationMerge merge;
+  TransitiveClosureResolver er(match, merge);
+  auto resolved = er.Resolve(published, nullptr);
+  if (!resolved.ok()) return -1.0;
+  WeightModel unit;
+  ExactLeakage engine;
+  double best = 0.0;
+  for (const auto& r : *resolved) {
+    Record aligned = AlignGeneralizedToReference(r, reference);
+    best = std::max(
+        best, engine.RecordLeakage(aligned, reference, unit).value_or(0.0));
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  // The hospital's private table (paper Table 1).
+  auto table1 = Table::Create({"Name", "Zip", "Age", "Disease"});
+  table1->AddRow({"Alice", "111", "30", "Heart"});
+  table1->AddRow({"Bob", "112", "31", "Breast"});
+  table1->AddRow({"Carol", "115", "33", "Cancer"});
+  table1->AddRow({"Dave", "222", "50", "Hair"});
+  table1->AddRow({"Pat", "299", "70", "Flu"});
+  table1->AddRow({"Zoe", "241", "60", "Flu"});
+  std::printf("Private table:\n%s\n", table1->ToCsv().c_str());
+
+  // Anonymize: drop names, then find a minimal full-domain generalization
+  // achieving 3-anonymity over {Zip, Age}.
+  auto no_names = table1->DropColumns({"Name"});
+  SuffixSuppressionHierarchy zip_hierarchy(3);
+  IntervalHierarchy age_hierarchy({10, 50});
+  std::vector<QuasiIdentifier> qis{{"Zip", &zip_hierarchy},
+                                   {"Age", &age_hierarchy}};
+  auto anonymized = MinimalFullDomainGeneralization(*no_names, qis, 3);
+  if (!anonymized.ok()) {
+    std::fprintf(stderr, "anonymization failed: %s\n",
+                 anonymized.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Published 3-anonymous table (zip level %d, age level %d):\n%s\n",
+              anonymized->levels[0], anonymized->levels[1],
+              anonymized->table.ToCsv().c_str());
+  std::printf("distinct l-diversity: every class has >= %zu diseases\n\n",
+              MinDistinctSensitive(anonymized->table, {"Zip", "Age"},
+                                   "Disease")
+                  .value());
+
+  // How much does each patient leak from the published table?
+  auto published = TableToDatabase(anonymized->table);
+  struct Patient {
+    const char* name;
+    Record reference;
+  };
+  std::vector<Patient> patients{
+      {"Alice", Record{{"Name", "Alice"}, {"Zip", "111"}, {"Age", "30"},
+                       {"Disease", "Heart"}}},
+      {"Zoe", Record{{"Name", "Zoe"}, {"Zip", "241"}, {"Age", "60"},
+                     {"Disease", "Flu"}}},
+      {"Dave", Record{{"Name", "Dave"}, {"Zip", "222"}, {"Age", "50"},
+                      {"Disease", "Hair"}}},
+  };
+  std::printf("%-8s %s\n", "patient", "leakage from published table");
+  for (const auto& patient : patients) {
+    std::printf("%-8s %.4f\n", patient.name,
+                PatientLeakage(*published, patient.reference));
+  }
+
+  // An adversary with background knowledge (paper Table 3) does better.
+  Database with_background = *published;
+  with_background.Add(
+      Record{{"Name", "Alice"}, {"Zip", "111"}, {"Age", "30"}});
+  std::printf(
+      "\nWith background info {Alice, 111, 30}, Alice's leakage rises to "
+      "%.4f\n(k-anonymity still calls the table 'safe'.)\n",
+      PatientLeakage(with_background, patients[0].reference));
+  return 0;
+}

@@ -1,0 +1,67 @@
+// §4.1 scenario: Alice buys a cellphone app and must decide which credit
+// card leaks less of her privacy, assuming the store's records may fall
+// into the hands of an adversary running entity resolution.
+//
+// Demonstrates: IncrementalLeakage, the release advisor, and how a small
+// record (the purchase) can bridge previously unlinkable records.
+
+#include <cstdio>
+
+#include "apps/release_advisor.h"
+#include "er/swoosh.h"
+
+using namespace infoleak;
+
+int main() {
+  // Alice's complete information: name, two credit cards, phone, address.
+  Record p{{"N", "n1"}, {"C", "c1"}, {"C", "c2"}, {"P", "p1"}, {"A", "a1"}};
+
+  // What the store already knows from previous purchases.
+  Database store;
+  store.Add(Record{{"N", "n1"}, {"C", "c1"}, {"P", "p1"}});  // s
+  store.Add(Record{{"N", "n1"}, {"C", "c2"}});               // t
+
+  // The adversary model: records referring to the same person share
+  // (name AND card) or (name AND phone); merging unions attributes.
+  RuleMatch match(MatchRules{{"N", "C"}, {"N", "P"}});
+  UnionMerge merge;
+  SwooshResolver resolver(match, merge);
+  ErOperator adversary(resolver);
+
+  WeightModel weights;  // every attribute equally sensitive
+  ExactLeakage engine;
+
+  std::printf("Alice's reference record: %s\n", p.ToString().c_str());
+  std::printf("Store already holds:\n%s\n", store.ToString().c_str());
+
+  auto baseline = InformationLeakage(store, p, adversary, weights, engine);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "%s\n", baseline.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Baseline leakage L(R, p, E) = %.4f (paper: 3/4)\n\n",
+              *baseline);
+
+  // The app purchase submits name + card + phone; which card?
+  std::vector<ReleaseOption> options{
+      {"pay with card c1", Record{{"N", "n1"}, {"C", "c1"}, {"P", "p1"}}},
+      {"pay with card c2", Record{{"N", "n1"}, {"C", "c2"}, {"P", "p1"}}},
+  };
+  auto assessed = AssessReleases(store, p, adversary, options, weights,
+                                 engine);
+  if (!assessed.ok()) {
+    std::fprintf(stderr, "%s\n", assessed.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%-18s %-12s %-12s %-12s\n", "option", "before", "after",
+              "incremental");
+  for (const auto& a : *assessed) {
+    std::printf("%-18s %-12.4f %-12.4f %-12.4f\n", a.name.c_str(),
+                a.leakage_before, a.leakage_after, a.incremental);
+  }
+  std::printf(
+      "\nPaying with c1 re-states what record s already says (incremental "
+      "0);\npaying with c2 bridges s and t into one composite (8/9, "
+      "incremental 5/36).\nAlice should use c1. (paper §4.1)\n");
+  return 0;
+}

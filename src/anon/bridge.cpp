@@ -1,0 +1,53 @@
+#include "anon/bridge.h"
+
+#include "anon/hierarchy.h"
+
+namespace infoleak {
+
+Result<Record> RowToRecord(const Table& table, std::size_t row,
+                           double confidence) {
+  if (row >= table.num_rows()) {
+    return Status::OutOfRange("row " + std::to_string(row) + " out of range");
+  }
+  Record r;
+  for (std::size_t c = 0; c < table.num_columns(); ++c) {
+    r.Insert(Attribute(table.columns()[c], table.at(row, c), confidence));
+  }
+  return r;
+}
+
+Result<Database> TableToDatabase(const Table& table, double confidence) {
+  Database db;
+  for (std::size_t row = 0; row < table.num_rows(); ++row) {
+    auto r = RowToRecord(table, row, confidence);
+    if (!r.ok()) return r.status();
+    db.Add(std::move(r).value());
+  }
+  return db;
+}
+
+Record AlignGeneralizedToReference(const Record& r, const Record& p,
+                                   double generalized_confidence) {
+  Record out;
+  for (RecordId id : r.sources()) out.AddSource(id);
+  for (const auto& a : r) {
+    if (p.Contains(a.label, a.value)) {
+      out.Insert(a);  // already exact
+      continue;
+    }
+    bool rewritten = false;
+    for (const auto& b : p) {
+      if (b.label != a.label) continue;
+      if (GeneralizedCovers(a.value, b.value)) {
+        out.Insert(Attribute(a.label, b.value,
+                             a.confidence * generalized_confidence));
+        rewritten = true;
+        break;
+      }
+    }
+    if (!rewritten) out.Insert(a);
+  }
+  return out;
+}
+
+}  // namespace infoleak

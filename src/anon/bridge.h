@@ -1,0 +1,34 @@
+#pragma once
+
+#include "anon/table.h"
+#include "core/database.h"
+#include "core/record.h"
+#include "util/result.h"
+
+namespace infoleak {
+
+/// Bridges the data-publishing world (typed tables, §3) into the leakage
+/// world (schema-less records): a published, possibly anonymized table
+/// becomes a database the adversary can analyze.
+
+/// \brief Converts table row `row` to a record: one attribute per column,
+/// labeled with the column name, with the given confidence.
+Result<Record> RowToRecord(const Table& table, std::size_t row,
+                           double confidence = 1.0);
+
+/// \brief Converts every row; records are added in row order.
+Result<Database> TableToDatabase(const Table& table, double confidence = 1.0);
+
+/// \brief Applies the paper's §3.1 simplification: any attribute of `r`
+/// whose (generalized) value covers the reference `p`'s value for the same
+/// label is rewritten to the exact reference value (e.g. <Zip, 11*> becomes
+/// <Zip, 111> when p holds <Zip, 111>).
+///
+/// \param generalized_confidence multiplier applied to the confidence of
+///        rewritten attributes; 1.0 reproduces the paper's equality
+///        simplification, values < 1 implement the paper's suggested
+///        "original value with a reduced confidence" alternative.
+Record AlignGeneralizedToReference(const Record& r, const Record& p,
+                                   double generalized_confidence = 1.0);
+
+}  // namespace infoleak

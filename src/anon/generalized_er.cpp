@@ -1,0 +1,83 @@
+#include "anon/generalized_er.h"
+
+#include <algorithm>
+
+#include "anon/hierarchy.h"
+
+namespace infoleak {
+
+GeneralizedRuleMatch::GeneralizedRuleMatch(
+    std::vector<std::vector<std::string>> rules)
+    : rules_(std::move(rules)) {
+  std::erase_if(rules_, [](const auto& rule) { return rule.empty(); });
+}
+
+bool GeneralizedRuleMatch::ValuesAgree(std::string_view x,
+                                       std::string_view y) {
+  return x == y || GeneralizedCovers(x, y) || GeneralizedCovers(y, x);
+}
+
+bool GeneralizedRuleMatch::AgreeOnLabel(const Record& a, const Record& b,
+                                        std::string_view label) {
+  for (const auto& attr_a : a) {
+    if (attr_a.label != label) continue;
+    for (const auto& attr_b : b) {
+      if (attr_b.label != label) continue;
+      if (ValuesAgree(attr_a.value, attr_b.value)) return true;
+    }
+  }
+  return false;
+}
+
+bool GeneralizedRuleMatch::Matches(const Record& a, const Record& b) const {
+  for (const auto& rule : rules_) {
+    bool all = true;
+    for (const auto& label : rule) {
+      if (!AgreeOnLabel(a, b, label)) {
+        all = false;
+        break;
+      }
+    }
+    if (all && !rule.empty()) return true;
+  }
+  return false;
+}
+
+Record GeneralizationMerge::CollapseCoveredValues(const Record& r) {
+  // For each attribute, drop it if another attribute with the same label
+  // holds a strictly more specific value (this value covers that one). The
+  // survivor takes the maximum confidence of everything it absorbed.
+  const auto& attrs = r.attributes();
+  std::vector<bool> dropped(attrs.size(), false);
+  std::vector<double> confidence(attrs.size());
+  for (std::size_t i = 0; i < attrs.size(); ++i) {
+    confidence[i] = attrs[i].confidence;
+  }
+  for (std::size_t i = 0; i < attrs.size(); ++i) {
+    if (dropped[i]) continue;
+    for (std::size_t j = 0; j < attrs.size(); ++j) {
+      if (i == j || dropped[j] || attrs[i].label != attrs[j].label) continue;
+      if (attrs[i].value == attrs[j].value) continue;
+      // attrs[i] covers attrs[j]: i is the more general value -> drop i.
+      if (GeneralizedCovers(attrs[i].value, attrs[j].value)) {
+        confidence[j] = std::max(confidence[j], confidence[i]);
+        dropped[i] = true;
+        break;
+      }
+    }
+  }
+  Record out;
+  for (std::size_t i = 0; i < attrs.size(); ++i) {
+    if (!dropped[i]) {
+      out.Insert(Attribute(attrs[i].label, attrs[i].value, confidence[i]));
+    }
+  }
+  for (RecordId id : r.sources()) out.AddSource(id);
+  return out;
+}
+
+Record GeneralizationMerge::Merge(const Record& a, const Record& b) const {
+  return CollapseCoveredValues(Record::Merge(a, b));
+}
+
+}  // namespace infoleak

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "er/match.h"
+#include "er/merge.h"
+
+namespace infoleak {
+
+/// Entity resolution over anonymized data (§3). The adversary joining a
+/// generalized table with exact background information (Table 3) needs a
+/// match function that treats a generalized value ("11*", ">=50") as
+/// compatible with any exact value it covers, and a merge that collapses a
+/// generalized value with a covered exact one instead of keeping both.
+
+/// \brief Like RuleMatch, but two values agree when either equals or covers
+/// the other (GeneralizedCovers in both directions).
+class GeneralizedRuleMatch : public MatchFunction {
+ public:
+  explicit GeneralizedRuleMatch(std::vector<std::vector<std::string>> rules);
+
+  std::string_view name() const override { return "generalized-rule-match"; }
+  bool Matches(const Record& a, const Record& b) const override;
+
+ private:
+  static bool ValuesAgree(std::string_view x, std::string_view y);
+  static bool AgreeOnLabel(const Record& a, const Record& b,
+                           std::string_view label);
+
+  std::vector<std::vector<std::string>> rules_;
+};
+
+/// \brief Union merge that afterwards collapses, per label, any value pair
+/// where one covers the other, keeping the more *specific* value (the
+/// paper's r1' carries a single zip attribute after merging <Zip,11*> with
+/// background <Zip,111>). Confidences of collapsed attributes combine by
+/// maximum.
+class GeneralizationMerge : public MergeFunction {
+ public:
+  std::string_view name() const override { return "generalization-union"; }
+  Record Merge(const Record& a, const Record& b) const override;
+
+  /// Collapses covering value pairs within a single record; exposed for
+  /// aligning records that were built by other means.
+  static Record CollapseCoveredValues(const Record& r);
+};
+
+}  // namespace infoleak

@@ -1,0 +1,116 @@
+#include "anon/hierarchy.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace infoleak {
+namespace {
+
+/// Parses a (possibly signed) integer; returns false on any trailing junk.
+bool ParseInt(std::string_view s, long long* out) {
+  if (s.empty()) return false;
+  std::string buf(s);
+  char* end = nullptr;
+  long long v = std::strtoll(buf.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+std::string SuffixSuppressionHierarchy::Generalize(std::string_view value,
+                                                   int level) const {
+  level = std::clamp(level, 0, max_level_);
+  std::string out(value);
+  std::size_t suppressed = std::min<std::size_t>(out.size(),
+                                                 static_cast<std::size_t>(level));
+  for (std::size_t i = out.size() - suppressed; i < out.size(); ++i) {
+    out[i] = '*';
+  }
+  return out;
+}
+
+IntervalHierarchy::IntervalHierarchy(std::vector<long long> widths,
+                                     long long clamp_at)
+    : widths_(std::move(widths)), clamp_at_(clamp_at) {
+  std::erase_if(widths_, [](long long w) { return w <= 0; });
+  std::sort(widths_.begin(), widths_.end());
+}
+
+std::string IntervalHierarchy::Generalize(std::string_view value,
+                                          int level) const {
+  level = std::clamp(level, 0, max_level());
+  if (level == 0) return std::string(value);
+  long long v = 0;
+  if (!ParseInt(value, &v)) return std::string(value);
+  if (clamp_at_ >= 0 && v >= clamp_at_) {
+    return ">=" + std::to_string(clamp_at_);
+  }
+  long long w = widths_[static_cast<std::size_t>(level) - 1];
+  long long lo = (v / w) * w;
+  if (v < 0 && v % w != 0) lo -= w;  // floor for negatives
+  std::string out;
+  out += '[';
+  out += std::to_string(lo);
+  out += '-';
+  out += std::to_string(lo + w);
+  out += ')';
+  return out;
+}
+
+void MappingHierarchy::AddMapping(int level, std::string value,
+                                  std::string generalized) {
+  if (level <= 0 || level > max_level_) return;
+  map_[{level, std::move(value)}] = std::move(generalized);
+}
+
+std::string MappingHierarchy::Generalize(std::string_view value,
+                                         int level) const {
+  level = std::clamp(level, 0, max_level_);
+  if (level == 0) return std::string(value);
+  auto it = map_.find({level, std::string(value)});
+  if (it != map_.end()) return it->second;
+  return std::string(value);
+}
+
+bool GeneralizedCovers(std::string_view generalized, std::string_view exact) {
+  if (generalized == exact) return true;
+  // Wildcard pattern of equal length ("11*" covers "111").
+  if (generalized.find('*') != std::string_view::npos) {
+    return WildcardMatch(generalized, exact);
+  }
+  long long v = 0;
+  if (!ParseInt(exact, &v)) return false;
+  // "≥N" / ">=N" threshold buckets.
+  std::string_view g = generalized;
+  if (StartsWith(g, ">=")) {
+    long long n = 0;
+    if (ParseInt(g.substr(2), &n)) return v >= n;
+    return false;
+  }
+  // UTF-8 "≥" is the 3-byte sequence E2 89 A5.
+  if (g.size() > 3 && static_cast<unsigned char>(g[0]) == 0xE2 &&
+      static_cast<unsigned char>(g[1]) == 0x89 &&
+      static_cast<unsigned char>(g[2]) == 0xA5) {
+    long long n = 0;
+    if (ParseInt(g.substr(3), &n)) return v >= n;
+    return false;
+  }
+  // "[lo-hi)" interval buckets.
+  if (g.size() >= 5 && g.front() == '[' && g.back() == ')') {
+    std::string_view body = g.substr(1, g.size() - 2);
+    std::size_t dash = body.find('-', body.front() == '-' ? 1 : 0);
+    if (dash == std::string_view::npos) return false;
+    long long lo = 0;
+    long long hi = 0;
+    if (!ParseInt(body.substr(0, dash), &lo)) return false;
+    if (!ParseInt(body.substr(dash + 1), &hi)) return false;
+    return v >= lo && v < hi;
+  }
+  return false;
+}
+
+}  // namespace infoleak

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace infoleak {
+
+/// \brief A per-column generalization hierarchy for k-anonymization (§3.1):
+/// level 0 is the exact value; each higher level is strictly coarser.
+class Hierarchy {
+ public:
+  virtual ~Hierarchy() = default;
+  virtual std::string_view name() const = 0;
+
+  /// Number of levels above the exact value (level 0). Values may be
+  /// generalized to any level in [0, max_level()].
+  virtual int max_level() const = 0;
+
+  /// Generalizes `value` to `level`; level is clamped to [0, max_level()].
+  virtual std::string Generalize(std::string_view value, int level) const = 0;
+};
+
+/// \brief String suppression: level k replaces the last k characters with
+/// '*' (the paper's "111" → "11*" → "1**" → "***"). Values shorter than the
+/// level are fully suppressed.
+class SuffixSuppressionHierarchy : public Hierarchy {
+ public:
+  explicit SuffixSuppressionHierarchy(int max_level)
+      : max_level_(max_level < 0 ? 0 : max_level) {}
+
+  std::string_view name() const override { return "suffix-suppression"; }
+  int max_level() const override { return max_level_; }
+  std::string Generalize(std::string_view value, int level) const override;
+
+ private:
+  int max_level_;
+};
+
+/// \brief Numeric interval generalization. Each level specifies an interval
+/// width; a value v at a level of width w maps to the interval
+/// [floor(v/w)·w, floor(v/w)·w + w) rendered as "[lo-hi)". Optionally a
+/// threshold clamp renders values ≥ `clamp_at` as "≥clamp" at every level
+/// ≥ 1 (the paper's "≥50" bucket). Non-numeric values are passed through
+/// unchanged at every level.
+class IntervalHierarchy : public Hierarchy {
+ public:
+  /// \param widths interval width per level (level i+1 uses widths[i]);
+  ///        widths must be positive and non-decreasing.
+  /// \param clamp_at if non-negative, values ≥ clamp_at render as
+  ///        "≥clamp_at" at every level ≥ 1.
+  IntervalHierarchy(std::vector<long long> widths, long long clamp_at = -1);
+
+  std::string_view name() const override { return "interval"; }
+  int max_level() const override { return static_cast<int>(widths_.size()); }
+  std::string Generalize(std::string_view value, int level) const override;
+
+ private:
+  std::vector<long long> widths_;
+  long long clamp_at_;
+};
+
+/// \brief Fully explicit hierarchy: the caller registers, per level, a map
+/// from exact value to generalized value. Unmapped values pass through.
+/// Used to reproduce the paper's exact renderings ("30" → "3*").
+class MappingHierarchy : public Hierarchy {
+ public:
+  explicit MappingHierarchy(int max_level)
+      : max_level_(max_level < 0 ? 0 : max_level) {}
+
+  std::string_view name() const override { return "mapping"; }
+  int max_level() const override { return max_level_; }
+
+  /// Maps `value` to `generalized` at `level` (and leaves other levels to
+  /// their own entries).
+  void AddMapping(int level, std::string value, std::string generalized);
+
+  std::string Generalize(std::string_view value, int level) const override;
+
+ private:
+  int max_level_;
+  // (level, value) -> generalized
+  std::map<std::pair<int, std::string>, std::string> map_;
+};
+
+/// \brief Coverage test between a generalized value and an exact one:
+///  * equal strings cover trivially;
+///  * same-length wildcard patterns ("11*") cover matching strings;
+///  * "≥N" covers numeric values ≥ N (also accepts ">=N");
+///  * "[lo-hi)" covers numeric values in the interval.
+/// This implements the paper's "a suppressed value is equal to its
+/// non-suppressed version" simplification, made precise.
+bool GeneralizedCovers(std::string_view generalized, std::string_view exact);
+
+}  // namespace infoleak

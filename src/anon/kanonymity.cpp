@@ -1,0 +1,131 @@
+#include "anon/kanonymity.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+namespace infoleak {
+
+Result<std::vector<std::vector<std::size_t>>> EquivalenceClasses(
+    const Table& table, const std::vector<std::string>& qi_columns) {
+  std::vector<std::size_t> cols;
+  cols.reserve(qi_columns.size());
+  for (const auto& c : qi_columns) {
+    auto idx = table.ColumnIndex(c);
+    if (!idx.ok()) return idx.status();
+    cols.push_back(*idx);
+  }
+  std::map<std::vector<std::string>, std::size_t> class_of;  // key -> class index
+  std::vector<std::vector<std::size_t>> classes;
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    std::vector<std::string> key;
+    key.reserve(cols.size());
+    for (std::size_t c : cols) key.push_back(table.at(r, c));
+    auto [it, inserted] = class_of.try_emplace(std::move(key), classes.size());
+    if (inserted) classes.emplace_back();
+    classes[it->second].push_back(r);
+  }
+  return classes;
+}
+
+Result<bool> IsKAnonymous(const Table& table,
+                          const std::vector<std::string>& qi_columns,
+                          std::size_t k) {
+  if (k <= 1) return true;  // every table is trivially 1-anonymous
+  auto classes = EquivalenceClasses(table, qi_columns);
+  if (!classes.ok()) return classes.status();
+  for (const auto& cls : *classes) {
+    if (cls.size() < k) return false;
+  }
+  return true;
+}
+
+Result<Table> GeneralizeTable(const Table& table,
+                              const std::vector<QuasiIdentifier>& qis,
+                              const std::vector<int>& levels) {
+  if (levels.size() != qis.size()) {
+    return Status::InvalidArgument("levels/quasi-identifier count mismatch");
+  }
+  Table out = table;
+  for (std::size_t i = 0; i < qis.size(); ++i) {
+    if (qis[i].hierarchy == nullptr) {
+      return Status::InvalidArgument("quasi-identifier '" + qis[i].column +
+                                     "' has no hierarchy");
+    }
+    auto col = table.ColumnIndex(qis[i].column);
+    if (!col.ok()) return col.status();
+    for (std::size_t r = 0; r < out.num_rows(); ++r) {
+      INFOLEAK_RETURN_IF_ERROR(out.SetCell(
+          r, qis[i].column,
+          qis[i].hierarchy->Generalize(table.at(r, *col), levels[i])));
+    }
+  }
+  return out;
+}
+
+Result<AnonymizationResult> MinimalFullDomainGeneralization(
+    const Table& table, const std::vector<QuasiIdentifier>& qis,
+    std::size_t k) {
+  if (table.num_rows() < k) {
+    return Status::NotFound("table has fewer than k rows; no generalization "
+                            "can achieve k-anonymity");
+  }
+  std::vector<std::string> qi_columns;
+  std::size_t lattice_size = 1;
+  for (const auto& qi : qis) {
+    if (qi.hierarchy == nullptr) {
+      return Status::InvalidArgument("quasi-identifier '" + qi.column +
+                                     "' has no hierarchy");
+    }
+    qi_columns.push_back(qi.column);
+    lattice_size *= static_cast<std::size_t>(qi.hierarchy->max_level()) + 1;
+    if (lattice_size > 1000000) {
+      return Status::ResourceExhausted("generalization lattice too large");
+    }
+  }
+
+  // Enumerate all level vectors, then scan in (sum, lexicographic) order so
+  // the first k-anonymous vector is a minimal one.
+  std::vector<std::vector<int>> lattice;
+  lattice.reserve(lattice_size);
+  std::vector<int> cursor(qis.size(), 0);
+  while (true) {
+    lattice.push_back(cursor);
+    std::size_t i = qis.size();
+    while (i > 0) {
+      --i;
+      if (cursor[i] < qis[i].hierarchy->max_level()) {
+        ++cursor[i];
+        std::fill(cursor.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                  cursor.end(), 0);
+        break;
+      }
+      if (i == 0) {
+        cursor.clear();
+        break;
+      }
+    }
+    if (cursor.empty() || (qis.empty() && lattice.size() == 1)) break;
+  }
+  std::stable_sort(lattice.begin(), lattice.end(),
+                   [](const std::vector<int>& a, const std::vector<int>& b) {
+                     int sa = std::accumulate(a.begin(), a.end(), 0);
+                     int sb = std::accumulate(b.begin(), b.end(), 0);
+                     if (sa != sb) return sa < sb;
+                     return a < b;
+                   });
+
+  for (const auto& levels : lattice) {
+    auto generalized = GeneralizeTable(table, qis, levels);
+    if (!generalized.ok()) return generalized.status();
+    auto anon = IsKAnonymous(*generalized, qi_columns, k);
+    if (!anon.ok()) return anon.status();
+    if (*anon) {
+      return AnonymizationResult{std::move(generalized).value(), levels};
+    }
+  }
+  return Status::NotFound(
+      "no level vector in the hierarchy lattice achieves k-anonymity");
+}
+
+}  // namespace infoleak

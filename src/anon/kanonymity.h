@@ -1,0 +1,56 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "anon/hierarchy.h"
+#include "anon/table.h"
+#include "util/result.h"
+
+namespace infoleak {
+
+/// \brief A quasi-identifier column paired with its generalization
+/// hierarchy. The hierarchy pointer is non-owning; the caller keeps it
+/// alive.
+struct QuasiIdentifier {
+  std::string column;
+  const Hierarchy* hierarchy = nullptr;
+};
+
+/// \brief Groups row indices by their quasi-identifier value combination —
+/// the equivalence classes of §3.1. Classes and their members are ordered
+/// deterministically (by first occurrence / row index).
+Result<std::vector<std::vector<std::size_t>>> EquivalenceClasses(
+    const Table& table, const std::vector<std::string>& qi_columns);
+
+/// \brief True iff every equivalence class has at least k rows (and the
+/// table is non-empty or k == 0). A database "satisfies k-anonymity if for
+/// every record there exist k−1 other records with the same
+/// quasi-identifiers".
+Result<bool> IsKAnonymous(const Table& table,
+                          const std::vector<std::string>& qi_columns,
+                          std::size_t k);
+
+/// \brief Generalizes each quasi-identifier column to the given level
+/// (levels[i] applies to qis[i]); other columns are untouched.
+Result<Table> GeneralizeTable(const Table& table,
+                              const std::vector<QuasiIdentifier>& qis,
+                              const std::vector<int>& levels);
+
+/// \brief Result of a full-domain anonymization search.
+struct AnonymizationResult {
+  Table table;              ///< the generalized, k-anonymous table
+  std::vector<int> levels;  ///< chosen level per quasi-identifier
+};
+
+/// \brief Finds a minimal full-domain generalization achieving k-anonymity:
+/// enumerates level vectors in order of total generalization (sum of
+/// levels, then lexicographically) and returns the first k-anonymous one —
+/// the Samarati-style search. Fails with NotFound when even full
+/// generalization cannot achieve k (fewer than k rows), and with
+/// ResourceExhausted when the level lattice exceeds 10^6 nodes.
+Result<AnonymizationResult> MinimalFullDomainGeneralization(
+    const Table& table, const std::vector<QuasiIdentifier>& qis,
+    std::size_t k);
+
+}  // namespace infoleak

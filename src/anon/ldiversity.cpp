@@ -1,0 +1,89 @@
+#include "anon/ldiversity.h"
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "anon/kanonymity.h"
+
+namespace infoleak {
+namespace {
+
+/// Runs `fn(sensitive values of one class)` over every equivalence class.
+template <typename Fn>
+Status ForEachClassSensitive(const Table& table,
+                             const std::vector<std::string>& qi_columns,
+                             const std::string& sensitive_column, Fn&& fn) {
+  auto classes = EquivalenceClasses(table, qi_columns);
+  if (!classes.ok()) return classes.status();
+  auto col = table.ColumnIndex(sensitive_column);
+  if (!col.ok()) return col.status();
+  for (const auto& cls : *classes) {
+    std::vector<std::string> values;
+    values.reserve(cls.size());
+    for (std::size_t r : cls) values.push_back(table.at(r, *col));
+    fn(values);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::size_t> MinDistinctSensitive(
+    const Table& table, const std::vector<std::string>& qi_columns,
+    const std::string& sensitive_column) {
+  std::size_t min_distinct = table.num_rows() == 0 ? 0 : SIZE_MAX;
+  Status st = ForEachClassSensitive(
+      table, qi_columns, sensitive_column,
+      [&](const std::vector<std::string>& values) {
+        std::set<std::string> distinct(values.begin(), values.end());
+        min_distinct = std::min(min_distinct, distinct.size());
+      });
+  if (!st.ok()) return st;
+  return min_distinct;
+}
+
+Result<bool> IsDistinctLDiverse(const Table& table,
+                                const std::vector<std::string>& qi_columns,
+                                const std::string& sensitive_column,
+                                std::size_t l) {
+  auto min_distinct = MinDistinctSensitive(table, qi_columns,
+                                           sensitive_column);
+  if (!min_distinct.ok()) return min_distinct.status();
+  return *min_distinct >= l;
+}
+
+Result<double> MinEntropySensitive(const Table& table,
+                                   const std::vector<std::string>& qi_columns,
+                                   const std::string& sensitive_column) {
+  double min_entropy = table.num_rows() == 0
+                           ? 0.0
+                           : std::numeric_limits<double>::infinity();
+  Status st = ForEachClassSensitive(
+      table, qi_columns, sensitive_column,
+      [&](const std::vector<std::string>& values) {
+        std::map<std::string, std::size_t> counts;
+        for (const auto& v : values) ++counts[v];
+        double entropy = 0.0;
+        const double n = static_cast<double>(values.size());
+        for (const auto& [value, count] : counts) {
+          double f = static_cast<double>(count) / n;
+          entropy -= f * std::log(f);
+        }
+        min_entropy = std::min(min_entropy, entropy);
+      });
+  if (!st.ok()) return st;
+  return min_entropy;
+}
+
+Result<bool> IsEntropyLDiverse(const Table& table,
+                               const std::vector<std::string>& qi_columns,
+                               const std::string& sensitive_column,
+                               double l) {
+  if (l <= 1.0) return true;
+  auto min_entropy = MinEntropySensitive(table, qi_columns, sensitive_column);
+  if (!min_entropy.ok()) return min_entropy.status();
+  return *min_entropy >= std::log(l) - 1e-12;
+}
+
+}  // namespace infoleak

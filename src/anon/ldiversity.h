@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "anon/table.h"
+#include "util/result.h"
+
+namespace infoleak {
+
+/// l-diversity checks (§3.2): each equivalence class must have at least l
+/// "well-represented" sensitive values.
+
+/// \brief Smallest number of distinct sensitive values across equivalence
+/// classes (0 for an empty table).
+Result<std::size_t> MinDistinctSensitive(
+    const Table& table, const std::vector<std::string>& qi_columns,
+    const std::string& sensitive_column);
+
+/// \brief Distinct l-diversity: every equivalence class carries ≥ l distinct
+/// sensitive values.
+Result<bool> IsDistinctLDiverse(const Table& table,
+                                const std::vector<std::string>& qi_columns,
+                                const std::string& sensitive_column,
+                                std::size_t l);
+
+/// \brief Smallest Shannon entropy (natural log) of the sensitive-value
+/// distribution across equivalence classes; +inf-free: 0 for an empty table.
+Result<double> MinEntropySensitive(const Table& table,
+                                   const std::vector<std::string>& qi_columns,
+                                   const std::string& sensitive_column);
+
+/// \brief Entropy l-diversity: every class's sensitive-value entropy is at
+/// least ln(l).
+Result<bool> IsEntropyLDiverse(const Table& table,
+                               const std::vector<std::string>& qi_columns,
+                               const std::string& sensitive_column,
+                               double l);
+
+}  // namespace infoleak

@@ -1,0 +1,116 @@
+#include "anon/samarati.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace infoleak {
+namespace {
+
+/// Enumerates the level vectors of exactly height `target` in lexicographic
+/// order, invoking `fn` on each until it returns true (found); returns
+/// whether any invocation returned true.
+bool ForEachNodeAtHeight(const std::vector<int>& max_levels, int target,
+                         const std::function<bool(const std::vector<int>&)>& fn) {
+  std::vector<int> levels(max_levels.size(), 0);
+  // Depth-first assignment of the height budget, lexicographically: give
+  // position i as little as possible first? Lexicographic order over the
+  // vector means earlier positions ascend last — enumerate by recursion
+  // trying smaller values first at each position.
+  std::function<bool(std::size_t, int)> rec = [&](std::size_t pos,
+                                                  int remaining) -> bool {
+    if (pos == levels.size()) return remaining == 0 && fn(levels);
+    // Upper bound on what later positions can still absorb.
+    int later_capacity = 0;
+    for (std::size_t j = pos + 1; j < max_levels.size(); ++j) {
+      later_capacity += max_levels[j];
+    }
+    int lo = std::max(0, remaining - later_capacity);
+    int hi = std::min(max_levels[pos], remaining);
+    for (int v = lo; v <= hi; ++v) {
+      levels[pos] = v;
+      if (rec(pos + 1, remaining - v)) return true;
+    }
+    return false;
+  };
+  return rec(0, target);
+}
+
+}  // namespace
+
+Result<AnonymizationResult> SamaratiGeneralization(
+    const Table& table, const std::vector<QuasiIdentifier>& qis,
+    std::size_t k) {
+  if (table.num_rows() < k) {
+    return Status::NotFound(
+        "table has fewer than k rows; no generalization can achieve "
+        "k-anonymity");
+  }
+  std::vector<std::string> qi_columns;
+  std::vector<int> max_levels;
+  int total_height = 0;
+  for (const auto& qi : qis) {
+    if (qi.hierarchy == nullptr) {
+      return Status::InvalidArgument("quasi-identifier '" + qi.column +
+                                     "' has no hierarchy");
+    }
+    qi_columns.push_back(qi.column);
+    max_levels.push_back(qi.hierarchy->max_level());
+    total_height += qi.hierarchy->max_level();
+  }
+
+  // Is some node at height h k-anonymous? Remembers the first (lex) hit.
+  std::vector<int> found_levels;
+  Status iteration_error = Status::OK();
+  auto height_is_anonymous = [&](int h) -> bool {
+    found_levels.clear();
+    return ForEachNodeAtHeight(
+        max_levels, h, [&](const std::vector<int>& levels) {
+          auto generalized = GeneralizeTable(table, qis, levels);
+          if (!generalized.ok()) {
+            iteration_error = generalized.status();
+            return true;  // abort the enumeration
+          }
+          auto anon = IsKAnonymous(*generalized, qi_columns, k);
+          if (!anon.ok()) {
+            iteration_error = anon.status();
+            return true;
+          }
+          if (*anon) {
+            found_levels = levels;
+            return true;
+          }
+          return false;
+        });
+  };
+
+  // The top node must qualify for any solution to exist.
+  if (!height_is_anonymous(total_height)) {
+    if (!iteration_error.ok()) return iteration_error;
+    return Status::NotFound(
+        "no level vector in the hierarchy lattice achieves k-anonymity");
+  }
+  if (!iteration_error.ok()) return iteration_error;
+
+  // Binary search the least height with a k-anonymous node. Invariant:
+  // `hi` has one, `lo - 1`... we search [0, total_height].
+  int lo = 0;
+  int hi = total_height;
+  std::vector<int> best = found_levels;
+  while (lo < hi) {
+    int mid = lo + (hi - lo) / 2;
+    if (height_is_anonymous(mid)) {
+      if (!iteration_error.ok()) return iteration_error;
+      best = found_levels;
+      hi = mid;
+    } else {
+      if (!iteration_error.ok()) return iteration_error;
+      lo = mid + 1;
+    }
+  }
+
+  auto generalized = GeneralizeTable(table, qis, best);
+  if (!generalized.ok()) return generalized.status();
+  return AnonymizationResult{std::move(generalized).value(), best};
+}
+
+}  // namespace infoleak

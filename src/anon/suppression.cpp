@@ -1,0 +1,94 @@
+#include "anon/suppression.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace infoleak {
+
+Result<SuppressionResult> MinimalGeneralizationWithSuppression(
+    const Table& table, const std::vector<QuasiIdentifier>& qis,
+    std::size_t k, std::size_t max_suppressed) {
+  std::vector<std::string> qi_columns;
+  std::size_t lattice_size = 1;
+  for (const auto& qi : qis) {
+    if (qi.hierarchy == nullptr) {
+      return Status::InvalidArgument("quasi-identifier '" + qi.column +
+                                     "' has no hierarchy");
+    }
+    qi_columns.push_back(qi.column);
+    lattice_size *= static_cast<std::size_t>(qi.hierarchy->max_level()) + 1;
+    if (lattice_size > 1000000) {
+      return Status::ResourceExhausted("generalization lattice too large");
+    }
+  }
+  if (table.num_rows() < k) {
+    return Status::NotFound(
+        "table has fewer than k rows; no generalization can achieve "
+        "k-anonymity");
+  }
+
+  // Enumerate level vectors in (sum, lexicographic) order.
+  std::vector<std::vector<int>> lattice;
+  lattice.reserve(lattice_size);
+  std::vector<int> cursor(qis.size(), 0);
+  while (true) {
+    lattice.push_back(cursor);
+    std::size_t i = qis.size();
+    bool advanced = false;
+    while (i > 0) {
+      --i;
+      if (cursor[i] < qis[i].hierarchy->max_level()) {
+        ++cursor[i];
+        std::fill(cursor.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                  cursor.end(), 0);
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) break;
+  }
+  std::stable_sort(lattice.begin(), lattice.end(),
+                   [](const std::vector<int>& a, const std::vector<int>& b) {
+                     int sa = std::accumulate(a.begin(), a.end(), 0);
+                     int sb = std::accumulate(b.begin(), b.end(), 0);
+                     if (sa != sb) return sa < sb;
+                     return a < b;
+                   });
+
+  for (const auto& levels : lattice) {
+    auto generalized = GeneralizeTable(table, qis, levels);
+    if (!generalized.ok()) return generalized.status();
+    auto classes = EquivalenceClasses(*generalized, qi_columns);
+    if (!classes.ok()) return classes.status();
+
+    std::vector<std::size_t> to_suppress;
+    for (const auto& cls : *classes) {
+      if (cls.size() < k) {
+        to_suppress.insert(to_suppress.end(), cls.begin(), cls.end());
+      }
+    }
+    if (to_suppress.size() > max_suppressed) continue;
+    if (table.num_rows() - to_suppress.size() < k &&
+        table.num_rows() != to_suppress.size()) {
+      continue;  // survivors themselves could not form a class of size k
+    }
+
+    std::sort(to_suppress.begin(), to_suppress.end());
+    auto kept = Table::Create(generalized->columns());
+    if (!kept.ok()) return kept.status();
+    std::size_t next = 0;
+    for (std::size_t row = 0; row < generalized->num_rows(); ++row) {
+      if (next < to_suppress.size() && to_suppress[next] == row) {
+        ++next;
+        continue;
+      }
+      INFOLEAK_RETURN_IF_ERROR(kept->AddRow(generalized->row(row)));
+    }
+    return SuppressionResult{std::move(kept).value(), levels,
+                             std::move(to_suppress)};
+  }
+  return Status::NotFound(
+      "no level vector achieves k-anonymity within the suppression budget");
+}
+
+}  // namespace infoleak

@@ -1,0 +1,31 @@
+#pragma once
+
+#include "anon/kanonymity.h"
+
+namespace infoleak {
+
+/// Generalization with record suppression (Samarati/Sweeney's full model,
+/// which the paper's §3.1 table transformation is an instance of): besides
+/// coarsening quasi-identifier values, the publisher may drop up to
+/// `max_suppressed` outlier rows whose equivalence classes stay below k.
+/// Suppression lets a much less coarse generalization satisfy k-anonymity
+/// when a handful of rows are unique.
+
+/// \brief Result of a generalize-then-suppress anonymization.
+struct SuppressionResult {
+  Table table;                        ///< generalized, suppressed table
+  std::vector<int> levels;            ///< chosen generalization levels
+  std::vector<std::size_t> suppressed;///< original row indices dropped
+};
+
+/// \brief Finds a minimal generalization (sum of levels, then
+/// lexicographic) such that after dropping the rows of undersized
+/// equivalence classes, at most `max_suppressed` rows are lost and the
+/// remaining table is k-anonymous. With `max_suppressed` = 0 this matches
+/// MinimalFullDomainGeneralization. Fails with NotFound when no lattice
+/// node qualifies.
+Result<SuppressionResult> MinimalGeneralizationWithSuppression(
+    const Table& table, const std::vector<QuasiIdentifier>& qis,
+    std::size_t k, std::size_t max_suppressed);
+
+}  // namespace infoleak

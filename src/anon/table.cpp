@@ -1,0 +1,105 @@
+#include "anon/table.h"
+
+#include <algorithm>
+
+#include "util/csv.h"
+
+namespace infoleak {
+
+Result<Table> Table::Create(std::vector<std::string> columns) {
+  if (columns.empty()) {
+    return Status::InvalidArgument("a table needs at least one column");
+  }
+  std::vector<std::string> sorted = columns;
+  std::sort(sorted.begin(), sorted.end());
+  if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+    return Status::InvalidArgument("duplicate column name");
+  }
+  Table t;
+  t.columns_ = std::move(columns);
+  return t;
+}
+
+Result<Table> Table::FromCsv(std::string_view csv_text) {
+  auto rows = Csv::Parse(csv_text);
+  if (!rows.ok()) return rows.status();
+  if (rows->empty()) {
+    return Status::InvalidArgument("CSV document has no header row");
+  }
+  auto table = Create(std::move((*rows)[0]));
+  if (!table.ok()) return table.status();
+  for (std::size_t i = 1; i < rows->size(); ++i) {
+    INFOLEAK_RETURN_IF_ERROR(table->AddRow(std::move((*rows)[i])));
+  }
+  return table;
+}
+
+std::string Table::ToCsv() const {
+  std::string out = Csv::FormatRow(columns_) + "\n";
+  for (const auto& row : rows_) {
+    out += Csv::FormatRow(row) + "\n";
+  }
+  return out;
+}
+
+Status Table::AddRow(std::vector<std::string> row) {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(row.size()) + " fields; table has " +
+        std::to_string(columns_.size()) + " columns");
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Result<std::size_t> Table::ColumnIndex(std::string_view column) const {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i] == column) return i;
+  }
+  return Status::NotFound("no column '" + std::string(column) + "'");
+}
+
+Result<std::string> Table::Cell(std::size_t row, std::string_view column) const {
+  if (row >= rows_.size()) {
+    return Status::OutOfRange("row " + std::to_string(row) + " out of range");
+  }
+  auto col = ColumnIndex(column);
+  if (!col.ok()) return col.status();
+  return rows_[row][*col];
+}
+
+Status Table::SetCell(std::size_t row, std::string_view column,
+                      std::string value) {
+  if (row >= rows_.size()) {
+    return Status::OutOfRange("row " + std::to_string(row) + " out of range");
+  }
+  auto col = ColumnIndex(column);
+  if (!col.ok()) return col.status();
+  rows_[row][*col] = std::move(value);
+  return Status::OK();
+}
+
+Result<Table> Table::DropColumns(const std::vector<std::string>& columns) const {
+  std::vector<bool> drop(columns_.size(), false);
+  for (const auto& c : columns) {
+    auto idx = ColumnIndex(c);
+    if (!idx.ok()) return idx.status();
+    drop[*idx] = true;
+  }
+  std::vector<std::string> kept;
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (!drop[i]) kept.push_back(columns_[i]);
+  }
+  auto out = Create(std::move(kept));
+  if (!out.ok()) return out.status();
+  for (const auto& row : rows_) {
+    std::vector<std::string> new_row;
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+      if (!drop[i]) new_row.push_back(row[i]);
+    }
+    INFOLEAK_RETURN_IF_ERROR(out->AddRow(std::move(new_row)));
+  }
+  return out;
+}
+
+}  // namespace infoleak

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace infoleak {
+
+/// \brief A fixed-schema relational table, the substrate the k-anonymity and
+/// l-diversity models of §3 operate on (e.g. the patient table of Table 1).
+///
+/// Unlike the leakage `Record` (schema-less attribute sets), a `Table` has
+/// named columns and positional rows — the data-publishing world the paper
+/// contrasts with.
+class Table {
+ public:
+  Table() = default;
+
+  /// Creates a table with the given column names; fails on duplicates or an
+  /// empty column list.
+  static Result<Table> Create(std::vector<std::string> columns);
+
+  /// Parses a CSV document whose first row is the header.
+  static Result<Table> FromCsv(std::string_view csv_text);
+
+  /// Renders the table as CSV (header + rows).
+  std::string ToCsv() const;
+
+  /// Appends a row; fails unless it has exactly one field per column.
+  Status AddRow(std::vector<std::string> row);
+
+  /// Index of `column`, or NotFound.
+  Result<std::size_t> ColumnIndex(std::string_view column) const;
+
+  const std::vector<std::string>& columns() const { return columns_; }
+  std::size_t num_columns() const { return columns_.size(); }
+  std::size_t num_rows() const { return rows_.size(); }
+
+  const std::vector<std::string>& row(std::size_t i) const { return rows_[i]; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  /// Cell accessors (bounds-unchecked fast path; checked variant below).
+  const std::string& at(std::size_t row, std::size_t col) const {
+    return rows_[row][col];
+  }
+  Result<std::string> Cell(std::size_t row, std::string_view column) const;
+
+  /// Sets a cell value; OutOfRange / NotFound on bad coordinates.
+  Status SetCell(std::size_t row, std::string_view column, std::string value);
+
+  /// Returns a copy without the given columns (e.g. dropping "Name" before
+  /// publishing, as Table 2 does).
+  Result<Table> DropColumns(const std::vector<std::string>& columns) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace infoleak

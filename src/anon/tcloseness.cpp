@@ -1,0 +1,57 @@
+#include "anon/tcloseness.h"
+
+#include <cmath>
+#include <map>
+
+#include "anon/kanonymity.h"
+
+namespace infoleak {
+
+Result<double> MaxSensitiveDistance(
+    const Table& table, const std::vector<std::string>& qi_columns,
+    const std::string& sensitive_column) {
+  auto classes = EquivalenceClasses(table, qi_columns);
+  if (!classes.ok()) return classes.status();
+  auto col = table.ColumnIndex(sensitive_column);
+  if (!col.ok()) return col.status();
+  if (table.num_rows() == 0) return 0.0;
+
+  // Table-wide sensitive distribution.
+  std::map<std::string, double> global;
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    global[table.at(r, *col)] += 1.0;
+  }
+  for (auto& [value, mass] : global) {
+    mass /= static_cast<double>(table.num_rows());
+  }
+
+  double worst = 0.0;
+  for (const auto& cls : *classes) {
+    std::map<std::string, double> local;
+    for (std::size_t r : cls) local[table.at(r, *col)] += 1.0;
+    for (auto& [value, mass] : local) {
+      mass /= static_cast<double>(cls.size());
+    }
+    // Total-variation distance: 1/2 Σ |p(v) − q(v)| over the union support.
+    double distance = 0.0;
+    for (const auto& [value, mass] : global) {
+      auto it = local.find(value);
+      distance += std::abs(mass - (it != local.end() ? it->second : 0.0));
+    }
+    for (const auto& [value, mass] : local) {
+      if (global.find(value) == global.end()) distance += mass;
+    }
+    worst = std::max(worst, distance / 2.0);
+  }
+  return worst;
+}
+
+Result<bool> IsTClose(const Table& table,
+                      const std::vector<std::string>& qi_columns,
+                      const std::string& sensitive_column, double t) {
+  auto distance = MaxSensitiveDistance(table, qi_columns, sensitive_column);
+  if (!distance.ok()) return distance.status();
+  return *distance <= t + 1e-12;
+}
+
+}  // namespace infoleak

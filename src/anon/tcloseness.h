@@ -1,0 +1,30 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "anon/table.h"
+#include "util/result.h"
+
+namespace infoleak {
+
+/// t-closeness (Li, Li, Venkatasubramanian, ICDE'07) — the third
+/// data-publishing model the paper's §3 names ("we do not directly compare
+/// with t-closeness... the same argument holds"). A table satisfies
+/// t-closeness when, in every equivalence class, the distribution of the
+/// sensitive attribute is within distance t of its distribution in the
+/// whole table. For categorical sensitive values we use the standard
+/// total-variation distance (equal-ground-distance EMD).
+
+/// \brief Largest distance between any equivalence class's sensitive-value
+/// distribution and the table-wide distribution; 0 for an empty table.
+Result<double> MaxSensitiveDistance(const Table& table,
+                                    const std::vector<std::string>& qi_columns,
+                                    const std::string& sensitive_column);
+
+/// \brief True iff every class's distance is ≤ t.
+Result<bool> IsTClose(const Table& table,
+                      const std::vector<std::string>& qi_columns,
+                      const std::string& sensitive_column, double t);
+
+}  // namespace infoleak

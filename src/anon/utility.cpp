@@ -1,0 +1,47 @@
+#include "anon/utility.h"
+
+namespace infoleak {
+
+Result<double> DiscernibilityMetric(
+    const Table& table, const std::vector<std::string>& qi_columns) {
+  auto classes = EquivalenceClasses(table, qi_columns);
+  if (!classes.ok()) return classes.status();
+  double total = 0.0;
+  for (const auto& cls : *classes) {
+    total += static_cast<double>(cls.size()) *
+             static_cast<double>(cls.size());
+  }
+  return total;
+}
+
+Result<double> AverageClassSizeMetric(
+    const Table& table, const std::vector<std::string>& qi_columns,
+    std::size_t k) {
+  if (k == 0) {
+    return Status::InvalidArgument("k must be positive");
+  }
+  auto classes = EquivalenceClasses(table, qi_columns);
+  if (!classes.ok()) return classes.status();
+  if (classes->empty()) return 0.0;
+  double avg = static_cast<double>(table.num_rows()) /
+               static_cast<double>(classes->size());
+  return avg / static_cast<double>(k);
+}
+
+double GeneralizationPrecision(const std::vector<QuasiIdentifier>& qis,
+                               const std::vector<int>& levels) {
+  if (qis.empty() || levels.size() != qis.size()) return 1.0;
+  double spent = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < qis.size(); ++i) {
+    if (qis[i].hierarchy == nullptr) continue;
+    int max_level = qis[i].hierarchy->max_level();
+    if (max_level <= 0) continue;
+    spent += static_cast<double>(levels[i]) / static_cast<double>(max_level);
+    ++counted;
+  }
+  if (counted == 0) return 1.0;
+  return 1.0 - spent / static_cast<double>(counted);
+}
+
+}  // namespace infoleak

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "anon/kanonymity.h"
+#include "anon/table.h"
+#include "util/result.h"
+
+namespace infoleak {
+
+/// Utility metrics for anonymized tables. The paper's related work (§7)
+/// cites Rastogi et al.'s privacy/utility boundary; these standard metrics
+/// let the benchmark harness chart leakage against utility as k grows.
+
+/// \brief Discernibility metric (Bayardo & Agrawal): Σ over equivalence
+/// classes of |class|² — each row is "charged" the size of the crowd it
+/// hides in. Lower is better; minimum is the row count (all singletons),
+/// maximum n² (one class).
+Result<double> DiscernibilityMetric(const Table& table,
+                                    const std::vector<std::string>& qi_columns);
+
+/// \brief Average equivalence-class size normalized by k
+/// (the C_AVG metric): (rows / classes) / k. 1.0 means classes are as
+/// small as k-anonymity allows.
+Result<double> AverageClassSizeMetric(const Table& table,
+                                      const std::vector<std::string>& qi_columns,
+                                      std::size_t k);
+
+/// \brief Sweeney's Prec: one minus the average generalization height
+/// ratio. For each quasi-identifier, `levels[i] / max_level(i)` measures
+/// how much of the hierarchy was spent; Prec = 1 − mean of those ratios.
+/// 1.0 = untouched data, 0.0 = fully generalized.
+double GeneralizationPrecision(const std::vector<QuasiIdentifier>& qis,
+                               const std::vector<int>& levels);
+
+}  // namespace infoleak

@@ -1,0 +1,233 @@
+#include "apps/disinformation.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace infoleak {
+
+// ---------------------------------------------------------------------------
+// DisinformationFactory
+// ---------------------------------------------------------------------------
+
+Record DisinformationFactory::CreateWithBogus(
+    const std::vector<const Record*>& targets, std::size_t max_size,
+    std::size_t num_bogus, std::size_t bogus_offset) const {
+  Record r = Create(targets, max_size);
+  if (r.empty() && !targets.empty()) return r;  // Create failed
+  for (std::size_t i = 0; i < num_bogus; ++i) {
+    r.Insert(MakeBogus(bogus_offset + i));
+  }
+  return r;
+}
+
+RuleMatchFactory::RuleMatchFactory(
+    std::vector<std::vector<std::string>> rules,
+    std::string bogus_label_prefix)
+    : rules_(std::move(rules)),
+      bogus_label_prefix_(std::move(bogus_label_prefix)) {
+  std::erase_if(rules_, [](const auto& rule) { return rule.empty(); });
+}
+
+Record RuleMatchFactory::Create(const std::vector<const Record*>& targets,
+                                std::size_t max_size) const {
+  Record out;
+  for (const Record* target : targets) {
+    // Satisfy this target through the first rule whose labels it covers.
+    bool satisfied = false;
+    for (const auto& rule : rules_) {
+      Record addition;
+      bool covers = true;
+      for (const auto& label : rule) {
+        const Attribute* found = nullptr;
+        for (const auto& a : *target) {
+          if (a.label == label) {
+            found = &a;
+            break;
+          }
+        }
+        if (found == nullptr) {
+          covers = false;
+          break;
+        }
+        addition.Insert(Attribute(found->label, found->value, 1.0));
+      }
+      if (covers) {
+        out.MergeFrom(addition);
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) return Record{};  // cannot match this target
+  }
+  if (out.size() > max_size) return Record{};  // no record within the limit
+  return out;
+}
+
+Attribute RuleMatchFactory::MakeBogus(std::size_t ordinal) const {
+  return Attribute(bogus_label_prefix_ + std::to_string(ordinal),
+                   "bogus-" + std::to_string(ordinal), 1.0);
+}
+
+RecordCostFn DefaultRecordCost() {
+  return [](const Record& r) { return static_cast<double>(r.size()); };
+}
+
+// ---------------------------------------------------------------------------
+// Candidate generation
+// ---------------------------------------------------------------------------
+
+Result<std::vector<DisinfoCandidate>> DisinformationOptimizer::GenerateCandidates(
+    const Database& db, const Record& p, std::size_t max_record_size,
+    std::size_t max_bogus) const {
+  WeightModel unit;  // relevance test below is weight-independent
+  std::vector<std::size_t> relevant;
+  std::vector<std::size_t> irrelevant;
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    if (unit.OverlapWeight(db[i], p) > 0.0) {
+      relevant.push_back(i);
+    } else {
+      irrelevant.push_back(i);
+    }
+  }
+
+  std::vector<DisinfoCandidate> candidates;
+  std::size_t bogus_counter = 0;
+  // Self disinformation: snap to a relevant record and pollute it with
+  // fabricated attributes (Fig. 2's d1).
+  for (std::size_t i : relevant) {
+    for (std::size_t k = 1; k <= max_bogus; ++k) {
+      Record r = factory_.CreateWithBogus({&db[i]}, max_record_size, k,
+                                          bogus_counter);
+      bogus_counter += k;
+      if (r.empty()) continue;
+      candidates.push_back(
+          DisinfoCandidate{std::move(r), 0.0, "self"});
+    }
+  }
+  // Linkage disinformation: bridge a relevant record to an irrelevant one so
+  // the merge inherits the irrelevant record's data (Fig. 2's d2).
+  for (std::size_t i : relevant) {
+    for (std::size_t j : irrelevant) {
+      Record r = factory_.Create({&db[i], &db[j]}, max_record_size);
+      if (r.empty()) continue;
+      candidates.push_back(DisinfoCandidate{std::move(r), 0.0, "linkage"});
+    }
+  }
+  for (auto& c : candidates) c.cost = cost_fn_(c.record);
+  return candidates;
+}
+
+// ---------------------------------------------------------------------------
+// Optimizers
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Result<double> LeakageWith(const Database& db,
+                           const std::vector<DisinfoCandidate>& candidates,
+                           const std::vector<std::size_t>& chosen,
+                           const Record& p, const AnalysisOperator& op,
+                           const WeightModel& wm,
+                           const LeakageEngine& engine) {
+  Database extended = db;
+  for (std::size_t idx : chosen) extended.Add(candidates[idx].record);
+  return InformationLeakage(extended, p, op, wm, engine);
+}
+
+}  // namespace
+
+Result<DisinfoPlan> DisinformationOptimizer::OptimizeExhaustive(
+    const Database& db, const Record& p, const AnalysisOperator& op,
+    const std::vector<DisinfoCandidate>& candidates, double max_budget,
+    const WeightModel& wm, const LeakageEngine& engine) const {
+  constexpr std::size_t kMaxExhaustiveCandidates = 20;
+  if (candidates.size() > kMaxExhaustiveCandidates) {
+    return Status::ResourceExhausted(
+        "exhaustive search capped at " +
+        std::to_string(kMaxExhaustiveCandidates) +
+        " candidates; use OptimizeGreedy");
+  }
+  Result<double> before = InformationLeakage(db, p, op, wm, engine);
+  if (!before.ok()) return before.status();
+
+  double best_leakage = *before;
+  double best_cost = 0.0;
+  std::vector<std::size_t> best_subset;
+  const std::size_t n = candidates.size();
+  for (uint64_t mask = 0; mask < (uint64_t{1} << n); ++mask) {
+    double cost = 0.0;
+    std::vector<std::size_t> subset;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (uint64_t{1} << i)) {
+        cost += candidates[i].cost;
+        subset.push_back(i);
+      }
+    }
+    if (cost > max_budget) continue;
+    Result<double> leakage =
+        LeakageWith(db, candidates, subset, p, op, wm, engine);
+    if (!leakage.ok()) return leakage.status();
+    if (*leakage < best_leakage - 1e-15 ||
+        (std::abs(*leakage - best_leakage) <= 1e-15 && cost < best_cost)) {
+      best_leakage = *leakage;
+      best_cost = cost;
+      best_subset = std::move(subset);
+    }
+  }
+
+  DisinfoPlan plan;
+  plan.leakage_before = *before;
+  plan.leakage_after = best_leakage;
+  plan.total_cost = best_cost;
+  for (std::size_t idx : best_subset) plan.chosen.push_back(candidates[idx]);
+  return plan;
+}
+
+Result<DisinfoPlan> DisinformationOptimizer::OptimizeGreedy(
+    const Database& db, const Record& p, const AnalysisOperator& op,
+    const std::vector<DisinfoCandidate>& candidates, double max_budget,
+    const WeightModel& wm, const LeakageEngine& engine) const {
+  Result<double> before = InformationLeakage(db, p, op, wm, engine);
+  if (!before.ok()) return before.status();
+
+  DisinfoPlan plan;
+  plan.leakage_before = *before;
+  plan.leakage_after = *before;
+
+  Database current = db;
+  std::vector<bool> used(candidates.size(), false);
+  double budget_left = max_budget;
+
+  while (true) {
+    double best_score = 0.0;  // leakage reduction per unit cost
+    std::ptrdiff_t best_idx = -1;
+    double best_leakage = plan.leakage_after;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (used[i] || candidates[i].cost > budget_left) continue;
+      Result<double> leakage = InformationLeakage(
+          current.WithRecord(candidates[i].record), p, op, wm, engine);
+      if (!leakage.ok()) return leakage.status();
+      double reduction = plan.leakage_after - *leakage;
+      if (reduction <= 1e-15) continue;
+      double score = candidates[i].cost > 0.0
+                         ? reduction / candidates[i].cost
+                         : std::numeric_limits<double>::infinity();
+      if (best_idx < 0 || score > best_score) {
+        best_score = score;
+        best_idx = static_cast<std::ptrdiff_t>(i);
+        best_leakage = *leakage;
+      }
+    }
+    if (best_idx < 0) break;
+    const auto idx = static_cast<std::size_t>(best_idx);
+    used[idx] = true;
+    budget_left -= candidates[idx].cost;
+    plan.total_cost += candidates[idx].cost;
+    plan.chosen.push_back(candidates[idx]);
+    plan.leakage_after = best_leakage;
+    current.Add(candidates[idx].record);
+  }
+  return plan;
+}
+
+}  // namespace infoleak

@@ -1,0 +1,119 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/leakage.h"
+#include "ops/operator.h"
+#include "util/result.h"
+
+namespace infoleak {
+
+/// \brief Builds disinformation records (§4.2).
+///
+/// `Create(targets, max_size)` returns a minimal record of at most
+/// `max_size` attributes guaranteed to match every target record under the
+/// adversary's match function (the paper's Create(S, L)); it returns the
+/// empty record when impossible. `MakeBogus(ordinal)` fabricates the
+/// "incorrect but believable" attribute the paper's Add(r) appends; the
+/// paper assumes appending bogus attributes never breaks a match.
+class DisinformationFactory {
+ public:
+  virtual ~DisinformationFactory() = default;
+
+  virtual Record Create(const std::vector<const Record*>& targets,
+                        std::size_t max_size) const = 0;
+
+  virtual Attribute MakeBogus(std::size_t ordinal) const = 0;
+
+  /// Convenience: Create + append `num_bogus` bogus attributes, numbering
+  /// them from `bogus_offset` so that different candidates stay distinct.
+  Record CreateWithBogus(const std::vector<const Record*>& targets,
+                         std::size_t max_size, std::size_t num_bogus,
+                         std::size_t bogus_offset) const;
+};
+
+/// \brief Factory for rule-based match functions: to match a target, copy
+/// the target's attributes on one rule's labels (e.g. for the rule
+/// {"N","C"}, copy the target's name and credit card). Creating a record
+/// that matches several targets unions the per-target key attributes.
+class RuleMatchFactory : public DisinformationFactory {
+ public:
+  /// \param rules the same disjunction-of-conjunctions the adversary's
+  ///        RuleMatch uses. Create() satisfies each target through the
+  ///        first rule whose labels the target fully covers.
+  /// \param bogus_label_prefix labels of fabricated attributes
+  ///        ("X0", "X1", ...).
+  explicit RuleMatchFactory(std::vector<std::vector<std::string>> rules,
+                            std::string bogus_label_prefix = "X");
+
+  Record Create(const std::vector<const Record*>& targets,
+                std::size_t max_size) const override;
+  Attribute MakeBogus(std::size_t ordinal) const override;
+
+ private:
+  std::vector<std::vector<std::string>> rules_;
+  std::string bogus_label_prefix_;
+};
+
+/// \brief Cost of fabricating and publishing a record; the paper's C(r).
+/// The default prices a record at its size (longer records cost more).
+using RecordCostFn = std::function<double(const Record&)>;
+RecordCostFn DefaultRecordCost();
+
+/// \brief A costed disinformation candidate with its strategy tag.
+struct DisinfoCandidate {
+  Record record;
+  double cost = 0.0;
+  std::string strategy;  ///< "self" or "linkage"
+};
+
+/// \brief The chosen disinformation set S and its effect.
+struct DisinfoPlan {
+  std::vector<DisinfoCandidate> chosen;
+  double total_cost = 0.0;
+  double leakage_before = 0.0;  ///< L(R, p, E)
+  double leakage_after = 0.0;   ///< L(R ∪ S, p, E)
+};
+
+/// \brief Budget-constrained disinformation optimizer for
+///   minimize L(R ∪ S, p, E)  subject to  Σ_{r∈S} C(r) ≤ Cmax.
+class DisinformationOptimizer {
+ public:
+  DisinformationOptimizer(const DisinformationFactory& factory,
+                          RecordCostFn cost_fn = DefaultRecordCost())
+      : factory_(factory), cost_fn_(std::move(cost_fn)) {}
+
+  /// Generates self- and linkage-disinformation candidates (§4.2, Fig. 2):
+  ///  * self: for each target-relevant record r in R, a record matching r
+  ///    carrying 1..max_bogus bogus attributes;
+  ///  * linkage: for each (relevant r, irrelevant v) pair, a record
+  ///    matching both, splicing v's unrelated data into r's entity.
+  /// A record is target-relevant when it shares at least one (label, value)
+  /// with the reference p.
+  Result<std::vector<DisinfoCandidate>> GenerateCandidates(
+      const Database& db, const Record& p, std::size_t max_record_size,
+      std::size_t max_bogus) const;
+
+  /// Exact optimizer: enumerates all 2^|candidates| subsets within budget
+  /// (capped at 20 candidates) and returns a plan minimizing the post-
+  /// analysis leakage; ties prefer cheaper plans.
+  Result<DisinfoPlan> OptimizeExhaustive(
+      const Database& db, const Record& p, const AnalysisOperator& op,
+      const std::vector<DisinfoCandidate>& candidates, double max_budget,
+      const WeightModel& wm, const LeakageEngine& engine) const;
+
+  /// Greedy optimizer: repeatedly adds the affordable candidate with the
+  /// best leakage reduction per unit cost until no candidate helps.
+  Result<DisinfoPlan> OptimizeGreedy(
+      const Database& db, const Record& p, const AnalysisOperator& op,
+      const std::vector<DisinfoCandidate>& candidates, double max_budget,
+      const WeightModel& wm, const LeakageEngine& engine) const;
+
+ private:
+  const DisinformationFactory& factory_;
+  RecordCostFn cost_fn_;
+};
+
+}  // namespace infoleak

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/database.h"
+#include "core/leakage.h"
+#include "util/result.h"
+
+namespace infoleak {
+
+/// Composite-record enhancement (§4.3): Eve has inferred a composite record
+/// rc from facts in R, but some confidences are below 1. L(rc, rp) — with
+/// rp = rc at full confidence — measures how certain she is. Raising the
+/// confidence of a base attribute (research, bribery, subpoena) costs money;
+/// which attribute is the most cost-effective to verify?
+
+/// \brief Cost of raising an attribute's confidence to 1. The paper's
+/// simple model is C(a) = 1 − a.confidence.
+using VerificationCostFn = std::function<double(const Attribute&)>;
+VerificationCostFn DefaultVerificationCost();
+
+/// \brief Merges all records of `db` into one composite (union with max
+/// confidence per (label, value)) — the rc the adversary reasons about when
+/// all records are believed to describe one entity.
+Record ComposeAll(const Database& db);
+
+/// \brief One possible verification action and its effect.
+struct EnhancementOption {
+  std::size_t record_index = 0;  ///< which base record holds the attribute
+  Attribute attribute;           ///< the attribute at its current confidence
+  double certainty_before = 0.0; ///< L(rc, rp)
+  double certainty_after = 0.0;  ///< L(rc', rp) after raising to 1
+  double gain = 0.0;             ///< certainty_after − certainty_before
+  double cost = 0.0;             ///< C(a)
+  double ratio = 0.0;            ///< gain / cost (the §4.3 objective)
+};
+
+/// \brief Ranks every verifiable attribute (confidence < 1 in some base
+/// record) by gain/cost, best first. Attributes already at confidence 1
+/// (zero cost) are excluded.
+Result<std::vector<EnhancementOption>> RankEnhancements(
+    const Database& db, const WeightModel& wm, const LeakageEngine& engine,
+    const VerificationCostFn& cost_fn = DefaultVerificationCost());
+
+/// \brief The single most cost-effective verification; NotFound when every
+/// attribute is already certain.
+Result<EnhancementOption> BestEnhancement(
+    const Database& db, const WeightModel& wm, const LeakageEngine& engine,
+    const VerificationCostFn& cost_fn = DefaultVerificationCost());
+
+/// \brief A multi-step verification plan under a budget: greedily applies
+/// the best-ratio affordable verification, re-ranking after each step.
+struct EnhancementPlan {
+  std::vector<EnhancementOption> steps;
+  double total_cost = 0.0;
+  double certainty_before = 0.0;
+  double certainty_after = 0.0;
+};
+
+Result<EnhancementPlan> GreedyEnhancementPlan(
+    const Database& db, double max_budget, const WeightModel& wm,
+    const LeakageEngine& engine,
+    const VerificationCostFn& cost_fn = DefaultVerificationCost());
+
+}  // namespace infoleak

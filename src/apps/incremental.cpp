@@ -1,0 +1,30 @@
+#include "apps/incremental.h"
+
+namespace infoleak {
+
+Result<IncrementalReport> IncrementalLeakageReport(
+    const Database& db, const Record& p, const AnalysisOperator& op,
+    const Record& r, const WeightModel& wm, const LeakageEngine& engine) {
+  Result<double> before = InformationLeakage(db, p, op, wm, engine);
+  if (!before.ok()) return before.status();
+  Result<double> after =
+      InformationLeakage(db.WithRecord(r), p, op, wm, engine);
+  if (!after.ok()) return after.status();
+  IncrementalReport report;
+  report.before = *before;
+  report.after = *after;
+  report.incremental = *after - *before;
+  return report;
+}
+
+Result<double> IncrementalLeakage(const Database& db, const Record& p,
+                                  const AnalysisOperator& op, const Record& r,
+                                  const WeightModel& wm,
+                                  const LeakageEngine& engine) {
+  Result<IncrementalReport> report =
+      IncrementalLeakageReport(db, p, op, r, wm, engine);
+  if (!report.ok()) return report.status();
+  return report->incremental;
+}
+
+}  // namespace infoleak

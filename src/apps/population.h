@@ -1,0 +1,58 @@
+#pragma once
+
+#include <vector>
+
+#include "core/leakage.h"
+#include "ops/operator.h"
+#include "util/result.h"
+
+namespace infoleak {
+
+/// Population-level analysis: the same adversary database viewed against
+/// many reference records at once. Quantifies which individuals a data
+/// release endangers most (the per-person generalization of §3.1's
+/// Alice-vs-Zoe comparison) and how accurately merged records can be
+/// re-identified.
+
+/// \brief Leakage of one person against the (analyzed) database.
+struct MemberLeakage {
+  std::size_t person = 0;        ///< index into the references vector
+  double leakage = 0.0;          ///< L(R, p_person, E)
+  std::ptrdiff_t argmax = -1;    ///< record of E(R) attaining the maximum
+};
+
+/// \brief Computes L(R, p_i, E) for every reference; the analysis E runs
+/// once and its output is scored against each person. Results are in
+/// person order.
+Result<std::vector<MemberLeakage>> PerPersonLeakage(
+    const Database& db, const std::vector<Record>& references,
+    const AnalysisOperator& op, const WeightModel& wm,
+    const LeakageEngine& engine);
+
+/// \brief Re-identification of one record: the reference with the highest
+/// record leakage. `score` is that leakage; `runner_up` the second-best
+/// score (their gap measures attribution confidence).
+struct Reidentification {
+  std::size_t record_index = 0;
+  std::ptrdiff_t predicted_person = -1;
+  double score = 0.0;
+  double runner_up = 0.0;
+};
+
+/// \brief Outcome of re-identifying every record of `db` against the
+/// references. When `ground_truth` is non-null (records[i] belongs to
+/// (*ground_truth)[i]), accuracy is filled in; records whose best score is
+/// 0 are counted as unattributed.
+struct ReidentificationReport {
+  std::vector<Reidentification> results;
+  std::size_t attributed = 0;
+  std::size_t correct = 0;      ///< only meaningful with ground truth
+  double accuracy = 0.0;        ///< correct / attributed (0 if none)
+};
+
+Result<ReidentificationReport> ReidentifyRecords(
+    const Database& db, const std::vector<Record>& references,
+    const WeightModel& wm, const LeakageEngine& engine,
+    const std::vector<std::size_t>* ground_truth = nullptr);
+
+}  // namespace infoleak

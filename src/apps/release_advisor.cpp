@@ -1,0 +1,40 @@
+#include "apps/release_advisor.h"
+
+#include <algorithm>
+
+namespace infoleak {
+
+Result<std::vector<ReleaseAssessment>> AssessReleases(
+    const Database& db, const Record& p, const AnalysisOperator& op,
+    const std::vector<ReleaseOption>& options, const WeightModel& wm,
+    const LeakageEngine& engine) {
+  std::vector<ReleaseAssessment> out;
+  out.reserve(options.size());
+  for (const auto& option : options) {
+    Result<IncrementalReport> report =
+        IncrementalLeakageReport(db, p, op, option.record, wm, engine);
+    if (!report.ok()) return report.status();
+    out.push_back(ReleaseAssessment{option.name, report->before,
+                                    report->after, report->incremental});
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ReleaseAssessment& a, const ReleaseAssessment& b) {
+                     return a.incremental < b.incremental;
+                   });
+  return out;
+}
+
+Result<ReleaseAssessment> BestRelease(const Database& db, const Record& p,
+                                      const AnalysisOperator& op,
+                                      const std::vector<ReleaseOption>& options,
+                                      const WeightModel& wm,
+                                      const LeakageEngine& engine) {
+  if (options.empty()) {
+    return Status::InvalidArgument("no release options to assess");
+  }
+  auto assessed = AssessReleases(db, p, op, options, wm, engine);
+  if (!assessed.ok()) return assessed.status();
+  return (*assessed)[0];
+}
+
+}  // namespace infoleak

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/incremental.h"
+
+namespace infoleak {
+
+/// \brief One candidate record Alice could release (e.g. "pay with credit
+/// card c1" vs "pay with c2" in §4.1).
+struct ReleaseOption {
+  std::string name;
+  Record record;
+};
+
+/// \brief Assessment of one candidate release.
+struct ReleaseAssessment {
+  std::string name;
+  double leakage_before = 0.0;
+  double leakage_after = 0.0;
+  double incremental = 0.0;
+};
+
+/// \brief Evaluates every candidate release against the adversary model
+/// (database R, operator E) and returns assessments sorted by incremental
+/// leakage, least-leaky first — the §4.1 decision procedure.
+Result<std::vector<ReleaseAssessment>> AssessReleases(
+    const Database& db, const Record& p, const AnalysisOperator& op,
+    const std::vector<ReleaseOption>& options, const WeightModel& wm,
+    const LeakageEngine& engine);
+
+/// \brief The least-leaky option; InvalidArgument when `options` is empty.
+Result<ReleaseAssessment> BestRelease(const Database& db, const Record& p,
+                                      const AnalysisOperator& op,
+                                      const std::vector<ReleaseOption>& options,
+                                      const WeightModel& wm,
+                                      const LeakageEngine& engine);
+
+}  // namespace infoleak

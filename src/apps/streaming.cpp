@@ -1,0 +1,80 @@
+#include "apps/streaming.h"
+
+#include <algorithm>
+
+namespace infoleak {
+
+StreamingLeakage::StreamingLeakage(Record reference,
+                                   std::vector<std::string> link_labels,
+                                   WeightModel weights,
+                                   const LeakageEngine& engine)
+    : reference_(std::move(reference)),
+      link_labels_(std::move(link_labels)),
+      weights_(std::move(weights)),
+      engine_(engine) {}
+
+std::size_t StreamingLeakage::Find(std::size_t x) const {
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];
+    x = parent_[x];
+  }
+  return x;
+}
+
+Result<double> StreamingLeakage::Add(Record record) {
+  const std::size_t id = records_.size();
+
+  // Components this record links to, via shared (label, value) postings.
+  std::vector<std::size_t> roots;
+  for (std::size_t neighbor : index_.Candidates(record, link_labels_)) {
+    std::size_t root = Find(neighbor);
+    if (std::find(roots.begin(), roots.end(), root) == roots.end()) {
+      roots.push_back(root);
+    }
+  }
+
+  index_.Add(id, record);
+  records_.push_back(record);
+  parent_.push_back(id);
+
+  // Merge the new record with every linked component; the new record's id
+  // becomes the root so stale entries never shadow live ones.
+  Record merged = std::move(record);
+  for (std::size_t root : roots) {
+    merged.MergeFrom(composite_[root]);
+    composite_.erase(root);
+    leakage_.erase(root);
+    parent_[root] = id;
+  }
+  Result<double> l = engine_.RecordLeakage(merged, reference_, weights_);
+  if (!l.ok()) return l.status();
+  composite_[id] = std::move(merged);
+  leakage_[id] = *l;
+
+  // The maximum only needs a rescan when a merged-away component carried
+  // it; with few components a linear pass over the leakage map is cheap
+  // and unconditionally correct.
+  current_ = 0.0;
+  for (const auto& [root, value] : leakage_) {
+    current_ = std::max(current_, value);
+  }
+  return current_;
+}
+
+std::size_t StreamingLeakage::num_entities() const {
+  return composite_.size();
+}
+
+Result<Record> StreamingLeakage::CompositeOf(std::size_t record_index) const {
+  if (record_index >= records_.size()) {
+    return Status::OutOfRange("no record " + std::to_string(record_index));
+  }
+  auto it = composite_.find(Find(record_index));
+  if (it == composite_.end()) {
+    return Status::Internal("component missing for record " +
+                            std::to_string(record_index));
+  }
+  return it->second;
+}
+
+}  // namespace infoleak

@@ -1,0 +1,40 @@
+#include "apps/tracker.h"
+
+namespace infoleak {
+
+LeakageTracker::LeakageTracker(Record reference,
+                               const AnalysisOperator& adversary,
+                               const WeightModel& weights,
+                               const LeakageEngine& engine)
+    : reference_(std::move(reference)),
+      adversary_(adversary),
+      weights_(weights),
+      engine_(engine) {}
+
+Result<IncrementalReport> LeakageTracker::WhatIf(
+    const Record& candidate) const {
+  return IncrementalLeakageReport(released_, reference_, adversary_,
+                                  candidate, weights_, engine_);
+}
+
+Result<LeakageTracker::Entry> LeakageTracker::Release(std::string description,
+                                                      Record record) {
+  Result<IncrementalReport> report = WhatIf(record);
+  if (!report.ok()) return report.status();
+  Entry entry;
+  entry.description = std::move(description);
+  entry.record = record;
+  entry.leakage_before = report->before;
+  entry.leakage_after = report->after;
+  entry.incremental = report->incremental;
+  released_.Add(std::move(record));
+  history_.push_back(entry);
+  return entry;
+}
+
+Result<double> LeakageTracker::CurrentLeakage() const {
+  return InformationLeakage(released_, reference_, adversary_, weights_,
+                            engine_);
+}
+
+}  // namespace infoleak

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/incremental.h"
+
+namespace infoleak {
+
+/// \brief Alice's release ledger (§4.1's framing: "Alice tracks R, the
+/// information she has given out in the past").
+///
+/// The tracker owns a copy of the released database, the reference record,
+/// and the assumed adversary model; each release is recorded with its
+/// incremental leakage, building the privacy-loss trajectory over time.
+/// `WhatIf()` evaluates a candidate without committing it.
+///
+/// The adversary operator, weight model, and engine are non-owning
+/// references; the caller keeps them alive for the tracker's lifetime.
+class LeakageTracker {
+ public:
+  LeakageTracker(Record reference, const AnalysisOperator& adversary,
+                 const WeightModel& weights, const LeakageEngine& engine);
+
+  /// One committed release and its effect.
+  struct Entry {
+    std::string description;
+    Record record;
+    double leakage_before = 0.0;
+    double leakage_after = 0.0;
+    double incremental = 0.0;
+  };
+
+  /// Evaluates a candidate release without committing it.
+  Result<IncrementalReport> WhatIf(const Record& candidate) const;
+
+  /// Commits a release: appends it to the ledger and returns its entry.
+  Result<Entry> Release(std::string description, Record record);
+
+  /// Current L(R, p, E) over everything released so far.
+  Result<double> CurrentLeakage() const;
+
+  /// The committed history, in release order.
+  const std::vector<Entry>& history() const { return history_; }
+
+  /// The released database (R).
+  const Database& released() const { return released_; }
+
+  std::size_t num_releases() const { return history_.size(); }
+
+ private:
+  Record reference_;
+  const AnalysisOperator& adversary_;
+  const WeightModel& weights_;
+  const LeakageEngine& engine_;
+  Database released_;
+  std::vector<Entry> history_;
+};
+
+}  // namespace infoleak

@@ -1,0 +1,596 @@
+#include "cli/commands.h"
+
+#include <memory>
+
+#include "anon/hierarchy.h"
+#include "apps/disinformation.h"
+#include "apps/enhancement.h"
+#include "apps/population.h"
+#include "anon/kanonymity.h"
+#include "anon/ldiversity.h"
+#include "anon/tcloseness.h"
+#include "core/bounds.h"
+#include "core/fbeta_leakage.h"
+#include "core/leakage.h"
+#include "core/record_io.h"
+#include "er/blocking.h"
+#include "er/dipping.h"
+#include "er/swoosh.h"
+#include "er/transitive.h"
+#include "gen/generator.h"
+#include "ops/operator.h"
+#include "util/file.h"
+#include "util/string_util.h"
+
+namespace infoleak::cli {
+namespace {
+
+void Append(std::string* out, const std::string& line) {
+  *out += line;
+  *out += '\n';
+}
+
+Result<Database> LoadDb(const FlagSet& flags) {
+  if (flags.Has("db-csv")) {
+    return LoadDatabaseCsv(flags.GetString("db-csv"));
+  }
+  std::string path = flags.GetString("db");
+  if (path.empty()) {
+    return Status::InvalidArgument("missing --db <csv-file> (or --db-csv)");
+  }
+  auto text = ReadFileToString(path);
+  if (!text.ok()) return text.status();
+  return LoadDatabaseCsv(*text);
+}
+
+Result<Record> LoadReference(const FlagSet& flags) {
+  if (flags.Has("reference-text")) {
+    return ParseRecord(flags.GetString("reference-text"));
+  }
+  std::string path = flags.GetString("reference");
+  if (path.empty()) {
+    return Status::InvalidArgument(
+        "missing --reference <file> (or --reference-text \"{...}\")");
+  }
+  auto text = ReadFileToString(path);
+  if (!text.ok()) return text.status();
+  return ParseRecord(*text);
+}
+
+Result<WeightModel> LoadWeights(const FlagSet& flags) {
+  return WeightModel::Parse(flags.GetString("weights"));
+}
+
+/// Parses "N+C|N+P" into rules {{N,C},{N,P}}; "N,P" (commas) is accepted as
+/// shorthand for singleton disjuncts.
+Result<MatchRules> ParseRules(const std::string& spec) {
+  if (Trim(spec).empty()) {
+    return Status::InvalidArgument("empty --match-rules");
+  }
+  MatchRules rules;
+  char disjunct_sep = spec.find('|') != std::string::npos ? '|' : ',';
+  for (const auto& rule_text : Split(spec, disjunct_sep)) {
+    std::vector<std::string> labels;
+    for (const auto& label : Split(rule_text, '+')) {
+      std::string trimmed(Trim(label));
+      if (trimmed.empty()) {
+        return Status::InvalidArgument("empty label in --match-rules '" +
+                                       spec + "'");
+      }
+      labels.push_back(std::move(trimmed));
+    }
+    rules.push_back(std::move(labels));
+  }
+  return rules;
+}
+
+Result<std::unique_ptr<LeakageEngine>> MakeEngine(const FlagSet& flags) {
+  std::string name = flags.GetString("engine", "auto");
+  if (name == "auto") return std::unique_ptr<LeakageEngine>(new AutoLeakage());
+  if (name == "naive") {
+    return std::unique_ptr<LeakageEngine>(new NaiveLeakage());
+  }
+  if (name == "exact") {
+    return std::unique_ptr<LeakageEngine>(new ExactLeakage());
+  }
+  if (name == "approx") {
+    return std::unique_ptr<LeakageEngine>(new ApproxLeakage());
+  }
+  return Status::InvalidArgument("unknown --engine '" + name +
+                                 "' (auto|naive|exact|approx)");
+}
+
+/// Owns the pieces of a configured resolver so callers get one object.
+struct ResolverBundle {
+  std::unique_ptr<MatchFunction> match;
+  std::unique_ptr<MergeFunction> merge;
+  std::unique_ptr<BlockingKey> blocking;
+  std::unique_ptr<EntityResolver> resolver;
+};
+
+Result<ResolverBundle> MakeResolver(const FlagSet& flags) {
+  auto rules = ParseRules(flags.GetString("match-rules"));
+  if (!rules.ok()) return rules.status();
+  ResolverBundle bundle;
+  bundle.match = std::make_unique<RuleMatch>(*rules);
+  bundle.merge = std::make_unique<UnionMerge>();
+  std::string kind = flags.GetString("resolver", "swoosh");
+  if (kind == "swoosh") {
+    bundle.resolver =
+        std::make_unique<SwooshResolver>(*bundle.match, *bundle.merge);
+  } else if (kind == "transitive") {
+    bundle.resolver = std::make_unique<TransitiveClosureResolver>(
+        *bundle.match, *bundle.merge);
+  } else if (kind == "blocked") {
+    std::string labels_spec = flags.GetString("block-labels");
+    std::vector<std::string> labels;
+    if (labels_spec.empty()) {
+      // Default: block on every label mentioned by the match rules.
+      for (const auto& rule : *rules) {
+        for (const auto& label : rule) labels.push_back(label);
+      }
+    } else {
+      for (const auto& label : Split(labels_spec, ',')) {
+        labels.emplace_back(Trim(label));
+      }
+    }
+    bundle.blocking = std::make_unique<LabelValueBlocking>(std::move(labels));
+    bundle.resolver = std::make_unique<BlockedResolver>(
+        *bundle.blocking, *bundle.match, *bundle.merge);
+  } else {
+    return Status::InvalidArgument("unknown --resolver '" + kind +
+                                   "' (swoosh|transitive|blocked)");
+  }
+  return bundle;
+}
+
+}  // namespace
+
+Status RunLeakage(const FlagSet& flags, std::string* out) {
+  auto db = LoadDb(flags);
+  if (!db.ok()) return db.status();
+  auto reference = LoadReference(flags);
+  if (!reference.ok()) return reference.status();
+  auto weights = LoadWeights(flags);
+  if (!weights.ok()) return weights.status();
+
+  Database analyzed = *db;
+  if (flags.Has("resolve")) {
+    auto bundle = MakeResolver(flags);
+    if (!bundle.ok()) return bundle.status();
+    ErStats stats;
+    auto resolved = bundle->resolver->Resolve(*db, &stats);
+    if (!resolved.ok()) return resolved.status();
+    analyzed = std::move(resolved).value();
+    Append(out, "entity resolution: " + std::to_string(db->size()) +
+                    " records -> " + std::to_string(analyzed.size()) +
+                    " entities (" + std::to_string(stats.match_calls) +
+                    " match calls, " + std::to_string(stats.merge_calls) +
+                    " merges)");
+  }
+
+  auto beta = flags.GetDouble("beta", 1.0);
+  if (!beta.ok()) return beta.status();
+  if (*beta != 1.0) {
+    FBetaLeakage fbeta(*beta);
+    auto l = fbeta.SetLeakage(analyzed, *reference, *weights);
+    if (!l.ok()) return l.status();
+    Append(out, "F-beta leakage (beta=" + FormatDouble(*beta, 3) +
+                    "): " + FormatDouble(*l, 7));
+    return Status::OK();
+  }
+
+  auto engine = MakeEngine(flags);
+  if (!engine.ok()) return engine.status();
+  const bool show_bounds = flags.Has("bounds");
+  for (std::size_t i = 0; i < analyzed.size(); ++i) {
+    auto l = (*engine)->RecordLeakage(analyzed[i], *reference, *weights);
+    if (!l.ok()) return l.status();
+    std::string line = "record " + std::to_string(i) + ": L = " +
+                       FormatDouble(*l, 7);
+    if (show_bounds) {
+      LeakageBounds b = BoundRecordLeakage(analyzed[i], *reference, *weights);
+      line += " in [" + FormatDouble(b.lower, 5) + ", " +
+              FormatDouble(b.upper, 5) + "]";
+    }
+    line += "  " + analyzed[i].ToString();
+    Append(out, line);
+  }
+  std::ptrdiff_t argmax = -1;
+  auto total =
+      SetLeakageArgMax(analyzed, *reference, *weights, **engine, &argmax);
+  if (!total.ok()) return total.status();
+  Append(out, "set leakage L0(R, p) = " + FormatDouble(*total, 7) +
+                  " (record " + std::to_string(argmax) + ")");
+  return Status::OK();
+}
+
+Status RunEr(const FlagSet& flags, std::string* out) {
+  auto db = LoadDb(flags);
+  if (!db.ok()) return db.status();
+  auto bundle = MakeResolver(flags);
+  if (!bundle.ok()) return bundle.status();
+  ErStats stats;
+  auto resolved = bundle->resolver->Resolve(*db, &stats);
+  if (!resolved.ok()) return resolved.status();
+  Append(out, "resolver: " + std::string(bundle->resolver->name()));
+  Append(out, "records: " + std::to_string(db->size()) + " -> entities: " +
+                  std::to_string(resolved->size()));
+  Append(out, "match calls: " + std::to_string(stats.match_calls) +
+                  ", merges: " + std::to_string(stats.merge_calls));
+  *out += SaveDatabaseCsv(*resolved);
+  return Status::OK();
+}
+
+Status RunIncremental(const FlagSet& flags, std::string* out) {
+  auto db = LoadDb(flags);
+  if (!db.ok()) return db.status();
+  auto reference = LoadReference(flags);
+  if (!reference.ok()) return reference.status();
+  auto weights = LoadWeights(flags);
+  if (!weights.ok()) return weights.status();
+  auto release = ParseRecord(flags.GetString("release-text"));
+  if (!release.ok()) return release.status();
+  auto engine = MakeEngine(flags);
+  if (!engine.ok()) return engine.status();
+
+  std::unique_ptr<AnalysisOperator> op;
+  ResolverBundle bundle;
+  if (flags.Has("match-rules")) {
+    auto made = MakeResolver(flags);
+    if (!made.ok()) return made.status();
+    bundle = std::move(made).value();
+    op = std::make_unique<ErOperator>(*bundle.resolver);
+  } else {
+    op = std::make_unique<IdentityOperator>();
+  }
+
+  Result<double> before =
+      InformationLeakage(*db, *reference, *op, *weights, **engine);
+  if (!before.ok()) return before.status();
+  Result<double> after = InformationLeakage(db->WithRecord(*release),
+                                            *reference, *op, *weights,
+                                            **engine);
+  if (!after.ok()) return after.status();
+  Append(out, "before:      " + FormatDouble(*before, 7));
+  Append(out, "after:       " + FormatDouble(*after, 7));
+  Append(out, "incremental: " + FormatDouble(*after - *before, 7));
+  return Status::OK();
+}
+
+Status RunGenerate(const FlagSet& flags, std::string* out) {
+  GeneratorConfig config;
+  auto n = flags.GetInt("n", static_cast<long long>(config.n));
+  if (!n.ok()) return n.status();
+  auto records =
+      flags.GetInt("records", static_cast<long long>(config.num_records));
+  if (!records.ok()) return records.status();
+  auto seed = flags.GetInt("seed", static_cast<long long>(config.seed));
+  if (!seed.ok()) return seed.status();
+  if (*n <= 0 || *records < 0 || *seed < 0) {
+    return Status::InvalidArgument("--n/--records/--seed must be positive");
+  }
+  // Sanity caps: a generate request is an in-memory synthesis, and strtoll
+  // saturates absurd inputs to LLONG_MAX rather than failing.
+  constexpr long long kMaxN = 1000000;
+  constexpr long long kMaxRecords = 10000000;
+  if (*n > kMaxN || *records > kMaxRecords) {
+    return Status::InvalidArgument(
+        "--n capped at " + std::to_string(kMaxN) + " and --records at " +
+        std::to_string(kMaxRecords));
+  }
+  config.n = static_cast<std::size_t>(*n);
+  config.num_records = static_cast<std::size_t>(*records);
+  config.seed = static_cast<uint64_t>(*seed);
+  auto pc = flags.GetDouble("pc", config.copy_prob);
+  auto pp = flags.GetDouble("pp", config.perturb_prob);
+  auto pb = flags.GetDouble("pb", config.bogus_prob);
+  auto m = flags.GetDouble("m", config.max_confidence);
+  if (!pc.ok()) return pc.status();
+  if (!pp.ok()) return pp.status();
+  if (!pb.ok()) return pb.status();
+  if (!m.ok()) return m.status();
+  config.copy_prob = *pc;
+  config.perturb_prob = *pp;
+  config.bogus_prob = *pb;
+  config.max_confidence = *m;
+  config.random_weights = flags.Has("random-weights");
+
+  auto data = GenerateDataset(config);
+  if (!data.ok()) return data.status();
+  Append(out, "# " + config.ToString());
+  if (flags.Has("emit-reference")) {
+    Append(out, "# reference: " + FormatRecord(data->reference));
+  }
+  *out += SaveDatabaseCsv(data->records);
+  return Status::OK();
+}
+
+Status RunAnonymize(const FlagSet& flags, std::string* out) {
+  Result<Table> table = [&]() -> Result<Table> {
+    if (flags.Has("table-csv")) {
+      return Table::FromCsv(flags.GetString("table-csv"));
+    }
+    std::string path = flags.GetString("table");
+    if (path.empty()) {
+      return Status::InvalidArgument(
+          "missing --table <csv-file> (or --table-csv)");
+    }
+    auto text = ReadFileToString(path);
+    if (!text.ok()) return text.status();
+    return Table::FromCsv(*text);
+  }();
+  if (!table.ok()) return table.status();
+
+  auto k = flags.GetInt("k", 2);
+  if (!k.ok()) return k.status();
+  if (*k < 1) return Status::InvalidArgument("--k must be >= 1");
+
+  // --qi "Zip:suffix:3,Age:interval:10[:clamp]"
+  std::string qi_spec = flags.GetString("qi");
+  if (qi_spec.empty()) {
+    return Status::InvalidArgument(
+        "missing --qi \"Col:suffix:L,Col:interval:W[:clamp],...\"");
+  }
+  std::vector<std::unique_ptr<Hierarchy>> hierarchies;
+  std::vector<QuasiIdentifier> qis;
+  std::vector<std::string> qi_columns;
+  for (const auto& entry : Split(qi_spec, ',')) {
+    auto parts = Split(entry, ':');
+    if (parts.size() < 3) {
+      return Status::InvalidArgument("bad --qi entry '" + entry +
+                                     "' (want Col:kind:arg)");
+    }
+    std::string column(Trim(parts[0]));
+    std::string kind(Trim(parts[1]));
+    long long arg = std::atoll(std::string(Trim(parts[2])).c_str());
+    if (kind == "suffix") {
+      hierarchies.push_back(
+          std::make_unique<SuffixSuppressionHierarchy>(static_cast<int>(arg)));
+    } else if (kind == "interval") {
+      long long clamp = parts.size() >= 4
+                            ? std::atoll(std::string(Trim(parts[3])).c_str())
+                            : -1;
+      hierarchies.push_back(std::make_unique<IntervalHierarchy>(
+          std::vector<long long>{arg}, clamp));
+    } else {
+      return Status::InvalidArgument("unknown hierarchy kind '" + kind +
+                                     "' (suffix|interval)");
+    }
+    qis.push_back(QuasiIdentifier{column, hierarchies.back().get()});
+    qi_columns.push_back(column);
+  }
+
+  auto result = MinimalFullDomainGeneralization(
+      *table, qis, static_cast<std::size_t>(*k));
+  if (!result.ok()) return result.status();
+  std::string levels;
+  for (std::size_t i = 0; i < qis.size(); ++i) {
+    if (i > 0) levels += ", ";
+    levels += qis[i].column + "=" + std::to_string(result->levels[i]);
+  }
+  Append(out, "minimal " + std::to_string(*k) +
+                  "-anonymous generalization: " + levels);
+  std::string sensitive = flags.GetString("sensitive");
+  if (!sensitive.empty()) {
+    auto distinct =
+        MinDistinctSensitive(result->table, qi_columns, sensitive);
+    if (!distinct.ok()) return distinct.status();
+    Append(out, "distinct l-diversity of '" + sensitive +
+                    "': " + std::to_string(*distinct));
+    auto distance =
+        MaxSensitiveDistance(result->table, qi_columns, sensitive);
+    if (!distance.ok()) return distance.status();
+    Append(out, "t-closeness (max TV distance): " +
+                    FormatDouble(*distance, 4));
+  }
+  *out += result->table.ToCsv();
+  return Status::OK();
+}
+
+Status RunDipping(const FlagSet& flags, std::string* out) {
+  auto db = LoadDb(flags);
+  if (!db.ok()) return db.status();
+  auto query = ParseRecord(flags.GetString("query-text"));
+  if (!query.ok()) return query.status();
+  if (query->empty()) {
+    return Status::InvalidArgument("missing --query-text \"{...}\"");
+  }
+  auto bundle = MakeResolver(flags);
+  if (!bundle.ok()) return bundle.status();
+  ErStats stats;
+  auto dossier = DippingResult(*db, *bundle->resolver, *query, &stats);
+  if (!dossier.ok()) return dossier.status();
+  Append(out, "query:   " + query->ToString());
+  Append(out, "dossier: " + dossier->ToString());
+  Append(out, "cost: " + std::to_string(stats.match_calls) +
+                  " match calls, " + std::to_string(stats.merge_calls) +
+                  " merges");
+  return Status::OK();
+}
+
+Status RunEnhance(const FlagSet& flags, std::string* out) {
+  auto db = LoadDb(flags);
+  if (!db.ok()) return db.status();
+  auto weights = LoadWeights(flags);
+  if (!weights.ok()) return weights.status();
+  NaiveLeakage engine;
+  auto budget = flags.GetDouble("budget", 0.0);
+  if (!budget.ok()) return budget.status();
+
+  Record rc = ComposeAll(*db);
+  Record rp = rc.WithFullConfidence();
+  auto base = engine.RecordLeakage(rc, rp, *weights);
+  if (!base.ok()) return base.status();
+  Append(out, "composite rc: " + rc.ToString());
+  Append(out, "certainty L(rc, rp) = " + FormatDouble(*base, 7));
+
+  if (*budget > 0.0) {
+    auto plan = GreedyEnhancementPlan(*db, *budget, *weights, engine);
+    if (!plan.ok()) return plan.status();
+    Append(out, "greedy plan (budget " + FormatDouble(*budget, 4) + "): " +
+                    std::to_string(plan->steps.size()) + " step(s), cost " +
+                    FormatDouble(plan->total_cost, 4) + ", certainty " +
+                    FormatDouble(plan->certainty_before, 5) + " -> " +
+                    FormatDouble(plan->certainty_after, 5));
+    for (const auto& step : plan->steps) {
+      Append(out, "  verify " + step.attribute.ToString() + " (gain " +
+                      FormatDouble(step.gain, 6) + ")");
+    }
+    return Status::OK();
+  }
+  auto ranked = RankEnhancements(*db, *weights, engine);
+  if (!ranked.ok()) return ranked.status();
+  for (const auto& opt : *ranked) {
+    Append(out, "verify " + opt.attribute.ToString() + ": gain " +
+                    FormatDouble(opt.gain, 6) + " cost " +
+                    FormatDouble(opt.cost, 4) + " ratio " +
+                    FormatDouble(opt.ratio, 6));
+  }
+  return Status::OK();
+}
+
+Status RunDisinfo(const FlagSet& flags, std::string* out) {
+  auto db = LoadDb(flags);
+  if (!db.ok()) return db.status();
+  auto reference = LoadReference(flags);
+  if (!reference.ok()) return reference.status();
+  auto weights = LoadWeights(flags);
+  if (!weights.ok()) return weights.status();
+  auto rules = ParseRules(flags.GetString("match-rules"));
+  if (!rules.ok()) return rules.status();
+  auto budget = flags.GetDouble("budget", 8.0);
+  if (!budget.ok()) return budget.status();
+  auto max_size = flags.GetInt("max-size", 4);
+  if (!max_size.ok()) return max_size.status();
+  auto max_bogus = flags.GetInt("max-bogus", 2);
+  if (!max_bogus.ok()) return max_bogus.status();
+  if (*max_size <= 0 || *max_bogus < 0) {
+    return Status::InvalidArgument("--max-size/--max-bogus must be positive");
+  }
+
+  auto bundle = MakeResolver(flags);
+  if (!bundle.ok()) return bundle.status();
+  ErOperator adversary(*bundle->resolver);
+  RuleMatchFactory factory(*rules);
+  DisinformationOptimizer optimizer(factory);
+  AutoLeakage engine;
+
+  auto candidates = optimizer.GenerateCandidates(
+      *db, *reference, static_cast<std::size_t>(*max_size),
+      static_cast<std::size_t>(*max_bogus));
+  if (!candidates.ok()) return candidates.status();
+  Append(out, "candidates: " + std::to_string(candidates->size()));
+
+  Result<DisinfoPlan> plan = Status::Internal("unset");
+  if (flags.Has("exhaustive")) {
+    plan = optimizer.OptimizeExhaustive(*db, *reference, adversary,
+                                        *candidates, *budget, *weights,
+                                        engine);
+  } else {
+    plan = optimizer.OptimizeGreedy(*db, *reference, adversary, *candidates,
+                                    *budget, *weights, engine);
+  }
+  if (!plan.ok()) return plan.status();
+  Append(out, "leakage: " + FormatDouble(plan->leakage_before, 6) + " -> " +
+                  FormatDouble(plan->leakage_after, 6) + " (cost " +
+                  FormatDouble(plan->total_cost, 4) + " of budget " +
+                  FormatDouble(*budget, 4) + ")");
+  for (const auto& chosen : plan->chosen) {
+    Append(out, "  publish [" + chosen.strategy + "] " +
+                    chosen.record.ToString());
+  }
+  return Status::OK();
+}
+
+Status RunReidentify(const FlagSet& flags, std::string* out) {
+  auto db = LoadDb(flags);
+  if (!db.ok()) return db.status();
+  auto weights = LoadWeights(flags);
+  if (!weights.ok()) return weights.status();
+  // References: one record text per line, from a file or inline.
+  std::string text;
+  if (flags.Has("references-text")) {
+    text = flags.GetString("references-text");
+  } else {
+    std::string path = flags.GetString("references");
+    if (path.empty()) {
+      return Status::InvalidArgument(
+          "missing --references <file> (one record per line) or "
+          "--references-text");
+    }
+    auto contents = ReadFileToString(path);
+    if (!contents.ok()) return contents.status();
+    text = std::move(contents).value();
+  }
+  std::vector<Record> references;
+  for (const auto& line : Split(text, '\n')) {
+    if (Trim(line).empty()) continue;
+    auto record = ParseRecord(line);
+    if (!record.ok()) return record.status();
+    references.push_back(std::move(record).value());
+  }
+  if (references.empty()) {
+    return Status::InvalidArgument("no reference records supplied");
+  }
+  AutoLeakage engine;
+  auto report = ReidentifyRecords(*db, references, *weights, engine);
+  if (!report.ok()) return report.status();
+  for (const auto& reid : report->results) {
+    Append(out, "record " + std::to_string(reid.record_index) + " -> " +
+                    (reid.predicted_person < 0
+                         ? std::string("(unattributed)")
+                         : "person " + std::to_string(reid.predicted_person)) +
+                    " score " + FormatDouble(reid.score, 5) +
+                    " (runner-up " + FormatDouble(reid.runner_up, 5) + ")");
+  }
+  Append(out, "attributed: " + std::to_string(report->attributed) + "/" +
+                  std::to_string(db->size()));
+  return Status::OK();
+}
+
+std::string UsageText() {
+  return
+      "infoleak — quantify information leakage (Whang & Garcia-Molina, "
+      "VLDB 2012)\n"
+      "\n"
+      "usage: infoleak <command> [flags]\n"
+      "\n"
+      "commands:\n"
+      "  leakage      record/set leakage of a database against a reference\n"
+      "  er           run entity resolution over a database\n"
+      "  incremental  incremental leakage of releasing one record\n"
+      "  generate     synthesize a Table-4 workload as CSV\n"
+      "  anonymize    k-anonymize a table (minimal full-domain search)\n"
+      "  dipping      resolve a query record against a database (dossier)\n"
+      "  enhance      rank attribute verifications by gain/cost\n"
+      "  disinfo      plan budgeted disinformation against an adversary\n"
+      "  reidentify   attribute each record to its best-matching reference\n"
+      "  help         this text\n"
+      "\n"
+      "see src/cli/commands.h for per-command flags.\n";
+}
+
+Status Dispatch(const std::vector<std::string>& args, std::string* out) {
+  if (args.empty() || args[0] == "help" || args[0] == "--help") {
+    *out += UsageText();
+    return Status::OK();
+  }
+  auto flags = FlagSet::Parse(
+      std::vector<std::string>(args.begin() + 1, args.end()));
+  if (!flags.ok()) return flags.status();
+  const std::string& command = args[0];
+  if (command == "leakage") return RunLeakage(*flags, out);
+  if (command == "er") return RunEr(*flags, out);
+  if (command == "incremental") return RunIncremental(*flags, out);
+  if (command == "generate") return RunGenerate(*flags, out);
+  if (command == "anonymize") return RunAnonymize(*flags, out);
+  if (command == "dipping") return RunDipping(*flags, out);
+  if (command == "enhance") return RunEnhance(*flags, out);
+  if (command == "disinfo") return RunDisinfo(*flags, out);
+  if (command == "reidentify") return RunReidentify(*flags, out);
+  *out += UsageText();
+  return Status::InvalidArgument("unknown command '" + command + "'");
+}
+
+}  // namespace infoleak::cli

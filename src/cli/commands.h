@@ -1,0 +1,52 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cli/flags.h"
+#include "util/status.h"
+
+namespace infoleak::cli {
+
+/// The `infoleak` command-line tool, exposed as a library so tests can
+/// drive it without spawning processes. Each command renders its report
+/// into `out` and returns a Status; `Dispatch` routes `args[0]` to the
+/// matching command.
+///
+/// Commands:
+///   leakage     --db <csv> --reference <file|--reference-text "{...}">
+///               [--weights N=2,..] [--engine auto|naive|exact|approx]
+///               [--beta B] [--resolve --match-rules "N|N+P" ...]
+///   er          --db <csv> --match-rules "N+C|N+P"
+///               [--resolver swoosh|transitive|blocked] [--block-labels N,P]
+///   incremental --db <csv> --reference ... --release-text "{...}"
+///               --match-rules ...
+///   generate    [--n 100] [--records 1000] [--pc ...] [--pp ...] [--pb ...]
+///               [--m ...] [--seed S] [--random-weights] [--emit-reference]
+///   anonymize   --table <csv> --qi "Zip:suffix:3,Age:interval:10:50"
+///               --k K [--sensitive Disease]
+///   dipping     --db <csv> --query-text "{...}" --match-rules ...
+///   enhance     --db <csv> [--budget B]
+///   disinfo     --db <csv> --reference ... --match-rules ...
+///               [--budget B] [--max-size S] [--max-bogus K] [--exhaustive]
+///   reidentify  --db <csv> --references <file with one record per line>
+///
+/// File-less variants for scripting/tests: --db-csv and --table-csv accept
+/// the document inline.
+
+Status Dispatch(const std::vector<std::string>& args, std::string* out);
+
+Status RunLeakage(const FlagSet& flags, std::string* out);
+Status RunEr(const FlagSet& flags, std::string* out);
+Status RunIncremental(const FlagSet& flags, std::string* out);
+Status RunGenerate(const FlagSet& flags, std::string* out);
+Status RunAnonymize(const FlagSet& flags, std::string* out);
+Status RunDipping(const FlagSet& flags, std::string* out);
+Status RunEnhance(const FlagSet& flags, std::string* out);
+Status RunDisinfo(const FlagSet& flags, std::string* out);
+Status RunReidentify(const FlagSet& flags, std::string* out);
+
+/// Usage text for `infoleak help` / bad invocations.
+std::string UsageText();
+
+}  // namespace infoleak::cli

@@ -1,0 +1,91 @@
+#include "cli/flags.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace infoleak {
+
+Result<FlagSet> FlagSet::Parse(const std::vector<std::string>& args) {
+  FlagSet out;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (!StartsWith(arg, "--")) {
+      out.positionals_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    if (body.empty()) {
+      return Status::InvalidArgument("bare '--' is not a valid flag");
+    }
+    std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      std::string name = body.substr(0, eq);
+      if (name.empty()) {
+        return Status::InvalidArgument("flag '" + arg + "' has no name");
+      }
+      out.flags_[name] = body.substr(eq + 1);
+      continue;
+    }
+    // `--name value` unless the next token is itself a flag.
+    if (i + 1 < args.size() && !StartsWith(args[i + 1], "--")) {
+      out.flags_[body] = args[i + 1];
+      ++i;
+    } else {
+      out.flags_[body] = "true";
+    }
+  }
+  return out;
+}
+
+bool FlagSet::Has(std::string_view name) const {
+  return flags_.find(name) != flags_.end();
+}
+
+std::string FlagSet::GetString(std::string_view name,
+                               std::string_view fallback) const {
+  auto it = flags_.find(name);
+  return it != flags_.end() ? it->second : std::string(fallback);
+}
+
+Result<double> FlagSet::GetDouble(std::string_view name,
+                                  double fallback) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(it->second.c_str(), &end);
+  if (it->second.empty() || end == nullptr || *end != '\0' ||
+      errno == ERANGE) {
+    return Status::InvalidArgument("flag --" + std::string(name) +
+                                   " expects a number, got '" + it->second +
+                                   "'");
+  }
+  return v;
+}
+
+Result<long long> FlagSet::GetInt(std::string_view name,
+                                  long long fallback) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (it->second.empty() || end == nullptr || *end != '\0' ||
+      errno == ERANGE) {
+    return Status::InvalidArgument("flag --" + std::string(name) +
+                                   " expects an integer, got '" +
+                                   it->second + "'");
+  }
+  return v;
+}
+
+std::vector<std::string> FlagSet::FlagNames() const {
+  std::vector<std::string> names;
+  names.reserve(flags_.size());
+  for (const auto& [name, value] : flags_) names.push_back(name);
+  return names;
+}
+
+}  // namespace infoleak

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace infoleak {
+
+/// \brief Minimal command-line flag parser for the `infoleak` tool.
+///
+/// Accepts `--name value` and `--name=value`; a flag followed by another
+/// flag (or nothing) is boolean-true. Everything before the first flag and
+/// bare arguments are positionals. Repeated flags keep the last value.
+class FlagSet {
+ public:
+  /// Parses argv-style arguments (excluding the program name).
+  static Result<FlagSet> Parse(const std::vector<std::string>& args);
+
+  bool Has(std::string_view name) const;
+
+  /// String value or `fallback` if absent.
+  std::string GetString(std::string_view name,
+                        std::string_view fallback = "") const;
+
+  /// Numeric values; InvalidArgument if present but unparsable.
+  Result<double> GetDouble(std::string_view name, double fallback) const;
+  Result<long long> GetInt(std::string_view name, long long fallback) const;
+
+  const std::vector<std::string>& positionals() const { return positionals_; }
+
+  /// Names of all flags that were set (for unknown-flag detection).
+  std::vector<std::string> FlagNames() const;
+
+ private:
+  std::map<std::string, std::string, std::less<>> flags_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace infoleak

@@ -1,0 +1,20 @@
+// Entry point of the `infoleak` command-line tool; all logic lives in the
+// testable command layer (cli/commands.h).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cli/commands.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::string out;
+  infoleak::Status status = infoleak::cli::Dispatch(args, &out);
+  std::fputs(out.c_str(), stdout);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

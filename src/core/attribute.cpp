@@ -1,0 +1,20 @@
+#include "core/attribute.h"
+
+#include "util/string_util.h"
+
+namespace infoleak {
+
+std::string Attribute::ToString() const {
+  std::string out = "<";
+  out += label;
+  out += ", ";
+  out += value;
+  if (confidence != 1.0) {
+    out += ", ";
+    out += FormatDouble(confidence, 4);
+  }
+  out += ">";
+  return out;
+}
+
+}  // namespace infoleak

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <compare>
+#include <string>
+#include <string_view>
+
+namespace infoleak {
+
+/// \brief One piece of information about a person: a label, a value, and the
+/// adversary's confidence in it (Section 2.3 of the paper).
+///
+/// Confidence is a probability in [0, 1]; attributes in a *reference* record
+/// implicitly have confidence 1. Two attributes are the same piece of
+/// information iff their (label, value) pairs are equal — confidence is not
+/// part of identity. A record may hold several attributes with the same label
+/// but different values (e.g. two reported ages).
+struct Attribute {
+  std::string label;
+  std::string value;
+  double confidence = 1.0;
+
+  Attribute() = default;
+  Attribute(std::string label_in, std::string value_in,
+            double confidence_in = 1.0)
+      : label(std::move(label_in)),
+        value(std::move(value_in)),
+        confidence(confidence_in) {}
+
+  /// Identity key: (label, value), ignoring confidence.
+  std::pair<std::string_view, std::string_view> Key() const {
+    return {label, value};
+  }
+
+  /// True iff this and `other` denote the same piece of information.
+  bool SameInfo(const Attribute& other) const {
+    return label == other.label && value == other.value;
+  }
+
+  /// Orders by (label, value); confidence is intentionally ignored so that a
+  /// record's attribute vector has a canonical order independent of belief.
+  bool operator<(const Attribute& other) const { return Key() < other.Key(); }
+
+  /// Full equality including confidence (used by tests and merge checks).
+  bool operator==(const Attribute& other) const {
+    return label == other.label && value == other.value &&
+           confidence == other.confidence;
+  }
+
+  /// Renders "<label, value>" or "<label, value, conf>" when conf != 1.
+  std::string ToString() const;
+};
+
+}  // namespace infoleak

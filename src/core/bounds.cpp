@@ -1,0 +1,43 @@
+#include "core/bounds.h"
+
+#include <algorithm>
+
+namespace infoleak {
+
+LeakageBounds BoundRecordLeakage(const Record& r, const Record& p,
+                                 const WeightModel& wm) {
+  LeakageBounds bounds;
+  const double wp = wm.TotalWeight(p);
+  if (wp <= 0.0 || r.empty()) {
+    bounds.upper = 0.0;
+    return bounds;
+  }
+
+  double mean_all = 0.0;
+  for (const auto& a : r) {
+    mean_all += wm.Weight(a.label) * a.confidence;
+  }
+
+  double lower = 0.0;
+  double expected_recall_mass = 0.0;
+  for (const auto& b : p) {
+    const Attribute* match = r.Find(b.label, b.value);
+    if (match == nullptr || match->confidence == 0.0) continue;
+    const double wb = wm.Weight(b.label);
+    const double mean = mean_all - wb * match->confidence;
+    const double denom = mean + wb + wp;
+    if (denom > 0.0) {
+      lower += 2.0 * match->confidence * wb / denom;
+    }
+    expected_recall_mass += match->confidence * wb;
+  }
+  bounds.lower = std::min(lower, 1.0);
+  // F1 ≤ 2·Re pointwise, so L ≤ 2·E[Re]; and L ≤ 1 trivially.
+  bounds.upper = std::min(1.0, 2.0 * expected_recall_mass / wp);
+  // Never report an upper bound below the proven lower bound (floating
+  // slack at the boundary).
+  bounds.upper = std::max(bounds.upper, bounds.lower);
+  return bounds;
+}
+
+}  // namespace infoleak

@@ -1,0 +1,36 @@
+#pragma once
+
+#include "core/leakage.h"
+#include "util/result.h"
+
+namespace infoleak {
+
+/// \brief Closed-form lower and upper bounds on the record leakage
+/// L(r, p) = E[F1(r̄, p)], computable in O(|p|·log|r| + |r|) — useful to
+/// bracket the exact value without enumerating worlds or to prune
+/// optimizer candidates before paying for an exact evaluation.
+///
+/// Lower bound (Jensen): conditioned on a matched attribute b being
+/// present, each term w_b/(Y + w_b + W_p) is convex in Y, so evaluating it
+/// at E[Y] (the first-order Taylor approximation) under-estimates the
+/// expectation. Summing preserves the inequality:
+///   L ≥ 2 Σ_b p(b,r) · w_b / (E[Y_b] + w_b + W_p).
+///
+/// Upper bound: pointwise F1 ≤ 2·Pr and F1 ≤ 2·Re, hence
+///   L ≤ min(2·E[Pr], 2·E[Re], 1).
+/// E[Re] is exact in closed form for arbitrary weights; for E[Pr] we use
+/// the same Jensen direction — w_b/(Y + w_b) evaluated at E[Y] lower-bounds
+/// E[Pr], so it cannot serve as an upper bound; instead we use the crisp
+/// bound E[Pr] ≤ 1 and rely on the recall term, which in leakage-style
+/// workloads (incomplete adversaries) is the binding side.
+struct LeakageBounds {
+  double lower = 0.0;
+  double upper = 1.0;
+};
+
+/// \brief Computes the bounds; arbitrary weights. Guaranteed
+/// lower ≤ L(r, p) ≤ upper (property-tested against the oracles).
+LeakageBounds BoundRecordLeakage(const Record& r, const Record& p,
+                                 const WeightModel& wm);
+
+}  // namespace infoleak

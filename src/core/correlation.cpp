@@ -1,0 +1,91 @@
+#include "core/correlation.h"
+
+#include <algorithm>
+
+namespace infoleak {
+
+Status CorrelationModel::AddGroup(Group group) {
+  if (group.members.size() < 2) {
+    return Status::InvalidArgument(
+        "a correlation group needs at least two member labels");
+  }
+  if (group.joint_label.empty()) {
+    return Status::InvalidArgument("correlation group needs a joint label");
+  }
+  if (group.joint_weight < 0.0) {
+    return Status::InvalidArgument("joint weight must be non-negative");
+  }
+  for (const auto& [label, remainder] : group.members) {
+    if (remainder.second < 0.0) {
+      return Status::InvalidArgument("remainder weight for '" + label +
+                                     "' must be non-negative");
+    }
+    if (member_to_group_.count(label) > 0) {
+      return Status::AlreadyExists("label '" + label +
+                                   "' already belongs to a group");
+    }
+    if (remainder.first.empty()) {
+      return Status::InvalidArgument("remainder label for '" + label +
+                                     "' must not be empty");
+    }
+  }
+  const std::size_t index = groups_.size();
+  for (const auto& [label, remainder] : group.members) {
+    member_to_group_[label] = index;
+  }
+  groups_.push_back(std::move(group));
+  return Status::OK();
+}
+
+bool CorrelationModel::IsCorrelated(std::string_view label) const {
+  return member_to_group_.find(label) != member_to_group_.end();
+}
+
+Record CorrelationModel::Decompose(const Record& r) const {
+  if (groups_.empty()) return r;
+  Record out;
+  for (RecordId id : r.sources()) out.AddSource(id);
+  for (const auto& a : r) {
+    auto it = member_to_group_.find(a.label);
+    if (it == member_to_group_.end()) {
+      out.Insert(a);
+      continue;
+    }
+    const Group& group = groups_[it->second];
+    const auto& remainder = group.members.at(a.label);
+    out.Insert(Attribute(remainder.first, a.value, a.confidence));
+    // Derive the joint attribute only when the value is recognized;
+    // Insert's max-confidence collision rule implements "know it once".
+    auto joint = group.joint_values.find({a.label, a.value});
+    if (joint != group.joint_values.end()) {
+      out.Insert(
+          Attribute(group.joint_label, joint->second, a.confidence));
+    }
+  }
+  return out;
+}
+
+Database CorrelationModel::Decompose(const Database& db) const {
+  if (groups_.empty()) return db;
+  Database out;
+  for (const auto& r : db) out.Add(Decompose(r));
+  return out;
+}
+
+Status CorrelationModel::ApplyWeights(WeightModel* wm) const {
+  for (const auto& group : groups_) {
+    INFOLEAK_RETURN_IF_ERROR(
+        wm->SetWeight(group.joint_label, group.joint_weight));
+    for (const auto& [label, remainder] : group.members) {
+      INFOLEAK_RETURN_IF_ERROR(
+          wm->SetWeight(remainder.first, remainder.second));
+      // The original member label should no longer carry weight directly;
+      // records are expected to be decomposed, but zeroing the raw label
+      // guards against accidentally scoring undecomposed data twice.
+      INFOLEAK_RETURN_IF_ERROR(wm->SetWeight(label, 0.0));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace infoleak

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "core/record.h"
+#include "core/weights.h"
+#include "util/result.h"
+
+namespace infoleak {
+
+/// Correlated-attribute decomposition (paper §2): "phone number and address
+/// may be correlated: if we know the phone number we may be able to narrow
+/// down the possible addresses... We can model this situation by assuming
+/// there are three attributes: J contains the joint information, A the
+/// remaining address information, and P the remaining phone information. If
+/// Eve discovers Alice's phone number, she has values for J and P; if she
+/// discovers the address, she gets J and A... Now we can provide weights
+/// for the J, A and P labels, and not double count."
+///
+/// A `CorrelationModel` holds such groups. `Decompose` rewrites a record:
+/// every attribute whose label belongs to a group contributes its remainder
+/// attribute (label', original value) plus the group's joint attribute
+/// <J_label, joint value>; multiple correlated attributes of one group
+/// contribute the joint attribute once (max confidence), which is exactly
+/// the paper's no-double-counting semantics. Weights for the joint and
+/// remainder labels are supplied by the caller via the group definition and
+/// applied to a `WeightModel` with `ApplyWeights`.
+class CorrelationModel {
+ public:
+  /// One correlated group.
+  struct Group {
+    std::string joint_label;    ///< e.g. "J_contact"
+    double joint_weight = 1.0;  ///< weight of the shared information
+    /// member label -> (remainder label, remainder weight), e.g.
+    /// "P" -> ("P_rest", 0.5), "A" -> ("A_rest", 1.0).
+    std::map<std::string, std::pair<std::string, double>> members;
+    /// Derivation table: (member label, value) -> joint value, e.g.
+    /// ("P", "555-0100") -> "downtown" and ("A", "123 Main") -> "downtown".
+    /// A member value absent from the table derives no joint attribute —
+    /// an adversary holding an unrecognized (e.g. perturbed) value cannot
+    /// extract the shared information from it, so a *wrong* phone never
+    /// earns credit for the joint knowledge.
+    std::map<std::pair<std::string, std::string>, std::string> joint_values;
+  };
+
+  /// Registers a group. Fails when a member label is already claimed by an
+  /// earlier group, when the group has fewer than two members, or when any
+  /// weight is negative.
+  Status AddGroup(Group group);
+
+  /// True iff `label` belongs to some group.
+  bool IsCorrelated(std::string_view label) const;
+
+  /// Rewrites `r` under the decomposition: each member attribute becomes
+  /// its remainder attribute (same value, same confidence) plus — when the
+  /// derivation table recognizes the value — one joint attribute
+  /// <joint_label, derived joint value>. Knowing the correct phone or the
+  /// correct address thus yields the *same* joint attribute (counted once,
+  /// max confidence), while unrecognized values contribute only their
+  /// remainder: the paper's no-double-counting semantics.
+  Record Decompose(const Record& r) const;
+
+  /// Decomposes every record of a database (provenance preserved).
+  Database Decompose(const Database& db) const;
+
+  /// Writes the joint and remainder label weights into `wm`.
+  Status ApplyWeights(WeightModel* wm) const;
+
+  std::size_t num_groups() const { return groups_.size(); }
+
+ private:
+  std::vector<Group> groups_;
+  // member label -> group index
+  std::map<std::string, std::size_t, std::less<>> member_to_group_;
+};
+
+}  // namespace infoleak

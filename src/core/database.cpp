@@ -1,0 +1,59 @@
+#include "core/database.h"
+
+#include "util/string_util.h"
+
+namespace infoleak {
+
+Database::Database(std::vector<Record> records) {
+  for (auto& r : records) Add(std::move(r));
+}
+
+RecordId Database::Add(Record record) {
+  // Fresh records are stamped with the next id; records that already carry
+  // provenance (e.g. composites produced by entity resolution) keep their
+  // sources untouched, and the id counter is advanced past them so later
+  // fresh additions cannot collide.
+  if (record.sources().empty()) {
+    RecordId id = next_id_++;
+    record.AddSource(id);
+    records_.push_back(std::move(record));
+    return id;
+  }
+  RecordId max_source = record.sources().back();
+  if (max_source != kNoRecordId && max_source >= next_id_) {
+    next_id_ = max_source + 1;
+  }
+  RecordId first = record.sources().front();
+  records_.push_back(std::move(record));
+  return first;
+}
+
+Result<Record> Database::FindBySource(RecordId id) const {
+  for (const auto& r : records_) {
+    if (r.HasSource(id)) return r;
+  }
+  return Status::NotFound("no record with source id " + std::to_string(id));
+}
+
+std::size_t Database::TotalAttributes() const {
+  std::size_t n = 0;
+  for (const auto& r : records_) n += r.size();
+  return n;
+}
+
+Database Database::WithRecord(const Record& record) const {
+  Database out = *this;
+  out.Add(record);
+  return out;
+}
+
+std::string Database::ToString() const {
+  std::string out;
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    out += StrCat("r", std::to_string(i), " = ", records_[i].ToString(),
+                  "\n");
+  }
+  return out;
+}
+
+}  // namespace infoleak

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/record.h"
+#include "util/result.h"
+
+namespace infoleak {
+
+/// \brief The adversary's database `R`: an ordered collection of records.
+///
+/// Each added record is stamped with a fresh `RecordId` which also becomes a
+/// provenance source, so that after entity resolution one can ask which
+/// merged record a given base record ended up in (used by dipping queries and
+/// by the disinformation optimizer).
+class Database {
+ public:
+  Database() = default;
+
+  /// Builds a database from records, assigning ids 0..n-1.
+  explicit Database(std::vector<Record> records);
+
+  /// Adds a record. A record without provenance is stamped with the next
+  /// fresh id (returned); a record that already carries sources (e.g. an
+  /// entity-resolution composite) keeps them, and the first source id is
+  /// returned.
+  RecordId Add(Record record);
+
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  const Record& operator[](std::size_t index) const { return records_[index]; }
+  const std::vector<Record>& records() const { return records_; }
+  auto begin() const { return records_.begin(); }
+  auto end() const { return records_.end(); }
+
+  /// Finds the (first) record whose provenance contains `id`; after an
+  /// entity-resolution pass each base id appears in exactly one record.
+  Result<Record> FindBySource(RecordId id) const;
+
+  /// Total number of attributes across all records.
+  std::size_t TotalAttributes() const;
+
+  /// Returns a copy of this database with `record` appended — the paper's
+  /// `R ∪ {r}` used by incremental leakage.
+  Database WithRecord(const Record& record) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Record> records_;
+  RecordId next_id_ = 0;
+};
+
+}  // namespace infoleak

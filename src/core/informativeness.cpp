@@ -1,0 +1,139 @@
+#include "core/informativeness.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/measures.h"
+#include "core/possible_worlds.h"
+
+namespace infoleak {
+
+void ValueDistribution::Observe(std::string_view label,
+                                std::string_view value) {
+  auto& stats = labels_[std::string(label)];
+  ++stats.counts[std::string(value)];
+  ++stats.total;
+}
+
+void ValueDistribution::ObserveDatabase(const Database& db) {
+  for (const auto& r : db) {
+    for (const auto& a : r) Observe(a.label, a.value);
+  }
+}
+
+double ValueDistribution::Probability(std::string_view label,
+                                      std::string_view value) const {
+  auto it = labels_.find(label);
+  if (it == labels_.end()) return 0.5;  // no knowledge: coin-flip pseudo-mass
+  const LabelStats& stats = it->second;
+  auto vit = stats.counts.find(value);
+  const double count =
+      vit != stats.counts.end() ? static_cast<double>(vit->second) : 0.0;
+  return (count + 1.0) /
+         (static_cast<double>(stats.total + stats.counts.size()) + 1.0);
+}
+
+double ValueDistribution::Surprisal(std::string_view label,
+                                    std::string_view value) const {
+  return -std::log(Probability(label, value));
+}
+
+double ValueDistribution::MeanSurprisal(std::string_view label) const {
+  auto it = labels_.find(label);
+  if (it == labels_.end() || it->second.total == 0) return 1.0;
+  const LabelStats& stats = it->second;
+  double total = 0.0;
+  for (const auto& [value, count] : stats.counts) {
+    total += static_cast<double>(count) * Surprisal(label, value);
+  }
+  return total / static_cast<double>(stats.total);
+}
+
+std::size_t ValueDistribution::TotalObservations(
+    std::string_view label) const {
+  auto it = labels_.find(label);
+  return it == labels_.end() ? 0 : it->second.total;
+}
+
+InformativenessWeigher::InformativenessWeigher(
+    const WeightModel& base, const ValueDistribution& distribution,
+    double min_scale, double max_scale)
+    : base_(base),
+      distribution_(distribution),
+      min_scale_(std::max(0.0, min_scale)),
+      max_scale_(std::max(min_scale_, max_scale)) {}
+
+double InformativenessWeigher::Weight(std::string_view label,
+                                      std::string_view value) const {
+  const double base = base_.Weight(label);
+  if (distribution_.TotalObservations(label) == 0) return base;
+  const double mean = distribution_.MeanSurprisal(label);
+  if (mean <= 0.0) return base;
+  const double scale = std::clamp(distribution_.Surprisal(label, value) / mean,
+                                  min_scale_, max_scale_);
+  return base * scale;
+}
+
+double InformativenessWeigher::Weight(const Attribute& a) const {
+  return Weight(a.label, a.value);
+}
+
+double InformativenessWeigher::TotalWeight(const Record& r) const {
+  double total = 0.0;
+  for (const auto& a : r) total += Weight(a);
+  return total;
+}
+
+double InformativenessWeigher::OverlapWeight(const Record& r,
+                                             const Record& p) const {
+  double total = 0.0;
+  auto it_r = r.begin();
+  auto it_p = p.begin();
+  while (it_r != r.end() && it_p != p.end()) {
+    if (it_r->Key() < it_p->Key()) {
+      ++it_r;
+    } else if (it_p->Key() < it_r->Key()) {
+      ++it_p;
+    } else {
+      total += Weight(*it_r);
+      ++it_r;
+      ++it_p;
+    }
+  }
+  return total;
+}
+
+double InformedPrecision(const Record& r, const Record& p,
+                         const InformativenessWeigher& weigher) {
+  double denom = weigher.TotalWeight(r);
+  if (denom <= 0.0) return 0.0;
+  return weigher.OverlapWeight(r, p) / denom;
+}
+
+double InformedRecall(const Record& r, const Record& p,
+                      const InformativenessWeigher& weigher) {
+  double denom = weigher.TotalWeight(p);
+  if (denom <= 0.0) return 0.0;
+  return weigher.OverlapWeight(r, p) / denom;
+}
+
+double InformedRecordLeakageNoConfidence(const Record& r, const Record& p,
+                                         const InformativenessWeigher& w) {
+  return F1(InformedPrecision(r, p, w), InformedRecall(r, p, w));
+}
+
+Result<double> InformedRecordLeakage(const Record& r, const Record& p,
+                                     const InformativenessWeigher& weigher,
+                                     std::size_t max_attributes) {
+  double total = 0.0;
+  Status st = ForEachPossibleWorld(
+      r,
+      [&](const Record& world, double prob) {
+        total += prob * InformedRecordLeakageNoConfidence(world, p, weigher);
+      },
+      max_attributes);
+  if (!st.ok()) return st;
+  return total;
+}
+
+}  // namespace infoleak

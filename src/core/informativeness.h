@@ -1,0 +1,96 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "core/database.h"
+#include "core/record.h"
+#include "core/weights.h"
+#include "util/result.h"
+
+namespace infoleak {
+
+/// Statistical-background-knowledge extension of §2.1: "knowing that
+/// someone has an average age may be less leakage than knowing that
+/// someone has an exceptional age". A `ValueDistribution` learned from a
+/// population scores each (label, value) by its self-information; an
+/// `InformativenessWeigher` scales the label weight by how surprising the
+/// value is, so rare values contribute more leakage than common ones.
+
+/// \brief Empirical distribution of values per label, with add-one
+/// smoothing so unseen values get finite (maximal) surprisal.
+class ValueDistribution {
+ public:
+  /// Counts one observation of (label, value).
+  void Observe(std::string_view label, std::string_view value);
+
+  /// Counts every attribute of every record.
+  void ObserveDatabase(const Database& db);
+
+  /// Smoothed probability of `value` under `label`:
+  /// (count + 1) / (total + distinct + 1). Labels never observed yield
+  /// 1/2 (one pseudo-observation out of two).
+  double Probability(std::string_view label, std::string_view value) const;
+
+  /// Self-information −ln P(value | label), ≥ 0.
+  double Surprisal(std::string_view label, std::string_view value) const;
+
+  /// Mean surprisal of the observed values of `label` (its empirical
+  /// entropy-ish normalizer); 1.0 for unobserved labels.
+  double MeanSurprisal(std::string_view label) const;
+
+  std::size_t TotalObservations(std::string_view label) const;
+
+ private:
+  struct LabelStats {
+    std::map<std::string, std::size_t, std::less<>> counts;
+    std::size_t total = 0;
+  };
+  std::map<std::string, LabelStats, std::less<>> labels_;
+};
+
+/// \brief Per-attribute weight: label weight × value informativeness.
+///
+/// The scale factor is surprisal / mean-surprisal for the label, clamped to
+/// [min_scale, max_scale]: an average value keeps roughly its base weight,
+/// a rare value weighs more, a ubiquitous value less. Labels without
+/// observations keep their base weight exactly.
+class InformativenessWeigher {
+ public:
+  InformativenessWeigher(const WeightModel& base,
+                         const ValueDistribution& distribution,
+                         double min_scale = 0.25, double max_scale = 4.0);
+
+  /// Effective weight of one attribute.
+  double Weight(const Attribute& a) const;
+  double Weight(std::string_view label, std::string_view value) const;
+
+  double TotalWeight(const Record& r) const;
+  double OverlapWeight(const Record& r, const Record& p) const;
+
+ private:
+  const WeightModel& base_;
+  const ValueDistribution& distribution_;
+  double min_scale_;
+  double max_scale_;
+};
+
+/// Informativeness-aware measures (exact attribute matching, surprisal-
+/// scaled weights). With an empty distribution they reduce to the base
+/// measures.
+
+double InformedPrecision(const Record& r, const Record& p,
+                         const InformativenessWeigher& weigher);
+double InformedRecall(const Record& r, const Record& p,
+                      const InformativenessWeigher& weigher);
+double InformedRecordLeakageNoConfidence(const Record& r, const Record& p,
+                                         const InformativenessWeigher& w);
+
+/// \brief E[informed-L0(r̄, p)] by possible-world enumeration (per-value
+/// weights rule out Algorithm 1's constant-weight shortcut).
+Result<double> InformedRecordLeakage(const Record& r, const Record& p,
+                                     const InformativenessWeigher& weigher,
+                                     std::size_t max_attributes = 25);
+
+}  // namespace infoleak

@@ -1,0 +1,305 @@
+#include "core/leakage.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "core/polynomial.h"
+#include "core/possible_worlds.h"
+
+namespace infoleak {
+namespace {
+
+/// Shared core of Algorithm 1. Computes
+///   factor · Σ_{b∈p} p(b,r) · ∫₀¹ t^m · Π_{a∈z}(c_a·t + 1−c_a) dt
+/// where z = r without the attribute matching b. With m = |p| and
+/// factor = 2 this is L(r, p); with m = 0 and factor = 1 it is E[Pr].
+double ExactSum(const Record& r, const Record& p, double m,
+                double factor) {
+  double total = 0.0;
+  std::vector<double> y;  // hoisted: one allocation across all b ∈ p
+  y.reserve(r.size() + 1);
+  for (const auto& b : p) {
+    const double pb = r.Confidence(b.label, b.value);
+    if (pb == 0.0) continue;  // zero-confidence terms contribute nothing
+    y.assign(1, 1.0);
+    for (const auto& a : r) {
+      if (a.SameInfo(b)) continue;
+      // In-place Poly::MultiplyBernoulli: z[k] = c·y[k] + (1−c)·y[k−1],
+      // computed back to front so y can be updated without a scratch list.
+      const double c = a.confidence;
+      y.push_back(0.0);
+      for (std::size_t k = y.size() - 1; k > 0; --k) {
+        y[k] = c * y[k] + (1.0 - c) * y[k - 1];
+      }
+      y[0] *= c;
+    }
+    total += factor * pb * Poly::IntegrateAgainstPower(y, m);
+  }
+  return total;
+}
+
+/// Shared core of the §5.2 Taylor approximation. Approximates
+///   factor · Σ_{b∈p} p(b,r) · E[w_b / (Y + w_b + base)]
+/// where Y = Σ_{a∈r̄\{b}} w_a and base = Σ_{a∈p} w_a for leakage
+/// (factor 2) or 0 for precision (factor 1).
+double ApproxSum(const Record& r, const Record& p, const WeightModel& wm,
+                 double base, double factor, int order) {
+  // Precompute the moments of the full record once; per-b values follow by
+  // removing the matched attribute's contribution, giving O(|p|·log|r| + |r|).
+  double mean_all = 0.0;
+  double var_all = 0.0;
+  for (const auto& a : r) {
+    const double w = wm.Weight(a.label);
+    mean_all += w * a.confidence;
+    var_all += w * w * a.confidence * (1.0 - a.confidence);
+  }
+  double total = 0.0;
+  for (const auto& b : p) {
+    const Attribute* match = r.Find(b.label, b.value);
+    if (match == nullptr || match->confidence == 0.0) continue;
+    const double pb = match->confidence;
+    const double wb = wm.Weight(b.label);
+    const double wm_match = wm.Weight(match->label);  // == wb (same label)
+    const double mean =
+        mean_all - wm_match * match->confidence;
+    const double var = var_all - wm_match * wm_match * match->confidence *
+                                     (1.0 - match->confidence);
+    const double denom = mean + wb + base;
+    if (denom <= 0.0) continue;
+    double term = wb / denom;
+    if (order >= 2) term += wb / (denom * denom * denom) * var;
+    total += factor * pb * term;
+  }
+  return total;
+}
+
+}  // namespace
+
+Result<double> LeakageEngine::ExpectedRecall(const Record& r, const Record& p,
+                                             const WeightModel& wm) const {
+  // Recall is linear in the inclusion indicators, so the expectation is
+  // exact for every engine: E[Re] = Σ_{b∈p} p(b,r)·w_b / Σ_{b∈p} w_b.
+  const double denom = wm.TotalWeight(p);
+  if (denom <= 0.0) return 0.0;
+  double num = 0.0;
+  for (const auto& b : p) {
+    num += r.Confidence(b.label, b.value) * wm.Weight(b.label);
+  }
+  return num / denom;
+}
+
+// ---------------------------------------------------------------------------
+// NaiveLeakage
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Per-attribute data the naive enumeration needs; extracting it once keeps
+/// the 2^|r| loop allocation-free (a Record per world would dominate).
+struct NaiveSetup {
+  std::vector<double> weight;
+  std::vector<double> confidence;
+  std::vector<bool> matched;  // (label, value) present in p
+};
+
+NaiveSetup PrepareNaive(const Record& r, const Record& p,
+                        const WeightModel& wm) {
+  NaiveSetup s;
+  s.weight.reserve(r.size());
+  s.confidence.reserve(r.size());
+  s.matched.reserve(r.size());
+  for (const auto& a : r) {
+    s.weight.push_back(wm.Weight(a.label));
+    s.confidence.push_back(a.confidence);
+    s.matched.push_back(p.Contains(a.label, a.value));
+  }
+  return s;
+}
+
+/// Enumerates all 2^|r| worlds (the paper's O(2^|r|·|r|) naive algorithm)
+/// and returns E[factor·overlap/(total_r + base)], covering both F1
+/// (base = W(p), factor = 2) and precision (base = 0, factor = 1).
+Result<double> NaiveEnumerate(const Record& r, const Record& p,
+                              const WeightModel& wm, double base,
+                              double factor, std::size_t max_attributes) {
+  if (max_attributes > kMaxEnumerableAttributes) {
+    max_attributes = kMaxEnumerableAttributes;
+  }
+  if (r.size() > max_attributes) {
+    return Status::ResourceExhausted(
+        "record has " + std::to_string(r.size()) +
+        " attributes; naive enumeration capped at " +
+        std::to_string(max_attributes));
+  }
+  const NaiveSetup s = PrepareNaive(r, p, wm);
+  const std::size_t n = s.weight.size();
+  double total = 0.0;
+  const uint64_t worlds = uint64_t{1} << n;
+  for (uint64_t mask = 0; mask < worlds; ++mask) {
+    double prob = 1.0;
+    double weight_r = 0.0;
+    double overlap = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (uint64_t{1} << i)) {
+        prob *= s.confidence[i];
+        weight_r += s.weight[i];
+        if (s.matched[i]) overlap += s.weight[i];
+      } else {
+        prob *= 1.0 - s.confidence[i];
+      }
+    }
+    const double denom = weight_r + base;
+    if (denom > 0.0) total += prob * factor * overlap / denom;
+  }
+  return total;
+}
+
+}  // namespace
+
+Result<double> NaiveLeakage::RecordLeakage(const Record& r, const Record& p,
+                                           const WeightModel& wm) const {
+  return NaiveEnumerate(r, p, wm, /*base=*/wm.TotalWeight(p), /*factor=*/2.0,
+                        max_attributes_);
+}
+
+Result<double> NaiveLeakage::ExpectedPrecision(const Record& r,
+                                               const Record& p,
+                                               const WeightModel& wm) const {
+  return NaiveEnumerate(r, p, wm, /*base=*/0.0, /*factor=*/1.0,
+                        max_attributes_);
+}
+
+// ---------------------------------------------------------------------------
+// ExactLeakage (Algorithm 1)
+// ---------------------------------------------------------------------------
+
+Result<double> ExactLeakage::RecordLeakage(const Record& r, const Record& p,
+                                           const WeightModel& wm) const {
+  if (!wm.IsConstantOver(r, p)) {
+    return Status::InvalidArgument(
+        "Algorithm 1 requires a constant weight across the labels of r and "
+        "p; use ApproxLeakage or NaiveLeakage for arbitrary weights");
+  }
+  return ExactSum(r, p, /*m=*/static_cast<double>(p.size()),
+                  /*factor=*/2.0);
+}
+
+Result<double> ExactLeakage::ExpectedPrecision(const Record& r,
+                                               const Record& p,
+                                               const WeightModel& wm) const {
+  if (!wm.IsConstantOver(r, p)) {
+    return Status::InvalidArgument(
+        "exact expected precision requires constant weights");
+  }
+  return ExactSum(r, p, /*m=*/0, /*factor=*/1.0);
+}
+
+// ---------------------------------------------------------------------------
+// ApproxLeakage (§5.2)
+// ---------------------------------------------------------------------------
+
+Result<double> ApproxLeakage::RecordLeakage(const Record& r, const Record& p,
+                                            const WeightModel& wm) const {
+  return ApproxSum(r, p, wm, /*base=*/wm.TotalWeight(p), /*factor=*/2.0,
+                   order_);
+}
+
+Result<double> ApproxLeakage::ExpectedPrecision(const Record& r,
+                                                const Record& p,
+                                                const WeightModel& wm) const {
+  return ApproxSum(r, p, wm, /*base=*/0.0, /*factor=*/1.0, order_);
+}
+
+// ---------------------------------------------------------------------------
+// AutoLeakage
+// ---------------------------------------------------------------------------
+
+const LeakageEngine& AutoLeakage::Pick(const Record& r, const Record& p,
+                                       const WeightModel& wm) const {
+  if (wm.IsConstantOver(r, p)) return exact_;
+  if (r.size() <= naive_cutoff_) return naive_;
+  return approx_;
+}
+
+Result<double> AutoLeakage::RecordLeakage(const Record& r, const Record& p,
+                                          const WeightModel& wm) const {
+  return Pick(r, p, wm).RecordLeakage(r, p, wm);
+}
+
+Result<double> AutoLeakage::ExpectedPrecision(const Record& r,
+                                              const Record& p,
+                                              const WeightModel& wm) const {
+  return Pick(r, p, wm).ExpectedPrecision(r, p, wm);
+}
+
+// ---------------------------------------------------------------------------
+// Set leakage
+// ---------------------------------------------------------------------------
+
+Result<double> SetLeakageArgMax(const Database& db, const Record& p,
+                                const WeightModel& wm,
+                                const LeakageEngine& engine,
+                                std::ptrdiff_t* argmax) {
+  double best = 0.0;
+  std::ptrdiff_t best_index = -1;
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    Result<double> l = engine.RecordLeakage(db[i], p, wm);
+    if (!l.ok()) return l.status();
+    if (best_index < 0 || *l > best) {
+      best = *l;
+      best_index = static_cast<std::ptrdiff_t>(i);
+    }
+  }
+  if (argmax != nullptr) *argmax = best_index;
+  return best_index < 0 ? 0.0 : best;
+}
+
+Result<double> SetLeakage(const Database& db, const Record& p,
+                          const WeightModel& wm,
+                          const LeakageEngine& engine) {
+  return SetLeakageArgMax(db, p, wm, engine, nullptr);
+}
+
+Result<double> SetLeakageParallel(const Database& db, const Record& p,
+                                  const WeightModel& wm,
+                                  const LeakageEngine& engine,
+                                  std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  num_threads = std::min<std::size_t>(num_threads, db.size());
+  if (num_threads <= 1) return SetLeakage(db, p, wm, engine);
+
+  std::vector<double> best(num_threads, 0.0);
+  std::vector<Status> errors(num_threads, Status::OK());
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  for (std::size_t t = 0; t < num_threads; ++t) {
+    workers.emplace_back([&, t] {
+      // Strided partition keeps per-thread work balanced when record sizes
+      // trend across the database.
+      for (std::size_t i = t; i < db.size(); i += num_threads) {
+        Result<double> l = engine.RecordLeakage(db[i], p, wm);
+        if (!l.ok()) {
+          errors[t] = l.status();
+          return;
+        }
+        best[t] = std::max(best[t], *l);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (const auto& st : errors) {
+    if (!st.ok()) return st;
+  }
+  double total = 0.0;
+  for (double b : best) total = std::max(total, b);
+  return total;
+}
+
+std::unique_ptr<LeakageEngine> MakeDefaultEngine() {
+  return std::make_unique<AutoLeakage>();
+}
+
+}  // namespace infoleak

@@ -1,0 +1,151 @@
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "core/database.h"
+#include "core/measures.h"
+#include "core/record.h"
+#include "core/weights.h"
+#include "util/result.h"
+
+namespace infoleak {
+
+/// \brief Computes the record leakage L(r, p) of Definition 2.1 — the
+/// expected F1 of a possible world of `r` against the reference `p` — plus
+/// the expected-precision / expected-recall variants the paper mentions.
+///
+/// Three implementations reproduce §5:
+///  * NaiveLeakage  — enumerates all 2^|r| possible worlds; arbitrary
+///                    weights; exact; the correctness oracle.
+///  * ExactLeakage  — Algorithm 1; O(|p|·|r|²); exact, but requires one
+///                    constant weight across all labels in r and p.
+///  * ApproxLeakage — second-order Taylor expansion; O(|p|·|r|); arbitrary
+///                    weights; highly accurate in practice (Table 5).
+class LeakageEngine {
+ public:
+  virtual ~LeakageEngine() = default;
+
+  /// Engine name for benchmark tables ("naive", "exact", "approx", "auto").
+  virtual std::string_view name() const = 0;
+
+  /// L(r, p) = E[F1(r̄, p)] over the possible worlds r̄ of r.
+  virtual Result<double> RecordLeakage(const Record& r, const Record& p,
+                                       const WeightModel& wm) const = 0;
+
+  /// E[Pr(r̄, p)]: Definition 2.1 with F1 replaced by precision.
+  virtual Result<double> ExpectedPrecision(const Record& r, const Record& p,
+                                           const WeightModel& wm) const = 0;
+
+  /// E[Re(r̄, p)]: Definition 2.1 with F1 replaced by recall. Recall is
+  /// linear in the attribute indicators, so every engine computes it
+  /// exactly: Σ_{b∈p} p(b,r)·w_b / Σ_{b∈p} w_b.
+  virtual Result<double> ExpectedRecall(const Record& r, const Record& p,
+                                        const WeightModel& wm) const;
+};
+
+/// \brief Exponential-time oracle: enumerates possible worlds (§5's naive
+/// algorithm, O(2^|r|·|r|)). Refuses records larger than `max_attributes`.
+class NaiveLeakage : public LeakageEngine {
+ public:
+  explicit NaiveLeakage(std::size_t max_attributes = 25)
+      : max_attributes_(max_attributes) {}
+
+  std::string_view name() const override { return "naive"; }
+  Result<double> RecordLeakage(const Record& r, const Record& p,
+                               const WeightModel& wm) const override;
+  Result<double> ExpectedPrecision(const Record& r, const Record& p,
+                                   const WeightModel& wm) const override;
+
+ private:
+  std::size_t max_attributes_;
+};
+
+/// \brief Algorithm 1 (§5.1): exact record leakage in O(|p|·|r|²) time via
+/// polynomial-coefficient integration. Requires all labels occurring in `r`
+/// and `p` to carry one common weight (the weight value itself cancels);
+/// returns InvalidArgument otherwise.
+class ExactLeakage : public LeakageEngine {
+ public:
+  std::string_view name() const override { return "exact"; }
+  Result<double> RecordLeakage(const Record& r, const Record& p,
+                               const WeightModel& wm) const override;
+  Result<double> ExpectedPrecision(const Record& r, const Record& p,
+                                   const WeightModel& wm) const override;
+};
+
+/// \brief Second-order Taylor approximation (§5.2): O(|p|·|r|) time,
+/// arbitrary weights. Approximates E[w_b/(Y+c)] by
+/// w_b/(E[Y]+c) + w_b·Var[Y]/(E[Y]+c)³ with Y the total believed weight of
+/// r̄ minus the matched attribute.
+///
+/// `order` selects the Taylor truncation: 1 keeps only the mean term
+/// (F(E[Y])), 2 (the paper's choice, default) adds the variance correction.
+/// The ablation benchmark quantifies what the second term buys.
+class ApproxLeakage : public LeakageEngine {
+ public:
+  explicit ApproxLeakage(int order = 2) : order_(order < 2 ? 1 : 2) {}
+
+  std::string_view name() const override {
+    return order_ == 2 ? "approx" : "approx-o1";
+  }
+  Result<double> RecordLeakage(const Record& r, const Record& p,
+                               const WeightModel& wm) const override;
+  Result<double> ExpectedPrecision(const Record& r, const Record& p,
+                                   const WeightModel& wm) const override;
+
+ private:
+  int order_;
+};
+
+/// \brief Dispatching engine: Algorithm 1 when the weight model is constant
+/// over (r, p); the naive oracle when the record is small enough to
+/// enumerate; the Taylor approximation otherwise. This is the engine most
+/// applications should use.
+class AutoLeakage : public LeakageEngine {
+ public:
+  explicit AutoLeakage(std::size_t naive_cutoff = 16)
+      : naive_(naive_cutoff), naive_cutoff_(naive_cutoff) {}
+
+  std::string_view name() const override { return "auto"; }
+  Result<double> RecordLeakage(const Record& r, const Record& p,
+                               const WeightModel& wm) const override;
+  Result<double> ExpectedPrecision(const Record& r, const Record& p,
+                                   const WeightModel& wm) const override;
+
+ private:
+  const LeakageEngine& Pick(const Record& r, const Record& p,
+                            const WeightModel& wm) const;
+
+  NaiveLeakage naive_;
+  ExactLeakage exact_;
+  ApproxLeakage approx_;
+  std::size_t naive_cutoff_;
+};
+
+/// \brief Basic set leakage L0(R, p) = max_{r∈R} L(r, p) (§2.3); 0 for an
+/// empty database.
+Result<double> SetLeakage(const Database& db, const Record& p,
+                          const WeightModel& wm, const LeakageEngine& engine);
+
+/// \brief As SetLeakage, but also reports which record attains the maximum
+/// (index into `db`, or -1 for an empty database).
+Result<double> SetLeakageArgMax(const Database& db, const Record& p,
+                                const WeightModel& wm,
+                                const LeakageEngine& engine,
+                                std::ptrdiff_t* argmax);
+
+/// \brief Parallel set leakage: partitions the database across
+/// `num_threads` worker threads (hardware concurrency when 0) and reduces
+/// by maximum. The maximum is order-independent, so the result is
+/// bit-identical to SetLeakage; engines are stateless and safe to share.
+/// Worthwhile from a few thousand record-leakage evaluations upward.
+Result<double> SetLeakageParallel(const Database& db, const Record& p,
+                                  const WeightModel& wm,
+                                  const LeakageEngine& engine,
+                                  std::size_t num_threads = 0);
+
+/// \brief Convenience factory for the dispatching engine.
+std::unique_ptr<LeakageEngine> MakeDefaultEngine();
+
+}  // namespace infoleak

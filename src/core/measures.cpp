@@ -1,0 +1,37 @@
+#include "core/measures.h"
+
+namespace infoleak {
+
+double Precision(const Record& r, const Record& p, const WeightModel& wm) {
+  double denom = wm.TotalWeight(r);
+  if (denom <= 0.0) return 0.0;
+  return wm.OverlapWeight(r, p) / denom;
+}
+
+double Recall(const Record& r, const Record& p, const WeightModel& wm) {
+  double denom = wm.TotalWeight(p);
+  if (denom <= 0.0) return 0.0;
+  return wm.OverlapWeight(r, p) / denom;
+}
+
+double FBeta(double precision, double recall, double beta) {
+  double b2 = beta * beta;
+  double denom = b2 * precision + recall;
+  if (denom <= 0.0) return 0.0;
+  return (b2 + 1.0) * precision * recall / denom;
+}
+
+double F1(double precision, double recall) {
+  return FBeta(precision, recall, 1.0);
+}
+
+double RecordLeakageNoConfidence(const Record& r, const Record& p,
+                                 const WeightModel& wm) {
+  // Equivalent to F1(Pr, Re) but computed in one pass:
+  // 2·Σ_{a∈r∩p} w / (Σ_{a∈r} w + Σ_{a∈p} w).
+  double denom = wm.TotalWeight(r) + wm.TotalWeight(p);
+  if (denom <= 0.0) return 0.0;
+  return 2.0 * wm.OverlapWeight(r, p) / denom;
+}
+
+}  // namespace infoleak

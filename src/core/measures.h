@@ -1,0 +1,33 @@
+#pragma once
+
+#include "core/record.h"
+#include "core/weights.h"
+
+namespace infoleak {
+
+/// Correctness / completeness measures of §2.1–2.2. All functions treat both
+/// records as certain (confidences ignored); the possible-worlds machinery in
+/// leakage.h layers uncertainty on top of these.
+
+/// \brief Precision of `r` against reference `p`:
+/// Σ_{a∈r∩p} w / Σ_{a∈r} w, or 0 when the denominator is 0.
+double Precision(const Record& r, const Record& p, const WeightModel& wm);
+
+/// \brief Recall of `r` against reference `p`:
+/// Σ_{a∈r∩p} w / Σ_{a∈p} w, or 0 when the denominator is 0.
+double Recall(const Record& r, const Record& p, const WeightModel& wm);
+
+/// \brief Weighted harmonic mean F_β = (β²+1)·Pr·Re / (β²·Pr + Re);
+/// 0 when both inputs are 0. β > 1 emphasizes recall.
+double FBeta(double precision, double recall, double beta);
+
+/// \brief F1 = harmonic mean of precision and recall.
+double F1(double precision, double recall);
+
+/// \brief The paper's L0(r, p): record leakage without confidences,
+/// F1(Pr(r,p), Re(r,p)). For equal weights this simplifies to
+/// 2·|r∩p| / (|r| + |p|).
+double RecordLeakageNoConfidence(const Record& r, const Record& p,
+                                 const WeightModel& wm);
+
+}  // namespace infoleak

@@ -1,0 +1,73 @@
+#include "core/monte_carlo.h"
+
+#include <cmath>
+
+namespace infoleak {
+
+Result<MonteCarloLeakage::Estimate> MonteCarloLeakage::Run(
+    const Record& r, const Record& p, const WeightModel& wm, double base,
+    double factor) const {
+  // Per-attribute data once; each sample is then O(|r|) flips.
+  std::vector<double> weight;
+  std::vector<double> confidence;
+  std::vector<bool> matched;
+  weight.reserve(r.size());
+  confidence.reserve(r.size());
+  matched.reserve(r.size());
+  for (const auto& a : r) {
+    weight.push_back(wm.Weight(a.label));
+    confidence.push_back(a.confidence);
+    matched.push_back(p.Contains(a.label, a.value));
+  }
+
+  Rng rng(seed_);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (std::size_t s = 0; s < samples_; ++s) {
+    double weight_r = 0.0;
+    double overlap = 0.0;
+    for (std::size_t i = 0; i < weight.size(); ++i) {
+      if (rng.Bernoulli(confidence[i])) {
+        weight_r += weight[i];
+        if (matched[i]) overlap += weight[i];
+      }
+    }
+    const double denom = weight_r + base;
+    const double value = denom > 0.0 ? factor * overlap / denom : 0.0;
+    sum += value;
+    sum_sq += value * value;
+  }
+  Estimate est;
+  est.samples = samples_;
+  est.mean = sum / static_cast<double>(samples_);
+  if (samples_ > 1) {
+    double variance =
+        (sum_sq - sum * sum / static_cast<double>(samples_)) /
+        static_cast<double>(samples_ - 1);
+    est.standard_error =
+        std::sqrt(std::max(0.0, variance) / static_cast<double>(samples_));
+  }
+  return est;
+}
+
+Result<MonteCarloLeakage::Estimate> MonteCarloLeakage::EstimateLeakage(
+    const Record& r, const Record& p, const WeightModel& wm) const {
+  return Run(r, p, wm, /*base=*/wm.TotalWeight(p), /*factor=*/2.0);
+}
+
+Result<double> MonteCarloLeakage::RecordLeakage(const Record& r,
+                                                const Record& p,
+                                                const WeightModel& wm) const {
+  auto est = EstimateLeakage(r, p, wm);
+  if (!est.ok()) return est.status();
+  return est->mean;
+}
+
+Result<double> MonteCarloLeakage::ExpectedPrecision(
+    const Record& r, const Record& p, const WeightModel& wm) const {
+  auto est = Run(r, p, wm, /*base=*/0.0, /*factor=*/1.0);
+  if (!est.ok()) return est.status();
+  return est->mean;
+}
+
+}  // namespace infoleak

@@ -1,0 +1,36 @@
+#include "core/polynomial.h"
+
+namespace infoleak {
+
+std::vector<double> Poly::MultiplyBernoulli(const std::vector<double>& y,
+                                            double c) {
+  // Y(t) = Σ_x y[x]·t^{n−x}. Multiplying by (c·t + (1−c)) yields
+  // Z(t) = Σ_k z[k]·t^{n+1−k} with z[k] = c·y[k] + (1−c)·y[k−1]
+  // (out-of-range y treated as 0).
+  std::vector<double> z(y.size() + 1, 0.0);
+  for (std::size_t k = 0; k < z.size(); ++k) {
+    double v = 0.0;
+    if (k < y.size()) v += c * y[k];
+    if (k >= 1) v += (1.0 - c) * y[k - 1];
+    z[k] = v;
+  }
+  return z;
+}
+
+double Poly::IntegrateAgainstPower(const std::vector<double>& coeffs,
+                                   double m) {
+  double total = 0.0;
+  const std::size_t size = coeffs.size();
+  for (std::size_t x = 0; x < size; ++x) {
+    total += coeffs[x] / (m + static_cast<double>(size - x));
+  }
+  return total;
+}
+
+double Poly::Evaluate(const std::vector<double>& coeffs, double t) {
+  double acc = 0.0;
+  for (double c : coeffs) acc = acc * t + c;
+  return acc;
+}
+
+}  // namespace infoleak

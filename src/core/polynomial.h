@@ -1,0 +1,38 @@
+#pragma once
+
+#include <vector>
+
+namespace infoleak {
+
+/// \brief Dense univariate polynomial helpers for Algorithm 1 (paper §5.1).
+///
+/// Algorithm 1 rewrites E[t^{|r̄\{b}|}] as the product
+/// Π_{a∈z} (p(a,r)·t + (1 − p(a,r))) and integrates the resulting polynomial
+/// against t^{|p|} over [0, 1]. We follow the paper's coefficient
+/// convention: `coeffs[x]` multiplies t^{n−x} where n = coeffs.size() − 1
+/// (descending powers), so the code mirrors the pseudocode's Y/Z lists.
+class Poly {
+ public:
+  /// The constant polynomial 1 (the pseudocode's initial Y = (1.0)).
+  static std::vector<double> One() { return {1.0}; }
+
+  /// Multiplies `y` (descending coefficients) by the Bernoulli factor
+  /// (c·t + (1−c)), returning a polynomial of one higher degree. This is
+  /// steps 8–12 of Algorithm 1 with the off-by-one of the published
+  /// pseudocode corrected (the printed loop reads one past the list).
+  static std::vector<double> MultiplyBernoulli(const std::vector<double>& y,
+                                               double c);
+
+  /// Evaluates ∫₀¹ t^m · Y(t) dt for Y in descending-coefficient form:
+  /// Σ_x coeffs[x] / (m + n − x + 1) with n = coeffs.size() − 1, i.e.
+  /// Σ_x coeffs[x] / (m + |Y| − x), matching step 14 of Algorithm 1.
+  /// `m` may be fractional (m ≥ 0): the F-beta generalization integrates
+  /// against t^(β²·|p|).
+  static double IntegrateAgainstPower(const std::vector<double>& coeffs,
+                                      double m);
+
+  /// Evaluates Y(t) (descending coefficients) via Horner's rule.
+  static double Evaluate(const std::vector<double>& coeffs, double t);
+};
+
+}  // namespace infoleak

@@ -1,0 +1,54 @@
+#include "core/possible_worlds.h"
+
+namespace infoleak {
+namespace {
+
+Status CheckEnumerable(const Record& r, std::size_t max_attributes) {
+  if (max_attributes > kMaxEnumerableAttributes) {
+    max_attributes = kMaxEnumerableAttributes;
+  }
+  if (r.size() > max_attributes) {
+    return Status::ResourceExhausted(
+        "record has " + std::to_string(r.size()) +
+        " attributes; possible-world enumeration capped at " +
+        std::to_string(max_attributes));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ForEachPossibleWorld(
+    const Record& r,
+    const std::function<void(const Record& world, double probability)>& fn,
+    std::size_t max_attributes) {
+  INFOLEAK_RETURN_IF_ERROR(CheckEnumerable(r, max_attributes));
+  const auto& attrs = r.attributes();
+  const std::size_t n = attrs.size();
+  const uint64_t worlds = uint64_t{1} << n;
+  for (uint64_t mask = 0; mask < worlds; ++mask) {
+    Record world;
+    double prob = 1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (uint64_t{1} << i)) {
+        // Worlds carry certain information: confidence 1 per the paper's
+        // W(r) definition, which drops confidences.
+        world.Insert(Attribute(attrs[i].label, attrs[i].value, 1.0));
+        prob *= attrs[i].confidence;
+      } else {
+        prob *= 1.0 - attrs[i].confidence;
+      }
+    }
+    fn(world, prob);
+  }
+  return Status::OK();
+}
+
+Status CountPossibleWorlds(const Record& r, uint64_t* count,
+                           std::size_t max_attributes) {
+  INFOLEAK_RETURN_IF_ERROR(CheckEnumerable(r, max_attributes));
+  *count = uint64_t{1} << r.size();
+  return Status::OK();
+}
+
+}  // namespace infoleak

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "core/record.h"
+#include "util/status.h"
+
+namespace infoleak {
+
+/// \brief Possible-worlds semantics of an uncertain record (paper §2.3).
+///
+/// A record with independent per-attribute confidences denotes a distribution
+/// over 2^|r| certain records: each attribute appears in a world
+/// independently with its confidence as inclusion probability. Worlds are
+/// the paper's W(r).
+///
+/// Enumeration is exponential by design — it is the correctness oracle the
+/// naive algorithm of §5 (and Figure 3(d)) is built on. Callers must bound
+/// |r| via `max_attributes`.
+
+/// Hard cap on enumerable attributes (2^30 worlds ≈ 1G — far beyond any
+/// reasonable call, but prevents accidental 2^200 loops).
+inline constexpr std::size_t kMaxEnumerableAttributes = 30;
+
+/// \brief Invokes `fn(world, probability)` for every possible world of `r`.
+///
+/// Worlds with probability 0 are still visited (the naive algorithm's cost
+/// is 2^|r| regardless of confidence values, matching the paper's O(2^|r|)
+/// analysis). The visited worlds' probabilities sum to 1.
+///
+/// Fails with ResourceExhausted when |r| exceeds `max_attributes`.
+Status ForEachPossibleWorld(
+    const Record& r,
+    const std::function<void(const Record& world, double probability)>& fn,
+    std::size_t max_attributes = kMaxEnumerableAttributes);
+
+/// \brief Number of possible worlds (2^|r|), or ResourceExhausted when out
+/// of range.
+Status CountPossibleWorlds(const Record& r, uint64_t* count,
+                           std::size_t max_attributes =
+                               kMaxEnumerableAttributes);
+
+}  // namespace infoleak

@@ -1,0 +1,176 @@
+#include "core/record.h"
+
+#include <algorithm>
+
+namespace infoleak {
+namespace {
+
+double ClampConfidence(double c) {
+  if (c < 0.0) return 0.0;
+  if (c > 1.0) return 1.0;
+  return c;
+}
+
+bool KeyLess(const Attribute& a, std::string_view label,
+             std::string_view value) {
+  if (a.label != label) return a.label < label;
+  return a.value < value;
+}
+
+}  // namespace
+
+Record::Record(std::initializer_list<Attribute> attrs) {
+  for (const auto& a : attrs) Insert(a);
+}
+
+Record::Record(std::vector<Attribute> attrs) {
+  for (auto& a : attrs) Insert(std::move(a));
+}
+
+std::vector<Attribute>::iterator Record::LowerBound(std::string_view label,
+                                                    std::string_view value) {
+  return std::lower_bound(
+      attrs_.begin(), attrs_.end(), std::make_pair(label, value),
+      [](const Attribute& a, const auto& key) {
+        return KeyLess(a, key.first, key.second);
+      });
+}
+
+std::vector<Attribute>::const_iterator Record::LowerBound(
+    std::string_view label, std::string_view value) const {
+  return std::lower_bound(
+      attrs_.begin(), attrs_.end(), std::make_pair(label, value),
+      [](const Attribute& a, const auto& key) {
+        return KeyLess(a, key.first, key.second);
+      });
+}
+
+void Record::Insert(Attribute attr) {
+  attr.confidence = ClampConfidence(attr.confidence);
+  auto it = LowerBound(attr.label, attr.value);
+  if (it != attrs_.end() && it->SameInfo(attr)) {
+    it->confidence = std::max(it->confidence, attr.confidence);
+    return;
+  }
+  attrs_.insert(it, std::move(attr));
+}
+
+Status Record::InsertStrict(Attribute attr) {
+  if (Contains(attr.label, attr.value)) {
+    return Status::AlreadyExists("attribute " + attr.ToString() +
+                                 " already present");
+  }
+  Insert(std::move(attr));
+  return Status::OK();
+}
+
+Status Record::Erase(std::string_view label, std::string_view value) {
+  auto it = LowerBound(label, value);
+  if (it == attrs_.end() || it->label != label || it->value != value) {
+    return Status::NotFound("no attribute <" + std::string(label) + ", " +
+                            std::string(value) + ">");
+  }
+  attrs_.erase(it);
+  return Status::OK();
+}
+
+double Record::Confidence(std::string_view label,
+                          std::string_view value) const {
+  const Attribute* a = Find(label, value);
+  return a != nullptr ? a->confidence : 0.0;
+}
+
+bool Record::Contains(std::string_view label, std::string_view value) const {
+  return Find(label, value) != nullptr;
+}
+
+const Attribute* Record::Find(std::string_view label,
+                              std::string_view value) const {
+  auto it = LowerBound(label, value);
+  if (it == attrs_.end() || it->label != label || it->value != value) {
+    return nullptr;
+  }
+  return &*it;
+}
+
+Status Record::SetConfidence(std::string_view label, std::string_view value,
+                             double confidence) {
+  auto it = LowerBound(label, value);
+  if (it == attrs_.end() || it->label != label || it->value != value) {
+    return Status::NotFound("no attribute <" + std::string(label) + ", " +
+                            std::string(value) + ">");
+  }
+  it->confidence = ClampConfidence(confidence);
+  return Status::OK();
+}
+
+Record Record::WithFullConfidence() const {
+  Record out = *this;
+  for (auto& a : out.attrs_) a.confidence = 1.0;
+  return out;
+}
+
+void Record::MergeFrom(const Record& other) {
+  if (other.attrs_.empty()) {
+    for (RecordId id : other.sources_) AddSource(id);
+    return;
+  }
+  // Both attribute vectors are sorted by (label, value): a linear
+  // two-pointer merge beats repeated Insert's O(n²) vector shifting.
+  std::vector<Attribute> merged;
+  merged.reserve(attrs_.size() + other.attrs_.size());
+  auto it_a = attrs_.begin();
+  auto it_b = other.attrs_.begin();
+  while (it_a != attrs_.end() && it_b != other.attrs_.end()) {
+    if (it_a->Key() < it_b->Key()) {
+      merged.push_back(std::move(*it_a++));
+    } else if (it_b->Key() < it_a->Key()) {
+      merged.push_back(*it_b++);
+    } else {
+      Attribute combined = std::move(*it_a++);
+      combined.confidence = std::max(combined.confidence, it_b->confidence);
+      merged.push_back(std::move(combined));
+      ++it_b;
+    }
+  }
+  merged.insert(merged.end(), std::make_move_iterator(it_a),
+                std::make_move_iterator(attrs_.end()));
+  merged.insert(merged.end(), it_b, other.attrs_.end());
+  attrs_ = std::move(merged);
+
+  if (!other.sources_.empty()) {
+    std::vector<RecordId> sources;
+    sources.reserve(sources_.size() + other.sources_.size());
+    std::set_union(sources_.begin(), sources_.end(), other.sources_.begin(),
+                   other.sources_.end(), std::back_inserter(sources));
+    sources_ = std::move(sources);
+  }
+}
+
+Record Record::Merge(const Record& a, const Record& b) {
+  Record out = a;
+  out.MergeFrom(b);
+  return out;
+}
+
+void Record::AddSource(RecordId id) {
+  auto it = std::lower_bound(sources_.begin(), sources_.end(), id);
+  if (it != sources_.end() && *it == id) return;
+  sources_.insert(it, id);
+}
+
+bool Record::HasSource(RecordId id) const {
+  return std::binary_search(sources_.begin(), sources_.end(), id);
+}
+
+std::string Record::ToString() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < attrs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += attrs_[i].ToString();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace infoleak

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/attribute.h"
+#include "util/status.h"
+
+namespace infoleak {
+
+/// Identifier of a base record within a Database. Merged records carry the
+/// union of their sources' ids as provenance.
+using RecordId = uint64_t;
+
+/// Sentinel id for records that were built by hand rather than stored in a
+/// Database.
+inline constexpr RecordId kNoRecordId = static_cast<RecordId>(-1);
+
+/// \brief A set of attributes about (presumably) one person, as held by the
+/// adversary — the paper's record `r` — or the ground truth — the reference
+/// record `p`.
+///
+/// Invariants:
+///  * No two attributes share the same (label, value) pair (paper §2.3).
+///  * Attributes are kept sorted by (label, value), giving deterministic
+///    iteration and O(log n) lookup.
+///  * Confidences are clamped to [0, 1] on insertion.
+///  * `sources()` is the sorted, deduplicated set of base-record ids this
+///    record was merged from; a fresh record starts with no sources until a
+///    Database assigns it one.
+class Record {
+ public:
+  Record() = default;
+
+  /// Builds a record from a list of attributes. Duplicate (label, value)
+  /// pairs keep the maximum confidence (union-merge semantics).
+  Record(std::initializer_list<Attribute> attrs);
+  explicit Record(std::vector<Attribute> attrs);
+
+  /// Inserts `attr`, keeping the max confidence if (label, value) exists.
+  void Insert(Attribute attr);
+
+  /// Inserts `attr`; fails with AlreadyExists if (label, value) is present.
+  Status InsertStrict(Attribute attr);
+
+  /// Removes the attribute with the given (label, value); returns NotFound
+  /// if absent.
+  Status Erase(std::string_view label, std::string_view value);
+
+  /// The paper's p(a, r): confidence of (label, value) in this record, or 0
+  /// if absent.
+  double Confidence(std::string_view label, std::string_view value) const;
+
+  /// True iff an attribute with this (label, value) exists.
+  bool Contains(std::string_view label, std::string_view value) const;
+  bool Contains(const Attribute& a) const {
+    return Contains(a.label, a.value);
+  }
+
+  /// Pointer to the stored attribute, or nullptr if absent.
+  const Attribute* Find(std::string_view label, std::string_view value) const;
+
+  /// Sets the confidence of an existing attribute; NotFound if absent.
+  Status SetConfidence(std::string_view label, std::string_view value,
+                       double confidence);
+
+  /// Number of attributes (the paper's |r|).
+  std::size_t size() const { return attrs_.size(); }
+  bool empty() const { return attrs_.empty(); }
+
+  const std::vector<Attribute>& attributes() const { return attrs_; }
+  auto begin() const { return attrs_.begin(); }
+  auto end() const { return attrs_.end(); }
+
+  /// Returns a copy with every confidence set to 1 — the paper's `r_p`
+  /// construction in §4.3 (the record "as if fully believed").
+  Record WithFullConfidence() const;
+
+  /// Union-merges `other` into this record: attribute union with max
+  /// confidence per (label, value), and provenance union. This is the
+  /// paper's `r + s` merge used by entity resolution.
+  void MergeFrom(const Record& other);
+
+  /// Returns the union-merge of `a` and `b` without mutating either.
+  static Record Merge(const Record& a, const Record& b);
+
+  /// Provenance: sorted unique ids of the base records merged into this one.
+  const std::vector<RecordId>& sources() const { return sources_; }
+
+  /// Registers `id` as a provenance source.
+  void AddSource(RecordId id);
+
+  /// True iff `id` is among this record's provenance sources.
+  bool HasSource(RecordId id) const;
+
+  /// Structural equality: same attributes (including confidences).
+  /// Provenance is deliberately excluded — two records carrying identical
+  /// information are interchangeable for leakage purposes.
+  bool operator==(const Record& other) const { return attrs_ == other.attrs_; }
+
+  /// Renders "{<l1, v1, c1>, <l2, v2>}".
+  std::string ToString() const;
+
+ private:
+  std::vector<Attribute>::iterator LowerBound(std::string_view label,
+                                              std::string_view value);
+  std::vector<Attribute>::const_iterator LowerBound(
+      std::string_view label, std::string_view value) const;
+
+  std::vector<Attribute> attrs_;
+  std::vector<RecordId> sources_;
+};
+
+}  // namespace infoleak

@@ -1,0 +1,130 @@
+#include "core/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "core/measures.h"
+#include "core/possible_worlds.h"
+#include "util/string_util.h"
+
+namespace infoleak {
+namespace {
+
+bool ParseDouble(std::string_view s, double* out) {
+  if (s.empty()) return false;
+  std::string buf(s);
+  char* end = nullptr;
+  double v = std::strtod(buf.c_str(), &end);
+  if (end == nullptr || *end != '\0' || !std::isfinite(v)) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+NumericSimilarity::NumericSimilarity(double scale)
+    : scale_(scale > 0.0 ? scale : 1e-9) {}
+
+double NumericSimilarity::Similarity(std::string_view, std::string_view got,
+                                     std::string_view truth) const {
+  if (got == truth) return 1.0;
+  double a = 0.0;
+  double b = 0.0;
+  if (!ParseDouble(got, &a) || !ParseDouble(truth, &b)) return 0.0;
+  return std::max(0.0, 1.0 - std::abs(a - b) / scale_);
+}
+
+double EditDistanceSimilarity::Similarity(std::string_view,
+                                          std::string_view got,
+                                          std::string_view truth) const {
+  if (got == truth) return 1.0;
+  std::size_t longest = std::max(got.size(), truth.size());
+  if (longest == 0) return 1.0;
+  double d = static_cast<double>(EditDistance(got, truth));
+  return std::max(0.0, 1.0 - d / static_cast<double>(longest));
+}
+
+LabelSimilarity::LabelSimilarity()
+    : fallback_(std::make_unique<ExactSimilarity>()) {}
+
+LabelSimilarity::LabelSimilarity(std::unique_ptr<ValueSimilarity> fallback)
+    : fallback_(std::move(fallback)) {
+  if (fallback_ == nullptr) fallback_ = std::make_unique<ExactSimilarity>();
+}
+
+void LabelSimilarity::Register(std::string label,
+                               std::unique_ptr<ValueSimilarity> similarity) {
+  if (similarity == nullptr) return;
+  by_label_[std::move(label)] = std::move(similarity);
+}
+
+double LabelSimilarity::Similarity(std::string_view label,
+                                   std::string_view got,
+                                   std::string_view truth) const {
+  auto it = by_label_.find(label);
+  const ValueSimilarity& sim =
+      it != by_label_.end() ? *it->second : *fallback_;
+  return sim.Similarity(label, got, truth);
+}
+
+namespace {
+
+/// Σ over a's attributes of weight × best similarity against a same-label
+/// attribute of `other` (credit clamped to [0, 1]).
+double SoftCredit(const Record& a, const Record& other, const WeightModel& wm,
+                  const ValueSimilarity& sim, bool a_is_guess) {
+  double total = 0.0;
+  for (const auto& attr : a) {
+    double best = 0.0;
+    for (const auto& candidate : other) {
+      if (candidate.label != attr.label) continue;
+      double s = a_is_guess
+                     ? sim.Similarity(attr.label, attr.value, candidate.value)
+                     : sim.Similarity(attr.label, candidate.value, attr.value);
+      best = std::max(best, std::clamp(s, 0.0, 1.0));
+      if (best == 1.0) break;
+    }
+    total += wm.Weight(attr.label) * best;
+  }
+  return total;
+}
+
+}  // namespace
+
+double SoftPrecision(const Record& r, const Record& p, const WeightModel& wm,
+                     const ValueSimilarity& sim) {
+  double denom = wm.TotalWeight(r);
+  if (denom <= 0.0) return 0.0;
+  return SoftCredit(r, p, wm, sim, /*a_is_guess=*/true) / denom;
+}
+
+double SoftRecall(const Record& r, const Record& p, const WeightModel& wm,
+                  const ValueSimilarity& sim) {
+  double denom = wm.TotalWeight(p);
+  if (denom <= 0.0) return 0.0;
+  return SoftCredit(p, r, wm, sim, /*a_is_guess=*/false) / denom;
+}
+
+double SoftRecordLeakageNoConfidence(const Record& r, const Record& p,
+                                     const WeightModel& wm,
+                                     const ValueSimilarity& sim) {
+  return F1(SoftPrecision(r, p, wm, sim), SoftRecall(r, p, wm, sim));
+}
+
+Result<double> SoftRecordLeakage(const Record& r, const Record& p,
+                                 const WeightModel& wm,
+                                 const ValueSimilarity& sim,
+                                 std::size_t max_attributes) {
+  double total = 0.0;
+  Status st = ForEachPossibleWorld(
+      r,
+      [&](const Record& world, double prob) {
+        total += prob * SoftRecordLeakageNoConfidence(world, p, wm, sim);
+      },
+      max_attributes);
+  if (!st.ok()) return st;
+  return total;
+}
+
+}  // namespace infoleak

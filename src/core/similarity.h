@@ -1,0 +1,112 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "core/record.h"
+#include "core/weights.h"
+#include "util/result.h"
+
+namespace infoleak {
+
+/// Degree-of-error extension of §2.1: "the information leakage when Eve
+/// guesses that Alice is 31 years old should be higher than the leakage
+/// when Eve suspects Alice is 80". The base model scores a value 0/1; a
+/// `ValueSimilarity` scores it continuously in [0, 1].
+
+/// \brief Similarity between two values of the same label, in [0, 1];
+/// 1 iff the adversary's value is (effectively) correct.
+class ValueSimilarity {
+ public:
+  virtual ~ValueSimilarity() = default;
+  virtual std::string_view name() const = 0;
+  virtual double Similarity(std::string_view label, std::string_view got,
+                            std::string_view truth) const = 0;
+};
+
+/// \brief The base model: 1 on exact equality, 0 otherwise. Soft measures
+/// built on this similarity reduce to the paper's crisp measures.
+class ExactSimilarity : public ValueSimilarity {
+ public:
+  std::string_view name() const override { return "exact"; }
+  double Similarity(std::string_view, std::string_view got,
+                    std::string_view truth) const override {
+    return got == truth ? 1.0 : 0.0;
+  }
+};
+
+/// \brief Numeric closeness: max(0, 1 − |got − truth| / scale). Non-numeric
+/// values fall back to exact equality. With scale = 10, guessing 31 for 30
+/// scores 0.9 while guessing 80 scores 0.
+class NumericSimilarity : public ValueSimilarity {
+ public:
+  /// \param scale the absolute difference at which similarity reaches 0;
+  ///        must be positive (clamped to 1e-9 otherwise).
+  explicit NumericSimilarity(double scale);
+  std::string_view name() const override { return "numeric"; }
+  double Similarity(std::string_view label, std::string_view got,
+                    std::string_view truth) const override;
+
+ private:
+  double scale_;
+};
+
+/// \brief String closeness: 1 − editDistance / max(len); "Alicia" is a
+/// better guess for "Alice" than "Bob" is.
+class EditDistanceSimilarity : public ValueSimilarity {
+ public:
+  std::string_view name() const override { return "edit-distance"; }
+  double Similarity(std::string_view label, std::string_view got,
+                    std::string_view truth) const override;
+};
+
+/// \brief Per-label dispatch: each label may get its own similarity (age
+/// numeric, name edit-distance, credit card exact); unregistered labels use
+/// the fallback (exact by default). Registered similarities are owned.
+class LabelSimilarity : public ValueSimilarity {
+ public:
+  LabelSimilarity();
+  explicit LabelSimilarity(std::unique_ptr<ValueSimilarity> fallback);
+
+  /// Registers `similarity` for `label`, replacing any previous entry.
+  void Register(std::string label,
+                std::unique_ptr<ValueSimilarity> similarity);
+
+  std::string_view name() const override { return "per-label"; }
+  double Similarity(std::string_view label, std::string_view got,
+                    std::string_view truth) const override;
+
+ private:
+  std::map<std::string, std::unique_ptr<ValueSimilarity>, std::less<>>
+      by_label_;
+  std::unique_ptr<ValueSimilarity> fallback_;
+};
+
+/// Soft analogues of the §2.1–2.2 measures. Each adversary attribute is
+/// credited with its best similarity against a same-label reference
+/// attribute (and vice versa for recall); exact matches always score 1, so
+/// with `ExactSimilarity` these reduce to Precision / Recall /
+/// RecordLeakageNoConfidence.
+
+double SoftPrecision(const Record& r, const Record& p, const WeightModel& wm,
+                     const ValueSimilarity& sim);
+double SoftRecall(const Record& r, const Record& p, const WeightModel& wm,
+                  const ValueSimilarity& sim);
+
+/// \brief Soft L0: F1 of soft precision and soft recall.
+double SoftRecordLeakageNoConfidence(const Record& r, const Record& p,
+                                     const WeightModel& wm,
+                                     const ValueSimilarity& sim);
+
+/// \brief Soft record leakage with confidences: E[soft-L0(r̄, p)] by
+/// possible-world enumeration (the soft credit is a maximum over same-label
+/// attributes, which breaks the linearity Algorithm 1 exploits, so only the
+/// naive engine applies). Refuses records larger than `max_attributes`.
+Result<double> SoftRecordLeakage(const Record& r, const Record& p,
+                                 const WeightModel& wm,
+                                 const ValueSimilarity& sim,
+                                 std::size_t max_attributes = 25);
+
+}  // namespace infoleak

@@ -1,0 +1,98 @@
+#include "core/weights.h"
+
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace infoleak {
+
+WeightModel::WeightModel(double default_weight)
+    : default_weight_(default_weight) {}
+
+Status WeightModel::SetWeight(std::string_view label, double weight) {
+  if (!std::isfinite(weight) || weight < 0.0) {
+    return Status::InvalidArgument("weight for label '" + std::string(label) +
+                                   "' must be finite and non-negative");
+  }
+  weights_[std::string(label)] = weight;
+  return Status::OK();
+}
+
+double WeightModel::Weight(std::string_view label) const {
+  auto it = weights_.find(label);
+  return it != weights_.end() ? it->second : default_weight_;
+}
+
+bool WeightModel::IsConstant() const {
+  for (const auto& [label, w] : weights_) {
+    if (w != default_weight_) return false;
+  }
+  return true;
+}
+
+bool WeightModel::IsConstantOver(const Record& r, const Record& p) const {
+  std::optional<double> common;
+  auto check = [&](const Record& rec) {
+    for (const auto& a : rec) {
+      double w = Weight(a.label);
+      if (!common.has_value()) {
+        common = w;
+      } else if (*common != w) {
+        return false;
+      }
+    }
+    return true;
+  };
+  return check(r) && check(p);
+}
+
+double WeightModel::TotalWeight(const Record& r) const {
+  double total = 0.0;
+  for (const auto& a : r) total += Weight(a.label);
+  return total;
+}
+
+double WeightModel::OverlapWeight(const Record& r, const Record& p) const {
+  // Both attribute vectors are sorted by (label, value); walk them together.
+  double total = 0.0;
+  auto it_r = r.begin();
+  auto it_p = p.begin();
+  while (it_r != r.end() && it_p != p.end()) {
+    if (it_r->Key() < it_p->Key()) {
+      ++it_r;
+    } else if (it_p->Key() < it_r->Key()) {
+      ++it_p;
+    } else {
+      total += Weight(it_r->label);
+      ++it_r;
+      ++it_p;
+    }
+  }
+  return total;
+}
+
+Result<WeightModel> WeightModel::Parse(std::string_view spec) {
+  WeightModel model;
+  if (Trim(spec).empty()) return model;
+  for (const auto& part : Split(spec, ',')) {
+    auto kv = Split(part, '=');
+    if (kv.size() != 2) {
+      return Status::InvalidArgument("bad weight entry '" + part +
+                                     "' (want label=weight)");
+    }
+    std::string label(Trim(kv[0]));
+    if (label.empty()) {
+      return Status::InvalidArgument("empty label in weight spec");
+    }
+    char* end = nullptr;
+    std::string num(Trim(kv[1]));
+    double w = std::strtod(num.c_str(), &end);
+    if (end == nullptr || *end != '\0' || num.empty()) {
+      return Status::InvalidArgument("bad weight value '" + num + "'");
+    }
+    INFOLEAK_RETURN_IF_ERROR(model.SetWeight(label, w));
+  }
+  return model;
+}
+
+}  // namespace infoleak

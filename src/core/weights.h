@@ -1,0 +1,61 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/record.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace infoleak {
+
+/// \brief Per-label sensitivity weights (paper §2).
+///
+/// Weights are attached to labels, not individual attributes; only relative
+/// sizes matter. Labels without an explicit weight get `default_weight`
+/// (1.0 unless overridden), so the common "all weights equal 1" setting is
+/// just a default-constructed `WeightModel`.
+class WeightModel {
+ public:
+  WeightModel() = default;
+  explicit WeightModel(double default_weight);
+
+  /// Sets the weight of `label`. Fails for negative or non-finite weights.
+  Status SetWeight(std::string_view label, double weight);
+
+  /// Weight of `label` (explicit or default).
+  double Weight(std::string_view label) const;
+
+  /// Convenience: weight of `attr`'s label.
+  double Weight(const Attribute& attr) const { return Weight(attr.label); }
+
+  double default_weight() const { return default_weight_; }
+  const std::map<std::string, double, std::less<>>& explicit_weights() const {
+    return weights_;
+  }
+
+  /// True iff every label that could appear gets the same weight — i.e. no
+  /// explicit weight differs from the default. Algorithm 1 requires this.
+  bool IsConstant() const;
+
+  /// True iff all labels appearing in `r` and `p` carry one common weight
+  /// value (a weaker, per-instance version of IsConstant()).
+  bool IsConstantOver(const Record& r, const Record& p) const;
+
+  /// Total weight of a record: the paper's Σ_{a∈r} w_{a.l}.
+  double TotalWeight(const Record& r) const;
+
+  /// Weight of the (label, value) intersection: Σ_{a ∈ r ∩ p} w_{a.l}.
+  double OverlapWeight(const Record& r, const Record& p) const;
+
+  /// Parses "label1=2,label2=0.5" into a model with default weight 1.
+  static Result<WeightModel> Parse(std::string_view spec);
+
+ private:
+  double default_weight_ = 1.0;
+  std::map<std::string, double, std::less<>> weights_;
+};
+
+}  // namespace infoleak

@@ -1,0 +1,64 @@
+#include "er/cluster_quality.h"
+
+#include <map>
+#include <set>
+
+namespace infoleak {
+
+Result<ClusterQuality> EvaluateClustering(
+    const Database& resolved, const std::vector<std::size_t>& ground_truth) {
+  // cluster id per base record, from provenance.
+  std::vector<std::ptrdiff_t> cluster_of(ground_truth.size(), -1);
+  for (std::size_t c = 0; c < resolved.size(); ++c) {
+    for (RecordId id : resolved[c].sources()) {
+      if (id >= ground_truth.size()) {
+        return Status::InvalidArgument(
+            "provenance id " + std::to_string(id) +
+            " outside ground truth of size " +
+            std::to_string(ground_truth.size()));
+      }
+      if (cluster_of[id] != -1) {
+        return Status::InvalidArgument("base id " + std::to_string(id) +
+                                       " appears in multiple clusters");
+      }
+      cluster_of[id] = static_cast<std::ptrdiff_t>(c);
+    }
+  }
+
+  ClusterQuality q;
+  q.num_clusters = resolved.size();
+  {
+    std::set<std::size_t> entities(ground_truth.begin(), ground_truth.end());
+    q.num_entities = entities.size();
+  }
+  // Pairwise counts over all base-record pairs (n is small in our
+  // workloads; O(n²) is fine and unambiguous).
+  const std::size_t n = ground_truth.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const bool same_cluster =
+          cluster_of[i] != -1 && cluster_of[i] == cluster_of[j];
+      const bool same_entity = ground_truth[i] == ground_truth[j];
+      if (same_cluster && same_entity) {
+        ++q.true_positive_pairs;
+      } else if (same_cluster && !same_entity) {
+        ++q.false_positive_pairs;
+      } else if (!same_cluster && same_entity) {
+        ++q.false_negative_pairs;
+      }
+    }
+  }
+  const double tp = static_cast<double>(q.true_positive_pairs);
+  const double fp = static_cast<double>(q.false_positive_pairs);
+  const double fn = static_cast<double>(q.false_negative_pairs);
+  q.pairwise_precision = (tp + fp) > 0 ? tp / (tp + fp) : 1.0;
+  q.pairwise_recall = (tp + fn) > 0 ? tp / (tp + fn) : 1.0;
+  q.pairwise_f1 =
+      (q.pairwise_precision + q.pairwise_recall) > 0
+          ? 2 * q.pairwise_precision * q.pairwise_recall /
+                (q.pairwise_precision + q.pairwise_recall)
+          : 0.0;
+  return q;
+}
+
+}  // namespace infoleak

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/database.h"
+#include "util/result.h"
+
+namespace infoleak {
+
+/// Entity-resolution quality against ground truth — the standard pairwise
+/// clustering metrics the ER literature (the paper's reference [4],
+/// Elmagarmid et al.) evaluates with. A resolved database's clusters are
+/// read from record provenance; ground truth maps each *base* record id to
+/// its true entity.
+struct ClusterQuality {
+  uint64_t true_positive_pairs = 0;   ///< same cluster, same entity
+  uint64_t false_positive_pairs = 0;  ///< same cluster, different entities
+  uint64_t false_negative_pairs = 0;  ///< split across clusters, same entity
+  double pairwise_precision = 0.0;    ///< TP / (TP + FP); 1.0 when no pairs
+  double pairwise_recall = 0.0;       ///< TP / (TP + FN); 1.0 when no pairs
+  double pairwise_f1 = 0.0;
+  std::size_t num_clusters = 0;
+  std::size_t num_entities = 0;
+};
+
+/// \brief Scores `resolved` (whose records carry provenance over base ids
+/// 0..n−1) against `ground_truth` (entity of each base id). Fails when a
+/// provenance id falls outside the ground truth or appears in multiple
+/// clusters.
+Result<ClusterQuality> EvaluateClustering(
+    const Database& resolved, const std::vector<std::size_t>& ground_truth);
+
+}  // namespace infoleak

@@ -1,0 +1,20 @@
+#include "er/dipping.h"
+
+namespace infoleak {
+
+Result<Record> DippingResult(const Database& db, const EntityResolver& er,
+                             const Record& q, ErStats* stats) {
+  Database enlarged = db;
+  Record query = q;
+  // Strip any provenance the caller's record carries so that the query gets
+  // a fresh, unambiguous id within the enlarged database.
+  Record clean;
+  for (const auto& a : query) clean.Insert(a);
+  RecordId qid = enlarged.Add(std::move(clean));
+
+  Result<Database> resolved = er.Resolve(enlarged, stats);
+  if (!resolved.ok()) return resolved.status();
+  return resolved->FindBySource(qid);
+}
+
+}  // namespace infoleak

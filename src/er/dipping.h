@@ -1,0 +1,19 @@
+#pragma once
+
+#include "core/database.h"
+#include "er/resolver.h"
+#include "util/result.h"
+
+namespace infoleak {
+
+/// \brief Dipping query (§2.4): given a query record `q` describing the
+/// entity of interest, resolve R ∪ {q} and return the composite record that
+/// absorbed `q` — everything the adversary can link to the queried entity.
+///
+/// D(R, E, q) is tracked through provenance: `q` receives a fresh id inside
+/// the enlarged database and the resolver's output is searched for the
+/// record carrying that id.
+Result<Record> DippingResult(const Database& db, const EntityResolver& er,
+                             const Record& q, ErStats* stats = nullptr);
+
+}  // namespace infoleak

@@ -1,0 +1,54 @@
+#include "er/match.h"
+
+#include <cassert>
+
+namespace infoleak {
+
+RuleMatch::RuleMatch(std::vector<std::vector<std::string>> rules,
+                     std::string name)
+    : rules_(std::move(rules)), name_(std::move(name)) {
+  // An empty conjunction would vacuously match every pair; drop such rules
+  // rather than silently gluing the whole database together.
+  std::erase_if(rules_, [](const auto& rule) { return rule.empty(); });
+}
+
+bool RuleMatch::ShareValueOnLabel(const Record& a, const Record& b,
+                                  std::string_view label) {
+  // Attribute vectors are sorted by (label, value); scan a's attributes for
+  // this label and probe b.
+  for (const auto& attr : a) {
+    if (attr.label != label) continue;
+    if (b.Contains(label, attr.value)) return true;
+  }
+  return false;
+}
+
+bool RuleMatch::Matches(const Record& a, const Record& b) const {
+  for (const auto& rule : rules_) {
+    bool all = true;
+    for (const auto& label : rule) {
+      if (!ShareValueOnLabel(a, b, label)) {
+        all = false;
+        break;
+      }
+    }
+    if (all && !rule.empty()) return true;
+  }
+  return false;
+}
+
+std::unique_ptr<RuleMatch> RuleMatch::SharedValue(
+    std::vector<std::string> labels) {
+  std::vector<std::vector<std::string>> rules;
+  rules.reserve(labels.size());
+  std::string name = "shared-value(";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) name += ",";
+    name += labels[i];
+    rules.push_back({labels[i]});
+  }
+  name += ")";
+  return std::make_unique<RuleMatch>(std::move(rules), std::move(name));
+}
+
+}  // namespace infoleak

@@ -1,0 +1,122 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/record.h"
+
+namespace infoleak {
+
+/// \brief Boolean match predicate deciding whether two records refer to the
+/// same real-world entity (the heart of entity resolution, §2.4).
+///
+/// Match functions look only at (label, value) pairs, never at confidences:
+/// whether two records describe the same person does not depend on how sure
+/// the adversary is of each datum.
+class MatchFunction {
+ public:
+  virtual ~MatchFunction() = default;
+  virtual std::string_view name() const = 0;
+  virtual bool Matches(const Record& a, const Record& b) const = 0;
+};
+
+/// A disjunction of conjunctive label sets, e.g. {{"N","C"}, {"N","P"}} for
+/// "same name and card, or same name and phone". Spell the type out at call
+/// sites (`RuleMatch m(MatchRules{{"N","C"}, {"N","P"}});`) — a bare nested
+/// brace list is ambiguous against std::string's iterator-pair constructor.
+using MatchRules = std::vector<std::vector<std::string>>;
+
+/// \brief Matches when, for at least one *rule* (a set of labels), the two
+/// records share a common value on every label of the rule.
+///
+/// This expresses the paper's example predicates directly:
+///  * "same name" (§2.4, §3): one rule {"N"};
+///  * "same name and credit card, or same name and phone" (§4.1): rules
+///    {"N","C"} and {"N","P"}.
+class RuleMatch : public MatchFunction {
+ public:
+  /// \param rules disjunction of conjunctive label sets; empty rules are
+  ///        rejected at construction (an empty conjunction would match
+  ///        everything).
+  explicit RuleMatch(std::vector<std::vector<std::string>> rules,
+                     std::string name = "rule-match");
+
+  std::string_view name() const override { return name_; }
+  bool Matches(const Record& a, const Record& b) const override;
+
+  /// Convenience: match iff the records share a value for any one of the
+  /// given labels (singleton rules).
+  static std::unique_ptr<RuleMatch> SharedValue(
+      std::vector<std::string> labels);
+
+ private:
+  static bool ShareValueOnLabel(const Record& a, const Record& b,
+                                std::string_view label);
+
+  std::vector<std::vector<std::string>> rules_;
+  std::string name_;
+};
+
+/// \brief Adapts an arbitrary callable into a MatchFunction.
+class PredicateMatch : public MatchFunction {
+ public:
+  using Predicate = std::function<bool(const Record&, const Record&)>;
+  PredicateMatch(Predicate pred, std::string name = "predicate-match")
+      : pred_(std::move(pred)), name_(std::move(name)) {}
+
+  std::string_view name() const override { return name_; }
+  bool Matches(const Record& a, const Record& b) const override {
+    return pred_(a, b);
+  }
+
+ private:
+  Predicate pred_;
+  std::string name_;
+};
+
+/// \brief Logical combination of match functions (non-owning views are
+/// avoided: children are owned).
+class AnyMatch : public MatchFunction {
+ public:
+  explicit AnyMatch(std::vector<std::unique_ptr<MatchFunction>> children)
+      : children_(std::move(children)) {}
+  std::string_view name() const override { return "any-of"; }
+  bool Matches(const Record& a, const Record& b) const override {
+    for (const auto& c : children_) {
+      if (c->Matches(a, b)) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<std::unique_ptr<MatchFunction>> children_;
+};
+
+class AllMatch : public MatchFunction {
+ public:
+  explicit AllMatch(std::vector<std::unique_ptr<MatchFunction>> children)
+      : children_(std::move(children)) {}
+  std::string_view name() const override { return "all-of"; }
+  bool Matches(const Record& a, const Record& b) const override {
+    for (const auto& c : children_) {
+      if (!c->Matches(a, b)) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<std::unique_ptr<MatchFunction>> children_;
+};
+
+/// \brief Never matches; entity resolution with this predicate is the
+/// identity operation.
+class NeverMatch : public MatchFunction {
+ public:
+  std::string_view name() const override { return "never"; }
+  bool Matches(const Record&, const Record&) const override { return false; }
+};
+
+}  // namespace infoleak

@@ -1,0 +1,29 @@
+#include "er/merge.h"
+
+namespace infoleak {
+
+void ValueNormalizer::AddSynonym(std::string label, std::string from,
+                                 std::string to) {
+  synonyms_[{std::move(label), std::move(from)}] = std::move(to);
+}
+
+std::string ValueNormalizer::Canonical(std::string_view label,
+                                       std::string_view value) const {
+  auto it = synonyms_.find({std::string(label), std::string(value)});
+  if (it != synonyms_.end()) return it->second;
+  it = synonyms_.find({std::string(), std::string(value)});
+  if (it != synonyms_.end()) return it->second;
+  return std::string(value);
+}
+
+Record ValueNormalizer::Normalize(const Record& r) const {
+  if (synonyms_.empty()) return r;
+  Record out;
+  for (const auto& a : r) {
+    out.Insert(Attribute(a.label, Canonical(a.label, a.value), a.confidence));
+  }
+  for (RecordId id : r.sources()) out.AddSource(id);
+  return out;
+}
+
+}  // namespace infoleak

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "core/record.h"
+
+namespace infoleak {
+
+/// \brief Combines two records believed to refer to the same entity into one
+/// composite record (the paper's `r + s`).
+class MergeFunction {
+ public:
+  virtual ~MergeFunction() = default;
+  virtual std::string_view name() const = 0;
+  virtual Record Merge(const Record& a, const Record& b) const = 0;
+};
+
+/// \brief The paper's merge: union of attributes, keeping the maximum
+/// confidence for a shared (label, value) pair (§4.3), and the union of
+/// provenance sources.
+class UnionMerge : public MergeFunction {
+ public:
+  std::string_view name() const override { return "union"; }
+  Record Merge(const Record& a, const Record& b) const override {
+    return Record::Merge(a, b);
+  }
+};
+
+/// \brief Rewrites attribute values through a synonym map — e.g. mapping
+/// "Influenza" to "Flu" so that semantically equal values unify (§3.2's E'
+/// operation). Normalization is applied to both match inputs and merge
+/// output when a resolver is built on a normalizer.
+class ValueNormalizer {
+ public:
+  /// \param label_scoped when true, a synonym entry applies only to the
+  ///        label it was registered under.
+  ValueNormalizer() = default;
+
+  /// Registers `from` -> `to` for attributes with `label`. An empty label
+  /// applies to every label.
+  void AddSynonym(std::string label, std::string from, std::string to);
+
+  /// Returns the canonical form of (label, value).
+  std::string Canonical(std::string_view label, std::string_view value) const;
+
+  /// Rewrites every attribute of `r` to canonical form; confidences of
+  /// collapsing attributes are combined by maximum.
+  Record Normalize(const Record& r) const;
+
+  bool empty() const { return synonyms_.empty(); }
+
+ private:
+  // Key: (label, from) with "" label as wildcard.
+  std::map<std::pair<std::string, std::string>, std::string> synonyms_;
+};
+
+/// \brief Merge that canonicalizes values while unioning, implementing the
+/// paper's "replace all occurrences of Influenza with Flu when merging".
+class NormalizingMerge : public MergeFunction {
+ public:
+  explicit NormalizingMerge(ValueNormalizer normalizer)
+      : normalizer_(std::move(normalizer)) {}
+  std::string_view name() const override { return "normalizing-union"; }
+  Record Merge(const Record& a, const Record& b) const override {
+    return Record::Merge(normalizer_.Normalize(a), normalizer_.Normalize(b));
+  }
+  const ValueNormalizer& normalizer() const { return normalizer_; }
+
+ private:
+  ValueNormalizer normalizer_;
+};
+
+}  // namespace infoleak

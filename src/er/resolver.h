@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "core/database.h"
+#include "er/match.h"
+#include "er/merge.h"
+#include "util/result.h"
+
+namespace infoleak {
+
+/// \brief Observed cost of one entity-resolution run; feeds the paper's
+/// cost function C(E, R) (§2.4: "the cost could be measured in computation
+/// steps, run time, or even in dollars").
+struct ErStats {
+  uint64_t match_calls = 0;   ///< number of pairwise match evaluations
+  uint64_t merge_calls = 0;   ///< number of record merges performed
+  double elapsed_seconds = 0;
+
+  void Accumulate(const ErStats& other) {
+    match_calls += other.match_calls;
+    merge_calls += other.merge_calls;
+    elapsed_seconds += other.elapsed_seconds;
+  }
+};
+
+/// \brief An entity-resolution engine: partitions a database into entities
+/// and merges each group into a composite record.
+///
+/// Resolvers do not own their match/merge functions — callers keep them
+/// alive for the resolver's lifetime (they are typically stack-allocated
+/// next to each other).
+class EntityResolver {
+ public:
+  virtual ~EntityResolver() = default;
+  virtual std::string_view name() const = 0;
+
+  /// Resolves `db`, returning a database of composite records (provenance
+  /// ids preserved through merging). `stats`, when non-null, receives the
+  /// run's cost counters.
+  virtual Result<Database> Resolve(const Database& db,
+                                   ErStats* stats) const = 0;
+
+  Result<Database> Resolve(const Database& db) const {
+    return Resolve(db, nullptr);
+  }
+};
+
+}  // namespace infoleak

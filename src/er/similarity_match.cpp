@@ -1,0 +1,45 @@
+#include "er/similarity_match.h"
+
+#include <algorithm>
+
+namespace infoleak {
+
+SimilarityRuleMatch::SimilarityRuleMatch(MatchRules rules,
+                                         const ValueSimilarity& similarity,
+                                         double threshold)
+    : rules_(std::move(rules)),
+      similarity_(similarity),
+      threshold_(std::clamp(threshold, 0.0, 1.0)) {
+  std::erase_if(rules_, [](const auto& rule) { return rule.empty(); });
+}
+
+bool SimilarityRuleMatch::LabelAgrees(const Record& a, const Record& b,
+                                      std::string_view label) const {
+  for (const auto& attr_a : a) {
+    if (attr_a.label != label) continue;
+    for (const auto& attr_b : b) {
+      if (attr_b.label != label) continue;
+      double s =
+          std::max(similarity_.Similarity(label, attr_a.value, attr_b.value),
+                   similarity_.Similarity(label, attr_b.value, attr_a.value));
+      if (s >= threshold_) return true;
+    }
+  }
+  return false;
+}
+
+bool SimilarityRuleMatch::Matches(const Record& a, const Record& b) const {
+  for (const auto& rule : rules_) {
+    bool all = true;
+    for (const auto& label : rule) {
+      if (!LabelAgrees(a, b, label)) {
+        all = false;
+        break;
+      }
+    }
+    if (all && !rule.empty()) return true;
+  }
+  return false;
+}
+
+}  // namespace infoleak

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/similarity.h"
+#include "er/match.h"
+
+namespace infoleak {
+
+/// \brief Fuzzy entity matching: two records match when, for at least one
+/// rule (a set of labels), every label has a value pair whose similarity
+/// reaches `threshold`. The fuzzy sibling of RuleMatch — e.g. names match
+/// by edit distance ("Alicia" vs "Alice") and ages by numeric closeness,
+/// linking records that exact matching would miss.
+///
+/// The similarity function is non-owning; the caller keeps it alive.
+/// Similarity is evaluated in both argument orders and the better score
+/// wins, keeping the predicate symmetric even for asymmetric similarities.
+class SimilarityRuleMatch : public MatchFunction {
+ public:
+  SimilarityRuleMatch(MatchRules rules, const ValueSimilarity& similarity,
+                      double threshold);
+
+  std::string_view name() const override { return "similarity-rule-match"; }
+  bool Matches(const Record& a, const Record& b) const override;
+
+  double threshold() const { return threshold_; }
+
+ private:
+  bool LabelAgrees(const Record& a, const Record& b,
+                   std::string_view label) const;
+
+  MatchRules rules_;
+  const ValueSimilarity& similarity_;
+  double threshold_;
+};
+
+}  // namespace infoleak

@@ -1,0 +1,30 @@
+#pragma once
+
+#include "er/resolver.h"
+
+namespace infoleak {
+
+/// \brief R-Swoosh entity resolution (Benjelloun et al., the generic ER
+/// algorithm the paper's reference [17] builds on).
+///
+/// Maintains a set I of mutually non-matching records. Each candidate is
+/// compared against I; on a match the partner is pulled out of I, the two
+/// records are merged, and the composite re-enters the candidate queue — so
+/// matches that only emerge after a merge are found. Terminates for
+/// match/merge functions satisfying the ICAR properties (idempotence,
+/// commutativity, associativity, representativity); union merge with
+/// attribute-based match predicates satisfies them.
+class SwooshResolver : public EntityResolver {
+ public:
+  SwooshResolver(const MatchFunction& match, const MergeFunction& merge)
+      : match_(match), merge_(merge) {}
+
+  std::string_view name() const override { return "r-swoosh"; }
+  Result<Database> Resolve(const Database& db, ErStats* stats) const override;
+
+ private:
+  const MatchFunction& match_;
+  const MergeFunction& merge_;
+};
+
+}  // namespace infoleak

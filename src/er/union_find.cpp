@@ -1,0 +1,44 @@
+#include "er/union_find.h"
+
+#include <numeric>
+
+namespace infoleak {
+
+UnionFind::UnionFind(std::size_t n)
+    : parent_(n), size_(n, 1), num_sets_(n) {
+  std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+}
+
+std::size_t UnionFind::Find(std::size_t x) {
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::Union(std::size_t a, std::size_t b) {
+  std::size_t ra = Find(a);
+  std::size_t rb = Find(b);
+  if (ra == rb) return false;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  --num_sets_;
+  return true;
+}
+
+std::vector<std::vector<std::size_t>> UnionFind::Groups() {
+  std::vector<std::vector<std::size_t>> by_root(parent_.size());
+  for (std::size_t i = 0; i < parent_.size(); ++i) {
+    by_root[Find(i)].push_back(i);
+  }
+  std::vector<std::vector<std::size_t>> groups;
+  groups.reserve(num_sets_);
+  for (auto& g : by_root) {
+    if (!g.empty()) groups.push_back(std::move(g));
+  }
+  return groups;
+}
+
+}  // namespace infoleak

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace infoleak {
+
+/// \brief Disjoint-set forest with path halving and union by size; backs the
+/// transitive-closure entity resolver.
+class UnionFind {
+ public:
+  /// Creates `n` singleton sets {0}, {1}, ..., {n-1}.
+  explicit UnionFind(std::size_t n);
+
+  /// Representative of `x`'s set.
+  std::size_t Find(std::size_t x);
+
+  /// Unions the sets of `a` and `b`; returns true if they were distinct.
+  bool Union(std::size_t a, std::size_t b);
+
+  /// True iff `a` and `b` are in the same set.
+  bool Connected(std::size_t a, std::size_t b) { return Find(a) == Find(b); }
+
+  /// Number of disjoint sets remaining.
+  std::size_t NumSets() const { return num_sets_; }
+
+  /// Size of the set containing `x`.
+  std::size_t SetSize(std::size_t x) { return size_[Find(x)]; }
+
+  /// Groups element indices by representative; groups and members are in
+  /// ascending index order (deterministic).
+  std::vector<std::vector<std::size_t>> Groups();
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+  std::size_t num_sets_;
+};
+
+}  // namespace infoleak

@@ -1,0 +1,102 @@
+#include "gen/generator.h"
+
+#include "util/string_util.h"
+
+namespace infoleak {
+namespace {
+
+Status CheckProbability(double v, const char* name) {
+  if (v < 0.0 || v > 1.0) {
+    return Status::InvalidArgument(std::string(name) +
+                                   " must be a probability in [0, 1]");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status GeneratorConfig::Validate() const {
+  if (n == 0) return Status::InvalidArgument("n must be positive");
+  INFOLEAK_RETURN_IF_ERROR(CheckProbability(copy_prob, "pc"));
+  INFOLEAK_RETURN_IF_ERROR(CheckProbability(perturb_prob, "pp"));
+  INFOLEAK_RETURN_IF_ERROR(CheckProbability(bogus_prob, "pb"));
+  INFOLEAK_RETURN_IF_ERROR(CheckProbability(max_confidence, "m"));
+  return Status::OK();
+}
+
+std::string GeneratorConfig::ToString() const {
+  return StrCat("n=", std::to_string(n), " |R|=", std::to_string(num_records),
+                " pc=", FormatDouble(copy_prob, 2),
+                " pp=", FormatDouble(perturb_prob, 2),
+                " pb=", FormatDouble(bogus_prob, 2),
+                " m=", FormatDouble(max_confidence, 2),
+                " w=", random_weights ? "R" : "C",
+                " seed=", std::to_string(seed));
+}
+
+Record GenerateReference(const GeneratorConfig& config, Rng* rng) {
+  Record p;
+  for (std::size_t i = 0; i < config.n; ++i) {
+    // Labels are unique per position; values carry enough entropy that a
+    // perturbed or bogus value cannot collide with a correct one.
+    p.Insert(Attribute(StrCat("L", std::to_string(i)),
+                       StrCat("v", std::to_string(rng->NextUint64())), 1.0));
+  }
+  return p;
+}
+
+Record GenerateRecord(const Record& p, const GeneratorConfig& config,
+                      Rng* rng) {
+  Record r;
+  std::size_t index = 0;
+  for (const auto& a : p) {
+    // Copy (possibly perturbed into an incorrect value).
+    if (rng->Bernoulli(config.copy_prob)) {
+      std::string value = a.value;
+      if (rng->Bernoulli(config.perturb_prob)) {
+        value = StrCat("perturbed", std::to_string(rng->NextUint64()));
+      }
+      r.Insert(Attribute(a.label, std::move(value),
+                         rng->Uniform(0.0, config.max_confidence)));
+    }
+    // Bogus attribute under a label p does not use.
+    if (rng->Bernoulli(config.bogus_prob)) {
+      r.Insert(Attribute(StrCat("B", std::to_string(index)),
+                         StrCat("bogus", std::to_string(rng->NextUint64())),
+                         rng->Uniform(0.0, config.max_confidence)));
+    }
+    ++index;
+  }
+  return r;
+}
+
+Result<SyntheticDataset> GenerateDataset(const GeneratorConfig& config) {
+  INFOLEAK_RETURN_IF_ERROR(config.Validate());
+  SyntheticDataset out;
+  Rng root(config.seed);
+  Rng ref_rng = root.Fork();
+  out.reference = GenerateReference(config, &ref_rng);
+
+  if (config.random_weights) {
+    Rng weight_rng = root.Fork();
+    // Weights are per label (§2): reference labels L<i> and bogus labels
+    // B<i> each draw one weight from [0, 1].
+    for (std::size_t i = 0; i < config.n; ++i) {
+      INFOLEAK_RETURN_IF_ERROR(out.weights.SetWeight(
+          StrCat("L", std::to_string(i)), weight_rng.NextDouble()));
+      INFOLEAK_RETURN_IF_ERROR(out.weights.SetWeight(
+          StrCat("B", std::to_string(i)), weight_rng.NextDouble()));
+    }
+  }
+
+  // Each record gets an independent stream so that generating record k does
+  // not depend on how many records precede it.
+  Rng record_seed_rng = root.Fork();
+  for (std::size_t k = 0; k < config.num_records; ++k) {
+    Rng record_rng(record_seed_rng.NextUint64());
+    out.records.Add(GenerateRecord(out.reference, config, &record_rng));
+  }
+  return out;
+}
+
+}  // namespace infoleak

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/database.h"
+#include "core/leakage.h"
+#include "core/record.h"
+#include "core/weights.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace infoleak {
+
+/// \brief The paper's Table 4 synthetic-data parameters.
+///
+/// Generation process (§6): create the reference record p with n random
+/// attributes; then build each record r ∈ R by (1) copying each attribute of
+/// p with probability pc, perturbing the copy into an incorrect attribute
+/// with probability pp, and (2) adding, per attribute of p, a fresh bogus
+/// attribute with probability pb. Every generated attribute gets a
+/// confidence drawn uniformly from [0, m]. Weights are constant 1 (w = C) or
+/// drawn per label uniformly from [0, 1] (w = R).
+struct GeneratorConfig {
+  std::size_t n = 100;            ///< size of the gold standard p
+  std::size_t num_records = 10000;///< |R|
+  double copy_prob = 0.5;         ///< pc
+  double perturb_prob = 0.5;      ///< pp
+  double bogus_prob = 0.5;        ///< pb
+  double max_confidence = 0.5;    ///< m
+  bool random_weights = false;    ///< w: false = C (constant), true = R
+  uint64_t seed = 42;
+
+  /// The paper's base case (Table 4, last column).
+  static GeneratorConfig Basic() { return GeneratorConfig{}; }
+
+  Status Validate() const;
+
+  /// One-line summary for benchmark headers, e.g.
+  /// "n=100 |R|=10000 pc=0.5 pp=0.5 pb=0.5 m=0.5 w=C seed=42".
+  std::string ToString() const;
+};
+
+/// \brief A generated workload: the reference record, the adversary
+/// database, and the weight model.
+struct SyntheticDataset {
+  Record reference;   ///< p (all confidences 1)
+  Database records;   ///< R
+  WeightModel weights;
+};
+
+/// \brief Generates a full dataset per the Table 4 process. Deterministic in
+/// `config.seed`; changing only `num_records` extends the record list
+/// without reshuffling earlier records (each record derives its own RNG
+/// stream).
+Result<SyntheticDataset> GenerateDataset(const GeneratorConfig& config);
+
+/// \brief Generates the reference record only (n attributes, confidence 1).
+Record GenerateReference(const GeneratorConfig& config, Rng* rng);
+
+/// \brief Generates one adversary record from `p` (the copy / perturb /
+/// bogus process above).
+Record GenerateRecord(const Record& p, const GeneratorConfig& config,
+                      Rng* rng);
+
+}  // namespace infoleak

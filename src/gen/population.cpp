@@ -1,0 +1,54 @@
+#include "gen/population.h"
+
+#include "util/string_util.h"
+
+namespace infoleak {
+
+Result<PopulationDataset> GeneratePopulation(const GeneratorConfig& config,
+                                             std::size_t num_people,
+                                             std::size_t records_per_person) {
+  INFOLEAK_RETURN_IF_ERROR(config.Validate());
+  if (num_people == 0) {
+    return Status::InvalidArgument("population needs at least one person");
+  }
+  PopulationDataset out;
+  Rng root(config.seed);
+
+  // Shared label space L0..L(n-1); person-specific random values.
+  Rng ref_rng = root.Fork();
+  out.references.reserve(num_people);
+  for (std::size_t person = 0; person < num_people; ++person) {
+    Record reference;
+    for (std::size_t i = 0; i < config.n; ++i) {
+      reference.Insert(Attribute(
+          StrCat("L", std::to_string(i)),
+          StrCat("p", std::to_string(person), "v",
+                 std::to_string(ref_rng.NextUint64())),
+          1.0));
+    }
+    out.references.push_back(std::move(reference));
+  }
+
+  if (config.random_weights) {
+    Rng weight_rng = root.Fork();
+    for (std::size_t i = 0; i < config.n; ++i) {
+      INFOLEAK_RETURN_IF_ERROR(out.weights.SetWeight(
+          StrCat("L", std::to_string(i)), weight_rng.NextDouble()));
+      INFOLEAK_RETURN_IF_ERROR(out.weights.SetWeight(
+          StrCat("B", std::to_string(i)), weight_rng.NextDouble()));
+    }
+  }
+
+  Rng record_seed_rng = root.Fork();
+  for (std::size_t person = 0; person < num_people; ++person) {
+    for (std::size_t k = 0; k < records_per_person; ++k) {
+      Rng record_rng(record_seed_rng.NextUint64());
+      out.records.Add(
+          GenerateRecord(out.references[person], config, &record_rng));
+      out.owner.push_back(person);
+    }
+  }
+  return out;
+}
+
+}  // namespace infoleak

@@ -1,0 +1,122 @@
+#include "gen/realistic.h"
+
+#include "util/string_util.h"
+
+namespace infoleak {
+namespace {
+
+const char* const kGivenNames[] = {
+    "alice", "bob",   "carol", "dave",  "eve",    "frank", "grace",
+    "heidi", "ivan",  "judy",  "karl",  "laura",  "mike",  "nina",
+    "oscar", "peggy", "quinn", "rosa",  "steve",  "tina",  "ulric",
+    "vera",  "walt",  "xena",  "yuri",  "zelda"};
+const char* const kFamilyNames[] = {
+    "johnson", "smith",  "garcia",  "miller", "davis",   "martinez",
+    "lopez",   "wilson", "anderson", "thomas", "taylor",  "moore",
+    "jackson", "martin", "lee",      "perez",  "thompson", "white"};
+const char* const kCities[] = {"springfield", "rivertown", "lakeside",
+                               "hillcrest",   "oakdale",   "brookfield"};
+
+std::string MakePhone(Rng* rng) {
+  std::string phone = "555-";
+  for (int i = 0; i < 4; ++i) {
+    phone += static_cast<char>('0' + rng->NextBounded(10));
+  }
+  return phone;
+}
+
+std::string MakeZip(Rng* rng) {
+  std::string zip;
+  for (int i = 0; i < 5; ++i) {
+    zip += static_cast<char>('0' + rng->NextBounded(10));
+  }
+  return zip;
+}
+
+}  // namespace
+
+Status RealisticConfig::Validate() const {
+  if (num_people == 0) {
+    return Status::InvalidArgument("num_people must be positive");
+  }
+  if (attribute_keep_prob < 0.0 || attribute_keep_prob > 1.0 ||
+      typo_prob < 0.0 || typo_prob > 1.0 || min_confidence < 0.0 ||
+      min_confidence > 1.0) {
+    return Status::InvalidArgument("probabilities must be in [0, 1]");
+  }
+  return Status::OK();
+}
+
+std::string InjectTypo(const std::string& value, Rng* rng) {
+  if (value.empty()) return value;
+  std::string out = value;
+  const std::size_t pos = rng->NextBounded(out.size());
+  switch (rng->NextBounded(4)) {
+    case 0:  // substitute
+      out[pos] = static_cast<char>('a' + rng->NextBounded(26));
+      break;
+    case 1:  // delete
+      if (out.size() > 1) out.erase(pos, 1);
+      break;
+    case 2:  // insert
+      out.insert(pos, 1, static_cast<char>('a' + rng->NextBounded(26)));
+      break;
+    default:  // transpose with the next character
+      if (pos + 1 < out.size()) std::swap(out[pos], out[pos + 1]);
+      break;
+  }
+  return out;
+}
+
+Result<RealisticDataset> GenerateRealistic(const RealisticConfig& config) {
+  INFOLEAK_RETURN_IF_ERROR(config.Validate());
+  RealisticDataset out;
+  Rng root(config.seed);
+  Rng person_rng = root.Fork();
+
+  constexpr std::size_t kGivenCount =
+      sizeof(kGivenNames) / sizeof(kGivenNames[0]);
+  constexpr std::size_t kFamilyCount =
+      sizeof(kFamilyNames) / sizeof(kFamilyNames[0]);
+  for (std::size_t person = 0; person < config.num_people; ++person) {
+    RealisticPerson p;
+    std::string given(kGivenNames[person % kGivenCount]);
+    std::string family(
+        kFamilyNames[(person / kGivenCount) % kFamilyCount]);
+    p.full_name = given + " " + family;
+    if (person >= kGivenCount * kFamilyCount) {
+      p.full_name += StrCat(" ", std::to_string(person));  // pool exhausted
+    }
+    std::string email = StrCat(given, ".", family, "@mail.example");
+    p.reference.Insert(Attribute("N", p.full_name));
+    p.reference.Insert(Attribute("E", email));
+    p.reference.Insert(Attribute("P", MakePhone(&person_rng)));
+    p.reference.Insert(Attribute("Z", MakeZip(&person_rng)));
+    p.reference.Insert(
+        Attribute("C", kCities[person_rng.NextBounded(6)]));
+    out.people.push_back(std::move(p));
+  }
+
+  Rng record_seed_rng = root.Fork();
+  for (std::size_t person = 0; person < config.num_people; ++person) {
+    for (std::size_t k = 0; k < config.records_per_person; ++k) {
+      Rng rng(record_seed_rng.NextUint64());
+      Record observed;
+      for (const auto& a : out.people[person].reference) {
+        if (!rng.Bernoulli(config.attribute_keep_prob)) continue;
+        std::string value = a.value;
+        if (a.label == "N" && rng.Bernoulli(config.typo_prob)) {
+          value = InjectTypo(value, &rng);
+        }
+        observed.Insert(Attribute(
+            a.label, std::move(value),
+            rng.Uniform(config.min_confidence, 1.0)));
+      }
+      out.records.Add(std::move(observed));
+      out.owner.push_back(person);
+    }
+  }
+  return out;
+}
+
+}  // namespace infoleak

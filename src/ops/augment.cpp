@@ -1,0 +1,43 @@
+#include "ops/augment.h"
+
+namespace infoleak {
+
+AugmentOperator::AugmentOperator(std::unique_ptr<CostModel> cost_model)
+    : cost_model_(std::move(cost_model)) {
+  if (cost_model_ == nullptr) {
+    cost_model_ = std::make_unique<PerAttributeCostModel>(1.0);
+  }
+}
+
+void AugmentOperator::AddRule(std::string src_label, std::string src_value,
+                              std::string dst_label, std::string dst_value,
+                              double reliability) {
+  if (reliability < 0.0) reliability = 0.0;
+  if (reliability > 1.0) reliability = 1.0;
+  rules_.emplace(
+      std::make_pair(std::move(src_label), std::move(src_value)),
+      Derived{std::move(dst_label), std::move(dst_value), reliability});
+}
+
+Result<Database> AugmentOperator::Apply(const Database& db) const {
+  Database out;
+  for (const auto& r : db) {
+    Record enriched = r;
+    for (const auto& a : r) {
+      auto [lo, hi] = rules_.equal_range({a.label, a.value});
+      for (auto it = lo; it != hi; ++it) {
+        const Derived& d = it->second;
+        enriched.Insert(
+            Attribute(d.label, d.value, a.confidence * d.reliability));
+      }
+    }
+    out.Add(std::move(enriched));
+  }
+  return out;
+}
+
+double AugmentOperator::Cost(const Database& db) const {
+  return cost_model_->Cost(db);
+}
+
+}  // namespace infoleak

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "ops/operator.h"
+
+namespace infoleak {
+
+/// \brief Information-augmentation operator (§2.4): "Eve fills in missing
+/// data either by inferring the data or copying the data from other sources
+/// — e.g. if Eve knows the addresses of people she can fill in their zip
+/// codes automatically".
+///
+/// Implemented as inference rules over a lookup table: a rule
+/// (src_label, src_value) → (dst_label, dst_value) fires on every record
+/// containing the source attribute and inserts the derived attribute. The
+/// derived attribute's confidence is the source confidence scaled by the
+/// rule's reliability (Eve can be less sure of inferred data than of
+/// observed data).
+class AugmentOperator : public AnalysisOperator {
+ public:
+  explicit AugmentOperator(std::unique_ptr<CostModel> cost_model = nullptr);
+
+  /// Registers an inference rule. `reliability` in [0, 1] scales the source
+  /// confidence into the derived attribute's confidence.
+  void AddRule(std::string src_label, std::string src_value,
+               std::string dst_label, std::string dst_value,
+               double reliability = 1.0);
+
+  std::string_view name() const override { return "augment"; }
+  Result<Database> Apply(const Database& db) const override;
+  double Cost(const Database& db) const override;
+
+  std::size_t num_rules() const { return rules_.size(); }
+
+ private:
+  struct Derived {
+    std::string label;
+    std::string value;
+    double reliability;
+  };
+  // (src_label, src_value) -> derived attribute spec. multimap: one source
+  // fact may imply several others.
+  std::multimap<std::pair<std::string, std::string>, Derived> rules_;
+  std::unique_ptr<CostModel> cost_model_;
+};
+
+}  // namespace infoleak

@@ -1,0 +1,17 @@
+#include "ops/cost.h"
+
+#include <cmath>
+
+namespace infoleak {
+
+double PolynomialCostModel::Cost(const Database& db) const {
+  return coefficient_ * std::pow(static_cast<double>(db.size()), exponent_);
+}
+
+double ObservedErCost(const ErStats& stats, double per_match,
+                      double per_merge) {
+  return per_match * static_cast<double>(stats.match_calls) +
+         per_merge * static_cast<double>(stats.merge_calls);
+}
+
+}  // namespace infoleak

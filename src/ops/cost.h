@@ -1,0 +1,69 @@
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "core/database.h"
+#include "er/resolver.h"
+
+namespace infoleak {
+
+/// \brief The paper's cost function C(E, R) (§2.4): the price the adversary
+/// pays to run an analysis operation on a database. "The cost could be
+/// measured in computation steps, run time, or even in dollars."
+class CostModel {
+ public:
+  virtual ~CostModel() = default;
+  virtual std::string_view name() const = 0;
+
+  /// A-priori cost estimate for applying the operation to `db`.
+  virtual double Cost(const Database& db) const = 0;
+};
+
+/// \brief C(E, R) = c · |R|^k — the paper's running example uses c = 1/1000,
+/// k = 2 for a quadratic ER algorithm.
+class PolynomialCostModel : public CostModel {
+ public:
+  PolynomialCostModel(double coefficient, double exponent)
+      : coefficient_(coefficient), exponent_(exponent) {}
+
+  std::string_view name() const override { return "polynomial"; }
+  double Cost(const Database& db) const override;
+
+  double coefficient() const { return coefficient_; }
+  double exponent() const { return exponent_; }
+
+ private:
+  double coefficient_;
+  double exponent_;
+};
+
+/// \brief Zero cost; used by the identity operation.
+class ZeroCostModel : public CostModel {
+ public:
+  std::string_view name() const override { return "zero"; }
+  double Cost(const Database&) const override { return 0.0; }
+};
+
+/// \brief Cost proportional to the total number of attributes in the
+/// database (suits per-value operations such as error correction).
+class PerAttributeCostModel : public CostModel {
+ public:
+  explicit PerAttributeCostModel(double per_attribute)
+      : per_attribute_(per_attribute) {}
+  std::string_view name() const override { return "per-attribute"; }
+  double Cost(const Database& db) const override {
+    return per_attribute_ * static_cast<double>(db.TotalAttributes());
+  }
+
+ private:
+  double per_attribute_;
+};
+
+/// \brief Prices an *observed* entity-resolution run from its counters —
+/// useful when the adversary's budget is in match/merge operations rather
+/// than an a-priori model.
+double ObservedErCost(const ErStats& stats, double per_match,
+                      double per_merge);
+
+}  // namespace infoleak

@@ -1,0 +1,62 @@
+#include "ops/error_correction.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace infoleak {
+
+ErrorCorrectionOperator::ErrorCorrectionOperator(
+    std::size_t max_edit_distance, std::unique_ptr<CostModel> cost_model)
+    : max_edit_distance_(max_edit_distance),
+      cost_model_(std::move(cost_model)) {
+  if (cost_model_ == nullptr) {
+    cost_model_ = std::make_unique<PerAttributeCostModel>(1.0);
+  }
+}
+
+void ErrorCorrectionOperator::AddDictionary(std::string label,
+                                            std::vector<std::string> values) {
+  auto& dict = dictionaries_[std::move(label)];
+  dict.insert(dict.end(), values.begin(), values.end());
+  std::sort(dict.begin(), dict.end());
+  dict.erase(std::unique(dict.begin(), dict.end()), dict.end());
+}
+
+std::string ErrorCorrectionOperator::Correct(const std::string& label,
+                                             const std::string& value) const {
+  auto it = dictionaries_.find(label);
+  if (it == dictionaries_.end()) return value;
+  const auto& dict = it->second;
+  if (std::binary_search(dict.begin(), dict.end(), value)) return value;
+  std::size_t best_distance = max_edit_distance_ + 1;
+  const std::string* best = nullptr;
+  for (const auto& candidate : dict) {
+    std::size_t d = EditDistance(value, candidate);
+    if (d < best_distance) {  // strict: first (smallest) candidate wins ties
+      best_distance = d;
+      best = &candidate;
+    }
+  }
+  return best != nullptr ? *best : value;
+}
+
+Result<Database> ErrorCorrectionOperator::Apply(const Database& db) const {
+  Database out;
+  for (const auto& r : db) {
+    Record fixed;
+    for (const auto& a : r) {
+      fixed.Insert(Attribute(a.label, Correct(a.label, a.value),
+                             a.confidence));
+    }
+    for (RecordId id : r.sources()) fixed.AddSource(id);
+    out.Add(std::move(fixed));
+  }
+  return out;
+}
+
+double ErrorCorrectionOperator::Cost(const Database& db) const {
+  return cost_model_->Cost(db);
+}
+
+}  // namespace infoleak

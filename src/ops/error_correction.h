@@ -1,0 +1,46 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ops/operator.h"
+
+namespace infoleak {
+
+/// \brief Error-correction operator (§2.4): "the adversary identifies and
+/// corrects erroneous data, e.g. fixes misspellings of words".
+///
+/// Implemented as dictionary snapping: each label may register a dictionary
+/// of known-good values; a value within `max_edit_distance` of a dictionary
+/// entry (and not already an entry) is replaced by the closest entry. Ties
+/// are broken toward the lexicographically smallest candidate for
+/// determinism. Values farther than the threshold from every entry are left
+/// unchanged — the adversary cannot correct what she cannot recognize.
+class ErrorCorrectionOperator : public AnalysisOperator {
+ public:
+  explicit ErrorCorrectionOperator(
+      std::size_t max_edit_distance = 1,
+      std::unique_ptr<CostModel> cost_model = nullptr);
+
+  /// Registers the set of correct values for `label`.
+  void AddDictionary(std::string label, std::vector<std::string> values);
+
+  std::string_view name() const override { return "error-correction"; }
+  Result<Database> Apply(const Database& db) const override;
+  double Cost(const Database& db) const override;
+
+  /// Corrects a single value; exposed for tests and for reuse by other
+  /// operators. Returns the input unchanged when no dictionary entry is
+  /// within range.
+  std::string Correct(const std::string& label,
+                      const std::string& value) const;
+
+ private:
+  std::size_t max_edit_distance_;
+  std::map<std::string, std::vector<std::string>, std::less<>> dictionaries_;
+  std::unique_ptr<CostModel> cost_model_;
+};
+
+}  // namespace infoleak

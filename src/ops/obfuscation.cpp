@@ -1,0 +1,60 @@
+#include "ops/obfuscation.h"
+
+#include "util/string_util.h"
+
+#include <set>
+#include <vector>
+
+namespace infoleak {
+
+ObfuscationOperator::ObfuscationOperator(
+    std::size_t decoys_per_record, std::size_t attributes_per_decoy,
+    uint64_t seed, std::unique_ptr<CostModel> cost_model)
+    : decoys_per_record_(decoys_per_record),
+      attributes_per_decoy_(attributes_per_decoy),
+      seed_(seed),
+      cost_model_(std::move(cost_model)) {
+  if (cost_model_ == nullptr) {
+    // Creating a decoy costs one unit per attribute, mirroring §4.2's
+    // record-size cost for disinformation.
+    cost_model_ = std::make_unique<PerAttributeCostModel>(
+        static_cast<double>(decoys_per_record_ * attributes_per_decoy_));
+  }
+}
+
+Result<Database> ObfuscationOperator::Apply(const Database& db) const {
+  Database out = db;
+  if (decoys_per_record_ == 0 || attributes_per_decoy_ == 0) return out;
+
+  std::vector<std::string> label_pool;
+  if (mimic_labels_) {
+    std::set<std::string> labels;
+    for (const auto& r : db) {
+      for (const auto& a : r) labels.insert(a.label);
+    }
+    label_pool.assign(labels.begin(), labels.end());
+  }
+
+  Rng rng(seed_);
+  const std::size_t decoys = decoys_per_record_ * db.size();
+  for (std::size_t d = 0; d < decoys; ++d) {
+    Record decoy;
+    for (std::size_t a = 0; a < attributes_per_decoy_; ++a) {
+      std::string label =
+          !label_pool.empty()
+              ? label_pool[rng.NextBounded(label_pool.size())]
+              : StrCat("O", std::to_string(a));
+      decoy.Insert(Attribute(std::move(label),
+                             StrCat("noise", std::to_string(rng.NextUint64())),
+                             rng.NextDouble()));
+    }
+    out.Add(std::move(decoy));
+  }
+  return out;
+}
+
+double ObfuscationOperator::Cost(const Database& db) const {
+  return cost_model_->Cost(db);
+}
+
+}  // namespace infoleak

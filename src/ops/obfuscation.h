@@ -1,0 +1,49 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "ops/operator.h"
+#include "util/rng.h"
+
+namespace infoleak {
+
+/// \brief Noise-injection operator in the spirit of TrackMeNot (related
+/// work, §7): floods the database with decoy records so that genuine
+/// records hide among fakes. Unlike §4.2's targeted disinformation — which
+/// crafts records that *merge into* the victim's composite — obfuscation
+/// adds free-standing noise that dilutes any analysis keyed on volume or
+/// co-occurrence, and it needs no knowledge of the victim's data.
+///
+/// The operator is the *defender's* transformation of the public record
+/// stream; composing it before an adversary's ER pipeline measures how
+/// much protection the noise actually buys (often none against a precise
+/// match function — a result worth quantifying).
+class ObfuscationOperator : public AnalysisOperator {
+ public:
+  /// \param decoys_per_record how many noise records to add per existing
+  ///        record (0 disables).
+  /// \param attributes_per_decoy size of each noise record.
+  /// \param seed deterministic noise stream.
+  ObfuscationOperator(std::size_t decoys_per_record,
+                      std::size_t attributes_per_decoy, uint64_t seed,
+                      std::unique_ptr<CostModel> cost_model = nullptr);
+
+  /// Labels of generated attributes are drawn from the labels already in
+  /// the database when `mimic_labels` is set (default), making decoys
+  /// blend in; otherwise fresh "O<i>" labels are used.
+  void set_mimic_labels(bool mimic) { mimic_labels_ = mimic; }
+
+  std::string_view name() const override { return "obfuscation"; }
+  Result<Database> Apply(const Database& db) const override;
+  double Cost(const Database& db) const override;
+
+ private:
+  std::size_t decoys_per_record_;
+  std::size_t attributes_per_decoy_;
+  uint64_t seed_;
+  bool mimic_labels_ = true;
+  std::unique_ptr<CostModel> cost_model_;
+};
+
+}  // namespace infoleak

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/database.h"
+#include "core/leakage.h"
+#include "er/merge.h"
+#include "er/resolver.h"
+#include "ops/cost.h"
+#include "util/result.h"
+
+namespace infoleak {
+
+/// \brief An adversary data-analysis operation E (§2.4): receives a database
+/// R and returns another database E(R) that may increase information
+/// leakage. Error correction, augmentation, entity resolution, and
+/// compositions thereof all implement this interface.
+class AnalysisOperator {
+ public:
+  virtual ~AnalysisOperator() = default;
+  virtual std::string_view name() const = 0;
+
+  /// Applies the operation. The input database is not modified.
+  virtual Result<Database> Apply(const Database& db) const = 0;
+
+  /// A-priori cost C(E, R) of applying this operation to `db`.
+  virtual double Cost(const Database& db) const = 0;
+};
+
+/// \brief E(R) = R with zero cost; information leakage under the identity
+/// operator reduces to the basic set leakage L0(R, p).
+class IdentityOperator : public AnalysisOperator {
+ public:
+  std::string_view name() const override { return "identity"; }
+  Result<Database> Apply(const Database& db) const override { return db; }
+  double Cost(const Database&) const override { return 0.0; }
+};
+
+/// \brief Wraps an entity resolver as an analysis operator. The cost model
+/// defaults to the paper's quadratic C(E, R) = c·|R|² with c = 1/1000.
+class ErOperator : public AnalysisOperator {
+ public:
+  ErOperator(const EntityResolver& resolver,
+             std::unique_ptr<CostModel> cost_model = nullptr);
+
+  std::string_view name() const override { return "entity-resolution"; }
+  Result<Database> Apply(const Database& db) const override;
+  double Cost(const Database& db) const override;
+
+  /// Counters accumulated across all Apply() calls on this operator.
+  const ErStats& cumulative_stats() const { return stats_; }
+
+ private:
+  const EntityResolver& resolver_;
+  std::unique_ptr<CostModel> cost_model_;
+  mutable ErStats stats_;
+};
+
+/// \brief Canonicalizes attribute values through a synonym table (§3.2's E'
+/// that replaces Influenza with Flu). Typically composed before an
+/// ErOperator via PipelineOperator.
+class SemanticNormalizeOperator : public AnalysisOperator {
+ public:
+  explicit SemanticNormalizeOperator(
+      ValueNormalizer normalizer,
+      std::unique_ptr<CostModel> cost_model = nullptr);
+
+  std::string_view name() const override { return "semantic-normalize"; }
+  Result<Database> Apply(const Database& db) const override;
+  double Cost(const Database& db) const override;
+
+ private:
+  ValueNormalizer normalizer_;
+  std::unique_ptr<CostModel> cost_model_;
+};
+
+/// \brief Function composition of operators, applied left to right; the cost
+/// is the sum of stage costs, each priced on the database that stage sees.
+class PipelineOperator : public AnalysisOperator {
+ public:
+  explicit PipelineOperator(
+      std::vector<const AnalysisOperator*> stages,
+      std::string name = "pipeline");
+
+  std::string_view name() const override { return name_; }
+  Result<Database> Apply(const Database& db) const override;
+  double Cost(const Database& db) const override;
+
+ private:
+  std::vector<const AnalysisOperator*> stages_;
+  std::string name_;
+};
+
+/// \brief Outcome of Definition 2.2: the leakage after analysis together
+/// with the analysis cost and the analyzed database.
+struct LeakageReport {
+  double leakage = 0.0;   ///< L(R, p, E) = L0(E(R), p)
+  double cost = 0.0;      ///< C(E, R)
+  Database analyzed;      ///< E(R)
+};
+
+/// \brief Information leakage L(R, p, E) of Definition 2.2.
+Result<double> InformationLeakage(const Database& db, const Record& p,
+                                  const AnalysisOperator& op,
+                                  const WeightModel& wm,
+                                  const LeakageEngine& engine);
+
+/// \brief As InformationLeakage, also reporting cost and E(R).
+Result<LeakageReport> AnalyzeLeakage(const Database& db, const Record& p,
+                                     const AnalysisOperator& op,
+                                     const WeightModel& wm,
+                                     const LeakageEngine& engine);
+
+}  // namespace infoleak

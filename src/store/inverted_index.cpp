@@ -1,0 +1,41 @@
+#include "store/inverted_index.h"
+
+#include <algorithm>
+
+namespace infoleak {
+
+void InvertedIndex::Add(RecordId id, const Record& record) {
+  for (const auto& a : record) {
+    auto& list = postings_[{a.label, a.value}];
+    if (list.empty() || list.back() < id) {
+      list.push_back(id);
+    } else if (!std::binary_search(list.begin(), list.end(), id)) {
+      list.insert(std::lower_bound(list.begin(), list.end(), id), id);
+    }
+  }
+}
+
+const std::vector<RecordId>* InvertedIndex::Find(std::string_view label,
+                                                 std::string_view value) const {
+  auto it = postings_.find({std::string(label), std::string(value)});
+  if (it == postings_.end() || it->second.empty()) return nullptr;
+  return &it->second;
+}
+
+std::vector<RecordId> InvertedIndex::Candidates(
+    const Record& record, const std::vector<std::string>& labels) const {
+  std::vector<RecordId> out;
+  for (const auto& a : record) {
+    if (!labels.empty() &&
+        std::find(labels.begin(), labels.end(), a.label) == labels.end()) {
+      continue;
+    }
+    const auto* list = Find(a.label, a.value);
+    if (list != nullptr) out.insert(out.end(), list->begin(), list->end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace infoleak

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/record.h"
+
+namespace infoleak {
+
+/// \brief Inverted index over attribute values: (label, value) → ids of the
+/// records carrying that attribute. The lookup structure behind the record
+/// store's index-accelerated dossier queries (and conceptually behind
+/// LabelValueBlocking — a block is exactly one posting list).
+class InvertedIndex {
+ public:
+  /// Indexes every attribute of `record` under `id`. Ids should be added
+  /// in ascending order; posting lists then stay sorted for free.
+  void Add(RecordId id, const Record& record);
+
+  /// Posting list for (label, value); nullptr when empty.
+  const std::vector<RecordId>* Find(std::string_view label,
+                                    std::string_view value) const;
+
+  /// Ids of records sharing at least one (label, value) with `record`,
+  /// restricted to `labels` (all labels when empty). Sorted, deduplicated.
+  std::vector<RecordId> Candidates(
+      const Record& record,
+      const std::vector<std::string>& labels = {}) const;
+
+  std::size_t num_postings() const { return postings_.size(); }
+
+ private:
+  // (label, value) -> ascending record ids.
+  std::map<std::pair<std::string, std::string>, std::vector<RecordId>>
+      postings_;
+};
+
+}  // namespace infoleak

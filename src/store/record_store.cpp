@@ -1,0 +1,97 @@
+#include "store/record_store.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "core/record_io.h"
+#include "util/file.h"
+
+namespace infoleak {
+
+Result<RecordStore> RecordStore::Open(const std::string& path) {
+  RecordStore store;
+  store.path_ = path;
+  auto text = ReadFileToString(path);
+  if (!text.ok()) {
+    if (text.status().IsNotFound()) return store;  // fresh store
+    return text.status();
+  }
+  auto db = LoadDatabaseCsv(*text);
+  if (!db.ok()) return db.status();
+  for (const auto& r : *db) store.Append(r);
+  return store;
+}
+
+RecordStore RecordStore::FromDatabase(const Database& db) {
+  RecordStore store;
+  for (const auto& r : db) store.Append(r);
+  return store;
+}
+
+RecordId RecordStore::Append(Record record) {
+  // Store ids are positions: strip any provenance the caller's record
+  // carries so the fresh id assigned by Add matches the vector index.
+  Record clean;
+  for (auto& a : record) clean.Insert(std::move(a));
+  RecordId id = db_.Add(std::move(clean));
+  index_.Add(id, db_[db_.size() - 1]);
+  return id;
+}
+
+Status RecordStore::Flush(const std::string& path) const {
+  const std::string& target = path.empty() ? path_ : path;
+  if (target.empty()) {
+    return Status::FailedPrecondition(
+        "store has no bound path; pass one to Flush");
+  }
+  return WriteStringToFile(target, SaveDatabaseCsv(db_));
+}
+
+Result<Record> RecordStore::Get(RecordId id) const {
+  if (id >= db_.size()) {
+    return Status::OutOfRange("no record with id " + std::to_string(id));
+  }
+  return db_[id];
+}
+
+std::vector<RecordId> RecordStore::Lookup(std::string_view label,
+                                          std::string_view value) const {
+  const auto* list = index_.Find(label, value);
+  return list != nullptr ? *list : std::vector<RecordId>{};
+}
+
+Result<Record> RecordStore::Dossier(const Record& query,
+                                    const std::vector<std::string>& labels,
+                                    std::vector<RecordId>* members) const {
+  // Breadth-first expansion over posting lists: the frontier holds records
+  // whose attributes have not yet been used to find neighbors.
+  Record dossier;
+  for (const auto& a : query) dossier.Insert(a);
+
+  std::vector<bool> visited(db_.size(), false);
+  std::deque<RecordId> frontier;
+  for (RecordId id : index_.Candidates(query, labels)) {
+    frontier.push_back(id);
+    visited[id] = true;
+  }
+  std::vector<RecordId> touched(frontier.begin(), frontier.end());
+  while (!frontier.empty()) {
+    RecordId id = frontier.front();
+    frontier.pop_front();
+    dossier.MergeFrom(db_[id]);
+    for (RecordId next : index_.Candidates(db_[id], labels)) {
+      if (!visited[next]) {
+        visited[next] = true;
+        frontier.push_back(next);
+        touched.push_back(next);
+      }
+    }
+  }
+  if (members != nullptr) {
+    std::sort(touched.begin(), touched.end());
+    *members = std::move(touched);
+  }
+  return dossier;
+}
+
+}  // namespace infoleak

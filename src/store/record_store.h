@@ -1,0 +1,66 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "store/inverted_index.h"
+#include "util/result.h"
+
+namespace infoleak {
+
+/// \brief A persistent, indexed record collection: the storage layer a
+/// long-running adversary (or defender's ledger) would keep between
+/// sessions. Records live in an in-memory `Database`, every attribute is
+/// posted to an inverted index on insert, and the whole store round-trips
+/// through the long-format CSV of `core/record_io`.
+///
+/// The index powers `Dossier()`: the §2.4 dipping query for shared-value
+/// matching, computed by graph expansion over posting lists — each hop
+/// touches only the records actually sharing a value with the frontier,
+/// instead of resolving the entire database. Equivalent to
+/// `DippingResult` with a `RuleMatch::SharedValue` resolver (tested), at a
+/// fraction of the match calls.
+class RecordStore {
+ public:
+  RecordStore() = default;
+
+  /// Loads a store from `path` (CSV long format); a missing file yields an
+  /// empty store bound to that path.
+  static Result<RecordStore> Open(const std::string& path);
+
+  /// Builds an in-memory store from an existing database (no file bound).
+  static RecordStore FromDatabase(const Database& db);
+
+  /// Appends a record, indexing its attributes; returns its id.
+  RecordId Append(Record record);
+
+  /// Persists to the bound path (or `path` when given).
+  Status Flush(const std::string& path = "") const;
+
+  const Database& database() const { return db_; }
+  const InvertedIndex& index() const { return index_; }
+  std::size_t size() const { return db_.size(); }
+
+  /// Record by id; OutOfRange when absent.
+  Result<Record> Get(RecordId id) const;
+
+  /// Ids of records carrying (label, value) — one posting list.
+  std::vector<RecordId> Lookup(std::string_view label,
+                               std::string_view value) const;
+
+  /// Index-accelerated dipping: merges every record transitively reachable
+  /// from `query` by sharing a value on one of `labels` (all labels when
+  /// empty). Returns the merged dossier (the query's own attributes
+  /// included) and, optionally, the touched record ids.
+  Result<Record> Dossier(const Record& query,
+                         const std::vector<std::string>& labels = {},
+                         std::vector<RecordId>* members = nullptr) const;
+
+ private:
+  Database db_;
+  InvertedIndex index_;
+  std::string path_;
+};
+
+}  // namespace infoleak

@@ -1,0 +1,103 @@
+#include "util/csv.h"
+
+namespace infoleak {
+namespace {
+
+bool NeedsQuoting(std::string_view field) {
+  return field.find_first_of(",\"\n\r") != std::string_view::npos;
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> Csv::ParseLine(std::string_view line) {
+  auto rows = Parse(line);
+  if (!rows.ok()) return rows.status();
+  if (rows->empty()) return std::vector<std::string>{};
+  if (rows->size() != 1) {
+    return Status::InvalidArgument("ParseLine fed multiple rows");
+  }
+  return std::move((*rows)[0]);
+}
+
+Result<std::vector<std::vector<std::string>>> Csv::Parse(
+    std::string_view text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_row = [&] {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        field_started = true;
+        break;
+      case ',':
+        end_field();
+        field_started = true;  // a comma implies a following (maybe empty) field
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n':
+        end_row();
+        break;
+      default:
+        field += c;
+        field_started = true;
+        break;
+    }
+  }
+  if (in_quotes) {
+    return Status::Corruption("unterminated quoted CSV field");
+  }
+  if (field_started || !field.empty() || !row.empty()) {
+    end_row();
+  }
+  return rows;
+}
+
+std::string Csv::FormatRow(const std::vector<std::string>& fields) {
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out += ',';
+    if (NeedsQuoting(fields[i])) {
+      out += '"';
+      for (char c : fields[i]) {
+        if (c == '"') out += '"';
+        out += c;
+      }
+      out += '"';
+    } else {
+      out += fields[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace infoleak

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace infoleak {
+
+/// \brief Minimal RFC-4180-style CSV codec.
+///
+/// Fields containing commas, quotes, or newlines are quoted; embedded quotes
+/// are doubled. Used by the anonymization substrate to load/save typed tables
+/// and by the benchmark harness to emit machine-readable series.
+class Csv {
+ public:
+  /// Parses one logical CSV line into fields. Fails on an unterminated quote.
+  static Result<std::vector<std::string>> ParseLine(std::string_view line);
+
+  /// Parses a whole document (rows of fields). Quoted fields may span
+  /// newlines. An empty trailing line is ignored.
+  static Result<std::vector<std::vector<std::string>>> Parse(
+      std::string_view text);
+
+  /// Renders one row, quoting fields as needed (no trailing newline).
+  static std::string FormatRow(const std::vector<std::string>& fields);
+};
+
+}  // namespace infoleak

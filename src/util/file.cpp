@@ -1,0 +1,40 @@
+#include "util/file.h"
+
+#include <cstdio>
+
+namespace infoleak {
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open '" + path + "' for reading");
+  }
+  std::string out;
+  char buf[1 << 14];
+  std::size_t got = 0;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, got);
+  }
+  const bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) {
+    return Status::Internal("read error on '" + path + "'");
+  }
+  return out;
+}
+
+Status WriteStringToFile(const std::string& path, std::string_view contents) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot open '" + path + "' for writing");
+  }
+  const std::size_t written =
+      contents.empty() ? 0 : std::fwrite(contents.data(), 1, contents.size(), f);
+  const bool failed = std::fclose(f) != 0 || written != contents.size();
+  if (failed) {
+    return Status::Internal("write error on '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace infoleak

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace infoleak {
+
+/// \brief Reads an entire file into a string; NotFound / Internal on error.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// \brief Writes `contents` to `path`, replacing any existing file.
+Status WriteStringToFile(const std::string& path, std::string_view contents);
+
+}  // namespace infoleak

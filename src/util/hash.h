@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+namespace infoleak {
+
+/// \brief Mixes `v`'s hash into `seed` (boost-style hash_combine).
+inline void HashCombine(std::size_t* seed, std::size_t v) {
+  *seed ^= v + 0x9E3779B97F4A7C15ULL + (*seed << 6) + (*seed >> 2);
+}
+
+/// \brief FNV-1a over a byte string; stable across platforms, unlike
+/// `std::hash<std::string>`.
+inline uint64_t Fnv1a(std::string_view s) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace infoleak

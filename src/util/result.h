@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace infoleak {
+
+/// \brief Value-or-error wrapper (an economical `StatusOr<T>`).
+///
+/// A `Result<T>` holds either a `T` or a non-OK `Status`. Accessing the value
+/// of an errored result is a programming error and asserts in debug builds.
+///
+/// \code
+///   Result<WeightModel> wm = WeightModel::Parse(spec);
+///   if (!wm.ok()) return wm.status();
+///   Use(wm.value());
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+/// Evaluates a Result-returning expression; assigns the value on success and
+/// returns the error status on failure.
+#define INFOLEAK_ASSIGN_OR_RETURN(lhs, expr)       \
+  auto _res_##__LINE__ = (expr);                   \
+  if (!_res_##__LINE__.ok()) {                     \
+    return _res_##__LINE__.status();               \
+  }                                                \
+  lhs = std::move(_res_##__LINE__).value()
+
+}  // namespace infoleak

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace infoleak {
+
+/// \brief Splits `input` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view input, char delim);
+
+/// \brief Joins `parts` with `delim` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view delim);
+
+/// \brief Strips leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// \brief Lower-cases ASCII characters.
+std::string ToLower(std::string_view s);
+
+/// \brief True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// \brief Matches `value` against `pattern` where '*' in the pattern matches
+/// exactly one arbitrary character (the paper's suppression wildcard, e.g.
+/// "11*" matches "111" and "112" but not "1113").
+bool WildcardMatch(std::string_view pattern, std::string_view value);
+
+/// \brief Levenshtein edit distance with unit costs; used by the
+/// error-correction adversary operator to snap misspelled values to a
+/// dictionary.
+std::size_t EditDistance(std::string_view a, std::string_view b);
+
+/// \brief Formats a double with `digits` significant decimal places, trimming
+/// trailing zeros (stable output for benchmark tables).
+std::string FormatDouble(double v, int digits = 7);
+
+/// \brief Concatenates any number of string-ish pieces with one allocation
+/// (absl-style). Also sidesteps GCC 12's -Wrestrict false positive on
+/// `const char* + std::string&&` chains (PR105651).
+namespace internal {
+inline void AppendPieces(std::string*) {}
+template <typename First, typename... Rest>
+void AppendPieces(std::string* out, const First& first,
+                  const Rest&... rest) {
+  *out += first;
+  AppendPieces(out, rest...);
+}
+}  // namespace internal
+
+template <typename... Pieces>
+std::string StrCat(const Pieces&... pieces) {
+  std::string out;
+  out.reserve((std::string_view(pieces).size() + ...));
+  internal::AppendPieces(&out, pieces...);
+  return out;
+}
+
+}  // namespace infoleak

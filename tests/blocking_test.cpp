@@ -1,0 +1,131 @@
+#include "er/blocking.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "er/transitive.h"
+#include "gen/population.h"
+
+namespace infoleak {
+namespace {
+
+std::vector<std::string> Canonical(const Database& db) {
+  std::vector<std::string> out;
+  for (const auto& r : db) out.push_back(r.ToString());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(LabelValueBlockingTest, OneKeyPerBlockingAttribute) {
+  LabelValueBlocking blocking({"N", "P"});
+  Record r{{"N", "Alice"}, {"P", "123"}, {"Z", "94305"}};
+  auto keys = blocking.Keys(r);
+  EXPECT_EQ(keys.size(), 2u);  // Z is not a blocking label
+}
+
+TEST(LabelValueBlockingTest, SharedValueSharesKey) {
+  LabelValueBlocking blocking({"N"});
+  Record a{{"N", "Alice"}, {"P", "1"}};
+  Record b{{"N", "Alice"}, {"C", "2"}};
+  Record c{{"N", "Bob"}};
+  auto ka = blocking.Keys(a);
+  auto kb = blocking.Keys(b);
+  auto kc = blocking.Keys(c);
+  EXPECT_EQ(ka, kb);
+  EXPECT_NE(ka, kc);
+}
+
+TEST(BlockedResolverTest, MatchesTransitiveClosureOnSharedValueRules) {
+  // Blocking on the match labels is complete for shared-value matches, so
+  // the blocked resolver must produce the same partition.
+  Database db;
+  db.Add(Record{{"N", "Alice"}, {"P", "1"}});
+  db.Add(Record{{"N", "Alice"}, {"C", "2"}});
+  db.Add(Record{{"N", "Bob"}, {"P", "1"}});
+  db.Add(Record{{"N", "Carol"}});
+  db.Add(Record{{"N", "Carol"}, {"Z", "9"}});
+  auto match = RuleMatch::SharedValue({"N", "P"});
+  UnionMerge merge;
+  LabelValueBlocking blocking({"N", "P"});
+  BlockedResolver blocked(blocking, *match, merge);
+  TransitiveClosureResolver full(*match, merge);
+  auto rb = blocked.Resolve(db, nullptr);
+  auto rf = full.Resolve(db, nullptr);
+  ASSERT_TRUE(rb.ok());
+  ASSERT_TRUE(rf.ok());
+  EXPECT_EQ(Canonical(*rb), Canonical(*rf));
+}
+
+TEST(BlockedResolverTest, FarFewerMatchCallsOnPopulations) {
+  GeneratorConfig config;
+  config.n = 10;
+  config.perturb_prob = 0.0;  // clean copies so blocks align with entities
+  config.seed = 11;
+  auto data = GeneratePopulation(config, /*num_people=*/20,
+                                 /*records_per_person=*/10);
+  ASSERT_TRUE(data.ok());
+  auto match = RuleMatch::SharedValue(
+      {"L0", "L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8", "L9"});
+  UnionMerge merge;
+  LabelValueBlocking blocking(
+      {"L0", "L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8", "L9"});
+  BlockedResolver blocked(blocking, *match, merge);
+  TransitiveClosureResolver full(*match, merge);
+  ErStats blocked_stats;
+  ErStats full_stats;
+  auto rb = blocked.Resolve(data->records, &blocked_stats);
+  auto rf = full.Resolve(data->records, &full_stats);
+  ASSERT_TRUE(rb.ok());
+  ASSERT_TRUE(rf.ok());
+  EXPECT_EQ(Canonical(*rb), Canonical(*rf));
+  // 200 records: full pays C(200,2) = 19900; blocking only compares within
+  // per-person value blocks.
+  EXPECT_EQ(full_stats.match_calls, 19900u);
+  EXPECT_LT(blocked_stats.match_calls, full_stats.match_calls / 3);
+}
+
+TEST(BlockedResolverTest, NoBlocksMeansNoComparisons) {
+  Database db;
+  db.Add(Record{{"N", "Alice"}});
+  db.Add(Record{{"N", "Bob"}});
+  auto match = RuleMatch::SharedValue({"N"});
+  UnionMerge merge;
+  LabelValueBlocking blocking({"Z"});  // nobody has Z
+  BlockedResolver blocked(blocking, *match, merge);
+  ErStats stats;
+  auto resolved = blocked.Resolve(db, &stats);
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(stats.match_calls, 0u);
+  EXPECT_EQ(resolved->size(), 2u);
+}
+
+TEST(BlockedResolverTest, DuplicatePairsComparedOnce) {
+  // Two records sharing two blocking values meet in two blocks but must be
+  // compared only once.
+  Database db;
+  db.Add(Record{{"N", "Alice"}, {"P", "1"}});
+  db.Add(Record{{"N", "Alice"}, {"P", "1"}});
+  auto match = RuleMatch::SharedValue({"N", "P"});
+  UnionMerge merge;
+  LabelValueBlocking blocking({"N", "P"});
+  BlockedResolver blocked(blocking, *match, merge);
+  ErStats stats;
+  auto resolved = blocked.Resolve(db, &stats);
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(stats.match_calls, 1u);
+  EXPECT_EQ(resolved->size(), 1u);
+}
+
+TEST(BlockedResolverTest, EmptyDatabase) {
+  auto match = RuleMatch::SharedValue({"N"});
+  UnionMerge merge;
+  LabelValueBlocking blocking({"N"});
+  BlockedResolver blocked(blocking, *match, merge);
+  auto resolved = blocked.Resolve(Database{}, nullptr);
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_TRUE(resolved->empty());
+}
+
+}  // namespace
+}  // namespace infoleak

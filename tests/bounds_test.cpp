@@ -1,0 +1,105 @@
+#include "core/bounds.h"
+
+#include <gtest/gtest.h>
+
+#include "util/string_util.h"
+
+#include "util/rng.h"
+
+namespace infoleak {
+namespace {
+
+TEST(BoundsTest, BracketsPaperExample) {
+  // §2.3: L = 13/20 (unit weights).
+  Record p{{"N", "Alice"}, {"A", "20"}, {"P", "123"}};
+  Record r{{"N", "Alice", 0.5}, {"A", "20", 1.0}};
+  WeightModel unit;
+  LeakageBounds bounds = BoundRecordLeakage(r, p, unit);
+  EXPECT_LE(bounds.lower, 13.0 / 20.0 + 1e-12);
+  EXPECT_GE(bounds.upper, 13.0 / 20.0 - 1e-12);
+  EXPECT_GT(bounds.lower, 0.0);
+  EXPECT_LT(bounds.upper, 1.0 + 1e-12);
+}
+
+TEST(BoundsTest, EmptyInputsCollapseToZero) {
+  WeightModel unit;
+  LeakageBounds empty_r = BoundRecordLeakage(Record{}, Record{{"A", "1"}},
+                                             unit);
+  EXPECT_EQ(empty_r.lower, 0.0);
+  EXPECT_EQ(empty_r.upper, 0.0);
+  LeakageBounds empty_p = BoundRecordLeakage(Record{{"A", "1"}}, Record{},
+                                             unit);
+  EXPECT_EQ(empty_p.upper, 0.0);
+}
+
+TEST(BoundsTest, CertainExactMatchIsTight) {
+  Record p{{"A", "1"}, {"B", "2"}};
+  WeightModel unit;
+  LeakageBounds bounds = BoundRecordLeakage(p, p, unit);
+  EXPECT_NEAR(bounds.lower, 1.0, 1e-12);
+  EXPECT_NEAR(bounds.upper, 1.0, 1e-12);
+}
+
+class BoundsProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BoundsProperty, AlwaysBracketTheOracle) {
+  Rng rng(GetParam() * 6151);
+  NaiveLeakage oracle;
+  for (int trial = 0; trial < 20; ++trial) {
+    Record p;
+    Record r;
+    WeightModel wm;
+    std::size_t n = 1 + rng.NextBounded(8);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::string label = StrCat("L", std::to_string(i));
+      ASSERT_TRUE(wm.SetWeight(label, rng.Uniform(0.1, 2.0)).ok());
+      p.Insert(Attribute(label, "v"));
+      if (rng.Bernoulli(0.7)) {
+        r.Insert(Attribute(label, rng.Bernoulli(0.3) ? "wrong" : "v",
+                           rng.NextDouble()));
+      }
+      if (rng.Bernoulli(0.3)) {
+        std::string bogus = StrCat("B", std::to_string(i));
+        ASSERT_TRUE(wm.SetWeight(bogus, rng.Uniform(0.1, 2.0)).ok());
+        r.Insert(Attribute(bogus, "x", rng.NextDouble()));
+      }
+    }
+    auto exact = oracle.RecordLeakage(r, p, wm);
+    ASSERT_TRUE(exact.ok());
+    LeakageBounds bounds = BoundRecordLeakage(r, p, wm);
+    EXPECT_LE(bounds.lower, *exact + 1e-10)
+        << "r=" << r.ToString() << " p=" << p.ToString();
+    EXPECT_GE(bounds.upper, *exact - 1e-10)
+        << "r=" << r.ToString() << " p=" << p.ToString();
+    EXPECT_LE(bounds.lower, bounds.upper + 1e-12);
+  }
+}
+
+TEST_P(BoundsProperty, LowerBoundIsFirstOrderTaylor) {
+  // The lower bound and ApproxLeakage(order=1) implement the same formula.
+  Rng rng(GetParam() * 31);
+  ApproxLeakage order1(1);
+  WeightModel unit;
+  for (int trial = 0; trial < 10; ++trial) {
+    Record p;
+    Record r;
+    std::size_t n = 1 + rng.NextBounded(6);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::string label = StrCat("L", std::to_string(i));
+      p.Insert(Attribute(label, "v"));
+      if (rng.Bernoulli(0.6)) {
+        r.Insert(Attribute(label, "v", rng.NextDouble()));
+      }
+    }
+    LeakageBounds bounds = BoundRecordLeakage(r, p, unit);
+    auto taylor = order1.RecordLeakage(r, p, unit);
+    ASSERT_TRUE(taylor.ok());
+    EXPECT_NEAR(bounds.lower, std::min(*taylor, 1.0), 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundsProperty,
+                         ::testing::Range(uint64_t{1}, uint64_t{13}));
+
+}  // namespace
+}  // namespace infoleak

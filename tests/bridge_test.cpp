@@ -1,0 +1,90 @@
+#include "anon/bridge.h"
+
+#include <gtest/gtest.h>
+
+namespace infoleak {
+namespace {
+
+TEST(BridgeTest, RowToRecordUsesColumnLabels) {
+  auto t = Table::Create({"Zip", "Age"});
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(t->AddRow({"111", "30"}).ok());
+  auto r = RowToRecord(*t, 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);
+  EXPECT_DOUBLE_EQ(r->Confidence("Zip", "111"), 1.0);
+  EXPECT_DOUBLE_EQ(r->Confidence("Age", "30"), 1.0);
+}
+
+TEST(BridgeTest, RowToRecordWithConfidence) {
+  auto t = Table::Create({"Zip"});
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(t->AddRow({"111"}).ok());
+  auto r = RowToRecord(*t, 0, 0.5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->Confidence("Zip", "111"), 0.5);
+}
+
+TEST(BridgeTest, RowOutOfRange) {
+  auto t = Table::Create({"A"});
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(RowToRecord(*t, 0).status().IsOutOfRange());
+}
+
+TEST(BridgeTest, TableToDatabase) {
+  auto t = Table::Create({"A"});
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(t->AddRow({"1"}).ok());
+  ASSERT_TRUE(t->AddRow({"2"}).ok());
+  auto db = TableToDatabase(*t);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->size(), 2u);
+  EXPECT_TRUE((*db)[1].Contains("A", "2"));
+  EXPECT_TRUE((*db)[1].HasSource(1));
+}
+
+TEST(BridgeTest, AlignRewritesCoveringValues) {
+  // The §3.1 simplification: <Zip, 11*> counts as <Zip, 111> against
+  // Alice's reference.
+  Record r{{"Zip", "11*"}, {"Age", "3*"}, {"Disease", "Heart"}};
+  Record p{{"Name", "Alice"}, {"Zip", "111"}, {"Age", "30"},
+           {"Disease", "Heart"}};
+  Record aligned = AlignGeneralizedToReference(r, p);
+  EXPECT_TRUE(aligned.Contains("Zip", "111"));
+  EXPECT_TRUE(aligned.Contains("Age", "30"));
+  EXPECT_TRUE(aligned.Contains("Disease", "Heart"));
+  EXPECT_FALSE(aligned.Contains("Zip", "11*"));
+}
+
+TEST(BridgeTest, AlignLeavesNonCoveringValues) {
+  Record r{{"Zip", "2**"}};
+  Record p{{"Zip", "111"}};
+  Record aligned = AlignGeneralizedToReference(r, p);
+  EXPECT_TRUE(aligned.Contains("Zip", "2**"));  // 2** does not cover 111
+}
+
+TEST(BridgeTest, AlignReducedConfidenceVariant) {
+  // The paper's alternative: "view a suppressed value as the original value
+  // with a reduced confidence value".
+  Record r{{"Zip", "11*", 1.0}};
+  Record p{{"Zip", "111"}};
+  Record aligned = AlignGeneralizedToReference(r, p, 0.4);
+  EXPECT_DOUBLE_EQ(aligned.Confidence("Zip", "111"), 0.4);
+}
+
+TEST(BridgeTest, AlignKeepsExactMatchesAtFullConfidence) {
+  Record r{{"Zip", "111", 0.9}};
+  Record p{{"Zip", "111"}};
+  Record aligned = AlignGeneralizedToReference(r, p, 0.4);
+  EXPECT_DOUBLE_EQ(aligned.Confidence("Zip", "111"), 0.9);
+}
+
+TEST(BridgeTest, AlignPreservesProvenance) {
+  Record r{{"Zip", "11*"}};
+  r.AddSource(3);
+  Record p{{"Zip", "111"}};
+  EXPECT_TRUE(AlignGeneralizedToReference(r, p).HasSource(3));
+}
+
+}  // namespace
+}  // namespace infoleak

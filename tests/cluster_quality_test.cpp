@@ -1,0 +1,103 @@
+#include "er/cluster_quality.h"
+
+#include <gtest/gtest.h>
+
+#include "er/swoosh.h"
+#include "er/transitive.h"
+
+namespace infoleak {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+/// Hand-built "resolved" database: clusters given by provenance ids.
+Database MakeClusters(const std::vector<std::vector<RecordId>>& clusters) {
+  Database db;
+  for (const auto& cluster : clusters) {
+    Record r;
+    for (RecordId id : cluster) r.AddSource(id);
+    db.Add(std::move(r));
+  }
+  return db;
+}
+
+TEST(ClusterQualityTest, PerfectClustering) {
+  // Truth: {0,1} person A, {2,3} person B; clusters identical.
+  Database resolved = MakeClusters({{0, 1}, {2, 3}});
+  auto q = EvaluateClustering(resolved, {0, 0, 1, 1});
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->true_positive_pairs, 2u);
+  EXPECT_EQ(q->false_positive_pairs, 0u);
+  EXPECT_EQ(q->false_negative_pairs, 0u);
+  EXPECT_NEAR(q->pairwise_precision, 1.0, kTol);
+  EXPECT_NEAR(q->pairwise_recall, 1.0, kTol);
+  EXPECT_NEAR(q->pairwise_f1, 1.0, kTol);
+  EXPECT_EQ(q->num_clusters, 2u);
+  EXPECT_EQ(q->num_entities, 2u);
+}
+
+TEST(ClusterQualityTest, UnderMergedLosesRecall) {
+  // Person A split into singletons.
+  Database resolved = MakeClusters({{0}, {1}, {2, 3}});
+  auto q = EvaluateClustering(resolved, {0, 0, 1, 1});
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->false_negative_pairs, 1u);
+  EXPECT_NEAR(q->pairwise_precision, 1.0, kTol);
+  EXPECT_NEAR(q->pairwise_recall, 0.5, kTol);
+}
+
+TEST(ClusterQualityTest, OverMergedLosesPrecision) {
+  Database resolved = MakeClusters({{0, 1, 2, 3}});
+  auto q = EvaluateClustering(resolved, {0, 0, 1, 1});
+  ASSERT_TRUE(q.ok());
+  // 6 pairs in the blob: 2 true (0-1, 2-3), 4 false.
+  EXPECT_EQ(q->true_positive_pairs, 2u);
+  EXPECT_EQ(q->false_positive_pairs, 4u);
+  EXPECT_NEAR(q->pairwise_precision, 2.0 / 6.0, kTol);
+  EXPECT_NEAR(q->pairwise_recall, 1.0, kTol);
+}
+
+TEST(ClusterQualityTest, AllSingletonsWithSingletonTruth) {
+  Database resolved = MakeClusters({{0}, {1}, {2}});
+  auto q = EvaluateClustering(resolved, {0, 1, 2});
+  ASSERT_TRUE(q.ok());
+  // No positive pairs anywhere: precision and recall default to 1.
+  EXPECT_NEAR(q->pairwise_precision, 1.0, kTol);
+  EXPECT_NEAR(q->pairwise_recall, 1.0, kTol);
+}
+
+TEST(ClusterQualityTest, ValidatesProvenance) {
+  Database out_of_range = MakeClusters({{0, 7}});
+  EXPECT_TRUE(EvaluateClustering(out_of_range, {0, 0})
+                  .status()
+                  .IsInvalidArgument());
+  Database duplicated = MakeClusters({{0}, {0}});
+  EXPECT_TRUE(EvaluateClustering(duplicated, {0})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ClusterQualityTest, EndToEndWithRealResolver) {
+  // Two people, three records each, linked by shared phones.
+  Database db;
+  db.Add(Record{{"N", "a1"}, {"P", "111"}});   // person 0
+  db.Add(Record{{"N", "a2"}, {"P", "111"}});   // person 0
+  db.Add(Record{{"N", "a3"}, {"P", "111"}});   // person 0
+  db.Add(Record{{"N", "b1"}, {"P", "222"}});   // person 1
+  db.Add(Record{{"N", "b2"}, {"P", "222"}});   // person 1
+  db.Add(Record{{"N", "b3"}, {"P", "999"}});   // person 1, unlinkable
+  auto match = RuleMatch::SharedValue({"P"});
+  UnionMerge merge;
+  TransitiveClosureResolver resolver(*match, merge);
+  auto resolved = resolver.Resolve(db, nullptr);
+  ASSERT_TRUE(resolved.ok());
+  auto q = EvaluateClustering(*resolved, {0, 0, 0, 1, 1, 1});
+  ASSERT_TRUE(q.ok());
+  EXPECT_NEAR(q->pairwise_precision, 1.0, kTol);  // nothing wrong merged
+  // Person 1's third record is unreachable: 2 of 3+3=6 true pairs lost.
+  EXPECT_EQ(q->false_negative_pairs, 2u);
+  EXPECT_NEAR(q->pairwise_recall, 4.0 / 6.0, kTol);
+}
+
+}  // namespace
+}  // namespace infoleak

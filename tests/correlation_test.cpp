@@ -1,0 +1,156 @@
+// §2's correlated-attribute decomposition: phone and address share joint
+// information J; decomposing prevents the leakage measure from counting
+// the shared knowledge twice.
+
+#include "core/correlation.h"
+
+#include <gtest/gtest.h>
+
+#include "core/leakage.h"
+
+namespace infoleak {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+/// The paper's J/A/P setup: Alice's phone and address both reveal her
+/// neighborhood (the joint info J); remainders carry what is unique to
+/// each.
+CorrelationModel PaperModel() {
+  CorrelationModel model;
+  CorrelationModel::Group group;
+  group.joint_label = "J";
+  group.joint_weight = 1.0;
+  group.members["P"] = {"P_rest", 1.0};
+  group.members["A"] = {"A_rest", 1.0};
+  group.joint_values[{"P", "555-0100"}] = "downtown";
+  group.joint_values[{"A", "123 Main"}] = "downtown";
+  EXPECT_TRUE(model.AddGroup(std::move(group)).ok());
+  return model;
+}
+
+TEST(CorrelationModelTest, GroupValidation) {
+  CorrelationModel model;
+  CorrelationModel::Group too_small;
+  too_small.joint_label = "J";
+  too_small.members["P"] = {"P_rest", 1.0};
+  EXPECT_TRUE(model.AddGroup(too_small).IsInvalidArgument());
+
+  CorrelationModel::Group no_joint;
+  no_joint.members["P"] = {"P_rest", 1.0};
+  no_joint.members["A"] = {"A_rest", 1.0};
+  EXPECT_TRUE(model.AddGroup(no_joint).IsInvalidArgument());
+
+  CorrelationModel::Group bad_weight;
+  bad_weight.joint_label = "J";
+  bad_weight.joint_weight = -1.0;
+  bad_weight.members["P"] = {"P_rest", 1.0};
+  bad_weight.members["A"] = {"A_rest", 1.0};
+  EXPECT_TRUE(model.AddGroup(bad_weight).IsInvalidArgument());
+
+  CorrelationModel ok = PaperModel();
+  CorrelationModel::Group overlapping;
+  overlapping.joint_label = "J2";
+  overlapping.members["P"] = {"P2", 1.0};  // P already claimed
+  overlapping.members["X"] = {"X2", 1.0};
+  EXPECT_EQ(ok.AddGroup(overlapping).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(CorrelationModelTest, DecomposeSplitsMembers) {
+  CorrelationModel model = PaperModel();
+  EXPECT_TRUE(model.IsCorrelated("P"));
+  EXPECT_TRUE(model.IsCorrelated("A"));
+  EXPECT_FALSE(model.IsCorrelated("N"));
+
+  // Knowing the phone yields J and P_rest (the paper: "if Eve discovers
+  // Alice's phone number, she has values for J and P").
+  Record phone_only{{"N", "Alice"}, {"P", "555-0100", 0.8}};
+  Record d = model.Decompose(phone_only);
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_TRUE(d.Contains("N", "Alice"));
+  EXPECT_DOUBLE_EQ(d.Confidence("P_rest", "555-0100"), 0.8);
+  EXPECT_DOUBLE_EQ(d.Confidence("J", "downtown"), 0.8);
+  EXPECT_FALSE(d.Contains("P", "555-0100"));
+}
+
+TEST(CorrelationModelTest, BothMembersYieldJointOnce) {
+  // "if she has both address and phone, Eve has J, A and P" — one J.
+  CorrelationModel model = PaperModel();
+  Record both{{"P", "555-0100", 0.5}, {"A", "123 Main", 0.9}};
+  Record d = model.Decompose(both);
+  EXPECT_EQ(d.size(), 3u);  // J, P_rest, A_rest
+  EXPECT_DOUBLE_EQ(d.Confidence("J", "downtown"), 0.9);  // max confidence
+}
+
+TEST(CorrelationModelTest, UnrecognizedValueDerivesNoJoint) {
+  // A wrong/perturbed phone must not earn credit for the neighborhood.
+  CorrelationModel model = PaperModel();
+  Record wrong{{"P", "999-9999"}};
+  Record d = model.Decompose(wrong);
+  EXPECT_EQ(d.size(), 1u);
+  EXPECT_TRUE(d.Contains("P_rest", "999-9999"));
+  EXPECT_FALSE(d.Contains("J", "downtown"));
+}
+
+TEST(CorrelationModelTest, EmptyModelIsIdentity) {
+  CorrelationModel model;
+  Record r{{"P", "555-0100"}, {"N", "Alice"}};
+  EXPECT_EQ(model.Decompose(r), r);
+}
+
+TEST(CorrelationModelTest, ApplyWeightsZeroesRawLabels) {
+  CorrelationModel model = PaperModel();
+  WeightModel wm;
+  ASSERT_TRUE(model.ApplyWeights(&wm).ok());
+  EXPECT_DOUBLE_EQ(wm.Weight("J"), 1.0);
+  EXPECT_DOUBLE_EQ(wm.Weight("P_rest"), 1.0);
+  EXPECT_DOUBLE_EQ(wm.Weight("P"), 0.0);  // raw label can't double count
+  EXPECT_DOUBLE_EQ(wm.Weight("A"), 0.0);
+}
+
+TEST(CorrelationTest, NoDoubleCountingInLeakage) {
+  // The paper's motivating inequality: under the naive (undecomposed)
+  // model, learning the phone *and* the address counts the shared
+  // neighborhood twice; under the decomposition, the second correlated
+  // attribute only adds its remainder.
+  CorrelationModel model = PaperModel();
+  Record p{{"N", "Alice"}, {"P", "555-0100"}, {"A", "123 Main"}};
+  Record phone_only{{"N", "Alice"}, {"P", "555-0100"}};
+  Record both{{"N", "Alice"}, {"P", "555-0100"}, {"A", "123 Main"}};
+
+  WeightModel wm;
+  ASSERT_TRUE(model.ApplyWeights(&wm).ok());
+  Record dp = model.Decompose(p);
+  ApproxLeakage approx;  // all confidences are 1, so Var[Y]=0: exact
+
+  double leak_phone =
+      approx.RecordLeakage(model.Decompose(phone_only), dp, wm).value();
+  double leak_both =
+      approx.RecordLeakage(model.Decompose(both), dp, wm).value();
+  // Phone alone already buys N + J + P_rest = 3 of 4 decomposed units.
+  EXPECT_NEAR(leak_phone, 2.0 * 3.0 / (3.0 + 4.0), 1e-9);
+  EXPECT_NEAR(leak_both, 1.0, 1e-9);
+  // The address's *increment* is one remainder unit (1/7 + ... specifically
+  // 1 - 6/7), strictly less than what an undecomposed model would claim
+  // (where A adds a full unit of a 3-attribute reference).
+  WeightModel unit;
+  double naive_phone = approx.RecordLeakage(phone_only, p, unit).value();
+  double naive_both = approx.RecordLeakage(both, p, unit).value();
+  EXPECT_GT(naive_both - naive_phone, leak_both - leak_phone);
+}
+
+TEST(CorrelationTest, DatabaseDecompositionPreservesProvenance) {
+  CorrelationModel model = PaperModel();
+  Database db;
+  db.Add(Record{{"P", "555-0100"}});
+  db.Add(Record{{"N", "Bob"}});
+  Database d = model.Decompose(db);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_TRUE(d[0].HasSource(0));
+  EXPECT_TRUE(d[1].HasSource(1));
+  EXPECT_TRUE(d[0].Contains("J", "downtown"));
+  EXPECT_TRUE(d[1].Contains("N", "Bob"));
+}
+
+}  // namespace
+}  // namespace infoleak

@@ -1,0 +1,91 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+namespace infoleak {
+namespace {
+
+TEST(CsvTest, ParseSimpleLine) {
+  auto fields = Csv::ParseLine("a,b,c");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(*fields, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(CsvTest, ParseQuotedField) {
+  auto fields = Csv::ParseLine("a,\"b,c\",d");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(*fields, (std::vector<std::string>{"a", "b,c", "d"}));
+}
+
+TEST(CsvTest, ParseEscapedQuote) {
+  auto fields = Csv::ParseLine("\"he said \"\"hi\"\"\",x");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(*fields, (std::vector<std::string>{"he said \"hi\"", "x"}));
+}
+
+TEST(CsvTest, ParseEmptyFields) {
+  auto fields = Csv::ParseLine("a,,c,");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(*fields, (std::vector<std::string>{"a", "", "c", ""}));
+}
+
+TEST(CsvTest, ParseMultipleRows) {
+  auto rows = Csv::Parse("a,b\nc,d\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(CsvTest, ToleratesCrlfAndMissingTrailingNewline) {
+  auto rows = Csv::Parse("a,b\r\nc,d");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(CsvTest, QuotedNewlineStaysInField) {
+  auto rows = Csv::Parse("a,\"line1\nline2\"\nb,c\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0][1], "line1\nline2");
+}
+
+TEST(CsvTest, UnterminatedQuoteIsCorruption) {
+  auto rows = Csv::Parse("a,\"oops\n");
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kCorruption);
+}
+
+TEST(CsvTest, EmptyDocument) {
+  auto rows = Csv::Parse("");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST(CsvTest, FormatPlainRow) {
+  EXPECT_EQ(Csv::FormatRow({"a", "b", "c"}), "a,b,c");
+}
+
+TEST(CsvTest, FormatQuotesWhenNeeded) {
+  EXPECT_EQ(Csv::FormatRow({"a,b", "c\"d", "e\nf"}),
+            "\"a,b\",\"c\"\"d\",\"e\nf\"");
+}
+
+TEST(CsvTest, FormatParseRoundTrip) {
+  std::vector<std::string> fields{"plain", "with,comma", "with\"quote",
+                                  "multi\nline", ""};
+  auto parsed = Csv::ParseLine(Csv::FormatRow(fields));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, fields);
+}
+
+TEST(CsvTest, QuotedEmptyRowYieldsOneEmptyField) {
+  auto rows = Csv::Parse("\"\"\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{""}));
+}
+
+}  // namespace
+}  // namespace infoleak

@@ -1,0 +1,71 @@
+#include "core/database.h"
+
+#include <gtest/gtest.h>
+
+namespace infoleak {
+namespace {
+
+TEST(DatabaseTest, AddStampsSequentialIds) {
+  Database db;
+  RecordId a = db.Add(Record{{"N", "Alice"}});
+  RecordId b = db.Add(Record{{"N", "Bob"}});
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_TRUE(db[0].HasSource(0));
+  EXPECT_TRUE(db[1].HasSource(1));
+}
+
+TEST(DatabaseTest, ConstructorFromVectorStampsIds) {
+  Database db({Record{{"A", "1"}}, Record{{"B", "2"}}, Record{{"C", "3"}}});
+  EXPECT_EQ(db.size(), 3u);
+  EXPECT_TRUE(db[2].HasSource(2));
+}
+
+TEST(DatabaseTest, AddPreservesExistingProvenance) {
+  Record merged{{"N", "Alice"}};
+  merged.AddSource(5);
+  merged.AddSource(9);
+  Database db;
+  db.Add(merged);
+  EXPECT_EQ(db[0].sources(), (std::vector<RecordId>{5, 9}));
+  // A later fresh record must not collide with id 5 or 9.
+  RecordId fresh = db.Add(Record{{"N", "Bob"}});
+  EXPECT_GT(fresh, 9u);
+}
+
+TEST(DatabaseTest, FindBySource) {
+  Database db;
+  db.Add(Record{{"N", "Alice"}});
+  RecordId bob = db.Add(Record{{"N", "Bob"}});
+  auto found = db.FindBySource(bob);
+  ASSERT_TRUE(found.ok());
+  EXPECT_TRUE(found->Contains("N", "Bob"));
+  EXPECT_TRUE(db.FindBySource(999).status().IsNotFound());
+}
+
+TEST(DatabaseTest, WithRecordDoesNotMutateOriginal) {
+  Database db;
+  db.Add(Record{{"A", "1"}});
+  Database extended = db.WithRecord(Record{{"B", "2"}});
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_EQ(extended.size(), 2u);
+  EXPECT_TRUE(extended[1].HasSource(1));
+}
+
+TEST(DatabaseTest, TotalAttributes) {
+  Database db;
+  db.Add(Record{{"A", "1"}, {"B", "2"}});
+  db.Add(Record{{"C", "3"}});
+  db.Add(Record{});
+  EXPECT_EQ(db.TotalAttributes(), 3u);
+}
+
+TEST(DatabaseTest, EmptyDatabase) {
+  Database db;
+  EXPECT_TRUE(db.empty());
+  EXPECT_EQ(db.size(), 0u);
+  EXPECT_EQ(db.TotalAttributes(), 0u);
+}
+
+}  // namespace
+}  // namespace infoleak

@@ -1,0 +1,87 @@
+#include "er/dipping.h"
+
+#include <gtest/gtest.h>
+
+#include "er/swoosh.h"
+#include "er/transitive.h"
+
+namespace infoleak {
+namespace {
+
+TEST(DippingTest, PaperSection24Example) {
+  // R = {r, s, t}, E merges same-name records, q = {<N, Alice>}:
+  // D(R, E, q) = r + s + q = {<N,Alice>, <C,999>, <P,123>}.
+  Database db;
+  db.Add(Record{{"N", "Alice"}, {"P", "123"}});
+  db.Add(Record{{"N", "Alice"}, {"C", "999"}});
+  db.Add(Record{{"N", "Bob"}, {"P", "987"}});
+  auto match = RuleMatch::SharedValue({"N"});
+  UnionMerge merge;
+  SwooshResolver er(*match, merge);
+  Record q{{"N", "Alice"}};
+  auto dipped = DippingResult(db, er, q);
+  ASSERT_TRUE(dipped.ok());
+  EXPECT_EQ(dipped->size(), 3u);
+  EXPECT_TRUE(dipped->Contains("N", "Alice"));
+  EXPECT_TRUE(dipped->Contains("P", "123"));
+  EXPECT_TRUE(dipped->Contains("C", "999"));
+}
+
+TEST(DippingTest, QueryMatchingNothingComesBackAlone) {
+  Database db;
+  db.Add(Record{{"N", "Alice"}});
+  auto match = RuleMatch::SharedValue({"N"});
+  UnionMerge merge;
+  TransitiveClosureResolver er(*match, merge);
+  Record q{{"N", "Zed"}, {"P", "42"}};
+  auto dipped = DippingResult(db, er, q);
+  ASSERT_TRUE(dipped.ok());
+  EXPECT_EQ(dipped->size(), 2u);
+  EXPECT_TRUE(dipped->Contains("N", "Zed"));
+}
+
+TEST(DippingTest, DoesNotMutateInputDatabase) {
+  Database db;
+  db.Add(Record{{"N", "Alice"}});
+  auto match = RuleMatch::SharedValue({"N"});
+  UnionMerge merge;
+  SwooshResolver er(*match, merge);
+  Record q{{"N", "Alice"}, {"C", "999"}};
+  auto dipped = DippingResult(db, er, q);
+  ASSERT_TRUE(dipped.ok());
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_EQ(db[0].size(), 1u);
+}
+
+TEST(DippingTest, QueryWithStaleProvenanceIsCleaned) {
+  // A caller may pass a record that already carries source ids (e.g. taken
+  // from another database); dipping must still locate the right composite.
+  Database db;
+  db.Add(Record{{"N", "Alice"}, {"P", "123"}});
+  auto match = RuleMatch::SharedValue({"N"});
+  UnionMerge merge;
+  SwooshResolver er(*match, merge);
+  Record q{{"N", "Alice"}};
+  q.AddSource(0);  // stale id colliding with db's first record
+  auto dipped = DippingResult(db, er, q);
+  ASSERT_TRUE(dipped.ok());
+  EXPECT_TRUE(dipped->Contains("P", "123"));
+}
+
+TEST(DippingTest, StatsAreReported) {
+  Database db;
+  db.Add(Record{{"N", "Alice"}});
+  db.Add(Record{{"N", "Bob"}});
+  auto match = RuleMatch::SharedValue({"N"});
+  UnionMerge merge;
+  TransitiveClosureResolver er(*match, merge);
+  ErStats stats;
+  Record q{{"N", "Alice"}};
+  auto dipped = DippingResult(db, er, q, &stats);
+  ASSERT_TRUE(dipped.ok());
+  EXPECT_EQ(stats.match_calls, 3u);  // C(3,2) over R ∪ {q}
+  EXPECT_EQ(stats.merge_calls, 1u);
+}
+
+}  // namespace
+}  // namespace infoleak

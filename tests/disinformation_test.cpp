@@ -1,0 +1,197 @@
+// §4.2: optimal disinformation under a budget — self and linkage
+// strategies over the Figure 2 topology.
+
+#include "apps/disinformation.h"
+
+#include <gtest/gtest.h>
+
+#include "er/swoosh.h"
+
+namespace infoleak {
+namespace {
+
+/// Figure 2: r and s refer to p; t, u, v refer to someone else. Matching is
+/// by shared identifier values.
+class Figure2Fixture : public ::testing::Test {
+ protected:
+  Figure2Fixture()
+      : p_{{"N", "alice"}, {"P", "123"}, {"C", "999"}, {"A", "main-st"},
+           {"Z", "94305"}},
+        match_(MatchRules{{"N"}, {"P"}, {"K"}}),
+        resolver_(match_, merge_),
+        er_(resolver_),
+        factory_(MatchRules{{"N"}, {"P"}, {"K"}}) {
+    db_.Add(Record{{"N", "alice"}, {"P", "123"}});             // r (correct)
+    db_.Add(Record{{"N", "alice"}, {"C", "999"}});             // s (correct)
+    db_.Add(Record{{"N", "bob"}, {"K", "k1"}});                // t
+    db_.Add(Record{{"N", "bob"}, {"P", "555"}});               // u
+    db_.Add(Record{{"N", "carol"}, {"K", "k2"}, {"S", "000"}});// v
+  }
+
+  Record p_;
+  Database db_;
+  RuleMatch match_;
+  UnionMerge merge_;
+  SwooshResolver resolver_;
+  ErOperator er_;
+  RuleMatchFactory factory_;
+  WeightModel unit_;
+  ExactLeakage engine_;
+};
+
+TEST_F(Figure2Fixture, CandidatesIncludeBothStrategies) {
+  DisinformationOptimizer optimizer(factory_);
+  auto candidates = optimizer.GenerateCandidates(db_, p_,
+                                                 /*max_record_size=*/4,
+                                                 /*max_bogus=*/2);
+  ASSERT_TRUE(candidates.ok());
+  bool has_self = false;
+  bool has_linkage = false;
+  for (const auto& c : *candidates) {
+    EXPECT_GT(c.cost, 0.0);
+    if (c.strategy == "self") has_self = true;
+    if (c.strategy == "linkage") has_linkage = true;
+  }
+  EXPECT_TRUE(has_self);
+  EXPECT_TRUE(has_linkage);
+}
+
+TEST_F(Figure2Fixture, SelfDisinformationLowersLeakage) {
+  // A record matching r that carries bogus attributes dilutes the merged
+  // composite's precision.
+  Record d1 = factory_.CreateWithBogus({&db_[0]}, 8, /*num_bogus=*/3, 0);
+  ASSERT_FALSE(d1.empty());
+  auto before = InformationLeakage(db_, p_, er_, unit_, engine_);
+  auto after =
+      InformationLeakage(db_.WithRecord(d1), p_, er_, unit_, engine_);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(after.ok());
+  EXPECT_LT(*after, *before);
+}
+
+TEST_F(Figure2Fixture, LinkageDisinformationLowersLeakage) {
+  // d2 links the irrelevant v into Alice's composite (Fig. 2).
+  Record d2 = factory_.Create({&db_[0], &db_[4]}, 8);
+  ASSERT_FALSE(d2.empty());
+  auto before = InformationLeakage(db_, p_, er_, unit_, engine_);
+  auto after =
+      InformationLeakage(db_.WithRecord(d2), p_, er_, unit_, engine_);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(after.ok());
+  EXPECT_LT(*after, *before);
+}
+
+TEST_F(Figure2Fixture, ExhaustiveOptimizerRespectsBudget) {
+  DisinformationOptimizer optimizer(factory_);
+  auto candidates = optimizer.GenerateCandidates(db_, p_, 4, 1);
+  ASSERT_TRUE(candidates.ok());
+  ASSERT_LE(candidates->size(), 20u);
+  const double budget = 5.0;
+  auto plan = optimizer.OptimizeExhaustive(db_, p_, er_, *candidates, budget,
+                                           unit_, engine_);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_LE(plan->total_cost, budget + 1e-12);
+  EXPECT_LE(plan->leakage_after, plan->leakage_before + 1e-12);
+}
+
+TEST_F(Figure2Fixture, GreedyNeverBeatsExhaustive) {
+  DisinformationOptimizer optimizer(factory_);
+  auto candidates = optimizer.GenerateCandidates(db_, p_, 4, 1);
+  ASSERT_TRUE(candidates.ok());
+  const double budget = 6.0;
+  auto exhaustive = optimizer.OptimizeExhaustive(db_, p_, er_, *candidates,
+                                                 budget, unit_, engine_);
+  auto greedy = optimizer.OptimizeGreedy(db_, p_, er_, *candidates, budget,
+                                         unit_, engine_);
+  ASSERT_TRUE(exhaustive.ok());
+  ASSERT_TRUE(greedy.ok());
+  EXPECT_LE(exhaustive->leakage_after, greedy->leakage_after + 1e-12);
+  EXPECT_LE(greedy->leakage_after, greedy->leakage_before + 1e-12);
+  EXPECT_LE(greedy->total_cost, budget + 1e-12);
+}
+
+TEST_F(Figure2Fixture, ZeroBudgetMeansNoDisinformation) {
+  DisinformationOptimizer optimizer(factory_);
+  auto candidates = optimizer.GenerateCandidates(db_, p_, 4, 1);
+  ASSERT_TRUE(candidates.ok());
+  auto plan = optimizer.OptimizeExhaustive(db_, p_, er_, *candidates, 0.0,
+                                           unit_, engine_);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->chosen.empty());
+  EXPECT_NEAR(plan->leakage_after, plan->leakage_before, 1e-12);
+}
+
+TEST_F(Figure2Fixture, BiggerBudgetsNeverHurt) {
+  DisinformationOptimizer optimizer(factory_);
+  auto candidates = optimizer.GenerateCandidates(db_, p_, 4, 1);
+  ASSERT_TRUE(candidates.ok());
+  double previous = 2.0;  // leakage upper bound
+  for (double budget : {0.0, 3.0, 6.0, 12.0}) {
+    auto plan = optimizer.OptimizeExhaustive(db_, p_, er_, *candidates,
+                                             budget, unit_, engine_);
+    ASSERT_TRUE(plan.ok());
+    EXPECT_LE(plan->leakage_after, previous + 1e-12);
+    previous = plan->leakage_after;
+  }
+}
+
+TEST_F(Figure2Fixture, ExhaustiveCapsCandidateCount) {
+  DisinformationOptimizer optimizer(factory_);
+  std::vector<DisinfoCandidate> many(21);
+  auto plan =
+      optimizer.OptimizeExhaustive(db_, p_, er_, many, 1.0, unit_, engine_);
+  EXPECT_EQ(plan.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(RuleMatchFactoryTest, CreateCopiesRuleAttributes) {
+  RuleMatchFactory factory(MatchRules{{"N", "C"}, {"N", "P"}});
+  Record target{{"N", "n1"}, {"C", "c1"}, {"Z", "z"}};
+  Record created = factory.Create({&target}, 4);
+  EXPECT_EQ(created.size(), 2u);  // N and C from the first covering rule
+  EXPECT_TRUE(created.Contains("N", "n1"));
+  EXPECT_TRUE(created.Contains("C", "c1"));
+}
+
+TEST(RuleMatchFactoryTest, CreateFailsWhenNoRuleCovers) {
+  RuleMatchFactory factory(MatchRules{{"N", "C"}});
+  Record target{{"P", "p1"}};  // has neither N nor C
+  EXPECT_TRUE(factory.Create({&target}, 4).empty());
+}
+
+TEST(RuleMatchFactoryTest, CreateRespectsSizeLimit) {
+  RuleMatchFactory factory(MatchRules{{"N"}});
+  Record t1{{"N", "a"}};
+  Record t2{{"N", "b"}};
+  Record t3{{"N", "c"}};
+  EXPECT_EQ(factory.Create({&t1, &t2, &t3}, 3).size(), 3u);
+  EXPECT_TRUE(factory.Create({&t1, &t2, &t3}, 2).empty());
+}
+
+TEST(RuleMatchFactoryTest, CreatedRecordActuallyMatches) {
+  RuleMatch match(MatchRules{{"N", "C"}, {"N", "P"}});
+  RuleMatchFactory factory(MatchRules{{"N", "C"}, {"N", "P"}});
+  Record target{{"N", "n1"}, {"P", "p1"}};
+  Record created = factory.Create({&target}, 4);
+  ASSERT_FALSE(created.empty());
+  EXPECT_TRUE(match.Matches(created, target));
+}
+
+TEST(RuleMatchFactoryTest, BogusAttributesDoNotBreakMatching) {
+  // The paper assumes Add() keeps matches intact; bogus labels are fresh so
+  // rule-based matches cannot be affected.
+  RuleMatch match(MatchRules{{"N"}});
+  RuleMatchFactory factory(MatchRules{{"N"}});
+  Record target{{"N", "n1"}};
+  Record created = factory.CreateWithBogus({&target}, 4, 2, 0);
+  EXPECT_EQ(created.size(), 3u);
+  EXPECT_TRUE(match.Matches(created, target));
+}
+
+TEST(RecordCostTest, DefaultCostIsRecordSize) {
+  RecordCostFn cost = DefaultRecordCost();
+  EXPECT_DOUBLE_EQ(cost(Record{}), 0.0);
+  EXPECT_DOUBLE_EQ(cost(Record{{"A", "1"}, {"B", "2"}}), 2.0);
+}
+
+}  // namespace
+}  // namespace infoleak

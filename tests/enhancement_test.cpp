@@ -1,0 +1,142 @@
+// §4.3: enhancing a composite record — which attribute is most
+// cost-effective to verify? Reproduces the paper's example (with its
+// arithmetic corrected; see comments).
+
+#include "apps/enhancement.h"
+
+#include <gtest/gtest.h>
+
+namespace infoleak {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+/// §4.3 setup: R = {r1 = {<N,Alice,1>, <A,20,1>},
+///                  r2 = {<N,Alice,0.9>, <P,123,0.5>, <C,987,1>}}.
+class Section43Fixture : public ::testing::Test {
+ protected:
+  Section43Fixture() {
+    db_.Add(Record{{"N", "Alice", 1.0}, {"A", "20", 1.0}});
+    db_.Add(Record{{"N", "Alice", 0.9}, {"P", "123", 0.5}, {"C", "987", 1.0}});
+  }
+
+  Database db_;
+  WeightModel unit_;
+  NaiveLeakage engine_;
+};
+
+TEST_F(Section43Fixture, CompositeTakesMaxConfidence) {
+  Record rc = ComposeAll(db_);
+  EXPECT_EQ(rc.size(), 4u);
+  EXPECT_DOUBLE_EQ(rc.Confidence("N", "Alice"), 1.0);  // max(1, 0.9)
+  EXPECT_DOUBLE_EQ(rc.Confidence("P", "123"), 0.5);
+}
+
+TEST_F(Section43Fixture, BaseCertaintyIsThirteenFourteenths) {
+  // L(rc, rp) = 1/2·1 + 1/2·F1(1, 3/4) = 1/2 + 3/7 = 13/14.
+  Record rc = ComposeAll(db_);
+  Record rp = rc.WithFullConfidence();
+  auto l = engine_.RecordLeakage(rc, rp, unit_);
+  ASSERT_TRUE(l.ok());
+  EXPECT_NEAR(*l, 13.0 / 14.0, kTol);
+}
+
+TEST_F(Section43Fixture, VerifyingNameGainsNothing) {
+  // Raising r2's name confidence to 1 changes nothing: rc already holds the
+  // name at confidence 1 from r1. Ratio = 0/0.1 = 0.
+  auto ranked = RankEnhancements(db_, unit_, engine_);
+  ASSERT_TRUE(ranked.ok());
+  const EnhancementOption* name_option = nullptr;
+  for (const auto& opt : *ranked) {
+    if (opt.attribute.label == "N" && opt.record_index == 1) {
+      name_option = &opt;
+    }
+  }
+  ASSERT_NE(name_option, nullptr);
+  EXPECT_NEAR(name_option->gain, 0.0, kTol);
+  EXPECT_NEAR(name_option->cost, 0.1, kTol);
+  EXPECT_NEAR(name_option->ratio, 0.0, kTol);
+}
+
+TEST_F(Section43Fixture, VerifyingPhoneIsBest) {
+  // Raising the phone confidence makes rc fully certain: gain = 1 − 13/14 =
+  // 1/14, cost = 0.5, ratio = 1/7. (The paper's text prints 1/28, an
+  // arithmetic slip — dividing the 1/14 gain by the 0.5 cost doubles it,
+  // rather than halving it. The paper's qualitative conclusion — verify the
+  // phone, not the name — is what we reproduce.)
+  auto best = BestEnhancement(db_, unit_, engine_);
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best->attribute.label, "P");
+  EXPECT_EQ(best->record_index, 1u);
+  EXPECT_NEAR(best->gain, 1.0 / 14.0, kTol);
+  EXPECT_NEAR(best->cost, 0.5, kTol);
+  EXPECT_NEAR(best->ratio, 1.0 / 7.0, kTol);
+  EXPECT_NEAR(best->certainty_after, 1.0, kTol);
+}
+
+TEST_F(Section43Fixture, FullyCertainAttributesAreNotOptions) {
+  auto ranked = RankEnhancements(db_, unit_, engine_);
+  ASSERT_TRUE(ranked.ok());
+  // Only <N,Alice,0.9> in r2 and <P,123,0.5> are verifiable.
+  EXPECT_EQ(ranked->size(), 2u);
+  for (const auto& opt : *ranked) {
+    EXPECT_LT(opt.attribute.confidence, 1.0);
+  }
+}
+
+TEST_F(Section43Fixture, NoOptionsWhenEverythingCertain) {
+  Database certain;
+  certain.Add(Record{{"N", "Alice"}, {"A", "20"}});
+  auto best = BestEnhancement(certain, unit_, engine_);
+  EXPECT_TRUE(best.status().IsNotFound());
+}
+
+TEST_F(Section43Fixture, GreedyPlanReachesFullCertaintyWithBudget) {
+  auto plan = GreedyEnhancementPlan(db_, /*max_budget=*/1.0, unit_, engine_);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NEAR(plan->certainty_before, 13.0 / 14.0, kTol);
+  EXPECT_NEAR(plan->certainty_after, 1.0, kTol);
+  // The phone (cost 0.5) is the only gainful verification; the name adds 0.
+  ASSERT_EQ(plan->steps.size(), 1u);
+  EXPECT_EQ(plan->steps[0].attribute.label, "P");
+  EXPECT_NEAR(plan->total_cost, 0.5, kTol);
+}
+
+TEST_F(Section43Fixture, GreedyPlanRespectsBudget) {
+  auto plan = GreedyEnhancementPlan(db_, /*max_budget=*/0.3, unit_, engine_);
+  ASSERT_TRUE(plan.ok());
+  // The phone costs 0.5 > 0.3 and the name gains nothing: no steps taken.
+  EXPECT_TRUE(plan->steps.empty());
+  EXPECT_NEAR(plan->certainty_after, plan->certainty_before, kTol);
+}
+
+TEST(EnhancementTest, MultiStepGreedyPlan) {
+  Database db;
+  db.Add(Record{{"A", "1", 0.5}, {"B", "2", 0.8}, {"C", "3", 1.0}});
+  WeightModel unit;
+  NaiveLeakage engine;
+  auto plan = GreedyEnhancementPlan(db, /*max_budget=*/10.0, unit, engine);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->steps.size(), 2u);  // A and B both get verified
+  EXPECT_NEAR(plan->certainty_after, 1.0, 1e-12);
+  EXPECT_NEAR(plan->total_cost, 0.5 + 0.2, 1e-12);
+}
+
+TEST(EnhancementTest, CustomCostFunction) {
+  Database db;
+  db.Add(Record{{"A", "1", 0.5}, {"B", "2", 0.5}});
+  WeightModel unit;
+  NaiveLeakage engine;
+  // Make verifying B ten times more expensive: A must rank first despite
+  // equal gains.
+  VerificationCostFn cost = [](const Attribute& a) {
+    return (a.label == "B" ? 10.0 : 1.0) * (1.0 - a.confidence);
+  };
+  auto ranked = RankEnhancements(db, unit, engine, cost);
+  ASSERT_TRUE(ranked.ok());
+  ASSERT_EQ(ranked->size(), 2u);
+  EXPECT_EQ((*ranked)[0].attribute.label, "A");
+}
+
+}  // namespace
+}  // namespace infoleak

@@ -1,0 +1,176 @@
+// Property tests of the entity-resolution engines: on randomized databases
+// with shared-value match predicates, all three resolvers must produce the
+// same partition, be idempotent, preserve provenance exactly, and never
+// lose attributes.
+
+#include <gtest/gtest.h>
+
+#include "util/string_util.h"
+
+#include <algorithm>
+#include <set>
+
+#include "er/blocking.h"
+#include "er/swoosh.h"
+#include "er/transitive.h"
+#include "util/rng.h"
+
+namespace infoleak {
+namespace {
+
+/// Random database over a small value pool so that records genuinely
+/// collide: ~n records with 1-4 attributes over labels {N, P, E}.
+Database RandomDatabase(Rng* rng, std::size_t n) {
+  Database db;
+  const char* labels[] = {"N", "P", "E"};
+  for (std::size_t i = 0; i < n; ++i) {
+    Record r;
+    std::size_t attrs = 1 + rng->NextBounded(4);
+    for (std::size_t a = 0; a < attrs; ++a) {
+      const char* label = labels[rng->NextBounded(3)];
+      std::string value = StrCat("v", std::to_string(rng->NextBounded(6)));
+      r.Insert(Attribute(label, value, rng->NextDouble()));
+    }
+    db.Add(std::move(r));
+  }
+  return db;
+}
+
+std::vector<std::string> Canonical(const Database& db) {
+  std::vector<std::string> out;
+  for (const auto& r : db) out.push_back(r.ToString());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+class ErEngines : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ErEngines, AllEnginesAgreeOnSharedValueMatch) {
+  Rng rng(GetParam() * 60013);
+  auto match = RuleMatch::SharedValue({"N", "P", "E"});
+  UnionMerge merge;
+  LabelValueBlocking blocking({"N", "P", "E"});
+  SwooshResolver swoosh(*match, merge);
+  TransitiveClosureResolver transitive(*match, merge);
+  BlockedResolver blocked(blocking, *match, merge);
+  for (int trial = 0; trial < 5; ++trial) {
+    Database db = RandomDatabase(&rng, 3 + rng.NextBounded(15));
+    auto s = swoosh.Resolve(db, nullptr);
+    auto t = transitive.Resolve(db, nullptr);
+    auto b = blocked.Resolve(db, nullptr);
+    ASSERT_TRUE(s.ok());
+    ASSERT_TRUE(t.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(Canonical(*s), Canonical(*t));
+    EXPECT_EQ(Canonical(*s), Canonical(*b));
+  }
+}
+
+TEST_P(ErEngines, ResolutionIsIdempotent) {
+  Rng rng(GetParam() * 90001);
+  auto match = RuleMatch::SharedValue({"N", "P", "E"});
+  UnionMerge merge;
+  SwooshResolver swoosh(*match, merge);
+  for (int trial = 0; trial < 5; ++trial) {
+    Database db = RandomDatabase(&rng, 3 + rng.NextBounded(12));
+    auto once = swoosh.Resolve(db, nullptr);
+    ASSERT_TRUE(once.ok());
+    auto twice = swoosh.Resolve(*once, nullptr);
+    ASSERT_TRUE(twice.ok());
+    EXPECT_EQ(Canonical(*once), Canonical(*twice));
+  }
+}
+
+TEST_P(ErEngines, ProvenancePartitionsBaseIds) {
+  // After resolution, each base id appears in exactly one output record.
+  Rng rng(GetParam() * 123457);
+  auto match = RuleMatch::SharedValue({"N", "P", "E"});
+  UnionMerge merge;
+  TransitiveClosureResolver resolver(*match, merge);
+  for (int trial = 0; trial < 5; ++trial) {
+    Database db = RandomDatabase(&rng, 3 + rng.NextBounded(12));
+    auto resolved = resolver.Resolve(db, nullptr);
+    ASSERT_TRUE(resolved.ok());
+    std::multiset<RecordId> seen;
+    for (const auto& r : *resolved) {
+      for (RecordId id : r.sources()) seen.insert(id);
+    }
+    EXPECT_EQ(seen.size(), db.size());
+    for (RecordId id = 0; id < db.size(); ++id) {
+      EXPECT_EQ(seen.count(id), 1u) << "id " << id;
+    }
+  }
+}
+
+TEST_P(ErEngines, NoAttributeIsLost) {
+  // Union merge: every (label, value) present before resolution survives.
+  Rng rng(GetParam() * 31);
+  auto match = RuleMatch::SharedValue({"N", "P", "E"});
+  UnionMerge merge;
+  SwooshResolver resolver(*match, merge);
+  for (int trial = 0; trial < 5; ++trial) {
+    Database db = RandomDatabase(&rng, 3 + rng.NextBounded(12));
+    auto resolved = resolver.Resolve(db, nullptr);
+    ASSERT_TRUE(resolved.ok());
+    for (const auto& original : db) {
+      for (const auto& attr : original) {
+        bool found = false;
+        for (const auto& r : *resolved) {
+          if (r.Contains(attr.label, attr.value)) {
+            found = true;
+            break;
+          }
+        }
+        EXPECT_TRUE(found) << attr.ToString();
+      }
+    }
+  }
+}
+
+TEST_P(ErEngines, MergedConfidenceIsMaxOfSources) {
+  Rng rng(GetParam() * 77);
+  auto match = RuleMatch::SharedValue({"N", "P", "E"});
+  UnionMerge merge;
+  SwooshResolver resolver(*match, merge);
+  for (int trial = 0; trial < 3; ++trial) {
+    Database db = RandomDatabase(&rng, 3 + rng.NextBounded(10));
+    auto resolved = resolver.Resolve(db, nullptr);
+    ASSERT_TRUE(resolved.ok());
+    for (const auto& r : *resolved) {
+      for (const auto& attr : r) {
+        double max_source_conf = 0.0;
+        for (RecordId id : r.sources()) {
+          max_source_conf = std::max(
+              max_source_conf, db[id].Confidence(attr.label, attr.value));
+        }
+        EXPECT_DOUBLE_EQ(attr.confidence, max_source_conf)
+            << attr.ToString();
+      }
+    }
+  }
+}
+
+TEST_P(ErEngines, EntityCountNeverIncreases) {
+  Rng rng(GetParam() * 271828);
+  auto match = RuleMatch::SharedValue({"N", "P", "E"});
+  UnionMerge merge;
+  TransitiveClosureResolver resolver(*match, merge);
+  for (int trial = 0; trial < 5; ++trial) {
+    Database db = RandomDatabase(&rng, 3 + rng.NextBounded(12));
+    auto resolved = resolver.Resolve(db, nullptr);
+    ASSERT_TRUE(resolved.ok());
+    EXPECT_LE(resolved->size(), db.size());
+    // Adding a record never decreases the entity count by more than...
+    // it can decrease by many (a linker can glue several groups), but the
+    // count stays >= 1 for non-empty input.
+    if (!db.empty()) {
+      EXPECT_GE(resolved->size(), 1u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ErEngines,
+                         ::testing::Range(uint64_t{1}, uint64_t{11}));
+
+}  // namespace
+}  // namespace infoleak

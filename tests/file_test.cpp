@@ -1,0 +1,59 @@
+#include "util/file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace infoleak {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(FileTest, WriteThenReadRoundTrip) {
+  std::string path = TempPath("infoleak_file_test.txt");
+  ASSERT_TRUE(WriteStringToFile(path, "hello\nworld\n").ok());
+  auto read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "hello\nworld\n");
+  std::remove(path.c_str());
+}
+
+TEST(FileTest, EmptyFile) {
+  std::string path = TempPath("infoleak_empty_test.txt");
+  ASSERT_TRUE(WriteStringToFile(path, "").ok());
+  auto read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->empty());
+  std::remove(path.c_str());
+}
+
+TEST(FileTest, BinaryContentsSurvive) {
+  std::string path = TempPath("infoleak_binary_test.bin");
+  std::string data("\x00\x01\xff\x7f then text", 18);
+  ASSERT_TRUE(WriteStringToFile(path, data).ok());
+  auto read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, data);
+  std::remove(path.c_str());
+}
+
+TEST(FileTest, MissingFileIsNotFound) {
+  auto read = ReadFileToString("/nonexistent/infoleak/nope.txt");
+  EXPECT_TRUE(read.status().IsNotFound());
+}
+
+TEST(FileTest, OverwriteReplacesContents) {
+  std::string path = TempPath("infoleak_overwrite_test.txt");
+  ASSERT_TRUE(WriteStringToFile(path, "long original contents").ok());
+  ASSERT_TRUE(WriteStringToFile(path, "short").ok());
+  auto read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "short");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace infoleak

@@ -1,0 +1,203 @@
+#include "gen/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/leakage.h"
+
+namespace infoleak {
+namespace {
+
+TEST(GeneratorConfigTest, BasicMatchesTable4) {
+  GeneratorConfig c = GeneratorConfig::Basic();
+  EXPECT_EQ(c.n, 100u);
+  EXPECT_EQ(c.num_records, 10000u);
+  EXPECT_DOUBLE_EQ(c.copy_prob, 0.5);
+  EXPECT_DOUBLE_EQ(c.perturb_prob, 0.5);
+  EXPECT_DOUBLE_EQ(c.bogus_prob, 0.5);
+  EXPECT_DOUBLE_EQ(c.max_confidence, 0.5);
+  EXPECT_FALSE(c.random_weights);
+  EXPECT_TRUE(c.Validate().ok());
+}
+
+TEST(GeneratorConfigTest, ValidationRejectsBadParameters) {
+  GeneratorConfig c;
+  c.n = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = GeneratorConfig{};
+  c.copy_prob = 1.5;
+  EXPECT_FALSE(c.Validate().ok());
+  c = GeneratorConfig{};
+  c.perturb_prob = -0.1;
+  EXPECT_FALSE(c.Validate().ok());
+  c = GeneratorConfig{};
+  c.max_confidence = 2.0;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(GeneratorTest, ReferenceHasNAttributes) {
+  GeneratorConfig c;
+  c.n = 37;
+  c.num_records = 1;
+  auto data = GenerateDataset(c);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->reference.size(), 37u);
+  for (const auto& a : data->reference) {
+    EXPECT_DOUBLE_EQ(a.confidence, 1.0);
+  }
+}
+
+TEST(GeneratorTest, DatasetIsDeterministic) {
+  GeneratorConfig c;
+  c.n = 20;
+  c.num_records = 50;
+  c.seed = 777;
+  auto d1 = GenerateDataset(c);
+  auto d2 = GenerateDataset(c);
+  ASSERT_TRUE(d1.ok());
+  ASSERT_TRUE(d2.ok());
+  EXPECT_EQ(d1->reference, d2->reference);
+  ASSERT_EQ(d1->records.size(), d2->records.size());
+  for (std::size_t i = 0; i < d1->records.size(); ++i) {
+    EXPECT_EQ(d1->records[i], d2->records[i]);
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  GeneratorConfig c;
+  c.n = 20;
+  c.num_records = 5;
+  c.seed = 1;
+  auto d1 = GenerateDataset(c);
+  c.seed = 2;
+  auto d2 = GenerateDataset(c);
+  ASSERT_TRUE(d1.ok());
+  ASSERT_TRUE(d2.ok());
+  EXPECT_FALSE(d1->reference == d2->reference);
+}
+
+TEST(GeneratorTest, ExtendingRecordCountKeepsPrefix) {
+  GeneratorConfig c;
+  c.n = 10;
+  c.seed = 99;
+  c.num_records = 10;
+  auto small = GenerateDataset(c);
+  c.num_records = 20;
+  auto large = GenerateDataset(c);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(small->records[i], large->records[i]) << "record " << i;
+  }
+}
+
+TEST(GeneratorTest, ZeroCopyYieldsNoCorrectAttributes) {
+  GeneratorConfig c;
+  c.n = 30;
+  c.num_records = 20;
+  c.copy_prob = 0.0;
+  auto data = GenerateDataset(c);
+  ASSERT_TRUE(data.ok());
+  WeightModel unit;
+  for (const auto& r : data->records) {
+    EXPECT_DOUBLE_EQ(unit.OverlapWeight(r, data->reference), 0.0);
+  }
+}
+
+TEST(GeneratorTest, FullCopyNoPerturbNoBogusReproducesReference) {
+  GeneratorConfig c;
+  c.n = 15;
+  c.num_records = 5;
+  c.copy_prob = 1.0;
+  c.perturb_prob = 0.0;
+  c.bogus_prob = 0.0;
+  c.max_confidence = 1.0;
+  auto data = GenerateDataset(c);
+  ASSERT_TRUE(data.ok());
+  WeightModel unit;
+  for (const auto& r : data->records) {
+    EXPECT_EQ(r.size(), 15u);
+    EXPECT_DOUBLE_EQ(unit.OverlapWeight(r, data->reference), 15.0);
+  }
+}
+
+TEST(GeneratorTest, FullPerturbationYieldsZeroLeakage) {
+  // pp = 1 makes every copied attribute incorrect: Table 5's fourth row
+  // reports exactly 0 leakage.
+  GeneratorConfig c;
+  c.n = 20;
+  c.num_records = 50;
+  c.perturb_prob = 1.0;
+  auto data = GenerateDataset(c);
+  ASSERT_TRUE(data.ok());
+  ExactLeakage engine;
+  auto l = SetLeakage(data->records, data->reference, data->weights, engine);
+  ASSERT_TRUE(l.ok());
+  EXPECT_DOUBLE_EQ(*l, 0.0);
+}
+
+TEST(GeneratorTest, ConfidencesBoundedByMax) {
+  GeneratorConfig c;
+  c.n = 20;
+  c.num_records = 30;
+  c.max_confidence = 0.3;
+  auto data = GenerateDataset(c);
+  ASSERT_TRUE(data.ok());
+  for (const auto& r : data->records) {
+    for (const auto& a : r) {
+      EXPECT_GE(a.confidence, 0.0);
+      EXPECT_LE(a.confidence, 0.3);
+    }
+  }
+}
+
+TEST(GeneratorTest, RandomWeightsCoverAllLabels) {
+  GeneratorConfig c;
+  c.n = 10;
+  c.num_records = 5;
+  c.random_weights = true;
+  auto data = GenerateDataset(c);
+  ASSERT_TRUE(data.ok());
+  EXPECT_FALSE(data->weights.IsConstant());
+  for (const auto& a : data->reference) {
+    double w = data->weights.Weight(a.label);
+    EXPECT_GE(w, 0.0);
+    EXPECT_LE(w, 1.0);
+  }
+  // Every explicit weight was drawn from [0, 1).
+  for (const auto& [label, w] : data->weights.explicit_weights()) {
+    EXPECT_GE(w, 0.0);
+    EXPECT_LT(w, 1.0);
+  }
+}
+
+TEST(GeneratorTest, ConstantWeightsByDefault) {
+  GeneratorConfig c;
+  c.n = 5;
+  c.num_records = 1;
+  auto data = GenerateDataset(c);
+  ASSERT_TRUE(data.ok());
+  EXPECT_TRUE(data->weights.IsConstant());
+}
+
+TEST(GeneratorTest, HigherCopyProbabilityMeansMoreLeakage) {
+  // The Figure 3(a) trend, asserted coarsely at the two extremes.
+  ExactLeakage engine;
+  GeneratorConfig lo;
+  lo.n = 40;
+  lo.num_records = 100;
+  lo.copy_prob = 0.1;
+  GeneratorConfig hi = lo;
+  hi.copy_prob = 0.9;
+  auto dlo = GenerateDataset(lo);
+  auto dhi = GenerateDataset(hi);
+  ASSERT_TRUE(dlo.ok());
+  ASSERT_TRUE(dhi.ok());
+  auto llo = SetLeakage(dlo->records, dlo->reference, dlo->weights, engine);
+  auto lhi = SetLeakage(dhi->records, dhi->reference, dhi->weights, engine);
+  ASSERT_TRUE(llo.ok());
+  ASSERT_TRUE(lhi.ok());
+  EXPECT_GT(*lhi, *llo);
+}
+
+}  // namespace
+}  // namespace infoleak

@@ -1,0 +1,116 @@
+#include "anon/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+namespace infoleak {
+namespace {
+
+TEST(SuffixSuppressionTest, SuppressesFromTheRight) {
+  SuffixSuppressionHierarchy h(3);
+  EXPECT_EQ(h.Generalize("111", 0), "111");
+  EXPECT_EQ(h.Generalize("111", 1), "11*");
+  EXPECT_EQ(h.Generalize("111", 2), "1**");
+  EXPECT_EQ(h.Generalize("111", 3), "***");
+}
+
+TEST(SuffixSuppressionTest, ClampsLevels) {
+  SuffixSuppressionHierarchy h(2);
+  EXPECT_EQ(h.Generalize("111", 5), "1**");
+  EXPECT_EQ(h.Generalize("111", -1), "111");
+}
+
+TEST(SuffixSuppressionTest, ShortValuesFullySuppressed) {
+  SuffixSuppressionHierarchy h(3);
+  EXPECT_EQ(h.Generalize("ab", 3), "**");
+  EXPECT_EQ(h.Generalize("", 2), "");
+}
+
+TEST(IntervalHierarchyTest, BucketsByWidth) {
+  IntervalHierarchy h({10, 25});
+  EXPECT_EQ(h.Generalize("30", 0), "30");
+  EXPECT_EQ(h.Generalize("30", 1), "[30-40)");
+  EXPECT_EQ(h.Generalize("39", 1), "[30-40)");
+  EXPECT_EQ(h.Generalize("30", 2), "[25-50)");
+}
+
+TEST(IntervalHierarchyTest, ClampRendersThresholdBucket) {
+  IntervalHierarchy h({10}, /*clamp_at=*/50);
+  EXPECT_EQ(h.Generalize("50", 1), ">=50");
+  EXPECT_EQ(h.Generalize("70", 1), ">=50");
+  EXPECT_EQ(h.Generalize("49", 1), "[40-50)");
+  EXPECT_EQ(h.Generalize("70", 0), "70");
+}
+
+TEST(IntervalHierarchyTest, NonNumericPassesThrough) {
+  IntervalHierarchy h({10});
+  EXPECT_EQ(h.Generalize("abc", 1), "abc");
+  EXPECT_EQ(h.Generalize("3x", 1), "3x");
+}
+
+TEST(IntervalHierarchyTest, NegativeValuesFloorCorrectly) {
+  IntervalHierarchy h({10});
+  EXPECT_EQ(h.Generalize("-5", 1), "[-10-0)");
+  EXPECT_EQ(h.Generalize("-10", 1), "[-10-0)");
+  EXPECT_EQ(h.Generalize("-11", 1), "[-20--10)");
+}
+
+TEST(MappingHierarchyTest, ExplicitMappings) {
+  MappingHierarchy h(2);
+  h.AddMapping(1, "30", "3*");
+  h.AddMapping(2, "30", "**");
+  EXPECT_EQ(h.Generalize("30", 0), "30");
+  EXPECT_EQ(h.Generalize("30", 1), "3*");
+  EXPECT_EQ(h.Generalize("30", 2), "**");
+  EXPECT_EQ(h.Generalize("77", 1), "77");  // unmapped passes through
+}
+
+TEST(GeneralizedCoversTest, ExactEquality) {
+  EXPECT_TRUE(GeneralizedCovers("111", "111"));
+  EXPECT_FALSE(GeneralizedCovers("111", "112"));
+}
+
+TEST(GeneralizedCoversTest, WildcardPatterns) {
+  EXPECT_TRUE(GeneralizedCovers("11*", "111"));
+  EXPECT_TRUE(GeneralizedCovers("1**", "199"));
+  EXPECT_TRUE(GeneralizedCovers("3*", "30"));
+  EXPECT_FALSE(GeneralizedCovers("11*", "121"));
+  EXPECT_FALSE(GeneralizedCovers("11*", "1111"));
+}
+
+TEST(GeneralizedCoversTest, ThresholdBuckets) {
+  EXPECT_TRUE(GeneralizedCovers(">=50", "50"));
+  EXPECT_TRUE(GeneralizedCovers(">=50", "60"));
+  EXPECT_FALSE(GeneralizedCovers(">=50", "49"));
+  EXPECT_FALSE(GeneralizedCovers(">=50", "abc"));
+  // UTF-8 "≥" variant (as printed in the paper).
+  EXPECT_TRUE(GeneralizedCovers("\xE2\x89\xA5"
+                                "50",
+                                "60"));
+}
+
+TEST(GeneralizedCoversTest, IntervalBuckets) {
+  EXPECT_TRUE(GeneralizedCovers("[30-40)", "30"));
+  EXPECT_TRUE(GeneralizedCovers("[30-40)", "39"));
+  EXPECT_FALSE(GeneralizedCovers("[30-40)", "40"));
+  EXPECT_FALSE(GeneralizedCovers("[30-40)", "29"));
+  EXPECT_TRUE(GeneralizedCovers("[-10-0)", "-5"));
+}
+
+TEST(GeneralizedCoversTest, GeneralizationsAlwaysCoverTheirSource) {
+  // Property: for every hierarchy and level, Generalize(v, l) covers v.
+  SuffixSuppressionHierarchy suffix(3);
+  IntervalHierarchy interval({10, 25}, 50);
+  for (const char* v : {"111", "112", "241", "30", "49", "50", "70"}) {
+    for (int level = 0; level <= 3; ++level) {
+      EXPECT_TRUE(GeneralizedCovers(suffix.Generalize(v, level), v))
+          << v << " level " << level;
+    }
+    for (int level = 0; level <= 2; ++level) {
+      EXPECT_TRUE(GeneralizedCovers(interval.Generalize(v, level), v))
+          << v << " level " << level;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace infoleak

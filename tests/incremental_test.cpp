@@ -1,0 +1,129 @@
+// §4.1: incremental leakage of releasing critical information — the
+// credit-card choice scenario, with the paper's exact fractions.
+
+#include "apps/incremental.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/release_advisor.h"
+#include "er/swoosh.h"
+
+namespace infoleak {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+/// The §4.1 setup: reference p, store database {s, t}, candidate releases
+/// u (card c1) and v (card c2), match on (name ∧ card) ∨ (name ∧ phone).
+class Section41Fixture : public ::testing::Test {
+ protected:
+  Section41Fixture()
+      : p_{{"N", "n1"}, {"C", "c1"}, {"C", "c2"}, {"P", "p1"}, {"A", "a1"}},
+        u_{{"N", "n1"}, {"C", "c1"}, {"P", "p1"}},
+        v_{{"N", "n1"}, {"C", "c2"}, {"P", "p1"}},
+        match_(MatchRules{{"N", "C"}, {"N", "P"}}),
+        resolver_(match_, merge_),
+        er_(resolver_) {
+    db_.Add(Record{{"N", "n1"}, {"C", "c1"}, {"P", "p1"}});  // s
+    db_.Add(Record{{"N", "n1"}, {"C", "c2"}});               // t
+  }
+
+  Record p_;
+  Record u_;
+  Record v_;
+  Database db_;
+  RuleMatch match_;
+  UnionMerge merge_;
+  SwooshResolver resolver_;
+  ErOperator er_;
+  WeightModel unit_;
+  ExactLeakage engine_;
+};
+
+TEST_F(Section41Fixture, BaselineLeakageIsThreeQuarters) {
+  // s and t do not match each other (same name, different cards, t has no
+  // phone), so L(R, p, E) = max{3/4, 4/7} = 3/4.
+  auto l = InformationLeakage(db_, p_, er_, unit_, engine_);
+  ASSERT_TRUE(l.ok());
+  EXPECT_NEAR(*l, 3.0 / 4.0, kTol);
+}
+
+TEST_F(Section41Fixture, ReleasingUCostsNothing) {
+  // u merges only with the identical s: incremental leakage 0.
+  auto inc = IncrementalLeakage(db_, p_, er_, u_, unit_, engine_);
+  ASSERT_TRUE(inc.ok());
+  EXPECT_NEAR(*inc, 0.0, kTol);
+}
+
+TEST_F(Section41Fixture, ReleasingVCostsFiveThirtySixths) {
+  // v bridges s and t: s+t+v has 4 of p's 5 attributes -> 8/9; the
+  // incremental leakage is 8/9 − 3/4 = 5/36.
+  auto report = IncrementalLeakageReport(db_, p_, er_, v_, unit_, engine_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report->before, 3.0 / 4.0, kTol);
+  EXPECT_NEAR(report->after, 8.0 / 9.0, kTol);
+  EXPECT_NEAR(report->incremental, 5.0 / 36.0, kTol);
+}
+
+TEST_F(Section41Fixture, AdvisorPrefersCardC1) {
+  std::vector<ReleaseOption> options{{"pay-with-c1", u_},
+                                     {"pay-with-c2", v_}};
+  auto best = BestRelease(db_, p_, er_, options, unit_, engine_);
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best->name, "pay-with-c1");
+  EXPECT_NEAR(best->incremental, 0.0, kTol);
+
+  auto all = AssessReleases(db_, p_, er_, options, unit_, engine_);
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 2u);
+  EXPECT_EQ((*all)[1].name, "pay-with-c2");
+  EXPECT_NEAR((*all)[1].incremental, 5.0 / 36.0, kTol);
+}
+
+TEST_F(Section41Fixture, AdvisorRejectsEmptyOptions) {
+  auto best = BestRelease(db_, p_, er_, {}, unit_, engine_);
+  EXPECT_TRUE(best.status().IsInvalidArgument());
+}
+
+TEST(IncrementalTest, IncrementalLeakageCanBeLargeForSmallRecords) {
+  // "r may make it possible for Eve to piece together big chunks... the
+  // incremental leakage may be large even if r contains relatively little
+  // data": a two-attribute linker connects two big fragments.
+  Record p{{"N", "n"}, {"A", "a"}, {"B", "b"}, {"C", "c"}, {"D", "d"},
+           {"E", "e"}};
+  Database db;
+  db.Add(Record{{"N", "n"}, {"A", "a"}, {"B", "b"}});
+  db.Add(Record{{"X", "x"}, {"C", "c"}, {"D", "d"}, {"E", "e"}});
+  RuleMatch match(MatchRules{{"N"}, {"X"}});
+  UnionMerge merge;
+  SwooshResolver resolver(match, merge);
+  ErOperator er(resolver);
+  WeightModel unit;
+  ExactLeakage engine;
+  Record linker{{"N", "n"}, {"X", "x"}};  // 2 attributes, 1 correct
+  auto inc = IncrementalLeakage(db, p, er, linker, unit, engine);
+  ASSERT_TRUE(inc.ok());
+  // Before: max(2·3/(3+6), 2·3/(4+6)) = 2/3. After: everything merges into
+  // a 7-attribute composite with 6 correct -> 2·6/(7+6) = 12/13.
+  EXPECT_NEAR(*inc, 12.0 / 13.0 - 2.0 / 3.0, kTol);
+}
+
+TEST(IncrementalTest, DisinformationHasNegativeIncrementalLeakage) {
+  Record p{{"N", "n"}, {"A", "a"}};
+  Database db;
+  db.Add(Record{{"N", "n"}, {"A", "a"}});  // fully leaked: L = 1
+  RuleMatch match(MatchRules{{"N"}});
+  UnionMerge merge;
+  SwooshResolver resolver(match, merge);
+  ErOperator er(resolver);
+  WeightModel unit;
+  ExactLeakage engine;
+  // A bogus record that merges in pollutes the composite.
+  Record bogus{{"N", "n"}, {"Z", "junk1"}, {"Y", "junk2"}};
+  auto inc = IncrementalLeakage(db, p, er, bogus, unit, engine);
+  ASSERT_TRUE(inc.ok());
+  EXPECT_LT(*inc, 0.0);
+}
+
+}  // namespace
+}  // namespace infoleak

@@ -1,0 +1,135 @@
+#include "core/informativeness.h"
+
+#include <gtest/gtest.h>
+
+#include "util/string_util.h"
+
+#include "core/measures.h"
+
+namespace infoleak {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+TEST(ValueDistributionTest, SmoothedProbabilities) {
+  ValueDistribution dist;
+  dist.Observe("Age", "30");
+  dist.Observe("Age", "30");
+  dist.Observe("Age", "80");
+  // (count + 1) / (total + distinct + 1) = (2+1)/(3+2+1) and (1+1)/6.
+  EXPECT_NEAR(dist.Probability("Age", "30"), 3.0 / 6.0, kTol);
+  EXPECT_NEAR(dist.Probability("Age", "80"), 2.0 / 6.0, kTol);
+  EXPECT_NEAR(dist.Probability("Age", "999"), 1.0 / 6.0, kTol);  // unseen
+  EXPECT_NEAR(dist.Probability("Ghost", "x"), 0.5, kTol);  // unknown label
+}
+
+TEST(ValueDistributionTest, SurprisalOrdersByRarity) {
+  ValueDistribution dist;
+  for (int i = 0; i < 99; ++i) dist.Observe("Age", "30");
+  dist.Observe("Age", "80");
+  EXPECT_LT(dist.Surprisal("Age", "30"), dist.Surprisal("Age", "80"));
+  EXPECT_LT(dist.Surprisal("Age", "80"), dist.Surprisal("Age", "unseen"));
+  EXPECT_GE(dist.Surprisal("Age", "30"), 0.0);
+}
+
+TEST(ValueDistributionTest, ObserveDatabase) {
+  Database db;
+  db.Add(Record{{"D", "Flu"}, {"Z", "94305"}});
+  db.Add(Record{{"D", "Flu"}});
+  db.Add(Record{{"D", "Cancer"}});
+  ValueDistribution dist;
+  dist.ObserveDatabase(db);
+  EXPECT_EQ(dist.TotalObservations("D"), 3u);
+  EXPECT_EQ(dist.TotalObservations("Z"), 1u);
+  EXPECT_GT(dist.Surprisal("D", "Cancer"), dist.Surprisal("D", "Flu"));
+}
+
+TEST(InformativenessWeigherTest, RareValuesWeighMore) {
+  ValueDistribution dist;
+  for (int i = 0; i < 50; ++i) dist.Observe("D", "Flu");
+  dist.Observe("D", "Kuru");
+  WeightModel base;
+  InformativenessWeigher weigher(base, dist);
+  EXPECT_GT(weigher.Weight("D", "Kuru"), weigher.Weight("D", "Flu"));
+  // The label weight scales the result.
+  WeightModel heavy;
+  ASSERT_TRUE(heavy.SetWeight("D", 3.0).ok());
+  InformativenessWeigher heavy_weigher(heavy, dist);
+  EXPECT_NEAR(heavy_weigher.Weight("D", "Kuru"),
+              3.0 * weigher.Weight("D", "Kuru"), kTol);
+}
+
+TEST(InformativenessWeigherTest, UnobservedLabelKeepsBaseWeight) {
+  ValueDistribution dist;
+  WeightModel base;
+  ASSERT_TRUE(base.SetWeight("X", 2.5).ok());
+  InformativenessWeigher weigher(base, dist);
+  EXPECT_DOUBLE_EQ(weigher.Weight("X", "anything"), 2.5);
+}
+
+TEST(InformativenessWeigherTest, ScaleIsClamped) {
+  ValueDistribution dist;
+  for (int i = 0; i < 100000; ++i) dist.Observe("D", "Flu");
+  dist.Observe("D", "Kuru");
+  WeightModel base;
+  InformativenessWeigher weigher(base, dist, 0.25, 4.0);
+  EXPECT_LE(weigher.Weight("D", "NeverSeen"), 4.0 + kTol);
+  EXPECT_GE(weigher.Weight("D", "Flu"), 0.25 - kTol);
+}
+
+TEST(InformedMeasuresTest, ReduceToBaseWithEmptyDistribution) {
+  ValueDistribution empty;
+  WeightModel base;
+  ASSERT_TRUE(base.SetWeight("N", 2.0).ok());
+  InformativenessWeigher weigher(base, empty);
+  Record p{{"N", "Alice"}, {"A", "20"}, {"P", "123"}, {"Z", "94305"}};
+  Record r{{"N", "Alice"}, {"A", "20"}, {"P", "111"}};
+  EXPECT_NEAR(InformedPrecision(r, p, weigher), Precision(r, p, base), kTol);
+  EXPECT_NEAR(InformedRecall(r, p, weigher), Recall(r, p, base), kTol);
+  EXPECT_NEAR(InformedRecordLeakageNoConfidence(r, p, weigher),
+              RecordLeakageNoConfidence(r, p, base), kTol);
+}
+
+TEST(InformedMeasuresTest, ExceptionalValueLeaksMore) {
+  // The §2.1 background-knowledge intuition: knowing an exceptional
+  // disease leaks more than knowing a common one.
+  ValueDistribution dist;
+  for (int i = 0; i < 99; ++i) dist.Observe("D", "Flu");
+  dist.Observe("D", "Kuru");
+  WeightModel base;
+  InformativenessWeigher weigher(base, dist);
+
+  Record p_common{{"N", "Alice"}, {"Z", "111"}, {"D", "Flu"}};
+  Record p_rare{{"N", "Alice"}, {"Z", "111"}, {"D", "Kuru"}};
+  // The adversary knows only the disease in both cases.
+  Record r_common{{"D", "Flu"}};
+  Record r_rare{{"D", "Kuru"}};
+  EXPECT_GT(InformedRecordLeakageNoConfidence(r_rare, p_rare, weigher),
+            InformedRecordLeakageNoConfidence(r_common, p_common, weigher));
+}
+
+TEST(InformedRecordLeakageTest, ExpectedValueOverWorlds) {
+  ValueDistribution empty;
+  WeightModel unit;
+  InformativenessWeigher weigher(unit, empty);
+  Record p{{"N", "Alice"}, {"A", "20"}, {"P", "123"}};
+  Record r{{"N", "Alice", 0.5}, {"A", "20", 1.0}};
+  auto l = InformedRecordLeakage(r, p, weigher);
+  ASSERT_TRUE(l.ok());
+  EXPECT_NEAR(*l, 13.0 / 20.0, kTol);  // reduces to the crisp 13/20
+}
+
+TEST(InformedRecordLeakageTest, RefusesHugeRecords) {
+  ValueDistribution empty;
+  WeightModel unit;
+  InformativenessWeigher weigher(unit, empty);
+  Record r;
+  for (int i = 0; i < 30; ++i) {
+    r.Insert(Attribute(StrCat("L", std::to_string(i)), "v", 0.5));
+  }
+  auto l = InformedRecordLeakage(r, Record{{"A", "1"}}, weigher, 25);
+  EXPECT_EQ(l.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace infoleak

@@ -1,0 +1,85 @@
+#include "anon/ldiversity.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace infoleak {
+namespace {
+
+/// The paper's Table 2 (3-anonymous patient table, names dropped).
+Table PaperTable2() {
+  auto t = Table::Create({"Zip", "Age", "Disease"});
+  EXPECT_TRUE(t.ok());
+  EXPECT_TRUE(t->AddRow({"11*", "3*", "Heart"}).ok());
+  EXPECT_TRUE(t->AddRow({"11*", "3*", "Breast"}).ok());
+  EXPECT_TRUE(t->AddRow({"11*", "3*", "Cancer"}).ok());
+  EXPECT_TRUE(t->AddRow({"2**", ">=50", "Hair"}).ok());
+  EXPECT_TRUE(t->AddRow({"2**", ">=50", "Flu"}).ok());
+  EXPECT_TRUE(t->AddRow({"2**", ">=50", "Flu"}).ok());
+  return std::move(t).value();
+}
+
+TEST(LDiversityTest, Table2HasMinTwoDistinctDiseases) {
+  // §3.2: "the first equivalence class contains 3 distinct diseases while
+  // the second equivalence class has 2".
+  Table t = PaperTable2();
+  auto min_distinct = MinDistinctSensitive(t, {"Zip", "Age"}, "Disease");
+  ASSERT_TRUE(min_distinct.ok());
+  EXPECT_EQ(*min_distinct, 2u);
+  EXPECT_TRUE(IsDistinctLDiverse(t, {"Zip", "Age"}, "Disease", 2).value());
+  EXPECT_FALSE(IsDistinctLDiverse(t, {"Zip", "Age"}, "Disease", 3).value());
+}
+
+TEST(LDiversityTest, RenamingFluToInfluenzaAchievesThreeDiversity) {
+  // §3.2: changing Zoe's Flu to Influenza makes the table 3-diverse.
+  Table t = PaperTable2();
+  ASSERT_TRUE(t.SetCell(5, "Disease", "Influenza").ok());
+  EXPECT_TRUE(IsDistinctLDiverse(t, {"Zip", "Age"}, "Disease", 3).value());
+}
+
+TEST(LDiversityTest, EntropyDiversity) {
+  Table t = PaperTable2();
+  // Second class has distribution {Hair: 1/3, Flu: 2/3}:
+  // H = -(1/3)ln(1/3) - (2/3)ln(2/3) ≈ 0.6365.
+  auto h = MinEntropySensitive(t, {"Zip", "Age"}, "Disease");
+  ASSERT_TRUE(h.ok());
+  double expected =
+      -(1.0 / 3.0) * std::log(1.0 / 3.0) - (2.0 / 3.0) * std::log(2.0 / 3.0);
+  EXPECT_NEAR(*h, expected, 1e-12);
+  // Entropy l-diversity: exp(0.6365) ≈ 1.89, so 1.8-diverse but not 2.
+  EXPECT_TRUE(IsEntropyLDiverse(t, {"Zip", "Age"}, "Disease", 1.8).value());
+  EXPECT_FALSE(IsEntropyLDiverse(t, {"Zip", "Age"}, "Disease", 2.0).value());
+}
+
+TEST(LDiversityTest, UniformClassMaximizesEntropy) {
+  Table t = PaperTable2();
+  ASSERT_TRUE(t.SetCell(5, "Disease", "Influenza").ok());
+  // Both classes now have 3 distinct values, uniformly: H = ln(3).
+  auto h = MinEntropySensitive(t, {"Zip", "Age"}, "Disease");
+  ASSERT_TRUE(h.ok());
+  EXPECT_NEAR(*h, std::log(3.0), 1e-12);
+  EXPECT_TRUE(IsEntropyLDiverse(t, {"Zip", "Age"}, "Disease", 3.0).value());
+}
+
+TEST(LDiversityTest, EmptyTable) {
+  auto t = Table::Create({"Q", "S"});
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(MinDistinctSensitive(*t, {"Q"}, "S").value(), 0u);
+  EXPECT_EQ(MinEntropySensitive(*t, {"Q"}, "S").value(), 0.0);
+}
+
+TEST(LDiversityTest, TrivialLIsAlwaysSatisfied) {
+  Table t = PaperTable2();
+  EXPECT_TRUE(IsDistinctLDiverse(t, {"Zip", "Age"}, "Disease", 1).value());
+  EXPECT_TRUE(IsEntropyLDiverse(t, {"Zip", "Age"}, "Disease", 1.0).value());
+}
+
+TEST(LDiversityTest, UnknownColumnsFail) {
+  Table t = PaperTable2();
+  EXPECT_FALSE(MinDistinctSensitive(t, {"Ghost"}, "Disease").ok());
+  EXPECT_FALSE(MinDistinctSensitive(t, {"Zip"}, "Ghost").ok());
+}
+
+}  // namespace
+}  // namespace infoleak

@@ -1,0 +1,289 @@
+// Property-based tests of the leakage engines: randomized record pairs are
+// swept through parameterized gtest suites and the engines are checked
+// against each other and against the measure's invariants.
+
+#include <gtest/gtest.h>
+
+#include "util/string_util.h"
+
+#include "core/leakage.h"
+#include "gen/generator.h"
+#include "util/rng.h"
+
+namespace infoleak {
+namespace {
+
+/// Builds a random (r, p) pair: p has `n_ref` unit-confidence attributes;
+/// r copies each with probability 0.6 (perturbing 30% of copies) and adds
+/// bogus attributes, with confidences in [0, max_conf].
+struct RandomCase {
+  Record p;
+  Record r;
+};
+
+RandomCase MakeRandomCase(Rng* rng, std::size_t n_ref, double max_conf) {
+  RandomCase out;
+  for (std::size_t i = 0; i < n_ref; ++i) {
+    std::string label = StrCat("L", std::to_string(i));
+    std::string value = StrCat("v", std::to_string(i));
+    out.p.Insert(Attribute(label, value, 1.0));
+    if (rng->Bernoulli(0.6)) {
+      std::string got = rng->Bernoulli(0.3) ? value + "_wrong" : value;
+      out.r.Insert(Attribute(label, got, rng->Uniform(0.0, max_conf)));
+    }
+    if (rng->Bernoulli(0.4)) {
+      out.r.Insert(Attribute(StrCat("B", std::to_string(i)), "bogus",
+                             rng->Uniform(0.0, max_conf)));
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Exact (Algorithm 1) vs naive oracle, constant weights
+// ---------------------------------------------------------------------------
+
+class ExactVsNaive : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExactVsNaive, LeakageAgrees) {
+  Rng rng(GetParam());
+  WeightModel unit;
+  NaiveLeakage naive;
+  ExactLeakage exact;
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomCase c = MakeRandomCase(&rng, 1 + rng.NextBounded(7), 1.0);
+    auto ln = naive.RecordLeakage(c.r, c.p, unit);
+    auto le = exact.RecordLeakage(c.r, c.p, unit);
+    ASSERT_TRUE(ln.ok()) << ln.status().ToString();
+    ASSERT_TRUE(le.ok()) << le.status().ToString();
+    EXPECT_NEAR(*ln, *le, 1e-10)
+        << "r=" << c.r.ToString() << " p=" << c.p.ToString();
+  }
+}
+
+TEST_P(ExactVsNaive, ExpectedPrecisionAgrees) {
+  Rng rng(GetParam() ^ 0xABCDEF);
+  WeightModel unit;
+  NaiveLeakage naive;
+  ExactLeakage exact;
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomCase c = MakeRandomCase(&rng, 1 + rng.NextBounded(6), 1.0);
+    auto n = naive.ExpectedPrecision(c.r, c.p, unit);
+    auto e = exact.ExpectedPrecision(c.r, c.p, unit);
+    ASSERT_TRUE(n.ok());
+    ASSERT_TRUE(e.ok());
+    EXPECT_NEAR(*n, *e, 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactVsNaive,
+                         ::testing::Range(uint64_t{1}, uint64_t{21}));
+
+// ---------------------------------------------------------------------------
+// Approximation accuracy, arbitrary weights (vs naive oracle)
+// ---------------------------------------------------------------------------
+
+class ApproxVsNaive : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ApproxVsNaive, CloseToOracleWithRandomWeights) {
+  Rng rng(GetParam() * 7919);
+  NaiveLeakage naive;
+  ApproxLeakage approx;
+  for (int trial = 0; trial < 5; ++trial) {
+    RandomCase c = MakeRandomCase(&rng, 4 + rng.NextBounded(6), 0.8);
+    WeightModel wm;
+    for (const auto& a : c.p) {
+      ASSERT_TRUE(wm.SetWeight(a.label, rng.Uniform(0.1, 1.0)).ok());
+    }
+    for (const auto& a : c.r) {
+      if (wm.explicit_weights().count(a.label) == 0) {
+        ASSERT_TRUE(wm.SetWeight(a.label, rng.Uniform(0.1, 1.0)).ok());
+      }
+    }
+    auto n = naive.RecordLeakage(c.r, c.p, wm);
+    auto a = approx.RecordLeakage(c.r, c.p, wm);
+    ASSERT_TRUE(n.ok());
+    ASSERT_TRUE(a.ok());
+    // Table 5 reports near-identical values; small records deviate more
+    // than the paper's 100-attribute cases, so allow a few percent.
+    EXPECT_NEAR(*a, *n, 0.05) << "r=" << c.r.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ApproxVsNaive,
+                         ::testing::Range(uint64_t{1}, uint64_t{16}));
+
+// ---------------------------------------------------------------------------
+// Invariants
+// ---------------------------------------------------------------------------
+
+class LeakageInvariants : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LeakageInvariants, LeakageIsInUnitInterval) {
+  Rng rng(GetParam() * 104729);
+  WeightModel unit;
+  ExactLeakage exact;
+  for (int trial = 0; trial < 20; ++trial) {
+    RandomCase c = MakeRandomCase(&rng, 1 + rng.NextBounded(10), 1.0);
+    auto l = exact.RecordLeakage(c.r, c.p, unit);
+    ASSERT_TRUE(l.ok());
+    EXPECT_GE(*l, 0.0);
+    EXPECT_LE(*l, 1.0 + 1e-12);
+  }
+}
+
+TEST_P(LeakageInvariants, RaisingCorrectConfidenceRaisesLeakage) {
+  // Increasing the confidence of a *correct* attribute can only increase
+  // expected leakage (F1 is monotone in the inclusion of a matching
+  // attribute when precision stays 1... in general it is monotone because
+  // every world containing the attribute dominates its sibling world).
+  Rng rng(GetParam() * 31337);
+  WeightModel unit;
+  ExactLeakage exact;
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomCase c = MakeRandomCase(&rng, 2 + rng.NextBounded(6), 0.9);
+    // Find a correct attribute in r.
+    const Attribute* correct = nullptr;
+    for (const auto& a : c.r) {
+      if (c.p.Contains(a.label, a.value)) {
+        correct = &a;
+        break;
+      }
+    }
+    if (correct == nullptr) continue;
+    auto before = exact.RecordLeakage(c.r, c.p, unit);
+    Record boosted = c.r;
+    ASSERT_TRUE(
+        boosted.SetConfidence(correct->label, correct->value, 1.0).ok());
+    auto after = exact.RecordLeakage(boosted, c.p, unit);
+    ASSERT_TRUE(before.ok());
+    ASSERT_TRUE(after.ok());
+    EXPECT_GE(*after, *before - 1e-12);
+  }
+}
+
+TEST_P(LeakageInvariants, RaisingBogusConfidenceLowersLeakage) {
+  // Becoming more confident about *incorrect* information dilutes precision
+  // in every world, so leakage cannot increase.
+  Rng rng(GetParam() * 65537);
+  WeightModel unit;
+  ExactLeakage exact;
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomCase c = MakeRandomCase(&rng, 2 + rng.NextBounded(6), 0.9);
+    const Attribute* bogus = nullptr;
+    for (const auto& a : c.r) {
+      if (!c.p.Contains(a.label, a.value)) {
+        bogus = &a;
+        break;
+      }
+    }
+    if (bogus == nullptr) continue;
+    auto before = exact.RecordLeakage(c.r, c.p, unit);
+    Record boosted = c.r;
+    ASSERT_TRUE(boosted.SetConfidence(bogus->label, bogus->value, 1.0).ok());
+    auto after = exact.RecordLeakage(boosted, c.p, unit);
+    ASSERT_TRUE(before.ok());
+    ASSERT_TRUE(after.ok());
+    EXPECT_LE(*after, *before + 1e-12);
+  }
+}
+
+TEST_P(LeakageInvariants, AddingCertainCorrectAttributeRaisesLeakage) {
+  Rng rng(GetParam() * 999331);
+  WeightModel unit;
+  ExactLeakage exact;
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomCase c = MakeRandomCase(&rng, 3 + rng.NextBounded(5), 0.9);
+    // Find a reference attribute r does not know yet.
+    const Attribute* missing = nullptr;
+    for (const auto& b : c.p) {
+      if (!c.r.Contains(b.label, b.value)) {
+        missing = &b;
+        break;
+      }
+    }
+    if (missing == nullptr) continue;
+    auto before = exact.RecordLeakage(c.r, c.p, unit);
+    Record richer = c.r;
+    richer.Insert(Attribute(missing->label, missing->value, 1.0));
+    auto after = exact.RecordLeakage(richer, c.p, unit);
+    ASSERT_TRUE(before.ok());
+    ASSERT_TRUE(after.ok());
+    EXPECT_GE(*after, *before - 1e-12);
+  }
+}
+
+TEST_P(LeakageInvariants, MergingInCorrectAttributesNeverHurts) {
+  // Merging a set of *correct*, certain attributes (r2 ⊆ p) into any record
+  // raises every possible world's F1 (numerator and denominator both grow by
+  // the same weight), so L(r1 + r2, p) >= L(r1, p). Note the converse is
+  // false: merging a record containing bogus attributes can dilute a clean
+  // record's precision — that is exactly how disinformation works (§4.2).
+  Rng rng(GetParam() * 7);
+  WeightModel unit;
+  ExactLeakage exact;
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomCase c1 = MakeRandomCase(&rng, 5, 0.9);
+    Record r2;
+    for (const auto& b : c1.p) {
+      if (rng.Bernoulli(0.5)) r2.Insert(b);
+    }
+    Record merged = Record::Merge(c1.r, r2);
+    auto lm = exact.RecordLeakage(merged, c1.p, unit);
+    auto l1 = exact.RecordLeakage(c1.r, c1.p, unit);
+    ASSERT_TRUE(lm.ok());
+    ASSERT_TRUE(l1.ok());
+    EXPECT_GE(*lm + 1e-12, *l1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LeakageInvariants,
+                         ::testing::Range(uint64_t{1}, uint64_t{16}));
+
+// ---------------------------------------------------------------------------
+// Generator-driven agreement sweep (closer to the paper's Table 5 setup)
+// ---------------------------------------------------------------------------
+
+struct SweepParam {
+  double pc;
+  double pp;
+  double m;
+};
+
+class GeneratorSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(GeneratorSweep, ExactMatchesNaiveOnGeneratedRecords) {
+  const SweepParam param = GetParam();
+  GeneratorConfig config;
+  config.n = 8;  // small enough for the naive oracle
+  config.num_records = 10;
+  config.copy_prob = param.pc;
+  config.perturb_prob = param.pp;
+  config.max_confidence = param.m;
+  config.seed = 20260707;
+  auto data = GenerateDataset(config);
+  ASSERT_TRUE(data.ok());
+  NaiveLeakage naive;
+  ExactLeakage exact;
+  ApproxLeakage approx;
+  for (const auto& r : data->records) {
+    auto ln = naive.RecordLeakage(r, data->reference, data->weights);
+    auto le = exact.RecordLeakage(r, data->reference, data->weights);
+    auto la = approx.RecordLeakage(r, data->reference, data->weights);
+    ASSERT_TRUE(ln.ok());
+    ASSERT_TRUE(le.ok());
+    ASSERT_TRUE(la.ok());
+    EXPECT_NEAR(*le, *ln, 1e-10);
+    EXPECT_NEAR(*la, *ln, 0.05);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, GeneratorSweep,
+    ::testing::Values(SweepParam{0.0, 0.5, 0.5}, SweepParam{0.5, 0.0, 0.5},
+                      SweepParam{0.5, 1.0, 0.5}, SweepParam{1.0, 0.5, 0.5},
+                      SweepParam{0.5, 0.5, 1.0}, SweepParam{0.5, 0.5, 0.1},
+                      SweepParam{1.0, 0.0, 1.0}, SweepParam{0.3, 0.7, 0.9}));
+
+}  // namespace
+}  // namespace infoleak

@@ -1,0 +1,109 @@
+#include "er/match.h"
+
+#include <gtest/gtest.h>
+
+namespace infoleak {
+namespace {
+
+TEST(RuleMatchTest, SharedValueOnSingleLabel) {
+  auto m = RuleMatch::SharedValue({"N"});
+  Record a{{"N", "Alice"}, {"P", "123"}};
+  Record b{{"N", "Alice"}, {"C", "999"}};
+  Record c{{"N", "Bob"}};
+  EXPECT_TRUE(m->Matches(a, b));
+  EXPECT_FALSE(m->Matches(a, c));
+}
+
+TEST(RuleMatchTest, SharedValueRequiresSameValue) {
+  auto m = RuleMatch::SharedValue({"N"});
+  Record a{{"N", "Alice"}};
+  Record b{{"N", "alice"}};  // case differs: distinct values
+  EXPECT_FALSE(m->Matches(a, b));
+}
+
+TEST(RuleMatchTest, MultipleSingletonLabelsAreDisjunctive) {
+  auto m = RuleMatch::SharedValue({"N", "P"});
+  Record a{{"N", "Alice"}, {"P", "123"}};
+  Record b{{"N", "Bob"}, {"P", "123"}};  // names differ, phones match
+  EXPECT_TRUE(m->Matches(a, b));
+}
+
+TEST(RuleMatchTest, ConjunctiveRule) {
+  // §4.1: match iff same name AND credit card, OR same name AND phone.
+  RuleMatch m(MatchRules{{"N", "C"}, {"N", "P"}});
+  Record s{{"N", "n1"}, {"C", "c1"}, {"P", "p1"}};
+  Record t{{"N", "n1"}, {"C", "c2"}};
+  Record v{{"N", "n1"}, {"C", "c2"}, {"P", "p1"}};
+  EXPECT_FALSE(m.Matches(s, t));  // same name but different card, no phone
+  EXPECT_TRUE(m.Matches(s, v));   // same name and phone
+  EXPECT_TRUE(m.Matches(t, v));   // same name and card c2
+}
+
+TEST(RuleMatchTest, MultiValuedLabelMatchesOnAnySharedValue) {
+  auto m = RuleMatch::SharedValue({"P"});
+  Record a{{"P", "123"}, {"P", "987"}};
+  Record b{{"P", "987"}};
+  EXPECT_TRUE(m->Matches(a, b));
+}
+
+TEST(RuleMatchTest, EmptyRulesNeverMatch) {
+  RuleMatch m({});
+  Record a{{"N", "Alice"}};
+  EXPECT_FALSE(m.Matches(a, a));
+}
+
+TEST(RuleMatchTest, EmptyConjunctionIsDropped) {
+  // An empty rule would vacuously match everything; it must be ignored.
+  RuleMatch m(MatchRules{{}});
+  Record a{{"N", "Alice"}};
+  Record b{{"N", "Bob"}};
+  EXPECT_FALSE(m.Matches(a, b));
+}
+
+TEST(RuleMatchTest, MatchIgnoresConfidence) {
+  auto m = RuleMatch::SharedValue({"N"});
+  Record a{{"N", "Alice", 0.1}};
+  Record b{{"N", "Alice", 0.9}};
+  EXPECT_TRUE(m->Matches(a, b));
+}
+
+TEST(PredicateMatchTest, WrapsCallable) {
+  PredicateMatch m([](const Record& a, const Record& b) {
+    return a.size() == b.size();
+  });
+  EXPECT_TRUE(m.Matches(Record{{"A", "1"}}, Record{{"B", "2"}}));
+  EXPECT_FALSE(m.Matches(Record{{"A", "1"}}, Record{}));
+}
+
+TEST(CompositeMatchTest, AnyOf) {
+  std::vector<std::unique_ptr<MatchFunction>> children;
+  children.push_back(RuleMatch::SharedValue({"N"}));
+  children.push_back(RuleMatch::SharedValue({"P"}));
+  AnyMatch m(std::move(children));
+  Record a{{"N", "Alice"}, {"P", "1"}};
+  Record b{{"N", "Bob"}, {"P", "1"}};
+  Record c{{"N", "Bob"}, {"P", "2"}};
+  EXPECT_TRUE(m.Matches(a, b));
+  EXPECT_FALSE(m.Matches(a, c));
+}
+
+TEST(CompositeMatchTest, AllOf) {
+  std::vector<std::unique_ptr<MatchFunction>> children;
+  children.push_back(RuleMatch::SharedValue({"N"}));
+  children.push_back(RuleMatch::SharedValue({"P"}));
+  AllMatch m(std::move(children));
+  Record a{{"N", "Alice"}, {"P", "1"}};
+  Record b{{"N", "Alice"}, {"P", "1"}};
+  Record c{{"N", "Alice"}, {"P", "2"}};
+  EXPECT_TRUE(m.Matches(a, b));
+  EXPECT_FALSE(m.Matches(a, c));
+}
+
+TEST(NeverMatchTest, NeverMatches) {
+  NeverMatch m;
+  Record a{{"N", "Alice"}};
+  EXPECT_FALSE(m.Matches(a, a));
+}
+
+}  // namespace
+}  // namespace infoleak

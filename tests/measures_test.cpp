@@ -1,0 +1,106 @@
+#include "core/measures.h"
+
+#include <gtest/gtest.h>
+
+namespace infoleak {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+// §2.1/§2.2 worked example: p = {<N,Alice>, <A,20>, <P,123>, <Z,94305>},
+// r = {<N,Alice>, <A,20>, <P,111>}, wN = 2, others 1.
+class PaperSection2Example : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    p_ = Record{{"N", "Alice"}, {"A", "20"}, {"P", "123"}, {"Z", "94305"}};
+    r_ = Record{{"N", "Alice"}, {"A", "20"}, {"P", "111"}};
+    ASSERT_TRUE(wm_.SetWeight("N", 2.0).ok());
+  }
+
+  Record p_;
+  Record r_;
+  WeightModel wm_;
+};
+
+TEST_F(PaperSection2Example, PrecisionIsThreeQuarters) {
+  EXPECT_NEAR(Precision(r_, p_, wm_), 3.0 / 4.0, kTol);
+}
+
+TEST_F(PaperSection2Example, RecallIsThreeFifths) {
+  EXPECT_NEAR(Recall(r_, p_, wm_), 3.0 / 5.0, kTol);
+}
+
+TEST_F(PaperSection2Example, F1IsTwoThirds) {
+  double pr = Precision(r_, p_, wm_);
+  double re = Recall(r_, p_, wm_);
+  EXPECT_NEAR(F1(pr, re), 2.0 / 3.0, kTol);
+  EXPECT_NEAR(RecordLeakageNoConfidence(r_, p_, wm_), 2.0 / 3.0, kTol);
+}
+
+TEST(MeasuresTest, EmptyRecordHasZeroPrecision) {
+  WeightModel wm;
+  Record p{{"A", "1"}};
+  EXPECT_EQ(Precision(Record{}, p, wm), 0.0);
+  EXPECT_EQ(Recall(Record{}, p, wm), 0.0);
+  EXPECT_EQ(RecordLeakageNoConfidence(Record{}, p, wm), 0.0);
+}
+
+TEST(MeasuresTest, EmptyReferenceHasZeroRecall) {
+  WeightModel wm;
+  Record r{{"A", "1"}};
+  EXPECT_EQ(Recall(r, Record{}, wm), 0.0);
+  EXPECT_EQ(RecordLeakageNoConfidence(r, Record{}, wm), 0.0);
+}
+
+TEST(MeasuresTest, IdenticalRecordsLeakEverything) {
+  WeightModel wm;
+  Record r{{"A", "1"}, {"B", "2"}, {"C", "3"}};
+  EXPECT_NEAR(Precision(r, r, wm), 1.0, kTol);
+  EXPECT_NEAR(Recall(r, r, wm), 1.0, kTol);
+  EXPECT_NEAR(RecordLeakageNoConfidence(r, r, wm), 1.0, kTol);
+}
+
+TEST(MeasuresTest, FBetaWeighsRecall) {
+  // With beta -> 0 F tends to precision; with beta large it tends to recall.
+  double pr = 0.9;
+  double re = 0.3;
+  EXPECT_NEAR(FBeta(pr, re, 1.0), 2 * pr * re / (pr + re), kTol);
+  EXPECT_LT(FBeta(pr, re, 2.0), FBeta(pr, re, 1.0));  // recall-heavy, re < pr
+  EXPECT_GT(FBeta(pr, re, 0.5), FBeta(pr, re, 1.0));  // precision-heavy
+}
+
+TEST(MeasuresTest, FBetaZeroInputs) {
+  EXPECT_EQ(FBeta(0.0, 0.0, 1.0), 0.0);
+  EXPECT_EQ(FBeta(1.0, 0.0, 1.0), 0.0);
+  EXPECT_EQ(FBeta(0.0, 1.0, 1.0), 0.0);
+}
+
+TEST(MeasuresTest, ValueMismatchDoesNotCount) {
+  WeightModel wm;
+  Record p{{"A", "x"}};
+  Record r{{"A", "y"}};
+  EXPECT_EQ(Precision(r, p, wm), 0.0);
+  EXPECT_EQ(Recall(r, p, wm), 0.0);
+}
+
+TEST(MeasuresTest, WeightsScaleInvariant) {
+  // Scaling all weights by a constant leaves every measure unchanged.
+  Record p{{"A", "1"}, {"B", "2"}, {"C", "3"}};
+  Record r{{"A", "1"}, {"B", "9"}};
+  WeightModel w1;
+  ASSERT_TRUE(w1.SetWeight("A", 1.0).ok());
+  ASSERT_TRUE(w1.SetWeight("B", 2.0).ok());
+  ASSERT_TRUE(w1.SetWeight("C", 3.0).ok());
+  WeightModel w2;
+  ASSERT_TRUE(w2.SetWeight("A", 2.0).ok());
+  ASSERT_TRUE(w2.SetWeight("B", 4.0).ok());
+  ASSERT_TRUE(w2.SetWeight("C", 6.0).ok());
+  // Default weight differs (1 vs 1), but no other labels occur.
+  EXPECT_NEAR(Precision(r, p, w1), Precision(r, p, w2), kTol);
+  EXPECT_NEAR(Recall(r, p, w1), Recall(r, p, w2), kTol);
+  EXPECT_NEAR(RecordLeakageNoConfidence(r, p, w1),
+              RecordLeakageNoConfidence(r, p, w2), kTol);
+}
+
+}  // namespace
+}  // namespace infoleak

@@ -1,0 +1,74 @@
+#include "er/merge.h"
+
+#include <gtest/gtest.h>
+
+namespace infoleak {
+namespace {
+
+TEST(UnionMergeTest, UnionsAttributes) {
+  UnionMerge merge;
+  Record a{{"N", "Alice"}, {"P", "123"}};
+  Record b{{"N", "Alice"}, {"C", "999"}};
+  Record m = merge.Merge(a, b);
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_TRUE(m.Contains("P", "123"));
+  EXPECT_TRUE(m.Contains("C", "999"));
+}
+
+TEST(UnionMergeTest, KeepsMaxConfidence) {
+  UnionMerge merge;
+  Record a{{"N", "Alice", 0.9}};
+  Record b{{"N", "Alice", 0.5}};
+  EXPECT_DOUBLE_EQ(merge.Merge(a, b).Confidence("N", "Alice"), 0.9);
+  EXPECT_DOUBLE_EQ(merge.Merge(b, a).Confidence("N", "Alice"), 0.9);
+}
+
+TEST(ValueNormalizerTest, LabelScopedSynonym) {
+  ValueNormalizer n;
+  n.AddSynonym("Disease", "Influenza", "Flu");
+  EXPECT_EQ(n.Canonical("Disease", "Influenza"), "Flu");
+  EXPECT_EQ(n.Canonical("Disease", "Flu"), "Flu");
+  EXPECT_EQ(n.Canonical("Name", "Influenza"), "Influenza");  // other label
+}
+
+TEST(ValueNormalizerTest, WildcardLabelSynonym) {
+  ValueNormalizer n;
+  n.AddSynonym("", "NYC", "New York");
+  EXPECT_EQ(n.Canonical("City", "NYC"), "New York");
+  EXPECT_EQ(n.Canonical("Airport", "NYC"), "New York");
+}
+
+TEST(ValueNormalizerTest, NormalizeCollapsesDuplicates) {
+  ValueNormalizer n;
+  n.AddSynonym("D", "Influenza", "Flu");
+  Record r{{"D", "Flu", 0.4}, {"D", "Influenza", 0.8}};
+  Record out = n.Normalize(r);
+  EXPECT_EQ(out.size(), 1u);
+  // Collapsing keeps the max confidence.
+  EXPECT_DOUBLE_EQ(out.Confidence("D", "Flu"), 0.8);
+}
+
+TEST(ValueNormalizerTest, NormalizePreservesProvenance) {
+  ValueNormalizer n;
+  n.AddSynonym("D", "Influenza", "Flu");
+  Record r{{"D", "Influenza"}};
+  r.AddSource(7);
+  EXPECT_TRUE(n.Normalize(r).HasSource(7));
+}
+
+TEST(NormalizingMergeTest, ReproducesSection32Semantics) {
+  // E' replaces Influenza with Flu when merging (§3.2): the merged record
+  // carries one Flu attribute instead of Flu + Influenza.
+  ValueNormalizer n;
+  n.AddSynonym("Disease", "Influenza", "Flu");
+  NormalizingMerge merge(std::move(n));
+  Record a{{"Zip", "2**"}, {"Disease", "Hair"}, {"Disease", "Flu"}};
+  Record b{{"Zip", "2**"}, {"Disease", "Influenza"}};
+  Record m = merge.Merge(a, b);
+  EXPECT_TRUE(m.Contains("Disease", "Flu"));
+  EXPECT_FALSE(m.Contains("Disease", "Influenza"));
+  EXPECT_EQ(m.size(), 3u);  // Zip, Hair, Flu
+}
+
+}  // namespace
+}  // namespace infoleak

@@ -1,0 +1,106 @@
+#include "core/monte_carlo.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/generator.h"
+
+namespace infoleak {
+namespace {
+
+TEST(MonteCarloTest, DeterministicForSameSeed) {
+  Record p{{"A", "1"}, {"B", "2"}, {"C", "3"}};
+  Record r{{"A", "1", 0.5}, {"B", "9", 0.7}, {"C", "3", 0.3}};
+  WeightModel unit;
+  MonteCarloLeakage mc(1000, 42);
+  auto a = mc.RecordLeakage(r, p, unit);
+  auto b = mc.RecordLeakage(r, p, unit);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(*a, *b);
+}
+
+TEST(MonteCarloTest, ConvergesToNaiveOracle) {
+  Record p{{"A", "1"}, {"B", "2"}, {"C", "3"}, {"D", "4"}};
+  Record r{{"A", "1", 0.5}, {"B", "9", 0.7}, {"C", "3", 0.3},
+           {"E", "5", 0.6}};
+  WeightModel wm;
+  ASSERT_TRUE(wm.SetWeight("A", 3.0).ok());  // arbitrary weights are fine
+  NaiveLeakage naive;
+  double truth = naive.RecordLeakage(r, p, wm).value();
+  MonteCarloLeakage mc(200000, 7);
+  auto est = mc.EstimateLeakage(r, p, wm);
+  ASSERT_TRUE(est.ok());
+  // Within 5 standard errors of the exact value.
+  EXPECT_NEAR(est->mean, truth, 5 * est->standard_error + 1e-12);
+  EXPECT_LT(est->standard_error, 0.005);
+}
+
+TEST(MonteCarloTest, StandardErrorShrinksWithSamples) {
+  Record p{{"A", "1"}, {"B", "2"}};
+  Record r{{"A", "1", 0.5}, {"B", "2", 0.5}};
+  WeightModel unit;
+  MonteCarloLeakage small(100, 3);
+  MonteCarloLeakage large(10000, 3);
+  auto es = small.EstimateLeakage(r, p, unit);
+  auto el = large.EstimateLeakage(r, p, unit);
+  ASSERT_TRUE(es.ok());
+  ASSERT_TRUE(el.ok());
+  EXPECT_LT(el->standard_error, es->standard_error);
+}
+
+TEST(MonteCarloTest, CertainRecordHasZeroVariance) {
+  Record p{{"A", "1"}, {"B", "2"}};
+  Record r{{"A", "1", 1.0}};
+  WeightModel unit;
+  MonteCarloLeakage mc(500, 9);
+  auto est = mc.EstimateLeakage(r, p, unit);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(est->mean, 2.0 / 3.0, 1e-12);  // single world
+  EXPECT_NEAR(est->standard_error, 0.0, 1e-7);  // FP accumulation noise
+}
+
+TEST(MonteCarloTest, EmptyRecordLeaksNothing) {
+  WeightModel unit;
+  MonteCarloLeakage mc(100, 1);
+  auto l = mc.RecordLeakage(Record{}, Record{{"A", "1"}}, unit);
+  ASSERT_TRUE(l.ok());
+  EXPECT_DOUBLE_EQ(*l, 0.0);
+}
+
+TEST(MonteCarloTest, ExpectedPrecisionConverges) {
+  Record p{{"A", "1"}, {"B", "2"}};
+  Record r{{"A", "1", 0.5}, {"X", "9", 0.5}};
+  WeightModel unit;
+  NaiveLeakage naive;
+  double truth = naive.ExpectedPrecision(r, p, unit).value();
+  MonteCarloLeakage mc(200000, 17);
+  auto estimate = mc.ExpectedPrecision(r, p, unit);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_NEAR(*estimate, truth, 0.01);
+}
+
+TEST(MonteCarloTest, ScalesToRecordsEnumerationCannotTouch) {
+  // 200-attribute records: 2^200 worlds, trivially sampled.
+  GeneratorConfig config;
+  config.n = 200;
+  config.num_records = 1;
+  auto data = GenerateDataset(config);
+  ASSERT_TRUE(data.ok());
+  MonteCarloLeakage mc(2000, 5);
+  ExactLeakage exact;
+  auto sampled = mc.RecordLeakage(data->records[0], data->reference,
+                                  data->weights);
+  auto truth = exact.RecordLeakage(data->records[0], data->reference,
+                                   data->weights);
+  ASSERT_TRUE(sampled.ok());
+  ASSERT_TRUE(truth.ok());
+  EXPECT_NEAR(*sampled, *truth, 0.02);
+}
+
+TEST(MonteCarloTest, ZeroSamplesClampedToOne) {
+  MonteCarloLeakage mc(0, 1);
+  EXPECT_EQ(mc.samples(), 1u);
+}
+
+}  // namespace
+}  // namespace infoleak

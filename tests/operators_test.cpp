@@ -1,0 +1,247 @@
+#include "ops/operator.h"
+
+#include <gtest/gtest.h>
+
+#include "util/string_util.h"
+
+#include "er/swoosh.h"
+#include "ops/augment.h"
+#include "ops/error_correction.h"
+
+namespace infoleak {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+TEST(IdentityOperatorTest, LeavesDatabaseUntouchedAtZeroCost) {
+  Database db;
+  db.Add(Record{{"N", "Alice"}});
+  IdentityOperator op;
+  auto out = op.Apply(db);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 1u);
+  EXPECT_EQ(op.Cost(db), 0.0);
+}
+
+TEST(ErOperatorTest, DefaultCostIsPaperQuadratic) {
+  // §2.4's example: C(E, R) = |R|²/1000, so 1000 records cost 1000.
+  auto match = RuleMatch::SharedValue({"N"});
+  UnionMerge merge;
+  SwooshResolver resolver(*match, merge);
+  ErOperator op(resolver);
+  Database db;
+  for (int i = 0; i < 1000; ++i) {
+    db.Add(Record{{"N", StrCat("P", std::to_string(i))}});
+  }
+  EXPECT_NEAR(op.Cost(db), 1000.0, kTol);
+}
+
+TEST(ErOperatorTest, ReproducesSection24Leakage) {
+  Database db;
+  db.Add(Record{{"N", "Alice"}, {"P", "123"}});
+  db.Add(Record{{"N", "Alice"}, {"C", "999"}});
+  db.Add(Record{{"N", "Bob"}, {"P", "987"}});
+  Record p{{"N", "Alice"}, {"P", "123"}, {"C", "999"}, {"Z", "111"}};
+  auto match = RuleMatch::SharedValue({"N"});
+  UnionMerge merge;
+  SwooshResolver resolver(*match, merge);
+  ErOperator er(resolver);
+  IdentityOperator identity;
+  WeightModel unit;
+  ExactLeakage engine;
+  EXPECT_NEAR(InformationLeakage(db, p, identity, unit, engine).value(),
+              2.0 / 3.0, kTol);
+  EXPECT_NEAR(InformationLeakage(db, p, er, unit, engine).value(), 6.0 / 7.0,
+              kTol);
+}
+
+TEST(ErOperatorTest, CumulativeStatsAccumulate) {
+  auto match = RuleMatch::SharedValue({"N"});
+  UnionMerge merge;
+  SwooshResolver resolver(*match, merge);
+  ErOperator op(resolver);
+  Database db;
+  db.Add(Record{{"N", "A"}});
+  db.Add(Record{{"N", "A"}});
+  ASSERT_TRUE(op.Apply(db).ok());
+  uint64_t after_one = op.cumulative_stats().merge_calls;
+  EXPECT_EQ(after_one, 1u);
+  ASSERT_TRUE(op.Apply(db).ok());
+  EXPECT_EQ(op.cumulative_stats().merge_calls, 2u);
+}
+
+TEST(SemanticNormalizeOperatorTest, RewritesValuesAcrossDatabase) {
+  ValueNormalizer n;
+  n.AddSynonym("Disease", "Influenza", "Flu");
+  SemanticNormalizeOperator op(std::move(n));
+  Database db;
+  db.Add(Record{{"Disease", "Influenza"}});
+  db.Add(Record{{"Disease", "Flu"}});
+  auto out = op.Apply(db);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE((*out)[0].Contains("Disease", "Flu"));
+  EXPECT_FALSE((*out)[0].Contains("Disease", "Influenza"));
+}
+
+TEST(PipelineOperatorTest, ComposesLeftToRight) {
+  // Normalize, then resolve: the §3.2 E' operation as a pipeline.
+  ValueNormalizer n;
+  n.AddSynonym("D", "Influenza", "Flu");
+  SemanticNormalizeOperator normalize(std::move(n));
+  auto match = RuleMatch::SharedValue({"N"});
+  UnionMerge merge;
+  SwooshResolver resolver(*match, merge);
+  ErOperator er(resolver);
+  PipelineOperator pipeline({&normalize, &er});
+
+  Database db;
+  db.Add(Record{{"N", "Zoe"}, {"D", "Flu"}});
+  db.Add(Record{{"N", "Zoe"}, {"D", "Influenza"}});
+  auto out = pipeline.Apply(db);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ((*out)[0].size(), 2u);  // N + one Disease, duplicates collapsed
+}
+
+TEST(PipelineOperatorTest, CostSumsStageCosts) {
+  IdentityOperator id1;
+  IdentityOperator id2;
+  PipelineOperator pipeline({&id1, &id2});
+  Database db;
+  db.Add(Record{{"A", "1"}});
+  EXPECT_EQ(pipeline.Cost(db), 0.0);
+}
+
+TEST(ErrorCorrectionTest, SnapsMisspelledValues) {
+  ErrorCorrectionOperator op(/*max_edit_distance=*/1);
+  op.AddDictionary("City", {"Boston", "Austin"});
+  EXPECT_EQ(op.Correct("City", "Bostom"), "Boston");
+  EXPECT_EQ(op.Correct("City", "Boston"), "Boston");
+  EXPECT_EQ(op.Correct("City", "Bstn"), "Bstn");  // too far: unchanged
+  EXPECT_EQ(op.Correct("Name", "Bostom"), "Bostom");  // no dictionary
+}
+
+TEST(ErrorCorrectionTest, TieBreaksDeterministically) {
+  ErrorCorrectionOperator op(1);
+  op.AddDictionary("L", {"aa", "ab"});
+  // "ac" is distance 1 from both; lexicographically smallest wins.
+  EXPECT_EQ(op.Correct("L", "ac"), "aa");
+}
+
+TEST(ErrorCorrectionTest, AppliesAcrossDatabaseAndKeepsConfidence) {
+  ErrorCorrectionOperator op(1);
+  op.AddDictionary("N", {"Alice"});
+  Database db;
+  db.Add(Record{{"N", "Alicd", 0.7}, {"P", "123", 0.4}});
+  auto out = op.Apply(db);
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ((*out)[0].Confidence("N", "Alice"), 0.7);
+  EXPECT_DOUBLE_EQ((*out)[0].Confidence("P", "123"), 0.4);
+}
+
+TEST(ErrorCorrectionTest, CorrectionCanRaiseLeakage) {
+  // Fixing a misspelling turns a non-matching attribute into a correct one.
+  Record p{{"N", "Alice"}, {"P", "123"}};
+  Database db;
+  db.Add(Record{{"N", "Alicd"}, {"P", "123"}});
+  WeightModel unit;
+  ExactLeakage engine;
+  ErrorCorrectionOperator op(1);
+  op.AddDictionary("N", {"Alice"});
+  IdentityOperator identity;
+  double before = InformationLeakage(db, p, identity, unit, engine).value();
+  double after = InformationLeakage(db, p, op, unit, engine).value();
+  EXPECT_NEAR(before, 0.5, kTol);   // only P matches: 2·1/(2+2)
+  EXPECT_NEAR(after, 1.0, kTol);
+}
+
+TEST(AugmentTest, DerivesAttributesFromRules) {
+  // "if Eve knows the addresses she can fill in their zip codes" (§2.4).
+  AugmentOperator op;
+  op.AddRule("A", "123 Main", "Z", "94305");
+  Database db;
+  db.Add(Record{{"A", "123 Main", 0.8}});
+  db.Add(Record{{"A", "456 Oak", 1.0}});
+  auto out = op.Apply(db);
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ((*out)[0].Confidence("Z", "94305"), 0.8);
+  EXPECT_FALSE((*out)[1].Contains("Z", "94305"));
+}
+
+TEST(AugmentTest, ReliabilityScalesConfidence) {
+  AugmentOperator op;
+  op.AddRule("A", "x", "B", "y", /*reliability=*/0.5);
+  Database db;
+  db.Add(Record{{"A", "x", 0.8}});
+  auto out = op.Apply(db);
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ((*out)[0].Confidence("B", "y"), 0.4);
+}
+
+TEST(AugmentTest, OneSourceCanImplySeveralFacts) {
+  AugmentOperator op;
+  op.AddRule("A", "x", "B", "y");
+  op.AddRule("A", "x", "C", "z");
+  Database db;
+  db.Add(Record{{"A", "x"}});
+  auto out = op.Apply(db);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)[0].size(), 3u);
+}
+
+TEST(AugmentTest, AugmentationRaisesLeakage) {
+  Record p{{"A", "123 Main"}, {"Z", "94305"}};
+  Database db;
+  db.Add(Record{{"A", "123 Main"}});
+  AugmentOperator op;
+  op.AddRule("A", "123 Main", "Z", "94305");
+  IdentityOperator identity;
+  WeightModel unit;
+  ExactLeakage engine;
+  double before = InformationLeakage(db, p, identity, unit, engine).value();
+  double after = InformationLeakage(db, p, op, unit, engine).value();
+  EXPECT_GT(after, before);
+  EXPECT_NEAR(after, 1.0, kTol);
+}
+
+TEST(CostModelTest, PolynomialModel) {
+  PolynomialCostModel model(0.001, 2.0);
+  Database db;
+  for (int i = 0; i < 100; ++i) db.Add(Record{{"A", std::to_string(i)}});
+  EXPECT_NEAR(model.Cost(db), 10.0, kTol);
+  EXPECT_EQ(model.name(), "polynomial");
+}
+
+TEST(CostModelTest, PerAttributeModel) {
+  PerAttributeCostModel model(0.5);
+  Database db;
+  db.Add(Record{{"A", "1"}, {"B", "2"}});
+  db.Add(Record{{"C", "3"}});
+  EXPECT_NEAR(model.Cost(db), 1.5, kTol);
+}
+
+TEST(CostModelTest, ObservedErCost) {
+  ErStats stats{100, 7, 0.0};
+  EXPECT_NEAR(ObservedErCost(stats, 0.01, 1.0), 1.0 + 7.0, kTol);
+}
+
+TEST(AnalyzeLeakageTest, ReportsLeakageCostAndDatabase) {
+  Database db;
+  db.Add(Record{{"N", "Alice"}, {"P", "123"}});
+  db.Add(Record{{"N", "Alice"}, {"C", "999"}});
+  Record p{{"N", "Alice"}, {"P", "123"}, {"C", "999"}, {"Z", "111"}};
+  auto match = RuleMatch::SharedValue({"N"});
+  UnionMerge merge;
+  SwooshResolver resolver(*match, merge);
+  ErOperator er(resolver);
+  WeightModel unit;
+  ExactLeakage engine;
+  auto report = AnalyzeLeakage(db, p, er, unit, engine);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report->leakage, 6.0 / 7.0, kTol);
+  EXPECT_NEAR(report->cost, 4.0 / 1000.0, kTol);
+  EXPECT_EQ(report->analyzed.size(), 1u);
+}
+
+}  // namespace
+}  // namespace infoleak

@@ -1,0 +1,93 @@
+#include "core/polynomial.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace infoleak {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+TEST(PolyTest, OneIsConstantPolynomial) {
+  auto one = Poly::One();
+  EXPECT_EQ(one, std::vector<double>{1.0});
+  EXPECT_NEAR(Poly::Evaluate(one, 0.37), 1.0, kTol);
+}
+
+TEST(PolyTest, MultiplyBernoulliDegreeOne) {
+  // 1 * (c·t + 1−c) = c·t + (1−c).
+  auto y = Poly::MultiplyBernoulli(Poly::One(), 0.3);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_NEAR(y[0], 0.3, kTol);  // t^1 coefficient
+  EXPECT_NEAR(y[1], 0.7, kTol);  // t^0 coefficient
+}
+
+TEST(PolyTest, MultiplyBernoulliMatchesDirectProduct) {
+  // (0.5t + 0.5)(0.2t + 0.8) = 0.1t² + 0.5t + 0.4.
+  auto y = Poly::MultiplyBernoulli(Poly::MultiplyBernoulli(Poly::One(), 0.5),
+                                   0.2);
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_NEAR(y[0], 0.1, kTol);
+  EXPECT_NEAR(y[1], 0.5, kTol);
+  EXPECT_NEAR(y[2], 0.4, kTol);
+}
+
+TEST(PolyTest, ProductEvaluationMatchesFactorEvaluation) {
+  std::vector<double> confs{0.1, 0.9, 0.5, 0.33, 0.77};
+  auto y = Poly::One();
+  for (double c : confs) y = Poly::MultiplyBernoulli(y, c);
+  for (double t : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    double direct = 1.0;
+    for (double c : confs) direct *= c * t + (1.0 - c);
+    EXPECT_NEAR(Poly::Evaluate(y, t), direct, 1e-12);
+  }
+}
+
+TEST(PolyTest, ExtremeConfidences) {
+  // c = 1 multiplies by t (shifts coefficients); c = 0 multiplies by 1.
+  auto by_one = Poly::MultiplyBernoulli(Poly::One(), 1.0);
+  EXPECT_NEAR(Poly::Evaluate(by_one, 0.4), 0.4, kTol);
+  auto by_zero = Poly::MultiplyBernoulli(Poly::One(), 0.0);
+  EXPECT_NEAR(Poly::Evaluate(by_zero, 0.4), 1.0, kTol);
+}
+
+TEST(PolyTest, IntegrateConstantAgainstPower) {
+  // ∫₀¹ t^m dt = 1/(m+1).
+  for (std::size_t m : {0u, 1u, 5u, 100u}) {
+    EXPECT_NEAR(Poly::IntegrateAgainstPower(Poly::One(), m),
+                1.0 / static_cast<double>(m + 1), kTol);
+  }
+}
+
+TEST(PolyTest, IntegrateLinearPolynomial) {
+  // Y(t) = 0.3t + 0.7; ∫₀¹ t²·Y dt = 0.3/4 + 0.7/3.
+  auto y = Poly::MultiplyBernoulli(Poly::One(), 0.3);
+  EXPECT_NEAR(Poly::IntegrateAgainstPower(y, 2), 0.3 / 4 + 0.7 / 3, kTol);
+}
+
+TEST(PolyTest, IntegrateMatchesNumericalQuadrature) {
+  std::vector<double> confs{0.4, 0.6, 0.25};
+  auto y = Poly::One();
+  for (double c : confs) y = Poly::MultiplyBernoulli(y, c);
+  const std::size_t m = 3;
+  // Simpson's rule with many panels as an independent oracle.
+  const int kPanels = 20000;
+  double h = 1.0 / kPanels;
+  double sum = 0.0;
+  auto f = [&](double t) {
+    double v = 1.0;
+    for (double c : confs) v *= c * t + (1.0 - c);
+    double tm = 1.0;
+    for (std::size_t i = 0; i < m; ++i) tm *= t;
+    return tm * v;
+  };
+  for (int i = 0; i < kPanels; ++i) {
+    double a = i * h;
+    sum += (f(a) + 4 * f(a + h / 2) + f(a + h)) * h / 6;
+  }
+  EXPECT_NEAR(Poly::IntegrateAgainstPower(y, m), sum, 1e-9);
+}
+
+}  // namespace
+}  // namespace infoleak

@@ -1,0 +1,136 @@
+#include "apps/population.h"
+#include "gen/population.h"
+
+#include <gtest/gtest.h>
+
+namespace infoleak {
+namespace {
+
+GeneratorConfig SmallConfig() {
+  GeneratorConfig config;
+  config.n = 10;
+  config.perturb_prob = 0.2;
+  config.seed = 7;
+  return config;
+}
+
+TEST(GeneratePopulationTest, ShapesAndOwnership) {
+  auto data = GeneratePopulation(SmallConfig(), 5, 4);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->references.size(), 5u);
+  EXPECT_EQ(data->records.size(), 20u);
+  EXPECT_EQ(data->owner.size(), 20u);
+  for (const auto& reference : data->references) {
+    EXPECT_EQ(reference.size(), 10u);
+  }
+  // Owners are grouped: 4 records per person, in person order.
+  for (std::size_t i = 0; i < data->owner.size(); ++i) {
+    EXPECT_EQ(data->owner[i], i / 4);
+  }
+}
+
+TEST(GeneratePopulationTest, ReferencesAreDisjointInValues) {
+  auto data = GeneratePopulation(SmallConfig(), 3, 1);
+  ASSERT_TRUE(data.ok());
+  WeightModel unit;
+  for (std::size_t a = 0; a < 3; ++a) {
+    for (std::size_t b = a + 1; b < 3; ++b) {
+      EXPECT_DOUBLE_EQ(
+          unit.OverlapWeight(data->references[a], data->references[b]), 0.0);
+    }
+  }
+}
+
+TEST(GeneratePopulationTest, Deterministic) {
+  auto d1 = GeneratePopulation(SmallConfig(), 3, 2);
+  auto d2 = GeneratePopulation(SmallConfig(), 3, 2);
+  ASSERT_TRUE(d1.ok());
+  ASSERT_TRUE(d2.ok());
+  for (std::size_t i = 0; i < d1->records.size(); ++i) {
+    EXPECT_EQ(d1->records[i], d2->records[i]);
+  }
+}
+
+TEST(GeneratePopulationTest, ValidatesInputs) {
+  EXPECT_FALSE(GeneratePopulation(SmallConfig(), 0, 5).ok());
+  GeneratorConfig bad = SmallConfig();
+  bad.copy_prob = 2.0;
+  EXPECT_FALSE(GeneratePopulation(bad, 3, 2).ok());
+}
+
+TEST(PerPersonLeakageTest, EveryPersonScored) {
+  auto data = GeneratePopulation(SmallConfig(), 4, 3);
+  ASSERT_TRUE(data.ok());
+  IdentityOperator identity;
+  ExactLeakage engine;
+  auto leakages = PerPersonLeakage(data->records, data->references, identity,
+                                   data->weights, engine);
+  ASSERT_TRUE(leakages.ok());
+  ASSERT_EQ(leakages->size(), 4u);
+  for (const auto& entry : *leakages) {
+    EXPECT_GE(entry.leakage, 0.0);
+    EXPECT_LE(entry.leakage, 1.0);
+    EXPECT_GE(entry.argmax, 0);
+    // The argmax record must belong to this person (values are disjoint
+    // across people, so only own records can leak).
+    EXPECT_EQ(data->owner[static_cast<std::size_t>(entry.argmax)],
+              entry.person);
+  }
+}
+
+TEST(ReidentifyTest, PerfectAttributionOnCleanCopies) {
+  GeneratorConfig config = SmallConfig();
+  config.perturb_prob = 0.0;  // every copied attribute is correct
+  config.copy_prob = 1.0;     // records carry all attributes
+  config.bogus_prob = 0.0;
+  config.max_confidence = 1.0;
+  auto data = GeneratePopulation(config, 5, 3);
+  ASSERT_TRUE(data.ok());
+  ExactLeakage engine;
+  auto report = ReidentifyRecords(data->records, data->references,
+                                  data->weights, engine, &data->owner);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->attributed, data->records.size());
+  EXPECT_EQ(report->correct, data->records.size());
+  EXPECT_DOUBLE_EQ(report->accuracy, 1.0);
+}
+
+TEST(ReidentifyTest, NoisyRecordsStillMostlyAttributed) {
+  auto data = GeneratePopulation(SmallConfig(), 5, 4);
+  ASSERT_TRUE(data.ok());
+  ExactLeakage engine;
+  auto report = ReidentifyRecords(data->records, data->references,
+                                  data->weights, engine, &data->owner);
+  ASSERT_TRUE(report.ok());
+  // Disjoint value spaces: any attributed record is attributed correctly.
+  EXPECT_EQ(report->correct, report->attributed);
+  EXPECT_GT(report->attributed, 0u);
+  for (const auto& reid : report->results) {
+    EXPECT_GE(reid.score, reid.runner_up);
+  }
+}
+
+TEST(ReidentifyTest, GroundTruthSizeValidated) {
+  auto data = GeneratePopulation(SmallConfig(), 2, 2);
+  ASSERT_TRUE(data.ok());
+  ExactLeakage engine;
+  std::vector<std::size_t> wrong_size{0};
+  auto report = ReidentifyRecords(data->records, data->references,
+                                  data->weights, engine, &wrong_size);
+  EXPECT_TRUE(report.status().IsInvalidArgument());
+}
+
+TEST(ReidentifyTest, UnattributableRecord) {
+  Database db;
+  db.Add(Record{{"X", "unrelated"}});
+  std::vector<Record> references{Record{{"N", "Alice"}}};
+  WeightModel unit;
+  ExactLeakage engine;
+  auto report = ReidentifyRecords(db, references, unit, engine);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->attributed, 0u);
+  EXPECT_EQ(report->results[0].predicted_person, -1);
+}
+
+}  // namespace
+}  // namespace infoleak

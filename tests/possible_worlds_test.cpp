@@ -1,0 +1,103 @@
+#include "core/possible_worlds.h"
+
+#include <gtest/gtest.h>
+
+#include "util/string_util.h"
+
+#include <cmath>
+#include <map>
+
+namespace infoleak {
+namespace {
+
+TEST(PossibleWorldsTest, CountIsTwoToTheN) {
+  uint64_t count = 0;
+  ASSERT_TRUE(CountPossibleWorlds(Record{}, &count).ok());
+  EXPECT_EQ(count, 1u);
+  Record r{{"A", "1"}, {"B", "2"}, {"C", "3"}};
+  ASSERT_TRUE(CountPossibleWorlds(r, &count).ok());
+  EXPECT_EQ(count, 8u);
+}
+
+TEST(PossibleWorldsTest, RefusesOversizedRecords) {
+  Record big;
+  for (int i = 0; i < 12; ++i) {
+    big.Insert(Attribute(StrCat("L", std::to_string(i)), "v", 0.5));
+  }
+  uint64_t count = 0;
+  EXPECT_EQ(CountPossibleWorlds(big, &count, 10).code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_TRUE(CountPossibleWorlds(big, &count, 12).ok());
+}
+
+TEST(PossibleWorldsTest, ProbabilitiesSumToOne) {
+  Record r{{"N", "Alice", 0.3}, {"A", "20", 0.7}, {"P", "1", 0.5}};
+  double total = 0.0;
+  std::size_t worlds = 0;
+  ASSERT_TRUE(ForEachPossibleWorld(r, [&](const Record&, double prob) {
+                total += prob;
+                ++worlds;
+              }).ok());
+  EXPECT_EQ(worlds, 8u);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(PossibleWorldsTest, PaperSection23Example) {
+  // r = {<name,Alice,1>, <age,20,0.4>, <phone,123,0.5>} has four worlds with
+  // non-zero probability: 0.2, 0.2, 0.3, 0.3 (§2.3).
+  Record r{{"name", "Alice", 1.0}, {"age", "20", 0.4}, {"phone", "123", 0.5}};
+  std::map<std::size_t, double> prob_by_size;  // world size -> total prob
+  double name_age_phone = -1.0;
+  double name_only = -1.0;
+  ASSERT_TRUE(ForEachPossibleWorld(r, [&](const Record& world, double prob) {
+                prob_by_size[world.size()] += prob;
+                if (world.size() == 3) name_age_phone = prob;
+                if (world.size() == 1 && world.Contains("name", "Alice")) {
+                  name_only = prob;
+                }
+              }).ok());
+  EXPECT_NEAR(name_age_phone, 0.4 * 0.5, 1e-12);          // 0.2
+  EXPECT_NEAR(name_only, 0.6 * 0.5, 1e-12);               // 0.3
+  // Worlds without the certain name attribute have probability 0.
+  EXPECT_NEAR(prob_by_size[0], 0.0, 1e-12);
+}
+
+TEST(PossibleWorldsTest, WorldsCarryFullConfidence) {
+  Record r{{"A", "1", 0.5}};
+  ASSERT_TRUE(ForEachPossibleWorld(r, [&](const Record& world, double) {
+                for (const auto& a : world) {
+                  EXPECT_DOUBLE_EQ(a.confidence, 1.0);
+                }
+              }).ok());
+}
+
+TEST(PossibleWorldsTest, CertainAttributeAppearsInAllPositiveWorlds) {
+  Record r{{"A", "1", 1.0}, {"B", "2", 0.5}};
+  ASSERT_TRUE(ForEachPossibleWorld(r, [&](const Record& world, double prob) {
+                if (prob > 0.0) {
+                  EXPECT_TRUE(world.Contains("A", "1"));
+                }
+              }).ok());
+}
+
+TEST(PossibleWorldsTest, ZeroConfidenceAttributeNeverAppears) {
+  Record r{{"A", "1", 0.0}, {"B", "2", 0.5}};
+  ASSERT_TRUE(ForEachPossibleWorld(r, [&](const Record& world, double prob) {
+                if (prob > 0.0) {
+                  EXPECT_FALSE(world.Contains("A", "1"));
+                }
+              }).ok());
+}
+
+TEST(PossibleWorldsTest, EmptyRecordHasOneCertainWorld) {
+  std::size_t worlds = 0;
+  ASSERT_TRUE(ForEachPossibleWorld(Record{}, [&](const Record& w, double p) {
+                ++worlds;
+                EXPECT_TRUE(w.empty());
+                EXPECT_DOUBLE_EQ(p, 1.0);
+              }).ok());
+  EXPECT_EQ(worlds, 1u);
+}
+
+}  // namespace
+}  // namespace infoleak

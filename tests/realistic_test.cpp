@@ -1,0 +1,141 @@
+#include "gen/realistic.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/string_util.h"
+
+namespace infoleak {
+namespace {
+
+TEST(RealisticConfigTest, Validation) {
+  RealisticConfig c;
+  EXPECT_TRUE(c.Validate().ok());
+  c.num_people = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c = RealisticConfig{};
+  c.typo_prob = 1.5;
+  EXPECT_FALSE(c.Validate().ok());
+  c = RealisticConfig{};
+  c.min_confidence = -0.1;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(InjectTypoTest, ProducesSmallEdits) {
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    std::string typo = InjectTypo("johnson", &rng);
+    EXPECT_LE(EditDistance(typo, "johnson"), 2u);  // transpose counts as 2
+    EXPECT_GE(typo.size(), 6u);
+    EXPECT_LE(typo.size(), 8u);
+  }
+}
+
+TEST(InjectTypoTest, EmptyAndSingleChar) {
+  Rng rng(7);
+  EXPECT_EQ(InjectTypo("", &rng), "");
+  for (int i = 0; i < 20; ++i) {
+    std::string typo = InjectTypo("a", &rng);
+    EXPECT_LE(typo.size(), 2u);  // delete is skipped for single chars
+  }
+}
+
+TEST(RealisticTest, ShapesAndOwnership) {
+  RealisticConfig c;
+  c.num_people = 8;
+  c.records_per_person = 3;
+  auto data = GenerateRealistic(c);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->people.size(), 8u);
+  EXPECT_EQ(data->records.size(), 24u);
+  EXPECT_EQ(data->owner.size(), 24u);
+  for (const auto& person : data->people) {
+    EXPECT_EQ(person.reference.size(), 5u);  // N, E, P, Z, C
+    EXPECT_FALSE(person.full_name.empty());
+  }
+}
+
+TEST(RealisticTest, NamesAreUnique) {
+  RealisticConfig c;
+  c.num_people = 50;
+  c.records_per_person = 1;
+  auto data = GenerateRealistic(c);
+  ASSERT_TRUE(data.ok());
+  std::set<std::string> names;
+  for (const auto& person : data->people) names.insert(person.full_name);
+  EXPECT_EQ(names.size(), 50u);
+}
+
+TEST(RealisticTest, Deterministic) {
+  RealisticConfig c;
+  c.num_people = 5;
+  c.records_per_person = 4;
+  auto d1 = GenerateRealistic(c);
+  auto d2 = GenerateRealistic(c);
+  ASSERT_TRUE(d1.ok());
+  ASSERT_TRUE(d2.ok());
+  for (std::size_t i = 0; i < d1->records.size(); ++i) {
+    EXPECT_EQ(d1->records[i], d2->records[i]);
+  }
+}
+
+TEST(RealisticTest, ObservedValuesComeFromOwner) {
+  RealisticConfig c;
+  c.num_people = 6;
+  c.records_per_person = 4;
+  c.typo_prob = 0.0;  // keep values verbatim for this check
+  auto data = GenerateRealistic(c);
+  ASSERT_TRUE(data.ok());
+  for (std::size_t i = 0; i < data->records.size(); ++i) {
+    const Record& reference =
+        data->people[data->owner[i]].reference;
+    for (const auto& a : data->records[i]) {
+      EXPECT_TRUE(reference.Contains(a.label, a.value))
+          << a.ToString() << " not in owner's reference";
+    }
+  }
+}
+
+TEST(RealisticTest, TypoProbabilityControlsNoise) {
+  RealisticConfig clean;
+  clean.num_people = 10;
+  clean.records_per_person = 5;
+  clean.typo_prob = 0.0;
+  auto clean_data = GenerateRealistic(clean);
+  ASSERT_TRUE(clean_data.ok());
+  RealisticConfig noisy = clean;
+  noisy.typo_prob = 1.0;
+  auto noisy_data = GenerateRealistic(noisy);
+  ASSERT_TRUE(noisy_data.ok());
+
+  auto count_exact_names = [](const RealisticDataset& d) {
+    std::size_t exact = 0;
+    for (std::size_t i = 0; i < d.records.size(); ++i) {
+      const Record& reference = d.people[d.owner[i]].reference;
+      for (const auto& a : d.records[i]) {
+        if (a.label == "N" && reference.Contains("N", a.value)) ++exact;
+      }
+    }
+    return exact;
+  };
+  EXPECT_GT(count_exact_names(*clean_data), count_exact_names(*noisy_data));
+}
+
+TEST(RealisticTest, ConfidencesWithinRange) {
+  RealisticConfig c;
+  c.num_people = 5;
+  c.records_per_person = 3;
+  c.min_confidence = 0.6;
+  auto data = GenerateRealistic(c);
+  ASSERT_TRUE(data.ok());
+  for (const auto& r : data->records) {
+    for (const auto& a : r) {
+      EXPECT_GE(a.confidence, 0.6);
+      EXPECT_LE(a.confidence, 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace infoleak

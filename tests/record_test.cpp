@@ -1,0 +1,163 @@
+#include "core/record.h"
+
+#include <gtest/gtest.h>
+
+namespace infoleak {
+namespace {
+
+TEST(AttributeTest, SameInfoIgnoresConfidence) {
+  Attribute a("N", "Alice", 0.5);
+  Attribute b("N", "Alice", 0.9);
+  EXPECT_TRUE(a.SameInfo(b));
+  EXPECT_FALSE(a == b);  // full equality includes confidence
+  EXPECT_TRUE(a == Attribute("N", "Alice", 0.5));
+}
+
+TEST(AttributeTest, OrderingByLabelThenValue) {
+  EXPECT_LT(Attribute("A", "2"), Attribute("B", "1"));
+  EXPECT_LT(Attribute("A", "1"), Attribute("A", "2"));
+  EXPECT_FALSE(Attribute("A", "1", 0.1) < Attribute("A", "1", 0.9));
+}
+
+TEST(AttributeTest, ToStringOmitsFullConfidence) {
+  EXPECT_EQ(Attribute("N", "Alice").ToString(), "<N, Alice>");
+  EXPECT_EQ(Attribute("A", "20", 0.5).ToString(), "<A, 20, 0.5>");
+}
+
+TEST(RecordTest, AttributesKeptSorted) {
+  Record r{{"Z", "1"}, {"A", "2"}, {"M", "3"}};
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.attributes()[0].label, "A");
+  EXPECT_EQ(r.attributes()[1].label, "M");
+  EXPECT_EQ(r.attributes()[2].label, "Z");
+}
+
+TEST(RecordTest, DuplicateLabelsWithDifferentValuesCoexist) {
+  // The paper: "<A, 20> and <A, 30> are two separate pieces of information".
+  Record r{{"A", "20"}, {"A", "30"}};
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_TRUE(r.Contains("A", "20"));
+  EXPECT_TRUE(r.Contains("A", "30"));
+}
+
+TEST(RecordTest, DuplicateKeyKeepsMaxConfidence) {
+  Record r;
+  r.Insert(Attribute("N", "Alice", 0.4));
+  r.Insert(Attribute("N", "Alice", 0.7));
+  r.Insert(Attribute("N", "Alice", 0.2));
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.Confidence("N", "Alice"), 0.7);
+}
+
+TEST(RecordTest, InsertStrictRejectsDuplicates) {
+  Record r{{"N", "Alice"}};
+  Status st = r.InsertStrict(Attribute("N", "Alice", 0.5));
+  EXPECT_EQ(st.code(), StatusCode::kAlreadyExists);
+  EXPECT_TRUE(r.InsertStrict(Attribute("N", "Bob")).ok());
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(RecordTest, ConfidenceClampedToUnitInterval) {
+  Record r;
+  r.Insert(Attribute("A", "1", 1.5));
+  r.Insert(Attribute("B", "2", -0.5));
+  EXPECT_DOUBLE_EQ(r.Confidence("A", "1"), 1.0);
+  EXPECT_DOUBLE_EQ(r.Confidence("B", "2"), 0.0);
+}
+
+TEST(RecordTest, ConfidenceOfAbsentAttributeIsZero) {
+  // The paper's p(a, r) = 0 for attributes not in r.
+  Record r{{"N", "Alice", 0.8}};
+  EXPECT_DOUBLE_EQ(r.Confidence("N", "Bob"), 0.0);
+  EXPECT_DOUBLE_EQ(r.Confidence("X", "Alice"), 0.0);
+}
+
+TEST(RecordTest, EraseRemovesAttribute) {
+  Record r{{"N", "Alice"}, {"A", "20"}};
+  EXPECT_TRUE(r.Erase("N", "Alice").ok());
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_FALSE(r.Contains("N", "Alice"));
+  EXPECT_TRUE(r.Erase("N", "Alice").IsNotFound());
+}
+
+TEST(RecordTest, SetConfidence) {
+  Record r{{"P", "123", 0.5}};
+  EXPECT_TRUE(r.SetConfidence("P", "123", 1.0).ok());
+  EXPECT_DOUBLE_EQ(r.Confidence("P", "123"), 1.0);
+  EXPECT_TRUE(r.SetConfidence("P", "999", 1.0).IsNotFound());
+}
+
+TEST(RecordTest, WithFullConfidence) {
+  Record r{{"N", "Alice", 0.5}, {"A", "20", 0.3}};
+  Record full = r.WithFullConfidence();
+  EXPECT_DOUBLE_EQ(full.Confidence("N", "Alice"), 1.0);
+  EXPECT_DOUBLE_EQ(full.Confidence("A", "20"), 1.0);
+  // Original unchanged.
+  EXPECT_DOUBLE_EQ(r.Confidence("N", "Alice"), 0.5);
+}
+
+TEST(RecordTest, MergeUnionsAttributesWithMaxConfidence) {
+  // §4.3: "we take the maximum confidence value when merging two attributes
+  // with the same label and value pair".
+  Record a{{"N", "Alice", 0.9}, {"A", "20", 1.0}};
+  Record b{{"N", "Alice", 0.5}, {"P", "123", 0.7}};
+  Record m = Record::Merge(a, b);
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_DOUBLE_EQ(m.Confidence("N", "Alice"), 0.9);
+  EXPECT_DOUBLE_EQ(m.Confidence("P", "123"), 0.7);
+}
+
+TEST(RecordTest, MergeUnionsProvenance) {
+  Record a;
+  a.AddSource(1);
+  Record b;
+  b.AddSource(3);
+  b.AddSource(1);
+  Record m = Record::Merge(a, b);
+  EXPECT_EQ(m.sources(), (std::vector<RecordId>{1, 3}));
+  EXPECT_TRUE(m.HasSource(3));
+  EXPECT_FALSE(m.HasSource(2));
+}
+
+TEST(RecordTest, MergeIsCommutativeOnAttributes) {
+  Record a{{"N", "Alice", 0.9}, {"A", "20", 0.2}};
+  Record b{{"A", "20", 0.6}, {"C", "999", 1.0}};
+  EXPECT_EQ(Record::Merge(a, b), Record::Merge(b, a));
+}
+
+TEST(RecordTest, MergeIsIdempotent) {
+  Record a{{"N", "Alice", 0.9}};
+  EXPECT_EQ(Record::Merge(a, a), a);
+}
+
+TEST(RecordTest, MergeIsAssociative) {
+  Record a{{"N", "Alice", 0.9}};
+  Record b{{"A", "20", 0.4}};
+  Record c{{"N", "Alice", 0.5}, {"P", "1", 1.0}};
+  EXPECT_EQ(Record::Merge(Record::Merge(a, b), c),
+            Record::Merge(a, Record::Merge(b, c)));
+}
+
+TEST(RecordTest, EqualityIgnoresProvenance) {
+  Record a{{"N", "Alice"}};
+  Record b{{"N", "Alice"}};
+  b.AddSource(7);
+  EXPECT_EQ(a, b);
+}
+
+TEST(RecordTest, ToStringIsDeterministic) {
+  Record r{{"Z", "9"}, {"A", "20", 0.5}};
+  EXPECT_EQ(r.ToString(), "{<A, 20, 0.5>, <Z, 9>}");
+  EXPECT_EQ(Record{}.ToString(), "{}");
+}
+
+TEST(RecordTest, FindReturnsStoredAttribute) {
+  Record r{{"N", "Alice", 0.8}};
+  const Attribute* a = r.Find("N", "Alice");
+  ASSERT_NE(a, nullptr);
+  EXPECT_DOUBLE_EQ(a->confidence, 0.8);
+  EXPECT_EQ(r.Find("N", "Bob"), nullptr);
+}
+
+}  // namespace
+}  // namespace infoleak

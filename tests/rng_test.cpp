@@ -1,0 +1,149 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace infoleak {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, ZeroSeedIsValid) {
+  Rng r(0);
+  // The all-zero xoshiro state is avoided; the stream must not be stuck.
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 50; ++i) seen.insert(r.NextUint64());
+  EXPECT_GT(seen.size(), 45u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleRoughlyUniform) {
+  Rng r(11);
+  int low = 0;
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    if (r.NextDouble() < 0.5) ++low;
+  }
+  // 5-sigma band around the binomial mean.
+  EXPECT_NEAR(low, kN / 2, 5 * 160);
+}
+
+TEST(RngTest, UniformRespectsRange) {
+  Rng r(13);
+  for (int i = 0; i < 1000; ++i) {
+    double d = r.Uniform(2.5, 7.5);
+    EXPECT_GE(d, 2.5);
+    EXPECT_LT(d, 7.5);
+  }
+}
+
+TEST(RngTest, NextBoundedInRange) {
+  Rng r(17);
+  for (uint64_t n : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(r.NextBounded(n), n);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedZeroReturnsZero) {
+  Rng r(19);
+  EXPECT_EQ(r.NextBounded(0), 0u);
+}
+
+TEST(RngTest, NextBoundedCoversAllValues) {
+  Rng r(23);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.NextBounded(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng r(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.Bernoulli(0.0));
+    EXPECT_TRUE(r.Bernoulli(1.0));
+    EXPECT_FALSE(r.Bernoulli(-0.5));
+    EXPECT_TRUE(r.Bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng r(31);
+  int hits = 0;
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    if (r.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits, 30000, 5 * 145);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng r(37);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  std::vector<int> original = v;
+  r.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, ShuffleEmptyAndSingleton) {
+  Rng r(41);
+  std::vector<int> empty;
+  r.Shuffle(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{42};
+  r.Shuffle(&one);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(43);
+  Rng child = parent.Fork();
+  // Child and parent should not emit identical sequences.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.NextUint64() == child.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, ForkIsDeterministic) {
+  Rng a(47);
+  Rng b(47);
+  Rng fa = a.Fork();
+  Rng fb = b.Fork();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(fa.NextUint64(), fb.NextUint64());
+  }
+}
+
+}  // namespace
+}  // namespace infoleak

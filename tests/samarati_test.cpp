@@ -1,0 +1,94 @@
+#include "anon/samarati.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace infoleak {
+namespace {
+
+Table PaperTable1NoNames() {
+  auto t = Table::Create({"Zip", "Age", "Disease"});
+  EXPECT_TRUE(t.ok());
+  EXPECT_TRUE(t->AddRow({"111", "30", "Heart"}).ok());
+  EXPECT_TRUE(t->AddRow({"112", "31", "Breast"}).ok());
+  EXPECT_TRUE(t->AddRow({"115", "33", "Cancer"}).ok());
+  EXPECT_TRUE(t->AddRow({"222", "50", "Hair"}).ok());
+  EXPECT_TRUE(t->AddRow({"299", "70", "Flu"}).ok());
+  EXPECT_TRUE(t->AddRow({"241", "60", "Flu"}).ok());
+  return std::move(t).value();
+}
+
+TEST(SamaratiTest, MatchesExhaustiveOnPaperTable) {
+  Table t = PaperTable1NoNames();
+  SuffixSuppressionHierarchy zip(3);
+  IntervalHierarchy age({10, 50});
+  std::vector<QuasiIdentifier> qis{{"Zip", &zip}, {"Age", &age}};
+  auto exhaustive = MinimalFullDomainGeneralization(t, qis, 3);
+  auto samarati = SamaratiGeneralization(t, qis, 3);
+  ASSERT_TRUE(exhaustive.ok());
+  ASSERT_TRUE(samarati.ok()) << samarati.status().ToString();
+  EXPECT_EQ(exhaustive->levels, samarati->levels);
+  EXPECT_EQ(exhaustive->table.rows(), samarati->table.rows());
+}
+
+TEST(SamaratiTest, AlreadyAnonymousNeedsNoGeneralization) {
+  auto t = Table::Create({"A"});
+  ASSERT_TRUE(t.ok());
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(t->AddRow({"x"}).ok());
+  SuffixSuppressionHierarchy h(1);
+  std::vector<QuasiIdentifier> qis{{"A", &h}};
+  auto result = SamaratiGeneralization(*t, qis, 4);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->levels, std::vector<int>{0});
+}
+
+TEST(SamaratiTest, NotFoundWhenImpossible) {
+  auto t = Table::Create({"A"});
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(t->AddRow({"x"}).ok());
+  SuffixSuppressionHierarchy h(1);
+  std::vector<QuasiIdentifier> qis{{"A", &h}};
+  EXPECT_TRUE(SamaratiGeneralization(*t, qis, 2).status().IsNotFound());
+}
+
+TEST(SamaratiTest, NullHierarchyRejected) {
+  Table t = PaperTable1NoNames();
+  std::vector<QuasiIdentifier> qis{{"Zip", nullptr}};
+  EXPECT_TRUE(SamaratiGeneralization(t, qis, 2).status().IsInvalidArgument());
+}
+
+class SamaratiEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SamaratiEquivalence, AgreesWithExhaustiveOnRandomTables) {
+  Rng rng(GetParam() * 50021);
+  SuffixSuppressionHierarchy zip(3);
+  IntervalHierarchy age({10, 30, 100});
+  std::vector<QuasiIdentifier> qis{{"Zip", &zip}, {"Age", &age}};
+  for (int trial = 0; trial < 4; ++trial) {
+    auto t = Table::Create({"Zip", "Age"});
+    ASSERT_TRUE(t.ok());
+    std::size_t rows = 6 + rng.NextBounded(20);
+    for (std::size_t i = 0; i < rows; ++i) {
+      std::string zip_value =
+          StrCat(std::to_string(10 + rng.NextBounded(3)),
+                 std::to_string(rng.NextBounded(10)));
+      std::string age_value = std::to_string(20 + rng.NextBounded(60));
+      ASSERT_TRUE(t->AddRow({zip_value, age_value}).ok());
+    }
+    for (std::size_t k : {2u, 3u, 5u}) {
+      auto exhaustive = MinimalFullDomainGeneralization(*t, qis, k);
+      auto samarati = SamaratiGeneralization(*t, qis, k);
+      ASSERT_EQ(exhaustive.ok(), samarati.ok()) << "k=" << k;
+      if (!exhaustive.ok()) continue;
+      EXPECT_EQ(exhaustive->levels, samarati->levels) << "k=" << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SamaratiEquivalence,
+                         ::testing::Range(uint64_t{1}, uint64_t{9}));
+
+}  // namespace
+}  // namespace infoleak

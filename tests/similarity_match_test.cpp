@@ -1,0 +1,100 @@
+#include "er/similarity_match.h"
+
+#include <gtest/gtest.h>
+
+#include "er/swoosh.h"
+#include "er/transitive.h"
+
+namespace infoleak {
+namespace {
+
+TEST(SimilarityRuleMatchTest, FuzzyNameMatch) {
+  EditDistanceSimilarity sim;
+  SimilarityRuleMatch match(MatchRules{{"N"}}, sim, 0.8);
+  Record a{{"N", "Johnson"}};
+  Record b{{"N", "Jonson"}};   // 1 edit in 7 chars: sim ≈ 0.857
+  Record c{{"N", "Smith"}};
+  EXPECT_TRUE(match.Matches(a, b));
+  EXPECT_FALSE(match.Matches(a, c));
+}
+
+TEST(SimilarityRuleMatchTest, ThresholdOneIsExactMatch) {
+  EditDistanceSimilarity sim;
+  SimilarityRuleMatch fuzzy(MatchRules{{"N"}}, sim, 1.0);
+  RuleMatch exact(MatchRules{{"N"}});
+  Record a{{"N", "Alice"}};
+  Record b{{"N", "Alice"}};
+  Record c{{"N", "Alicia"}};
+  EXPECT_EQ(fuzzy.Matches(a, b), exact.Matches(a, b));
+  EXPECT_EQ(fuzzy.Matches(a, c), exact.Matches(a, c));
+}
+
+TEST(SimilarityRuleMatchTest, ConjunctiveFuzzyRule) {
+  LabelSimilarity sim;
+  sim.Register("N", std::make_unique<EditDistanceSimilarity>());
+  sim.Register("Age", std::make_unique<NumericSimilarity>(10.0));
+  SimilarityRuleMatch match(MatchRules{{"N", "Age"}}, sim, 0.8);
+  Record a{{"N", "Johnson"}, {"Age", "30"}};
+  Record b{{"N", "Jonson"}, {"Age", "31"}};  // both within threshold
+  Record c{{"N", "Jonson"}, {"Age", "45"}};  // age too far
+  EXPECT_TRUE(match.Matches(a, b));
+  EXPECT_FALSE(match.Matches(a, c));
+}
+
+TEST(SimilarityRuleMatchTest, SymmetricEvenForAsymmetricSimilarity) {
+  // A deliberately asymmetric similarity; the matcher takes the max of
+  // both orders, so Matches stays symmetric.
+  class OneWay : public ValueSimilarity {
+   public:
+    std::string_view name() const override { return "one-way"; }
+    double Similarity(std::string_view, std::string_view got,
+                      std::string_view truth) const override {
+      return got < truth ? 1.0 : 0.0;
+    }
+  };
+  OneWay sim;
+  SimilarityRuleMatch match(MatchRules{{"N"}}, sim, 0.5);
+  Record a{{"N", "aaa"}};
+  Record b{{"N", "zzz"}};
+  EXPECT_EQ(match.Matches(a, b), match.Matches(b, a));
+  EXPECT_TRUE(match.Matches(a, b));
+}
+
+TEST(SimilarityRuleMatchTest, FuzzyErLinksMisspelledRecords) {
+  // Three spellings of one person; exact matching leaves three entities,
+  // fuzzy matching merges them all.
+  Database db;
+  db.Add(Record{{"N", "Johnson"}, {"P", "1"}});
+  db.Add(Record{{"N", "Jonson"}, {"C", "2"}});
+  db.Add(Record{{"N", "Johnsen"}, {"Z", "3"}});
+  EditDistanceSimilarity sim;
+  SimilarityRuleMatch fuzzy(MatchRules{{"N"}}, sim, 0.8);
+  RuleMatch exact(MatchRules{{"N"}});
+  UnionMerge merge;
+  auto fuzzy_result =
+      TransitiveClosureResolver(fuzzy, merge).Resolve(db, nullptr);
+  auto exact_result =
+      TransitiveClosureResolver(exact, merge).Resolve(db, nullptr);
+  ASSERT_TRUE(fuzzy_result.ok());
+  ASSERT_TRUE(exact_result.ok());
+  EXPECT_EQ(fuzzy_result->size(), 1u);
+  EXPECT_EQ(exact_result->size(), 3u);
+}
+
+TEST(SimilarityRuleMatchTest, EmptyRulesNeverMatch) {
+  EditDistanceSimilarity sim;
+  SimilarityRuleMatch match(MatchRules{}, sim, 0.5);
+  Record a{{"N", "Alice"}};
+  EXPECT_FALSE(match.Matches(a, a));
+}
+
+TEST(SimilarityRuleMatchTest, ThresholdClamped) {
+  EditDistanceSimilarity sim;
+  SimilarityRuleMatch match(MatchRules{{"N"}}, sim, 7.0);
+  EXPECT_DOUBLE_EQ(match.threshold(), 1.0);
+  SimilarityRuleMatch low(MatchRules{{"N"}}, sim, -1.0);
+  EXPECT_DOUBLE_EQ(low.threshold(), 0.0);
+}
+
+}  // namespace
+}  // namespace infoleak

@@ -1,0 +1,145 @@
+#include "core/similarity.h"
+
+#include <gtest/gtest.h>
+
+#include "util/string_util.h"
+
+#include "core/leakage.h"
+#include "core/measures.h"
+
+namespace infoleak {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+TEST(ExactSimilarityTest, ZeroOne) {
+  ExactSimilarity sim;
+  EXPECT_EQ(sim.Similarity("A", "x", "x"), 1.0);
+  EXPECT_EQ(sim.Similarity("A", "x", "y"), 0.0);
+}
+
+TEST(NumericSimilarityTest, LinearDecay) {
+  NumericSimilarity sim(10.0);
+  EXPECT_NEAR(sim.Similarity("Age", "30", "30"), 1.0, kTol);
+  EXPECT_NEAR(sim.Similarity("Age", "31", "30"), 0.9, kTol);
+  EXPECT_NEAR(sim.Similarity("Age", "35", "30"), 0.5, kTol);
+  EXPECT_NEAR(sim.Similarity("Age", "80", "30"), 0.0, kTol);
+  EXPECT_NEAR(sim.Similarity("Age", "25", "30"), 0.5, kTol);  // symmetric
+}
+
+TEST(NumericSimilarityTest, NonNumericFallsBackToExact) {
+  NumericSimilarity sim(10.0);
+  EXPECT_EQ(sim.Similarity("A", "abc", "abc"), 1.0);
+  EXPECT_EQ(sim.Similarity("A", "abc", "abd"), 0.0);
+  EXPECT_EQ(sim.Similarity("A", "30", "abc"), 0.0);
+}
+
+TEST(EditDistanceSimilarityTest, NormalizedByLength) {
+  EditDistanceSimilarity sim;
+  EXPECT_NEAR(sim.Similarity("N", "Alice", "Alice"), 1.0, kTol);
+  EXPECT_NEAR(sim.Similarity("N", "Alicia", "Alice"), 1.0 - 2.0 / 6.0, kTol);
+  EXPECT_EQ(sim.Similarity("N", "", ""), 1.0);
+  // Completely different strings of equal length score 0.
+  EXPECT_NEAR(sim.Similarity("N", "abc", "xyz"), 0.0, kTol);
+}
+
+TEST(LabelSimilarityTest, DispatchesByLabel) {
+  LabelSimilarity sim;
+  sim.Register("Age", std::make_unique<NumericSimilarity>(10.0));
+  sim.Register("Name", std::make_unique<EditDistanceSimilarity>());
+  EXPECT_NEAR(sim.Similarity("Age", "31", "30"), 0.9, kTol);
+  EXPECT_GT(sim.Similarity("Name", "Alicia", "Alice"), 0.5);
+  // Unregistered labels use the exact fallback.
+  EXPECT_EQ(sim.Similarity("Card", "1234", "1235"), 0.0);
+}
+
+TEST(SoftMeasuresTest, ReduceToCrispWithExactSimilarity) {
+  Record p{{"N", "Alice"}, {"A", "20"}, {"P", "123"}, {"Z", "94305"}};
+  Record r{{"N", "Alice"}, {"A", "20"}, {"P", "111"}};
+  WeightModel wm;
+  ASSERT_TRUE(wm.SetWeight("N", 2.0).ok());
+  ExactSimilarity sim;
+  EXPECT_NEAR(SoftPrecision(r, p, wm, sim), Precision(r, p, wm), kTol);
+  EXPECT_NEAR(SoftRecall(r, p, wm, sim), Recall(r, p, wm), kTol);
+  EXPECT_NEAR(SoftRecordLeakageNoConfidence(r, p, wm, sim),
+              RecordLeakageNoConfidence(r, p, wm), kTol);
+}
+
+TEST(SoftMeasuresTest, CloserGuessLeaksMore) {
+  // The paper's §2.1 example: guessing 31 for age 30 should leak more than
+  // guessing 80.
+  Record p{{"N", "Alice"}, {"Age", "30"}};
+  Record close_guess{{"N", "Alice"}, {"Age", "31"}};
+  Record far_guess{{"N", "Alice"}, {"Age", "80"}};
+  WeightModel unit;
+  LabelSimilarity sim;
+  sim.Register("Age", std::make_unique<NumericSimilarity>(20.0));
+  double close_leak =
+      SoftRecordLeakageNoConfidence(close_guess, p, unit, sim);
+  double far_leak = SoftRecordLeakageNoConfidence(far_guess, p, unit, sim);
+  double exact_leak = SoftRecordLeakageNoConfidence(p, p, unit, sim);
+  EXPECT_GT(close_leak, far_leak);
+  EXPECT_GT(exact_leak, close_leak);
+  EXPECT_NEAR(exact_leak, 1.0, kTol);
+}
+
+TEST(SoftMeasuresTest, DuplicateLabelsTakeBestMatch) {
+  Record p{{"Age", "30"}};
+  Record r{{"Age", "29"}, {"Age", "50"}};
+  WeightModel unit;
+  LabelSimilarity sim;
+  sim.Register("Age", std::make_unique<NumericSimilarity>(10.0));
+  // Recall credit for <Age,30> is the best guess (29 -> 0.9).
+  EXPECT_NEAR(SoftRecall(r, p, unit, sim), 0.9, kTol);
+  // Precision: 29 scores 0.9, 50 scores 0 -> (0.9 + 0)/2.
+  EXPECT_NEAR(SoftPrecision(r, p, unit, sim), 0.45, kTol);
+}
+
+TEST(SoftMeasuresTest, EmptyRecordsScoreZero) {
+  WeightModel unit;
+  ExactSimilarity sim;
+  Record p{{"A", "1"}};
+  EXPECT_EQ(SoftPrecision(Record{}, p, unit, sim), 0.0);
+  EXPECT_EQ(SoftRecall(Record{}, p, unit, sim), 0.0);
+  EXPECT_EQ(SoftRecordLeakageNoConfidence(Record{}, p, unit, sim), 0.0);
+}
+
+TEST(SoftRecordLeakageTest, MatchesCrispEngineWithExactSimilarity) {
+  Record p{{"N", "Alice"}, {"A", "20"}, {"P", "123"}};
+  Record r{{"N", "Alice", 0.5}, {"A", "20", 1.0}};
+  WeightModel unit;
+  ExactSimilarity sim;
+  NaiveLeakage naive;
+  auto soft = SoftRecordLeakage(r, p, unit, sim);
+  auto crisp = naive.RecordLeakage(r, p, unit);
+  ASSERT_TRUE(soft.ok());
+  ASSERT_TRUE(crisp.ok());
+  EXPECT_NEAR(*soft, *crisp, kTol);
+  EXPECT_NEAR(*soft, 13.0 / 20.0, kTol);
+}
+
+TEST(SoftRecordLeakageTest, ConfidenceStillApplies) {
+  Record p{{"Age", "30"}};
+  Record r{{"Age", "31", 0.5}};
+  WeightModel unit;
+  LabelSimilarity sim;
+  sim.Register("Age", std::make_unique<NumericSimilarity>(10.0));
+  // World with the guess: soft-F1 = 0.9; empty world 0. L = 0.5·0.9.
+  auto l = SoftRecordLeakage(r, p, unit, sim);
+  ASSERT_TRUE(l.ok());
+  EXPECT_NEAR(*l, 0.45, kTol);
+}
+
+TEST(SoftRecordLeakageTest, RefusesHugeRecords) {
+  Record p{{"A", "1"}};
+  Record r;
+  for (int i = 0; i < 30; ++i) {
+    r.Insert(Attribute(StrCat("L", std::to_string(i)), "v", 0.5));
+  }
+  ExactSimilarity sim;
+  auto l = SoftRecordLeakage(r, p, WeightModel{}, sim, 25);
+  EXPECT_EQ(l.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace infoleak

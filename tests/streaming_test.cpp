@@ -1,0 +1,129 @@
+#include "apps/streaming.h"
+
+#include <gtest/gtest.h>
+
+#include "util/string_util.h"
+
+#include "er/transitive.h"
+#include "gen/population.h"
+#include "ops/operator.h"
+#include "util/rng.h"
+
+namespace infoleak {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+TEST(StreamingTest, ReproducesSection24Trajectory) {
+  Record p{{"N", "Alice"}, {"P", "123"}, {"C", "999"}, {"Z", "111"}};
+  ExactLeakage engine;
+  StreamingLeakage monitor(p, {"N"}, WeightModel{}, engine);
+
+  // r: 2/3 on its own.
+  auto l1 = monitor.Add(Record{{"N", "Alice"}, {"P", "123"}});
+  ASSERT_TRUE(l1.ok());
+  EXPECT_NEAR(*l1, 2.0 / 3.0, kTol);
+  // s merges with r: the §2.4 jump to 6/7.
+  auto l2 = monitor.Add(Record{{"N", "Alice"}, {"C", "999"}});
+  ASSERT_TRUE(l2.ok());
+  EXPECT_NEAR(*l2, 6.0 / 7.0, kTol);
+  // t (Bob) doesn't change anything.
+  auto l3 = monitor.Add(Record{{"N", "Bob"}, {"P", "987"}});
+  ASSERT_TRUE(l3.ok());
+  EXPECT_NEAR(*l3, 6.0 / 7.0, kTol);
+  EXPECT_EQ(monitor.num_entities(), 2u);
+  EXPECT_EQ(monitor.num_records(), 3u);
+}
+
+TEST(StreamingTest, CompositeOfTracksMerges) {
+  Record p{{"N", "Alice"}};
+  ExactLeakage engine;
+  StreamingLeakage monitor(p, {"N"}, WeightModel{}, engine);
+  ASSERT_TRUE(monitor.Add(Record{{"N", "Alice"}, {"P", "1"}}).ok());
+  ASSERT_TRUE(monitor.Add(Record{{"N", "Alice"}, {"C", "2"}}).ok());
+  auto composite = monitor.CompositeOf(0);
+  ASSERT_TRUE(composite.ok());
+  EXPECT_EQ(composite->size(), 3u);
+  auto same = monitor.CompositeOf(1);
+  ASSERT_TRUE(same.ok());
+  EXPECT_EQ(*composite, *same);
+  EXPECT_TRUE(monitor.CompositeOf(7).status().IsOutOfRange());
+}
+
+TEST(StreamingTest, LinkerRecordBridgesComponents) {
+  // Two unrelated fragments until a linker arrives carrying both keys.
+  Record p{{"A", "a"}, {"B", "b"}, {"C", "c"}, {"D", "d"}};
+  ExactLeakage engine;
+  StreamingLeakage monitor(p, {}, WeightModel{}, engine);
+  ASSERT_TRUE(monitor.Add(Record{{"A", "a"}, {"B", "b"}}).ok());
+  ASSERT_TRUE(monitor.Add(Record{{"C", "c"}, {"D", "d"}}).ok());
+  EXPECT_EQ(monitor.num_entities(), 2u);
+  double before = monitor.current_leakage();
+  auto after = monitor.Add(Record{{"A", "a"}, {"C", "c"}});
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(monitor.num_entities(), 1u);
+  EXPECT_GT(*after, before);
+  EXPECT_NEAR(*after, 1.0, kTol);  // all 4 reference attrs, nothing else
+}
+
+TEST(StreamingTest, DisinformationLowersCurrentLeakage) {
+  Record p{{"N", "n"}, {"A", "a"}};
+  ExactLeakage engine;
+  StreamingLeakage monitor(p, {"N"}, WeightModel{}, engine);
+  ASSERT_TRUE(monitor.Add(Record{{"N", "n"}, {"A", "a"}}).ok());
+  EXPECT_NEAR(monitor.current_leakage(), 1.0, kTol);
+  ASSERT_TRUE(
+      monitor.Add(Record{{"N", "n"}, {"X", "fake1"}, {"Y", "fake2"}}).ok());
+  EXPECT_LT(monitor.current_leakage(), 1.0);
+}
+
+class StreamingEquivalence : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StreamingEquivalence, MatchesBatchPipelineOnRandomStreams) {
+  // Oracle: after every insertion, the monitor's leakage must equal the
+  // batch InformationLeakage under transitive shared-value ER.
+  Rng rng(GetParam() * 7907);
+  Record p;
+  for (int i = 0; i < 6; ++i) {
+    p.Insert(Attribute(StrCat("L", std::to_string(i)), StrCat("v", std::to_string(i))));
+  }
+  WeightModel unit;
+  ExactLeakage engine;
+  StreamingLeakage monitor(p, {}, unit, engine);
+
+  auto match = RuleMatch::SharedValue(
+      {"L0", "L1", "L2", "L3", "L4", "L5", "B"});
+  UnionMerge merge;
+  TransitiveClosureResolver resolver(*match, merge);
+  ErOperator batch_op(resolver);
+
+  Database so_far;
+  for (int step = 0; step < 12; ++step) {
+    Record r;
+    for (int i = 0; i < 6; ++i) {
+      if (rng.Bernoulli(0.4)) {
+        std::string value = rng.Bernoulli(0.25)
+                                ? StrCat("wrong", std::to_string(rng.NextBounded(3)))
+                                : StrCat("v", std::to_string(i));
+        r.Insert(Attribute(StrCat("L", std::to_string(i)), value,
+                           0.2 + 0.8 * rng.NextDouble()));
+      }
+    }
+    if (rng.Bernoulli(0.3)) {
+      r.Insert(Attribute("B", StrCat("shared", std::to_string(rng.NextBounded(2))),
+                         rng.NextDouble()));
+    }
+    so_far.Add(r);
+    auto streaming = monitor.Add(r);
+    ASSERT_TRUE(streaming.ok());
+    auto batch = InformationLeakage(so_far, p, batch_op, unit, engine);
+    ASSERT_TRUE(batch.ok());
+    EXPECT_NEAR(*streaming, *batch, 1e-10) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StreamingEquivalence,
+                         ::testing::Range(uint64_t{1}, uint64_t{11}));
+
+}  // namespace
+}  // namespace infoleak

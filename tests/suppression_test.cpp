@@ -1,0 +1,107 @@
+#include "anon/suppression.h"
+
+#include <gtest/gtest.h>
+
+namespace infoleak {
+namespace {
+
+/// Five clusterable rows plus one outlier that only full suppression of the
+/// zip column could absorb.
+Table OutlierTable() {
+  auto t = Table::Create({"Zip", "Disease"});
+  EXPECT_TRUE(t.ok());
+  EXPECT_TRUE(t->AddRow({"111", "A"}).ok());
+  EXPECT_TRUE(t->AddRow({"112", "B"}).ok());
+  EXPECT_TRUE(t->AddRow({"113", "C"}).ok());
+  EXPECT_TRUE(t->AddRow({"114", "D"}).ok());
+  EXPECT_TRUE(t->AddRow({"115", "E"}).ok());
+  EXPECT_TRUE(t->AddRow({"999", "F"}).ok());  // outlier
+  return std::move(t).value();
+}
+
+TEST(SuppressionTest, ZeroBudgetMatchesPlainGeneralization) {
+  Table t = OutlierTable();
+  SuffixSuppressionHierarchy zip(3);
+  std::vector<QuasiIdentifier> qis{{"Zip", &zip}};
+  auto plain = MinimalFullDomainGeneralization(t, qis, 5);
+  auto with = MinimalGeneralizationWithSuppression(t, qis, 5, 0);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(with.ok());
+  EXPECT_EQ(plain->levels, with->levels);
+  EXPECT_TRUE(with->suppressed.empty());
+  EXPECT_EQ(plain->table.rows(), with->table.rows());
+}
+
+TEST(SuppressionTest, SuppressingOutlierSavesGeneralization) {
+  // Without suppression, 5-anonymity needs zip level 3 ("***", since "11*"
+  // leaves 999 alone and even "1**"/"9**" split). With one suppression the
+  // 11x cluster is 5-anonymous at level 1.
+  Table t = OutlierTable();
+  SuffixSuppressionHierarchy zip(3);
+  std::vector<QuasiIdentifier> qis{{"Zip", &zip}};
+  auto plain = MinimalFullDomainGeneralization(t, qis, 5);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->levels, std::vector<int>{3});
+
+  auto with = MinimalGeneralizationWithSuppression(t, qis, 5, 1);
+  ASSERT_TRUE(with.ok());
+  EXPECT_EQ(with->levels, std::vector<int>{1});
+  EXPECT_EQ(with->suppressed, std::vector<std::size_t>{5});
+  EXPECT_EQ(with->table.num_rows(), 5u);
+  EXPECT_TRUE(IsKAnonymous(with->table, {"Zip"}, 5).value());
+}
+
+TEST(SuppressionTest, BudgetTooSmallFallsBackToCoarser) {
+  // Two outliers but budget 1: must generalize further instead.
+  auto t = Table::Create({"Zip"});
+  ASSERT_TRUE(t.ok());
+  for (const char* zip : {"111", "112", "113", "881", "992"}) {
+    ASSERT_TRUE(t->AddRow({zip}).ok());
+  }
+  SuffixSuppressionHierarchy zip(3);
+  std::vector<QuasiIdentifier> qis{{"Zip", &zip}};
+  auto result = MinimalGeneralizationWithSuppression(*t, qis, 3, 1);
+  ASSERT_TRUE(result.ok());
+  // Level 1 leaves classes {11*:3, 88*:1, 99*:1} -> 2 suppressions needed,
+  // over budget; level 2 gives {1**:3, 8**:1, 9**:1} -> still 2; level 3
+  // collapses everything.
+  EXPECT_EQ(result->levels, std::vector<int>{3});
+  EXPECT_TRUE(result->suppressed.empty());
+}
+
+TEST(SuppressionTest, GenerousBudgetSuppressesInsteadOfGeneralizing) {
+  auto t = Table::Create({"Zip"});
+  ASSERT_TRUE(t.ok());
+  for (const char* zip : {"111", "111", "111", "881", "992"}) {
+    ASSERT_TRUE(t->AddRow({zip}).ok());
+  }
+  SuffixSuppressionHierarchy zip(3);
+  std::vector<QuasiIdentifier> qis{{"Zip", &zip}};
+  auto result = MinimalGeneralizationWithSuppression(*t, qis, 3, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->levels, std::vector<int>{0});  // no generalization at all
+  EXPECT_EQ(result->suppressed.size(), 2u);
+  EXPECT_EQ(result->table.num_rows(), 3u);
+}
+
+TEST(SuppressionTest, TooFewRowsIsNotFound) {
+  auto t = Table::Create({"Zip"});
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(t->AddRow({"111"}).ok());
+  SuffixSuppressionHierarchy zip(1);
+  std::vector<QuasiIdentifier> qis{{"Zip", &zip}};
+  EXPECT_TRUE(MinimalGeneralizationWithSuppression(*t, qis, 2, 5)
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(SuppressionTest, NullHierarchyRejected) {
+  Table t = OutlierTable();
+  std::vector<QuasiIdentifier> qis{{"Zip", nullptr}};
+  EXPECT_TRUE(MinimalGeneralizationWithSuppression(t, qis, 2, 0)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace infoleak

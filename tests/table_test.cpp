@@ -1,0 +1,81 @@
+#include "anon/table.h"
+
+#include <gtest/gtest.h>
+
+namespace infoleak {
+namespace {
+
+Table PatientTable() {
+  auto t = Table::Create({"Name", "Zip", "Age", "Disease"});
+  EXPECT_TRUE(t.ok());
+  EXPECT_TRUE(t->AddRow({"Alice", "111", "30", "Heart"}).ok());
+  EXPECT_TRUE(t->AddRow({"Bob", "112", "31", "Breast"}).ok());
+  return std::move(t).value();
+}
+
+TEST(TableTest, CreateRejectsBadSchemas) {
+  EXPECT_FALSE(Table::Create({}).ok());
+  EXPECT_FALSE(Table::Create({"A", "B", "A"}).ok());
+  EXPECT_TRUE(Table::Create({"A", "B"}).ok());
+}
+
+TEST(TableTest, AddRowValidatesArity) {
+  auto t = Table::Create({"A", "B"});
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->AddRow({"1", "2"}).ok());
+  EXPECT_TRUE(t->AddRow({"1"}).IsInvalidArgument());
+  EXPECT_TRUE(t->AddRow({"1", "2", "3"}).IsInvalidArgument());
+}
+
+TEST(TableTest, ColumnIndexAndCell) {
+  Table t = PatientTable();
+  auto idx = t.ColumnIndex("Age");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 2u);
+  EXPECT_TRUE(t.ColumnIndex("Nope").status().IsNotFound());
+  auto cell = t.Cell(1, "Disease");
+  ASSERT_TRUE(cell.ok());
+  EXPECT_EQ(*cell, "Breast");
+  EXPECT_TRUE(t.Cell(5, "Disease").status().IsOutOfRange());
+  EXPECT_TRUE(t.Cell(0, "Nope").status().IsNotFound());
+}
+
+TEST(TableTest, SetCell) {
+  Table t = PatientTable();
+  ASSERT_TRUE(t.SetCell(0, "Zip", "11*").ok());
+  EXPECT_EQ(t.Cell(0, "Zip").value(), "11*");
+  EXPECT_TRUE(t.SetCell(9, "Zip", "x").IsOutOfRange());
+}
+
+TEST(TableTest, DropColumns) {
+  Table t = PatientTable();
+  auto dropped = t.DropColumns({"Name"});
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_EQ(dropped->num_columns(), 3u);
+  EXPECT_EQ(dropped->num_rows(), 2u);
+  EXPECT_TRUE(dropped->ColumnIndex("Name").status().IsNotFound());
+  EXPECT_EQ(dropped->Cell(0, "Zip").value(), "111");
+  EXPECT_FALSE(t.DropColumns({"Ghost"}).ok());
+}
+
+TEST(TableTest, CsvRoundTrip) {
+  Table t = PatientTable();
+  auto parsed = Table::FromCsv(t.ToCsv());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->columns(), t.columns());
+  EXPECT_EQ(parsed->rows(), t.rows());
+}
+
+TEST(TableTest, FromCsvRejectsEmptyAndRagged) {
+  EXPECT_FALSE(Table::FromCsv("").ok());
+  EXPECT_FALSE(Table::FromCsv("A,B\n1\n").ok());
+}
+
+TEST(TableTest, CsvWithQuotedValues) {
+  auto t = Table::FromCsv("Name,Address\nAlice,\"123 Main, Apt 4\"\n");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->Cell(0, "Address").value(), "123 Main, Apt 4");
+}
+
+}  // namespace
+}  // namespace infoleak

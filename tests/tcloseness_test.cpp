@@ -1,0 +1,88 @@
+#include "anon/tcloseness.h"
+
+#include <gtest/gtest.h>
+
+#include "util/string_util.h"
+
+namespace infoleak {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+/// The paper's Table 2 (3-anonymous patient table).
+Table PaperTable2() {
+  auto t = Table::Create({"Zip", "Age", "Disease"});
+  EXPECT_TRUE(t.ok());
+  EXPECT_TRUE(t->AddRow({"11*", "3*", "Heart"}).ok());
+  EXPECT_TRUE(t->AddRow({"11*", "3*", "Breast"}).ok());
+  EXPECT_TRUE(t->AddRow({"11*", "3*", "Cancer"}).ok());
+  EXPECT_TRUE(t->AddRow({"2**", ">=50", "Hair"}).ok());
+  EXPECT_TRUE(t->AddRow({"2**", ">=50", "Flu"}).ok());
+  EXPECT_TRUE(t->AddRow({"2**", ">=50", "Flu"}).ok());
+  return std::move(t).value();
+}
+
+TEST(TClosenessTest, Table2Distance) {
+  // Global: Heart/Breast/Cancer/Hair 1/6 each, Flu 2/6.
+  // Class 1 {Heart, Breast, Cancer}: TV = 1/2(|1/3-1/6|*3 + 1/6 + 2/6)
+  //   = 1/2(1/2 + 1/2) = 1/2.
+  Table t = PaperTable2();
+  auto d = MaxSensitiveDistance(t, {"Zip", "Age"}, "Disease");
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(*d, 0.5, kTol);
+  EXPECT_TRUE(IsTClose(t, {"Zip", "Age"}, "Disease", 0.5).value());
+  EXPECT_FALSE(IsTClose(t, {"Zip", "Age"}, "Disease", 0.4).value());
+}
+
+TEST(TClosenessTest, SingleClassIsPerfectlyClose) {
+  auto t = Table::Create({"Q", "S"});
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(t->AddRow({"a", "x"}).ok());
+  ASSERT_TRUE(t->AddRow({"a", "y"}).ok());
+  auto d = MaxSensitiveDistance(*t, {"Q"}, "S");
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(*d, 0.0, kTol);
+  EXPECT_TRUE(IsTClose(*t, {"Q"}, "S", 0.0).value());
+}
+
+TEST(TClosenessTest, HomogeneousClassIsFar) {
+  // Two classes, each homogeneous in a different value: distance 1/2.
+  auto t = Table::Create({"Q", "S"});
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(t->AddRow({"a", "x"}).ok());
+  ASSERT_TRUE(t->AddRow({"a", "x"}).ok());
+  ASSERT_TRUE(t->AddRow({"b", "y"}).ok());
+  ASSERT_TRUE(t->AddRow({"b", "y"}).ok());
+  auto d = MaxSensitiveDistance(*t, {"Q"}, "S");
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(*d, 0.5, kTol);
+}
+
+TEST(TClosenessTest, EmptyTableIsClose) {
+  auto t = Table::Create({"Q", "S"});
+  ASSERT_TRUE(t.ok());
+  EXPECT_NEAR(MaxSensitiveDistance(*t, {"Q"}, "S").value(), 0.0, kTol);
+}
+
+TEST(TClosenessTest, UnknownColumnsFail) {
+  Table t = PaperTable2();
+  EXPECT_FALSE(MaxSensitiveDistance(t, {"Ghost"}, "Disease").ok());
+  EXPECT_FALSE(MaxSensitiveDistance(t, {"Zip"}, "Ghost").ok());
+}
+
+TEST(TClosenessTest, DistanceBounds) {
+  // Total-variation distance lies in [0, 1].
+  auto t = Table::Create({"Q", "S"});
+  ASSERT_TRUE(t.ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(t->AddRow({std::to_string(i % 3),
+                           StrCat("v", std::to_string(i))}).ok());
+  }
+  auto d = MaxSensitiveDistance(*t, {"Q"}, "S");
+  ASSERT_TRUE(d.ok());
+  EXPECT_GE(*d, 0.0);
+  EXPECT_LE(*d, 1.0);
+}
+
+}  // namespace
+}  // namespace infoleak

@@ -1,0 +1,108 @@
+#include "apps/tracker.h"
+
+#include <gtest/gtest.h>
+
+#include "er/swoosh.h"
+
+namespace infoleak {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+/// The §4.1 world wrapped in a tracker: Alice releases s, then t, then
+/// decides on the app purchase.
+class TrackerFixture : public ::testing::Test {
+ protected:
+  TrackerFixture()
+      : reference_{{"N", "n1"}, {"C", "c1"}, {"C", "c2"}, {"P", "p1"},
+                   {"A", "a1"}},
+        match_(MatchRules{{"N", "C"}, {"N", "P"}}),
+        resolver_(match_, merge_),
+        adversary_(resolver_),
+        tracker_(reference_, adversary_, weights_, engine_) {}
+
+  Record reference_;
+  RuleMatch match_;
+  UnionMerge merge_;
+  SwooshResolver resolver_;
+  ErOperator adversary_;
+  WeightModel weights_;
+  ExactLeakage engine_;
+  LeakageTracker tracker_;
+};
+
+TEST_F(TrackerFixture, StartsAtZeroLeakage) {
+  auto l = tracker_.CurrentLeakage();
+  ASSERT_TRUE(l.ok());
+  EXPECT_EQ(*l, 0.0);
+  EXPECT_EQ(tracker_.num_releases(), 0u);
+}
+
+TEST_F(TrackerFixture, ReleasesAccumulate) {
+  auto first = tracker_.Release(
+      "store purchase", Record{{"N", "n1"}, {"C", "c1"}, {"P", "p1"}});
+  ASSERT_TRUE(first.ok());
+  EXPECT_NEAR(first->leakage_before, 0.0, kTol);
+  EXPECT_NEAR(first->leakage_after, 3.0 / 4.0, kTol);
+  EXPECT_NEAR(first->incremental, 3.0 / 4.0, kTol);
+
+  auto second =
+      tracker_.Release("second purchase", Record{{"N", "n1"}, {"C", "c2"}});
+  ASSERT_TRUE(second.ok());
+  EXPECT_NEAR(second->leakage_before, 3.0 / 4.0, kTol);
+  // t doesn't merge with s: leakage stays 3/4.
+  EXPECT_NEAR(second->incremental, 0.0, kTol);
+
+  EXPECT_EQ(tracker_.num_releases(), 2u);
+  EXPECT_EQ(tracker_.released().size(), 2u);
+  EXPECT_NEAR(tracker_.CurrentLeakage().value(), 3.0 / 4.0, kTol);
+}
+
+TEST_F(TrackerFixture, WhatIfDoesNotCommit) {
+  ASSERT_TRUE(tracker_
+                  .Release("store purchase",
+                           Record{{"N", "n1"}, {"C", "c1"}, {"P", "p1"}})
+                  .ok());
+  ASSERT_TRUE(
+      tracker_.Release("second", Record{{"N", "n1"}, {"C", "c2"}}).ok());
+  // What if Alice pays with c2? (the 8/9 bridge from §4.1)
+  Record v{{"N", "n1"}, {"C", "c2"}, {"P", "p1"}};
+  auto what_if = tracker_.WhatIf(v);
+  ASSERT_TRUE(what_if.ok());
+  EXPECT_NEAR(what_if->after, 8.0 / 9.0, kTol);
+  EXPECT_NEAR(what_if->incremental, 5.0 / 36.0, kTol);
+  // Nothing committed.
+  EXPECT_EQ(tracker_.num_releases(), 2u);
+  EXPECT_NEAR(tracker_.CurrentLeakage().value(), 3.0 / 4.0, kTol);
+}
+
+TEST_F(TrackerFixture, HistoryRecordsTrajectory) {
+  ASSERT_TRUE(tracker_.Release("a", Record{{"N", "n1"}}).ok());
+  ASSERT_TRUE(
+      tracker_.Release("b", Record{{"N", "n1"}, {"C", "c1"}}).ok());
+  const auto& history = tracker_.history();
+  ASSERT_EQ(history.size(), 2u);
+  EXPECT_EQ(history[0].description, "a");
+  EXPECT_EQ(history[1].description, "b");
+  // The trajectory chains: each entry starts where the previous ended.
+  EXPECT_NEAR(history[1].leakage_before, history[0].leakage_after, kTol);
+  // Leakage is monotone here (no disinformation released).
+  EXPECT_GE(history[1].leakage_after, history[0].leakage_after - kTol);
+}
+
+TEST_F(TrackerFixture, DisinformationShowsNegativeIncrement) {
+  ASSERT_TRUE(tracker_
+                  .Release("real data",
+                           Record{{"N", "n1"}, {"C", "c1"}, {"P", "p1"},
+                                  {"A", "a1"}})
+                  .ok());
+  // A fake record that merges in and pollutes the composite.
+  Record fake{{"N", "n1"}, {"C", "c1"}, {"X1", "f1"}, {"X2", "f2"},
+              {"X3", "f3"}};
+  auto entry = tracker_.Release("disinformation", fake);
+  ASSERT_TRUE(entry.ok());
+  EXPECT_LT(entry->incremental, 0.0);
+}
+
+}  // namespace
+}  // namespace infoleak

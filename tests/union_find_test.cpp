@@ -1,0 +1,78 @@
+#include "er/union_find.h"
+
+#include <gtest/gtest.h>
+
+namespace infoleak {
+namespace {
+
+TEST(UnionFindTest, StartsAsSingletons) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.NumSets(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(uf.Find(i), i);
+    EXPECT_EQ(uf.SetSize(i), 1u);
+  }
+}
+
+TEST(UnionFindTest, UnionMergesSets) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_TRUE(uf.Connected(0, 1));
+  EXPECT_FALSE(uf.Connected(0, 2));
+  EXPECT_EQ(uf.NumSets(), 3u);
+  EXPECT_EQ(uf.SetSize(0), 2u);
+}
+
+TEST(UnionFindTest, UnionIsIdempotent) {
+  UnionFind uf(3);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_FALSE(uf.Union(0, 1));
+  EXPECT_FALSE(uf.Union(1, 0));
+  EXPECT_EQ(uf.NumSets(), 2u);
+}
+
+TEST(UnionFindTest, TransitiveConnectivity) {
+  UnionFind uf(5);
+  uf.Union(0, 1);
+  uf.Union(1, 2);
+  uf.Union(3, 4);
+  EXPECT_TRUE(uf.Connected(0, 2));
+  EXPECT_TRUE(uf.Connected(3, 4));
+  EXPECT_FALSE(uf.Connected(2, 3));
+}
+
+TEST(UnionFindTest, GroupsAreDeterministicAndComplete) {
+  UnionFind uf(6);
+  uf.Union(5, 0);
+  uf.Union(2, 4);
+  auto groups = uf.Groups();
+  ASSERT_EQ(groups.size(), 4u);
+  // Every element appears exactly once and members are ascending.
+  std::vector<bool> seen(6, false);
+  for (const auto& g : groups) {
+    for (std::size_t i = 1; i < g.size(); ++i) EXPECT_LT(g[i - 1], g[i]);
+    for (std::size_t e : g) {
+      EXPECT_FALSE(seen[e]);
+      seen[e] = true;
+    }
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(UnionFindTest, EmptyStructure) {
+  UnionFind uf(0);
+  EXPECT_EQ(uf.NumSets(), 0u);
+  EXPECT_TRUE(uf.Groups().empty());
+}
+
+TEST(UnionFindTest, LargeChainCollapses) {
+  const std::size_t n = 1000;
+  UnionFind uf(n);
+  for (std::size_t i = 1; i < n; ++i) uf.Union(i - 1, i);
+  EXPECT_EQ(uf.NumSets(), 1u);
+  EXPECT_EQ(uf.SetSize(0), n);
+  EXPECT_TRUE(uf.Connected(0, n - 1));
+}
+
+}  // namespace
+}  // namespace infoleak

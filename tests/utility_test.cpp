@@ -1,0 +1,87 @@
+#include "anon/utility.h"
+
+#include <gtest/gtest.h>
+
+namespace infoleak {
+namespace {
+
+constexpr double kTol = 1e-12;
+
+Table TwoClassTable() {
+  auto t = Table::Create({"Q", "S"});
+  EXPECT_TRUE(t.ok());
+  EXPECT_TRUE(t->AddRow({"a", "1"}).ok());
+  EXPECT_TRUE(t->AddRow({"a", "2"}).ok());
+  EXPECT_TRUE(t->AddRow({"a", "3"}).ok());
+  EXPECT_TRUE(t->AddRow({"b", "4"}).ok());
+  return std::move(t).value();
+}
+
+TEST(DiscernibilityTest, SumOfSquaredClassSizes) {
+  Table t = TwoClassTable();
+  auto d = DiscernibilityMetric(t, {"Q"});
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(*d, 9.0 + 1.0, kTol);
+}
+
+TEST(DiscernibilityTest, ExtremesMatchTheory) {
+  // All singletons: n. One class: n².
+  auto singletons = Table::Create({"Q"});
+  ASSERT_TRUE(singletons.ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(singletons->AddRow({std::to_string(i)}).ok());
+  }
+  EXPECT_NEAR(DiscernibilityMetric(*singletons, {"Q"}).value(), 5.0, kTol);
+  auto merged = Table::Create({"Q"});
+  ASSERT_TRUE(merged.ok());
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(merged->AddRow({"x"}).ok());
+  EXPECT_NEAR(DiscernibilityMetric(*merged, {"Q"}).value(), 25.0, kTol);
+}
+
+TEST(DiscernibilityTest, CoarserGeneralizationNeverLowersIt) {
+  // Merging classes can only raise the sum of squares (convexity).
+  Table fine = TwoClassTable();
+  auto coarse = Table::Create({"Q", "S"});
+  ASSERT_TRUE(coarse.ok());
+  for (const auto& row : fine.rows()) {
+    ASSERT_TRUE(coarse->AddRow({"*", row[1]}).ok());
+  }
+  EXPECT_GE(DiscernibilityMetric(*coarse, {"Q"}).value(),
+            DiscernibilityMetric(fine, {"Q"}).value());
+}
+
+TEST(AverageClassSizeTest, NormalizedByK) {
+  Table t = TwoClassTable();  // 4 rows, 2 classes -> avg 2
+  EXPECT_NEAR(AverageClassSizeMetric(t, {"Q"}, 2).value(), 1.0, kTol);
+  EXPECT_NEAR(AverageClassSizeMetric(t, {"Q"}, 1).value(), 2.0, kTol);
+  EXPECT_TRUE(AverageClassSizeMetric(t, {"Q"}, 0).status()
+                  .IsInvalidArgument());
+}
+
+TEST(AverageClassSizeTest, EmptyTableIsZero) {
+  auto t = Table::Create({"Q"});
+  ASSERT_TRUE(t.ok());
+  EXPECT_NEAR(AverageClassSizeMetric(*t, {"Q"}, 2).value(), 0.0, kTol);
+}
+
+TEST(GeneralizationPrecisionTest, Bounds) {
+  SuffixSuppressionHierarchy h3(3);
+  SuffixSuppressionHierarchy h2(2);
+  std::vector<QuasiIdentifier> qis{{"A", &h3}, {"B", &h2}};
+  EXPECT_NEAR(GeneralizationPrecision(qis, {0, 0}), 1.0, kTol);
+  EXPECT_NEAR(GeneralizationPrecision(qis, {3, 2}), 0.0, kTol);
+  // Half of A's hierarchy, none of B's: 1 − (0.5 + 0)/2.
+  EXPECT_NEAR(GeneralizationPrecision(qis, {2, 0}), 1.0 - 1.0 / 3.0, kTol);
+}
+
+TEST(GeneralizationPrecisionTest, DegenerateInputs) {
+  EXPECT_NEAR(GeneralizationPrecision({}, {}), 1.0, kTol);
+  SuffixSuppressionHierarchy h(2);
+  std::vector<QuasiIdentifier> qis{{"A", &h}};
+  EXPECT_NEAR(GeneralizationPrecision(qis, {1, 2}), 1.0, kTol);  // mismatch
+  std::vector<QuasiIdentifier> null_qi{{"A", nullptr}};
+  EXPECT_NEAR(GeneralizationPrecision(null_qi, {1}), 1.0, kTol);
+}
+
+}  // namespace
+}  // namespace infoleak

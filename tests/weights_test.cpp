@@ -1,0 +1,107 @@
+#include "core/weights.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace infoleak {
+namespace {
+
+TEST(WeightModelTest, DefaultWeightIsOne) {
+  WeightModel wm;
+  EXPECT_DOUBLE_EQ(wm.Weight("anything"), 1.0);
+  EXPECT_TRUE(wm.IsConstant());
+}
+
+TEST(WeightModelTest, ExplicitWeightOverridesDefault) {
+  WeightModel wm;
+  ASSERT_TRUE(wm.SetWeight("C", 3.0).ok());
+  EXPECT_DOUBLE_EQ(wm.Weight("C"), 3.0);
+  EXPECT_DOUBLE_EQ(wm.Weight("Z"), 1.0);
+  EXPECT_FALSE(wm.IsConstant());
+}
+
+TEST(WeightModelTest, RejectsNegativeAndNonFinite) {
+  WeightModel wm;
+  EXPECT_TRUE(wm.SetWeight("A", -1.0).IsInvalidArgument());
+  EXPECT_TRUE(wm.SetWeight("A", std::nan("")).IsInvalidArgument());
+  EXPECT_TRUE(wm.SetWeight("A", 0.0).ok());  // zero weight is legal
+}
+
+TEST(WeightModelTest, IsConstantOverChecksOnlyOccurringLabels) {
+  WeightModel wm;
+  ASSERT_TRUE(wm.SetWeight("X", 5.0).ok());  // X never occurs below
+  Record r{{"A", "1"}};
+  Record p{{"B", "2"}};
+  EXPECT_TRUE(wm.IsConstantOver(r, p));
+  Record r2{{"X", "1"}};
+  EXPECT_FALSE(wm.IsConstantOver(r2, p));
+}
+
+TEST(WeightModelTest, IsConstantOverWithUniformExplicitWeights) {
+  WeightModel wm;
+  ASSERT_TRUE(wm.SetWeight("A", 2.0).ok());
+  ASSERT_TRUE(wm.SetWeight("B", 2.0).ok());
+  Record r{{"A", "1"}};
+  Record p{{"B", "2"}};
+  // All occurring labels share weight 2 even though the default is 1.
+  EXPECT_TRUE(wm.IsConstantOver(r, p));
+}
+
+TEST(WeightModelTest, TotalWeight) {
+  WeightModel wm;
+  ASSERT_TRUE(wm.SetWeight("N", 2.0).ok());
+  Record r{{"N", "Alice"}, {"A", "20"}, {"Z", "94305"}};
+  EXPECT_DOUBLE_EQ(wm.TotalWeight(r), 4.0);
+  EXPECT_DOUBLE_EQ(wm.TotalWeight(Record{}), 0.0);
+}
+
+TEST(WeightModelTest, OverlapWeightMatchesOnLabelAndValue) {
+  WeightModel wm;
+  ASSERT_TRUE(wm.SetWeight("N", 2.0).ok());
+  Record p{{"N", "Alice"}, {"A", "20"}, {"P", "123"}};
+  Record r{{"N", "Alice"}, {"A", "21"}, {"P", "123"}};
+  // N matches (weight 2), A differs in value, P matches (weight 1).
+  EXPECT_DOUBLE_EQ(wm.OverlapWeight(r, p), 3.0);
+  EXPECT_DOUBLE_EQ(wm.OverlapWeight(p, r), 3.0);  // symmetric
+}
+
+TEST(WeightModelTest, OverlapWithDuplicateLabels) {
+  WeightModel wm;
+  Record p{{"A", "20"}, {"A", "30"}};
+  Record r{{"A", "30"}, {"A", "40"}};
+  EXPECT_DOUBLE_EQ(wm.OverlapWeight(r, p), 1.0);
+}
+
+TEST(WeightModelTest, ParseValidSpec) {
+  auto wm = WeightModel::Parse("N=2, C = 3.5 ,Z=0.5");
+  ASSERT_TRUE(wm.ok());
+  EXPECT_DOUBLE_EQ(wm->Weight("N"), 2.0);
+  EXPECT_DOUBLE_EQ(wm->Weight("C"), 3.5);
+  EXPECT_DOUBLE_EQ(wm->Weight("Z"), 0.5);
+  EXPECT_DOUBLE_EQ(wm->Weight("other"), 1.0);
+}
+
+TEST(WeightModelTest, ParseEmptySpecIsDefaultModel) {
+  auto wm = WeightModel::Parse("  ");
+  ASSERT_TRUE(wm.ok());
+  EXPECT_TRUE(wm->IsConstant());
+}
+
+TEST(WeightModelTest, ParseRejectsMalformedSpecs) {
+  EXPECT_FALSE(WeightModel::Parse("N").ok());
+  EXPECT_FALSE(WeightModel::Parse("N=").ok());
+  EXPECT_FALSE(WeightModel::Parse("=2").ok());
+  EXPECT_FALSE(WeightModel::Parse("N=abc").ok());
+  EXPECT_FALSE(WeightModel::Parse("N=1=2").ok());
+  EXPECT_FALSE(WeightModel::Parse("N=-3").ok());
+}
+
+TEST(WeightModelTest, CustomDefaultWeight) {
+  WeightModel wm(2.5);
+  EXPECT_DOUBLE_EQ(wm.Weight("anything"), 2.5);
+  EXPECT_DOUBLE_EQ(wm.default_weight(), 2.5);
+}
+
+}  // namespace
+}  // namespace infoleak
