@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_approx"
+  "../bench/bench_ablation_approx.pdb"
+  "CMakeFiles/bench_ablation_approx.dir/ablation_approx.cpp.o"
+  "CMakeFiles/bench_ablation_approx.dir/ablation_approx.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_blocking"
+  "../bench/bench_ablation_blocking.pdb"
+  "CMakeFiles/bench_ablation_blocking.dir/ablation_blocking.cpp.o"
+  "CMakeFiles/bench_ablation_blocking.dir/ablation_blocking.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_disinfo"
+  "../bench/bench_ablation_disinfo.pdb"
+  "CMakeFiles/bench_ablation_disinfo.dir/ablation_disinfo.cpp.o"
+  "CMakeFiles/bench_ablation_disinfo.dir/ablation_disinfo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_disinfo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

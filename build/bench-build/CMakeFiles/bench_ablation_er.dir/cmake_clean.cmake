@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_er"
+  "../bench/bench_ablation_er.pdb"
+  "CMakeFiles/bench_ablation_er.dir/ablation_er.cpp.o"
+  "CMakeFiles/bench_ablation_er.dir/ablation_er.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_er.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_fuzzy_er"
+  "../bench/bench_ablation_fuzzy_er.pdb"
+  "CMakeFiles/bench_ablation_fuzzy_er.dir/ablation_fuzzy_er.cpp.o"
+  "CMakeFiles/bench_ablation_fuzzy_er.dir/ablation_fuzzy_er.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fuzzy_er.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_measures"
+  "../bench/bench_ablation_measures.pdb"
+  "CMakeFiles/bench_ablation_measures.dir/ablation_measures.cpp.o"
+  "CMakeFiles/bench_ablation_measures.dir/ablation_measures.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_measures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_bench_dipping"
+  "../bench/bench_bench_dipping.pdb"
+  "CMakeFiles/bench_bench_dipping.dir/bench_dipping.cpp.o"
+  "CMakeFiles/bench_bench_dipping.dir/bench_dipping.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bench_dipping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_bench_dipping.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_bench_population"
+  "../bench/bench_bench_population.pdb"
+  "CMakeFiles/bench_bench_population.dir/bench_population.cpp.o"
+  "CMakeFiles/bench_bench_population.dir/bench_population.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bench_population.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

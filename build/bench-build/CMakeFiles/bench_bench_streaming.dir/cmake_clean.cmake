@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_bench_streaming"
+  "../bench/bench_bench_streaming.pdb"
+  "CMakeFiles/bench_bench_streaming.dir/bench_streaming.cpp.o"
+  "CMakeFiles/bench_bench_streaming.dir/bench_streaming.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bench_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

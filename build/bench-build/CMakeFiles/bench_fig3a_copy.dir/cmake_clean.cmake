@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3a_copy"
+  "../bench/bench_fig3a_copy.pdb"
+  "CMakeFiles/bench_fig3a_copy.dir/fig3a_copy.cpp.o"
+  "CMakeFiles/bench_fig3a_copy.dir/fig3a_copy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3a_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3b_perturbation"
+  "../bench/bench_fig3b_perturbation.pdb"
+  "CMakeFiles/bench_fig3b_perturbation.dir/fig3b_perturbation.cpp.o"
+  "CMakeFiles/bench_fig3b_perturbation.dir/fig3b_perturbation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3b_perturbation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3c_confidence"
+  "../bench/bench_fig3c_confidence.pdb"
+  "CMakeFiles/bench_fig3c_confidence.dir/fig3c_confidence.cpp.o"
+  "CMakeFiles/bench_fig3c_confidence.dir/fig3c_confidence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3c_confidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3d_scalability"
+  "../bench/bench_fig3d_scalability.pdb"
+  "CMakeFiles/bench_fig3d_scalability.dir/fig3d_scalability.cpp.o"
+  "CMakeFiles/bench_fig3d_scalability.dir/fig3d_scalability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3d_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_section3_models"
+  "../bench/bench_section3_models.pdb"
+  "CMakeFiles/bench_section3_models.dir/section3_models.cpp.o"
+  "CMakeFiles/bench_section3_models.dir/section3_models.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_section3_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_section3_models.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_accuracy"
+  "../bench/bench_table5_accuracy.pdb"
+  "CMakeFiles/bench_table5_accuracy.dir/table5_accuracy.cpp.o"
+  "CMakeFiles/bench_table5_accuracy.dir/table5_accuracy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

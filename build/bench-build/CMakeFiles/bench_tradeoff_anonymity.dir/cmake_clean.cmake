@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tradeoff_anonymity"
+  "../bench/bench_tradeoff_anonymity.pdb"
+  "CMakeFiles/bench_tradeoff_anonymity.dir/tradeoff_anonymity.cpp.o"
+  "CMakeFiles/bench_tradeoff_anonymity.dir/tradeoff_anonymity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tradeoff_anonymity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disinformation_campaign.dir/disinformation_campaign.cpp.o"
+  "CMakeFiles/disinformation_campaign.dir/disinformation_campaign.cpp.o.d"
+  "disinformation_campaign"
+  "disinformation_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disinformation_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

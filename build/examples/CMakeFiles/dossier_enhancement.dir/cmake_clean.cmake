@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dossier_enhancement.dir/dossier_enhancement.cpp.o"
+  "CMakeFiles/dossier_enhancement.dir/dossier_enhancement.cpp.o.d"
+  "dossier_enhancement"
+  "dossier_enhancement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dossier_enhancement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

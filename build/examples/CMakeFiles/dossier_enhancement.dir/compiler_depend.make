@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dossier_enhancement.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for dossier_enhancement.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/investigator.dir/investigator.cpp.o"
+  "CMakeFiles/investigator.dir/investigator.cpp.o.d"
+  "investigator"
+  "investigator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/investigator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

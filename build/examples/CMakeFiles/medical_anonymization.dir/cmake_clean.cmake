@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medical_anonymization.dir/medical_anonymization.cpp.o"
+  "CMakeFiles/medical_anonymization.dir/medical_anonymization.cpp.o.d"
+  "medical_anonymization"
+  "medical_anonymization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medical_anonymization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

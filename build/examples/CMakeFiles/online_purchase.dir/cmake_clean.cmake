@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_purchase.dir/online_purchase.cpp.o"
+  "CMakeFiles/online_purchase.dir/online_purchase.cpp.o.d"
+  "online_purchase"
+  "online_purchase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_purchase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

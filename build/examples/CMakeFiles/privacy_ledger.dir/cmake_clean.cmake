@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privacy_ledger.dir/privacy_ledger.cpp.o"
+  "CMakeFiles/privacy_ledger.dir/privacy_ledger.cpp.o.d"
+  "privacy_ledger"
+  "privacy_ledger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privacy_ledger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;10;infoleak_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_online_purchase "/root/repo/build/examples/online_purchase")
+set_tests_properties(example_online_purchase PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;11;infoleak_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_medical_anonymization "/root/repo/build/examples/medical_anonymization")
+set_tests_properties(example_medical_anonymization PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;12;infoleak_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_disinformation_campaign "/root/repo/build/examples/disinformation_campaign")
+set_tests_properties(example_disinformation_campaign PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;13;infoleak_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_dossier_enhancement "/root/repo/build/examples/dossier_enhancement")
+set_tests_properties(example_dossier_enhancement PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;14;infoleak_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_privacy_ledger "/root/repo/build/examples/privacy_ledger")
+set_tests_properties(example_privacy_ledger PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;15;infoleak_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_investigator "/root/repo/build/examples/investigator")
+set_tests_properties(example_investigator PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;6;add_test;/root/repo/examples/CMakeLists.txt;16;infoleak_add_example;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/anon/bridge.cpp" "src/anon/CMakeFiles/infoleak_anon.dir/bridge.cpp.o" "gcc" "src/anon/CMakeFiles/infoleak_anon.dir/bridge.cpp.o.d"
+  "/root/repo/src/anon/generalized_er.cpp" "src/anon/CMakeFiles/infoleak_anon.dir/generalized_er.cpp.o" "gcc" "src/anon/CMakeFiles/infoleak_anon.dir/generalized_er.cpp.o.d"
+  "/root/repo/src/anon/hierarchy.cpp" "src/anon/CMakeFiles/infoleak_anon.dir/hierarchy.cpp.o" "gcc" "src/anon/CMakeFiles/infoleak_anon.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/anon/kanonymity.cpp" "src/anon/CMakeFiles/infoleak_anon.dir/kanonymity.cpp.o" "gcc" "src/anon/CMakeFiles/infoleak_anon.dir/kanonymity.cpp.o.d"
+  "/root/repo/src/anon/ldiversity.cpp" "src/anon/CMakeFiles/infoleak_anon.dir/ldiversity.cpp.o" "gcc" "src/anon/CMakeFiles/infoleak_anon.dir/ldiversity.cpp.o.d"
+  "/root/repo/src/anon/samarati.cpp" "src/anon/CMakeFiles/infoleak_anon.dir/samarati.cpp.o" "gcc" "src/anon/CMakeFiles/infoleak_anon.dir/samarati.cpp.o.d"
+  "/root/repo/src/anon/suppression.cpp" "src/anon/CMakeFiles/infoleak_anon.dir/suppression.cpp.o" "gcc" "src/anon/CMakeFiles/infoleak_anon.dir/suppression.cpp.o.d"
+  "/root/repo/src/anon/table.cpp" "src/anon/CMakeFiles/infoleak_anon.dir/table.cpp.o" "gcc" "src/anon/CMakeFiles/infoleak_anon.dir/table.cpp.o.d"
+  "/root/repo/src/anon/tcloseness.cpp" "src/anon/CMakeFiles/infoleak_anon.dir/tcloseness.cpp.o" "gcc" "src/anon/CMakeFiles/infoleak_anon.dir/tcloseness.cpp.o.d"
+  "/root/repo/src/anon/utility.cpp" "src/anon/CMakeFiles/infoleak_anon.dir/utility.cpp.o" "gcc" "src/anon/CMakeFiles/infoleak_anon.dir/utility.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/infoleak_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/er/CMakeFiles/infoleak_er.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/infoleak_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infoleak_anon.dir/bridge.cpp.o"
+  "CMakeFiles/infoleak_anon.dir/bridge.cpp.o.d"
+  "CMakeFiles/infoleak_anon.dir/generalized_er.cpp.o"
+  "CMakeFiles/infoleak_anon.dir/generalized_er.cpp.o.d"
+  "CMakeFiles/infoleak_anon.dir/hierarchy.cpp.o"
+  "CMakeFiles/infoleak_anon.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/infoleak_anon.dir/kanonymity.cpp.o"
+  "CMakeFiles/infoleak_anon.dir/kanonymity.cpp.o.d"
+  "CMakeFiles/infoleak_anon.dir/ldiversity.cpp.o"
+  "CMakeFiles/infoleak_anon.dir/ldiversity.cpp.o.d"
+  "CMakeFiles/infoleak_anon.dir/samarati.cpp.o"
+  "CMakeFiles/infoleak_anon.dir/samarati.cpp.o.d"
+  "CMakeFiles/infoleak_anon.dir/suppression.cpp.o"
+  "CMakeFiles/infoleak_anon.dir/suppression.cpp.o.d"
+  "CMakeFiles/infoleak_anon.dir/table.cpp.o"
+  "CMakeFiles/infoleak_anon.dir/table.cpp.o.d"
+  "CMakeFiles/infoleak_anon.dir/tcloseness.cpp.o"
+  "CMakeFiles/infoleak_anon.dir/tcloseness.cpp.o.d"
+  "CMakeFiles/infoleak_anon.dir/utility.cpp.o"
+  "CMakeFiles/infoleak_anon.dir/utility.cpp.o.d"
+  "libinfoleak_anon.a"
+  "libinfoleak_anon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infoleak_anon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

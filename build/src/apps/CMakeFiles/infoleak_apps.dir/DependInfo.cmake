@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/disinformation.cpp" "src/apps/CMakeFiles/infoleak_apps.dir/disinformation.cpp.o" "gcc" "src/apps/CMakeFiles/infoleak_apps.dir/disinformation.cpp.o.d"
+  "/root/repo/src/apps/enhancement.cpp" "src/apps/CMakeFiles/infoleak_apps.dir/enhancement.cpp.o" "gcc" "src/apps/CMakeFiles/infoleak_apps.dir/enhancement.cpp.o.d"
+  "/root/repo/src/apps/incremental.cpp" "src/apps/CMakeFiles/infoleak_apps.dir/incremental.cpp.o" "gcc" "src/apps/CMakeFiles/infoleak_apps.dir/incremental.cpp.o.d"
+  "/root/repo/src/apps/population.cpp" "src/apps/CMakeFiles/infoleak_apps.dir/population.cpp.o" "gcc" "src/apps/CMakeFiles/infoleak_apps.dir/population.cpp.o.d"
+  "/root/repo/src/apps/release_advisor.cpp" "src/apps/CMakeFiles/infoleak_apps.dir/release_advisor.cpp.o" "gcc" "src/apps/CMakeFiles/infoleak_apps.dir/release_advisor.cpp.o.d"
+  "/root/repo/src/apps/streaming.cpp" "src/apps/CMakeFiles/infoleak_apps.dir/streaming.cpp.o" "gcc" "src/apps/CMakeFiles/infoleak_apps.dir/streaming.cpp.o.d"
+  "/root/repo/src/apps/tracker.cpp" "src/apps/CMakeFiles/infoleak_apps.dir/tracker.cpp.o" "gcc" "src/apps/CMakeFiles/infoleak_apps.dir/tracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/infoleak_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/er/CMakeFiles/infoleak_er.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/infoleak_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/infoleak_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/infoleak_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

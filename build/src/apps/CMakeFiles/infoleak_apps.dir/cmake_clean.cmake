@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infoleak_apps.dir/disinformation.cpp.o"
+  "CMakeFiles/infoleak_apps.dir/disinformation.cpp.o.d"
+  "CMakeFiles/infoleak_apps.dir/enhancement.cpp.o"
+  "CMakeFiles/infoleak_apps.dir/enhancement.cpp.o.d"
+  "CMakeFiles/infoleak_apps.dir/incremental.cpp.o"
+  "CMakeFiles/infoleak_apps.dir/incremental.cpp.o.d"
+  "CMakeFiles/infoleak_apps.dir/population.cpp.o"
+  "CMakeFiles/infoleak_apps.dir/population.cpp.o.d"
+  "CMakeFiles/infoleak_apps.dir/release_advisor.cpp.o"
+  "CMakeFiles/infoleak_apps.dir/release_advisor.cpp.o.d"
+  "CMakeFiles/infoleak_apps.dir/streaming.cpp.o"
+  "CMakeFiles/infoleak_apps.dir/streaming.cpp.o.d"
+  "CMakeFiles/infoleak_apps.dir/tracker.cpp.o"
+  "CMakeFiles/infoleak_apps.dir/tracker.cpp.o.d"
+  "libinfoleak_apps.a"
+  "libinfoleak_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infoleak_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

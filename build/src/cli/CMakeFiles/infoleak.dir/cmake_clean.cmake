@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infoleak.dir/main.cpp.o"
+  "CMakeFiles/infoleak.dir/main.cpp.o.d"
+  "infoleak"
+  "infoleak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infoleak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

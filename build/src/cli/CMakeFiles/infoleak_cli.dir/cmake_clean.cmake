@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infoleak_cli.dir/commands.cpp.o"
+  "CMakeFiles/infoleak_cli.dir/commands.cpp.o.d"
+  "CMakeFiles/infoleak_cli.dir/flags.cpp.o"
+  "CMakeFiles/infoleak_cli.dir/flags.cpp.o.d"
+  "libinfoleak_cli.a"
+  "libinfoleak_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infoleak_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/attribute.cpp" "src/core/CMakeFiles/infoleak_core.dir/attribute.cpp.o" "gcc" "src/core/CMakeFiles/infoleak_core.dir/attribute.cpp.o.d"
+  "/root/repo/src/core/bounds.cpp" "src/core/CMakeFiles/infoleak_core.dir/bounds.cpp.o" "gcc" "src/core/CMakeFiles/infoleak_core.dir/bounds.cpp.o.d"
+  "/root/repo/src/core/correlation.cpp" "src/core/CMakeFiles/infoleak_core.dir/correlation.cpp.o" "gcc" "src/core/CMakeFiles/infoleak_core.dir/correlation.cpp.o.d"
+  "/root/repo/src/core/database.cpp" "src/core/CMakeFiles/infoleak_core.dir/database.cpp.o" "gcc" "src/core/CMakeFiles/infoleak_core.dir/database.cpp.o.d"
+  "/root/repo/src/core/fbeta_leakage.cpp" "src/core/CMakeFiles/infoleak_core.dir/fbeta_leakage.cpp.o" "gcc" "src/core/CMakeFiles/infoleak_core.dir/fbeta_leakage.cpp.o.d"
+  "/root/repo/src/core/informativeness.cpp" "src/core/CMakeFiles/infoleak_core.dir/informativeness.cpp.o" "gcc" "src/core/CMakeFiles/infoleak_core.dir/informativeness.cpp.o.d"
+  "/root/repo/src/core/leakage.cpp" "src/core/CMakeFiles/infoleak_core.dir/leakage.cpp.o" "gcc" "src/core/CMakeFiles/infoleak_core.dir/leakage.cpp.o.d"
+  "/root/repo/src/core/measures.cpp" "src/core/CMakeFiles/infoleak_core.dir/measures.cpp.o" "gcc" "src/core/CMakeFiles/infoleak_core.dir/measures.cpp.o.d"
+  "/root/repo/src/core/monte_carlo.cpp" "src/core/CMakeFiles/infoleak_core.dir/monte_carlo.cpp.o" "gcc" "src/core/CMakeFiles/infoleak_core.dir/monte_carlo.cpp.o.d"
+  "/root/repo/src/core/polynomial.cpp" "src/core/CMakeFiles/infoleak_core.dir/polynomial.cpp.o" "gcc" "src/core/CMakeFiles/infoleak_core.dir/polynomial.cpp.o.d"
+  "/root/repo/src/core/possible_worlds.cpp" "src/core/CMakeFiles/infoleak_core.dir/possible_worlds.cpp.o" "gcc" "src/core/CMakeFiles/infoleak_core.dir/possible_worlds.cpp.o.d"
+  "/root/repo/src/core/record.cpp" "src/core/CMakeFiles/infoleak_core.dir/record.cpp.o" "gcc" "src/core/CMakeFiles/infoleak_core.dir/record.cpp.o.d"
+  "/root/repo/src/core/record_io.cpp" "src/core/CMakeFiles/infoleak_core.dir/record_io.cpp.o" "gcc" "src/core/CMakeFiles/infoleak_core.dir/record_io.cpp.o.d"
+  "/root/repo/src/core/similarity.cpp" "src/core/CMakeFiles/infoleak_core.dir/similarity.cpp.o" "gcc" "src/core/CMakeFiles/infoleak_core.dir/similarity.cpp.o.d"
+  "/root/repo/src/core/weights.cpp" "src/core/CMakeFiles/infoleak_core.dir/weights.cpp.o" "gcc" "src/core/CMakeFiles/infoleak_core.dir/weights.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/infoleak_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infoleak_core.dir/attribute.cpp.o"
+  "CMakeFiles/infoleak_core.dir/attribute.cpp.o.d"
+  "CMakeFiles/infoleak_core.dir/bounds.cpp.o"
+  "CMakeFiles/infoleak_core.dir/bounds.cpp.o.d"
+  "CMakeFiles/infoleak_core.dir/correlation.cpp.o"
+  "CMakeFiles/infoleak_core.dir/correlation.cpp.o.d"
+  "CMakeFiles/infoleak_core.dir/database.cpp.o"
+  "CMakeFiles/infoleak_core.dir/database.cpp.o.d"
+  "CMakeFiles/infoleak_core.dir/fbeta_leakage.cpp.o"
+  "CMakeFiles/infoleak_core.dir/fbeta_leakage.cpp.o.d"
+  "CMakeFiles/infoleak_core.dir/informativeness.cpp.o"
+  "CMakeFiles/infoleak_core.dir/informativeness.cpp.o.d"
+  "CMakeFiles/infoleak_core.dir/leakage.cpp.o"
+  "CMakeFiles/infoleak_core.dir/leakage.cpp.o.d"
+  "CMakeFiles/infoleak_core.dir/measures.cpp.o"
+  "CMakeFiles/infoleak_core.dir/measures.cpp.o.d"
+  "CMakeFiles/infoleak_core.dir/monte_carlo.cpp.o"
+  "CMakeFiles/infoleak_core.dir/monte_carlo.cpp.o.d"
+  "CMakeFiles/infoleak_core.dir/polynomial.cpp.o"
+  "CMakeFiles/infoleak_core.dir/polynomial.cpp.o.d"
+  "CMakeFiles/infoleak_core.dir/possible_worlds.cpp.o"
+  "CMakeFiles/infoleak_core.dir/possible_worlds.cpp.o.d"
+  "CMakeFiles/infoleak_core.dir/record.cpp.o"
+  "CMakeFiles/infoleak_core.dir/record.cpp.o.d"
+  "CMakeFiles/infoleak_core.dir/record_io.cpp.o"
+  "CMakeFiles/infoleak_core.dir/record_io.cpp.o.d"
+  "CMakeFiles/infoleak_core.dir/similarity.cpp.o"
+  "CMakeFiles/infoleak_core.dir/similarity.cpp.o.d"
+  "CMakeFiles/infoleak_core.dir/weights.cpp.o"
+  "CMakeFiles/infoleak_core.dir/weights.cpp.o.d"
+  "libinfoleak_core.a"
+  "libinfoleak_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infoleak_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

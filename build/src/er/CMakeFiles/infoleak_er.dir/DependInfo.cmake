@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/er/blocking.cpp" "src/er/CMakeFiles/infoleak_er.dir/blocking.cpp.o" "gcc" "src/er/CMakeFiles/infoleak_er.dir/blocking.cpp.o.d"
+  "/root/repo/src/er/cluster_quality.cpp" "src/er/CMakeFiles/infoleak_er.dir/cluster_quality.cpp.o" "gcc" "src/er/CMakeFiles/infoleak_er.dir/cluster_quality.cpp.o.d"
+  "/root/repo/src/er/dipping.cpp" "src/er/CMakeFiles/infoleak_er.dir/dipping.cpp.o" "gcc" "src/er/CMakeFiles/infoleak_er.dir/dipping.cpp.o.d"
+  "/root/repo/src/er/match.cpp" "src/er/CMakeFiles/infoleak_er.dir/match.cpp.o" "gcc" "src/er/CMakeFiles/infoleak_er.dir/match.cpp.o.d"
+  "/root/repo/src/er/merge.cpp" "src/er/CMakeFiles/infoleak_er.dir/merge.cpp.o" "gcc" "src/er/CMakeFiles/infoleak_er.dir/merge.cpp.o.d"
+  "/root/repo/src/er/similarity_match.cpp" "src/er/CMakeFiles/infoleak_er.dir/similarity_match.cpp.o" "gcc" "src/er/CMakeFiles/infoleak_er.dir/similarity_match.cpp.o.d"
+  "/root/repo/src/er/swoosh.cpp" "src/er/CMakeFiles/infoleak_er.dir/swoosh.cpp.o" "gcc" "src/er/CMakeFiles/infoleak_er.dir/swoosh.cpp.o.d"
+  "/root/repo/src/er/transitive.cpp" "src/er/CMakeFiles/infoleak_er.dir/transitive.cpp.o" "gcc" "src/er/CMakeFiles/infoleak_er.dir/transitive.cpp.o.d"
+  "/root/repo/src/er/union_find.cpp" "src/er/CMakeFiles/infoleak_er.dir/union_find.cpp.o" "gcc" "src/er/CMakeFiles/infoleak_er.dir/union_find.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/infoleak_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/infoleak_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

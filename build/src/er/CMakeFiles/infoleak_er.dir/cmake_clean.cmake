@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infoleak_er.dir/blocking.cpp.o"
+  "CMakeFiles/infoleak_er.dir/blocking.cpp.o.d"
+  "CMakeFiles/infoleak_er.dir/cluster_quality.cpp.o"
+  "CMakeFiles/infoleak_er.dir/cluster_quality.cpp.o.d"
+  "CMakeFiles/infoleak_er.dir/dipping.cpp.o"
+  "CMakeFiles/infoleak_er.dir/dipping.cpp.o.d"
+  "CMakeFiles/infoleak_er.dir/match.cpp.o"
+  "CMakeFiles/infoleak_er.dir/match.cpp.o.d"
+  "CMakeFiles/infoleak_er.dir/merge.cpp.o"
+  "CMakeFiles/infoleak_er.dir/merge.cpp.o.d"
+  "CMakeFiles/infoleak_er.dir/similarity_match.cpp.o"
+  "CMakeFiles/infoleak_er.dir/similarity_match.cpp.o.d"
+  "CMakeFiles/infoleak_er.dir/swoosh.cpp.o"
+  "CMakeFiles/infoleak_er.dir/swoosh.cpp.o.d"
+  "CMakeFiles/infoleak_er.dir/transitive.cpp.o"
+  "CMakeFiles/infoleak_er.dir/transitive.cpp.o.d"
+  "CMakeFiles/infoleak_er.dir/union_find.cpp.o"
+  "CMakeFiles/infoleak_er.dir/union_find.cpp.o.d"
+  "libinfoleak_er.a"
+  "libinfoleak_er.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infoleak_er.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

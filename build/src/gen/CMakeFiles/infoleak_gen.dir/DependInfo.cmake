@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/generator.cpp" "src/gen/CMakeFiles/infoleak_gen.dir/generator.cpp.o" "gcc" "src/gen/CMakeFiles/infoleak_gen.dir/generator.cpp.o.d"
+  "/root/repo/src/gen/population.cpp" "src/gen/CMakeFiles/infoleak_gen.dir/population.cpp.o" "gcc" "src/gen/CMakeFiles/infoleak_gen.dir/population.cpp.o.d"
+  "/root/repo/src/gen/realistic.cpp" "src/gen/CMakeFiles/infoleak_gen.dir/realistic.cpp.o" "gcc" "src/gen/CMakeFiles/infoleak_gen.dir/realistic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/infoleak_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/infoleak_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infoleak_gen.dir/generator.cpp.o"
+  "CMakeFiles/infoleak_gen.dir/generator.cpp.o.d"
+  "CMakeFiles/infoleak_gen.dir/population.cpp.o"
+  "CMakeFiles/infoleak_gen.dir/population.cpp.o.d"
+  "CMakeFiles/infoleak_gen.dir/realistic.cpp.o"
+  "CMakeFiles/infoleak_gen.dir/realistic.cpp.o.d"
+  "libinfoleak_gen.a"
+  "libinfoleak_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infoleak_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

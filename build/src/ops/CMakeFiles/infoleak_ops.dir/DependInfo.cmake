@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ops/augment.cpp" "src/ops/CMakeFiles/infoleak_ops.dir/augment.cpp.o" "gcc" "src/ops/CMakeFiles/infoleak_ops.dir/augment.cpp.o.d"
+  "/root/repo/src/ops/cost.cpp" "src/ops/CMakeFiles/infoleak_ops.dir/cost.cpp.o" "gcc" "src/ops/CMakeFiles/infoleak_ops.dir/cost.cpp.o.d"
+  "/root/repo/src/ops/error_correction.cpp" "src/ops/CMakeFiles/infoleak_ops.dir/error_correction.cpp.o" "gcc" "src/ops/CMakeFiles/infoleak_ops.dir/error_correction.cpp.o.d"
+  "/root/repo/src/ops/obfuscation.cpp" "src/ops/CMakeFiles/infoleak_ops.dir/obfuscation.cpp.o" "gcc" "src/ops/CMakeFiles/infoleak_ops.dir/obfuscation.cpp.o.d"
+  "/root/repo/src/ops/operator.cpp" "src/ops/CMakeFiles/infoleak_ops.dir/operator.cpp.o" "gcc" "src/ops/CMakeFiles/infoleak_ops.dir/operator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/infoleak_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/er/CMakeFiles/infoleak_er.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/infoleak_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infoleak_ops.dir/augment.cpp.o"
+  "CMakeFiles/infoleak_ops.dir/augment.cpp.o.d"
+  "CMakeFiles/infoleak_ops.dir/cost.cpp.o"
+  "CMakeFiles/infoleak_ops.dir/cost.cpp.o.d"
+  "CMakeFiles/infoleak_ops.dir/error_correction.cpp.o"
+  "CMakeFiles/infoleak_ops.dir/error_correction.cpp.o.d"
+  "CMakeFiles/infoleak_ops.dir/obfuscation.cpp.o"
+  "CMakeFiles/infoleak_ops.dir/obfuscation.cpp.o.d"
+  "CMakeFiles/infoleak_ops.dir/operator.cpp.o"
+  "CMakeFiles/infoleak_ops.dir/operator.cpp.o.d"
+  "libinfoleak_ops.a"
+  "libinfoleak_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infoleak_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/store/inverted_index.cpp" "src/store/CMakeFiles/infoleak_store.dir/inverted_index.cpp.o" "gcc" "src/store/CMakeFiles/infoleak_store.dir/inverted_index.cpp.o.d"
+  "/root/repo/src/store/record_store.cpp" "src/store/CMakeFiles/infoleak_store.dir/record_store.cpp.o" "gcc" "src/store/CMakeFiles/infoleak_store.dir/record_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/infoleak_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/infoleak_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infoleak_store.dir/inverted_index.cpp.o"
+  "CMakeFiles/infoleak_store.dir/inverted_index.cpp.o.d"
+  "CMakeFiles/infoleak_store.dir/record_store.cpp.o"
+  "CMakeFiles/infoleak_store.dir/record_store.cpp.o.d"
+  "libinfoleak_store.a"
+  "libinfoleak_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infoleak_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libinfoleak_store.a"
+)

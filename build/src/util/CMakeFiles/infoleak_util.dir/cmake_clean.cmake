@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infoleak_util.dir/csv.cpp.o"
+  "CMakeFiles/infoleak_util.dir/csv.cpp.o.d"
+  "CMakeFiles/infoleak_util.dir/file.cpp.o"
+  "CMakeFiles/infoleak_util.dir/file.cpp.o.d"
+  "CMakeFiles/infoleak_util.dir/rng.cpp.o"
+  "CMakeFiles/infoleak_util.dir/rng.cpp.o.d"
+  "CMakeFiles/infoleak_util.dir/status.cpp.o"
+  "CMakeFiles/infoleak_util.dir/status.cpp.o.d"
+  "CMakeFiles/infoleak_util.dir/string_util.cpp.o"
+  "CMakeFiles/infoleak_util.dir/string_util.cpp.o.d"
+  "libinfoleak_util.a"
+  "libinfoleak_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infoleak_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

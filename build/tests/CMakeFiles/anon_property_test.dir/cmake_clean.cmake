@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anon_property_test.dir/anon_property_test.cpp.o"
+  "CMakeFiles/anon_property_test.dir/anon_property_test.cpp.o.d"
+  "anon_property_test"
+  "anon_property_test.pdb"
+  "anon_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anon_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

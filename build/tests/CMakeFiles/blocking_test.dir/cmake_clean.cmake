@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocking_test.dir/blocking_test.cpp.o"
+  "CMakeFiles/blocking_test.dir/blocking_test.cpp.o.d"
+  "blocking_test"
+  "blocking_test.pdb"
+  "blocking_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bridge_test.dir/bridge_test.cpp.o"
+  "CMakeFiles/bridge_test.dir/bridge_test.cpp.o.d"
+  "bridge_test"
+  "bridge_test.pdb"
+  "bridge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bridge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

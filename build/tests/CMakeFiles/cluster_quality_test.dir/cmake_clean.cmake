@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_quality_test.dir/cluster_quality_test.cpp.o"
+  "CMakeFiles/cluster_quality_test.dir/cluster_quality_test.cpp.o.d"
+  "cluster_quality_test"
+  "cluster_quality_test.pdb"
+  "cluster_quality_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_quality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

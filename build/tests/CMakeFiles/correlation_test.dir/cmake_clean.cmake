@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/correlation_test.dir/correlation_test.cpp.o"
+  "CMakeFiles/correlation_test.dir/correlation_test.cpp.o.d"
+  "correlation_test"
+  "correlation_test.pdb"
+  "correlation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/correlation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dipping_test.dir/dipping_test.cpp.o"
+  "CMakeFiles/dipping_test.dir/dipping_test.cpp.o.d"
+  "dipping_test"
+  "dipping_test.pdb"
+  "dipping_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dipping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disinformation_test.dir/disinformation_test.cpp.o"
+  "CMakeFiles/disinformation_test.dir/disinformation_test.cpp.o.d"
+  "disinformation_test"
+  "disinformation_test.pdb"
+  "disinformation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disinformation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enhancement_test.dir/enhancement_test.cpp.o"
+  "CMakeFiles/enhancement_test.dir/enhancement_test.cpp.o.d"
+  "enhancement_test"
+  "enhancement_test.pdb"
+  "enhancement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enhancement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/er_property_test.dir/er_property_test.cpp.o"
+  "CMakeFiles/er_property_test.dir/er_property_test.cpp.o.d"
+  "er_property_test"
+  "er_property_test.pdb"
+  "er_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/er_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

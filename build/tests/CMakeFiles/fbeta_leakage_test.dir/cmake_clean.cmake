@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fbeta_leakage_test.dir/fbeta_leakage_test.cpp.o"
+  "CMakeFiles/fbeta_leakage_test.dir/fbeta_leakage_test.cpp.o.d"
+  "fbeta_leakage_test"
+  "fbeta_leakage_test.pdb"
+  "fbeta_leakage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fbeta_leakage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_test.dir/file_test.cpp.o"
+  "CMakeFiles/file_test.dir/file_test.cpp.o.d"
+  "file_test"
+  "file_test.pdb"
+  "file_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

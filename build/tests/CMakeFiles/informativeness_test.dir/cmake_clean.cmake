@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/informativeness_test.dir/informativeness_test.cpp.o"
+  "CMakeFiles/informativeness_test.dir/informativeness_test.cpp.o.d"
+  "informativeness_test"
+  "informativeness_test.pdb"
+  "informativeness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/informativeness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kanonymity_test.dir/kanonymity_test.cpp.o"
+  "CMakeFiles/kanonymity_test.dir/kanonymity_test.cpp.o.d"
+  "kanonymity_test"
+  "kanonymity_test.pdb"
+  "kanonymity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kanonymity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ldiversity_test.cpp" "tests/CMakeFiles/ldiversity_test.dir/ldiversity_test.cpp.o" "gcc" "tests/CMakeFiles/ldiversity_test.dir/ldiversity_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cli/CMakeFiles/infoleak_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/anon/CMakeFiles/infoleak_anon.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/infoleak_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/infoleak_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/er/CMakeFiles/infoleak_er.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/infoleak_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/infoleak_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/infoleak_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/infoleak_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldiversity_test.dir/ldiversity_test.cpp.o"
+  "CMakeFiles/ldiversity_test.dir/ldiversity_test.cpp.o.d"
+  "ldiversity_test"
+  "ldiversity_test.pdb"
+  "ldiversity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldiversity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

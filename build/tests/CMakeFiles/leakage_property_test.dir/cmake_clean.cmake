@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leakage_property_test.dir/leakage_property_test.cpp.o"
+  "CMakeFiles/leakage_property_test.dir/leakage_property_test.cpp.o.d"
+  "leakage_property_test"
+  "leakage_property_test.pdb"
+  "leakage_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leakage_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leakage_test.dir/leakage_test.cpp.o"
+  "CMakeFiles/leakage_test.dir/leakage_test.cpp.o.d"
+  "leakage_test"
+  "leakage_test.pdb"
+  "leakage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leakage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

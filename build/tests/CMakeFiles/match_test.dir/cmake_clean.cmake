@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/match_test.dir/match_test.cpp.o"
+  "CMakeFiles/match_test.dir/match_test.cpp.o.d"
+  "match_test"
+  "match_test.pdb"
+  "match_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/match_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measures_test.dir/measures_test.cpp.o"
+  "CMakeFiles/measures_test.dir/measures_test.cpp.o.d"
+  "measures_test"
+  "measures_test.pdb"
+  "measures_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measures_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

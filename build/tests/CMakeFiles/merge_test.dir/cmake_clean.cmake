@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merge_test.dir/merge_test.cpp.o"
+  "CMakeFiles/merge_test.dir/merge_test.cpp.o.d"
+  "merge_test"
+  "merge_test.pdb"
+  "merge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

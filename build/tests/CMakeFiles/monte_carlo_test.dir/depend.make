@@ -1,0 +1,2 @@
+# Empty dependencies file for monte_carlo_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obfuscation_test.dir/obfuscation_test.cpp.o"
+  "CMakeFiles/obfuscation_test.dir/obfuscation_test.cpp.o.d"
+  "obfuscation_test"
+  "obfuscation_test.pdb"
+  "obfuscation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obfuscation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operators_test.dir/operators_test.cpp.o"
+  "CMakeFiles/operators_test.dir/operators_test.cpp.o.d"
+  "operators_test"
+  "operators_test.pdb"
+  "operators_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

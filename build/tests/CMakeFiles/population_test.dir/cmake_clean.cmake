@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/population_test.dir/population_test.cpp.o"
+  "CMakeFiles/population_test.dir/population_test.cpp.o.d"
+  "population_test"
+  "population_test.pdb"
+  "population_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/population_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

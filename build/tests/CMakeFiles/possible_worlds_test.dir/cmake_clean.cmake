@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/possible_worlds_test.dir/possible_worlds_test.cpp.o"
+  "CMakeFiles/possible_worlds_test.dir/possible_worlds_test.cpp.o.d"
+  "possible_worlds_test"
+  "possible_worlds_test.pdb"
+  "possible_worlds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/possible_worlds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realistic_test.dir/realistic_test.cpp.o"
+  "CMakeFiles/realistic_test.dir/realistic_test.cpp.o.d"
+  "realistic_test"
+  "realistic_test.pdb"
+  "realistic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realistic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/record_io_test.dir/record_io_test.cpp.o"
+  "CMakeFiles/record_io_test.dir/record_io_test.cpp.o.d"
+  "record_io_test"
+  "record_io_test.pdb"
+  "record_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/record_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

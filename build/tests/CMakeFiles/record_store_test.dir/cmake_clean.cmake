@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/record_store_test.dir/record_store_test.cpp.o"
+  "CMakeFiles/record_store_test.dir/record_store_test.cpp.o.d"
+  "record_store_test"
+  "record_store_test.pdb"
+  "record_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/record_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resolver_test.dir/resolver_test.cpp.o"
+  "CMakeFiles/resolver_test.dir/resolver_test.cpp.o.d"
+  "resolver_test"
+  "resolver_test.pdb"
+  "resolver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resolver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/samarati_test.dir/samarati_test.cpp.o"
+  "CMakeFiles/samarati_test.dir/samarati_test.cpp.o.d"
+  "samarati_test"
+  "samarati_test.pdb"
+  "samarati_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/samarati_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

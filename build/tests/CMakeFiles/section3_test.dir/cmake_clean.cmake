@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/section3_test.dir/section3_test.cpp.o"
+  "CMakeFiles/section3_test.dir/section3_test.cpp.o.d"
+  "section3_test"
+  "section3_test.pdb"
+  "section3_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/section3_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

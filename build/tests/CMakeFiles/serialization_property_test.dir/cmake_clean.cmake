@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serialization_property_test.dir/serialization_property_test.cpp.o"
+  "CMakeFiles/serialization_property_test.dir/serialization_property_test.cpp.o.d"
+  "serialization_property_test"
+  "serialization_property_test.pdb"
+  "serialization_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serialization_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/similarity_match_test.dir/similarity_match_test.cpp.o"
+  "CMakeFiles/similarity_match_test.dir/similarity_match_test.cpp.o.d"
+  "similarity_match_test"
+  "similarity_match_test.pdb"
+  "similarity_match_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/similarity_match_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suppression_test.dir/suppression_test.cpp.o"
+  "CMakeFiles/suppression_test.dir/suppression_test.cpp.o.d"
+  "suppression_test"
+  "suppression_test.pdb"
+  "suppression_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suppression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

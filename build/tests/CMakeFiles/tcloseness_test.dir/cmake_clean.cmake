@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcloseness_test.dir/tcloseness_test.cpp.o"
+  "CMakeFiles/tcloseness_test.dir/tcloseness_test.cpp.o.d"
+  "tcloseness_test"
+  "tcloseness_test.pdb"
+  "tcloseness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcloseness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

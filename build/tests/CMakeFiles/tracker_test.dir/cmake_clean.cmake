@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracker_test.dir/tracker_test.cpp.o"
+  "CMakeFiles/tracker_test.dir/tracker_test.cpp.o.d"
+  "tracker_test"
+  "tracker_test.pdb"
+  "tracker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/union_find_test.dir/union_find_test.cpp.o"
+  "CMakeFiles/union_find_test.dir/union_find_test.cpp.o.d"
+  "union_find_test"
+  "union_find_test.pdb"
+  "union_find_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/union_find_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

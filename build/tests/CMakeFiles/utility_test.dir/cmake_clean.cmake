@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/utility_test.dir/utility_test.cpp.o"
+  "CMakeFiles/utility_test.dir/utility_test.cpp.o.d"
+  "utility_test"
+  "utility_test.pdb"
+  "utility_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/utility_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weights_test.dir/weights_test.cpp.o"
+  "CMakeFiles/weights_test.dir/weights_test.cpp.o.d"
+  "weights_test"
+  "weights_test.pdb"
+  "weights_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weights_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
