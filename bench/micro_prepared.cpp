@@ -1,0 +1,176 @@
+// Microbenchmark for the prepared-evaluation layer: string API vs prepared
+// API on the workloads the layer targets — one reference scored against a
+// large database (SetLeakage) and repeated per-record evaluation. The
+// string path resolves labels/values and allocates per call; the prepared
+// path interns once per reference and reuses a caller-owned workspace, so
+// the gap here is the whole point of the layer. Run both SetLeakage
+// variants at Arg(10000)+ to reproduce the PR's headline ratio.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/leakage.h"
+#include "gen/generator.h"
+
+namespace infoleak {
+namespace {
+
+struct Fixture {
+  Database db;
+  SyntheticDataset data;
+};
+
+Fixture MakeFixture(std::size_t n, std::size_t records,
+                    bool random_weights = false) {
+  GeneratorConfig config;
+  config.n = n;
+  config.num_records = records;
+  config.random_weights = random_weights;
+  auto data = GenerateDataset(config);
+  Fixture f{Database{}, std::move(data).value()};
+  for (const auto& r : f.data.records) f.db.Add(r);
+  return f;
+}
+
+// ---------------------------------------------------------------------------
+// Headline comparison: set leakage over a large synthetic database.
+// String path: the pre-layer implementation — every record evaluation goes
+// through the virtual string API and re-resolves weights and match
+// positions by hashing strings. Prepared path: SetLeakage's PreparedReference
+// overload, which prepares p once and streams records through one reusable
+// workspace. (SetLeakage's string overload now also prepares internally, so
+// the baseline is spelled out as an explicit loop here.)
+// ---------------------------------------------------------------------------
+
+double StringPathSetLeakage(const Database& db, const Record& p,
+                            const WeightModel& wm,
+                            const LeakageEngine& engine) {
+  double best = 0.0;
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    best = std::max(best, engine.RecordLeakage(db[i], p, wm).value_or(0.0));
+  }
+  return best;
+}
+
+void BM_SetLeakageStringExact(benchmark::State& state) {
+  auto f = MakeFixture(20, static_cast<std::size_t>(state.range(0)));
+  ExactLeakage engine;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        StringPathSetLeakage(f.db, f.data.reference, f.data.weights, engine));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SetLeakageStringExact)->Arg(1000)->Arg(10000);
+
+void BM_SetLeakagePreparedExact(benchmark::State& state) {
+  auto f = MakeFixture(20, static_cast<std::size_t>(state.range(0)));
+  ExactLeakage engine;
+  const PreparedReference ref(f.data.reference, f.data.weights);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SetLeakage(f.db, ref, engine));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SetLeakagePreparedExact)->Arg(1000)->Arg(10000);
+
+void BM_SetLeakageStringApprox(benchmark::State& state) {
+  auto f = MakeFixture(20, static_cast<std::size_t>(state.range(0)),
+                       /*random_weights=*/true);
+  ApproxLeakage engine;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        StringPathSetLeakage(f.db, f.data.reference, f.data.weights, engine));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SetLeakageStringApprox)->Arg(1000)->Arg(10000);
+
+void BM_SetLeakagePreparedApprox(benchmark::State& state) {
+  auto f = MakeFixture(20, static_cast<std::size_t>(state.range(0)),
+                       /*random_weights=*/true);
+  ApproxLeakage engine;
+  const PreparedReference ref(f.data.reference, f.data.weights);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SetLeakage(f.db, ref, engine));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SetLeakagePreparedApprox)->Arg(1000)->Arg(10000);
+
+// ---------------------------------------------------------------------------
+// Per-record comparison: a single record evaluated repeatedly (the tracker
+// / streaming-monitor pattern), isolating per-call overhead.
+// ---------------------------------------------------------------------------
+
+void BM_RecordLeakageString(benchmark::State& state) {
+  auto f = MakeFixture(static_cast<std::size_t>(state.range(0)), 1);
+  ApproxLeakage engine;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.RecordLeakage(
+        f.data.records[0], f.data.reference, f.data.weights));
+  }
+}
+BENCHMARK(BM_RecordLeakageString)->Arg(20)->Arg(100)->Arg(500);
+
+void BM_RecordLeakagePrepared(benchmark::State& state) {
+  auto f = MakeFixture(static_cast<std::size_t>(state.range(0)), 1);
+  ApproxLeakage engine;
+  const PreparedReference ref(f.data.reference, f.data.weights);
+  PreparedRecord r(f.data.records[0], ref);
+  LeakageWorkspace ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.RecordLeakagePrepared(r, ref, &ws));
+  }
+}
+BENCHMARK(BM_RecordLeakagePrepared)->Arg(20)->Arg(100)->Arg(500);
+
+// ---------------------------------------------------------------------------
+// Preparation cost itself: what the once-per-reference and once-per-record
+// setup steps cost, so readers can amortize.
+// ---------------------------------------------------------------------------
+
+void BM_PrepareReference(benchmark::State& state) {
+  auto f = MakeFixture(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    PreparedReference ref(f.data.reference, f.data.weights);
+    benchmark::DoNotOptimize(ref.total_weight());
+  }
+}
+BENCHMARK(BM_PrepareReference)->Arg(20)->Arg(100)->Arg(500);
+
+void BM_AssignRecord(benchmark::State& state) {
+  auto f = MakeFixture(static_cast<std::size_t>(state.range(0)), 1);
+  const PreparedReference ref(f.data.reference, f.data.weights);
+  PreparedRecord r;
+  for (auto _ : state) {
+    r.Assign(f.data.records[0], ref);
+    benchmark::DoNotOptimize(r.size());
+  }
+}
+BENCHMARK(BM_AssignRecord)->Arg(20)->Arg(100)->Arg(500);
+
+// ---------------------------------------------------------------------------
+// BatchLeakage: the span entry point used by callers that keep their own
+// record layout.
+// ---------------------------------------------------------------------------
+
+void BM_BatchLeakagePrepared(benchmark::State& state) {
+  auto f = MakeFixture(20, static_cast<std::size_t>(state.range(0)));
+  ExactLeakage engine;
+  const PreparedReference ref(f.data.reference, f.data.weights);
+  std::vector<const Record*> ptrs;
+  for (const auto& r : f.data.records) ptrs.push_back(&r);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BatchLeakage(ptrs, ref, engine));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BatchLeakagePrepared)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace infoleak
+
+BENCHMARK_MAIN();

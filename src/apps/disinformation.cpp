@@ -126,12 +126,12 @@ namespace {
 Result<double> LeakageWith(const Database& db,
                            const std::vector<DisinfoCandidate>& candidates,
                            const std::vector<std::size_t>& chosen,
-                           const Record& p, const AnalysisOperator& op,
-                           const WeightModel& wm,
+                           const PreparedReference& p,
+                           const AnalysisOperator& op,
                            const LeakageEngine& engine) {
   Database extended = db;
   for (std::size_t idx : chosen) extended.Add(candidates[idx].record);
-  return InformationLeakage(extended, p, op, wm, engine);
+  return InformationLeakage(extended, p, op, engine);
 }
 
 }  // namespace
@@ -147,7 +147,9 @@ Result<DisinfoPlan> DisinformationOptimizer::OptimizeExhaustive(
         std::to_string(kMaxExhaustiveCandidates) +
         " candidates; use OptimizeGreedy");
   }
-  Result<double> before = InformationLeakage(db, p, op, wm, engine);
+  // One prepared reference serves every subset's evaluation below.
+  const PreparedReference ref(p, wm);
+  Result<double> before = InformationLeakage(db, ref, op, engine);
   if (!before.ok()) return before.status();
 
   double best_leakage = *before;
@@ -165,7 +167,7 @@ Result<DisinfoPlan> DisinformationOptimizer::OptimizeExhaustive(
     }
     if (cost > max_budget) continue;
     Result<double> leakage =
-        LeakageWith(db, candidates, subset, p, op, wm, engine);
+        LeakageWith(db, candidates, subset, ref, op, engine);
     if (!leakage.ok()) return leakage.status();
     if (*leakage < best_leakage - 1e-15 ||
         (std::abs(*leakage - best_leakage) <= 1e-15 && cost < best_cost)) {
@@ -187,7 +189,9 @@ Result<DisinfoPlan> DisinformationOptimizer::OptimizeGreedy(
     const Database& db, const Record& p, const AnalysisOperator& op,
     const std::vector<DisinfoCandidate>& candidates, double max_budget,
     const WeightModel& wm, const LeakageEngine& engine) const {
-  Result<double> before = InformationLeakage(db, p, op, wm, engine);
+  // One prepared reference serves the whole greedy search.
+  const PreparedReference ref(p, wm);
+  Result<double> before = InformationLeakage(db, ref, op, engine);
   if (!before.ok()) return before.status();
 
   DisinfoPlan plan;
@@ -205,7 +209,7 @@ Result<DisinfoPlan> DisinformationOptimizer::OptimizeGreedy(
     for (std::size_t i = 0; i < candidates.size(); ++i) {
       if (used[i] || candidates[i].cost > budget_left) continue;
       Result<double> leakage = InformationLeakage(
-          current.WithRecord(candidates[i].record), p, op, wm, engine);
+          current.WithRecord(candidates[i].record), ref, op, engine);
       if (!leakage.ok()) return leakage.status();
       double reduction = plan.leakage_after - *leakage;
       if (reduction <= 1e-15) continue;

@@ -40,7 +40,18 @@ Result<std::vector<EnhancementOption>> RankEnhancements(
     const VerificationCostFn& cost_fn) {
   const Record rc = ComposeAll(db);
   const Record rp = rc.WithFullConfidence();
-  Result<double> base = engine.RecordLeakage(rc, rp, wm);
+  // rp is fixed across all candidate verifications: prepare it once and
+  // stream the perturbed composites through one workspace.
+  const PreparedReference ref(rp, wm);
+  const bool prepared = engine.SupportsPrepared();
+  LeakageWorkspace ws;
+  PreparedRecord scratch;
+  auto evaluate = [&](const Record& composite) -> Result<double> {
+    if (!prepared) return engine.RecordLeakage(composite, rp, wm);
+    scratch.Assign(composite, ref);
+    return engine.RecordLeakagePrepared(scratch, ref, &ws);
+  };
+  Result<double> base = evaluate(rc);
   if (!base.ok()) return base.status();
 
   std::vector<EnhancementOption> options;
@@ -49,7 +60,7 @@ Result<std::vector<EnhancementOption>> RankEnhancements(
       const double cost = cost_fn(a);
       if (cost <= 0.0) continue;  // already certain (or priced free)
       const Record rc_prime = ComposeWithVerified(db, i, a);
-      Result<double> after = engine.RecordLeakage(rc_prime, rp, wm);
+      Result<double> after = evaluate(rc_prime);
       if (!after.ok()) return after.status();
       EnhancementOption opt;
       opt.record_index = i;

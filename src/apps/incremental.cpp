@@ -3,18 +3,25 @@
 namespace infoleak {
 
 Result<IncrementalReport> IncrementalLeakageReport(
-    const Database& db, const Record& p, const AnalysisOperator& op,
-    const Record& r, const WeightModel& wm, const LeakageEngine& engine) {
-  Result<double> before = InformationLeakage(db, p, op, wm, engine);
+    const Database& db, const PreparedReference& p, const AnalysisOperator& op,
+    const Record& r, const LeakageEngine& engine) {
+  Result<double> before = InformationLeakage(db, p, op, engine);
   if (!before.ok()) return before.status();
-  Result<double> after =
-      InformationLeakage(db.WithRecord(r), p, op, wm, engine);
+  Result<double> after = InformationLeakage(db.WithRecord(r), p, op, engine);
   if (!after.ok()) return after.status();
   IncrementalReport report;
   report.before = *before;
   report.after = *after;
   report.incremental = *after - *before;
   return report;
+}
+
+Result<IncrementalReport> IncrementalLeakageReport(
+    const Database& db, const Record& p, const AnalysisOperator& op,
+    const Record& r, const WeightModel& wm, const LeakageEngine& engine) {
+  // Prepare p once for the before/after pair.
+  const PreparedReference ref(p, wm);
+  return IncrementalLeakageReport(db, ref, op, r, engine);
 }
 
 Result<double> IncrementalLeakage(const Database& db, const Record& p,

@@ -28,4 +28,10 @@ Result<IncrementalReport> IncrementalLeakageReport(
     const Database& db, const Record& p, const AnalysisOperator& op,
     const Record& r, const WeightModel& wm, const LeakageEngine& engine);
 
+/// As above with a caller-prepared reference (prepared once per ledger /
+/// monitor instead of twice per what-if query).
+Result<IncrementalReport> IncrementalLeakageReport(
+    const Database& db, const PreparedReference& p, const AnalysisOperator& op,
+    const Record& r, const LeakageEngine& engine);
+
 }  // namespace infoleak

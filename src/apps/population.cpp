@@ -13,8 +13,8 @@ Result<std::vector<MemberLeakage>> PerPersonLeakage(
   for (std::size_t person = 0; person < references.size(); ++person) {
     MemberLeakage entry;
     entry.person = person;
-    Result<double> l = SetLeakageArgMax(*analyzed, references[person], wm,
-                                        engine, &entry.argmax);
+    const PreparedReference ref(references[person], wm);
+    Result<double> l = SetLeakageArgMax(*analyzed, ref, engine, &entry.argmax);
     if (!l.ok()) return l.status();
     entry.leakage = *l;
     out.push_back(entry);
@@ -30,13 +30,29 @@ Result<ReidentificationReport> ReidentifyRecords(
     return Status::InvalidArgument(
         "ground truth size does not match database size");
   }
+  // Every reference is scored against every record: prepare each reference
+  // once up front instead of once per (record, person) pair.
+  const bool prepared = engine.SupportsPrepared();
+  std::vector<PreparedReference> refs;
+  if (prepared) {
+    refs.reserve(references.size());
+    for (const Record& p : references) refs.emplace_back(p, wm);
+  }
+  LeakageWorkspace ws;
+  PreparedRecord scratch;
   ReidentificationReport report;
   report.results.reserve(db.size());
   for (std::size_t i = 0; i < db.size(); ++i) {
     Reidentification reid;
     reid.record_index = i;
     for (std::size_t person = 0; person < references.size(); ++person) {
-      Result<double> l = engine.RecordLeakage(db[i], references[person], wm);
+      Result<double> l = 0.0;
+      if (prepared) {
+        scratch.Assign(db[i], refs[person]);
+        l = engine.RecordLeakagePrepared(scratch, refs[person], &ws);
+      } else {
+        l = engine.RecordLeakage(db[i], references[person], wm);
+      }
       if (!l.ok()) return l.status();
       if (*l > reid.score) {
         reid.runner_up = reid.score;

@@ -11,7 +11,8 @@ StreamingLeakage::StreamingLeakage(Record reference,
     : reference_(std::move(reference)),
       link_labels_(std::move(link_labels)),
       weights_(std::move(weights)),
-      engine_(engine) {}
+      engine_(engine),
+      prepared_(reference_, weights_) {}
 
 std::size_t StreamingLeakage::Find(std::size_t x) const {
   while (parent_[x] != x) {
@@ -46,7 +47,15 @@ Result<double> StreamingLeakage::Add(Record record) {
     leakage_.erase(root);
     parent_[root] = id;
   }
-  Result<double> l = engine_.RecordLeakage(merged, reference_, weights_);
+  Result<double> l = 0.0;
+  if (engine_.SupportsPrepared()) {
+    // Hot path: only the affected composite is re-scored, against the
+    // stream's once-prepared reference, with zero steady-state allocation.
+    scratch_.Assign(merged, prepared_);
+    l = engine_.RecordLeakagePrepared(scratch_, prepared_, &workspace_);
+  } else {
+    l = engine_.RecordLeakage(merged, reference_, weights_);
+  }
   if (!l.ok()) return l.status();
   composite_[id] = std::move(merged);
   leakage_[id] = *l;

@@ -57,6 +57,9 @@ class StreamingLeakage {
   std::vector<std::string> link_labels_;
   WeightModel weights_;
   const LeakageEngine& engine_;
+  PreparedReference prepared_;   // reference_ prepared once for the stream
+  LeakageWorkspace workspace_;   // reused by every Add
+  PreparedRecord scratch_;       // reusable composite view
 
   std::vector<Record> records_;             // as ingested
   mutable std::vector<std::size_t> parent_; // union-find (path-halving)

@@ -9,12 +9,13 @@ LeakageTracker::LeakageTracker(Record reference,
     : reference_(std::move(reference)),
       adversary_(adversary),
       weights_(weights),
-      engine_(engine) {}
+      engine_(engine),
+      prepared_(reference_, weights_) {}
 
 Result<IncrementalReport> LeakageTracker::WhatIf(
     const Record& candidate) const {
-  return IncrementalLeakageReport(released_, reference_, adversary_,
-                                  candidate, weights_, engine_);
+  return IncrementalLeakageReport(released_, prepared_, adversary_, candidate,
+                                  engine_);
 }
 
 Result<LeakageTracker::Entry> LeakageTracker::Release(std::string description,
@@ -33,8 +34,7 @@ Result<LeakageTracker::Entry> LeakageTracker::Release(std::string description,
 }
 
 Result<double> LeakageTracker::CurrentLeakage() const {
-  return InformationLeakage(released_, reference_, adversary_, weights_,
-                            engine_);
+  return InformationLeakage(released_, prepared_, adversary_, engine_);
 }
 
 }  // namespace infoleak

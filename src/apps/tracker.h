@@ -53,6 +53,7 @@ class LeakageTracker {
   const AnalysisOperator& adversary_;
   const WeightModel& weights_;
   const LeakageEngine& engine_;
+  PreparedReference prepared_;  // reference_ prepared once for all queries
   Database released_;
   std::vector<Entry> history_;
 };

@@ -10,24 +10,31 @@
 namespace infoleak {
 namespace {
 
-/// Shared core of Algorithm 1. Computes
+/// Shared core of Algorithm 1 on prepared views. Computes
 ///   factor · Σ_{b∈p} p(b,r) · ∫₀¹ t^m · Π_{a∈z}(c_a·t + 1−c_a) dt
 /// where z = r without the attribute matching b. With m = |p| and
 /// factor = 2 this is L(r, p); with m = 0 and factor = 1 it is E[Pr].
-double ExactSum(const Record& r, const Record& p, double m,
-                double factor) {
+///
+/// Iteration stays in the records' canonical order (the same order the
+/// string API walks), so the floating-point accumulation is bit-identical
+/// to a from-scratch string evaluation.
+double ExactSum(const PreparedRecord& r, const PreparedReference& p, double m,
+                double factor, LeakageWorkspace* ws) {
+  FillMatches(r, p, ws);
+  const auto& rattrs = r.attrs();
   double total = 0.0;
-  std::vector<double> y;  // hoisted: one allocation across all b ∈ p
-  y.reserve(r.size() + 1);
-  for (const auto& b : p) {
-    const double pb = r.Confidence(b.label, b.value);
+  std::vector<double>& y = ws->poly;  // reused across all b ∈ p and calls
+  y.reserve(rattrs.size() + 1);
+  for (std::size_t j = 0; j < p.size(); ++j) {
+    const double pb = ws->match_conf[j];
     if (pb == 0.0) continue;  // zero-confidence terms contribute nothing
+    const uint32_t skip = ws->match_rpos[j];
     y.assign(1, 1.0);
-    for (const auto& a : r) {
-      if (a.SameInfo(b)) continue;
+    for (std::size_t i = 0; i < rattrs.size(); ++i) {
+      if (i == skip) continue;
       // In-place Poly::MultiplyBernoulli: z[k] = c·y[k] + (1−c)·y[k−1],
       // computed back to front so y can be updated without a scratch list.
-      const double c = a.confidence;
+      const double c = rattrs[i].confidence;
       y.push_back(0.0);
       for (std::size_t k = y.size() - 1; k > 0; --k) {
         y[k] = c * y[k] + (1.0 - c) * y[k - 1];
@@ -39,32 +46,35 @@ double ExactSum(const Record& r, const Record& p, double m,
   return total;
 }
 
-/// Shared core of the §5.2 Taylor approximation. Approximates
+/// Shared core of the §5.2 Taylor approximation on prepared views.
+/// Approximates
 ///   factor · Σ_{b∈p} p(b,r) · E[w_b / (Y + w_b + base)]
 /// where Y = Σ_{a∈r̄\{b}} w_a and base = Σ_{a∈p} w_a for leakage
 /// (factor 2) or 0 for precision (factor 1).
-double ApproxSum(const Record& r, const Record& p, const WeightModel& wm,
-                 double base, double factor, int order) {
+double ApproxSum(const PreparedRecord& r, const PreparedReference& p,
+                 double base, double factor, int order,
+                 LeakageWorkspace* ws) {
+  FillMatches(r, p, ws);
   // Precompute the moments of the full record once; per-b values follow by
-  // removing the matched attribute's contribution, giving O(|p|·log|r| + |r|).
+  // removing the matched attribute's contribution, giving O(|p| + |r|).
   double mean_all = 0.0;
   double var_all = 0.0;
-  for (const auto& a : r) {
-    const double w = wm.Weight(a.label);
-    mean_all += w * a.confidence;
-    var_all += w * w * a.confidence * (1.0 - a.confidence);
+  for (const auto& a : r.attrs()) {
+    mean_all += a.weight * a.confidence;
+    var_all += a.weight * a.weight * a.confidence * (1.0 - a.confidence);
   }
   double total = 0.0;
-  for (const auto& b : p) {
-    const Attribute* match = r.Find(b.label, b.value);
-    if (match == nullptr || match->confidence == 0.0) continue;
-    const double pb = match->confidence;
-    const double wb = wm.Weight(b.label);
-    const double wm_match = wm.Weight(match->label);  // == wb (same label)
-    const double mean =
-        mean_all - wm_match * match->confidence;
-    const double var = var_all - wm_match * wm_match * match->confidence *
-                                     (1.0 - match->confidence);
+  const auto& pattrs = p.attrs();
+  const auto& rattrs = r.attrs();
+  for (std::size_t j = 0; j < pattrs.size(); ++j) {
+    const uint32_t mi = ws->match_rpos[j];
+    if (mi == PreparedReference::kNoMatch) continue;
+    const double pb = ws->match_conf[j];
+    if (pb == 0.0) continue;
+    const double wb = pattrs[j].weight;
+    const double wm_match = rattrs[mi].weight;  // == wb (same label)
+    const double mean = mean_all - wm_match * pb;
+    const double var = var_all - wm_match * wm_match * pb * (1.0 - pb);
     const double denom = mean + wb + base;
     if (denom <= 0.0) continue;
     double term = wb / denom;
@@ -74,7 +84,58 @@ double ApproxSum(const Record& r, const Record& p, const WeightModel& wm,
   return total;
 }
 
+/// Enumerates all 2^|r| worlds (the paper's O(2^|r|·|r|) naive algorithm)
+/// and returns E[factor·overlap/(total_r + base)], covering both F1
+/// (base = W(p), factor = 2) and precision (base = 0, factor = 1).
+Result<double> NaiveEnumerate(const PreparedRecord& r,
+                              const PreparedReference& p, double base,
+                              double factor, std::size_t max_attributes,
+                              LeakageWorkspace* ws) {
+  if (max_attributes > kMaxEnumerableAttributes) {
+    max_attributes = kMaxEnumerableAttributes;
+  }
+  if (r.size() > max_attributes) {
+    return Status::ResourceExhausted(
+        "record has " + std::to_string(r.size()) +
+        " attributes; naive enumeration capped at " +
+        std::to_string(max_attributes));
+  }
+  const auto& attrs = r.attrs();
+  const std::size_t n = attrs.size();
+  ws->matched.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    ws->matched[i] =
+        p.MatchPosition(attrs[i].label, attrs[i].value) !=
+                PreparedReference::kNoMatch
+            ? 1
+            : 0;
+  }
+  double total = 0.0;
+  const uint64_t worlds = uint64_t{1} << n;
+  for (uint64_t mask = 0; mask < worlds; ++mask) {
+    double prob = 1.0;
+    double weight_r = 0.0;
+    double overlap = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (mask & (uint64_t{1} << i)) {
+        prob *= attrs[i].confidence;
+        weight_r += attrs[i].weight;
+        if (ws->matched[i]) overlap += attrs[i].weight;
+      } else {
+        prob *= 1.0 - attrs[i].confidence;
+      }
+    }
+    const double denom = weight_r + base;
+    if (denom > 0.0) total += prob * factor * overlap / denom;
+  }
+  return total;
+}
+
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// LeakageEngine defaults and adapters
+// ---------------------------------------------------------------------------
 
 Result<double> LeakageEngine::ExpectedRecall(const Record& r, const Record& p,
                                              const WeightModel& wm) const {
@@ -89,85 +150,78 @@ Result<double> LeakageEngine::ExpectedRecall(const Record& r, const Record& p,
   return num / denom;
 }
 
+Result<double> LeakageEngine::RecordLeakagePrepared(
+    const PreparedRecord& /*r*/, const PreparedReference& /*p*/,
+    LeakageWorkspace* /*ws*/) const {
+  return Status::NotSupported("engine '" + std::string(name()) +
+                              "' has no prepared evaluation path");
+}
+
+Result<double> LeakageEngine::ExpectedPrecisionPrepared(
+    const PreparedRecord& /*r*/, const PreparedReference& /*p*/,
+    LeakageWorkspace* /*ws*/) const {
+  return Status::NotSupported("engine '" + std::string(name()) +
+                              "' has no prepared evaluation path");
+}
+
+Result<double> LeakageEngine::ExpectedRecallPrepared(
+    const PreparedRecord& r, const PreparedReference& p,
+    LeakageWorkspace* ws) const {
+  const double denom = p.total_weight();
+  if (denom <= 0.0) return 0.0;
+  FillMatches(r, p, ws);
+  double num = 0.0;
+  const auto& pattrs = p.attrs();
+  for (std::size_t j = 0; j < pattrs.size(); ++j) {
+    num += ws->match_conf[j] * pattrs[j].weight;
+  }
+  return num / denom;
+}
+
+Result<double> LeakageEngine::AdaptRecordLeakage(const Record& r,
+                                                 const Record& p,
+                                                 const WeightModel& wm) const {
+  const PreparedReference ref(p, wm);
+  const PreparedRecord pr(r, ref);
+  LeakageWorkspace ws;
+  return RecordLeakagePrepared(pr, ref, &ws);
+}
+
+Result<double> LeakageEngine::AdaptExpectedPrecision(
+    const Record& r, const Record& p, const WeightModel& wm) const {
+  const PreparedReference ref(p, wm);
+  const PreparedRecord pr(r, ref);
+  LeakageWorkspace ws;
+  return ExpectedPrecisionPrepared(pr, ref, &ws);
+}
+
 // ---------------------------------------------------------------------------
 // NaiveLeakage
 // ---------------------------------------------------------------------------
 
-namespace {
-
-/// Per-attribute data the naive enumeration needs; extracting it once keeps
-/// the 2^|r| loop allocation-free (a Record per world would dominate).
-struct NaiveSetup {
-  std::vector<double> weight;
-  std::vector<double> confidence;
-  std::vector<bool> matched;  // (label, value) present in p
-};
-
-NaiveSetup PrepareNaive(const Record& r, const Record& p,
-                        const WeightModel& wm) {
-  NaiveSetup s;
-  s.weight.reserve(r.size());
-  s.confidence.reserve(r.size());
-  s.matched.reserve(r.size());
-  for (const auto& a : r) {
-    s.weight.push_back(wm.Weight(a.label));
-    s.confidence.push_back(a.confidence);
-    s.matched.push_back(p.Contains(a.label, a.value));
-  }
-  return s;
-}
-
-/// Enumerates all 2^|r| worlds (the paper's O(2^|r|·|r|) naive algorithm)
-/// and returns E[factor·overlap/(total_r + base)], covering both F1
-/// (base = W(p), factor = 2) and precision (base = 0, factor = 1).
-Result<double> NaiveEnumerate(const Record& r, const Record& p,
-                              const WeightModel& wm, double base,
-                              double factor, std::size_t max_attributes) {
-  if (max_attributes > kMaxEnumerableAttributes) {
-    max_attributes = kMaxEnumerableAttributes;
-  }
-  if (r.size() > max_attributes) {
-    return Status::ResourceExhausted(
-        "record has " + std::to_string(r.size()) +
-        " attributes; naive enumeration capped at " +
-        std::to_string(max_attributes));
-  }
-  const NaiveSetup s = PrepareNaive(r, p, wm);
-  const std::size_t n = s.weight.size();
-  double total = 0.0;
-  const uint64_t worlds = uint64_t{1} << n;
-  for (uint64_t mask = 0; mask < worlds; ++mask) {
-    double prob = 1.0;
-    double weight_r = 0.0;
-    double overlap = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (mask & (uint64_t{1} << i)) {
-        prob *= s.confidence[i];
-        weight_r += s.weight[i];
-        if (s.matched[i]) overlap += s.weight[i];
-      } else {
-        prob *= 1.0 - s.confidence[i];
-      }
-    }
-    const double denom = weight_r + base;
-    if (denom > 0.0) total += prob * factor * overlap / denom;
-  }
-  return total;
-}
-
-}  // namespace
-
 Result<double> NaiveLeakage::RecordLeakage(const Record& r, const Record& p,
                                            const WeightModel& wm) const {
-  return NaiveEnumerate(r, p, wm, /*base=*/wm.TotalWeight(p), /*factor=*/2.0,
-                        max_attributes_);
+  return AdaptRecordLeakage(r, p, wm);
 }
 
 Result<double> NaiveLeakage::ExpectedPrecision(const Record& r,
                                                const Record& p,
                                                const WeightModel& wm) const {
-  return NaiveEnumerate(r, p, wm, /*base=*/0.0, /*factor=*/1.0,
-                        max_attributes_);
+  return AdaptExpectedPrecision(r, p, wm);
+}
+
+Result<double> NaiveLeakage::RecordLeakagePrepared(
+    const PreparedRecord& r, const PreparedReference& p,
+    LeakageWorkspace* ws) const {
+  return NaiveEnumerate(r, p, /*base=*/p.total_weight(), /*factor=*/2.0,
+                        max_attributes_, ws);
+}
+
+Result<double> NaiveLeakage::ExpectedPrecisionPrepared(
+    const PreparedRecord& r, const PreparedReference& p,
+    LeakageWorkspace* ws) const {
+  return NaiveEnumerate(r, p, /*base=*/0.0, /*factor=*/1.0, max_attributes_,
+                        ws);
 }
 
 // ---------------------------------------------------------------------------
@@ -176,71 +230,119 @@ Result<double> NaiveLeakage::ExpectedPrecision(const Record& r,
 
 Result<double> ExactLeakage::RecordLeakage(const Record& r, const Record& p,
                                            const WeightModel& wm) const {
-  if (!wm.IsConstantOver(r, p)) {
-    return Status::InvalidArgument(
-        "Algorithm 1 requires a constant weight across the labels of r and "
-        "p; use ApproxLeakage or NaiveLeakage for arbitrary weights");
-  }
-  return ExactSum(r, p, /*m=*/static_cast<double>(p.size()),
-                  /*factor=*/2.0);
+  return AdaptRecordLeakage(r, p, wm);
 }
 
 Result<double> ExactLeakage::ExpectedPrecision(const Record& r,
                                                const Record& p,
                                                const WeightModel& wm) const {
-  if (!wm.IsConstantOver(r, p)) {
+  return AdaptExpectedPrecision(r, p, wm);
+}
+
+Result<double> ExactLeakage::RecordLeakagePrepared(
+    const PreparedRecord& r, const PreparedReference& p,
+    LeakageWorkspace* ws) const {
+  if (!UniformWeightOver(r, p)) {
+    return Status::InvalidArgument(
+        "Algorithm 1 requires a constant weight across the labels of r and "
+        "p; use ApproxLeakage or NaiveLeakage for arbitrary weights");
+  }
+  return ExactSum(r, p, /*m=*/static_cast<double>(p.size()), /*factor=*/2.0,
+                  ws);
+}
+
+Result<double> ExactLeakage::ExpectedPrecisionPrepared(
+    const PreparedRecord& r, const PreparedReference& p,
+    LeakageWorkspace* ws) const {
+  if (!UniformWeightOver(r, p)) {
     return Status::InvalidArgument(
         "exact expected precision requires constant weights");
   }
-  return ExactSum(r, p, /*m=*/0, /*factor=*/1.0);
+  return ExactSum(r, p, /*m=*/0, /*factor=*/1.0, ws);
 }
 
 // ---------------------------------------------------------------------------
 // ApproxLeakage (§5.2)
 // ---------------------------------------------------------------------------
 
+Result<ApproxLeakage> ApproxLeakage::Create(int order) {
+  if (order != 1 && order != 2) {
+    return Status::InvalidArgument(
+        "ApproxLeakage supports Taylor orders 1 and 2, got " +
+        std::to_string(order));
+  }
+  return ApproxLeakage(order);
+}
+
 Result<double> ApproxLeakage::RecordLeakage(const Record& r, const Record& p,
                                             const WeightModel& wm) const {
-  return ApproxSum(r, p, wm, /*base=*/wm.TotalWeight(p), /*factor=*/2.0,
-                   order_);
+  return AdaptRecordLeakage(r, p, wm);
 }
 
 Result<double> ApproxLeakage::ExpectedPrecision(const Record& r,
                                                 const Record& p,
                                                 const WeightModel& wm) const {
-  return ApproxSum(r, p, wm, /*base=*/0.0, /*factor=*/1.0, order_);
+  return AdaptExpectedPrecision(r, p, wm);
+}
+
+Result<double> ApproxLeakage::RecordLeakagePrepared(
+    const PreparedRecord& r, const PreparedReference& p,
+    LeakageWorkspace* ws) const {
+  return ApproxSum(r, p, /*base=*/p.total_weight(), /*factor=*/2.0, order_,
+                   ws);
+}
+
+Result<double> ApproxLeakage::ExpectedPrecisionPrepared(
+    const PreparedRecord& r, const PreparedReference& p,
+    LeakageWorkspace* ws) const {
+  return ApproxSum(r, p, /*base=*/0.0, /*factor=*/1.0, order_, ws);
 }
 
 // ---------------------------------------------------------------------------
 // AutoLeakage
 // ---------------------------------------------------------------------------
 
-const LeakageEngine& AutoLeakage::Pick(const Record& r, const Record& p,
-                                       const WeightModel& wm) const {
-  if (wm.IsConstantOver(r, p)) return exact_;
+const LeakageEngine& AutoLeakage::Pick(const PreparedRecord& r,
+                                       const PreparedReference& p) const {
+  if (UniformWeightOver(r, p)) return exact_;
   if (r.size() <= naive_cutoff_) return naive_;
   return approx_;
 }
 
 Result<double> AutoLeakage::RecordLeakage(const Record& r, const Record& p,
                                           const WeightModel& wm) const {
-  return Pick(r, p, wm).RecordLeakage(r, p, wm);
+  return AdaptRecordLeakage(r, p, wm);
 }
 
 Result<double> AutoLeakage::ExpectedPrecision(const Record& r,
                                               const Record& p,
                                               const WeightModel& wm) const {
-  return Pick(r, p, wm).ExpectedPrecision(r, p, wm);
+  return AdaptExpectedPrecision(r, p, wm);
+}
+
+Result<double> AutoLeakage::RecordLeakagePrepared(
+    const PreparedRecord& r, const PreparedReference& p,
+    LeakageWorkspace* ws) const {
+  return Pick(r, p).RecordLeakagePrepared(r, p, ws);
+}
+
+Result<double> AutoLeakage::ExpectedPrecisionPrepared(
+    const PreparedRecord& r, const PreparedReference& p,
+    LeakageWorkspace* ws) const {
+  return Pick(r, p).ExpectedPrecisionPrepared(r, p, ws);
 }
 
 // ---------------------------------------------------------------------------
 // Set leakage
 // ---------------------------------------------------------------------------
 
-Result<double> SetLeakageArgMax(const Database& db, const Record& p,
-                                const WeightModel& wm,
-                                const LeakageEngine& engine,
-                                std::ptrdiff_t* argmax) {
+namespace {
+
+/// String-API fallback for engines without a prepared path.
+Result<double> SetLeakageArgMaxFallback(const Database& db, const Record& p,
+                                        const WeightModel& wm,
+                                        const LeakageEngine& engine,
+                                        std::ptrdiff_t* argmax) {
   double best = 0.0;
   std::ptrdiff_t best_index = -1;
   for (std::size_t i = 0; i < db.size(); ++i) {
@@ -255,22 +357,65 @@ Result<double> SetLeakageArgMax(const Database& db, const Record& p,
   return best_index < 0 ? 0.0 : best;
 }
 
+}  // namespace
+
+Result<double> SetLeakageArgMax(const Database& db, const PreparedReference& p,
+                                const LeakageEngine& engine,
+                                std::ptrdiff_t* argmax) {
+  if (!engine.SupportsPrepared()) {
+    return SetLeakageArgMaxFallback(db, p.record(), p.weight_model(), engine,
+                                    argmax);
+  }
+  double best = 0.0;
+  std::ptrdiff_t best_index = -1;
+  LeakageWorkspace ws;
+  PreparedRecord r;
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    r.Assign(db[i], p);
+    Result<double> l = engine.RecordLeakagePrepared(r, p, &ws);
+    if (!l.ok()) return l.status();
+    if (best_index < 0 || *l > best) {
+      best = *l;
+      best_index = static_cast<std::ptrdiff_t>(i);
+    }
+  }
+  if (argmax != nullptr) *argmax = best_index;
+  return best_index < 0 ? 0.0 : best;
+}
+
+Result<double> SetLeakageArgMax(const Database& db, const Record& p,
+                                const WeightModel& wm,
+                                const LeakageEngine& engine,
+                                std::ptrdiff_t* argmax) {
+  if (!engine.SupportsPrepared()) {
+    return SetLeakageArgMaxFallback(db, p, wm, engine, argmax);
+  }
+  const PreparedReference ref(p, wm);
+  return SetLeakageArgMax(db, ref, engine, argmax);
+}
+
 Result<double> SetLeakage(const Database& db, const Record& p,
                           const WeightModel& wm,
                           const LeakageEngine& engine) {
   return SetLeakageArgMax(db, p, wm, engine, nullptr);
 }
 
-Result<double> SetLeakageParallel(const Database& db, const Record& p,
-                                  const WeightModel& wm,
+Result<double> SetLeakage(const Database& db, const PreparedReference& p,
+                          const LeakageEngine& engine) {
+  return SetLeakageArgMax(db, p, engine, nullptr);
+}
+
+Result<double> SetLeakageParallel(const Database& db,
+                                  const PreparedReference& p,
                                   const LeakageEngine& engine,
                                   std::size_t num_threads) {
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
   num_threads = std::min<std::size_t>(num_threads, db.size());
-  if (num_threads <= 1) return SetLeakage(db, p, wm, engine);
+  if (num_threads <= 1) return SetLeakage(db, p, engine);
 
+  const bool prepared = engine.SupportsPrepared();
   std::vector<double> best(num_threads, 0.0);
   std::vector<Status> errors(num_threads, Status::OK());
   std::vector<std::thread> workers;
@@ -278,9 +423,18 @@ Result<double> SetLeakageParallel(const Database& db, const Record& p,
   for (std::size_t t = 0; t < num_threads; ++t) {
     workers.emplace_back([&, t] {
       // Strided partition keeps per-thread work balanced when record sizes
-      // trend across the database.
+      // trend across the database. The prepared reference is shared
+      // read-only; the workspace and record view are thread-local.
+      LeakageWorkspace ws;
+      PreparedRecord r;
       for (std::size_t i = t; i < db.size(); i += num_threads) {
-        Result<double> l = engine.RecordLeakage(db[i], p, wm);
+        Result<double> l = 0.0;
+        if (prepared) {
+          r.Assign(db[i], p);
+          l = engine.RecordLeakagePrepared(r, p, &ws);
+        } else {
+          l = engine.RecordLeakage(db[i], p.record(), p.weight_model());
+        }
         if (!l.ok()) {
           errors[t] = l.status();
           return;
@@ -296,6 +450,51 @@ Result<double> SetLeakageParallel(const Database& db, const Record& p,
   double total = 0.0;
   for (double b : best) total = std::max(total, b);
   return total;
+}
+
+Result<double> SetLeakageParallel(const Database& db, const Record& p,
+                                  const WeightModel& wm,
+                                  const LeakageEngine& engine,
+                                  std::size_t num_threads) {
+  const PreparedReference ref(p, wm);
+  return SetLeakageParallel(db, ref, engine, num_threads);
+}
+
+// ---------------------------------------------------------------------------
+// Batch leakage
+// ---------------------------------------------------------------------------
+
+Result<std::vector<double>> BatchLeakage(std::span<const Record* const> records,
+                                         const PreparedReference& p,
+                                         const LeakageEngine& engine) {
+  std::vector<double> out;
+  out.reserve(records.size());
+  if (!engine.SupportsPrepared()) {
+    for (const Record* rec : records) {
+      Result<double> l =
+          engine.RecordLeakage(*rec, p.record(), p.weight_model());
+      if (!l.ok()) return l.status();
+      out.push_back(*l);
+    }
+    return out;
+  }
+  LeakageWorkspace ws;
+  PreparedRecord r;
+  for (const Record* rec : records) {
+    r.Assign(*rec, p);
+    Result<double> l = engine.RecordLeakagePrepared(r, p, &ws);
+    if (!l.ok()) return l.status();
+    out.push_back(*l);
+  }
+  return out;
+}
+
+Result<std::vector<double>> BatchLeakage(std::span<const Record* const> records,
+                                         const Record& p,
+                                         const WeightModel& wm,
+                                         const LeakageEngine& engine) {
+  const PreparedReference ref(p, wm);
+  return BatchLeakage(records, ref, engine);
 }
 
 std::unique_ptr<LeakageEngine> MakeDefaultEngine() {

@@ -1,10 +1,12 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string_view>
 
 #include "core/database.h"
 #include "core/measures.h"
+#include "core/prepared.h"
 #include "core/record.h"
 #include "core/weights.h"
 #include "util/result.h"
@@ -22,12 +24,27 @@ namespace infoleak {
 ///                    constant weight across all labels in r and p.
 ///  * ApproxLeakage — second-order Taylor expansion; O(|p|·|r|); arbitrary
 ///                    weights; highly accurate in practice (Table 5).
+///
+/// Each engine exposes two equivalent surfaces:
+///  * the string API below, taking `Record`s and a `WeightModel` — for the
+///    core engines this is a thin adapter that prepares its arguments and
+///    forwards; and
+///  * the prepared API (`*Prepared` methods), taking interned views from
+///    `core/prepared.h` plus a caller-owned `LeakageWorkspace`. This is the
+///    hot path: the reference is prepared once, records are prepared into a
+///    reusable buffer, and the steady state does no allocation and no
+///    string hashing. Both paths produce bit-identical results.
+///
+/// Engines are stateless and safe to share across threads; workspaces are
+/// not, so use one workspace per thread.
 class LeakageEngine {
  public:
   virtual ~LeakageEngine() = default;
 
   /// Engine name for benchmark tables ("naive", "exact", "approx", "auto").
   virtual std::string_view name() const = 0;
+
+  // ----- String API (Record in, double out) --------------------------------
 
   /// L(r, p) = E[F1(r̄, p)] over the possible worlds r̄ of r.
   virtual Result<double> RecordLeakage(const Record& r, const Record& p,
@@ -41,6 +58,37 @@ class LeakageEngine {
   /// linear in the attribute indicators, so every engine computes it
   /// exactly: Σ_{b∈p} p(b,r)·w_b / Σ_{b∈p} w_b.
   virtual Result<double> ExpectedRecall(const Record& r, const Record& p,
+                                        const WeightModel& wm) const;
+
+  // ----- Prepared API (interned views + workspace) -------------------------
+
+  /// True when the engine implements the prepared fast path. SetLeakage and
+  /// friends fall back to the string API for engines that don't (e.g.
+  /// sampling engines defined outside this header).
+  virtual bool SupportsPrepared() const { return false; }
+
+  /// As RecordLeakage, on prepared views. `r` must have been prepared
+  /// against `p`. Default: NotSupported.
+  virtual Result<double> RecordLeakagePrepared(const PreparedRecord& r,
+                                               const PreparedReference& p,
+                                               LeakageWorkspace* ws) const;
+
+  /// As ExpectedPrecision, on prepared views. Default: NotSupported.
+  virtual Result<double> ExpectedPrecisionPrepared(
+      const PreparedRecord& r, const PreparedReference& p,
+      LeakageWorkspace* ws) const;
+
+  /// As ExpectedRecall, on prepared views; exact for every engine.
+  virtual Result<double> ExpectedRecallPrepared(const PreparedRecord& r,
+                                                const PreparedReference& p,
+                                                LeakageWorkspace* ws) const;
+
+ protected:
+  /// Adapter bodies for the string API of prepared-capable engines:
+  /// prepare (r, p, wm), then forward to the `*Prepared` virtuals.
+  Result<double> AdaptRecordLeakage(const Record& r, const Record& p,
+                                    const WeightModel& wm) const;
+  Result<double> AdaptExpectedPrecision(const Record& r, const Record& p,
                                         const WeightModel& wm) const;
 };
 
@@ -57,6 +105,14 @@ class NaiveLeakage : public LeakageEngine {
   Result<double> ExpectedPrecision(const Record& r, const Record& p,
                                    const WeightModel& wm) const override;
 
+  bool SupportsPrepared() const override { return true; }
+  Result<double> RecordLeakagePrepared(const PreparedRecord& r,
+                                       const PreparedReference& p,
+                                       LeakageWorkspace* ws) const override;
+  Result<double> ExpectedPrecisionPrepared(const PreparedRecord& r,
+                                           const PreparedReference& p,
+                                           LeakageWorkspace* ws) const override;
+
  private:
   std::size_t max_attributes_;
 };
@@ -72,6 +128,14 @@ class ExactLeakage : public LeakageEngine {
                                const WeightModel& wm) const override;
   Result<double> ExpectedPrecision(const Record& r, const Record& p,
                                    const WeightModel& wm) const override;
+
+  bool SupportsPrepared() const override { return true; }
+  Result<double> RecordLeakagePrepared(const PreparedRecord& r,
+                                       const PreparedReference& p,
+                                       LeakageWorkspace* ws) const override;
+  Result<double> ExpectedPrecisionPrepared(const PreparedRecord& r,
+                                           const PreparedReference& p,
+                                           LeakageWorkspace* ws) const override;
 };
 
 /// \brief Second-order Taylor approximation (§5.2): O(|p|·|r|) time,
@@ -81,9 +145,15 @@ class ExactLeakage : public LeakageEngine {
 ///
 /// `order` selects the Taylor truncation: 1 keeps only the mean term
 /// (F(E[Y])), 2 (the paper's choice, default) adds the variance correction.
-/// The ablation benchmark quantifies what the second term buys.
+/// Only orders 1 and 2 exist; `Create` rejects anything else, while the
+/// constructor clamps to the nearest supported order (order < 2 → 1,
+/// order > 2 → 2) for callers that cannot handle a Status. The ablation
+/// benchmark quantifies what the second term buys.
 class ApproxLeakage : public LeakageEngine {
  public:
+  /// Validating factory: fails with InvalidArgument unless order ∈ {1, 2}.
+  static Result<ApproxLeakage> Create(int order);
+
   explicit ApproxLeakage(int order = 2) : order_(order < 2 ? 1 : 2) {}
 
   std::string_view name() const override {
@@ -93,6 +163,14 @@ class ApproxLeakage : public LeakageEngine {
                                const WeightModel& wm) const override;
   Result<double> ExpectedPrecision(const Record& r, const Record& p,
                                    const WeightModel& wm) const override;
+
+  bool SupportsPrepared() const override { return true; }
+  Result<double> RecordLeakagePrepared(const PreparedRecord& r,
+                                       const PreparedReference& p,
+                                       LeakageWorkspace* ws) const override;
+  Result<double> ExpectedPrecisionPrepared(const PreparedRecord& r,
+                                           const PreparedReference& p,
+                                           LeakageWorkspace* ws) const override;
 
  private:
   int order_;
@@ -113,9 +191,17 @@ class AutoLeakage : public LeakageEngine {
   Result<double> ExpectedPrecision(const Record& r, const Record& p,
                                    const WeightModel& wm) const override;
 
+  bool SupportsPrepared() const override { return true; }
+  Result<double> RecordLeakagePrepared(const PreparedRecord& r,
+                                       const PreparedReference& p,
+                                       LeakageWorkspace* ws) const override;
+  Result<double> ExpectedPrecisionPrepared(const PreparedRecord& r,
+                                           const PreparedReference& p,
+                                           LeakageWorkspace* ws) const override;
+
  private:
-  const LeakageEngine& Pick(const Record& r, const Record& p,
-                            const WeightModel& wm) const;
+  const LeakageEngine& Pick(const PreparedRecord& r,
+                            const PreparedReference& p) const;
 
   NaiveLeakage naive_;
   ExactLeakage exact_;
@@ -124,9 +210,15 @@ class AutoLeakage : public LeakageEngine {
 };
 
 /// \brief Basic set leakage L0(R, p) = max_{r∈R} L(r, p) (§2.3); 0 for an
-/// empty database.
+/// empty database. Prepares `p` once and streams the records through a
+/// reusable workspace.
 Result<double> SetLeakage(const Database& db, const Record& p,
                           const WeightModel& wm, const LeakageEngine& engine);
+
+/// As above with a caller-prepared reference — for callers that evaluate
+/// several databases (or database versions) against one fixed `p`.
+Result<double> SetLeakage(const Database& db, const PreparedReference& p,
+                          const LeakageEngine& engine);
 
 /// \brief As SetLeakage, but also reports which record attains the maximum
 /// (index into `db`, or -1 for an empty database).
@@ -134,16 +226,36 @@ Result<double> SetLeakageArgMax(const Database& db, const Record& p,
                                 const WeightModel& wm,
                                 const LeakageEngine& engine,
                                 std::ptrdiff_t* argmax);
+Result<double> SetLeakageArgMax(const Database& db, const PreparedReference& p,
+                                const LeakageEngine& engine,
+                                std::ptrdiff_t* argmax);
 
 /// \brief Parallel set leakage: partitions the database across
 /// `num_threads` worker threads (hardware concurrency when 0) and reduces
-/// by maximum. The maximum is order-independent, so the result is
-/// bit-identical to SetLeakage; engines are stateless and safe to share.
-/// Worthwhile from a few thousand record-leakage evaluations upward.
+/// by maximum. The reference is prepared once and shared read-only; each
+/// thread owns its workspace. The maximum is order-independent, so the
+/// result is bit-identical to SetLeakage; engines are stateless and safe to
+/// share. Worthwhile from a few thousand record-leakage evaluations upward.
 Result<double> SetLeakageParallel(const Database& db, const Record& p,
                                   const WeightModel& wm,
                                   const LeakageEngine& engine,
                                   std::size_t num_threads = 0);
+Result<double> SetLeakageParallel(const Database& db,
+                                  const PreparedReference& p,
+                                  const LeakageEngine& engine,
+                                  std::size_t num_threads = 0);
+
+/// \brief Batch evaluation: L(r, p) for every record in `records` against a
+/// once-prepared `p`, in order. The building block for scoring scenarios
+/// that need per-record leakages rather than the max (re-identification,
+/// ranking, probabilistic bounds).
+Result<std::vector<double>> BatchLeakage(std::span<const Record* const> records,
+                                         const Record& p,
+                                         const WeightModel& wm,
+                                         const LeakageEngine& engine);
+Result<std::vector<double>> BatchLeakage(std::span<const Record* const> records,
+                                         const PreparedReference& p,
+                                         const LeakageEngine& engine);
 
 /// \brief Convenience factory for the dispatching engine.
 std::unique_ptr<LeakageEngine> MakeDefaultEngine();

@@ -1,0 +1,146 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/record.h"
+#include "core/symbols.h"
+#include "core/weights.h"
+
+namespace infoleak {
+
+/// \brief One interned attribute: symbol ids instead of strings, the
+/// per-label weight already resolved. The unit of work of the prepared
+/// evaluation hot path.
+struct PreparedAttr {
+  uint32_t label = SymbolTable::kNoSymbol;
+  uint32_t value = SymbolTable::kNoSymbol;
+  double confidence = 0.0;
+  double weight = 0.0;
+};
+
+/// \brief The reference record `p` prepared once for many evaluations:
+/// interned attributes in the record's canonical (label, value) order, the
+/// precomputed total weight Σ_{b∈p} w_b, a per-label weight cache, and a
+/// hash index for O(1) match lookups by id pair.
+///
+/// Lifetime: the prepared reference keeps pointers to the source record and
+/// the weight model — both must outlive it. It owns the symbol tables its
+/// ids refer to; `PreparedRecord`s are prepared *against* a reference and
+/// are only meaningful with that reference.
+///
+/// The attribute order deliberately mirrors the source record's canonical
+/// string order (not id order) so that prepared evaluations accumulate
+/// floating-point sums in exactly the same order as the string API — the
+/// two paths are bit-identical, which the equivalence property test pins.
+class PreparedReference {
+ public:
+  /// Position sentinel returned by MatchPosition for non-matches.
+  static constexpr uint32_t kNoMatch = 0xFFFFFFFFu;
+
+  PreparedReference(const Record& p, const WeightModel& wm);
+
+  PreparedReference(PreparedReference&&) = default;
+  PreparedReference& operator=(PreparedReference&&) = default;
+  PreparedReference(const PreparedReference&) = delete;
+  PreparedReference& operator=(const PreparedReference&) = delete;
+
+  const std::vector<PreparedAttr>& attrs() const { return attrs_; }
+  std::size_t size() const { return attrs_.size(); }
+
+  /// Σ_{b∈p} w_b, summed in canonical order (== wm.TotalWeight(p)).
+  double total_weight() const { return total_weight_; }
+
+  /// Position of (label, value) in attrs(), or kNoMatch. O(1).
+  uint32_t MatchPosition(uint32_t label, uint32_t value) const {
+    if (label == SymbolTable::kNoSymbol || value == SymbolTable::kNoSymbol) {
+      return kNoMatch;
+    }
+    auto it = match_.find(PackSymbolPair(label, value));
+    return it != match_.end() ? it->second : kNoMatch;
+  }
+
+  /// Cached wm.Weight(label) for labels interned by this reference.
+  double LabelWeight(uint32_t label) const { return label_weight_[label]; }
+
+  /// True iff every label of `p` carries one weight value (vacuously true
+  /// when empty); `common_weight()` is that value.
+  bool uniform_weight() const { return uniform_; }
+  double common_weight() const { return common_weight_; }
+
+  const Symbols& symbols() const { return syms_; }
+  const WeightModel& weight_model() const { return *wm_; }
+
+  /// The source record `p` (for engines without a prepared path).
+  const Record& record() const { return *source_; }
+
+ private:
+  Symbols syms_;
+  std::vector<PreparedAttr> attrs_;       // canonical order of p
+  std::vector<double> label_weight_;      // by label id
+  std::unordered_map<uint64_t, uint32_t> match_;  // packed ids -> position
+  double total_weight_ = 0.0;
+  bool uniform_ = true;
+  double common_weight_ = 0.0;
+  const Record* source_;
+  const WeightModel* wm_;
+};
+
+/// \brief An adversary record `r` prepared against a reference: interned
+/// attributes (canonical order, weights resolved). Attributes whose label or
+/// value never occurs in the reference get kNoSymbol ids — they can match
+/// nothing, which is all the evaluation needs — so the reference's symbol
+/// tables stay bounded by |p| no matter how many records stream through.
+///
+/// Default-constructible and reusable: `Assign` re-prepares in place,
+/// reusing capacity, so a caller evaluating a whole database touches the
+/// allocator only while the first few records grow the buffer.
+class PreparedRecord {
+ public:
+  PreparedRecord() = default;
+  PreparedRecord(const Record& r, const PreparedReference& ref) {
+    Assign(r, ref);
+  }
+
+  /// Re-prepares this view for `r` against `ref`, reusing storage.
+  void Assign(const Record& r, const PreparedReference& ref);
+
+  const std::vector<PreparedAttr>& attrs() const { return attrs_; }
+  std::size_t size() const { return attrs_.size(); }
+
+  /// True iff every label of `r` carries one weight value (vacuously true
+  /// when empty); `common_weight()` is that value.
+  bool uniform_weight() const { return uniform_; }
+  double common_weight() const { return common_weight_; }
+
+ private:
+  std::vector<PreparedAttr> attrs_;
+  bool uniform_ = true;
+  double common_weight_ = 0.0;
+};
+
+/// True iff one common weight covers every label of `r` and `p` — the
+/// prepared analogue of WeightModel::IsConstantOver (Algorithm 1's
+/// precondition).
+bool UniformWeightOver(const PreparedRecord& r, const PreparedReference& p);
+
+/// \brief Caller-owned scratch for prepared evaluations. Engines size the
+/// buffers on demand; capacity is retained across calls, so reusing one
+/// workspace for a batch of evaluations makes the steady state
+/// allocation-free. Contents are engine-internal and carry no state between
+/// calls — any evaluation may be replayed with a fresh workspace and yields
+/// the identical result.
+struct LeakageWorkspace {
+  std::vector<double> poly;        // Algorithm 1's coefficient list Y
+  std::vector<double> match_conf;  // per reference position: p(b, r)
+  std::vector<uint32_t> match_rpos;  // per reference position: index into r
+  std::vector<uint8_t> matched;      // per record attribute: b ∈ p?
+};
+
+/// Fills `ws->match_conf` / `ws->match_rpos` for (r, p): one O(|r|) pass of
+/// hash lookups shared by every prepared evaluation core.
+void FillMatches(const PreparedRecord& r, const PreparedReference& p,
+                 LeakageWorkspace* ws);
+
+}  // namespace infoleak

@@ -1,0 +1,21 @@
+#include "core/symbols.h"
+
+namespace infoleak {
+
+uint32_t SymbolTable::Intern(std::string_view s) {
+  auto it = ids_.find(s);
+  if (it != ids_.end()) return it->second;
+  arena_.emplace_back(s);
+  const std::string_view stored = arena_.back();
+  const auto id = static_cast<uint32_t>(names_.size());
+  ids_.emplace(stored, id);
+  names_.push_back(stored);
+  return id;
+}
+
+uint32_t SymbolTable::Find(std::string_view s) const {
+  auto it = ids_.find(s);
+  return it != ids_.end() ? it->second : kNoSymbol;
+}
+
+}  // namespace infoleak

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace infoleak {
+
+/// \brief Interns strings to dense `uint32_t` ids.
+///
+/// The evaluation hot path (leakage over thousands of records against one
+/// reference) spends most of its lookup time hashing and comparing label /
+/// value strings. A `SymbolTable` folds each distinct string into a small
+/// integer once, so the inner loops compare ids instead of bytes.
+///
+/// Interned strings are stored in a deque arena whose element addresses are
+/// stable, so the id → name views stay valid as the table grows. The table
+/// is movable but not copyable (copies would leave views dangling into the
+/// original arena).
+class SymbolTable {
+ public:
+  /// Sentinel returned by Find() for strings never interned.
+  static constexpr uint32_t kNoSymbol = 0xFFFFFFFFu;
+
+  SymbolTable() = default;
+  SymbolTable(SymbolTable&&) = default;
+  SymbolTable& operator=(SymbolTable&&) = default;
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+
+  /// Returns the id of `s`, interning it first if unseen. Ids are dense:
+  /// the n-th distinct string gets id n-1.
+  uint32_t Intern(std::string_view s);
+
+  /// Id of `s`, or kNoSymbol when `s` was never interned. Never mutates.
+  uint32_t Find(std::string_view s) const;
+
+  /// The string behind `id`; empty view for unknown ids. The view stays
+  /// valid for the table's lifetime.
+  std::string_view NameOf(uint32_t id) const {
+    return id < names_.size() ? names_[id] : std::string_view{};
+  }
+
+  std::size_t size() const { return names_.size(); }
+  bool empty() const { return names_.empty(); }
+
+ private:
+  std::deque<std::string> arena_;  // owns the bytes; addresses are stable
+  std::unordered_map<std::string_view, uint32_t> ids_;  // views into arena_
+  std::vector<std::string_view> names_;                 // id -> view
+};
+
+/// \brief The two string domains of an attribute, interned independently so
+/// each stays dense (labels repeat far more than values).
+struct Symbols {
+  SymbolTable labels;
+  SymbolTable values;
+};
+
+/// Packs an interned (label, value) pair into one 64-bit hash-map key.
+inline uint64_t PackSymbolPair(uint32_t label, uint32_t value) {
+  return (static_cast<uint64_t>(label) << 32) | value;
+}
+
+}  // namespace infoleak

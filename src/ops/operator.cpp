@@ -85,9 +85,17 @@ Result<double> InformationLeakage(const Database& db, const Record& p,
                                   const AnalysisOperator& op,
                                   const WeightModel& wm,
                                   const LeakageEngine& engine) {
+  const PreparedReference ref(p, wm);
+  return InformationLeakage(db, ref, op, engine);
+}
+
+Result<double> InformationLeakage(const Database& db,
+                                  const PreparedReference& p,
+                                  const AnalysisOperator& op,
+                                  const LeakageEngine& engine) {
   Result<Database> analyzed = op.Apply(db);
   if (!analyzed.ok()) return analyzed.status();
-  return SetLeakage(*analyzed, p, wm, engine);
+  return SetLeakage(*analyzed, p, engine);
 }
 
 Result<LeakageReport> AnalyzeLeakage(const Database& db, const Record& p,

@@ -108,6 +108,14 @@ Result<double> InformationLeakage(const Database& db, const Record& p,
                                   const WeightModel& wm,
                                   const LeakageEngine& engine);
 
+/// As above with a caller-prepared reference — the hot path for callers
+/// that re-evaluate the same `p` against many database variants
+/// (incremental leakage, disinformation search, release tracking).
+Result<double> InformationLeakage(const Database& db,
+                                  const PreparedReference& p,
+                                  const AnalysisOperator& op,
+                                  const LeakageEngine& engine);
+
 /// \brief As InformationLeakage, also reporting cost and E(R).
 Result<LeakageReport> AnalyzeLeakage(const Database& db, const Record& p,
                                      const AnalysisOperator& op,

@@ -6,7 +6,9 @@ namespace infoleak {
 
 void InvertedIndex::Add(RecordId id, const Record& record) {
   for (const auto& a : record) {
-    auto& list = postings_[{a.label, a.value}];
+    const uint64_t key = PackSymbolPair(syms_.labels.Intern(a.label),
+                                        syms_.values.Intern(a.value));
+    auto& list = postings_[key];
     if (list.empty() || list.back() < id) {
       list.push_back(id);
     } else if (!std::binary_search(list.begin(), list.end(), id)) {
@@ -17,7 +19,11 @@ void InvertedIndex::Add(RecordId id, const Record& record) {
 
 const std::vector<RecordId>* InvertedIndex::Find(std::string_view label,
                                                  std::string_view value) const {
-  auto it = postings_.find({std::string(label), std::string(value)});
+  const uint32_t lid = syms_.labels.Find(label);
+  if (lid == SymbolTable::kNoSymbol) return nullptr;
+  const uint32_t vid = syms_.values.Find(value);
+  if (vid == SymbolTable::kNoSymbol) return nullptr;
+  auto it = postings_.find(PackSymbolPair(lid, vid));
   if (it == postings_.end() || it->second.empty()) return nullptr;
   return &it->second;
 }

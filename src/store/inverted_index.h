@@ -1,11 +1,11 @@
 #pragma once
 
-#include <map>
-#include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "core/record.h"
+#include "core/symbols.h"
 
 namespace infoleak {
 
@@ -13,6 +13,10 @@ namespace infoleak {
 /// records carrying that attribute. The lookup structure behind the record
 /// store's index-accelerated dossier queries (and conceptually behind
 /// LabelValueBlocking — a block is exactly one posting list).
+///
+/// Keys are interned through a private `Symbols` table, so a posting-list
+/// lookup is two symbol probes plus one integer hash — no per-query string
+/// pair construction, no byte-wise tree comparisons.
 class InvertedIndex {
  public:
   /// Indexes every attribute of `record` under `id`. Ids should be added
@@ -31,10 +35,13 @@ class InvertedIndex {
 
   std::size_t num_postings() const { return postings_.size(); }
 
+  /// The index's interning tables (shared vocabulary of everything added).
+  const Symbols& symbols() const { return syms_; }
+
  private:
-  // (label, value) -> ascending record ids.
-  std::map<std::pair<std::string, std::string>, std::vector<RecordId>>
-      postings_;
+  Symbols syms_;
+  // packed (label id, value id) -> ascending record ids.
+  std::unordered_map<uint64_t, std::vector<RecordId>> postings_;
 };
 
 }  // namespace infoleak

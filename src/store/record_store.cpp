@@ -60,6 +60,12 @@ std::vector<RecordId> RecordStore::Lookup(std::string_view label,
   return list != nullptr ? *list : std::vector<RecordId>{};
 }
 
+Result<double> RecordStore::Leakage(const Record& p, const WeightModel& wm,
+                                    const LeakageEngine& engine) const {
+  const PreparedReference ref(p, wm);
+  return SetLeakage(db_, ref, engine);
+}
+
 Result<Record> RecordStore::Dossier(const Record& query,
                                     const std::vector<std::string>& labels,
                                     std::vector<RecordId>* members) const {

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/database.h"
+#include "core/leakage.h"
 #include "store/inverted_index.h"
 #include "util/result.h"
 
@@ -56,6 +57,12 @@ class RecordStore {
   Result<Record> Dossier(const Record& query,
                          const std::vector<std::string>& labels = {},
                          std::vector<RecordId>* members = nullptr) const;
+
+  /// Set leakage of the stored database against person `p`: prepares `p`
+  /// once and scores every stored record through the engine's prepared
+  /// path (string fallback for engines without one).
+  Result<double> Leakage(const Record& p, const WeightModel& wm,
+                         const LeakageEngine& engine) const;
 
  private:
   Database db_;

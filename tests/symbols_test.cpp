@@ -1,0 +1,136 @@
+// Unit tests for the interning layer (core/symbols) and its first consumer,
+// the symbol-keyed inverted index (store/inverted_index).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/symbols.h"
+#include "store/inverted_index.h"
+
+namespace infoleak {
+namespace {
+
+TEST(SymbolTable, InternAssignsDenseIdsInFirstSeenOrder) {
+  SymbolTable t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.Intern("alpha"), 0u);
+  EXPECT_EQ(t.Intern("beta"), 1u);
+  EXPECT_EQ(t.Intern("alpha"), 0u);  // idempotent
+  EXPECT_EQ(t.Intern("gamma"), 2u);
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.NameOf(0), "alpha");
+  EXPECT_EQ(t.NameOf(1), "beta");
+  EXPECT_EQ(t.NameOf(2), "gamma");
+}
+
+TEST(SymbolTable, FindDoesNotIntern) {
+  SymbolTable t;
+  t.Intern("known");
+  EXPECT_EQ(t.Find("known"), 0u);
+  EXPECT_EQ(t.Find("unknown"), SymbolTable::kNoSymbol);
+  EXPECT_EQ(t.size(), 1u);  // the miss did not grow the table
+}
+
+TEST(SymbolTable, ViewsStayValidAcrossGrowth) {
+  SymbolTable t;
+  std::string_view first = t.NameOf(t.Intern("stable"));
+  // Force many insertions; the arena must not move the first string.
+  for (int i = 0; i < 1000; ++i) t.Intern("sym" + std::to_string(i));
+  EXPECT_EQ(first, "stable");
+  EXPECT_EQ(t.Find("stable"), 0u);
+}
+
+TEST(SymbolTable, MoveTransfersContents) {
+  SymbolTable t;
+  t.Intern("a");
+  t.Intern("b");
+  SymbolTable moved = std::move(t);
+  EXPECT_EQ(moved.size(), 2u);
+  EXPECT_EQ(moved.Find("a"), 0u);
+  EXPECT_EQ(moved.Find("b"), 1u);
+}
+
+TEST(SymbolTable, PackSymbolPairIsInjective) {
+  EXPECT_NE(PackSymbolPair(0, 1), PackSymbolPair(1, 0));
+  EXPECT_EQ(PackSymbolPair(2, 3), (uint64_t{2} << 32) | 3);
+  EXPECT_NE(PackSymbolPair(0, SymbolTable::kNoSymbol),
+            PackSymbolPair(SymbolTable::kNoSymbol, 0));
+}
+
+// ---------------------------------------------------------------------------
+// InvertedIndex on interned keys
+// ---------------------------------------------------------------------------
+
+Record MakeRecord(
+    std::initializer_list<std::pair<std::string, std::string>> attrs) {
+  Record r;
+  for (const auto& [label, value] : attrs) {
+    r.Insert(Attribute(label, value, 1.0));
+  }
+  return r;
+}
+
+TEST(InvertedIndex, FindReturnsPostingListOrNull) {
+  InvertedIndex index;
+  index.Add(0, MakeRecord({{"name", "alice"}, {"zip", "12345"}}));
+  index.Add(1, MakeRecord({{"name", "bob"}, {"zip", "12345"}}));
+
+  const auto* zip = index.Find("zip", "12345");
+  ASSERT_NE(zip, nullptr);
+  EXPECT_EQ(*zip, (std::vector<RecordId>{0, 1}));
+
+  const auto* alice = index.Find("name", "alice");
+  ASSERT_NE(alice, nullptr);
+  EXPECT_EQ(*alice, (std::vector<RecordId>{0}));
+
+  // Unseen value and unseen label both miss without growing the tables.
+  EXPECT_EQ(index.Find("name", "carol"), nullptr);
+  EXPECT_EQ(index.Find("ssn", "12345"), nullptr);
+  EXPECT_EQ(index.num_postings(), 3u);  // (name,alice) (zip,12345) (name,bob)
+  EXPECT_EQ(index.symbols().labels.size(), 2u);
+  EXPECT_EQ(index.symbols().values.size(), 3u);  // "12345" is shared
+}
+
+TEST(InvertedIndex, SameValueUnderDifferentLabelsIsDistinct) {
+  InvertedIndex index;
+  index.Add(0, MakeRecord({{"home_zip", "12345"}}));
+  index.Add(1, MakeRecord({{"work_zip", "12345"}}));
+  ASSERT_NE(index.Find("home_zip", "12345"), nullptr);
+  EXPECT_EQ(*index.Find("home_zip", "12345"), (std::vector<RecordId>{0}));
+  EXPECT_EQ(*index.Find("work_zip", "12345"), (std::vector<RecordId>{1}));
+}
+
+TEST(InvertedIndex, DuplicateAddIsDeduplicated) {
+  InvertedIndex index;
+  Record r = MakeRecord({{"name", "alice"}});
+  index.Add(3, r);
+  index.Add(3, r);
+  EXPECT_EQ(*index.Find("name", "alice"), (std::vector<RecordId>{3}));
+}
+
+TEST(InvertedIndex, OutOfOrderAddsKeepListsSorted) {
+  InvertedIndex index;
+  Record r = MakeRecord({{"name", "alice"}});
+  index.Add(5, r);
+  index.Add(1, r);
+  index.Add(3, r);
+  EXPECT_EQ(*index.Find("name", "alice"), (std::vector<RecordId>{1, 3, 5}));
+}
+
+TEST(InvertedIndex, CandidatesRespectsLabelFilter) {
+  InvertedIndex index;
+  index.Add(0, MakeRecord({{"name", "alice"}, {"zip", "12345"}}));
+  index.Add(1, MakeRecord({{"name", "bob"}, {"zip", "12345"}}));
+  index.Add(2, MakeRecord({{"name", "alice"}, {"zip", "99999"}}));
+
+  Record query = MakeRecord({{"name", "alice"}, {"zip", "12345"}});
+  EXPECT_EQ(index.Candidates(query), (std::vector<RecordId>{0, 1, 2}));
+  EXPECT_EQ(index.Candidates(query, {"name"}), (std::vector<RecordId>{0, 2}));
+  EXPECT_EQ(index.Candidates(query, {"zip"}), (std::vector<RecordId>{0, 1}));
+  EXPECT_TRUE(index.Candidates(query, {"ssn"}).empty());
+}
+
+}  // namespace
+}  // namespace infoleak
