@@ -12,14 +12,19 @@
 #include "er/similarity_match.h"
 #include "er/transitive.h"
 #include "gen/realistic.h"
+#include "util/timer.h"
 
 using namespace infoleak;
 using namespace infoleak::bench;
 
 namespace {
 
-double WorstLeakage(const Database& resolved,
-                    const std::vector<RealisticPerson>& people) {
+/// Worst-person leakage plus the wall time spent scoring it; all timing in
+/// this harness goes through infoleak::WallTimer (the same clock the
+/// resolvers report through ErStats) rather than raw std::chrono.
+std::pair<double, double> WorstLeakage(
+    const Database& resolved, const std::vector<RealisticPerson>& people) {
+  WallTimer timer;
   WeightModel unit;
   ExactLeakage engine;
   double worst = 0.0;
@@ -27,7 +32,7 @@ double WorstLeakage(const Database& resolved,
     auto l = SetLeakage(resolved, person.reference, unit, engine);
     if (l.ok()) worst = std::max(worst, *l);
   }
-  return worst;
+  return {worst, timer.ElapsedSeconds()};
 }
 
 }  // namespace
@@ -47,22 +52,24 @@ int main() {
              "people=15 records/person=6 keep=0.7 typo=0.4 seed=42; match "
              "on name OR email OR phone");
   RowPrinter rows({"matcher", "threshold", "entities", "pair_P", "pair_R",
-                   "pair_F1", "worst_leak"}, 16);
+                   "pair_F1", "worst_leak", "resolve_s", "leak_s"}, 16);
 
   UnionMerge merge;
   // Exact matching baseline.
   {
     RuleMatch exact(MatchRules{{"N"}, {"E"}, {"P"}});
     TransitiveClosureResolver resolver(exact, merge);
-    auto resolved = resolver.Resolve(data->records, nullptr);
+    ErStats stats;
+    auto resolved = resolver.Resolve(data->records, &stats);
     if (!resolved.ok()) return 1;
     auto quality = EvaluateClustering(*resolved, data->owner);
     if (!quality.ok()) return 1;
+    auto [worst, leak_seconds] = WorstLeakage(*resolved, data->people);
     rows.Row({"exact", "-", std::to_string(resolved->size()),
               Fmt(quality->pairwise_precision, 4),
               Fmt(quality->pairwise_recall, 4),
-              Fmt(quality->pairwise_f1, 4),
-              Fmt(WorstLeakage(*resolved, data->people), 5)});
+              Fmt(quality->pairwise_f1, 4), Fmt(worst, 5),
+              Fmt(stats.elapsed_seconds, 4), Fmt(leak_seconds, 4)});
   }
   // Fuzzy name matching at several thresholds.
   LabelSimilarity sim;
@@ -71,15 +78,17 @@ int main() {
     SimilarityRuleMatch fuzzy(MatchRules{{"N"}, {"E"}, {"P"}}, sim,
                               threshold);
     TransitiveClosureResolver resolver(fuzzy, merge);
-    auto resolved = resolver.Resolve(data->records, nullptr);
+    ErStats stats;
+    auto resolved = resolver.Resolve(data->records, &stats);
     if (!resolved.ok()) return 1;
     auto quality = EvaluateClustering(*resolved, data->owner);
     if (!quality.ok()) return 1;
+    auto [worst, leak_seconds] = WorstLeakage(*resolved, data->people);
     rows.Row({"fuzzy", Fmt(threshold, 2), std::to_string(resolved->size()),
               Fmt(quality->pairwise_precision, 4),
               Fmt(quality->pairwise_recall, 4),
-              Fmt(quality->pairwise_f1, 4),
-              Fmt(WorstLeakage(*resolved, data->people), 5)});
+              Fmt(quality->pairwise_f1, 4), Fmt(worst, 5),
+              Fmt(stats.elapsed_seconds, 4), Fmt(leak_seconds, 4)});
   }
   std::printf(
       "\nreading: exact matching misses typo'd pairs (pairwise recall\n"

@@ -90,7 +90,9 @@ int main() {
              base.ToString() +
                  "  (sweeping n; per-record-set runtime; '-' = refused, "
                  "'>budget' = predicted or measured over budget)");
-  RowPrinter rows({"n", "naive_s", "alg1_s", "approx_s"});
+  BenchReport report("fig3d", base.ToString(),
+                     {"n", "naive_s", "alg1_s", "approx_s"});
+  RowPrinter rows({"n", "naive_s", "alg1_s", "approx_s"}, 14, &report);
 
   NaiveLeakage naive(/*max_attributes=*/kMaxEnumerableAttributes);
   ExactLeakage exact;
@@ -146,5 +148,11 @@ int main() {
   std::printf(
       "\nexpected ordering (paper): naive dies first (~12 attrs), Alg. 1 "
       "next (~hundreds), approximation last (thousands).\n");
+  Status written = report.WriteFile();
+  if (!written.ok()) {
+    std::fprintf(stderr, "json write failed: %s\n",
+                 written.ToString().c_str());
+    return 1;
+  }
   return 0;
 }

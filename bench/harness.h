@@ -7,10 +7,13 @@
 
 #pragma once
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "util/file.h"
 #include "util/string_util.h"
 
 namespace infoleak::bench {
@@ -22,11 +25,87 @@ inline void PrintTitle(const std::string& title, const std::string& config) {
   std::printf("==============================================================\n");
 }
 
+/// Machine-readable sidecar for a bench run: collects the same rows the
+/// console sees and serializes them as `BENCH_<name>.json` so CI and
+/// plotting scripts consume results without scraping aligned columns.
+/// Cells that parse as finite numbers are emitted as JSON numbers;
+/// sentinels like "-" or ">budget" stay strings.
+class BenchReport {
+ public:
+  BenchReport(std::string name, std::string config,
+              std::vector<std::string> columns)
+      : name_(std::move(name)),
+        config_(std::move(config)),
+        columns_(std::move(columns)) {}
+
+  void Row(const std::vector<std::string>& cells) { rows_.push_back(cells); }
+
+  std::string ToJson() const {
+    std::string json = "{\n  \"bench\": " + Quote(name_) +
+                       ",\n  \"config\": " + Quote(config_) +
+                       ",\n  \"columns\": [";
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+      if (i > 0) json += ", ";
+      json += Quote(columns_[i]);
+    }
+    json += "],\n  \"rows\": [\n";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      json += "    [";
+      for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+        if (c > 0) json += ", ";
+        json += Cell(rows_[r][c]);
+      }
+      json += r + 1 < rows_.size() ? "],\n" : "]\n";
+    }
+    json += "  ]\n}\n";
+    return json;
+  }
+
+  /// Writes `BENCH_<name>.json` into `dir` and reports the path on stdout.
+  Status WriteFile(const std::string& dir = ".") const {
+    const std::string path = dir + "/BENCH_" + name_ + ".json";
+    Status status = WriteStringToFile(path, ToJson());
+    if (status.ok()) std::printf("json: %s\n", path.c_str());
+    return status;
+  }
+
+ private:
+  static std::string Quote(const std::string& s) {
+    std::string quoted = "\"";
+    for (char ch : s) {
+      if (ch == '"' || ch == '\\') quoted += '\\';
+      if (ch == '\n') {
+        quoted += "\\n";
+        continue;
+      }
+      quoted += ch;
+    }
+    quoted += '"';
+    return quoted;
+  }
+
+  static std::string Cell(const std::string& text) {
+    if (!text.empty()) {
+      char* end = nullptr;
+      double v = std::strtod(text.c_str(), &end);
+      if (end == text.c_str() + text.size() && std::isfinite(v)) return text;
+    }
+    return Quote(text);
+  }
+
+  std::string name_;
+  std::string config_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
 /// Fixed-width row printer that also emits a machine-readable csv line.
+/// Pass a BenchReport to mirror every row into its JSON sidecar.
 class RowPrinter {
  public:
-  explicit RowPrinter(std::vector<std::string> columns, int width = 14)
-      : columns_(std::move(columns)), width_(width) {
+  explicit RowPrinter(std::vector<std::string> columns, int width = 14,
+                      BenchReport* report = nullptr)
+      : columns_(std::move(columns)), width_(width), report_(report) {
     for (const auto& c : columns_) std::printf("%-*s", width_, c.c_str());
     std::printf("\n");
     std::string csv = "csv:";
@@ -40,11 +119,13 @@ class RowPrinter {
     std::string csv = "csv:";
     csv += Join(cells, ",");
     std::printf("%s\n", csv.c_str());
+    if (report_ != nullptr) report_->Row(cells);
   }
 
  private:
   std::vector<std::string> columns_;
   int width_;
+  BenchReport* report_;
 };
 
 inline std::string Fmt(double v, int digits = 7) {

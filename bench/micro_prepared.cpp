@@ -9,6 +9,8 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "core/leakage.h"
@@ -173,4 +175,27 @@ BENCHMARK(BM_BatchLeakagePrepared)->Arg(1000)->Arg(10000);
 }  // namespace
 }  // namespace infoleak
 
-BENCHMARK_MAIN();
+// Custom main: default --benchmark_out to BENCH_micro_prepared.json so every
+// run leaves a machine-readable sidecar next to the console table. An
+// explicit --benchmark_out on the command line still wins.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  }
+  std::string out_flag = "--benchmark_out=BENCH_micro_prepared.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int patched_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&patched_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(patched_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

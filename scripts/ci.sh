@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: configure, build, and run the full test suite twice —
+# once as a plain Release build and once under AddressSanitizer
+# (-DINFOLEAK_SANITIZE=address). Both runs must be 100% green.
+#
+# Usage: scripts/ci.sh [jobs]
+#
+# Build trees land in build-ci-release/ and build-ci-asan/ at the repo
+# root (covered by the build-*/ gitignore pattern) so they never clobber
+# a developer's ./build tree.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+run_pass() {
+  local dir="$1"
+  shift
+  echo "=== [${dir}] configure: $* ==="
+  cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=Release "$@"
+  echo "=== [${dir}] build (-j${JOBS}) ==="
+  cmake --build "${dir}" -j "${JOBS}"
+  echo "=== [${dir}] ctest ==="
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
+}
+
+run_pass build-ci-release
+run_pass build-ci-asan -DINFOLEAK_SANITIZE=address
+
+echo "=== CI OK: plain Release and ASan suites both green ==="

@@ -1,10 +1,16 @@
 #include "apps/incremental.h"
 
+#include "obs/metrics.h"
+
 namespace infoleak {
 
 Result<IncrementalReport> IncrementalLeakageReport(
     const Database& db, const PreparedReference& p, const AnalysisOperator& op,
     const Record& r, const LeakageEngine& engine) {
+  static obs::Counter& reports = obs::MetricsRegistry::Global().GetCounter(
+      "infoleak_incremental_reports_total", {},
+      "Before/after incremental-leakage reports computed");
+  reports.Inc();
   Result<double> before = InformationLeakage(db, p, op, engine);
   if (!before.ok()) return before.status();
   Result<double> after = InformationLeakage(db.WithRecord(r), p, op, engine);

@@ -2,7 +2,28 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace infoleak {
+namespace {
+
+struct StreamMetrics {
+  obs::Counter& adds;
+  obs::Counter& component_merges;
+};
+
+StreamMetrics& Metrics() {
+  auto& reg = obs::MetricsRegistry::Global();
+  static StreamMetrics m{
+      reg.GetCounter("infoleak_streaming_adds_total", {},
+                     "Records ingested by StreamingLeakage::Add"),
+      reg.GetCounter("infoleak_streaming_component_merges_total", {},
+                     "Entity components folded into an incoming record"),
+  };
+  return m;
+}
+
+}  // namespace
 
 StreamingLeakage::StreamingLeakage(Record reference,
                                    std::vector<std::string> link_labels,
@@ -23,6 +44,8 @@ std::size_t StreamingLeakage::Find(std::size_t x) const {
 }
 
 Result<double> StreamingLeakage::Add(Record record) {
+  StreamMetrics& metrics = Metrics();
+  metrics.adds.Inc();
   const std::size_t id = records_.size();
 
   // Components this record links to, via shared (label, value) postings.
@@ -41,6 +64,7 @@ Result<double> StreamingLeakage::Add(Record record) {
   // Merge the new record with every linked component; the new record's id
   // becomes the root so stale entries never shadow live ones.
   Record merged = std::move(record);
+  metrics.component_merges.Inc(roots.size());
   for (std::size_t root : roots) {
     merged.MergeFrom(composite_[root]);
     composite_.erase(root);
@@ -51,6 +75,14 @@ Result<double> StreamingLeakage::Add(Record record) {
   if (engine_.SupportsPrepared()) {
     // Hot path: only the affected composite is re-scored, against the
     // stream's once-prepared reference, with zero steady-state allocation.
+    // The string-path branch below reports itself via the engine's Adapt*
+    // shim, so only the prepared call needs explicit path accounting.
+    static obs::Counter& prepared_path =
+        obs::MetricsRegistry::Global().GetCounter(
+            "infoleak_eval_path_total", {{"path", "prepared"}},
+            "Record evaluations by API path: prepared fast path vs string "
+            "adapter/fallback");
+    prepared_path.Inc();
     scratch_.Assign(merged, prepared_);
     l = engine_.RecordLeakagePrepared(scratch_, prepared_, &workspace_);
   } else {

@@ -1,6 +1,27 @@
 #include "apps/tracker.h"
 
+#include "obs/metrics.h"
+
 namespace infoleak {
+namespace {
+
+struct TrackerMetrics {
+  obs::Counter& whatifs;
+  obs::Counter& releases;
+};
+
+TrackerMetrics& Metrics() {
+  auto& reg = obs::MetricsRegistry::Global();
+  static TrackerMetrics m{
+      reg.GetCounter("infoleak_tracker_whatif_total", {},
+                     "What-if leakage projections evaluated by LeakageTracker"),
+      reg.GetCounter("infoleak_tracker_releases_total", {},
+                     "Records committed to a LeakageTracker's released set"),
+  };
+  return m;
+}
+
+}  // namespace
 
 LeakageTracker::LeakageTracker(Record reference,
                                const AnalysisOperator& adversary,
@@ -14,6 +35,7 @@ LeakageTracker::LeakageTracker(Record reference,
 
 Result<IncrementalReport> LeakageTracker::WhatIf(
     const Record& candidate) const {
+  Metrics().whatifs.Inc();
   return IncrementalLeakageReport(released_, prepared_, adversary_, candidate,
                                   engine_);
 }
@@ -28,6 +50,7 @@ Result<LeakageTracker::Entry> LeakageTracker::Release(std::string description,
   entry.leakage_before = report->before;
   entry.leakage_after = report->after;
   entry.incremental = report->incremental;
+  Metrics().releases.Inc();
   released_.Add(std::move(record));
   history_.push_back(entry);
   return entry;

@@ -1,6 +1,9 @@
 #include "cli/commands.h"
 
+#include <algorithm>
+#include <initializer_list>
 #include <memory>
+#include <span>
 
 #include "anon/hierarchy.h"
 #include "apps/disinformation.h"
@@ -18,6 +21,9 @@
 #include "er/swoosh.h"
 #include "er/transitive.h"
 #include "gen/generator.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ops/operator.h"
 #include "util/file.h"
 #include "util/string_util.h"
@@ -28,6 +34,79 @@ namespace {
 void Append(std::string* out, const std::string& line) {
   *out += line;
   *out += '\n';
+}
+
+/// Observability riders accepted by every command in addition to its own
+/// flag vocabulary.
+constexpr std::string_view kObsFlags[] = {"stats", "stats-format", "trace"};
+
+/// Rejects any set flag outside `known` + the common observability riders.
+/// FlagSet stores names sorted, so the flag named in the error is the
+/// alphabetically first unknown one — deterministic for tests.
+Status CheckFlags(const FlagSet& flags, std::string_view command,
+                  std::initializer_list<std::string_view> known) {
+  for (const std::string& name : flags.FlagNames()) {
+    if (std::find(std::begin(kObsFlags), std::end(kObsFlags), name) !=
+        std::end(kObsFlags)) {
+      continue;
+    }
+    if (std::find(known.begin(), known.end(), name) != known.end()) continue;
+    return Status::InvalidArgument("unknown flag '--" + name +
+                                   "' for command '" + std::string(command) +
+                                   "'");
+  }
+  return Status::OK();
+}
+
+/// Recomputes gauges that are pure functions of other metrics, so every
+/// rendered report shows them consistent with the counters it contains.
+void UpdateDerivedGauges() {
+  auto& reg = obs::MetricsRegistry::Global();
+  constexpr std::string_view kPathHelp =
+      "Record evaluations by API path: prepared fast path vs string "
+      "adapter/fallback";
+  const uint64_t prepared =
+      reg.GetCounter("infoleak_eval_path_total", {{"path", "prepared"}},
+                     kPathHelp)
+          .Value();
+  const uint64_t strings =
+      reg.GetCounter("infoleak_eval_path_total", {{"path", "string"}},
+                     kPathHelp)
+          .Value();
+  obs::Gauge& ratio = reg.GetGauge(
+      "infoleak_prepared_path_hit_ratio", {},
+      "Fraction of record evaluations served by the prepared fast path");
+  const uint64_t total = prepared + strings;
+  ratio.Set(total == 0 ? 0.0
+                       : static_cast<double>(prepared) /
+                             static_cast<double>(total));
+}
+
+/// Appends the `--stats` / `--trace` rider reports after a successful
+/// command. The `--stats` rendering skips zero-valued series and
+/// histograms so the report is a deterministic function of the workload,
+/// not of wall-clock timings.
+Status MaybeAppendStats(const FlagSet& flags, std::string* out) {
+  if (flags.Has("trace")) {
+    *out += "--- trace ---\n";
+    *out += obs::TraceRecorder::Global().SummaryText();
+  }
+  if (!flags.Has("stats")) return Status::OK();
+  const std::string format = flags.GetString("stats-format", "prometheus");
+  if (format != "prometheus" && format != "json") {
+    return Status::InvalidArgument("unknown --stats-format '" + format +
+                                   "' (prometheus|json)");
+  }
+  UpdateDerivedGauges();
+  obs::ExportOptions opts;
+  opts.skip_zero = true;
+  opts.skip_histograms = true;
+  const obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global()
+                                            .Snapshot();
+  *out += "--- metrics ---\n";
+  *out += format == "json" ? obs::RenderJson(snapshot, opts)
+                           : obs::RenderPrometheus(snapshot, opts);
+  return Status::OK();
 }
 
 Result<Database> LoadDb(const FlagSet& flags) {
@@ -147,6 +226,11 @@ Result<ResolverBundle> MakeResolver(const FlagSet& flags) {
 }  // namespace
 
 Status RunLeakage(const FlagSet& flags, std::string* out) {
+  Status ok = CheckFlags(flags, "leakage",
+                         {"db", "db-csv", "reference", "reference-text",
+                          "weights", "engine", "beta", "bounds", "resolve",
+                          "match-rules", "resolver", "block-labels"});
+  if (!ok.ok()) return ok;
   auto db = LoadDb(flags);
   if (!db.ok()) return db.status();
   auto reference = LoadReference(flags);
@@ -183,11 +267,18 @@ Status RunLeakage(const FlagSet& flags, std::string* out) {
   auto engine = MakeEngine(flags);
   if (!engine.ok()) return engine.status();
   const bool show_bounds = flags.Has("bounds");
+  // Prepare the reference once and share it between the per-record report
+  // and the set-leakage pass so the whole command stays on the prepared
+  // fast path (visible as infoleak_eval_path_total{path="prepared"}).
+  const PreparedReference prepared(*reference, *weights);
+  std::vector<const Record*> record_ptrs;
+  record_ptrs.reserve(analyzed.size());
+  for (const auto& r : analyzed) record_ptrs.push_back(&r);
+  auto per_record = BatchLeakage(record_ptrs, prepared, **engine);
+  if (!per_record.ok()) return per_record.status();
   for (std::size_t i = 0; i < analyzed.size(); ++i) {
-    auto l = (*engine)->RecordLeakage(analyzed[i], *reference, *weights);
-    if (!l.ok()) return l.status();
     std::string line = "record " + std::to_string(i) + ": L = " +
-                       FormatDouble(*l, 7);
+                       FormatDouble((*per_record)[i], 7);
     if (show_bounds) {
       LeakageBounds b = BoundRecordLeakage(analyzed[i], *reference, *weights);
       line += " in [" + FormatDouble(b.lower, 5) + ", " +
@@ -197,8 +288,7 @@ Status RunLeakage(const FlagSet& flags, std::string* out) {
     Append(out, line);
   }
   std::ptrdiff_t argmax = -1;
-  auto total =
-      SetLeakageArgMax(analyzed, *reference, *weights, **engine, &argmax);
+  auto total = SetLeakageArgMax(analyzed, prepared, **engine, &argmax);
   if (!total.ok()) return total.status();
   Append(out, "set leakage L0(R, p) = " + FormatDouble(*total, 7) +
                   " (record " + std::to_string(argmax) + ")");
@@ -206,6 +296,9 @@ Status RunLeakage(const FlagSet& flags, std::string* out) {
 }
 
 Status RunEr(const FlagSet& flags, std::string* out) {
+  Status ok = CheckFlags(
+      flags, "er", {"db", "db-csv", "match-rules", "resolver", "block-labels"});
+  if (!ok.ok()) return ok;
   auto db = LoadDb(flags);
   if (!db.ok()) return db.status();
   auto bundle = MakeResolver(flags);
@@ -223,6 +316,11 @@ Status RunEr(const FlagSet& flags, std::string* out) {
 }
 
 Status RunIncremental(const FlagSet& flags, std::string* out) {
+  Status ok = CheckFlags(flags, "incremental",
+                         {"db", "db-csv", "reference", "reference-text",
+                          "weights", "engine", "release-text", "match-rules",
+                          "resolver", "block-labels"});
+  if (!ok.ok()) return ok;
   auto db = LoadDb(flags);
   if (!db.ok()) return db.status();
   auto reference = LoadReference(flags);
@@ -259,6 +357,10 @@ Status RunIncremental(const FlagSet& flags, std::string* out) {
 }
 
 Status RunGenerate(const FlagSet& flags, std::string* out) {
+  Status ok = CheckFlags(flags, "generate",
+                         {"n", "records", "seed", "pc", "pp", "pb", "m",
+                          "random-weights", "emit-reference"});
+  if (!ok.ok()) return ok;
   GeneratorConfig config;
   auto n = flags.GetInt("n", static_cast<long long>(config.n));
   if (!n.ok()) return n.status();
@@ -307,6 +409,9 @@ Status RunGenerate(const FlagSet& flags, std::string* out) {
 }
 
 Status RunAnonymize(const FlagSet& flags, std::string* out) {
+  Status ok = CheckFlags(flags, "anonymize",
+                         {"table", "table-csv", "k", "qi", "sensitive"});
+  if (!ok.ok()) return ok;
   Result<Table> table = [&]() -> Result<Table> {
     if (flags.Has("table-csv")) {
       return Table::FromCsv(flags.GetString("table-csv"));
@@ -389,6 +494,10 @@ Status RunAnonymize(const FlagSet& flags, std::string* out) {
 }
 
 Status RunDipping(const FlagSet& flags, std::string* out) {
+  Status ok = CheckFlags(flags, "dipping",
+                         {"db", "db-csv", "query-text", "match-rules",
+                          "resolver", "block-labels"});
+  if (!ok.ok()) return ok;
   auto db = LoadDb(flags);
   if (!db.ok()) return db.status();
   auto query = ParseRecord(flags.GetString("query-text"));
@@ -410,6 +519,9 @@ Status RunDipping(const FlagSet& flags, std::string* out) {
 }
 
 Status RunEnhance(const FlagSet& flags, std::string* out) {
+  Status ok = CheckFlags(flags, "enhance",
+                         {"db", "db-csv", "weights", "budget"});
+  if (!ok.ok()) return ok;
   auto db = LoadDb(flags);
   if (!db.ok()) return db.status();
   auto weights = LoadWeights(flags);
@@ -451,6 +563,12 @@ Status RunEnhance(const FlagSet& flags, std::string* out) {
 }
 
 Status RunDisinfo(const FlagSet& flags, std::string* out) {
+  Status ok = CheckFlags(flags, "disinfo",
+                         {"db", "db-csv", "reference", "reference-text",
+                          "weights", "match-rules", "budget", "max-size",
+                          "max-bogus", "exhaustive", "resolver",
+                          "block-labels"});
+  if (!ok.ok()) return ok;
   auto db = LoadDb(flags);
   if (!db.ok()) return db.status();
   auto reference = LoadReference(flags);
@@ -504,6 +622,10 @@ Status RunDisinfo(const FlagSet& flags, std::string* out) {
 }
 
 Status RunReidentify(const FlagSet& flags, std::string* out) {
+  Status ok = CheckFlags(flags, "reidentify",
+                         {"db", "db-csv", "weights", "references",
+                          "references-text"});
+  if (!ok.ok()) return ok;
   auto db = LoadDb(flags);
   if (!db.ok()) return db.status();
   auto weights = LoadWeights(flags);
@@ -549,6 +671,26 @@ Status RunReidentify(const FlagSet& flags, std::string* out) {
   return Status::OK();
 }
 
+Status RunStats(const FlagSet& flags, std::string* out) {
+  Status ok = CheckFlags(flags, "stats",
+                         {"format", "skip-zero", "skip-histograms"});
+  if (!ok.ok()) return ok;
+  const std::string format = flags.GetString("format", "prometheus");
+  if (format != "prometheus" && format != "json") {
+    return Status::InvalidArgument("unknown --format '" + format +
+                                   "' (prometheus|json)");
+  }
+  UpdateDerivedGauges();
+  obs::ExportOptions opts;
+  opts.skip_zero = flags.Has("skip-zero");
+  opts.skip_histograms = flags.Has("skip-histograms");
+  const obs::MetricsSnapshot snapshot =
+      obs::MetricsRegistry::Global().Snapshot();
+  *out += format == "json" ? obs::RenderJson(snapshot, opts)
+                           : obs::RenderPrometheus(snapshot, opts);
+  return Status::OK();
+}
+
 std::string UsageText() {
   return
       "infoleak — quantify information leakage (Whang & Garcia-Molina, "
@@ -566,7 +708,12 @@ std::string UsageText() {
       "  enhance      rank attribute verifications by gain/cost\n"
       "  disinfo      plan budgeted disinformation against an adversary\n"
       "  reidentify   attribute each record to its best-matching reference\n"
+      "  stats        dump the process metrics registry "
+      "(--format prometheus|json)\n"
       "  help         this text\n"
+      "\n"
+      "every command also accepts --stats [--stats-format prometheus|json]\n"
+      "to append a metrics report, and --trace to append a span summary.\n"
       "\n"
       "see src/cli/commands.h for per-command flags.\n";
 }
@@ -580,17 +727,28 @@ Status Dispatch(const std::vector<std::string>& args, std::string* out) {
       std::vector<std::string>(args.begin() + 1, args.end()));
   if (!flags.ok()) return flags.status();
   const std::string& command = args[0];
-  if (command == "leakage") return RunLeakage(*flags, out);
-  if (command == "er") return RunEr(*flags, out);
-  if (command == "incremental") return RunIncremental(*flags, out);
-  if (command == "generate") return RunGenerate(*flags, out);
-  if (command == "anonymize") return RunAnonymize(*flags, out);
-  if (command == "dipping") return RunDipping(*flags, out);
-  if (command == "enhance") return RunEnhance(*flags, out);
-  if (command == "disinfo") return RunDisinfo(*flags, out);
-  if (command == "reidentify") return RunReidentify(*flags, out);
-  *out += UsageText();
-  return Status::InvalidArgument("unknown command '" + command + "'");
+  Status (*run)(const FlagSet&, std::string*) = nullptr;
+  if (command == "leakage") run = RunLeakage;
+  if (command == "er") run = RunEr;
+  if (command == "incremental") run = RunIncremental;
+  if (command == "generate") run = RunGenerate;
+  if (command == "anonymize") run = RunAnonymize;
+  if (command == "dipping") run = RunDipping;
+  if (command == "enhance") run = RunEnhance;
+  if (command == "disinfo") run = RunDisinfo;
+  if (command == "reidentify") run = RunReidentify;
+  if (command == "stats") run = RunStats;
+  if (run == nullptr) {
+    *out += UsageText();
+    return Status::InvalidArgument("unknown command '" + command + "'");
+  }
+  obs::MetricsRegistry::Global()
+      .GetCounter("infoleak_cli_commands_total", {{"command", command}},
+                  "CLI commands dispatched")
+      .Inc();
+  Status status = run(*flags, out);
+  if (!status.ok()) return status;
+  return MaybeAppendStats(*flags, out);
 }
 
 }  // namespace infoleak::cli

@@ -30,6 +30,13 @@ namespace infoleak::cli {
 ///   disinfo     --db <csv> --reference ... --match-rules ...
 ///               [--budget B] [--max-size S] [--max-bogus K] [--exhaustive]
 ///   reidentify  --db <csv> --references <file with one record per line>
+///   stats       [--format prometheus|json] [--skip-zero]
+///               [--skip-histograms]
+///
+/// Every command additionally accepts the observability riders
+/// `--stats [--stats-format prometheus|json]` (append a metrics report to
+/// the command output) and `--trace` (append a span summary). Flags
+/// outside a command's vocabulary are rejected with InvalidArgument.
 ///
 /// File-less variants for scripting/tests: --db-csv and --table-csv accept
 /// the document inline.
@@ -45,6 +52,7 @@ Status RunDipping(const FlagSet& flags, std::string* out);
 Status RunEnhance(const FlagSet& flags, std::string* out);
 Status RunDisinfo(const FlagSet& flags, std::string* out);
 Status RunReidentify(const FlagSet& flags, std::string* out);
+Status RunStats(const FlagSet& flags, std::string* out);
 
 /// Usage text for `infoleak help` / bad invocations.
 std::string UsageText();

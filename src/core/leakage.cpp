@@ -6,9 +6,48 @@
 
 #include "core/polynomial.h"
 #include "core/possible_worlds.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/timer.h"
 
 namespace infoleak {
 namespace {
+
+// ---------------------------------------------------------------------------
+// Instrumentation handles (resolved once; Inc is a sharded relaxed add)
+// ---------------------------------------------------------------------------
+
+constexpr char kEvalHelp[] =
+    "Record-leakage evaluations per engine (the hot-loop unit of work)";
+constexpr char kPathHelp[] =
+    "Record evaluations by API path: prepared fast path vs string "
+    "adapter/fallback";
+
+obs::Counter& EngineEvalCounter(std::string_view engine) {
+  return obs::MetricsRegistry::Global().GetCounter(
+      "infoleak_leakage_evaluations_total",
+      {{"engine", std::string(engine)}}, kEvalHelp);
+}
+
+obs::Counter& PathCounter(bool prepared) {
+  static obs::Counter& prepared_count =
+      obs::MetricsRegistry::Global().GetCounter(
+          "infoleak_eval_path_total", {{"path", "prepared"}}, kPathHelp);
+  static obs::Counter& string_count =
+      obs::MetricsRegistry::Global().GetCounter(
+          "infoleak_eval_path_total", {{"path", "string"}}, kPathHelp);
+  return prepared ? prepared_count : string_count;
+}
+
+obs::Histogram& SetLeakageLatency(bool parallel) {
+  static obs::Histogram& serial = obs::MetricsRegistry::Global().GetHistogram(
+      "infoleak_set_leakage_seconds", {{"mode", "serial"}},
+      "Wall time of one SetLeakage/SetLeakageArgMax scan");
+  static obs::Histogram& par = obs::MetricsRegistry::Global().GetHistogram(
+      "infoleak_set_leakage_seconds", {{"mode", "parallel"}},
+      "Wall time of one SetLeakage/SetLeakageArgMax scan");
+  return parallel ? par : serial;
+}
 
 /// Shared core of Algorithm 1 on prepared views. Computes
 ///   factor · Σ_{b∈p} p(b,r) · ∫₀¹ t^m · Π_{a∈z}(c_a·t + 1−c_a) dt
@@ -181,6 +220,7 @@ Result<double> LeakageEngine::ExpectedRecallPrepared(
 Result<double> LeakageEngine::AdaptRecordLeakage(const Record& r,
                                                  const Record& p,
                                                  const WeightModel& wm) const {
+  PathCounter(/*prepared=*/false).Inc();
   const PreparedReference ref(p, wm);
   const PreparedRecord pr(r, ref);
   LeakageWorkspace ws;
@@ -189,6 +229,7 @@ Result<double> LeakageEngine::AdaptRecordLeakage(const Record& r,
 
 Result<double> LeakageEngine::AdaptExpectedPrecision(
     const Record& r, const Record& p, const WeightModel& wm) const {
+  PathCounter(/*prepared=*/false).Inc();
   const PreparedReference ref(p, wm);
   const PreparedRecord pr(r, ref);
   LeakageWorkspace ws;
@@ -213,6 +254,8 @@ Result<double> NaiveLeakage::ExpectedPrecision(const Record& r,
 Result<double> NaiveLeakage::RecordLeakagePrepared(
     const PreparedRecord& r, const PreparedReference& p,
     LeakageWorkspace* ws) const {
+  static obs::Counter& evals = EngineEvalCounter("naive");
+  evals.Inc();
   return NaiveEnumerate(r, p, /*base=*/p.total_weight(), /*factor=*/2.0,
                         max_attributes_, ws);
 }
@@ -242,6 +285,8 @@ Result<double> ExactLeakage::ExpectedPrecision(const Record& r,
 Result<double> ExactLeakage::RecordLeakagePrepared(
     const PreparedRecord& r, const PreparedReference& p,
     LeakageWorkspace* ws) const {
+  static obs::Counter& evals = EngineEvalCounter("exact");
+  evals.Inc();
   if (!UniformWeightOver(r, p)) {
     return Status::InvalidArgument(
         "Algorithm 1 requires a constant weight across the labels of r and "
@@ -274,6 +319,16 @@ Result<ApproxLeakage> ApproxLeakage::Create(int order) {
   return ApproxLeakage(order);
 }
 
+ApproxLeakage::ApproxLeakage(int order) : order_(order < 2 ? 1 : 2) {
+  if (order != 1 && order != 2) {
+    static obs::Counter& clamped = obs::MetricsRegistry::Global().GetCounter(
+        "infoleak_approx_order_clamped_total", {},
+        "ApproxLeakage constructions whose Taylor order was clamped to a "
+        "supported one");
+    clamped.Inc();
+  }
+}
+
 Result<double> ApproxLeakage::RecordLeakage(const Record& r, const Record& p,
                                             const WeightModel& wm) const {
   return AdaptRecordLeakage(r, p, wm);
@@ -288,6 +343,8 @@ Result<double> ApproxLeakage::ExpectedPrecision(const Record& r,
 Result<double> ApproxLeakage::RecordLeakagePrepared(
     const PreparedRecord& r, const PreparedReference& p,
     LeakageWorkspace* ws) const {
+  static obs::Counter& evals = EngineEvalCounter("approx");
+  evals.Inc();
   return ApproxSum(r, p, /*base=*/p.total_weight(), /*factor=*/2.0, order_,
                    ws);
 }
@@ -304,8 +361,26 @@ Result<double> ApproxLeakage::ExpectedPrecisionPrepared(
 
 const LeakageEngine& AutoLeakage::Pick(const PreparedRecord& r,
                                        const PreparedReference& p) const {
-  if (UniformWeightOver(r, p)) return exact_;
-  if (r.size() <= naive_cutoff_) return naive_;
+  static constexpr char kPickHelp[] =
+      "Engine choices made by AutoLeakage's dispatch rule";
+  if (UniformWeightOver(r, p)) {
+    static obs::Counter& picked = obs::MetricsRegistry::Global().GetCounter(
+        "infoleak_auto_engine_selected_total", {{"engine", "exact"}},
+        kPickHelp);
+    picked.Inc();
+    return exact_;
+  }
+  if (r.size() <= naive_cutoff_) {
+    static obs::Counter& picked = obs::MetricsRegistry::Global().GetCounter(
+        "infoleak_auto_engine_selected_total", {{"engine", "naive"}},
+        kPickHelp);
+    picked.Inc();
+    return naive_;
+  }
+  static obs::Counter& picked = obs::MetricsRegistry::Global().GetCounter(
+      "infoleak_auto_engine_selected_total", {{"engine", "approx"}},
+      kPickHelp);
+  picked.Inc();
   return approx_;
 }
 
@@ -346,6 +421,7 @@ Result<double> SetLeakageArgMaxFallback(const Database& db, const Record& p,
   double best = 0.0;
   std::ptrdiff_t best_index = -1;
   for (std::size_t i = 0; i < db.size(); ++i) {
+    PathCounter(/*prepared=*/false).Inc();
     Result<double> l = engine.RecordLeakage(db[i], p, wm);
     if (!l.ok()) return l.status();
     if (best_index < 0 || *l > best) {
@@ -362,9 +438,14 @@ Result<double> SetLeakageArgMaxFallback(const Database& db, const Record& p,
 Result<double> SetLeakageArgMax(const Database& db, const PreparedReference& p,
                                 const LeakageEngine& engine,
                                 std::ptrdiff_t* argmax) {
+  obs::TraceSpan span("leakage/set");
+  WallTimer timer;
   if (!engine.SupportsPrepared()) {
-    return SetLeakageArgMaxFallback(db, p.record(), p.weight_model(), engine,
-                                    argmax);
+    Result<double> out = SetLeakageArgMaxFallback(db, p.record(),
+                                                  p.weight_model(), engine,
+                                                  argmax);
+    SetLeakageLatency(/*parallel=*/false).Observe(timer.ElapsedSeconds());
+    return out;
   }
   double best = 0.0;
   std::ptrdiff_t best_index = -1;
@@ -379,6 +460,8 @@ Result<double> SetLeakageArgMax(const Database& db, const PreparedReference& p,
       best_index = static_cast<std::ptrdiff_t>(i);
     }
   }
+  PathCounter(/*prepared=*/true).Inc(db.size());
+  SetLeakageLatency(/*parallel=*/false).Observe(timer.ElapsedSeconds());
   if (argmax != nullptr) *argmax = best_index;
   return best_index < 0 ? 0.0 : best;
 }
@@ -413,8 +496,14 @@ Result<double> SetLeakageParallel(const Database& db,
     num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
   num_threads = std::min<std::size_t>(num_threads, db.size());
+  static obs::Gauge& threads_gauge = obs::MetricsRegistry::Global().GetGauge(
+      "infoleak_set_leakage_parallel_threads", {},
+      "Worker threads used by the most recent SetLeakageParallel call");
+  threads_gauge.Set(static_cast<double>(std::max<std::size_t>(num_threads, 1)));
   if (num_threads <= 1) return SetLeakage(db, p, engine);
 
+  obs::TraceSpan span("leakage/set_parallel");
+  WallTimer timer;
   const bool prepared = engine.SupportsPrepared();
   std::vector<double> best(num_threads, 0.0);
   std::vector<Status> errors(num_threads, Status::OK());
@@ -424,9 +513,12 @@ Result<double> SetLeakageParallel(const Database& db,
     workers.emplace_back([&, t] {
       // Strided partition keeps per-thread work balanced when record sizes
       // trend across the database. The prepared reference is shared
-      // read-only; the workspace and record view are thread-local.
+      // read-only; the workspace and record view are thread-local, and the
+      // path counter's thread-sharded storage keeps the per-record
+      // increments contention-free.
       LeakageWorkspace ws;
       PreparedRecord r;
+      obs::Counter& path = PathCounter(prepared);
       for (std::size_t i = t; i < db.size(); i += num_threads) {
         Result<double> l = 0.0;
         if (prepared) {
@@ -435,6 +527,7 @@ Result<double> SetLeakageParallel(const Database& db,
         } else {
           l = engine.RecordLeakage(db[i], p.record(), p.weight_model());
         }
+        path.Inc();
         if (!l.ok()) {
           errors[t] = l.status();
           return;
@@ -444,6 +537,7 @@ Result<double> SetLeakageParallel(const Database& db,
     });
   }
   for (auto& w : workers) w.join();
+  SetLeakageLatency(/*parallel=*/true).Observe(timer.ElapsedSeconds());
   for (const auto& st : errors) {
     if (!st.ok()) return st;
   }
@@ -467,10 +561,12 @@ Result<double> SetLeakageParallel(const Database& db, const Record& p,
 Result<std::vector<double>> BatchLeakage(std::span<const Record* const> records,
                                          const PreparedReference& p,
                                          const LeakageEngine& engine) {
+  obs::TraceSpan span("leakage/batch");
   std::vector<double> out;
   out.reserve(records.size());
   if (!engine.SupportsPrepared()) {
     for (const Record* rec : records) {
+      PathCounter(/*prepared=*/false).Inc();
       Result<double> l =
           engine.RecordLeakage(*rec, p.record(), p.weight_model());
       if (!l.ok()) return l.status();
@@ -486,6 +582,7 @@ Result<std::vector<double>> BatchLeakage(std::span<const Record* const> records,
     if (!l.ok()) return l.status();
     out.push_back(*l);
   }
+  PathCounter(/*prepared=*/true).Inc(records.size());
   return out;
 }
 

@@ -154,7 +154,9 @@ class ApproxLeakage : public LeakageEngine {
   /// Validating factory: fails with InvalidArgument unless order ∈ {1, 2}.
   static Result<ApproxLeakage> Create(int order);
 
-  explicit ApproxLeakage(int order = 2) : order_(order < 2 ? 1 : 2) {}
+  /// Clamps out-of-range orders to the nearest supported one (counted in
+  /// the `infoleak_approx_order_clamped_total` metric).
+  explicit ApproxLeakage(int order = 2);
 
   std::string_view name() const override {
     return order_ == 2 ? "approx" : "approx-o1";

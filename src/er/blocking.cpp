@@ -3,7 +3,9 @@
 #include <map>
 #include <set>
 
+#include "er/er_metrics.h"
 #include "er/union_find.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace infoleak {
@@ -28,6 +30,7 @@ std::vector<std::string> LabelValueBlocking::Keys(const Record& record) const {
 
 Result<Database> BlockedResolver::Resolve(const Database& db,
                                           ErStats* stats) const {
+  obs::TraceSpan span("er/blocked");
   WallTimer timer;
   ErStats local;
 
@@ -41,9 +44,11 @@ Result<Database> BlockedResolver::Resolve(const Database& db,
 
   UnionFind uf(db.size());
   std::set<std::pair<std::size_t, std::size_t>> compared;
+  uint64_t candidate_pairs = 0;  // within-block pairs, before pruning
   for (const auto& [key, members] : blocks) {
     for (std::size_t x = 0; x < members.size(); ++x) {
       for (std::size_t y = x + 1; y < members.size(); ++y) {
+        ++candidate_pairs;
         auto pair = std::minmax(members[x], members[y]);
         if (!compared.insert(pair).second) continue;  // seen in another block
         if (uf.Connected(pair.first, pair.second)) continue;
@@ -65,6 +70,12 @@ Result<Database> BlockedResolver::Resolve(const Database& db,
     out.Add(std::move(merged));
   }
   local.elapsed_seconds = timer.ElapsedSeconds();
+  static er_metrics::Handles metrics = er_metrics::ForResolver("blocked");
+  metrics.runs.Inc();
+  metrics.candidate_pairs.Inc(candidate_pairs);
+  metrics.match_calls.Inc(local.match_calls);
+  metrics.merges.Inc(local.merge_calls);
+  metrics.resolve_seconds.Observe(local.elapsed_seconds);
   if (stats != nullptr) stats->Accumulate(local);
   return out;
 }

@@ -1,0 +1,36 @@
+#pragma once
+
+#include "obs/metrics.h"
+
+namespace infoleak::er_metrics {
+
+/// Per-resolver instrument bundle. Resolved once per call site (hold it in
+/// a function-local static); the counters then cost one sharded relaxed
+/// add per Resolve run.
+struct Handles {
+  obs::Counter& runs;
+  obs::Counter& candidate_pairs;
+  obs::Counter& match_calls;
+  obs::Counter& merges;
+  obs::Histogram& resolve_seconds;
+};
+
+inline Handles ForResolver(const char* resolver) {
+  auto& reg = obs::MetricsRegistry::Global();
+  const obs::LabelSet labels{{"resolver", resolver}};
+  return Handles{
+      reg.GetCounter("infoleak_er_runs_total", labels,
+                     "Entity-resolution runs"),
+      reg.GetCounter("infoleak_er_candidate_pairs_total", labels,
+                     "Candidate record pairs generated (before dedup and "
+                     "connectivity short-circuits)"),
+      reg.GetCounter("infoleak_er_match_calls_total", labels,
+                     "Pairwise match-function evaluations actually made"),
+      reg.GetCounter("infoleak_er_merges_total", labels,
+                     "Record merges performed"),
+      reg.GetHistogram("infoleak_er_resolve_seconds", labels,
+                       "Wall time of one Resolve run"),
+  };
+}
+
+}  // namespace infoleak::er_metrics

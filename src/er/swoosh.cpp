@@ -3,12 +3,15 @@
 #include <deque>
 #include <list>
 
+#include "er/er_metrics.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace infoleak {
 
 Result<Database> SwooshResolver::Resolve(const Database& db,
                                          ErStats* stats) const {
+  obs::TraceSpan span("er/swoosh");
   WallTimer timer;
   ErStats local;
 
@@ -40,6 +43,14 @@ Result<Database> SwooshResolver::Resolve(const Database& db,
   Database out;
   for (auto& r : resolved) out.Add(std::move(r));
   local.elapsed_seconds = timer.ElapsedSeconds();
+  static er_metrics::Handles metrics = er_metrics::ForResolver("swoosh");
+  metrics.runs.Inc();
+  // Swoosh generates candidates on demand: every candidate pair is
+  // compared, so the two counters coincide.
+  metrics.candidate_pairs.Inc(local.match_calls);
+  metrics.match_calls.Inc(local.match_calls);
+  metrics.merges.Inc(local.merge_calls);
+  metrics.resolve_seconds.Observe(local.elapsed_seconds);
   if (stats != nullptr) stats->Accumulate(local);
   return out;
 }

@@ -1,12 +1,15 @@
 #include "er/transitive.h"
 
+#include "er/er_metrics.h"
 #include "er/union_find.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace infoleak {
 
 Result<Database> TransitiveClosureResolver::Resolve(const Database& db,
                                                     ErStats* stats) const {
+  obs::TraceSpan span("er/transitive");
   WallTimer timer;
   ErStats local;
   const std::size_t n = db.size();
@@ -29,6 +32,14 @@ Result<Database> TransitiveClosureResolver::Resolve(const Database& db,
     out.Add(std::move(merged));
   }
   local.elapsed_seconds = timer.ElapsedSeconds();
+  static er_metrics::Handles metrics = er_metrics::ForResolver("transitive");
+  metrics.runs.Inc();
+  // The full-closure resolver considers every pair, so candidates == match
+  // calls == n(n-1)/2.
+  metrics.candidate_pairs.Inc(n < 2 ? 0 : n * (n - 1) / 2);
+  metrics.match_calls.Inc(local.match_calls);
+  metrics.merges.Inc(local.merge_calls);
+  metrics.resolve_seconds.Observe(local.elapsed_seconds);
   if (stats != nullptr) stats->Accumulate(local);
   return out;
 }

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace infoleak::obs {
+
+/// Rendering options shared by both exporters.
+struct ExportOptions {
+  /// Drop zero-valued counters and gauges. The CLI's --stats report uses
+  /// this so its output is a function of the command's workload alone
+  /// (untouched metrics registered by unrelated code never appear).
+  bool skip_zero = false;
+
+  /// Drop histograms entirely. Latency distributions are nondeterministic
+  /// run to run, so the golden-tested CLI report excludes them; the
+  /// `infoleak stats` command and programmatic consumers keep them.
+  bool skip_histograms = false;
+};
+
+/// \brief Renders a snapshot in the Prometheus text exposition format:
+/// `# HELP` / `# TYPE` preambles, `name{labels} value` samples, and for
+/// histograms the cumulative `_bucket{le=...}` series plus `_sum`/`_count`.
+std::string RenderPrometheus(const MetricsSnapshot& snapshot,
+                             const ExportOptions& options = {});
+
+/// \brief Renders a snapshot as a stable-ordered JSON object:
+/// {"counters": [...], "gauges": [...], "histograms": [...]}.
+std::string RenderJson(const MetricsSnapshot& snapshot,
+                       const ExportOptions& options = {});
+
+}  // namespace infoleak::obs

@@ -1,0 +1,263 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <mutex>
+
+namespace infoleak::obs {
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+std::size_t NextShardIndex() {
+  static std::atomic<std::size_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+}
+
+/// Canonical metric identity: name plus sorted label pairs.
+using MetricKey = std::pair<std::string, LabelSet>;
+
+MetricKey MakeKey(std::string_view name, LabelSet* labels) {
+  std::sort(labels->begin(), labels->end());
+  return {std::string(name), *labels};
+}
+
+}  // namespace
+
+std::size_t ThisThreadShard() {
+  thread_local const std::size_t shard = NextShardIndex();
+  return shard;
+}
+
+// ---------------------------------------------------------------------------
+// Counter
+// ---------------------------------------------------------------------------
+
+void Counter::Inc(uint64_t delta) {
+  if (!g_enabled.load(std::memory_order_relaxed)) return;
+  shards_[ThisThreadShard()].value.fetch_add(delta,
+                                             std::memory_order_relaxed);
+}
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const auto& s : shards_) total += s.value.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Counter::Reset() {
+  for (auto& s : shards_) s.value.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Gauge
+// ---------------------------------------------------------------------------
+
+void Gauge::Set(double value) {
+  if (!g_enabled.load(std::memory_order_relaxed)) return;
+  value_.store(value, std::memory_order_relaxed);
+}
+
+void Gauge::Add(double delta) {
+  if (!g_enabled.load(std::memory_order_relaxed)) return;
+  double cur = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+double Gauge::Value() const { return value_.load(std::memory_order_relaxed); }
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+Histogram::Histogram(std::string name, LabelSet labels, std::string help,
+                     std::vector<double> bounds)
+    : name_(std::move(name)),
+      labels_(std::move(labels)),
+      help_(std::move(help)),
+      bounds_(std::move(bounds)),
+      shards_(kMetricShards) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  for (auto& shard : shards_) {
+    shard.buckets = std::vector<std::atomic<uint64_t>>(bounds_.size() + 1);
+  }
+}
+
+void Histogram::Observe(double value) {
+  if (!g_enabled.load(std::memory_order_relaxed)) return;
+  // Prometheus `le` semantics: bucket i counts values <= bounds_[i], so a
+  // value equal to a bound belongs to that bound's bucket (lower_bound,
+  // not upper_bound).
+  std::size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  HistShard& shard = shards_[ThisThreadShard()];
+  shard.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  // Shards are effectively single-writer (threads pin to one shard), but a
+  // shard can be shared when threads outnumber shards, so the sum update
+  // must be a CAS rather than load+store.
+  uint64_t cur = shard.sum_bits.load(std::memory_order_relaxed);
+  uint64_t next;
+  do {
+    next = std::bit_cast<uint64_t>(std::bit_cast<double>(cur) + value);
+  } while (!shard.sum_bits.compare_exchange_weak(cur, next,
+                                                 std::memory_order_relaxed));
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> out(bounds_.size() + 1, 0);
+  for (const auto& shard : shards_) {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] += shard.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Sum() const {
+  double total = 0.0;
+  for (const auto& shard : shards_) {
+    total +=
+        std::bit_cast<double>(shard.sum_bits.load(std::memory_order_relaxed));
+  }
+  return total;
+}
+
+void Histogram::Reset() {
+  for (auto& shard : shards_) {
+    for (auto& b : shard.buckets) b.store(0, std::memory_order_relaxed);
+    shard.count.store(0, std::memory_order_relaxed);
+    shard.sum_bits.store(0, std::memory_order_relaxed);
+  }
+}
+
+const std::vector<double>& DefaultLatencyBounds() {
+  static const std::vector<double> kBounds{
+      1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 10.0};
+  return kBounds;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+struct MetricsRegistry::Impl {
+  mutable std::mutex mu;
+  // Node-stable maps: references returned by Get* must survive later
+  // registrations, so values are unique_ptr.
+  std::map<MetricKey, std::unique_ptr<Counter>> counters;
+  std::map<MetricKey, std::unique_ptr<Gauge>> gauges;
+  std::map<MetricKey, std::unique_ptr<Histogram>> histograms;
+};
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Impl& MetricsRegistry::impl() const {
+  static Impl* impl = new Impl();
+  return *impl;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name, LabelSet labels,
+                                     std::string_view help) {
+  Impl& i = impl();
+  MetricKey key = MakeKey(name, &labels);
+  std::lock_guard<std::mutex> lock(i.mu);
+  auto it = i.counters.find(key);
+  if (it == i.counters.end()) {
+    it = i.counters
+             .emplace(std::move(key),
+                      std::unique_ptr<Counter>(new Counter(
+                          std::string(name), std::move(labels),
+                          std::string(help))))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name, LabelSet labels,
+                                 std::string_view help) {
+  Impl& i = impl();
+  MetricKey key = MakeKey(name, &labels);
+  std::lock_guard<std::mutex> lock(i.mu);
+  auto it = i.gauges.find(key);
+  if (it == i.gauges.end()) {
+    it = i.gauges
+             .emplace(std::move(key),
+                      std::unique_ptr<Gauge>(new Gauge(std::string(name),
+                                                       std::move(labels),
+                                                       std::string(help))))
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                         LabelSet labels,
+                                         std::string_view help,
+                                         std::vector<double> bounds) {
+  Impl& i = impl();
+  MetricKey key = MakeKey(name, &labels);
+  if (bounds.empty()) bounds = DefaultLatencyBounds();
+  std::lock_guard<std::mutex> lock(i.mu);
+  auto it = i.histograms.find(key);
+  if (it == i.histograms.end()) {
+    it = i.histograms
+             .emplace(std::move(key),
+                      std::unique_ptr<Histogram>(new Histogram(
+                          std::string(name), std::move(labels),
+                          std::string(help), std::move(bounds))))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  Impl& i = impl();
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(i.mu);
+  for (const auto& [key, c] : i.counters) {
+    snap.counters.push_back({c->name(), c->labels(), c->help(), c->Value()});
+  }
+  for (const auto& [key, g] : i.gauges) {
+    snap.gauges.push_back({g->name(), g->labels(), g->help(), g->Value()});
+  }
+  for (const auto& [key, h] : i.histograms) {
+    snap.histograms.push_back({h->name(), h->labels(), h->help(), h->bounds(),
+                               h->BucketCounts(), h->Count(), h->Sum()});
+  }
+  return snap;  // map iteration order is already (name, labels)-sorted
+}
+
+void MetricsRegistry::ResetAll() {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  for (auto& [key, c] : i.counters) c->Reset();
+  for (auto& [key, g] : i.gauges) g->Reset();
+  for (auto& [key, h] : i.histograms) h->Reset();
+}
+
+void MetricsRegistry::SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool MetricsRegistry::Enabled() {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+}  // namespace infoleak::obs

@@ -1,0 +1,121 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <mutex>
+
+#include "util/string_util.h"
+
+namespace infoleak::obs {
+
+uint64_t TraceNowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+struct TraceRecorder::Impl {
+  mutable std::mutex mu;
+  std::atomic<bool> enabled{true};
+  std::vector<TraceEvent> ring;  // fixed capacity, circular
+  std::size_t capacity = 0;
+  std::size_t next = 0;   // write position
+  std::size_t size = 0;   // live events (<= capacity)
+  uint64_t dropped = 0;
+};
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+TraceRecorder::TraceRecorder(std::size_t capacity) : impl_(new Impl()) {
+  impl_->capacity = capacity;
+  impl_->ring.resize(capacity);
+}
+
+TraceRecorder::~TraceRecorder() { delete impl_; }
+
+void TraceRecorder::set_enabled(bool enabled) {
+  impl_->enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool TraceRecorder::enabled() const {
+  return impl_->enabled.load(std::memory_order_relaxed);
+}
+
+void TraceRecorder::SetCapacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->capacity = capacity;
+  impl_->ring.assign(capacity, TraceEvent{});
+  impl_->next = 0;
+  impl_->size = 0;
+  impl_->dropped = 0;
+}
+
+void TraceRecorder::Record(std::string_view name, uint64_t start_ns,
+                           uint64_t duration_ns) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (impl_->capacity == 0) {
+    ++impl_->dropped;
+    return;
+  }
+  if (impl_->size == impl_->capacity) ++impl_->dropped;  // overwriting
+  impl_->ring[impl_->next] = TraceEvent{name, start_ns, duration_ns};
+  impl_->next = (impl_->next + 1) % impl_->capacity;
+  impl_->size = std::min(impl_->size + 1, impl_->capacity);
+}
+
+std::vector<TraceEvent> TraceRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::vector<TraceEvent> out;
+  out.reserve(impl_->size);
+  // Oldest event sits at `next` once the ring has wrapped, at 0 before.
+  const std::size_t first =
+      impl_->size == impl_->capacity ? impl_->next : 0;
+  for (std::size_t i = 0; i < impl_->size; ++i) {
+    out.push_back(impl_->ring[(first + i) % impl_->capacity]);
+  }
+  return out;
+}
+
+uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->dropped;
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->next = 0;
+  impl_->size = 0;
+  impl_->dropped = 0;
+}
+
+std::string TraceRecorder::SummaryText() const {
+  struct Agg {
+    uint64_t count = 0;
+    uint64_t total_ns = 0;
+  };
+  std::map<std::string_view, Agg> by_name;
+  for (const TraceEvent& e : Snapshot()) {
+    Agg& a = by_name[e.name];
+    ++a.count;
+    a.total_ns += e.duration_ns;
+  }
+  std::string out;
+  for (const auto& [name, agg] : by_name) {
+    out += std::string(name);
+    out += " count=" + std::to_string(agg.count);
+    out += " total_ms=" +
+           FormatDouble(static_cast<double>(agg.total_ns) / 1e6, 3);
+    out += '\n';
+  }
+  uint64_t d = dropped();
+  if (d > 0) out += "(dropped " + std::to_string(d) + " spans)\n";
+  return out;
+}
+
+}  // namespace infoleak::obs

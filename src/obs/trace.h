@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace infoleak::obs {
+
+/// \brief One completed span. `name` must point at storage with static
+/// lifetime (string literals, engine/resolver `name()` views) — the
+/// recorder keeps the view, not a copy, so recording stays allocation-free.
+struct TraceEvent {
+  std::string_view name;
+  uint64_t start_ns = 0;     ///< steady-clock nanoseconds at span entry
+  uint64_t duration_ns = 0;  ///< span wall time
+};
+
+/// \brief Bounded ring buffer of recent spans. Lossy by design: once full,
+/// new spans overwrite the oldest and the dropped counter advances, so a
+/// long-running service keeps a fixed-size flight recorder rather than an
+/// unbounded log. Recording takes a mutex — spans instrument coarse
+/// operations (a whole SetLeakage, one ER resolve, a CLI command), never
+/// per-record work, so the lock is cold.
+class TraceRecorder {
+ public:
+  static TraceRecorder& Global();
+
+  explicit TraceRecorder(std::size_t capacity = 4096);
+  ~TraceRecorder();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Runtime gate (checked by TraceSpan before reading the clock).
+  void set_enabled(bool enabled);
+  bool enabled() const;
+
+  /// Discards buffered spans and resizes; resets the dropped counter.
+  void SetCapacity(std::size_t capacity);
+
+  void Record(std::string_view name, uint64_t start_ns, uint64_t duration_ns);
+
+  /// Buffered spans, oldest first.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Spans overwritten since the last Clear/SetCapacity.
+  uint64_t dropped() const;
+
+  void Clear();
+
+  /// "name count total_ms" lines aggregated over the buffered spans,
+  /// sorted by name — the human-facing summary behind the CLI's --trace.
+  std::string SummaryText() const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Steady-clock nanoseconds (monotonic; same epoch across threads).
+uint64_t TraceNowNanos();
+
+#ifndef INFOLEAK_TRACING_ENABLED
+#define INFOLEAK_TRACING_ENABLED 0
+#endif
+
+#if INFOLEAK_TRACING_ENABLED
+
+/// \brief RAII scoped timer: records a TraceEvent into the global recorder
+/// when the scope exits. Compiled to an empty object when the
+/// INFOLEAK_TRACING CMake option is OFF.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name)
+      : name_(name),
+        armed_(TraceRecorder::Global().enabled()),
+        start_ns_(armed_ ? TraceNowNanos() : 0) {}
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() {
+    if (armed_) {
+      TraceRecorder::Global().Record(name_, start_ns_,
+                                     TraceNowNanos() - start_ns_);
+    }
+  }
+
+ private:
+  std::string_view name_;
+  bool armed_;
+  uint64_t start_ns_;
+};
+
+#else  // tracing compiled out: near-zero cost, no clock reads
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view) {}
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+};
+
+#endif  // INFOLEAK_TRACING_ENABLED
+
+}  // namespace infoleak::obs

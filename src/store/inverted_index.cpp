@@ -2,9 +2,38 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace infoleak {
+namespace {
+
+struct IndexMetrics {
+  obs::Counter& adds;
+  obs::Counter& lookups;
+  obs::Counter& hits;
+  obs::Histogram& posting_length;
+};
+
+IndexMetrics& Metrics() {
+  auto& reg = obs::MetricsRegistry::Global();
+  static IndexMetrics m{
+      reg.GetCounter("infoleak_index_adds_total", {},
+                     "Records posted into an inverted index"),
+      reg.GetCounter("infoleak_index_lookups_total", {},
+                     "Posting-list lookups (Find calls)"),
+      reg.GetCounter("infoleak_index_lookup_hits_total", {},
+                     "Lookups that found a non-empty posting list"),
+      reg.GetHistogram("infoleak_index_posting_list_length", {},
+                       "Length of posting lists returned by lookups",
+                       {1, 2, 4, 8, 16, 32, 64, 128, 256, 1024}),
+  };
+  return m;
+}
+
+}  // namespace
 
 void InvertedIndex::Add(RecordId id, const Record& record) {
+  Metrics().adds.Inc();
   for (const auto& a : record) {
     const uint64_t key = PackSymbolPair(syms_.labels.Intern(a.label),
                                         syms_.values.Intern(a.value));
@@ -19,12 +48,16 @@ void InvertedIndex::Add(RecordId id, const Record& record) {
 
 const std::vector<RecordId>* InvertedIndex::Find(std::string_view label,
                                                  std::string_view value) const {
+  IndexMetrics& metrics = Metrics();
+  metrics.lookups.Inc();
   const uint32_t lid = syms_.labels.Find(label);
   if (lid == SymbolTable::kNoSymbol) return nullptr;
   const uint32_t vid = syms_.values.Find(value);
   if (vid == SymbolTable::kNoSymbol) return nullptr;
   auto it = postings_.find(PackSymbolPair(lid, vid));
   if (it == postings_.end() || it->second.empty()) return nullptr;
+  metrics.hits.Inc();
+  metrics.posting_length.Observe(static_cast<double>(it->second.size()));
   return &it->second;
 }
 

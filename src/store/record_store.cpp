@@ -4,6 +4,8 @@
 #include <deque>
 
 #include "core/record_io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/file.h"
 
 namespace infoleak {
@@ -29,6 +31,9 @@ RecordStore RecordStore::FromDatabase(const Database& db) {
 }
 
 RecordId RecordStore::Append(Record record) {
+  static obs::Counter& appends = obs::MetricsRegistry::Global().GetCounter(
+      "infoleak_store_appends_total", {}, "Records appended to a RecordStore");
+  appends.Inc();
   // Store ids are positions: strip any provenance the caller's record
   // carries so the fresh id assigned by Add matches the vector index.
   Record clean;
@@ -69,6 +74,11 @@ Result<double> RecordStore::Leakage(const Record& p, const WeightModel& wm,
 Result<Record> RecordStore::Dossier(const Record& query,
                                     const std::vector<std::string>& labels,
                                     std::vector<RecordId>* members) const {
+  obs::TraceSpan span("store/dossier");
+  static obs::Counter& dossiers = obs::MetricsRegistry::Global().GetCounter(
+      "infoleak_store_dossiers_total", {},
+      "Dossier expansions run against a RecordStore");
+  dossiers.Inc();
   // Breadth-first expansion over posting lists: the frontier holds records
   // whose attributes have not yet been used to find neighbors.
   Record dossier;

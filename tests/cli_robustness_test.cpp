@@ -9,9 +9,10 @@
 namespace infoleak {
 namespace {
 
-const char* const kCommands[] = {"leakage", "er",       "incremental",
+const char* const kCommands[] = {"leakage",  "er",        "incremental",
                                  "generate", "anonymize", "dipping",
-                                 "enhance", "disinfo"};
+                                 "enhance",  "disinfo",   "reidentify",
+                                 "stats"};
 const char* const kFlagNames[] = {
     "--db-csv",     "--db",          "--reference-text", "--reference",
     "--weights",    "--engine",      "--beta",           "--resolve",
@@ -99,6 +100,49 @@ TEST(CliRobustnessTest, HugeGenerateRequestIsBoundedByValidation) {
   EXPECT_FALSE(cli::Dispatch({"generate", "--n", "-3"}, &out).ok());
   EXPECT_FALSE(cli::Dispatch({"generate", "--records", "-1"}, &out).ok());
   EXPECT_FALSE(cli::Dispatch({"generate", "--seed", "-1"}, &out).ok());
+}
+
+TEST(CliRobustnessTest, UnknownFlagIsRejectedByEveryCommand) {
+  // Every command must refuse a flag outside its vocabulary with
+  // InvalidArgument naming the flag — typos fail fast instead of being
+  // silently ignored. The args are otherwise well-formed so the check is
+  // reached (and proven to run before the command's own work).
+  const char* db = "0,N,a,1\n1,N,a,1\n";
+  const std::vector<std::vector<std::string>> invocations = {
+      {"leakage", "--db-csv", db, "--reference-text", "{<N, a>}",
+       "--definitely-bogus", "1"},
+      {"er", "--db-csv", db, "--match-rules", "N", "--definitely-bogus"},
+      {"incremental", "--db-csv", db, "--reference-text", "{<N, a>}",
+       "--release-text", "{<N, a>}", "--definitely-bogus", "x"},
+      {"generate", "--n", "4", "--records", "2", "--definitely-bogus"},
+      {"anonymize", "--table-csv", "A\nx\n", "--qi", "A:suffix:1", "--k",
+       "1", "--definitely-bogus"},
+      {"dipping", "--db-csv", db, "--query-text", "{<N, a>}",
+       "--match-rules", "N", "--definitely-bogus"},
+      {"enhance", "--db-csv", db, "--definitely-bogus"},
+      {"disinfo", "--db-csv", db, "--reference-text", "{<N, a>}",
+       "--match-rules", "N", "--definitely-bogus"},
+      {"reidentify", "--db-csv", db, "--references-text", "{<N, a>}",
+       "--definitely-bogus"},
+      {"stats", "--definitely-bogus"},
+  };
+  for (const auto& args : invocations) {
+    std::string out;
+    Status st = cli::Dispatch(args, &out);
+    EXPECT_TRUE(st.IsInvalidArgument()) << args[0] << ": " << st.ToString();
+    EXPECT_NE(st.ToString().find("definitely-bogus"), std::string::npos)
+        << args[0] << ": " << st.ToString();
+  }
+}
+
+TEST(CliRobustnessTest, ObservabilityRidersAreAcceptedEverywhere) {
+  // The --stats/--trace riders must not trip the unknown-flag check.
+  std::string out;
+  EXPECT_TRUE(cli::Dispatch({"generate", "--n", "4", "--records", "2",
+                             "--stats", "--trace"},
+                            &out)
+                  .ok())
+      << out;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CliFuzz,

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "cli/flags.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace infoleak {
 namespace {
@@ -353,6 +355,175 @@ TEST(CliTest, MissingDbIsInvalidArgument) {
   Status st = cli::Dispatch(
       {"leakage", "--reference-text", "{<N, Alice>}"}, &out);
   EXPECT_TRUE(st.IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------------
+// Observability: --stats riders and the stats command. Each golden resets
+// the registry first; the rider rendering skips zero series and histograms,
+// so the report is an exact function of the dispatched workload.
+// ---------------------------------------------------------------------------
+
+/// The report section appended after `marker`, or "" if absent.
+std::string SectionAfter(const std::string& out, const std::string& marker) {
+  std::size_t pos = out.find(marker);
+  return pos == std::string::npos ? "" : out.substr(pos + marker.size());
+}
+
+TEST(CliStatsTest, LeakageStatsPrometheusGolden) {
+  obs::MetricsRegistry::Global().ResetAll();
+  std::string out;
+  Status st = cli::Dispatch(
+      {"leakage", "--db-csv", kSection24Db, "--reference-text",
+       "{<N, Alice>, <P, 123>, <C, 999>, <Z, 111>}", "--engine", "exact",
+       "--stats"},
+      &out);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  // 3 records scored twice (per-record report + set-leakage pass), all on
+  // the prepared path.
+  const std::string expected =
+      "# HELP infoleak_cli_commands_total CLI commands dispatched\n"
+      "# TYPE infoleak_cli_commands_total counter\n"
+      "infoleak_cli_commands_total{command=\"leakage\"} 1\n"
+      "# HELP infoleak_eval_path_total Record evaluations by API path: "
+      "prepared fast path vs string adapter/fallback\n"
+      "# TYPE infoleak_eval_path_total counter\n"
+      "infoleak_eval_path_total{path=\"prepared\"} 6\n"
+      "# HELP infoleak_leakage_evaluations_total Record-leakage evaluations "
+      "per engine (the hot-loop unit of work)\n"
+      "# TYPE infoleak_leakage_evaluations_total counter\n"
+      "infoleak_leakage_evaluations_total{engine=\"exact\"} 6\n"
+      "# HELP infoleak_prepared_path_hit_ratio Fraction of record "
+      "evaluations served by the prepared fast path\n"
+      "# TYPE infoleak_prepared_path_hit_ratio gauge\n"
+      "infoleak_prepared_path_hit_ratio 1\n";
+  EXPECT_EQ(SectionAfter(out, "--- metrics ---\n"), expected) << out;
+}
+
+TEST(CliStatsTest, LeakageStatsJsonGolden) {
+  obs::MetricsRegistry::Global().ResetAll();
+  std::string out;
+  Status st = cli::Dispatch(
+      {"leakage", "--db-csv", kSection24Db, "--reference-text",
+       "{<N, Alice>, <P, 123>, <C, 999>, <Z, 111>}", "--engine", "exact",
+       "--stats", "--stats-format", "json"},
+      &out);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  const std::string expected =
+      "{\"counters\":["
+      "{\"name\":\"infoleak_cli_commands_total\","
+      "\"labels\":{\"command\":\"leakage\"},\"value\":1},"
+      "{\"name\":\"infoleak_eval_path_total\","
+      "\"labels\":{\"path\":\"prepared\"},\"value\":6},"
+      "{\"name\":\"infoleak_leakage_evaluations_total\","
+      "\"labels\":{\"engine\":\"exact\"},\"value\":6}"
+      "],\"gauges\":["
+      "{\"name\":\"infoleak_prepared_path_hit_ratio\","
+      "\"labels\":{},\"value\":1}"
+      "],\"histograms\":[]}";
+  EXPECT_EQ(SectionAfter(out, "--- metrics ---\n"), expected) << out;
+}
+
+TEST(CliStatsTest, ErStatsPrometheusGolden) {
+  obs::MetricsRegistry::Global().ResetAll();
+  std::string out;
+  Status st = cli::Dispatch({"er", "--db-csv", kSection24Db, "--match-rules",
+                             "N", "--resolver", "transitive", "--stats"},
+                            &out);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  // 3 records, full closure: C(3,2) = 3 candidate pairs, 3 match calls,
+  // Alice's two records merge once.
+  const std::string expected =
+      "# HELP infoleak_cli_commands_total CLI commands dispatched\n"
+      "# TYPE infoleak_cli_commands_total counter\n"
+      "infoleak_cli_commands_total{command=\"er\"} 1\n"
+      "# HELP infoleak_er_candidate_pairs_total Candidate record pairs "
+      "generated (before dedup and connectivity short-circuits)\n"
+      "# TYPE infoleak_er_candidate_pairs_total counter\n"
+      "infoleak_er_candidate_pairs_total{resolver=\"transitive\"} 3\n"
+      "# HELP infoleak_er_match_calls_total Pairwise match-function "
+      "evaluations actually made\n"
+      "# TYPE infoleak_er_match_calls_total counter\n"
+      "infoleak_er_match_calls_total{resolver=\"transitive\"} 3\n"
+      "# HELP infoleak_er_merges_total Record merges performed\n"
+      "# TYPE infoleak_er_merges_total counter\n"
+      "infoleak_er_merges_total{resolver=\"transitive\"} 1\n"
+      "# HELP infoleak_er_runs_total Entity-resolution runs\n"
+      "# TYPE infoleak_er_runs_total counter\n"
+      "infoleak_er_runs_total{resolver=\"transitive\"} 1\n";
+  EXPECT_EQ(SectionAfter(out, "--- metrics ---\n"), expected) << out;
+}
+
+TEST(CliStatsTest, ErStatsJsonGolden) {
+  obs::MetricsRegistry::Global().ResetAll();
+  std::string out;
+  Status st = cli::Dispatch({"er", "--db-csv", kSection24Db, "--match-rules",
+                             "N", "--resolver", "transitive", "--stats",
+                             "--stats-format", "json"},
+                            &out);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  const std::string expected =
+      "{\"counters\":["
+      "{\"name\":\"infoleak_cli_commands_total\","
+      "\"labels\":{\"command\":\"er\"},\"value\":1},"
+      "{\"name\":\"infoleak_er_candidate_pairs_total\","
+      "\"labels\":{\"resolver\":\"transitive\"},\"value\":3},"
+      "{\"name\":\"infoleak_er_match_calls_total\","
+      "\"labels\":{\"resolver\":\"transitive\"},\"value\":3},"
+      "{\"name\":\"infoleak_er_merges_total\","
+      "\"labels\":{\"resolver\":\"transitive\"},\"value\":1},"
+      "{\"name\":\"infoleak_er_runs_total\","
+      "\"labels\":{\"resolver\":\"transitive\"},\"value\":1}"
+      "],\"gauges\":[],\"histograms\":[]}";
+  EXPECT_EQ(SectionAfter(out, "--- metrics ---\n"), expected) << out;
+}
+
+TEST(CliStatsTest, StatsCommandRendersRegistry) {
+  obs::MetricsRegistry::Global().ResetAll();
+  std::string out;
+  ASSERT_TRUE(cli::Dispatch({"er", "--db-csv", kSection24Db, "--match-rules",
+                             "N", "--resolver", "transitive"},
+                            &out)
+                  .ok());
+  out.clear();
+  Status st = cli::Dispatch(
+      {"stats", "--format", "json", "--skip-zero", "--skip-histograms"},
+      &out);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  // The stats dispatch itself is counted before rendering.
+  EXPECT_NE(out.find("{\"name\":\"infoleak_cli_commands_total\","
+                     "\"labels\":{\"command\":\"stats\"},\"value\":1}"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("infoleak_er_runs_total"), std::string::npos) << out;
+
+  out.clear();
+  st = cli::Dispatch({"stats", "--skip-zero", "--skip-histograms"}, &out);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_NE(out.find("# TYPE infoleak_er_runs_total counter"),
+            std::string::npos)
+      << out;
+}
+
+TEST(CliStatsTest, StatsFormatIsValidated) {
+  std::string out;
+  EXPECT_TRUE(cli::Dispatch({"stats", "--format", "xml"}, &out)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(cli::Dispatch({"er", "--db-csv", kSection24Db, "--match-rules",
+                             "N", "--stats", "--stats-format", "yaml"},
+                            &out)
+                  .IsInvalidArgument());
+}
+
+TEST(CliStatsTest, TraceRiderAppendsSummary) {
+  std::string out;
+  Status st = cli::Dispatch({"er", "--db-csv", kSection24Db, "--match-rules",
+                             "N", "--resolver", "transitive", "--trace"},
+                            &out);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_NE(out.find("--- trace ---"), std::string::npos) << out;
+#if INFOLEAK_TRACING_ENABLED
+  EXPECT_NE(out.find("er/transitive"), std::string::npos) << out;
+#endif
 }
 
 }  // namespace

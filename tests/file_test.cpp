@@ -32,7 +32,9 @@ TEST(FileTest, EmptyFile) {
 
 TEST(FileTest, BinaryContentsSurvive) {
   std::string path = TempPath("infoleak_binary_test.bin");
-  std::string data("\x00\x01\xff\x7f then text", 18);
+  // 14 bytes: the 4 binary bytes plus " then text" (the literal holds no
+  // more — a larger count would read past it).
+  std::string data("\x00\x01\xff\x7f then text", 14);
   ASSERT_TRUE(WriteStringToFile(path, data).ok());
   auto read = ReadFileToString(path);
   ASSERT_TRUE(read.ok());

@@ -1,0 +1,120 @@
+// Tests for the trace ring buffer (src/obs/trace.h): recording order,
+// lossy overwrite with a dropped-span counter, the runtime gate, and the
+// summary text. TraceSpan itself is exercised only when the tracing macro
+// is compiled in (INFOLEAK_TRACING=ON, the default).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/trace.h"
+
+namespace infoleak {
+namespace {
+
+TEST(TraceRecorderTest, RecordsInOrder) {
+  obs::TraceRecorder rec(/*capacity=*/8);
+  rec.Record("a", 10, 1);
+  rec.Record("b", 20, 2);
+  rec.Record("c", 30, 3);
+  auto events = rec.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].name, "a");
+  EXPECT_EQ(events[1].name, "b");
+  EXPECT_EQ(events[2].name, "c");
+  EXPECT_EQ(events[2].start_ns, 30u);
+  EXPECT_EQ(events[2].duration_ns, 3u);
+  EXPECT_EQ(rec.dropped(), 0u);
+}
+
+TEST(TraceRecorderTest, RingOverwritesOldestAndCountsDrops) {
+  obs::TraceRecorder rec(/*capacity=*/3);
+  rec.Record("a", 1, 0);
+  rec.Record("b", 2, 0);
+  rec.Record("c", 3, 0);
+  rec.Record("d", 4, 0);
+  rec.Record("e", 5, 0);
+  auto events = rec.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].name, "c");
+  EXPECT_EQ(events[1].name, "d");
+  EXPECT_EQ(events[2].name, "e");
+  EXPECT_EQ(rec.dropped(), 2u);
+}
+
+TEST(TraceRecorderTest, ClearEmptiesBufferAndDropCounter) {
+  obs::TraceRecorder rec(/*capacity=*/2);
+  rec.Record("a", 1, 0);
+  rec.Record("b", 2, 0);
+  rec.Record("c", 3, 0);
+  EXPECT_EQ(rec.dropped(), 1u);
+  rec.Clear();
+  EXPECT_TRUE(rec.Snapshot().empty());
+  EXPECT_EQ(rec.dropped(), 0u);
+}
+
+TEST(TraceRecorderTest, DisabledGateIsVisible) {
+  obs::TraceRecorder rec;
+  EXPECT_TRUE(rec.enabled());
+  rec.set_enabled(false);
+  EXPECT_FALSE(rec.enabled());
+  rec.set_enabled(true);
+  EXPECT_TRUE(rec.enabled());
+}
+
+TEST(TraceRecorderTest, SummaryAggregatesByName) {
+  obs::TraceRecorder rec(/*capacity=*/8);
+  rec.Record("leakage/set", 0, 2000000);  // 2 ms
+  rec.Record("leakage/set", 0, 1000000);  // 1 ms
+  rec.Record("er/swoosh", 0, 500000);     // 0.5 ms
+  std::string summary = rec.SummaryText();
+  EXPECT_NE(summary.find("leakage/set"), std::string::npos);
+  EXPECT_NE(summary.find("count=2"), std::string::npos);
+  EXPECT_NE(summary.find("er/swoosh"), std::string::npos);
+  EXPECT_EQ(summary.find("dropped"), std::string::npos);
+}
+
+TEST(TraceRecorderTest, SummaryReportsDrops) {
+  obs::TraceRecorder rec(/*capacity=*/1);
+  rec.Record("a", 0, 1);
+  rec.Record("a", 0, 1);
+  EXPECT_NE(rec.SummaryText().find("dropped"), std::string::npos);
+}
+
+TEST(TraceNowNanosTest, IsMonotonic) {
+  uint64_t a = obs::TraceNowNanos();
+  uint64_t b = obs::TraceNowNanos();
+  EXPECT_LE(a, b);
+}
+
+#if INFOLEAK_TRACING_ENABLED
+
+TEST(TraceSpanTest, SpanRecordsIntoGlobalRecorder) {
+  auto& global = obs::TraceRecorder::Global();
+  global.Clear();
+  global.set_enabled(true);
+  {
+    obs::TraceSpan span("test/span");
+  }
+  auto events = global.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "test/span");
+  global.Clear();
+}
+
+TEST(TraceSpanTest, DisabledRecorderDropsSpansSilently) {
+  auto& global = obs::TraceRecorder::Global();
+  global.Clear();
+  global.set_enabled(false);
+  {
+    obs::TraceSpan span("test/disabled");
+  }
+  EXPECT_TRUE(global.Snapshot().empty());
+  EXPECT_EQ(global.dropped(), 0u);
+  global.set_enabled(true);
+}
+
+#endif  // INFOLEAK_TRACING_ENABLED
+
+}  // namespace
+}  // namespace infoleak
