@@ -1,0 +1,172 @@
+// Throughput/latency benchmark for the networked query service: a real
+// TCP server on loopback, a fixed pool of blocking clients hammering the
+// prepared set-leakage path over a 10k-record store, swept over worker
+// counts (1, 4, all cores). Reports req/sec and p50/p99 latency per sweep
+// point and writes the BENCH_serve.json sidecar for CI.
+//
+// The workload interleaves `set-leak` (full prepared scan — the expensive
+// representative query) with `leak` by record id (point query) in a 3:1
+// ratio, all against one interned reference so the service's prepared
+// cache is exercised the way a resident auditor session would.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "core/record_io.h"
+#include "gen/generator.h"
+#include "store/record_store.h"
+#include "svc/client.h"
+#include "svc/json.h"
+#include "svc/server.h"
+#include "svc/service.h"
+
+namespace infoleak::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct SweepPoint {
+  std::size_t workers = 0;
+  std::size_t clients = 0;
+  uint64_t requests = 0;
+  uint64_t failures = 0;
+  double req_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+double PercentileMs(std::vector<double>& sorted_ms, double q) {
+  if (sorted_ms.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted_ms.size() - 1) + 0.5);
+  return sorted_ms[std::min(rank, sorted_ms.size() - 1)];
+}
+
+Result<SweepPoint> RunSweep(const SyntheticDataset& data, std::size_t workers,
+                            std::size_t clients, int per_client) {
+  svc::LeakageService service(RecordStore::FromDatabase(data.records));
+  svc::ServerConfig config;
+  config.port = 0;
+  config.workers = workers;
+  config.queue_depth = 512;   // headroom: measure service time, not shedding
+  config.deadline_ms = 0;     // latency tail belongs in the numbers
+  config.idle_timeout_ms = 0;
+  svc::Server server(service, config);
+  if (Status started = server.Start(); !started.ok()) return started;
+  std::thread runner([&server] { (void)server.Run(); });
+
+  const std::string set_leak =
+      std::string(R"({"verb":"set-leak","reference":)") +
+      svc::JsonQuote(FormatRecord(data.reference)) + "}";
+  const std::string point_leak =
+      std::string(R"({"verb":"leak","record_id":17,"reference":)") +
+      svc::JsonQuote(FormatRecord(data.reference)) + "}";
+
+  std::vector<std::vector<double>> latencies(clients);
+  std::vector<uint64_t> failed(clients, 0);
+  const Clock::time_point begin = Clock::now();
+  std::vector<std::thread> pool;
+  for (std::size_t c = 0; c < clients; ++c) {
+    pool.emplace_back([&, c] {
+      auto client = svc::Client::Connect("127.0.0.1", server.port());
+      if (!client.ok()) {
+        failed[c] = static_cast<uint64_t>(per_client);
+        return;
+      }
+      latencies[c].reserve(static_cast<std::size_t>(per_client));
+      for (int i = 0; i < per_client; ++i) {
+        const std::string& line = (i % 4 == 3) ? point_leak : set_leak;
+        const Clock::time_point t0 = Clock::now();
+        auto response = client->CallRaw(line);
+        const Clock::time_point t1 = Clock::now();
+        if (!response.ok() ||
+            response->find("\"ok\":true") == std::string::npos) {
+          ++failed[c];
+          continue;
+        }
+        latencies[c].push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - begin).count();
+  server.RequestShutdown();
+  runner.join();
+
+  SweepPoint point;
+  point.workers = workers;
+  point.clients = clients;
+  std::vector<double> all;
+  for (std::size_t c = 0; c < clients; ++c) {
+    all.insert(all.end(), latencies[c].begin(), latencies[c].end());
+    point.failures += failed[c];
+  }
+  point.requests = all.size();
+  std::sort(all.begin(), all.end());
+  point.req_per_sec =
+      wall_s > 0.0 ? static_cast<double>(all.size()) / wall_s : 0.0;
+  point.p50_ms = PercentileMs(all, 0.50);
+  point.p99_ms = PercentileMs(all, 0.99);
+  return point;
+}
+
+int Main() {
+  GeneratorConfig config = GeneratorConfig::Basic();
+  config.n = 20;
+  config.num_records = 10000;
+  auto data = GenerateDataset(config);
+  if (!data.ok()) {
+    std::fprintf(stderr, "generate: %s\n", data.status().ToString().c_str());
+    return 1;
+  }
+
+  const std::size_t cores = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<std::size_t> worker_sweep{1, 4, cores};
+  std::sort(worker_sweep.begin(), worker_sweep.end());
+  worker_sweep.erase(std::unique(worker_sweep.begin(), worker_sweep.end()),
+                     worker_sweep.end());
+  const std::size_t clients = 8;
+  const int per_client = 150;
+
+  PrintTitle("bench_serve: networked query service throughput",
+             config.ToString() + " clients=" + std::to_string(clients) +
+                 " per_client=" + std::to_string(per_client));
+  BenchReport report(
+      "serve", config.ToString(),
+      {"workers", "clients", "requests", "failures", "req_per_sec", "p50_ms",
+       "p99_ms"});
+  RowPrinter rows(
+      {"workers", "clients", "requests", "failures", "req_per_sec", "p50_ms",
+       "p99_ms"},
+      14, &report);
+  for (std::size_t workers : worker_sweep) {
+    auto point = RunSweep(*data, workers, clients, per_client);
+    if (!point.ok()) {
+      std::fprintf(stderr, "sweep workers=%zu: %s\n", workers,
+                   point.status().ToString().c_str());
+      return 1;
+    }
+    rows.Row({std::to_string(point->workers), std::to_string(point->clients),
+              std::to_string(point->requests), std::to_string(point->failures),
+              Fmt(point->req_per_sec, 6), Fmt(point->p50_ms, 4),
+              Fmt(point->p99_ms, 4)});
+  }
+  Status written = report.WriteFile(".");
+  if (!written.ok()) {
+    std::fprintf(stderr, "write: %s\n", written.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace infoleak::bench
+
+int main() { return infoleak::bench::Main(); }

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 CI gate: configure, build, and run the full test suite twice —
 # once as a plain Release build and once under AddressSanitizer
-# (-DINFOLEAK_SANITIZE=address). Both runs must be 100% green.
+# (-DINFOLEAK_SANITIZE=address). Both runs must be 100% green. Each pass
+# also end-to-end smoke-tests the query service: serve on an ephemeral
+# port, round-trip ping/append/leak/set-leak/stats through `infoleak
+# call`, then SIGTERM and require a clean graceful drain.
 #
 # Usage: scripts/ci.sh [jobs]
 #
@@ -24,7 +27,49 @@ run_pass() {
   ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
 }
 
+# Serves a real store on an ephemeral port, exercises every hot verb via
+# the one-shot client, and checks that SIGTERM drains cleanly (exit 0 and
+# the drain summary in the log).
+smoke_serve() {
+  local dir="$1"
+  local bin="${dir}/src/cli/infoleak"
+  local log="${dir}/serve_smoke.log"
+  echo "=== [${dir}] serve smoke test ==="
+  "${bin}" serve --db examples/data/store_records.csv --port 0 \
+      --workers 2 >"${log}" 2>&1 &
+  local pid=$!
+  local port=""
+  for _ in $(seq 1 100); do
+    port="$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' "${log}" | head -n1)"
+    [[ -n "${port}" ]] && break
+    kill -0 "${pid}" 2>/dev/null || break
+    sleep 0.1
+  done
+  if [[ -z "${port}" ]]; then
+    echo "serve never reported a listening port:"
+    cat "${log}"
+    kill "${pid}" 2>/dev/null || true
+    return 1
+  fi
+  local ref='{<N, n1>, <C, c1>, <P, p1>}'
+  "${bin}" call --port "${port}" --verb ping | grep -q '"pong":true'
+  "${bin}" call --port "${port}" --verb append \
+      --body '{"record":"{<N, smoke, 1>}"}' | grep -q '"appended":'
+  "${bin}" call --port "${port}" --verb leak \
+      --body "{\"record_id\":0,\"reference\":\"${ref}\"}" \
+      | grep -q '"leakage":'
+  "${bin}" call --port "${port}" --verb set-leak \
+      --body "{\"reference\":\"${ref}\"}" | grep -q '"argmax":'
+  "${bin}" call --port "${port}" --verb stats | grep -q '"records":'
+  kill -TERM "${pid}"
+  wait "${pid}"  # graceful drain must exit 0 (set -e aborts otherwise)
+  grep -q "drained" "${log}"
+  echo "=== [${dir}] serve smoke OK (port ${port}) ==="
+}
+
 run_pass build-ci-release
+smoke_serve build-ci-release
 run_pass build-ci-asan -DINFOLEAK_SANITIZE=address
+smoke_serve build-ci-asan
 
 echo "=== CI OK: plain Release and ASan suites both green ==="

@@ -1,6 +1,9 @@
 #include "cli/commands.h"
 
 #include <algorithm>
+#include <atomic>
+#include <csignal>
+#include <cstdio>
 #include <initializer_list>
 #include <memory>
 #include <span>
@@ -25,6 +28,9 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "ops/operator.h"
+#include "store/record_store.h"
+#include "svc/client.h"
+#include "svc/server.h"
 #include "util/file.h"
 #include "util/string_util.h"
 
@@ -36,26 +42,229 @@ void Append(std::string* out, const std::string& line) {
   *out += '\n';
 }
 
+/// One flag in a command's vocabulary. The registry below is the single
+/// source of truth: `CheckFlags` validates against it and
+/// `infoleak <command> --help` prints it, so the two can never drift.
+struct FlagDoc {
+  std::string_view name;
+  std::string_view help;
+};
+
 /// Observability riders accepted by every command in addition to its own
 /// flag vocabulary.
-constexpr std::string_view kObsFlags[] = {"stats", "stats-format", "trace"};
+constexpr FlagDoc kObsFlags[] = {
+    {"stats", "append a metrics report to the command output"},
+    {"stats-format", "metrics report format: prometheus|json"},
+    {"trace", "append a trace-span summary to the command output"},
+};
 
-/// Rejects any set flag outside `known` + the common observability riders.
-/// FlagSet stores names sorted, so the flag named in the error is the
-/// alphabetically first unknown one — deterministic for tests.
-Status CheckFlags(const FlagSet& flags, std::string_view command,
-                  std::initializer_list<std::string_view> known) {
+constexpr FlagDoc kLeakageFlags[] = {
+    {"db", "CSV database file"},
+    {"db-csv", "inline CSV database text (file-less scripting)"},
+    {"reference", "reference record file"},
+    {"reference-text", "inline reference record \"{<label, value, conf>, ...}\""},
+    {"weights", "weight spec \"Label=2,Other=0.5\" (default: all 1)"},
+    {"engine", "leakage engine: auto|naive|exact|approx"},
+    {"beta", "F-beta recall/precision trade-off (default 1.0)"},
+    {"bounds", "also print closed-form per-record leakage bounds"},
+    {"resolve", "run entity resolution before measuring"},
+    {"match-rules", "disjunctive match rules, e.g. \"N+C|N+P\""},
+    {"resolver", "ER algorithm: swoosh|transitive|blocked"},
+    {"block-labels", "comma-separated blocking labels for --resolver blocked"},
+};
+
+constexpr FlagDoc kErFlags[] = {
+    {"db", "CSV database file"},
+    {"db-csv", "inline CSV database text"},
+    {"match-rules", "disjunctive match rules, e.g. \"N+C|N+P\""},
+    {"resolver", "ER algorithm: swoosh|transitive|blocked"},
+    {"block-labels", "comma-separated blocking labels for --resolver blocked"},
+};
+
+constexpr FlagDoc kIncrementalFlags[] = {
+    {"db", "CSV database file"},
+    {"db-csv", "inline CSV database text"},
+    {"reference", "reference record file"},
+    {"reference-text", "inline reference record \"{...}\""},
+    {"weights", "weight spec \"Label=2,...\""},
+    {"engine", "leakage engine: auto|naive|exact|approx"},
+    {"release-text", "candidate record whose release is being evaluated"},
+    {"match-rules", "run ER with these rules before both measurements"},
+    {"resolver", "ER algorithm: swoosh|transitive|blocked"},
+    {"block-labels", "comma-separated blocking labels for --resolver blocked"},
+};
+
+constexpr FlagDoc kGenerateFlags[] = {
+    {"n", "attribute-domain size (Table 4's n)"},
+    {"records", "number of records to synthesize"},
+    {"seed", "PRNG seed"},
+    {"pc", "copy probability"},
+    {"pp", "perturb probability"},
+    {"pb", "bogus probability"},
+    {"m", "maximum confidence"},
+    {"random-weights", "draw per-label weights at random"},
+    {"emit-reference", "print the hidden reference record as a comment"},
+};
+
+constexpr FlagDoc kAnonymizeFlags[] = {
+    {"table", "CSV table file"},
+    {"table-csv", "inline CSV table text"},
+    {"k", "anonymity parameter k (default 2)"},
+    {"qi", "quasi-identifiers \"Col:suffix:L,Col:interval:W[:clamp],...\""},
+    {"sensitive", "sensitive column to report l-diversity/t-closeness for"},
+};
+
+constexpr FlagDoc kDippingFlags[] = {
+    {"db", "CSV database file"},
+    {"db-csv", "inline CSV database text"},
+    {"query-text", "query record \"{...}\" to resolve into a dossier"},
+    {"match-rules", "disjunctive match rules, e.g. \"N+C|N+P\""},
+    {"resolver", "ER algorithm: swoosh|transitive|blocked"},
+    {"block-labels", "comma-separated blocking labels for --resolver blocked"},
+};
+
+constexpr FlagDoc kEnhanceFlags[] = {
+    {"db", "CSV database file"},
+    {"db-csv", "inline CSV database text"},
+    {"weights", "weight spec \"Label=2,...\""},
+    {"budget", "verification budget; 0 ranks all options instead"},
+};
+
+constexpr FlagDoc kDisinfoFlags[] = {
+    {"db", "CSV database file"},
+    {"db-csv", "inline CSV database text"},
+    {"reference", "reference record file"},
+    {"reference-text", "inline reference record \"{...}\""},
+    {"weights", "weight spec \"Label=2,...\""},
+    {"match-rules", "adversary's match rules"},
+    {"budget", "publication budget (default 8)"},
+    {"max-size", "largest candidate disinformation record (default 4)"},
+    {"max-bogus", "bogus attributes allowed per candidate (default 2)"},
+    {"exhaustive", "exact subset search instead of the greedy planner"},
+    {"resolver", "ER algorithm: swoosh|transitive|blocked"},
+    {"block-labels", "comma-separated blocking labels for --resolver blocked"},
+};
+
+constexpr FlagDoc kReidentifyFlags[] = {
+    {"db", "CSV database file"},
+    {"db-csv", "inline CSV database text"},
+    {"weights", "weight spec \"Label=2,...\""},
+    {"references", "file with one reference record per line"},
+    {"references-text", "inline references, one record per line"},
+};
+
+constexpr FlagDoc kStatsFlags[] = {
+    {"format", "output format: prometheus|json"},
+    {"skip-zero", "omit zero-valued series"},
+    {"skip-histograms", "omit histogram series"},
+};
+
+constexpr FlagDoc kServeFlags[] = {
+    {"host", "bind address (default 127.0.0.1)"},
+    {"port", "TCP port; 0 picks an ephemeral port (default 0)"},
+    {"workers", "worker threads draining the request queue (default 4)"},
+    {"queue-depth", "bounded queue size; beyond it requests are shed "
+                    "with `overloaded` (default 128)"},
+    {"deadline-ms", "per-request deadline from admission; 0 disables "
+                    "(default 10000)"},
+    {"idle-timeout-ms", "close connections idle this long; 0 disables "
+                        "(default 30000)"},
+    {"max-frame-bytes", "largest accepted request line (default 1048576)"},
+    {"cache-refs", "prepared-reference cache capacity (default 64)"},
+    {"db", "CSV database file preloaded into the store"},
+    {"db-csv", "inline CSV database text preloaded into the store"},
+};
+
+constexpr FlagDoc kCallFlags[] = {
+    {"host", "server address (default 127.0.0.1)"},
+    {"port", "server port (required)"},
+    {"timeout-ms", "connect/receive timeout (default 30000)"},
+    {"request", "raw request line to send verbatim, e.g. "
+                "'{\"verb\":\"ping\"}'"},
+    {"verb", "request verb: ping|append|leak|set-leak|resolve|stats"},
+    {"body", "JSON object merged into the request built from --verb"},
+};
+
+struct CommandDoc {
+  std::string_view name;
+  std::string_view summary;
+  std::span<const FlagDoc> flags;
+  Status (*run)(const FlagSet&, std::string*);
+};
+
+constexpr CommandDoc kCommands[] = {
+    {"leakage", "record/set leakage of a database against a reference",
+     kLeakageFlags, RunLeakage},
+    {"er", "run entity resolution over a database", kErFlags, RunEr},
+    {"incremental", "incremental leakage of releasing one record",
+     kIncrementalFlags, RunIncremental},
+    {"generate", "synthesize a Table-4 workload as CSV", kGenerateFlags,
+     RunGenerate},
+    {"anonymize", "k-anonymize a table (minimal full-domain search)",
+     kAnonymizeFlags, RunAnonymize},
+    {"dipping", "resolve a query record against a database (dossier)",
+     kDippingFlags, RunDipping},
+    {"enhance", "rank attribute verifications by gain/cost", kEnhanceFlags,
+     RunEnhance},
+    {"disinfo", "plan budgeted disinformation against an adversary",
+     kDisinfoFlags, RunDisinfo},
+    {"reidentify", "attribute each record to its best-matching reference",
+     kReidentifyFlags, RunReidentify},
+    {"stats", "dump the process metrics registry", kStatsFlags, RunStats},
+    {"serve", "serve leakage queries over TCP (newline-delimited JSON)",
+     kServeFlags, RunServe},
+    {"call", "send one request to a running `infoleak serve`", kCallFlags,
+     RunCall},
+};
+
+const CommandDoc* FindCommand(std::string_view name) {
+  for (const CommandDoc& doc : kCommands) {
+    if (doc.name == name) return &doc;
+  }
+  return nullptr;
+}
+
+bool HasFlag(std::span<const FlagDoc> docs, std::string_view name) {
+  return std::any_of(docs.begin(), docs.end(),
+                     [&](const FlagDoc& d) { return d.name == name; });
+}
+
+/// Rejects any set flag outside the command's registered vocabulary + the
+/// common observability riders. FlagSet stores names sorted, so the flag
+/// named in the error is the alphabetically first unknown one —
+/// deterministic for tests.
+Status CheckFlags(const FlagSet& flags, std::string_view command) {
+  const CommandDoc* doc = FindCommand(command);
   for (const std::string& name : flags.FlagNames()) {
-    if (std::find(std::begin(kObsFlags), std::end(kObsFlags), name) !=
-        std::end(kObsFlags)) {
-      continue;
-    }
-    if (std::find(known.begin(), known.end(), name) != known.end()) continue;
-    return Status::InvalidArgument("unknown flag '--" + name +
-                                   "' for command '" + std::string(command) +
-                                   "'");
+    if (HasFlag(kObsFlags, name)) continue;
+    if (doc != nullptr && HasFlag(doc->flags, name)) continue;
+    return Status::InvalidArgument(
+        "unknown flag '--" + name + "' for command '" + std::string(command) +
+        "' (see infoleak " + std::string(command) + " --help)");
   }
   return Status::OK();
+}
+
+/// `infoleak <command> --help`: the command's one-liner plus its full
+/// CheckFlags vocabulary, flag by flag, then the riders every command
+/// accepts. Generated from the same registry CheckFlags validates against.
+std::string HelpText(const CommandDoc& doc) {
+  std::size_t width = 0;
+  for (const FlagDoc& f : doc.flags) width = std::max(width, f.name.size());
+  for (const FlagDoc& f : kObsFlags) width = std::max(width, f.name.size());
+  auto flag_line = [width](const FlagDoc& f) {
+    std::string line = "  --" + std::string(f.name);
+    line.append(width + 2 - f.name.size(), ' ');
+    line += f.help;
+    line += '\n';
+    return line;
+  };
+  std::string out = "usage: infoleak " + std::string(doc.name) + " [flags]\n\n";
+  out += "  " + std::string(doc.summary) + "\n\nflags:\n";
+  for (const FlagDoc& f : doc.flags) out += flag_line(f);
+  out += "\nobservability riders (accepted by every command):\n";
+  for (const FlagDoc& f : kObsFlags) out += flag_line(f);
+  return out;
 }
 
 /// Recomputes gauges that are pure functions of other metrics, so every
@@ -226,10 +435,7 @@ Result<ResolverBundle> MakeResolver(const FlagSet& flags) {
 }  // namespace
 
 Status RunLeakage(const FlagSet& flags, std::string* out) {
-  Status ok = CheckFlags(flags, "leakage",
-                         {"db", "db-csv", "reference", "reference-text",
-                          "weights", "engine", "beta", "bounds", "resolve",
-                          "match-rules", "resolver", "block-labels"});
+  Status ok = CheckFlags(flags, "leakage");
   if (!ok.ok()) return ok;
   auto db = LoadDb(flags);
   if (!db.ok()) return db.status();
@@ -296,8 +502,7 @@ Status RunLeakage(const FlagSet& flags, std::string* out) {
 }
 
 Status RunEr(const FlagSet& flags, std::string* out) {
-  Status ok = CheckFlags(
-      flags, "er", {"db", "db-csv", "match-rules", "resolver", "block-labels"});
+  Status ok = CheckFlags(flags, "er");
   if (!ok.ok()) return ok;
   auto db = LoadDb(flags);
   if (!db.ok()) return db.status();
@@ -316,10 +521,7 @@ Status RunEr(const FlagSet& flags, std::string* out) {
 }
 
 Status RunIncremental(const FlagSet& flags, std::string* out) {
-  Status ok = CheckFlags(flags, "incremental",
-                         {"db", "db-csv", "reference", "reference-text",
-                          "weights", "engine", "release-text", "match-rules",
-                          "resolver", "block-labels"});
+  Status ok = CheckFlags(flags, "incremental");
   if (!ok.ok()) return ok;
   auto db = LoadDb(flags);
   if (!db.ok()) return db.status();
@@ -357,9 +559,7 @@ Status RunIncremental(const FlagSet& flags, std::string* out) {
 }
 
 Status RunGenerate(const FlagSet& flags, std::string* out) {
-  Status ok = CheckFlags(flags, "generate",
-                         {"n", "records", "seed", "pc", "pp", "pb", "m",
-                          "random-weights", "emit-reference"});
+  Status ok = CheckFlags(flags, "generate");
   if (!ok.ok()) return ok;
   GeneratorConfig config;
   auto n = flags.GetInt("n", static_cast<long long>(config.n));
@@ -409,8 +609,7 @@ Status RunGenerate(const FlagSet& flags, std::string* out) {
 }
 
 Status RunAnonymize(const FlagSet& flags, std::string* out) {
-  Status ok = CheckFlags(flags, "anonymize",
-                         {"table", "table-csv", "k", "qi", "sensitive"});
+  Status ok = CheckFlags(flags, "anonymize");
   if (!ok.ok()) return ok;
   Result<Table> table = [&]() -> Result<Table> {
     if (flags.Has("table-csv")) {
@@ -494,9 +693,7 @@ Status RunAnonymize(const FlagSet& flags, std::string* out) {
 }
 
 Status RunDipping(const FlagSet& flags, std::string* out) {
-  Status ok = CheckFlags(flags, "dipping",
-                         {"db", "db-csv", "query-text", "match-rules",
-                          "resolver", "block-labels"});
+  Status ok = CheckFlags(flags, "dipping");
   if (!ok.ok()) return ok;
   auto db = LoadDb(flags);
   if (!db.ok()) return db.status();
@@ -519,8 +716,7 @@ Status RunDipping(const FlagSet& flags, std::string* out) {
 }
 
 Status RunEnhance(const FlagSet& flags, std::string* out) {
-  Status ok = CheckFlags(flags, "enhance",
-                         {"db", "db-csv", "weights", "budget"});
+  Status ok = CheckFlags(flags, "enhance");
   if (!ok.ok()) return ok;
   auto db = LoadDb(flags);
   if (!db.ok()) return db.status();
@@ -563,11 +759,7 @@ Status RunEnhance(const FlagSet& flags, std::string* out) {
 }
 
 Status RunDisinfo(const FlagSet& flags, std::string* out) {
-  Status ok = CheckFlags(flags, "disinfo",
-                         {"db", "db-csv", "reference", "reference-text",
-                          "weights", "match-rules", "budget", "max-size",
-                          "max-bogus", "exhaustive", "resolver",
-                          "block-labels"});
+  Status ok = CheckFlags(flags, "disinfo");
   if (!ok.ok()) return ok;
   auto db = LoadDb(flags);
   if (!db.ok()) return db.status();
@@ -622,9 +814,7 @@ Status RunDisinfo(const FlagSet& flags, std::string* out) {
 }
 
 Status RunReidentify(const FlagSet& flags, std::string* out) {
-  Status ok = CheckFlags(flags, "reidentify",
-                         {"db", "db-csv", "weights", "references",
-                          "references-text"});
+  Status ok = CheckFlags(flags, "reidentify");
   if (!ok.ok()) return ok;
   auto db = LoadDb(flags);
   if (!db.ok()) return db.status();
@@ -672,8 +862,7 @@ Status RunReidentify(const FlagSet& flags, std::string* out) {
 }
 
 Status RunStats(const FlagSet& flags, std::string* out) {
-  Status ok = CheckFlags(flags, "stats",
-                         {"format", "skip-zero", "skip-histograms"});
+  Status ok = CheckFlags(flags, "stats");
   if (!ok.ok()) return ok;
   const std::string format = flags.GetString("format", "prometheus");
   if (format != "prometheus" && format != "json") {
@@ -691,35 +880,192 @@ Status RunStats(const FlagSet& flags, std::string* out) {
   return Status::OK();
 }
 
+namespace {
+
+/// The server instance the signal handlers forward to. `RequestShutdown`
+/// is async-signal-safe (one write to a self-pipe), so the handler may
+/// call it directly.
+std::atomic<svc::Server*> g_serving{nullptr};
+
+extern "C" void HandleShutdownSignal(int) {
+  if (svc::Server* server = g_serving.load(std::memory_order_acquire)) {
+    server->RequestShutdown();
+  }
+}
+
+Result<std::size_t> GetSize(const FlagSet& flags, std::string_view name,
+                            std::size_t fallback) {
+  auto v = flags.GetInt(name, static_cast<long long>(fallback));
+  if (!v.ok()) return v.status();
+  if (*v < 0) {
+    return Status::InvalidArgument("--" + std::string(name) +
+                                   " must be non-negative");
+  }
+  return static_cast<std::size_t>(*v);
+}
+
+}  // namespace
+
+Status RunServe(const FlagSet& flags, std::string* out) {
+  Status ok = CheckFlags(flags, "serve");
+  if (!ok.ok()) return ok;
+
+  RecordStore store;
+  if (flags.Has("db") || flags.Has("db-csv")) {
+    auto db = LoadDb(flags);
+    if (!db.ok()) return db.status();
+    store = RecordStore::FromDatabase(*db);
+  }
+
+  svc::ServiceConfig service_config;
+  auto cache_refs = GetSize(flags, "cache-refs",
+                            service_config.max_cached_references);
+  if (!cache_refs.ok()) return cache_refs.status();
+  service_config.max_cached_references = *cache_refs;
+
+  svc::ServerConfig config;
+  config.host = flags.GetString("host", config.host);
+  auto port = flags.GetInt("port", config.port);
+  if (!port.ok()) return port.status();
+  if (*port < 0 || *port > 65535) {
+    return Status::InvalidArgument("--port must be in [0, 65535]");
+  }
+  config.port = static_cast<int>(*port);
+  auto workers = GetSize(flags, "workers", config.workers);
+  if (!workers.ok()) return workers.status();
+  if (*workers == 0) return Status::InvalidArgument("--workers must be >= 1");
+  config.workers = *workers;
+  auto queue_depth = GetSize(flags, "queue-depth", config.queue_depth);
+  if (!queue_depth.ok()) return queue_depth.status();
+  if (*queue_depth == 0) {
+    return Status::InvalidArgument("--queue-depth must be >= 1");
+  }
+  config.queue_depth = *queue_depth;
+  auto deadline = flags.GetInt("deadline-ms", config.deadline_ms);
+  if (!deadline.ok()) return deadline.status();
+  auto idle = flags.GetInt("idle-timeout-ms", config.idle_timeout_ms);
+  if (!idle.ok()) return idle.status();
+  if (*deadline < 0 || *idle < 0) {
+    return Status::InvalidArgument(
+        "--deadline-ms/--idle-timeout-ms must be >= 0 (0 disables)");
+  }
+  config.deadline_ms = static_cast<int>(*deadline);
+  config.idle_timeout_ms = static_cast<int>(*idle);
+  auto max_frame = GetSize(flags, "max-frame-bytes", config.max_frame_bytes);
+  if (!max_frame.ok()) return max_frame.status();
+  if (*max_frame == 0) {
+    return Status::InvalidArgument("--max-frame-bytes must be >= 1");
+  }
+  config.max_frame_bytes = *max_frame;
+
+  svc::LeakageService service(std::move(store), service_config);
+  svc::Server server(service, config);
+  Status started = server.Start();
+  if (!started.ok()) return started;
+
+  // Dispatch buffers `out` until the command returns, but scripts need the
+  // port before the (blocking) serve loop ends — print it directly.
+  std::printf("infoleak serve: listening on %s:%d (%zu workers, queue %zu, "
+              "deadline %d ms)\n",
+              config.host.c_str(), server.port(), config.workers,
+              config.queue_depth, config.deadline_ms);
+  std::fflush(stdout);
+
+  g_serving.store(&server, std::memory_order_release);
+  std::signal(SIGINT, HandleShutdownSignal);
+  std::signal(SIGTERM, HandleShutdownSignal);
+  Status ran = server.Run();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  g_serving.store(nullptr, std::memory_order_release);
+  if (!ran.ok()) return ran;
+
+  Append(out, "infoleak serve: drained; " + server.StatsSummary());
+  return Status::OK();
+}
+
+Status RunCall(const FlagSet& flags, std::string* out) {
+  Status ok = CheckFlags(flags, "call");
+  if (!ok.ok()) return ok;
+  auto port = flags.GetInt("port", 0);
+  if (!port.ok()) return port.status();
+  if (*port <= 0 || *port > 65535) {
+    return Status::InvalidArgument("missing --port <server port>");
+  }
+  auto timeout = flags.GetInt("timeout-ms", 30000);
+  if (!timeout.ok()) return timeout.status();
+  auto client = svc::Client::Connect(flags.GetString("host", "127.0.0.1"),
+                                     static_cast<int>(*port),
+                                     static_cast<int>(*timeout));
+  if (!client.ok()) return client.status();
+
+  if (flags.Has("request")) {
+    auto response = client->CallRaw(flags.GetString("request"));
+    if (!response.ok()) return response.status();
+    Append(out, *response);
+    return Status::OK();
+  }
+
+  const std::string verb = flags.GetString("verb");
+  if (verb.empty()) {
+    return Status::InvalidArgument(
+        "call needs --request '<json line>' or --verb <verb> "
+        "[--body '{...}']");
+  }
+  svc::JsonValue body = svc::JsonValue::Object();
+  if (flags.Has("body")) {
+    auto parsed = svc::ParseJson(flags.GetString("body"));
+    if (!parsed.ok()) return parsed.status();
+    if (!parsed->is_object()) {
+      return Status::InvalidArgument("--body must be a JSON object");
+    }
+    body = std::move(parsed).value();
+  }
+  auto response = client->CallVerb(verb, std::move(body));
+  if (!response.ok()) return response.status();
+  Append(out, response->Render());
+  return Status::OK();
+}
+
 std::string UsageText() {
-  return
+  std::size_t width = 4;  // "help"
+  for (const CommandDoc& doc : kCommands) {
+    width = std::max(width, doc.name.size());
+  }
+  std::string out =
       "infoleak — quantify information leakage (Whang & Garcia-Molina, "
       "VLDB 2012)\n"
       "\n"
       "usage: infoleak <command> [flags]\n"
       "\n"
-      "commands:\n"
-      "  leakage      record/set leakage of a database against a reference\n"
-      "  er           run entity resolution over a database\n"
-      "  incremental  incremental leakage of releasing one record\n"
-      "  generate     synthesize a Table-4 workload as CSV\n"
-      "  anonymize    k-anonymize a table (minimal full-domain search)\n"
-      "  dipping      resolve a query record against a database (dossier)\n"
-      "  enhance      rank attribute verifications by gain/cost\n"
-      "  disinfo      plan budgeted disinformation against an adversary\n"
-      "  reidentify   attribute each record to its best-matching reference\n"
-      "  stats        dump the process metrics registry "
-      "(--format prometheus|json)\n"
-      "  help         this text\n"
+      "commands:\n";
+  auto command_line = [&](std::string_view name, std::string_view summary) {
+    out += "  " + std::string(name);
+    out.append(width + 2 - name.size(), ' ');
+    out += summary;
+    out += '\n';
+  };
+  for (const CommandDoc& doc : kCommands) {
+    command_line(doc.name, doc.summary);
+  }
+  command_line("help", "this text; `help <command>` for one command");
+  out +=
       "\n"
       "every command also accepts --stats [--stats-format prometheus|json]\n"
       "to append a metrics report, and --trace to append a span summary.\n"
       "\n"
-      "see src/cli/commands.h for per-command flags.\n";
+      "run `infoleak <command> --help` for the command's flags.\n";
+  return out;
 }
 
 Status Dispatch(const std::vector<std::string>& args, std::string* out) {
   if (args.empty() || args[0] == "help" || args[0] == "--help") {
+    if (args.size() >= 2) {
+      if (const CommandDoc* doc = FindCommand(args[1]); doc != nullptr) {
+        *out += HelpText(*doc);
+        return Status::OK();
+      }
+    }
     *out += UsageText();
     return Status::OK();
   }
@@ -727,26 +1073,20 @@ Status Dispatch(const std::vector<std::string>& args, std::string* out) {
       std::vector<std::string>(args.begin() + 1, args.end()));
   if (!flags.ok()) return flags.status();
   const std::string& command = args[0];
-  Status (*run)(const FlagSet&, std::string*) = nullptr;
-  if (command == "leakage") run = RunLeakage;
-  if (command == "er") run = RunEr;
-  if (command == "incremental") run = RunIncremental;
-  if (command == "generate") run = RunGenerate;
-  if (command == "anonymize") run = RunAnonymize;
-  if (command == "dipping") run = RunDipping;
-  if (command == "enhance") run = RunEnhance;
-  if (command == "disinfo") run = RunDisinfo;
-  if (command == "reidentify") run = RunReidentify;
-  if (command == "stats") run = RunStats;
-  if (run == nullptr) {
+  const CommandDoc* doc = FindCommand(command);
+  if (doc == nullptr) {
     *out += UsageText();
     return Status::InvalidArgument("unknown command '" + command + "'");
+  }
+  if (flags->Has("help")) {
+    *out += HelpText(*doc);
+    return Status::OK();
   }
   obs::MetricsRegistry::Global()
       .GetCounter("infoleak_cli_commands_total", {{"command", command}},
                   "CLI commands dispatched")
       .Inc();
-  Status status = run(*flags, out);
+  Status status = doc->run(*flags, out);
   if (!status.ok()) return status;
   return MaybeAppendStats(*flags, out);
 }

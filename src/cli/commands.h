@@ -32,6 +32,15 @@ namespace infoleak::cli {
 ///   reidentify  --db <csv> --references <file with one record per line>
 ///   stats       [--format prometheus|json] [--skip-zero]
 ///               [--skip-histograms]
+///   serve       [--port P] [--workers N] [--queue-depth D]
+///               [--deadline-ms MS] [--idle-timeout-ms MS]
+///               [--max-frame-bytes B] [--cache-refs N] [--db <csv>]
+///   call        --port P [--host H] [--timeout-ms MS]
+///               (--request '<json line>' | --verb V [--body '{...}'])
+///
+/// `infoleak <command> --help` (or `infoleak help <command>`) prints the
+/// command's full flag vocabulary; the same registry backs unknown-flag
+/// rejection, so help and validation cannot drift apart.
 ///
 /// Every command additionally accepts the observability riders
 /// `--stats [--stats-format prometheus|json]` (append a metrics report to
@@ -53,6 +62,8 @@ Status RunEnhance(const FlagSet& flags, std::string* out);
 Status RunDisinfo(const FlagSet& flags, std::string* out);
 Status RunReidentify(const FlagSet& flags, std::string* out);
 Status RunStats(const FlagSet& flags, std::string* out);
+Status RunServe(const FlagSet& flags, std::string* out);
+Status RunCall(const FlagSet& flags, std::string* out);
 
 /// Usage text for `infoleak help` / bad invocations.
 std::string UsageText();

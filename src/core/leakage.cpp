@@ -466,6 +466,45 @@ Result<double> SetLeakageArgMax(const Database& db, const PreparedReference& p,
   return best_index < 0 ? 0.0 : best;
 }
 
+Result<double> SetLeakageArgMax(const Database& db, const PreparedReference& p,
+                                const LeakageEngine& engine,
+                                std::ptrdiff_t* argmax,
+                                const std::function<bool()>& cancel,
+                                std::size_t check_every) {
+  if (!cancel) return SetLeakageArgMax(db, p, engine, argmax);
+  if (check_every == 0) check_every = 1;
+  obs::TraceSpan span("leakage/set");
+  WallTimer timer;
+  const bool prepared = engine.SupportsPrepared();
+  double best = 0.0;
+  std::ptrdiff_t best_index = -1;
+  LeakageWorkspace ws;
+  PreparedRecord r;
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    if (i % check_every == 0 && cancel()) {
+      return Status::DeadlineExceeded(
+          "set-leakage scan cancelled after " + std::to_string(i) + " of " +
+          std::to_string(db.size()) + " records");
+    }
+    Result<double> l = 0.0;
+    if (prepared) {
+      r.Assign(db[i], p);
+      l = engine.RecordLeakagePrepared(r, p, &ws);
+    } else {
+      l = engine.RecordLeakage(db[i], p.record(), p.weight_model());
+    }
+    if (!l.ok()) return l.status();
+    PathCounter(prepared).Inc();
+    if (best_index < 0 || *l > best) {
+      best = *l;
+      best_index = static_cast<std::ptrdiff_t>(i);
+    }
+  }
+  SetLeakageLatency(/*parallel=*/false).Observe(timer.ElapsedSeconds());
+  if (argmax != nullptr) *argmax = best_index;
+  return best_index < 0 ? 0.0 : best;
+}
+
 Result<double> SetLeakageArgMax(const Database& db, const Record& p,
                                 const WeightModel& wm,
                                 const LeakageEngine& engine,

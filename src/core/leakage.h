@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <span>
 #include <string_view>
@@ -231,6 +232,19 @@ Result<double> SetLeakageArgMax(const Database& db, const Record& p,
 Result<double> SetLeakageArgMax(const Database& db, const PreparedReference& p,
                                 const LeakageEngine& engine,
                                 std::ptrdiff_t* argmax);
+
+/// \brief Cancellable set-leakage scan: as SetLeakageArgMax, but polls
+/// `cancel` every `check_every` record evaluations (and before the first);
+/// a true return aborts the scan with DeadlineExceeded. The scan order and
+/// floating-point accumulation match the uncancelled overload exactly, so a
+/// run that is never cancelled returns bit-identical results. This is how
+/// the serving layer enforces per-request deadlines mid-evaluation without
+/// the engines knowing about clocks.
+Result<double> SetLeakageArgMax(const Database& db, const PreparedReference& p,
+                                const LeakageEngine& engine,
+                                std::ptrdiff_t* argmax,
+                                const std::function<bool()>& cancel,
+                                std::size_t check_every = 256);
 
 /// \brief Parallel set leakage: partitions the database across
 /// `num_threads` worker threads (hardware concurrency when 0) and reduces

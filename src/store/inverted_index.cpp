@@ -1,6 +1,7 @@
 #include "store/inverted_index.h"
 
 #include <algorithm>
+#include <mutex>
 
 #include "obs/metrics.h"
 
@@ -32,8 +33,20 @@ IndexMetrics& Metrics() {
 
 }  // namespace
 
+InvertedIndex::InvertedIndex(InvertedIndex&& other) noexcept
+    : syms_(std::move(other.syms_)), postings_(std::move(other.postings_)) {}
+
+InvertedIndex& InvertedIndex::operator=(InvertedIndex&& other) noexcept {
+  if (this != &other) {
+    syms_ = std::move(other.syms_);
+    postings_ = std::move(other.postings_);
+  }
+  return *this;
+}
+
 void InvertedIndex::Add(RecordId id, const Record& record) {
   Metrics().adds.Inc();
+  std::unique_lock lock(mu_);
   for (const auto& a : record) {
     const uint64_t key = PackSymbolPair(syms_.labels.Intern(a.label),
                                         syms_.values.Intern(a.value));
@@ -46,8 +59,8 @@ void InvertedIndex::Add(RecordId id, const Record& record) {
   }
 }
 
-const std::vector<RecordId>* InvertedIndex::Find(std::string_view label,
-                                                 std::string_view value) const {
+const std::vector<RecordId>* InvertedIndex::FindLocked(
+    std::string_view label, std::string_view value) const {
   IndexMetrics& metrics = Metrics();
   metrics.lookups.Inc();
   const uint32_t lid = syms_.labels.Find(label);
@@ -61,20 +74,39 @@ const std::vector<RecordId>* InvertedIndex::Find(std::string_view label,
   return &it->second;
 }
 
+const std::vector<RecordId>* InvertedIndex::Find(std::string_view label,
+                                                 std::string_view value) const {
+  std::shared_lock lock(mu_);
+  return FindLocked(label, value);
+}
+
+std::vector<RecordId> InvertedIndex::Postings(std::string_view label,
+                                              std::string_view value) const {
+  std::shared_lock lock(mu_);
+  const auto* list = FindLocked(label, value);
+  return list != nullptr ? *list : std::vector<RecordId>{};
+}
+
 std::vector<RecordId> InvertedIndex::Candidates(
     const Record& record, const std::vector<std::string>& labels) const {
+  std::shared_lock lock(mu_);
   std::vector<RecordId> out;
   for (const auto& a : record) {
     if (!labels.empty() &&
         std::find(labels.begin(), labels.end(), a.label) == labels.end()) {
       continue;
     }
-    const auto* list = Find(a.label, a.value);
+    const auto* list = FindLocked(a.label, a.value);
     if (list != nullptr) out.insert(out.end(), list->begin(), list->end());
   }
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
+}
+
+std::size_t InvertedIndex::num_postings() const {
+  std::shared_lock lock(mu_);
+  return postings_.size();
 }
 
 }  // namespace infoleak

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <mutex>
 
 #include "core/record_io.h"
 #include "obs/metrics.h"
@@ -9,6 +10,20 @@
 #include "util/file.h"
 
 namespace infoleak {
+
+RecordStore::RecordStore(RecordStore&& other) noexcept
+    : db_(std::move(other.db_)),
+      index_(std::move(other.index_)),
+      path_(std::move(other.path_)) {}
+
+RecordStore& RecordStore::operator=(RecordStore&& other) noexcept {
+  if (this != &other) {
+    db_ = std::move(other.db_);
+    index_ = std::move(other.index_);
+    path_ = std::move(other.path_);
+  }
+  return *this;
+}
 
 Result<RecordStore> RecordStore::Open(const std::string& path) {
   RecordStore store;
@@ -38,6 +53,7 @@ RecordId RecordStore::Append(Record record) {
   // carries so the fresh id assigned by Add matches the vector index.
   Record clean;
   for (auto& a : record) clean.Insert(std::move(a));
+  std::unique_lock lock(mu_);
   RecordId id = db_.Add(std::move(clean));
   index_.Add(id, db_[db_.size() - 1]);
   return id;
@@ -49,10 +65,17 @@ Status RecordStore::Flush(const std::string& path) const {
     return Status::FailedPrecondition(
         "store has no bound path; pass one to Flush");
   }
+  std::shared_lock lock(mu_);
   return WriteStringToFile(target, SaveDatabaseCsv(db_));
 }
 
+std::size_t RecordStore::size() const {
+  std::shared_lock lock(mu_);
+  return db_.size();
+}
+
 Result<Record> RecordStore::Get(RecordId id) const {
+  std::shared_lock lock(mu_);
   if (id >= db_.size()) {
     return Status::OutOfRange("no record with id " + std::to_string(id));
   }
@@ -61,14 +84,41 @@ Result<Record> RecordStore::Get(RecordId id) const {
 
 std::vector<RecordId> RecordStore::Lookup(std::string_view label,
                                           std::string_view value) const {
-  const auto* list = index_.Find(label, value);
-  return list != nullptr ? *list : std::vector<RecordId>{};
+  std::shared_lock lock(mu_);
+  return index_.Postings(label, value);
 }
 
 Result<double> RecordStore::Leakage(const Record& p, const WeightModel& wm,
                                     const LeakageEngine& engine) const {
   const PreparedReference ref(p, wm);
+  std::shared_lock lock(mu_);
   return SetLeakage(db_, ref, engine);
+}
+
+Result<double> RecordStore::SetLeak(const PreparedReference& ref,
+                                    const LeakageEngine& engine,
+                                    std::ptrdiff_t* argmax,
+                                    const std::function<bool()>& cancel) const {
+  std::shared_lock lock(mu_);
+  if (!cancel) return SetLeakageArgMax(db_, ref, engine, argmax);
+  return SetLeakageArgMax(db_, ref, engine, argmax, cancel);
+}
+
+Result<double> RecordStore::RecordLeak(RecordId id,
+                                       const PreparedReference& ref,
+                                       const LeakageEngine& engine) const {
+  std::shared_lock lock(mu_);
+  if (id >= db_.size()) {
+    return Status::OutOfRange("no record with id " + std::to_string(id));
+  }
+  // Mirrors BatchLeakage's per-record path so the answer is bit-identical
+  // to the offline CLI's per-record report.
+  if (!engine.SupportsPrepared()) {
+    return engine.RecordLeakage(db_[id], ref.record(), ref.weight_model());
+  }
+  LeakageWorkspace ws;
+  PreparedRecord r(db_[id], ref);
+  return engine.RecordLeakagePrepared(r, ref, &ws);
 }
 
 Result<Record> RecordStore::Dossier(const Record& query,
@@ -79,6 +129,7 @@ Result<Record> RecordStore::Dossier(const Record& query,
       "infoleak_store_dossiers_total", {},
       "Dossier expansions run against a RecordStore");
   dossiers.Inc();
+  std::shared_lock lock(mu_);
   // Breadth-first expansion over posting lists: the frontier holds records
   // whose attributes have not yet been used to find neighbors.
   Record dossier;

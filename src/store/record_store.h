@@ -1,5 +1,7 @@
 #pragma once
 
+#include <functional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -22,9 +24,21 @@ namespace infoleak {
 /// instead of resolving the entire database. Equivalent to
 /// `DippingResult` with a `RuleMatch::SharedValue` resolver (tested), at a
 /// fraction of the match calls.
+///
+/// Thread safety: an internal `std::shared_mutex` makes one store safe to
+/// share between concurrent readers (`Get`, `Lookup`, `Dossier`, `Leakage`,
+/// `SetLeak`, `Flush`, `size`) and a writer (`Append`) — the contract the
+/// `infoleak serve` worker pool relies on. Each read holds the lock shared
+/// for its whole duration, so a set-leakage scan sees one consistent
+/// snapshot while appends queue behind it. The reference accessors
+/// `database()`/`index()` are unsynchronized views: callers must quiesce
+/// writers before using them. Moves are not synchronized; move a store only
+/// before sharing it.
 class RecordStore {
  public:
   RecordStore() = default;
+  RecordStore(RecordStore&& other) noexcept;
+  RecordStore& operator=(RecordStore&& other) noexcept;
 
   /// Loads a store from `path` (CSV long format); a missing file yields an
   /// empty store bound to that path.
@@ -39,9 +53,11 @@ class RecordStore {
   /// Persists to the bound path (or `path` when given).
   Status Flush(const std::string& path = "") const;
 
+  /// Unsynchronized views — quiesce writers before touching these.
   const Database& database() const { return db_; }
   const InvertedIndex& index() const { return index_; }
-  std::size_t size() const { return db_.size(); }
+
+  std::size_t size() const;
 
   /// Record by id; OutOfRange when absent.
   Result<Record> Get(RecordId id) const;
@@ -64,7 +80,24 @@ class RecordStore {
   Result<double> Leakage(const Record& p, const WeightModel& wm,
                          const LeakageEngine& engine) const;
 
+  /// Serving-path set leakage against a caller-prepared reference (reused
+  /// across requests), with optional arg-max reporting and cancellation —
+  /// `cancel` is polled periodically mid-scan so a deadline can abort a
+  /// long evaluation with DeadlineExceeded. Holds the read lock for the
+  /// whole scan: one consistent snapshot, bit-identical to `Leakage` on a
+  /// quiescent store.
+  Result<double> SetLeak(const PreparedReference& ref,
+                         const LeakageEngine& engine,
+                         std::ptrdiff_t* argmax = nullptr,
+                         const std::function<bool()>& cancel = {}) const;
+
+  /// Record leakage L(r, p) of the stored record `id` against a prepared
+  /// reference, through the engine's prepared path (string fallback).
+  Result<double> RecordLeak(RecordId id, const PreparedReference& ref,
+                            const LeakageEngine& engine) const;
+
  private:
+  mutable std::shared_mutex mu_;
   Database db_;
   InvertedIndex index_;
   std::string path_;

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <string>
+
+#include "svc/json.h"
+#include "util/result.h"
+
+namespace infoleak::svc {
+
+/// \brief Blocking line-protocol client for the leakage query service.
+///
+/// One connection, serial request/response: `Call` renders the request as
+/// a single JSON line, writes it, and blocks until the matching response
+/// line arrives (or the receive timeout fires). Not thread-safe — use one
+/// Client per thread; connections are cheap.
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connects to host:port. `timeout_ms` bounds both the connect and every
+  /// later receive (0 = no timeout).
+  static Result<Client> Connect(const std::string& host, int port,
+                                int timeout_ms = 30000);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Sends one raw line (newline appended) and returns the raw response
+  /// line. Transport errors only — a server-side error still returns OK
+  /// here, carrying the error JSON.
+  Result<std::string> CallRaw(const std::string& line);
+
+  /// Sends a request object and parses the response. A response with
+  /// `"ok": false` becomes a non-OK Status carrying code and message, so
+  /// callers only unpack successful payloads.
+  Result<JsonValue> Call(const JsonValue& request);
+
+  /// Convenience: builds `{"verb": verb, ...body}` and calls. The body's
+  /// members are merged in (body must be an object or null).
+  Result<JsonValue> CallVerb(const std::string& verb, JsonValue body);
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::string rxbuf_;  // bytes received beyond the last returned line
+};
+
+}  // namespace infoleak::svc

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/result.h"
+
+namespace infoleak::svc {
+
+/// \brief Minimal JSON document model for the wire protocol. One request or
+/// response is a small flat object, so the representation favors simplicity
+/// over speed: objects keep their members as an insertion-ordered vector
+/// (no hashing, deterministic rendering), numbers are doubles.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double v);
+  static JsonValue Str(std::string s);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+  const std::vector<JsonValue>& items() const { return items_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Object member by key; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Builder helpers (no-ops on the wrong kind).
+  void Push(JsonValue v);
+  void Set(std::string key, JsonValue v);
+
+  /// Typed object-field accessors with fallbacks, for protocol handlers.
+  std::string GetString(std::string_view key,
+                        std::string_view fallback = "") const;
+  double GetNumber(std::string_view key, double fallback) const;
+  bool GetBool(std::string_view key, bool fallback) const;
+
+  /// Renders compact single-line JSON. Doubles are printed with enough
+  /// digits to round-trip; integral values print without a fraction.
+  std::string Render() const;
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses one JSON document; trailing non-whitespace is an error. Depth is
+/// capped (hostile inputs must not be able to blow the stack), and only
+/// finite numbers are accepted.
+Result<JsonValue> ParseJson(std::string_view text);
+
+/// Escapes `s` into a double-quoted JSON string literal.
+std::string JsonQuote(std::string_view s);
+
+/// Renders a double the way `JsonValue::Render` does (round-trip digits,
+/// no fraction for integral values).
+std::string JsonNumber(double v);
+
+}  // namespace infoleak::svc

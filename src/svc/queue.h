@@ -1,0 +1,76 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace infoleak::svc {
+
+/// \brief Bounded multi-producer/multi-consumer queue — the admission
+/// boundary between the server's acceptor thread and its worker pool.
+///
+/// Producers never block: `TryPush` fails immediately when the queue is at
+/// capacity, which is what lets the acceptor shed load with an `overloaded`
+/// response instead of stalling the poll loop. Consumers block in `Pop`
+/// until an item arrives or the queue is closed. `Close` is the graceful-
+/// drain switch: it rejects new pushes but lets consumers drain everything
+/// already admitted before `Pop` starts returning false.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Admits `item` unless the queue is full or closed. Never blocks.
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available (true) or the queue is closed and
+  /// drained (false).
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Stops admissions; consumers drain the backlog, then Pop returns false.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace infoleak::svc

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "svc/service.h"
+#include "util/status.h"
+
+namespace infoleak::svc {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back via `port()`).
+  int port = 0;
+  /// Worker threads draining the request queue.
+  std::size_t workers = 4;
+  /// Bounded request-queue depth; admission control sheds beyond this.
+  std::size_t queue_depth = 128;
+  /// Per-request deadline, measured from admission; enforced at dequeue
+  /// and polled mid-evaluation. 0 disables deadlines.
+  int deadline_ms = 10000;
+  /// Connections idle longer than this are closed. 0 disables the reaper.
+  int idle_timeout_ms = 30000;
+  /// Maximum length of one request line; longer frames get
+  /// `frame_too_large` and the connection is closed.
+  std::size_t max_frame_bytes = 1 << 20;
+};
+
+/// Totals accumulated over one `Run()`; stable once Run returns.
+struct ServerStats {
+  uint64_t accepted = 0;        ///< connections accepted
+  uint64_t requests = 0;        ///< frames admitted to the queue
+  uint64_t shed = 0;            ///< frames rejected with `overloaded`
+  uint64_t deadline_misses = 0; ///< expired at dequeue or mid-evaluation
+  uint64_t frame_errors = 0;    ///< oversized frames
+  uint64_t rejected_draining = 0;  ///< frames arriving during shutdown
+};
+
+/// \brief The network face of the leakage query service: a poll-driven
+/// acceptor thread owning every socket, a bounded admission queue, and a
+/// worker pool executing requests against the shared `LeakageService`.
+///
+/// Robustness model:
+///  * the acceptor never blocks on request execution — a full queue sheds
+///    the frame with an `overloaded` response instead of back-pressuring
+///    the poll loop;
+///  * every admitted request carries a deadline; workers drop expired
+///    requests at dequeue and abort mid-evaluation via the service's
+///    cancel hook, answering `deadline_exceeded` either way;
+///  * oversized frames and idle connections are closed deliberately,
+///    never accumulated;
+///  * `RequestShutdown` (async-signal-safe: one write to a self-pipe)
+///    starts a graceful drain — stop accepting, reject new frames, finish
+///    everything already admitted, flush every response, then return from
+///    `Run`.
+///
+/// Threading: construct, `Start()`, then call `Run()` from the owning
+/// thread (it blocks until shutdown completes). `RequestShutdown()` may be
+/// called from any thread or from a signal handler.
+class Server {
+ public:
+  Server(LeakageService& service, ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns the worker pool.
+  Status Start();
+
+  /// The bound port (after Start); useful with `port = 0`.
+  int port() const;
+
+  /// Serves until a graceful shutdown completes. Returns the first fatal
+  /// acceptor error, or OK after a clean drain.
+  Status Run();
+
+  /// Triggers the graceful drain. Async-signal-safe.
+  void RequestShutdown();
+
+  /// Totals for the completed run (call after Run returns).
+  const ServerStats& stats() const;
+
+  /// One-line human summary of `stats()` for the serve command's report.
+  std::string StatsSummary() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace infoleak::svc

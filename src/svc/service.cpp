@@ -1,0 +1,273 @@
+#include "svc/service.h"
+
+#include <cmath>
+
+#include "core/record_io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/timer.h"
+
+namespace infoleak::svc {
+namespace {
+
+obs::Counter& VerbCounter(const std::string& verb) {
+  return obs::MetricsRegistry::Global().GetCounter(
+      "infoleak_svc_requests_total", {{"verb", verb}},
+      "Service requests dispatched, by verb");
+}
+
+/// Span names must have static lifetime (the trace recorder keeps the
+/// view), so verbs map onto literals.
+std::string_view SpanName(const std::string& verb) {
+  if (verb == "ping") return "svc/ping";
+  if (verb == "append") return "svc/append";
+  if (verb == "leak") return "svc/leak";
+  if (verb == "set-leak") return "svc/set-leak";
+  if (verb == "resolve") return "svc/resolve";
+  if (verb == "stats") return "svc/stats";
+  return "svc/unknown";
+}
+
+/// Extracts a non-negative integral field; `required` distinguishes a
+/// missing field from a malformed one.
+Result<long long> GetIndex(const JsonValue& body, std::string_view key) {
+  const JsonValue* v = body.Find(key);
+  if (v == nullptr) return Status::NotFound("missing field");
+  if (!v->is_number() || v->as_number() < 0 ||
+      v->as_number() != std::floor(v->as_number())) {
+    return Status::InvalidArgument("field \"" + std::string(key) +
+                                   "\" must be a non-negative integer");
+  }
+  return static_cast<long long>(v->as_number());
+}
+
+}  // namespace
+
+LeakageService::LeakageService(RecordStore store, ServiceConfig config)
+    : store_(std::move(store)), config_(std::move(config)) {
+  if (config_.max_cached_references == 0) config_.max_cached_references = 1;
+}
+
+std::size_t LeakageService::cached_references() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return reference_cache_.size();
+}
+
+Result<const LeakageEngine*> LeakageService::PickEngine(
+    const JsonValue& body) const {
+  const std::string name = body.GetString("engine", "auto");
+  if (name == "auto") return static_cast<const LeakageEngine*>(&auto_engine_);
+  if (name == "naive") return static_cast<const LeakageEngine*>(&naive_engine_);
+  if (name == "exact") return static_cast<const LeakageEngine*>(&exact_engine_);
+  if (name == "approx") {
+    return static_cast<const LeakageEngine*>(&approx_engine_);
+  }
+  return Status::InvalidArgument("unknown engine '" + name +
+                                 "' (auto|naive|exact|approx)");
+}
+
+Result<std::shared_ptr<const LeakageService::PreparedEntry>>
+LeakageService::PrepareReference(const JsonValue& body) {
+  const JsonValue* ref_text = body.Find("reference");
+  if (ref_text == nullptr || !ref_text->is_string()) {
+    return Status::InvalidArgument(
+        "missing string field \"reference\" ({<label, value, conf>, ...})");
+  }
+  const std::string weights_spec = body.GetString("weights");
+  // Key on the raw texts: two requests spelling the same reference the
+  // same way share one prepared entry, differently-spelled equivalents
+  // just prepare twice (harmless).
+  std::string key = ref_text->as_string() + '\x1f' + weights_spec;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = reference_cache_.find(key);
+    if (it != reference_cache_.end()) {
+      static obs::Counter& hits = obs::MetricsRegistry::Global().GetCounter(
+          "infoleak_svc_reference_cache_total", {{"result", "hit"}},
+          "Prepared-reference cache lookups");
+      hits.Inc();
+      return it->second;
+    }
+  }
+  auto record = ParseRecord(ref_text->as_string());
+  if (!record.ok()) return record.status();
+  auto weights = WeightModel::Parse(weights_spec);
+  if (!weights.ok()) return weights.status();
+  auto entry = std::make_shared<const PreparedEntry>(
+      std::move(record).value(), std::move(weights).value());
+  static obs::Counter& misses = obs::MetricsRegistry::Global().GetCounter(
+      "infoleak_svc_reference_cache_total", {{"result", "miss"}},
+      "Prepared-reference cache lookups");
+  misses.Inc();
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto [it, inserted] = reference_cache_.emplace(key, entry);
+  if (!inserted) return it->second;  // racing preparer won; use theirs
+  cache_order_.push_back(std::move(key));
+  while (reference_cache_.size() > config_.max_cached_references) {
+    reference_cache_.erase(cache_order_.front());
+    cache_order_.pop_front();
+  }
+  return entry;
+}
+
+Result<JsonValue> LeakageService::Dispatch(
+    const Request& req, const std::function<bool()>& cancel) {
+  const JsonValue& body = req.body;
+  JsonValue out = OkResponse(req.id);
+  out.Set("verb", JsonValue::Str(req.verb));
+
+  if (req.verb == "ping") {
+    out.Set("pong", JsonValue::Bool(true));
+    // Test/bench aid: spin for `burn_ms` so callers can fill the queue and
+    // exercise shedding and deadline misses deterministically.
+    const double burn_ms = body.GetNumber("burn_ms", 0.0);
+    if (burn_ms > 0) {
+      WallTimer timer;
+      while (timer.ElapsedMillis() < burn_ms) {
+        if (cancel && cancel()) {
+          return Status::DeadlineExceeded("ping burn cancelled");
+        }
+      }
+    }
+    return out;
+  }
+
+  if (req.verb == "append") {
+    const JsonValue* text = body.Find("record");
+    if (text == nullptr || !text->is_string()) {
+      return Status::InvalidArgument(
+          "missing string field \"record\" ({<label, value, conf>, ...})");
+    }
+    auto record = ParseRecord(text->as_string());
+    if (!record.ok()) return record.status();
+    if (record->empty()) {
+      return Status::InvalidArgument("refusing to append an empty record");
+    }
+    RecordId id = store_.Append(std::move(record).value());
+    out.Set("appended", JsonValue::Number(static_cast<double>(id)));
+    out.Set("records", JsonValue::Number(static_cast<double>(store_.size())));
+    return out;
+  }
+
+  if (req.verb == "leak") {
+    auto entry = PrepareReference(body);
+    if (!entry.ok()) return entry.status();
+    auto engine = PickEngine(body);
+    if (!engine.ok()) return engine.status();
+    if (cancel && cancel()) {
+      return Status::DeadlineExceeded("deadline expired before evaluation");
+    }
+    Result<double> leakage = 0.0;
+    if (const JsonValue* text = body.Find("record"); text != nullptr) {
+      if (!text->is_string()) {
+        return Status::InvalidArgument("field \"record\" must be a string");
+      }
+      auto record = ParseRecord(text->as_string());
+      if (!record.ok()) return record.status();
+      leakage = (*engine)->RecordLeakage(*record, (*entry)->reference,
+                                         (*entry)->weights);
+    } else {
+      auto id = GetIndex(body, "record_id");
+      if (!id.ok()) {
+        return id.status().IsNotFound()
+                   ? Status::InvalidArgument(
+                         "leak needs \"record\" (inline text) or "
+                         "\"record_id\" (stored id)")
+                   : id.status();
+      }
+      leakage = store_.RecordLeak(static_cast<RecordId>(*id),
+                                  (*entry)->prepared, **engine);
+    }
+    if (!leakage.ok()) return leakage.status();
+    out.Set("leakage", JsonValue::Number(*leakage));
+    return out;
+  }
+
+  if (req.verb == "set-leak") {
+    auto entry = PrepareReference(body);
+    if (!entry.ok()) return entry.status();
+    auto engine = PickEngine(body);
+    if (!engine.ok()) return engine.status();
+    std::ptrdiff_t argmax = -1;
+    auto leakage = store_.SetLeak((*entry)->prepared, **engine, &argmax,
+                                  cancel);
+    if (!leakage.ok()) return leakage.status();
+    out.Set("leakage", JsonValue::Number(*leakage));
+    out.Set("argmax", JsonValue::Number(static_cast<double>(argmax)));
+    out.Set("records", JsonValue::Number(static_cast<double>(store_.size())));
+    return out;
+  }
+
+  if (req.verb == "resolve") {
+    const JsonValue* text = body.Find("query");
+    if (text == nullptr || !text->is_string()) {
+      return Status::InvalidArgument(
+          "missing string field \"query\" ({<label, value, conf>, ...})");
+    }
+    auto query = ParseRecord(text->as_string());
+    if (!query.ok()) return query.status();
+    if (query->empty()) {
+      return Status::InvalidArgument("resolve needs a non-empty query");
+    }
+    std::vector<std::string> labels;
+    if (const JsonValue* l = body.Find("labels"); l != nullptr) {
+      if (!l->is_array()) {
+        return Status::InvalidArgument(
+            "field \"labels\" must be an array of strings");
+      }
+      for (const auto& item : l->items()) {
+        if (!item.is_string()) {
+          return Status::InvalidArgument(
+              "field \"labels\" must be an array of strings");
+        }
+        labels.push_back(item.as_string());
+      }
+    }
+    std::vector<RecordId> members;
+    auto dossier = store_.Dossier(*query, labels, &members);
+    if (!dossier.ok()) return dossier.status();
+    out.Set("dossier", JsonValue::Str(FormatRecord(*dossier)));
+    out.Set("members",
+            JsonValue::Number(static_cast<double>(members.size())));
+    JsonValue ids = JsonValue::Array();
+    for (RecordId id : members) {
+      ids.Push(JsonValue::Number(static_cast<double>(id)));
+    }
+    out.Set("ids", std::move(ids));
+    return out;
+  }
+
+  if (req.verb == "stats") {
+    out.Set("records", JsonValue::Number(static_cast<double>(store_.size())));
+    out.Set("postings", JsonValue::Number(
+                            static_cast<double>(store_.index().num_postings())));
+    out.Set("cached_references",
+            JsonValue::Number(static_cast<double>(cached_references())));
+    JsonValue verbs = JsonValue::Object();
+    for (const char* verb :
+         {"ping", "append", "leak", "set-leak", "resolve", "stats"}) {
+      verbs.Set(verb, JsonValue::Number(
+                          static_cast<double>(VerbCounter(verb).Value())));
+    }
+    out.Set("requests", std::move(verbs));
+    return out;
+  }
+
+  return Status::InvalidArgument("unknown verb '" + req.verb + "'");
+}
+
+std::string LeakageService::Handle(const Request& req,
+                                   const std::function<bool()>& cancel,
+                                   std::string* wire_code) {
+  obs::TraceSpan span(SpanName(req.verb));
+  VerbCounter(req.verb).Inc();
+  auto result = Dispatch(req, cancel);
+  if (!result.ok()) {
+    if (wire_code != nullptr) *wire_code = WireCode(result.status());
+    return StatusResponse(req.id, result.status());
+  }
+  if (wire_code != nullptr) wire_code->clear();
+  return result->Render();
+}
+
+}  // namespace infoleak::svc

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/leakage.h"
+#include "store/record_store.h"
+#include "svc/protocol.h"
+
+namespace infoleak::svc {
+
+struct ServiceConfig {
+  /// Cap on the prepared-reference cache (FIFO eviction). Entries are
+  /// shared_ptrs, so evicting one that a concurrent request still uses is
+  /// safe — it dies with its last user.
+  std::size_t max_cached_references = 64;
+};
+
+/// \brief The query-service brain, free of any socket: executes one parsed
+/// `Request` against a resident `RecordStore` and renders the response
+/// line. The server's worker pool shares one instance; everything here is
+/// thread-safe — the store has its own reader/writer lock, the engines are
+/// stateless, and the prepared-reference cache takes a small mutex on
+/// lookup only (evaluation runs lock-free on the cached entry).
+///
+/// The cache is what makes the service a serving layer rather than a CLI
+/// in a loop: a repeated reference (the common case — one auditor probing
+/// many releases) is interned and prepared once, and every later `leak` /
+/// `set-leak` against it starts directly on the prepared fast path.
+///
+/// Verbs: `ping`, `append`, `leak`, `set-leak`, `resolve`, `stats` — see
+/// protocol.h for the wire shapes and docs/service.md for the grammar.
+class LeakageService {
+ public:
+  explicit LeakageService(RecordStore store, ServiceConfig config = {});
+
+  /// Executes one request. `cancel` (optional) is polled mid-evaluation;
+  /// returning true aborts with a `deadline_exceeded` response. Returns the
+  /// complete response line, without the trailing newline. When `wire_code`
+  /// is given it receives the error code of a failed request ("" on
+  /// success) so the caller can classify without re-parsing the line.
+  std::string Handle(const Request& req,
+                     const std::function<bool()>& cancel = {},
+                     std::string* wire_code = nullptr);
+
+  RecordStore& store() { return store_; }
+  const RecordStore& store() const { return store_; }
+
+  std::size_t cached_references() const;
+
+ private:
+  /// Owns the strings a cached PreparedReference points into. Constructed
+  /// in place on the heap and never moved afterwards, so the interior
+  /// pointers stay valid for the entry's lifetime.
+  struct PreparedEntry {
+    Record reference;
+    WeightModel weights;
+    PreparedReference prepared;
+    PreparedEntry(Record r, WeightModel w)
+        : reference(std::move(r)),
+          weights(std::move(w)),
+          prepared(reference, weights) {}
+  };
+
+  Result<std::shared_ptr<const PreparedEntry>> PrepareReference(
+      const JsonValue& body);
+  Result<const LeakageEngine*> PickEngine(const JsonValue& body) const;
+  Result<JsonValue> Dispatch(const Request& req,
+                             const std::function<bool()>& cancel);
+
+  RecordStore store_;
+  ServiceConfig config_;
+  AutoLeakage auto_engine_;
+  NaiveLeakage naive_engine_;
+  ExactLeakage exact_engine_;
+  ApproxLeakage approx_engine_;
+
+  mutable std::mutex cache_mu_;
+  std::unordered_map<std::string, std::shared_ptr<const PreparedEntry>>
+      reference_cache_;
+  std::deque<std::string> cache_order_;  // FIFO eviction
+};
+
+}  // namespace infoleak::svc

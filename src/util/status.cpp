@@ -24,6 +24,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "NotSupported";
     case StatusCode::kCorruption:
       return "Corruption";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

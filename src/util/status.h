@@ -22,6 +22,7 @@ enum class StatusCode {
   kInternal,
   kNotSupported,
   kCorruption,
+  kDeadlineExceeded,
 };
 
 /// \brief Returns a stable human-readable name for a status code.
@@ -73,6 +74,9 @@ class Status {
   static Status Corruption(std::string msg) {
     return Status(StatusCode::kCorruption, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   /// True iff the operation succeeded.
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -86,6 +90,9 @@ class Status {
   bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
   bool IsFailedPrecondition() const {
     return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
   }
 
   /// Renders "OK" or "<CODE>: <message>".

@@ -79,6 +79,84 @@ TEST(CliTest, HelpAndUnknownCommand) {
   EXPECT_FALSE(cli::Dispatch({"frobnicate"}, &out).ok());
 }
 
+// Golden output for `infoleak serve --help`: the help text is generated
+// from the same registry CheckFlags validates against, so this test pins
+// both the rendering and the serve command's flag vocabulary.
+TEST(CliTest, ServeHelpGoldenOutput) {
+  constexpr const char* kGolden =
+      "usage: infoleak serve [flags]\n"
+      "\n"
+      "  serve leakage queries over TCP (newline-delimited JSON)\n"
+      "\n"
+      "flags:\n"
+      "  --host             bind address (default 127.0.0.1)\n"
+      "  --port             TCP port; 0 picks an ephemeral port (default 0)\n"
+      "  --workers          worker threads draining the request queue "
+      "(default 4)\n"
+      "  --queue-depth      bounded queue size; beyond it requests are shed "
+      "with `overloaded` (default 128)\n"
+      "  --deadline-ms      per-request deadline from admission; 0 disables "
+      "(default 10000)\n"
+      "  --idle-timeout-ms  close connections idle this long; 0 disables "
+      "(default 30000)\n"
+      "  --max-frame-bytes  largest accepted request line (default 1048576)\n"
+      "  --cache-refs       prepared-reference cache capacity (default 64)\n"
+      "  --db               CSV database file preloaded into the store\n"
+      "  --db-csv           inline CSV database text preloaded into the "
+      "store\n"
+      "\n"
+      "observability riders (accepted by every command):\n"
+      "  --stats            append a metrics report to the command output\n"
+      "  --stats-format     metrics report format: prometheus|json\n"
+      "  --trace            append a trace-span summary to the command "
+      "output\n";
+  std::string out;
+  ASSERT_TRUE(cli::Dispatch({"serve", "--help"}, &out).ok());
+  EXPECT_EQ(out, kGolden);
+}
+
+TEST(CliTest, HelpCommandAndHelpFlagAgree) {
+  for (const char* command :
+       {"leakage", "er", "incremental", "generate", "anonymize", "dipping",
+        "enhance", "disinfo", "reidentify", "stats", "serve", "call"}) {
+    std::string via_flag, via_help;
+    ASSERT_TRUE(cli::Dispatch({command, "--help"}, &via_flag).ok());
+    ASSERT_TRUE(cli::Dispatch({"help", command}, &via_help).ok());
+    EXPECT_EQ(via_flag, via_help) << command;
+    EXPECT_NE(via_flag.find("usage: infoleak " + std::string(command)),
+              std::string::npos)
+        << command;
+    EXPECT_NE(via_flag.find("observability riders"), std::string::npos)
+        << command;
+  }
+}
+
+TEST(CliTest, UsageListsEveryCommand) {
+  std::string out;
+  ASSERT_TRUE(cli::Dispatch({"help"}, &out).ok());
+  for (const char* command :
+       {"leakage", "er", "incremental", "generate", "anonymize", "dipping",
+        "enhance", "disinfo", "reidentify", "stats", "serve", "call"}) {
+    EXPECT_NE(out.find(std::string("  ") + command + " "), std::string::npos)
+        << command;
+  }
+}
+
+TEST(CliTest, UnknownFlagErrorPointsAtCommandHelp) {
+  std::string out;
+  Status st = cli::Dispatch({"serve", "--warp-speed", "9"}, &out);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("--warp-speed"), std::string::npos);
+  EXPECT_NE(st.message().find("infoleak serve --help"), std::string::npos);
+}
+
+TEST(CliTest, CallWithoutPortFails) {
+  std::string out;
+  Status st = cli::Dispatch({"call", "--verb", "ping"}, &out);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("--port"), std::string::npos);
+}
+
 TEST(CliTest, LeakageCommandReproducesSection24) {
   std::string out;
   Status st = cli::Dispatch(

@@ -40,6 +40,15 @@ TEST(StatusTest, EqualityComparesCodeAndMessage) {
   EXPECT_FALSE(Status::NotFound("x") == Status::OutOfRange("x"));
 }
 
+TEST(StatusTest, DeadlineExceededRoundTrips) {
+  Status st = Status::DeadlineExceeded("too slow");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsDeadlineExceeded());
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(StatusCodeToString(st.code()), "DeadlineExceeded");
+  EXPECT_EQ(st.ToString(), "DeadlineExceeded: too slow");
+}
+
 TEST(ResultTest, HoldsValue) {
   Result<int> r = 42;
   ASSERT_TRUE(r.ok());

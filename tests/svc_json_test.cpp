@@ -1,0 +1,108 @@
+#include "svc/json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace infoleak::svc {
+namespace {
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(ParseJson("null")->is_null());
+  EXPECT_TRUE(ParseJson("true")->as_bool());
+  EXPECT_FALSE(ParseJson("false")->as_bool());
+  EXPECT_DOUBLE_EQ(ParseJson("-12.5e2")->as_number(), -1250.0);
+  EXPECT_EQ(ParseJson("\"hi\"")->as_string(), "hi");
+}
+
+TEST(JsonParseTest, NestedObjectAndArray) {
+  auto v = ParseJson(R"({"a": [1, 2, {"b": "x"}], "c": null})");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  const JsonValue* a = v->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->items().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->items()[0].as_number(), 1.0);
+  EXPECT_EQ(a->items()[2].Find("b")->as_string(), "x");
+  EXPECT_TRUE(v->Find("c")->is_null());
+  EXPECT_EQ(v->Find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  auto v = ParseJson(R"("a\"b\\c\ndA")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->as_string(), "a\"b\\c\ndA");
+}
+
+TEST(JsonParseTest, UnicodeEscapeBecomesUtf8) {
+  auto v = ParseJson("\"\\u00e9\\u4e2d\"");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->as_string(), "\xc3\xa9\xe4\xb8\xad");
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\" 1}").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("nul").ok());
+  EXPECT_FALSE(ParseJson("1 2").ok());  // trailing garbage
+  EXPECT_FALSE(ParseJson("{} x").ok());
+}
+
+TEST(JsonParseTest, RejectsExcessiveNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  auto v = ParseJson(deep);
+  ASSERT_FALSE(v.ok());
+  EXPECT_TRUE(v.status().IsInvalidArgument()) << v.status().ToString();
+}
+
+TEST(JsonParseTest, ErrorsCarryByteOffsets) {
+  auto v = ParseJson("{\"a\": !}");
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.status().message().find("byte 6"), std::string::npos)
+      << v.status().ToString();
+}
+
+TEST(JsonRenderTest, RoundTripsStructure) {
+  const std::string text =
+      R"({"s":"hi","n":2.5,"b":true,"z":null,"a":[1,"x"],"o":{"k":3}})";
+  auto v = ParseJson(text);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->Render(), text);
+}
+
+TEST(JsonRenderTest, IntegersRenderWithoutExponent) {
+  JsonValue v = JsonValue::Object();
+  v.Set("id", JsonValue::Number(123456789.0));
+  EXPECT_EQ(v.Render(), "{\"id\":123456789}");
+}
+
+TEST(JsonRenderTest, DoublesRoundTripBitExactly) {
+  const double value = 0.6666666666666666;  // 2/3: needs all 17 digits
+  JsonValue v = JsonValue::Number(value);
+  auto back = ParseJson(v.Render());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->as_number(), value);
+}
+
+TEST(JsonRenderTest, EscapesControlCharactersAndQuotes) {
+  JsonValue v = JsonValue::Str("a\"b\\c\nd\x01");
+  auto back = ParseJson(v.Render());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->as_string(), "a\"b\\c\nd\x01");
+}
+
+TEST(JsonValueTest, AccessorsFallBackOnWrongType) {
+  auto v = ParseJson(R"({"s": "x", "n": 4})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->GetString("s", "d"), "x");
+  EXPECT_EQ(v->GetString("n", "d"), "d");
+  EXPECT_DOUBLE_EQ(v->GetNumber("n", -1.0), 4.0);
+  EXPECT_DOUBLE_EQ(v->GetNumber("s", -1.0), -1.0);
+  EXPECT_TRUE(v->GetBool("missing", true));
+}
+
+}  // namespace
+}  // namespace infoleak::svc

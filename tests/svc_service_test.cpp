@@ -1,0 +1,185 @@
+#include "svc/service.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/leakage.h"
+#include "core/record_io.h"
+#include "svc/json.h"
+
+namespace infoleak::svc {
+namespace {
+
+constexpr const char* kDbCsv =
+    "record,label,value,confidence\n"
+    "0,N,Alice,1\n0,P,123,1\n"
+    "1,N,Alice,1\n1,C,999,1\n"
+    "2,N,Bob,1\n2,P,987,1\n";
+
+constexpr const char* kReference =
+    "{<N, Alice, 1>, <P, 123, 1>, <C, 999, 1>, <Z, 111, 1>}";
+
+LeakageService MakeService(ServiceConfig config = {}) {
+  auto db = LoadDatabaseCsv(kDbCsv);
+  EXPECT_TRUE(db.ok());
+  return LeakageService(RecordStore::FromDatabase(*db), std::move(config));
+}
+
+Request Req(const std::string& line) {
+  auto parsed = ParseRequest(line);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return std::move(parsed).value();
+}
+
+JsonValue Handle(LeakageService& service, const std::string& line) {
+  auto response = ParseJson(service.Handle(Req(line)));
+  EXPECT_TRUE(response.ok());
+  return std::move(response).value();
+}
+
+TEST(LeakageServiceTest, PingPongs) {
+  LeakageService service = MakeService();
+  JsonValue out = Handle(service, R"({"verb":"ping","id":1})");
+  EXPECT_TRUE(out.GetBool("ok", false));
+  EXPECT_TRUE(out.GetBool("pong", false));
+  EXPECT_DOUBLE_EQ(out.GetNumber("id", -1), 1.0);
+}
+
+TEST(LeakageServiceTest, SetLeakMatchesOfflineApiBitExactly) {
+  // The serving path must answer exactly what the offline API computes on
+  // the same store — same scan order, same accumulation, rendered with
+  // round-trip precision.
+  auto db = LoadDatabaseCsv(kDbCsv);
+  ASSERT_TRUE(db.ok());
+  auto reference = ParseRecord(kReference);
+  ASSERT_TRUE(reference.ok());
+  auto weights = WeightModel::Parse("");
+  ASSERT_TRUE(weights.ok());
+  AutoLeakage engine;
+  std::ptrdiff_t argmax = -1;
+  auto expected = SetLeakageArgMax(*db, *reference, *weights, engine, &argmax);
+  ASSERT_TRUE(expected.ok());
+
+  LeakageService service = MakeService();
+  JsonValue out = Handle(service, std::string(R"({"verb":"set-leak",)") +
+                                      "\"reference\":" + JsonQuote(kReference) +
+                                      "}");
+  ASSERT_TRUE(out.GetBool("ok", false)) << out.Render();
+  EXPECT_EQ(out.GetNumber("leakage", -1), *expected);  // exact, not approx
+  EXPECT_EQ(out.GetNumber("argmax", -2), static_cast<double>(argmax));
+}
+
+TEST(LeakageServiceTest, RecordLeakByIdMatchesOfflineApi) {
+  auto db = LoadDatabaseCsv(kDbCsv);
+  ASSERT_TRUE(db.ok());
+  auto reference = ParseRecord(kReference);
+  ASSERT_TRUE(reference.ok());
+  auto weights = WeightModel::Parse("");
+  ASSERT_TRUE(weights.ok());
+  AutoLeakage engine;
+  auto expected = engine.RecordLeakage((*db)[1], *reference, *weights);
+  ASSERT_TRUE(expected.ok());
+
+  LeakageService service = MakeService();
+  JsonValue out = Handle(service, std::string(R"({"verb":"leak",)") +
+                                      "\"record_id\":1,\"reference\":" +
+                                      JsonQuote(kReference) + "}");
+  ASSERT_TRUE(out.GetBool("ok", false)) << out.Render();
+  EXPECT_EQ(out.GetNumber("leakage", -1), *expected);
+}
+
+TEST(LeakageServiceTest, InlineRecordLeak) {
+  LeakageService service = MakeService();
+  JsonValue out = Handle(
+      service, std::string(R"({"verb":"leak","record":)") +
+                   JsonQuote("{<N, Alice, 1>, <P, 123, 1>}") +
+                   ",\"reference\":" + JsonQuote(kReference) + "}");
+  ASSERT_TRUE(out.GetBool("ok", false)) << out.Render();
+  EXPECT_GT(out.GetNumber("leakage", -1), 0.0);
+}
+
+TEST(LeakageServiceTest, AppendGrowsStoreAndServesNewRecord) {
+  LeakageService service = MakeService();
+  JsonValue out = Handle(service,
+                         std::string(R"({"verb":"append","record":)") +
+                             JsonQuote("{<N, Carol, 0.9>, <P, 555, 1>}") + "}");
+  ASSERT_TRUE(out.GetBool("ok", false)) << out.Render();
+  EXPECT_DOUBLE_EQ(out.GetNumber("appended", -1), 3.0);
+  EXPECT_DOUBLE_EQ(out.GetNumber("records", -1), 4.0);
+
+  JsonValue leak = Handle(
+      service, std::string(R"({"verb":"leak","record_id":3,"reference":)") +
+                   JsonQuote("{<N, Carol, 1>, <P, 555, 1>}") + "}");
+  EXPECT_TRUE(leak.GetBool("ok", false)) << leak.Render();
+}
+
+TEST(LeakageServiceTest, ResolveReturnsDossierAndMembers) {
+  LeakageService service = MakeService();
+  JsonValue out = Handle(service,
+                         std::string(R"({"verb":"resolve","query":)") +
+                             JsonQuote("{<N, Alice>}") + "}");
+  ASSERT_TRUE(out.GetBool("ok", false)) << out.Render();
+  EXPECT_DOUBLE_EQ(out.GetNumber("members", -1), 2.0);
+  ASSERT_NE(out.Find("ids"), nullptr);
+  EXPECT_EQ(out.Find("ids")->items().size(), 2u);
+}
+
+TEST(LeakageServiceTest, StatsReportsStoreAndCache) {
+  LeakageService service = MakeService();
+  Handle(service, std::string(R"({"verb":"set-leak","reference":)") +
+                      JsonQuote(kReference) + "}");
+  JsonValue out = Handle(service, R"({"verb":"stats"})");
+  ASSERT_TRUE(out.GetBool("ok", false));
+  EXPECT_DOUBLE_EQ(out.GetNumber("records", -1), 3.0);
+  EXPECT_DOUBLE_EQ(out.GetNumber("cached_references", -1), 1.0);
+}
+
+TEST(LeakageServiceTest, ReferenceCacheInternsAndEvictsFifo) {
+  ServiceConfig config;
+  config.max_cached_references = 2;
+  LeakageService service = MakeService(config);
+  auto query = [&](const std::string& ref) {
+    Handle(service, std::string(R"({"verb":"set-leak","reference":)") +
+                        JsonQuote(ref) + "}");
+  };
+  query("{<N, Alice, 1>}");
+  query("{<N, Alice, 1>}");  // hit: same spelling
+  EXPECT_EQ(service.cached_references(), 1u);
+  query("{<N, Bob, 1>}");
+  query("{<P, 123, 1>}");  // evicts the Alice entry (FIFO)
+  EXPECT_EQ(service.cached_references(), 2u);
+}
+
+TEST(LeakageServiceTest, ErrorsUseWireCodes) {
+  LeakageService service = MakeService();
+  std::string code;
+  service.Handle(Req(R"({"verb":"warp"})"), {}, &code);
+  EXPECT_EQ(code, "invalid_argument");
+  service.Handle(Req(R"({"verb":"leak","reference":"{<N, Alice>}","record_id":99})"),
+                 {}, &code);
+  EXPECT_EQ(code, "not_found");
+  service.Handle(Req(R"({"verb":"leak","reference":"not a record"})"), {},
+                 &code);
+  EXPECT_EQ(code, "invalid_argument");
+  service.Handle(Req(R"({"verb":"append","record":"{}"})"), {}, &code);
+  EXPECT_EQ(code, "invalid_argument");
+}
+
+TEST(LeakageServiceTest, CancelHookAbortsWithDeadlineExceeded) {
+  LeakageService service = MakeService();
+  std::string code;
+  const std::string response = service.Handle(
+      Req(std::string(R"({"verb":"set-leak","reference":)") +
+          JsonQuote(kReference) + "}"),
+      [] { return true; },  // already expired
+      &code);
+  EXPECT_EQ(code, "deadline_exceeded") << response;
+  auto parsed = ParseJson(response);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->GetBool("ok", true));
+  EXPECT_EQ(parsed->GetString("code"), "deadline_exceeded");
+}
+
+}  // namespace
+}  // namespace infoleak::svc
