@@ -67,9 +67,85 @@ smoke_serve() {
   echo "=== [${dir}] serve smoke OK (port ${port}) ==="
 }
 
+# Durability smoke: serve a durable store with --fsync always, append
+# through the network path, kill -9 (no drain, no flush courtesy), restart
+# on the same data dir, and require every acknowledged append plus a
+# bit-identical leakage answer. Finishes with an offline `compact` and one
+# more recovery to prove the rewritten snapshot stands alone.
+smoke_crash() {
+  local dir="$1"
+  local bin="${dir}/src/cli/infoleak"
+  local log="${dir}/crash_smoke.log"
+  local data
+  data="$(mktemp -d "${dir}/crash-data-XXXXXX")"
+  echo "=== [${dir}] crash-recovery smoke test ==="
+
+  start_durable() {
+    "${bin}" serve --data-dir "${data}" --fsync always --port 0 \
+        --workers 2 >"${log}" 2>&1 &
+    pid=$!
+    port=""
+    for _ in $(seq 1 100); do
+      port="$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' "${log}" | head -n1)"
+      [[ -n "${port}" ]] && break
+      kill -0 "${pid}" 2>/dev/null || break
+      sleep 0.1
+    done
+    if [[ -z "${port}" ]]; then
+      echo "durable serve never reported a listening port:"
+      cat "${log}"
+      kill "${pid}" 2>/dev/null || true
+      return 1
+    fi
+  }
+
+  local pid port
+  start_durable
+  local n=25
+  for i in $(seq 1 "${n}"); do
+    "${bin}" call --port "${port}" --verb append \
+        --body "{\"record\":\"{<N, crash${i}, 0.9>, <C, c${i}, 0.8>}\"}" \
+        | grep -q '"appended":'
+  done
+  local ref='{<N, crash1>, <C, c1>}'
+  local leak_before leak_after
+  leak_before="$("${bin}" call --port "${port}" --verb leak \
+      --body "{\"record_id\":0,\"reference\":\"${ref}\"}")"
+  echo "${leak_before}" | grep -q '"leakage":'
+  # No SIGTERM courtesy: the acknowledged appends must already be on disk.
+  kill -9 "${pid}"
+  wait "${pid}" 2>/dev/null || true
+
+  start_durable
+  "${bin}" call --port "${port}" --verb stats \
+      | grep -q "\"records\":${n}\b"
+  leak_after="$("${bin}" call --port "${port}" --verb leak \
+      --body "{\"record_id\":0,\"reference\":\"${ref}\"}")"
+  kill -TERM "${pid}"
+  wait "${pid}"
+  if [[ "${leak_before}" != "${leak_after}" ]]; then
+    echo "leakage answer changed across kill -9 recovery:"
+    echo "  before: ${leak_before}"
+    echo "  after:  ${leak_after}"
+    return 1
+  fi
+
+  # Offline compact, then one more recovery from the snapshot alone.
+  "${bin}" compact --data-dir "${data}" | grep -q "compacted: ${n} record"
+  start_durable
+  "${bin}" call --port "${port}" --verb stats \
+      | grep -q "\"records\":${n}\b"
+  kill -TERM "${pid}"
+  wait "${pid}"
+  rm -rf "${data}"
+  echo "=== [${dir}] crash-recovery smoke OK (${n} appends survived kill -9) ==="
+}
+
 run_pass build-ci-release
 smoke_serve build-ci-release
+smoke_crash build-ci-release
 run_pass build-ci-asan -DINFOLEAK_SANITIZE=address
 smoke_serve build-ci-asan
+smoke_crash build-ci-asan
 
 echo "=== CI OK: plain Release and ASan suites both green ==="

@@ -28,6 +28,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "ops/operator.h"
+#include "persist/durable_store.h"
 #include "store/record_store.h"
 #include "svc/client.h"
 #include "svc/server.h"
@@ -173,6 +174,13 @@ constexpr FlagDoc kServeFlags[] = {
     {"cache-refs", "prepared-reference cache capacity (default 64)"},
     {"db", "CSV database file preloaded into the store"},
     {"db-csv", "inline CSV database text preloaded into the store"},
+    {"data-dir", "durable mode: recover the store from this directory and "
+                 "write-ahead-log every append"},
+    {"fsync", "WAL durability: always|interval|never (default always)"},
+    {"fsync-interval-ms", "background fsync cadence for --fsync interval "
+                          "(default 25)"},
+    {"snapshot-every", "background-snapshot every N appends; 0 disables "
+                       "(default 0)"},
 };
 
 constexpr FlagDoc kCallFlags[] = {
@@ -183,6 +191,10 @@ constexpr FlagDoc kCallFlags[] = {
                 "'{\"verb\":\"ping\"}'"},
     {"verb", "request verb: ping|append|leak|set-leak|resolve|stats"},
     {"body", "JSON object merged into the request built from --verb"},
+};
+
+constexpr FlagDoc kCompactFlags[] = {
+    {"data-dir", "durable store directory to compact (required)"},
 };
 
 struct CommandDoc {
@@ -215,6 +227,8 @@ constexpr CommandDoc kCommands[] = {
      kServeFlags, RunServe},
     {"call", "send one request to a running `infoleak serve`", kCallFlags,
      RunCall},
+    {"compact", "rewrite a durable store's snapshot and reset its WAL",
+     kCompactFlags, RunCompact},
 };
 
 const CommandDoc* FindCommand(std::string_view name) {
@@ -910,11 +924,50 @@ Status RunServe(const FlagSet& flags, std::string* out) {
   Status ok = CheckFlags(flags, "serve");
   if (!ok.ok()) return ok;
 
+  const std::string data_dir = flags.GetString("data-dir");
+  if (data_dir.empty()) {
+    // The durability riders silently doing nothing would be worse than an
+    // error: a caller asking for fsync semantics must be in durable mode.
+    for (const char* rider : {"fsync", "fsync-interval-ms", "snapshot-every"}) {
+      if (flags.Has(rider)) {
+        return Status::InvalidArgument("--" + std::string(rider) +
+                                       " requires --data-dir <dir>");
+      }
+    }
+  } else if (flags.Has("db") || flags.Has("db-csv")) {
+    return Status::InvalidArgument(
+        "--data-dir recovers the store from disk; it cannot be combined "
+        "with --db/--db-csv");
+  }
+
   RecordStore store;
   if (flags.Has("db") || flags.Has("db-csv")) {
     auto db = LoadDb(flags);
     if (!db.ok()) return db.status();
     store = RecordStore::FromDatabase(*db);
+  }
+
+  std::unique_ptr<persist::DurableStore> durable;
+  if (!data_dir.empty()) {
+    persist::DurableStore::Options opts;
+    auto mode = persist::ParseFsyncMode(flags.GetString("fsync", "always"));
+    if (!mode.ok()) return mode.status();
+    opts.fsync = *mode;
+    auto interval = flags.GetInt("fsync-interval-ms", opts.fsync_interval_ms);
+    if (!interval.ok()) return interval.status();
+    if (*interval <= 0) {
+      return Status::InvalidArgument("--fsync-interval-ms must be >= 1");
+    }
+    opts.fsync_interval_ms = static_cast<int>(*interval);
+    auto every = GetSize(flags, "snapshot-every", 0);
+    if (!every.ok()) return every.status();
+    opts.snapshot_every = *every;
+    auto opened = persist::DurableStore::Open(data_dir, opts);
+    if (!opened.ok()) return opened.status();
+    durable = std::move(opened).value();
+    std::printf("infoleak serve: %s from %s (fsync %s)\n",
+                durable->recovery().Summary().c_str(), data_dir.c_str(),
+                std::string(persist::FsyncModeName(opts.fsync)).c_str());
   }
 
   svc::ServiceConfig service_config;
@@ -958,8 +1011,15 @@ Status RunServe(const FlagSet& flags, std::string* out) {
   }
   config.max_frame_bytes = *max_frame;
 
-  svc::LeakageService service(std::move(store), service_config);
-  svc::Server server(service, config);
+  std::unique_ptr<svc::LeakageService> service;
+  if (durable != nullptr) {
+    service =
+        std::make_unique<svc::LeakageService>(durable.get(), service_config);
+  } else {
+    service = std::make_unique<svc::LeakageService>(std::move(store),
+                                                    service_config);
+  }
+  svc::Server server(*service, config);
   Status started = server.Start();
   if (!started.ok()) return started;
 
@@ -1024,6 +1084,25 @@ Status RunCall(const FlagSet& flags, std::string* out) {
   auto response = client->CallVerb(verb, std::move(body));
   if (!response.ok()) return response.status();
   Append(out, response->Render());
+  return Status::OK();
+}
+
+Status RunCompact(const FlagSet& flags, std::string* out) {
+  Status ok = CheckFlags(flags, "compact");
+  if (!ok.ok()) return ok;
+  const std::string data_dir = flags.GetString("data-dir");
+  if (data_dir.empty()) {
+    return Status::InvalidArgument("missing --data-dir <dir>");
+  }
+  // Offline maintenance: recover exactly as serve would, then fold the
+  // whole state into one snapshot and an empty WAL.
+  auto durable = persist::DurableStore::Open(data_dir);
+  if (!durable.ok()) return durable.status();
+  Append(out, "recovery: " + (*durable)->recovery().Summary());
+  Status compacted = (*durable)->Compact();
+  if (!compacted.ok()) return compacted;
+  Append(out, "compacted: " + std::to_string((*durable)->store().size()) +
+                  " record(s) in one snapshot, wal reset to empty");
   return Status::OK();
 }
 

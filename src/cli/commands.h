@@ -35,8 +35,11 @@ namespace infoleak::cli {
 ///   serve       [--port P] [--workers N] [--queue-depth D]
 ///               [--deadline-ms MS] [--idle-timeout-ms MS]
 ///               [--max-frame-bytes B] [--cache-refs N] [--db <csv>]
+///               [--data-dir DIR [--fsync always|interval|never]
+///                [--fsync-interval-ms MS] [--snapshot-every N]]
 ///   call        --port P [--host H] [--timeout-ms MS]
 ///               (--request '<json line>' | --verb V [--body '{...}'])
+///   compact     --data-dir DIR  (offline snapshot + WAL reset)
 ///
 /// `infoleak <command> --help` (or `infoleak help <command>`) prints the
 /// command's full flag vocabulary; the same registry backs unknown-flag
@@ -64,6 +67,7 @@ Status RunReidentify(const FlagSet& flags, std::string* out);
 Status RunStats(const FlagSet& flags, std::string* out);
 Status RunServe(const FlagSet& flags, std::string* out);
 Status RunCall(const FlagSet& flags, std::string* out);
+Status RunCompact(const FlagSet& flags, std::string* out);
 
 /// Usage text for `infoleak help` / bad invocations.
 std::string UsageText();

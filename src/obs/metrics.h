@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -130,6 +131,26 @@ class Histogram {
 
 /// Default latency bounds (seconds): 1us … 10s, quasi-logarithmic.
 const std::vector<double>& DefaultLatencyBounds();
+
+/// \brief RAII latency probe: observes the elapsed wall time (seconds) into
+/// a histogram on destruction. For timing one fsync, one snapshot write,
+/// one scan — anywhere a manual WallTimer + Observe pair would be noise.
+class HistogramTimer {
+ public:
+  explicit HistogramTimer(Histogram& histogram)
+      : histogram_(histogram), start_(std::chrono::steady_clock::now()) {}
+  ~HistogramTimer() {
+    histogram_.Observe(std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start_)
+                           .count());
+  }
+  HistogramTimer(const HistogramTimer&) = delete;
+  HistogramTimer& operator=(const HistogramTimer&) = delete;
+
+ private:
+  Histogram& histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 /// \brief Read-side view of every registered metric, value-captured at one
 /// point in time. Entries are sorted by (name, labels) so rendering is

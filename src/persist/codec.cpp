@@ -1,0 +1,109 @@
+#include "persist/codec.h"
+
+#include <cstring>
+
+namespace infoleak::persist {
+
+namespace {
+/// Caps one decoded attribute count / string so a corrupt length field
+/// cannot drive a multi-gigabyte allocation before the CRC check would
+/// have caught it (frame payloads are CRC-verified, but snapshot decode
+/// also runs during recovery probing of half-written files).
+constexpr uint32_t kMaxReasonableLength = 1u << 28;  // 256 MiB
+}  // namespace
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4] = {static_cast<char>(v), static_cast<char>(v >> 8),
+                 static_cast<char>(v >> 16), static_cast<char>(v >> 24)};
+  out->append(buf, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+void PutF64(std::string* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PutString(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+Result<uint32_t> Cursor::ReadU32() {
+  if (remaining() < 4) {
+    return Status::Corruption("truncated u32 at byte " + std::to_string(pos_));
+  }
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(bytes_.data()) + pos_;
+  pos_ += 4;
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+Result<uint64_t> Cursor::ReadU64() {
+  auto lo = ReadU32();
+  if (!lo.ok()) return lo.status();
+  auto hi = ReadU32();
+  if (!hi.ok()) return hi.status();
+  return static_cast<uint64_t>(*lo) | (static_cast<uint64_t>(*hi) << 32);
+}
+
+Result<double> Cursor::ReadF64() {
+  auto bits = ReadU64();
+  if (!bits.ok()) return bits.status();
+  double v;
+  uint64_t raw = *bits;
+  std::memcpy(&v, &raw, sizeof(v));
+  return v;
+}
+
+Result<std::string_view> Cursor::ReadString() {
+  auto len = ReadU32();
+  if (!len.ok()) return len.status();
+  if (*len > kMaxReasonableLength || *len > remaining()) {
+    return Status::Corruption("string length " + std::to_string(*len) +
+                              " exceeds remaining " +
+                              std::to_string(remaining()) + " bytes at byte " +
+                              std::to_string(pos_));
+  }
+  std::string_view s = bytes_.substr(pos_, *len);
+  pos_ += *len;
+  return s;
+}
+
+void EncodeRecord(std::string* out, const Record& record) {
+  PutU32(out, static_cast<uint32_t>(record.size()));
+  for (const Attribute& a : record) {
+    PutString(out, a.label);
+    PutString(out, a.value);
+    PutF64(out, a.confidence);
+  }
+}
+
+Result<Record> DecodeRecord(Cursor* cur) {
+  auto count = cur->ReadU32();
+  if (!count.ok()) return count.status();
+  if (*count > kMaxReasonableLength) {
+    return Status::Corruption("implausible attribute count " +
+                              std::to_string(*count));
+  }
+  Record record;
+  for (uint32_t i = 0; i < *count; ++i) {
+    auto label = cur->ReadString();
+    if (!label.ok()) return label.status();
+    auto value = cur->ReadString();
+    if (!value.ok()) return value.status();
+    auto conf = cur->ReadF64();
+    if (!conf.ok()) return conf.status();
+    record.Insert(Attribute(std::string(*label), std::string(*value), *conf));
+  }
+  return record;
+}
+
+}  // namespace infoleak::persist

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/record.h"
+#include "util/result.h"
+
+namespace infoleak::persist {
+
+/// \brief Little-endian binary primitives shared by the WAL frame payloads
+/// and the snapshot body. Everything persisted by `src/persist` flows
+/// through these helpers, so the two formats cannot drift apart and a
+/// record round-trips bit-exactly: confidences are stored as raw IEEE-754
+/// bit patterns, never through decimal text.
+
+void PutU32(std::string* out, uint32_t v);
+void PutU64(std::string* out, uint64_t v);
+/// Stores the double's bit pattern (bit-exact round trip).
+void PutF64(std::string* out, double v);
+/// u32 length prefix + raw bytes.
+void PutString(std::string* out, std::string_view s);
+
+/// \brief Bounded forward reader over a byte buffer. Every `Read*` fails
+/// with Corruption instead of walking past the end, so torn or damaged
+/// inputs surface as a Status, never as out-of-bounds reads.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view bytes) : bytes_(bytes) {}
+
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<double> ReadF64();
+  Result<std::string_view> ReadString();
+
+  std::size_t pos() const { return pos_; }
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+/// Appends one record: u32 attribute count, then per attribute the
+/// length-prefixed label and value plus the confidence bits. Provenance is
+/// deliberately not persisted — stored records are re-stamped with their
+/// position id on replay, exactly as `RecordStore::Append` does live.
+void EncodeRecord(std::string* out, const Record& record);
+
+/// Parses one record at the cursor; Corruption on any malformed shape.
+Result<Record> DecodeRecord(Cursor* cur);
+
+}  // namespace infoleak::persist

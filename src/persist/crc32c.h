@@ -1,0 +1,72 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace infoleak::persist {
+
+/// \brief CRC32C (Castagnoli, polynomial 0x1EDC6F41) — the checksum guarding
+/// every WAL frame and snapshot file.
+///
+/// CRC32C is the storage-industry standard for torn-write detection
+/// (LevelDB/RocksDB WALs, iSCSI, ext4 metadata): unlike a plain sum it
+/// catches all single-bit flips, all odd numbers of bit errors, and any
+/// burst error up to 32 bits — exactly the damage profile of a partial
+/// write or a flipped sector. The implementation is a constexpr-generated
+/// slicing-by-4 table walk: portable, allocation-free, and fast enough
+/// (~1 GB/s) that checksumming never shows up next to the fsync it guards.
+
+namespace internal {
+
+inline constexpr uint32_t kCrc32cPoly = 0x82F63B78u;  // reflected 0x1EDC6F41
+
+constexpr std::array<std::array<uint32_t, 256>, 4> BuildCrc32cTables() {
+  std::array<std::array<uint32_t, 256>, 4> tables{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? kCrc32cPoly : 0u);
+    }
+    tables[0][i] = crc;
+  }
+  for (uint32_t i = 0; i < 256; ++i) {
+    tables[1][i] = (tables[0][i] >> 8) ^ tables[0][tables[0][i] & 0xFFu];
+    tables[2][i] = (tables[1][i] >> 8) ^ tables[0][tables[1][i] & 0xFFu];
+    tables[3][i] = (tables[2][i] >> 8) ^ tables[0][tables[2][i] & 0xFFu];
+  }
+  return tables;
+}
+
+inline constexpr auto kCrc32cTables = BuildCrc32cTables();
+
+}  // namespace internal
+
+/// Extends a running CRC32C with `data`. Start from `crc = 0` and feed
+/// chunks in order; the result is independent of the chunking.
+inline uint32_t Crc32cExtend(uint32_t crc, const void* data, std::size_t n) {
+  const auto& t = internal::kCrc32cTables;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  while (n >= 4) {
+    crc ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+    crc = t[3][crc & 0xFFu] ^ t[2][(crc >> 8) & 0xFFu] ^
+          t[1][(crc >> 16) & 0xFFu] ^ t[0][crc >> 24];
+    p += 4;
+    n -= 4;
+  }
+  while (n-- > 0) {
+    crc = (crc >> 8) ^ t[0][(crc ^ *p++) & 0xFFu];
+  }
+  return ~crc;
+}
+
+/// One-shot CRC32C of a byte string.
+inline uint32_t Crc32c(std::string_view bytes) {
+  return Crc32cExtend(0, bytes.data(), bytes.size());
+}
+
+}  // namespace infoleak::persist

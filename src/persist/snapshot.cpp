@@ -1,0 +1,174 @@
+#include "persist/snapshot.h"
+
+#include <cstdio>
+#include <unordered_map>
+
+#include "obs/metrics.h"
+#include "persist/codec.h"
+#include "persist/crc32c.h"
+#include "util/file.h"
+
+namespace infoleak::persist {
+namespace {
+
+constexpr char kMagic[4] = {'I', 'L', 'S', 'S'};
+constexpr uint32_t kVersion = 1;
+constexpr std::size_t kTrailerBytes = 4;  // u32 crc
+
+}  // namespace
+
+std::string EncodeSnapshot(const std::vector<const Record*>& records,
+                           uint64_t wal_offset) {
+  // Two passes: collect the string pool, then emit records as pool indices.
+  std::unordered_map<std::string_view, uint32_t> pool_ids;
+  std::vector<std::string_view> pool;
+  auto intern = [&](std::string_view s) {
+    auto [it, inserted] =
+        pool_ids.emplace(s, static_cast<uint32_t>(pool.size()));
+    if (inserted) pool.push_back(s);
+    return it->second;
+  };
+  std::string body;
+  for (const Record* r : records) {
+    PutU32(&body, static_cast<uint32_t>(r->size()));
+    for (const Attribute& a : *r) {
+      PutU32(&body, intern(a.label));
+      PutU32(&body, intern(a.value));
+      PutF64(&body, a.confidence);
+    }
+  }
+
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  PutU32(&out, kVersion);
+  PutU64(&out, static_cast<uint64_t>(records.size()));
+  PutU64(&out, wal_offset);
+  PutU32(&out, static_cast<uint32_t>(pool.size()));
+  for (std::string_view s : pool) PutString(&out, s);
+  out += body;
+  PutU32(&out, Crc32c(out));
+  return out;
+}
+
+Result<SnapshotData> DecodeSnapshot(std::string_view bytes) {
+  if (bytes.size() < sizeof(kMagic) + kTrailerBytes ||
+      bytes.compare(0, sizeof(kMagic),
+                    std::string_view(kMagic, sizeof(kMagic))) != 0) {
+    return Status::Corruption("not a snapshot (bad magic or too short)");
+  }
+  const std::string_view checked = bytes.substr(0, bytes.size() - kTrailerBytes);
+  Cursor trailer(bytes.substr(bytes.size() - kTrailerBytes));
+  auto stored_crc = trailer.ReadU32();
+  if (!stored_crc.ok()) return stored_crc.status();
+  if (Crc32c(checked) != *stored_crc) {
+    return Status::Corruption("snapshot checksum mismatch");
+  }
+
+  Cursor cur(checked.substr(sizeof(kMagic)));
+  auto version = cur.ReadU32();
+  if (!version.ok()) return version.status();
+  if (*version != kVersion) {
+    return Status::Corruption("unsupported snapshot version " +
+                              std::to_string(*version));
+  }
+  auto record_count = cur.ReadU64();
+  if (!record_count.ok()) return record_count.status();
+  auto wal_offset = cur.ReadU64();
+  if (!wal_offset.ok()) return wal_offset.status();
+  auto pool_size = cur.ReadU32();
+  if (!pool_size.ok()) return pool_size.status();
+
+  std::vector<std::string_view> pool;
+  pool.reserve(*pool_size);
+  for (uint32_t i = 0; i < *pool_size; ++i) {
+    auto s = cur.ReadString();
+    if (!s.ok()) return s.status();
+    pool.push_back(*s);
+  }
+  auto pooled = [&](uint32_t idx) -> Result<std::string_view> {
+    if (idx >= pool.size()) {
+      return Status::Corruption("string index " + std::to_string(idx) +
+                                " outside pool of " +
+                                std::to_string(pool.size()));
+    }
+    return pool[idx];
+  };
+
+  SnapshotData data;
+  data.wal_offset = *wal_offset;
+  data.records.reserve(static_cast<std::size_t>(*record_count));
+  for (uint64_t r = 0; r < *record_count; ++r) {
+    auto nattrs = cur.ReadU32();
+    if (!nattrs.ok()) return nattrs.status();
+    Record record;
+    for (uint32_t a = 0; a < *nattrs; ++a) {
+      auto label_idx = cur.ReadU32();
+      if (!label_idx.ok()) return label_idx.status();
+      auto value_idx = cur.ReadU32();
+      if (!value_idx.ok()) return value_idx.status();
+      auto conf = cur.ReadF64();
+      if (!conf.ok()) return conf.status();
+      auto label = pooled(*label_idx);
+      if (!label.ok()) return label.status();
+      auto value = pooled(*value_idx);
+      if (!value.ok()) return value.status();
+      record.Insert(
+          Attribute(std::string(*label), std::string(*value), *conf));
+    }
+    data.records.push_back(std::move(record));
+  }
+  if (!cur.AtEnd()) {
+    return Status::Corruption("trailing bytes after snapshot records");
+  }
+  return data;
+}
+
+Status WriteSnapshotFile(const std::string& path,
+                         const std::vector<const Record*>& records,
+                         uint64_t wal_offset) {
+  static obs::Counter& writes = obs::MetricsRegistry::Global().GetCounter(
+      "infoleak_snapshot_writes_total", {},
+      "Snapshot files written (atomic rotations)");
+  static obs::Histogram& seconds =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "infoleak_snapshot_write_seconds", {},
+          "Wall time of one snapshot encode + durable write");
+  obs::HistogramTimer timer(seconds);
+  INFOLEAK_RETURN_IF_ERROR(
+      WriteFileAtomicDurable(path, EncodeSnapshot(records, wal_offset)));
+  writes.Inc();
+  return Status::OK();
+}
+
+Result<SnapshotData> ReadSnapshotFile(const std::string& path) {
+  auto bytes = ReadFileToString(path);
+  if (!bytes.ok()) return bytes.status();
+  return DecodeSnapshot(*bytes);
+}
+
+std::string SnapshotFileName(uint64_t record_count) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "snapshot-%016llx.snap",
+                static_cast<unsigned long long>(record_count));
+  return buf;
+}
+
+Result<uint64_t> ParseSnapshotFileName(std::string_view name) {
+  constexpr std::string_view kPrefix = "snapshot-";
+  constexpr std::string_view kSuffix = ".snap";
+  if (name.size() != kPrefix.size() + 16 + kSuffix.size() ||
+      name.substr(0, kPrefix.size()) != kPrefix ||
+      name.substr(name.size() - kSuffix.size()) != kSuffix) {
+    return Status::InvalidArgument("not a snapshot file name");
+  }
+  uint64_t count = 0;
+  for (char c : name.substr(kPrefix.size(), 16)) {
+    count <<= 4;
+    if (c >= '0' && c <= '9') count |= static_cast<uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') count |= static_cast<uint64_t>(c - 'a' + 10);
+    else return Status::InvalidArgument("bad hex digit in snapshot name");
+  }
+  return count;
+}
+
+}  // namespace infoleak::persist

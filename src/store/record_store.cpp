@@ -69,6 +69,11 @@ Status RecordStore::Flush(const std::string& path) const {
   return WriteStringToFile(target, SaveDatabaseCsv(db_));
 }
 
+Database RecordStore::SnapshotDatabase() const {
+  std::shared_lock lock(mu_);
+  return db_;
+}
+
 std::size_t RecordStore::size() const {
   std::shared_lock lock(mu_);
   return db_.size();

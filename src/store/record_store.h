@@ -57,6 +57,10 @@ class RecordStore {
   const Database& database() const { return db_; }
   const InvertedIndex& index() const { return index_; }
 
+  /// Consistent copy of the stored database, taken under the read lock —
+  /// what the persistence layer serializes while the store keeps serving.
+  Database SnapshotDatabase() const;
+
   std::size_t size() const;
 
   /// Record by id; OutOfRange when absent.

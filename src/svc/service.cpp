@@ -5,6 +5,7 @@
 #include "core/record_io.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "persist/durable_store.h"
 #include "util/timer.h"
 
 namespace infoleak::svc {
@@ -46,6 +47,16 @@ Result<long long> GetIndex(const JsonValue& body, std::string_view key) {
 LeakageService::LeakageService(RecordStore store, ServiceConfig config)
     : store_(std::move(store)), config_(std::move(config)) {
   if (config_.max_cached_references == 0) config_.max_cached_references = 1;
+}
+
+LeakageService::LeakageService(persist::DurableStore* durable,
+                               ServiceConfig config)
+    : durable_(durable), config_(std::move(config)) {
+  if (config_.max_cached_references == 0) config_.max_cached_references = 1;
+}
+
+RecordStore& LeakageService::ActiveStore() {
+  return durable_ != nullptr ? durable_->store() : store_;
 }
 
 std::size_t LeakageService::cached_references() const {
@@ -143,9 +154,19 @@ Result<JsonValue> LeakageService::Dispatch(
     if (record->empty()) {
       return Status::InvalidArgument("refusing to append an empty record");
     }
-    RecordId id = store_.Append(std::move(record).value());
+    RecordId id;
+    if (durable_ != nullptr) {
+      // Durability before acknowledgement: the id only reaches the wire
+      // after the WAL frame is down (fsynced under --fsync always).
+      auto appended = durable_->Append(std::move(record).value());
+      if (!appended.ok()) return appended.status();
+      id = *appended;
+    } else {
+      id = store_.Append(std::move(record).value());
+    }
     out.Set("appended", JsonValue::Number(static_cast<double>(id)));
-    out.Set("records", JsonValue::Number(static_cast<double>(store_.size())));
+    out.Set("records",
+            JsonValue::Number(static_cast<double>(ActiveStore().size())));
     return out;
   }
 
@@ -175,8 +196,8 @@ Result<JsonValue> LeakageService::Dispatch(
                          "\"record_id\" (stored id)")
                    : id.status();
       }
-      leakage = store_.RecordLeak(static_cast<RecordId>(*id),
-                                  (*entry)->prepared, **engine);
+      leakage = ActiveStore().RecordLeak(static_cast<RecordId>(*id),
+                                         (*entry)->prepared, **engine);
     }
     if (!leakage.ok()) return leakage.status();
     out.Set("leakage", JsonValue::Number(*leakage));
@@ -189,12 +210,13 @@ Result<JsonValue> LeakageService::Dispatch(
     auto engine = PickEngine(body);
     if (!engine.ok()) return engine.status();
     std::ptrdiff_t argmax = -1;
-    auto leakage = store_.SetLeak((*entry)->prepared, **engine, &argmax,
-                                  cancel);
+    auto leakage = ActiveStore().SetLeak((*entry)->prepared, **engine, &argmax,
+                                         cancel);
     if (!leakage.ok()) return leakage.status();
     out.Set("leakage", JsonValue::Number(*leakage));
     out.Set("argmax", JsonValue::Number(static_cast<double>(argmax)));
-    out.Set("records", JsonValue::Number(static_cast<double>(store_.size())));
+    out.Set("records",
+            JsonValue::Number(static_cast<double>(ActiveStore().size())));
     return out;
   }
 
@@ -224,7 +246,7 @@ Result<JsonValue> LeakageService::Dispatch(
       }
     }
     std::vector<RecordId> members;
-    auto dossier = store_.Dossier(*query, labels, &members);
+    auto dossier = ActiveStore().Dossier(*query, labels, &members);
     if (!dossier.ok()) return dossier.status();
     out.Set("dossier", JsonValue::Str(FormatRecord(*dossier)));
     out.Set("members",
@@ -238,9 +260,16 @@ Result<JsonValue> LeakageService::Dispatch(
   }
 
   if (req.verb == "stats") {
-    out.Set("records", JsonValue::Number(static_cast<double>(store_.size())));
+    RecordStore& store = ActiveStore();
+    out.Set("records", JsonValue::Number(static_cast<double>(store.size())));
     out.Set("postings", JsonValue::Number(
-                            static_cast<double>(store_.index().num_postings())));
+                            static_cast<double>(store.index().num_postings())));
+    if (durable_ != nullptr) {
+      out.Set("wal_offset", JsonValue::Number(
+                                static_cast<double>(durable_->wal_offset())));
+      out.Set("fsync", JsonValue::Str(std::string(
+                           FsyncModeName(durable_->options().fsync))));
+    }
     out.Set("cached_references",
             JsonValue::Number(static_cast<double>(cached_references())));
     JsonValue verbs = JsonValue::Object();

@@ -11,6 +11,10 @@
 #include "store/record_store.h"
 #include "svc/protocol.h"
 
+namespace infoleak::persist {
+class DurableStore;
+}
+
 namespace infoleak::svc {
 
 struct ServiceConfig {
@@ -38,6 +42,13 @@ class LeakageService {
  public:
   explicit LeakageService(RecordStore store, ServiceConfig config = {});
 
+  /// Durable mode: queries read the store inside `durable` and every
+  /// `append` goes through its write-ahead log *before* being acknowledged
+  /// (the `infoleak serve --data-dir` path). `durable` is borrowed and must
+  /// outlive the service.
+  explicit LeakageService(persist::DurableStore* durable,
+                          ServiceConfig config = {});
+
   /// Executes one request. `cancel` (optional) is polled mid-evaluation;
   /// returning true aborts with a `deadline_exceeded` response. Returns the
   /// complete response line, without the trailing newline. When `wire_code`
@@ -47,8 +58,10 @@ class LeakageService {
                      const std::function<bool()>& cancel = {},
                      std::string* wire_code = nullptr);
 
-  RecordStore& store() { return store_; }
-  const RecordStore& store() const { return store_; }
+  RecordStore& store() { return ActiveStore(); }
+  const RecordStore& store() const {
+    return const_cast<LeakageService*>(this)->ActiveStore();
+  }
 
   std::size_t cached_references() const;
 
@@ -72,6 +85,11 @@ class LeakageService {
   Result<JsonValue> Dispatch(const Request& req,
                              const std::function<bool()>& cancel);
 
+  /// The store queries run against: the durable store's when in durable
+  /// mode, the owned in-memory one otherwise.
+  RecordStore& ActiveStore();
+
+  persist::DurableStore* durable_ = nullptr;  // borrowed; null in-memory mode
   RecordStore store_;
   ServiceConfig config_;
   AutoLeakage auto_engine_;

@@ -1,6 +1,11 @@
 #include "util/file.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 
 namespace infoleak {
 
@@ -33,6 +38,63 @@ Status WriteStringToFile(const std::string& path, std::string_view contents) {
   const bool failed = std::fclose(f) != 0 || written != contents.size();
   if (failed) {
     return Status::Internal("write error on '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Status WriteFileAtomicDurable(const std::string& path,
+                              std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::Internal("cannot open '" + tmp +
+                            "' for writing: " + std::strerror(errno));
+  }
+  const char* data = contents.data();
+  std::size_t n = contents.size();
+  while (n > 0) {
+    const ssize_t wrote = ::write(fd, data, n);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      const Status status = Status::Internal("write error on '" + tmp +
+                                             "': " + std::strerror(errno));
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return status;
+    }
+    data += wrote;
+    n -= static_cast<std::size_t>(wrote);
+  }
+  if (::fsync(fd) != 0 || ::close(fd) != 0) {
+    const Status status =
+        Status::Internal("fsync/close error on '" + tmp +
+                         "': " + std::strerror(errno));
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status status = Status::Internal(
+        "cannot rename '" + tmp + "' over '" + path +
+        "': " + std::strerror(errno));
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  // Make the rename durable: fsync the containing directory.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dirfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dirfd < 0) {
+    return Status::Internal("cannot open directory '" + dir +
+                            "' for fsync: " + std::strerror(errno));
+  }
+  const bool synced = ::fsync(dirfd) == 0;
+  ::close(dirfd);
+  if (!synced) {
+    return Status::Internal("directory fsync failed on '" + dir +
+                            "': " + std::strerror(errno));
   }
   return Status::OK();
 }

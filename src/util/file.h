@@ -14,4 +14,13 @@ Result<std::string> ReadFileToString(const std::string& path);
 /// \brief Writes `contents` to `path`, replacing any existing file.
 Status WriteStringToFile(const std::string& path, std::string_view contents);
 
+/// \brief Crash-safe replacement write: writes `contents` to a temporary
+/// file in the same directory, fsyncs it, atomically renames it over
+/// `path`, then fsyncs the directory so the rename itself is durable. A
+/// crash at any point leaves either the old file or the complete new one —
+/// never a torn mixture. The persistence layer's snapshot rotation is
+/// built on this primitive.
+Status WriteFileAtomicDurable(const std::string& path,
+                              std::string_view contents);
+
 }  // namespace infoleak

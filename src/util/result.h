@@ -64,12 +64,18 @@ class Result {
 };
 
 /// Evaluates a Result-returning expression; assigns the value on success and
-/// returns the error status on failure.
-#define INFOLEAK_ASSIGN_OR_RETURN(lhs, expr)       \
-  auto _res_##__LINE__ = (expr);                   \
-  if (!_res_##__LINE__.ok()) {                     \
-    return _res_##__LINE__.status();               \
-  }                                                \
-  lhs = std::move(_res_##__LINE__).value()
+/// returns the error status on failure. The extra concat level forces
+/// `__LINE__` to expand, so multiple uses in one scope get distinct names.
+#define INFOLEAK_RESULT_CONCAT_(a, b) a##b
+#define INFOLEAK_RESULT_CONCAT(a, b) INFOLEAK_RESULT_CONCAT_(a, b)
+#define INFOLEAK_ASSIGN_OR_RETURN(lhs, expr) \
+  INFOLEAK_ASSIGN_OR_RETURN_IMPL_(           \
+      INFOLEAK_RESULT_CONCAT(_infoleak_res_, __LINE__), lhs, expr)
+#define INFOLEAK_ASSIGN_OR_RETURN_IMPL_(res, lhs, expr) \
+  auto res = (expr);                                    \
+  if (!res.ok()) {                                      \
+    return res.status();                                \
+  }                                                     \
+  lhs = std::move(res).value()
 
 }  // namespace infoleak

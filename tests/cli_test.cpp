@@ -89,36 +89,70 @@ TEST(CliTest, ServeHelpGoldenOutput) {
       "  serve leakage queries over TCP (newline-delimited JSON)\n"
       "\n"
       "flags:\n"
-      "  --host             bind address (default 127.0.0.1)\n"
-      "  --port             TCP port; 0 picks an ephemeral port (default 0)\n"
-      "  --workers          worker threads draining the request queue "
+      "  --host               bind address (default 127.0.0.1)\n"
+      "  --port               TCP port; 0 picks an ephemeral port "
+      "(default 0)\n"
+      "  --workers            worker threads draining the request queue "
       "(default 4)\n"
-      "  --queue-depth      bounded queue size; beyond it requests are shed "
-      "with `overloaded` (default 128)\n"
-      "  --deadline-ms      per-request deadline from admission; 0 disables "
-      "(default 10000)\n"
-      "  --idle-timeout-ms  close connections idle this long; 0 disables "
+      "  --queue-depth        bounded queue size; beyond it requests are "
+      "shed with `overloaded` (default 128)\n"
+      "  --deadline-ms        per-request deadline from admission; 0 "
+      "disables (default 10000)\n"
+      "  --idle-timeout-ms    close connections idle this long; 0 disables "
       "(default 30000)\n"
-      "  --max-frame-bytes  largest accepted request line (default 1048576)\n"
-      "  --cache-refs       prepared-reference cache capacity (default 64)\n"
-      "  --db               CSV database file preloaded into the store\n"
-      "  --db-csv           inline CSV database text preloaded into the "
+      "  --max-frame-bytes    largest accepted request line "
+      "(default 1048576)\n"
+      "  --cache-refs         prepared-reference cache capacity "
+      "(default 64)\n"
+      "  --db                 CSV database file preloaded into the store\n"
+      "  --db-csv             inline CSV database text preloaded into the "
       "store\n"
+      "  --data-dir           durable mode: recover the store from this "
+      "directory and write-ahead-log every append\n"
+      "  --fsync              WAL durability: always|interval|never "
+      "(default always)\n"
+      "  --fsync-interval-ms  background fsync cadence for --fsync interval "
+      "(default 25)\n"
+      "  --snapshot-every     background-snapshot every N appends; 0 "
+      "disables (default 0)\n"
       "\n"
       "observability riders (accepted by every command):\n"
-      "  --stats            append a metrics report to the command output\n"
-      "  --stats-format     metrics report format: prometheus|json\n"
-      "  --trace            append a trace-span summary to the command "
+      "  --stats              append a metrics report to the command "
+      "output\n"
+      "  --stats-format       metrics report format: prometheus|json\n"
+      "  --trace              append a trace-span summary to the command "
       "output\n";
   std::string out;
   ASSERT_TRUE(cli::Dispatch({"serve", "--help"}, &out).ok());
   EXPECT_EQ(out, kGolden);
 }
 
+// The compact command's help golden: pins the offline-maintenance entry
+// point introduced with the persistence subsystem.
+TEST(CliTest, CompactHelpGoldenOutput) {
+  constexpr const char* kGolden =
+      "usage: infoleak compact [flags]\n"
+      "\n"
+      "  rewrite a durable store's snapshot and reset its WAL\n"
+      "\n"
+      "flags:\n"
+      "  --data-dir      durable store directory to compact (required)\n"
+      "\n"
+      "observability riders (accepted by every command):\n"
+      "  --stats         append a metrics report to the command output\n"
+      "  --stats-format  metrics report format: prometheus|json\n"
+      "  --trace         append a trace-span summary to the command "
+      "output\n";
+  std::string out;
+  ASSERT_TRUE(cli::Dispatch({"compact", "--help"}, &out).ok());
+  EXPECT_EQ(out, kGolden);
+}
+
 TEST(CliTest, HelpCommandAndHelpFlagAgree) {
   for (const char* command :
        {"leakage", "er", "incremental", "generate", "anonymize", "dipping",
-        "enhance", "disinfo", "reidentify", "stats", "serve", "call"}) {
+        "enhance", "disinfo", "reidentify", "stats", "serve", "call",
+        "compact"}) {
     std::string via_flag, via_help;
     ASSERT_TRUE(cli::Dispatch({command, "--help"}, &via_flag).ok());
     ASSERT_TRUE(cli::Dispatch({"help", command}, &via_help).ok());
@@ -136,7 +170,8 @@ TEST(CliTest, UsageListsEveryCommand) {
   ASSERT_TRUE(cli::Dispatch({"help"}, &out).ok());
   for (const char* command :
        {"leakage", "er", "incremental", "generate", "anonymize", "dipping",
-        "enhance", "disinfo", "reidentify", "stats", "serve", "call"}) {
+        "enhance", "disinfo", "reidentify", "stats", "serve", "call",
+        "compact"}) {
     EXPECT_NE(out.find(std::string("  ") + command + " "), std::string::npos)
         << command;
   }

@@ -1,0 +1,118 @@
+#include "svc/queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace infoleak::svc {
+namespace {
+
+TEST(BoundedQueueTest, FillToCapacityThenShed) {
+  BoundedQueue<int> queue(3);
+  EXPECT_EQ(queue.capacity(), 3u);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_TRUE(queue.TryPush(3));
+  EXPECT_EQ(queue.size(), 3u);
+  // At capacity the push is shed immediately — the acceptor must never
+  // block behind a slow worker pool.
+  EXPECT_FALSE(queue.TryPush(4));
+  EXPECT_EQ(queue.size(), 3u);
+  // Draining one slot re-admits exactly one.
+  int out = 0;
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(queue.TryPush(5));
+  EXPECT_FALSE(queue.TryPush(6));
+}
+
+TEST(BoundedQueueTest, PopReturnsFifoOrder) {
+  BoundedQueue<int> queue(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(queue.TryPush(i));
+  for (int i = 0; i < 5; ++i) {
+    int out = -1;
+    EXPECT_TRUE(queue.Pop(&out));
+    EXPECT_EQ(out, i);
+  }
+}
+
+TEST(BoundedQueueTest, CloseRejectsPushesButDrainsBacklog) {
+  BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  queue.Close();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_FALSE(queue.TryPush(3));  // no admissions after close
+  int out = 0;
+  EXPECT_TRUE(queue.Pop(&out));  // but the backlog still drains
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(queue.Pop(&out));  // drained + closed -> false
+}
+
+TEST(BoundedQueueTest, CloseWakesABlockedConsumer) {
+  BoundedQueue<int> queue(2);
+  std::atomic<bool> returned{false};
+  std::thread consumer([&] {
+    int out = 0;
+    const bool got = queue.Pop(&out);  // blocks: queue is empty
+    EXPECT_FALSE(got);                 // woken by Close, not by an item
+    returned.store(true);
+  });
+  // Give the consumer time to actually block in Pop.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(returned.load());
+  queue.Close();
+  consumer.join();
+  EXPECT_TRUE(returned.load());
+}
+
+TEST(BoundedQueueTest, EightProducersOneConsumerKeepPerProducerOrder) {
+  // FIFO under concurrency: the queue cannot promise a global order across
+  // racing producers, but each producer's own items must come out in the
+  // order it pushed them (single lock, single deque — no reordering).
+  constexpr int kProducers = 8;
+  constexpr int kPerProducer = 500;
+  BoundedQueue<std::pair<int, int>> queue(64);
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        while (!queue.TryPush({p, i})) {
+          std::this_thread::yield();  // full: retry, don't drop the sample
+        }
+      }
+    });
+  }
+
+  std::map<int, int> next_expected;
+  std::size_t popped = 0;
+  std::thread consumer([&] {
+    std::pair<int, int> item;
+    while (queue.Pop(&item)) {
+      EXPECT_EQ(item.second, next_expected[item.first])
+          << "producer " << item.first << " reordered";
+      next_expected[item.first] = item.second + 1;
+      ++popped;
+    }
+  });
+
+  for (auto& t : producers) t.join();
+  queue.Close();
+  consumer.join();
+  EXPECT_EQ(popped, static_cast<std::size_t>(kProducers) * kPerProducer);
+  for (int p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(next_expected[p], kPerProducer) << "producer " << p;
+  }
+}
+
+}  // namespace
+}  // namespace infoleak::svc
