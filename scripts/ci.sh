@@ -1,16 +1,20 @@
 #!/usr/bin/env bash
 # Tier-1 CI gate: configure, build, and run the full test suite twice —
 # once as a plain Release build and once under AddressSanitizer
-# (-DINFOLEAK_SANITIZE=address). Both runs must be 100% green. Each pass
-# also end-to-end smoke-tests the query service: serve on an ephemeral
-# port, round-trip ping/append/leak/set-leak/stats through `infoleak
-# call`, then SIGTERM and require a clean graceful drain.
+# (-DINFOLEAK_SANITIZE=address) — plus a ThreadSanitizer pass
+# (-DINFOLEAK_SANITIZE=thread) over the concurrency-heavy test subset.
+# All runs must be 100% green. Each full pass also end-to-end smoke-tests
+# the query service (serve on an ephemeral port, round-trip
+# ping/append/leak/set-leak/stats through `infoleak call`, then SIGTERM
+# and require a clean graceful drain) and runs the differential selfcheck
+# harness (`infoleak selfcheck`): every engine and path must agree on
+# 2000 adversarial cases plus the checked-in regression corpus.
 #
 # Usage: scripts/ci.sh [jobs]
 #
-# Build trees land in build-ci-release/ and build-ci-asan/ at the repo
-# root (covered by the build-*/ gitignore pattern) so they never clobber
-# a developer's ./build tree.
+# Build trees land in build-ci-release/, build-ci-asan/, and
+# build-ci-tsan/ at the repo root (covered by the build-*/ gitignore
+# pattern) so they never clobber a developer's ./build tree.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -141,11 +145,42 @@ smoke_crash() {
   echo "=== [${dir}] crash-recovery smoke OK (${n} appends survived kill -9) ==="
 }
 
+# Differential selfcheck smoke: replay the regression corpus, then fuzz
+# 2000 adversarial cases through every engine and path (offline, served,
+# durable-recovery). Any cross-engine disagreement fails the gate.
+smoke_selfcheck() {
+  local dir="$1"
+  local bin="${dir}/src/cli/infoleak"
+  echo "=== [${dir}] selfcheck smoke test ==="
+  "${bin}" selfcheck --cases 2000 --seed 1 \
+      --corpus tests/corpus/selfcheck --no-corpus-write \
+      | grep -q "all engines and paths agree"
+  echo "=== [${dir}] selfcheck smoke OK (2000 cases + corpus) ==="
+}
+
+# ThreadSanitizer pass over the concurrency-heavy subset: the server's
+# worker pool and drain, the sharded metrics registry, the durable store's
+# background fsync/snapshot thread, and the selfcheck harness (which spins
+# a loopback server and a durable store inside one process).
+run_tsan_pass() {
+  local dir="build-ci-tsan"
+  echo "=== [${dir}] configure: -DINFOLEAK_SANITIZE=thread ==="
+  cmake -B "${dir}" -S . -DCMAKE_BUILD_TYPE=Release -DINFOLEAK_SANITIZE=thread
+  echo "=== [${dir}] build (-j${JOBS}) ==="
+  cmake --build "${dir}" -j "${JOBS}"
+  echo "=== [${dir}] ctest (concurrency subset) ==="
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -R \
+    'Concurrency|SvcServer|SvcQueue|SvcService|Persist|Streaming|Metrics|Trace|SelfCheckRun'
+}
+
 run_pass build-ci-release
 smoke_serve build-ci-release
 smoke_crash build-ci-release
+smoke_selfcheck build-ci-release
 run_pass build-ci-asan -DINFOLEAK_SANITIZE=address
 smoke_serve build-ci-asan
 smoke_crash build-ci-asan
+smoke_selfcheck build-ci-asan
+run_tsan_pass
 
-echo "=== CI OK: plain Release and ASan suites both green ==="
+echo "=== CI OK: Release, ASan, and TSan(concurrency subset) all green ==="

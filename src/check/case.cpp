@@ -1,0 +1,58 @@
+#include "check/case.h"
+
+#include "util/string_util.h"
+
+namespace infoleak::check {
+
+std::string FormatWeights(const WeightModel& wm) {
+  std::string out;
+  for (const auto& [label, w] : wm.explicit_weights()) {
+    if (!out.empty()) out += ',';
+    out += label;
+    out += '=';
+    out += FormatDoubleRoundTrip(w);
+  }
+  return out;
+}
+
+std::string FormatCase(const CheckCase& c) {
+  std::string out = "r: " + FormatRecord(c.r) + "\n";
+  out += "p: " + FormatRecord(c.p) + "\n";
+  const std::string weights = FormatWeights(c.wm);
+  if (!weights.empty()) out += "w: " + weights + "\n";
+  return out;
+}
+
+Result<CheckCase> ParseCase(std::string_view text, std::string name) {
+  CheckCase c;
+  c.name = std::move(name);
+  bool have_r = false;
+  bool have_p = false;
+  for (const auto& raw : Split(text, '\n')) {
+    const std::string_view line = Trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+    if (line.rfind("r:", 0) == 0) {
+      INFOLEAK_ASSIGN_OR_RETURN(c.r, ParseRecord(line.substr(2)));
+      have_r = true;
+    } else if (line.rfind("p:", 0) == 0) {
+      INFOLEAK_ASSIGN_OR_RETURN(c.p, ParseRecord(line.substr(2)));
+      have_p = true;
+    } else if (line.rfind("w:", 0) == 0) {
+      INFOLEAK_ASSIGN_OR_RETURN(c.wm, WeightModel::Parse(line.substr(2)));
+    } else {
+      return Status::InvalidArgument("case line '" + std::string(line) +
+                                     "' has no r:/p:/w: prefix");
+    }
+  }
+  if (!have_r || !have_p) {
+    return Status::InvalidArgument("case '" + c.name +
+                                   "' needs both an r: and a p: line");
+  }
+  return c;
+}
+
+Result<CheckCase> Canonicalize(const CheckCase& c) {
+  return ParseCase(FormatCase(c), c.name);
+}
+
+}  // namespace infoleak::check

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/record.h"
+#include "core/record_io.h"
+#include "core/weights.h"
+#include "util/result.h"
+
+namespace infoleak::check {
+
+/// \brief One differential-oracle input: an adversary record `r`, a
+/// reference `p`, and a weight model — everything a leakage engine needs.
+/// Cases are value types: generated, shrunk, serialized into the regression
+/// corpus, and replayed, all through the same text form.
+struct CheckCase {
+  Record r;
+  Record p;
+  WeightModel wm;
+  /// Provenance for reports: "seed=1/case=42/shape=boundary-conf" or the
+  /// corpus filename.
+  std::string name;
+};
+
+/// \brief Renders the weight model's explicit weights as the
+/// `WeightModel::Parse` spec ("A=2,B=0.5", round-trip doubles; "" for an
+/// all-default model). Only models with the default weight 1 round-trip —
+/// the spec grammar has no slot for the default — so the generator never
+/// produces anything else.
+std::string FormatWeights(const WeightModel& wm);
+
+/// \brief The corpus text form:
+///   # optional comment lines
+///   r: {<L0, v1, 0.5>, <L1, v2>}
+///   p: {<L0, v1>}
+///   w: L0=2,L1=0.5
+/// The `w:` line is omitted for an all-default weight model.
+std::string FormatCase(const CheckCase& c);
+
+/// \brief Parses the corpus text form; `name` becomes the case's
+/// provenance. Unknown line prefixes are errors, missing `r:`/`p:` lines
+/// are errors, comments and blank lines are skipped.
+Result<CheckCase> ParseCase(std::string_view text, std::string name);
+
+/// \brief Round-trips the case through its text form once. With round-trip
+/// double rendering this is the identity — and that is the point: it
+/// proves, per case, that every text transport (wire protocol, corpus
+/// file, CSV) reproduces the exact doubles the offline engines evaluate,
+/// so the served and recovered paths are comparable bit-for-bit.
+Result<CheckCase> Canonicalize(const CheckCase& c);
+
+}  // namespace infoleak::check

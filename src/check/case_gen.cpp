@@ -1,0 +1,196 @@
+#include "check/case_gen.h"
+
+#include <array>
+#include <cstddef>
+
+namespace infoleak::check {
+namespace {
+
+// Shared label pool. Small on purpose: collisions between r and p labels
+// (and duplicate labels within one record) are exactly the interesting
+// regime; disjoint label spaces never match and exercise nothing.
+constexpr std::array<const char*, 10> kLabels = {
+    "A", "B", "C", "D", "E", "F", "G", "H", "I", "J"};
+
+std::string LabelAt(std::size_t i) { return kLabels[i % kLabels.size()]; }
+
+std::string ValueAt(uint64_t i) { return "v" + std::to_string(i); }
+
+/// Confidence drawn from the boundary-heavy palette: exact 0 and 1, values
+/// an ulp away from them, a plain 0.5, and a uniform draw.
+double BoundaryConfidence(Rng& rng) {
+  switch (rng.NextBounded(8)) {
+    case 0: return 0.0;
+    case 1: return 1.0;
+    case 2: return 1e-7;
+    case 3: return 1.0 - 1e-7;
+    case 4: return 0.5;
+    case 5: return 1e-15;
+    default: return rng.NextDouble();
+  }
+}
+
+/// Weight from the extreme palette. Kept within [1e-6, 1e6]: wide enough
+/// to exercise cancellation and the Taylor blow-up, narrow enough that no
+/// engine's intermediate sums overflow double range (overflow is rejected
+/// with InvalidArgument and tested separately, not fuzzed).
+double ExtremeWeight(Rng& rng) {
+  switch (rng.NextBounded(6)) {
+    case 0: return 1e-6;
+    case 1: return 1e-3;
+    case 2: return 1.0;
+    case 3: return 1e3;
+    case 4: return 1e6;
+    default: return rng.Uniform(0.1, 10.0);
+  }
+}
+
+/// Appends `n` attributes with labels drawn from the first `label_span`
+/// pool entries and values from [0, value_span).
+void FillRecord(Record* rec, Rng& rng, std::size_t n, std::size_t label_span,
+                uint64_t value_span, bool boundary_conf) {
+  for (std::size_t i = 0; i < n; ++i) {
+    Attribute a;
+    a.label = LabelAt(rng.NextBounded(label_span));
+    a.value = ValueAt(rng.NextBounded(value_span));
+    a.confidence = boundary_conf ? BoundaryConfidence(rng) : rng.NextDouble();
+    rec->Insert(std::move(a));
+  }
+}
+
+/// Builds `p` by copying a random subset of `r`'s (label, value) pairs —
+/// guaranteeing matches — then adding a few fresh pairs that miss.
+void FillReferenceFrom(const Record& r, Record* p, Rng& rng,
+                       std::size_t extra) {
+  for (const auto& a : r) {
+    if (rng.Bernoulli(0.5)) p->Insert(Attribute{a.label, a.value, 1.0});
+  }
+  for (std::size_t i = 0; i < extra; ++i) {
+    p->Insert(Attribute{LabelAt(rng.NextBounded(kLabels.size())),
+                        ValueAt(900 + rng.NextBounded(50)), 1.0});
+  }
+}
+
+void AddExplicitWeights(WeightModel* wm, Rng& rng, std::size_t labels,
+                        bool allow_zero) {
+  for (std::size_t i = 0; i < labels; ++i) {
+    double w = ExtremeWeight(rng);
+    if (allow_zero && rng.NextBounded(4) == 0) w = 0.0;
+    (void)wm->SetWeight(LabelAt(i), w);  // palette weights are always valid
+  }
+}
+
+}  // namespace
+
+CaseGenerator::CaseGenerator(uint64_t seed) : rng_(seed), seed_(seed) {}
+
+uint64_t CaseGenerator::CaseSeed(uint64_t seed, std::size_t index) {
+  // SplitMix64 finalizer over (seed, index): stable across platforms and
+  // independent of how many draws the generator itself consumed.
+  uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+CheckCase CaseGenerator::Next() {
+  constexpr std::size_t kShapes = 12;
+  const std::size_t shape = count_ % kShapes;
+  const std::size_t index = count_++;
+  CheckCase c;
+  const char* shape_name = "uniform-random";
+  switch (shape) {
+    case 0:  // baseline: moderate sizes, smooth confidences, unit weights
+      FillRecord(&c.r, rng_, 1 + rng_.NextBounded(10), 8, 12, false);
+      FillReferenceFrom(c.r, &c.p, rng_, rng_.NextBounded(4));
+      break;
+    case 1:  // confidences pinned to the 0/1 boundary
+      shape_name = "boundary-conf";
+      FillRecord(&c.r, rng_, 1 + rng_.NextBounded(10), 8, 12, true);
+      FillReferenceFrom(c.r, &c.p, rng_, rng_.NextBounded(4));
+      break;
+    case 2:  // empty adversary record
+      shape_name = "empty-r";
+      FillRecord(&c.p, rng_, rng_.NextBounded(5), 8, 12, true);
+      break;
+    case 3:  // empty reference
+      shape_name = "empty-p";
+      FillRecord(&c.r, rng_, rng_.NextBounded(7), 8, 12, true);
+      break;
+    case 4:  // single attribute on both sides; match or near-miss
+      shape_name = "single-attr";
+      FillRecord(&c.r, rng_, 1, 3, 3, true);
+      if (rng_.Bernoulli(0.5)) {
+        FillReferenceFrom(c.r, &c.p, rng_, 0);
+        if (c.p.empty()) FillRecord(&c.p, rng_, 1, 3, 3, true);
+      } else {
+        FillRecord(&c.p, rng_, 1, 3, 3, true);
+      }
+      break;
+    case 5:  // |r| >> |p|: big records route auto to the Taylor engine
+      shape_name = "big-r";
+      FillRecord(&c.r, rng_, 20 + rng_.NextBounded(21), kLabels.size(), 30,
+                 true);
+      FillReferenceFrom(c.r, &c.p, rng_, 0);
+      while (c.p.size() > 2) {
+        (void)c.p.Erase(c.p.attributes().back().label,
+                        c.p.attributes().back().value);
+      }
+      AddExplicitWeights(&c.wm, rng_, 4, false);
+      break;
+    case 6:  // |p| >> |r|
+      shape_name = "big-p";
+      FillRecord(&c.r, rng_, 1 + rng_.NextBounded(3), kLabels.size(), 30,
+                 true);
+      FillReferenceFrom(c.r, &c.p, rng_, 25 + rng_.NextBounded(16));
+      break;
+    case 7:  // extreme weight magnitudes (the Taylor blow-up regime)
+      shape_name = "extreme-weights";
+      FillRecord(&c.r, rng_, 1 + rng_.NextBounded(8), 6, 10, true);
+      FillReferenceFrom(c.r, &c.p, rng_, rng_.NextBounded(3));
+      AddExplicitWeights(&c.wm, rng_, 6, false);
+      break;
+    case 8:  // zero weights mixed in (degenerate denominators)
+      shape_name = "zero-weights";
+      FillRecord(&c.r, rng_, 1 + rng_.NextBounded(8), 6, 10, true);
+      FillReferenceFrom(c.r, &c.p, rng_, rng_.NextBounded(3));
+      AddExplicitWeights(&c.wm, rng_, 6, true);
+      break;
+    case 9:  // duplicate labels: one label, many values, on both sides
+      shape_name = "duplicate-labels";
+      FillRecord(&c.r, rng_, 2 + rng_.NextBounded(7), 2, 8, true);
+      FillReferenceFrom(c.r, &c.p, rng_, 1 + rng_.NextBounded(3));
+      if (rng_.Bernoulli(0.5)) AddExplicitWeights(&c.wm, rng_, 2, true);
+      break;
+    case 10:  // deterministic records: every confidence exactly 0 or 1
+      shape_name = "deterministic";
+      FillRecord(&c.r, rng_, 1 + rng_.NextBounded(8), 6, 8, true);
+      for (const auto& a : std::vector<Attribute>(c.r.attributes())) {
+        (void)c.r.SetConfidence(a.label, a.value,
+                                rng_.Bernoulli(0.5) ? 1.0 : 0.0);
+      }
+      FillReferenceFrom(c.r, &c.p, rng_, rng_.NextBounded(3));
+      break;
+    default:  // uniform non-1 weight: exact-eligible with a scaled weight
+      shape_name = "uniform-weight";
+      FillRecord(&c.r, rng_, 1 + rng_.NextBounded(10), 6, 10, true);
+      FillReferenceFrom(c.r, &c.p, rng_, rng_.NextBounded(4));
+      {
+        WeightModel scaled(ExtremeWeight(rng_));
+        // Same weight on every label both records use, via explicit
+        // entries so the model round-trips through its text spec.
+        for (const auto& a : c.r) {
+          (void)c.wm.SetWeight(a.label, scaled.default_weight());
+        }
+        for (const auto& a : c.p) {
+          (void)c.wm.SetWeight(a.label, scaled.default_weight());
+        }
+      }
+      break;
+  }
+  c.name = "seed=" + std::to_string(seed_) + "/case=" +
+           std::to_string(index) + "/shape=" + shape_name;
+  return c;
+}
+
+}  // namespace infoleak::check

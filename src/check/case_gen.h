@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "check/case.h"
+#include "util/rng.h"
+
+namespace infoleak::check {
+
+/// \brief Deterministic adversarial case stream for the differential
+/// oracle. The i-th case from a given seed is always the same (the stream
+/// depends only on the seed and the draw order), so `selfcheck --seed S`
+/// reports are reproducible and a failure's provenance string pins it down.
+///
+/// Rather than sampling uniformly, the generator cycles through shapes
+/// chosen to sit on the boundaries where leakage computations historically
+/// break: confidences exactly 0.0/1.0, empty and single-attribute records,
+/// |r| ≫ |p| and |p| ≫ |r|, extreme and zero weights, duplicate labels,
+/// and near-cancelling Taylor denominators. Every shape still randomizes
+/// its fill, so repeated cases of one shape differ.
+class CaseGenerator {
+ public:
+  explicit CaseGenerator(uint64_t seed);
+
+  /// The next case. `case.name` records seed, index, and shape;
+  /// `CaseSeed()` of the same index seeds per-case randomness downstream
+  /// (Monte-Carlo draws) independently of this stream.
+  CheckCase Next();
+
+  /// Stable per-case seed for downstream randomness: a SplitMix64-style
+  /// mix of (seed, index), independent of the generator's own draws.
+  static uint64_t CaseSeed(uint64_t seed, std::size_t index);
+
+  std::size_t generated() const { return count_; }
+
+ private:
+  Rng rng_;
+  uint64_t seed_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace infoleak::check

@@ -1,0 +1,75 @@
+#include "check/corpus.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include "util/file.h"
+
+namespace infoleak::check {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string Hash8(std::string_view text) {
+  // FNV-1a, folded to 32 bits: content addressing, not security.
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (unsigned char ch : text) {
+    h ^= ch;
+    h *= 0x100000001B3ULL;
+  }
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%08x",
+                static_cast<uint32_t>(h ^ (h >> 32)));
+  return buf;
+}
+
+}  // namespace
+
+Result<std::vector<CheckCase>> LoadCorpus(const std::string& dir) {
+  std::vector<CheckCase> cases;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return cases;
+
+  std::vector<std::string> files;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".case") {
+      files.push_back(entry.path().string());
+    }
+  }
+  if (ec) {
+    return Status::Internal("cannot list corpus dir " + dir + ": " +
+                            ec.message());
+  }
+  std::sort(files.begin(), files.end());
+  cases.reserve(files.size());
+  for (const auto& path : files) {
+    INFOLEAK_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+    INFOLEAK_ASSIGN_OR_RETURN(CheckCase c,
+                              ParseCase(text, fs::path(path).filename().string()));
+    cases.push_back(std::move(c));
+  }
+  return cases;
+}
+
+Result<std::string> WriteCorpusEntry(const std::string& dir,
+                                     const Finding& f) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create corpus dir " + dir + ": " +
+                            ec.message());
+  }
+  const std::string body = FormatCase(f.c);
+  const std::string path = dir + "/" + f.kind + "-" + Hash8(body) + ".case";
+  std::string text = "# kind: " + f.kind + "\n";
+  text += "# detail: " + f.detail + "\n";
+  text += "# found-by: " + f.c.name + "\n";
+  text += body;
+  INFOLEAK_RETURN_IF_ERROR(WriteStringToFile(path, text));
+  return path;
+}
+
+}  // namespace infoleak::check

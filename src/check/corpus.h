@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "check/case.h"
+#include "check/oracle.h"
+#include "util/result.h"
+
+namespace infoleak::check {
+
+/// \brief Loads every `*.case` file in `dir`, sorted by filename (stable
+/// replay order). A missing directory is an empty corpus, not an error —
+/// a repo without checked-in regressions must still selfcheck. An entry
+/// that fails to parse IS an error: a corrupt corpus silently skipping
+/// cases would un-fix every bug it encodes.
+Result<std::vector<CheckCase>> LoadCorpus(const std::string& dir);
+
+/// \brief Writes `f`'s (minimized) case into `dir` (created if needed) as
+/// `<kind>-<hash8>.case`, where the hash is over the case text — re-found
+/// bugs dedupe onto the same file instead of piling up. The entry carries
+/// a comment header recording the kind, the detail, and the provenance
+/// string, so a reader can reproduce the failure from the file alone.
+/// Returns the written path.
+Result<std::string> WriteCorpusEntry(const std::string& dir,
+                                     const Finding& f);
+
+}  // namespace infoleak::check

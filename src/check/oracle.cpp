@@ -1,0 +1,310 @@
+#include "check/oracle.h"
+
+#include <cmath>
+#include <optional>
+
+#include "core/bounds.h"
+#include "util/string_util.h"
+
+namespace infoleak::check {
+namespace {
+
+/// AutoLeakage's default dispatch threshold; the oracle's naive engine is
+/// capped here so the auto-dispatch replication can always evaluate it.
+constexpr std::size_t kAutoNaiveCutoff = 16;
+
+std::string Render(const Result<double>& v) {
+  if (!v.ok()) return "<error: " + v.status().message() + ">";
+  return FormatDoubleRoundTrip(*v);
+}
+
+}  // namespace
+
+Oracle::Oracle(OracleConfig config)
+    : config_(config),
+      naive_(kAutoNaiveCutoff),
+      approx1_(1),
+      approx2_(2),
+      auto_(kAutoNaiveCutoff),
+      mc_(config.mc_samples) {}
+
+OracleOutcome Oracle::Evaluate(const CheckCase& c, uint64_t case_seed) const {
+  OracleOutcome out;
+  auto fail = [&](const char* kind, std::string detail) {
+    out.findings.push_back(Finding{kind, std::move(detail), c});
+  };
+  // Bit-identity across API paths: same ok-ness, and on success the exact
+  // same double.
+  auto same_bits = [&](const char* kind, const char* what,
+                       const Result<double>& a, const Result<double>& b) {
+    ++out.comparisons;
+    if (a.ok() != b.ok() || (a.ok() && *a != *b)) {
+      fail(kind, std::string(what) + ": " + Render(a) + " vs " + Render(b));
+    }
+  };
+  auto in_range = [&](const char* what, const Result<double>& v) {
+    ++out.comparisons;
+    if (v.ok() && !(*v >= 0.0 && *v <= 1.0)) {
+      fail("range", std::string(what) + " = " + Render(v) +
+                        " is outside [0, 1]");
+    }
+  };
+
+  const PreparedReference ref(c.p, c.wm);
+  const PreparedRecord pr(c.r, ref);
+  LeakageWorkspace ws;
+
+  const bool uniform = c.wm.IsConstantOver(c.r, c.p);
+  const bool enumerable = c.r.size() <= kAutoNaiveCutoff;
+  const bool small = c.r.size() <= config_.naive_max;
+
+  // ---- Per-engine values, string and prepared paths ----------------------
+  Result<double> naive_s = Status::NotSupported("naive disabled");
+  Result<double> naive_p = naive_s;
+  if (config_.check_naive) {
+    naive_s = naive_.RecordLeakage(c.r, c.p, c.wm);
+    naive_p = naive_.RecordLeakagePrepared(pr, ref, &ws);
+    same_bits("string-vs-prepared", "naive leakage", naive_s, naive_p);
+    in_range("naive leakage", naive_p);
+    ++out.comparisons;
+    if (naive_p.ok() != enumerable) {
+      fail("error-contract",
+           "naive must succeed exactly when |r| <= " +
+               std::to_string(kAutoNaiveCutoff) + "; |r|=" +
+               std::to_string(c.r.size()) + " gave " + Render(naive_p));
+    }
+  }
+
+  Result<double> exact_s = Status::NotSupported("exact disabled");
+  Result<double> exact_p = exact_s;
+  if (config_.check_exact) {
+    exact_s = exact_.RecordLeakage(c.r, c.p, c.wm);
+    exact_p = exact_.RecordLeakagePrepared(pr, ref, &ws);
+    same_bits("string-vs-prepared", "exact leakage", exact_s, exact_p);
+    in_range("exact leakage", exact_p);
+    ++out.comparisons;
+    if (exact_p.ok() != uniform) {
+      fail("error-contract",
+           std::string("exact must succeed exactly when the weights are "
+                       "uniform over (r, p); uniform=") +
+               (uniform ? "true" : "false") + " gave " + Render(exact_p));
+    }
+  }
+
+  Result<double> approx1_p = Status::NotSupported("approx disabled");
+  Result<double> approx2_p = approx1_p;
+  if (config_.check_approx) {
+    approx1_p = approx1_.RecordLeakagePrepared(pr, ref, &ws);
+    approx2_p = approx2_.RecordLeakagePrepared(pr, ref, &ws);
+    same_bits("string-vs-prepared", "approx order-1 leakage",
+              approx1_.RecordLeakage(c.r, c.p, c.wm), approx1_p);
+    same_bits("string-vs-prepared", "approx order-2 leakage",
+              approx2_.RecordLeakage(c.r, c.p, c.wm), approx2_p);
+    in_range("approx order-1 leakage", approx1_p);
+    in_range("approx order-2 leakage", approx2_p);
+    ++out.comparisons;
+    if (approx1_p.ok() && approx2_p.ok() && !(*approx1_p <= *approx2_p)) {
+      fail("approx-order", "order-1 " + Render(approx1_p) +
+                               " > order-2 " + Render(approx2_p) +
+                               " (the variance correction is non-negative)");
+    }
+  }
+
+  Result<double> auto_p = Status::NotSupported("auto disabled");
+  if (config_.check_auto) {
+    auto_p = auto_.RecordLeakagePrepared(pr, ref, &ws);
+    same_bits("string-vs-prepared", "auto leakage",
+              auto_.RecordLeakage(c.r, c.p, c.wm), auto_p);
+    in_range("auto leakage", auto_p);
+    // Replicate the documented dispatch rule and demand bit-identity with
+    // the engine it names.
+    const Result<double>& expected =
+        uniform ? exact_p : (enumerable ? naive_p : approx2_p);
+    const char* expected_name =
+        uniform ? "exact" : (enumerable ? "naive" : "approx");
+    if (config_.check_exact && config_.check_naive && config_.check_approx) {
+      ++out.comparisons;
+      if (expected.ok() != auto_p.ok() ||
+          (auto_p.ok() && *auto_p != *expected)) {
+        fail("auto-dispatch", std::string("auto = ") + Render(auto_p) +
+                                  " but its rule picks " + expected_name +
+                                  " = " + Render(expected));
+      }
+    }
+  }
+
+  // Expected recall is engine-independent and exact; check the two API
+  // paths against each other and the range.
+  {
+    const Result<double> recall_s = naive_.ExpectedRecall(c.r, c.p, c.wm);
+    const Result<double> recall_p =
+        naive_.ExpectedRecallPrepared(pr, ref, &ws);
+    same_bits("string-vs-prepared", "expected recall", recall_s, recall_p);
+    in_range("expected recall", recall_p);
+  }
+
+  // Expected precision: same cross-checks as leakage, cheaper tolerance
+  // set (no Taylor bound is derived for it).
+  if (config_.check_naive && config_.check_exact) {
+    const Result<double> prec_naive =
+        naive_.ExpectedPrecisionPrepared(pr, ref, &ws);
+    const Result<double> prec_exact =
+        exact_.ExpectedPrecisionPrepared(pr, ref, &ws);
+    same_bits("string-vs-prepared", "naive expected precision",
+              naive_.ExpectedPrecision(c.r, c.p, c.wm), prec_naive);
+    same_bits("string-vs-prepared", "exact expected precision",
+              exact_.ExpectedPrecision(c.r, c.p, c.wm), prec_exact);
+    in_range("naive expected precision", prec_naive);
+    in_range("exact expected precision", prec_exact);
+    if (uniform && small && prec_naive.ok() && prec_exact.ok()) {
+      ++out.comparisons;
+      if (std::abs(*prec_naive - *prec_exact) > config_.exact_tol) {
+        fail("exact-vs-naive",
+             "expected precision: naive " + Render(prec_naive) +
+                 " vs exact " + Render(prec_exact) + " differ by more than " +
+                 FormatDoubleRoundTrip(config_.exact_tol));
+      }
+    }
+  }
+
+  // ---- Truth and the analytic tolerances ---------------------------------
+  std::optional<double> truth;
+  if (small && naive_p.ok()) {
+    truth = *naive_p;
+  } else if (uniform && exact_p.ok()) {
+    truth = *exact_p;
+  }
+
+  if (uniform && small && naive_p.ok() && exact_p.ok()) {
+    ++out.comparisons;
+    if (std::abs(*naive_p - *exact_p) > config_.exact_tol) {
+      fail("exact-vs-naive",
+           "naive " + Render(naive_p) + " vs exact " + Render(exact_p) +
+               " differ by " +
+               FormatDoubleRoundTrip(std::abs(*naive_p - *exact_p)) +
+               " > " + FormatDoubleRoundTrip(config_.exact_tol));
+    }
+  }
+
+  if (config_.check_approx && truth.has_value()) {
+    const Result<double>* approxes[] = {&approx1_p, &approx2_p};
+    for (int order = 1; order <= 2; ++order) {
+      const Result<double>& a = *approxes[order - 1];
+      if (!a.ok()) continue;
+      const double bound = ApproxLeakageErrorBound(c.r, c.p, c.wm, order);
+      const double tol = bound + config_.slack + config_.exact_tol;
+      ++out.comparisons;
+      if (std::abs(*a - *truth) > tol) {
+        fail("approx-bound",
+             "order-" + std::to_string(order) + " Taylor " + Render(a) +
+                 " vs truth " + FormatDoubleRoundTrip(*truth) +
+                 " differ by " + FormatDoubleRoundTrip(std::abs(*a - *truth)) +
+                 " > computed bound " + FormatDoubleRoundTrip(bound) +
+                 " (+slack)");
+      }
+    }
+  }
+
+  if (config_.check_bounds) {
+    const LeakageBounds lb = BoundRecordLeakage(c.r, c.p, c.wm);
+    ++out.comparisons;
+    if (!(lb.lower >= 0.0 && lb.lower <= lb.upper && lb.upper <= 1.0)) {
+      fail("bounds", "malformed bracket [" + FormatDoubleRoundTrip(lb.lower) +
+                         ", " + FormatDoubleRoundTrip(lb.upper) + "]");
+    }
+    if (truth.has_value()) {
+      ++out.comparisons;
+      if (*truth < lb.lower - config_.slack ||
+          *truth > lb.upper + config_.slack) {
+        fail("bounds", "truth " + FormatDoubleRoundTrip(*truth) +
+                           " escapes [" + FormatDoubleRoundTrip(lb.lower) +
+                           ", " + FormatDoubleRoundTrip(lb.upper) + "]");
+      }
+    } else if (config_.check_approx && approx2_p.ok()) {
+      // No independent truth (large, non-uniform): the Taylor value must
+      // still land inside the bracket widened by its own error bound.
+      const double bound = ApproxLeakageErrorBound(c.r, c.p, c.wm, 2);
+      ++out.comparisons;
+      if (*approx2_p < lb.lower - bound - config_.slack ||
+          *approx2_p > lb.upper + bound + config_.slack) {
+        fail("bounds",
+             "approx " + Render(approx2_p) + " escapes the bound-widened "
+                 "bracket [" + FormatDoubleRoundTrip(lb.lower) + ", " +
+                 FormatDoubleRoundTrip(lb.upper) + "] +/- " +
+                 FormatDoubleRoundTrip(bound));
+      }
+    }
+  }
+
+  if (config_.check_mc) {
+    const Result<MonteCarloLeakage::Estimate> est =
+        mc_.EstimateLeakage(c.r, c.p, c.wm, case_seed);
+    const Result<MonteCarloLeakage::Estimate> est2 =
+        mc_.EstimateLeakage(c.r, c.p, c.wm, case_seed);
+    ++out.comparisons;
+    if (est.ok() != est2.ok() ||
+        (est.ok() && (est->mean != est2->mean ||
+                      est->standard_error != est2->standard_error))) {
+      fail("monte-carlo-repro",
+           "same seed, different estimates: " +
+               (est.ok() ? FormatDoubleRoundTrip(est->mean) : "<error>") +
+               " vs " +
+               (est2.ok() ? FormatDoubleRoundTrip(est2->mean) : "<error>"));
+    }
+    if (est.ok()) {
+      in_range("monte-carlo mean", Result<double>(est->mean));
+      if (truth.has_value()) {
+        // Empirical-Bernstein-style half-width: the sigma·SE term alone is
+        // a trap near boundary confidences — when (say) conf = 1 − 1e-7,
+        // all n samples usually come out identical, the sample variance is
+        // exactly 0, and the CI degenerates even though a true deviation
+        // of order 1/n is statistically expected. The range/n term (F1 has
+        // range 1) keeps the band honest there while staying far below any
+        // systematic estimator bias.
+        const double bernstein =
+            config_.mc_sigmas * config_.mc_sigmas /
+            static_cast<double>(mc_.samples());
+        const double tol = config_.mc_sigmas * est->standard_error +
+                           bernstein + config_.slack;
+        ++out.comparisons;
+        if (std::abs(est->mean - *truth) > tol) {
+          fail("monte-carlo-ci",
+               "mean " + FormatDoubleRoundTrip(est->mean) + " vs truth " +
+                   FormatDoubleRoundTrip(*truth) + " differ by " +
+                   FormatDoubleRoundTrip(std::abs(est->mean - *truth)) +
+                   " > " + FormatDoubleRoundTrip(config_.mc_sigmas) +
+                   "*SE+sigma^2/n+slack = " + FormatDoubleRoundTrip(tol));
+        }
+      }
+    }
+  }
+
+  if (config_.check_batch && config_.check_auto && auto_p.ok()) {
+    Database db;
+    db.Add(c.r);
+    const Record* rec_ptr = &db[0];
+    const Result<std::vector<double>> batch =
+        BatchLeakage(std::span<const Record* const>(&rec_ptr, 1), ref, auto_);
+    ++out.comparisons;
+    if (!batch.ok() || batch->size() != 1 || (*batch)[0] != *auto_p) {
+      fail("batch-vs-single",
+           "BatchLeakage gave " +
+               (batch.ok() && batch->size() == 1
+                    ? FormatDoubleRoundTrip((*batch)[0])
+                    : std::string("<error>")) +
+               " vs single " + Render(auto_p));
+    }
+    std::ptrdiff_t argmax = -2;
+    const Result<double> set = SetLeakageArgMax(db, ref, auto_, &argmax);
+    ++out.comparisons;
+    if (!set.ok() || *set != *auto_p || argmax != 0) {
+      fail("batch-vs-single",
+           "SetLeakageArgMax gave " + Render(set) + " (argmax " +
+               std::to_string(argmax) + ") vs single " + Render(auto_p));
+    }
+  }
+
+  return out;
+}
+
+}  // namespace infoleak::check

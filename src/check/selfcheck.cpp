@@ -1,0 +1,382 @@
+#include "check/selfcheck.h"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <system_error>
+#include <utility>
+
+#include "check/case_gen.h"
+#include "check/corpus.h"
+#include "check/shrink.h"
+#include "core/record_io.h"
+#include "obs/metrics.h"
+#include "persist/durable_store.h"
+#include "svc/json.h"
+#include "svc/loopback.h"
+#include "util/string_util.h"
+
+namespace infoleak::check {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string RenderValue(const Result<double>& v) {
+  if (!v.ok()) return "<error: " + v.status().message() + ">";
+  return FormatDoubleRoundTrip(*v);
+}
+
+bool SameOutcome(const Result<double>& a, const Result<double>& b) {
+  if (a.ok() != b.ok()) return false;
+  return !a.ok() || *a == *b;  // both failing counts as agreement
+}
+
+/// Served-path oracle: the case is also asked over the wire (a loopback
+/// `infoleak serve`) with the record and reference inlined as text, and each
+/// engine's served answer must be bit-identical to its offline one —
+/// including agreeing on *failing*. The wire renders doubles with
+/// round-trip precision, so bit-identity across the text hop is a fair
+/// demand.
+class ServedChecker {
+ public:
+  explicit ServedChecker(std::size_t naive_max)
+      : server_(RecordStore()), naive_max_(naive_max) {}
+
+  Status Start() {
+    INFOLEAK_RETURN_IF_ERROR(server_.Start());
+    INFOLEAK_ASSIGN_OR_RETURN(client_, server_.NewClient());
+    return Status::OK();
+  }
+
+  Status Stop() { return server_.Stop(); }
+
+  void Check(const CheckCase& c, std::size_t* comparisons,
+             std::vector<Finding>* findings) {
+    for (const auto& [engine, offline] : OfflineValues(c)) {
+      ++*comparisons;
+      const Result<double> served = Served(c, engine);
+      if (!SameOutcome(offline, served)) {
+        findings->push_back(Finding{
+            "served",
+            std::string(engine) + ": offline " + RenderValue(offline) +
+                " vs served " + RenderValue(served),
+            c});
+      }
+    }
+  }
+
+  /// Shrink predicate: does any served/offline mismatch remain?
+  bool Disagrees(const CheckCase& c) {
+    for (const auto& [engine, offline] : OfflineValues(c)) {
+      if (!SameOutcome(offline, Served(c, engine))) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<std::pair<const char*, Result<double>>> OfflineValues(
+      const CheckCase& c) {
+    std::vector<std::pair<const char*, Result<double>>> values;
+    values.emplace_back("auto", auto_.RecordLeakage(c.r, c.p, c.wm));
+    values.emplace_back("approx", approx_.RecordLeakage(c.r, c.p, c.wm));
+    values.emplace_back("exact", exact_.RecordLeakage(c.r, c.p, c.wm));
+    // The service's naive engine has a larger enumeration cap than the
+    // oracle's; compare only where both sides are comfortably inside it.
+    if (c.r.size() <= naive_max_) {
+      values.emplace_back("naive", naive_.RecordLeakage(c.r, c.p, c.wm));
+    }
+    return values;
+  }
+
+  Result<double> Served(const CheckCase& c, const std::string& engine) {
+    svc::JsonValue body = svc::JsonValue::Object();
+    body.Set("record", svc::JsonValue::Str(FormatRecord(c.r)));
+    body.Set("reference", svc::JsonValue::Str(FormatRecord(c.p)));
+    const std::string weights = FormatWeights(c.wm);
+    if (!weights.empty()) body.Set("weights", svc::JsonValue::Str(weights));
+    body.Set("engine", svc::JsonValue::Str(engine));
+    INFOLEAK_ASSIGN_OR_RETURN(svc::JsonValue response,
+                              client_.CallVerb("leak", std::move(body)));
+    const svc::JsonValue* leakage = response.Find("leakage");
+    if (leakage == nullptr || !leakage->is_number()) {
+      return Status::Internal("leak response carries no \"leakage\" number");
+    }
+    return leakage->as_number();
+  }
+
+  svc::LoopbackServer server_;
+  svc::Client client_;
+  NaiveLeakage naive_;
+  ExactLeakage exact_;
+  ApproxLeakage approx_;
+  AutoLeakage auto_;
+  std::size_t naive_max_;
+};
+
+/// Recovery oracle: every generated record is appended to a real
+/// DurableStore (WAL + one midpoint snapshot); at the end of the run the
+/// store is closed and recovered, and each stored record must come back
+/// textually identical and answer its case's leakage query bit-identically
+/// to the pre-recovery evaluation.
+class DurableChecker {
+ public:
+  explicit DurableChecker(std::string dir) : dir_(std::move(dir)) {}
+
+  Status Open() {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);  // stale scratch from a killed run
+    persist::DurableStore::Options options;
+    options.fsync = persist::FsyncMode::kNever;  // correctness, not crashes
+    INFOLEAK_ASSIGN_OR_RETURN(
+        store_, persist::DurableStore::Open(dir_, options));
+    return Status::OK();
+  }
+
+  Status Add(const CheckCase& c) {
+    INFOLEAK_ASSIGN_OR_RETURN(RecordId id, store_->Append(c.r));
+    entries_.push_back(Entry{id, c, auto_.RecordLeakage(c.r, c.p, c.wm)});
+    return Status::OK();
+  }
+
+  /// Mid-run snapshot, so recovery exercises snapshot + WAL tail rather
+  /// than a pure log replay.
+  Status SnapshotNow() { return store_->Snapshot(); }
+
+  Status Finish(std::size_t* comparisons, std::vector<Finding>* findings) {
+    INFOLEAK_ASSIGN_OR_RETURN(
+        store_, persist::DurableStore::Reopen(std::move(store_)));
+    if (!store_->recovery().wal_damage.ok()) {
+      findings->push_back(Finding{
+          "durable-recovery",
+          "recovery reported WAL damage on an uncrashed store: " +
+              store_->recovery().wal_damage.message(),
+          CheckCase{}});
+    }
+    for (const Entry& e : entries_) {
+      ++*comparisons;
+      const Result<Record> rec = store_->store().Get(e.id);
+      if (!rec.ok()) {
+        findings->push_back(Finding{
+            "durable-recovery",
+            "record " + std::to_string(e.id) +
+                " lost in recovery: " + rec.status().message(),
+            e.c});
+        continue;
+      }
+      if (FormatRecord(*rec) != FormatRecord(e.c.r)) {
+        findings->push_back(Finding{
+            "durable-recovery",
+            "record " + std::to_string(e.id) + " recovered as " +
+                FormatRecord(*rec) + " but was appended as " +
+                FormatRecord(e.c.r),
+            e.c});
+        continue;
+      }
+      ++*comparisons;
+      const Result<double> after = auto_.RecordLeakage(*rec, e.c.p, e.c.wm);
+      if (!SameOutcome(e.before, after)) {
+        findings->push_back(Finding{
+            "durable-recovery",
+            "leakage changed across recovery: before " +
+                RenderValue(e.before) + " vs after " + RenderValue(after),
+            e.c});
+      }
+    }
+    store_.reset();
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+    return Status::OK();
+  }
+
+ private:
+  struct Entry {
+    RecordId id;
+    CheckCase c;
+    Result<double> before;
+  };
+
+  std::string dir_;
+  std::unique_ptr<persist::DurableStore> store_;
+  std::vector<Entry> entries_;
+  AutoLeakage auto_;
+};
+
+std::string DefaultScratchDir(uint64_t seed) {
+  std::error_code ec;
+  fs::path base = fs::temp_directory_path(ec);
+  if (ec) base = ".";
+  return (base / ("infoleak-selfcheck-" + std::to_string(::getpid()) + "-" +
+                  std::to_string(seed)))
+      .string();
+}
+
+}  // namespace
+
+std::string SelfCheckReport::Summary() const {
+  std::string out = "selfcheck: corpus " + std::to_string(corpus_cases) +
+                    " case(s), generated " + std::to_string(generated_cases) +
+                    " case(s), " + std::to_string(comparisons) +
+                    " comparison(s), " + std::to_string(disagreements) +
+                    " disagreement(s)\n";
+  for (const Finding& f : findings) {
+    out += "disagreement [" + f.kind + "] " + f.c.name + "\n";
+    out += "  " + f.detail + "\n";
+    for (const auto& line : Split(FormatCase(f.c), '\n')) {
+      if (!line.empty()) out += "  | " + line + "\n";
+    }
+  }
+  if (disagreements > findings.size()) {
+    out += "(+" + std::to_string(disagreements - findings.size()) +
+           " further disagreement(s) not minimized; raise the report cap)\n";
+  }
+  return out;
+}
+
+Result<SelfCheckReport> RunSelfCheck(const SelfCheckConfig& config) {
+  static obs::Counter& cases_total = obs::MetricsRegistry::Global().GetCounter(
+      "infoleak_selfcheck_cases_total", {},
+      "Cases evaluated by the differential selfcheck harness");
+  static obs::Counter& comparisons_total =
+      obs::MetricsRegistry::Global().GetCounter(
+          "infoleak_selfcheck_comparisons_total", {},
+          "Cross-engine comparisons performed by selfcheck");
+  static obs::Counter& disagreements_total =
+      obs::MetricsRegistry::Global().GetCounter(
+          "infoleak_selfcheck_disagreements_total", {},
+          "Cross-engine disagreements found by selfcheck");
+
+  SelfCheckReport report;
+  const Oracle oracle(config.oracle);
+
+  ServedChecker served(config.oracle.naive_max);
+  if (config.check_served) INFOLEAK_RETURN_IF_ERROR(served.Start());
+  DurableChecker durable(config.scratch_dir.empty()
+                             ? DefaultScratchDir(config.seed)
+                             : config.scratch_dir);
+  if (config.check_durable) INFOLEAK_RETURN_IF_ERROR(durable.Open());
+
+  // Accepts raw findings: counts them all, minimizes and (optionally)
+  // records the first `max_reported`. `shrinker` may be empty for findings
+  // whose reproduction needs an environment (durable recovery) — those are
+  // reported as found.
+  auto handle = [&](std::vector<Finding>&& found,
+                    const std::function<bool(const CheckCase&)>& shrinker) {
+    for (Finding& f : found) {
+      ++report.disagreements;
+      disagreements_total.Inc();
+      if (report.findings.size() >= config.max_reported) continue;
+      Finding minimized = std::move(f);
+      if (shrinker) minimized.c = Shrink(minimized.c, shrinker);
+      if (!config.corpus_dir.empty() && config.extend_corpus) {
+        Result<std::string> path =
+            WriteCorpusEntry(config.corpus_dir, minimized);
+        if (path.ok()) report.corpus_written.push_back(*path);
+      }
+      report.findings.push_back(std::move(minimized));
+    }
+  };
+
+  // Shrink predicate for an oracle finding: the candidate still triggers a
+  // finding of the same kind under the same seed.
+  auto oracle_shrinker = [&oracle](std::string kind, uint64_t case_seed) {
+    return [&oracle, kind = std::move(kind),
+            case_seed](const CheckCase& candidate) {
+      const OracleOutcome o = oracle.Evaluate(candidate, case_seed);
+      for (const Finding& f : o.findings) {
+        if (f.kind == kind) return true;
+      }
+      return false;
+    };
+  };
+
+  auto served_shrinker = [&served](const CheckCase& candidate) {
+    return served.Disagrees(candidate);
+  };
+
+  // Runs every enabled path on one canonical case.
+  auto run_case = [&](const CheckCase& c, uint64_t case_seed) -> Status {
+    OracleOutcome o = oracle.Evaluate(c, case_seed);
+    report.comparisons += o.comparisons;
+    for (Finding& f : o.findings) {
+      const std::string kind = f.kind;
+      std::vector<Finding> one;
+      one.push_back(std::move(f));
+      handle(std::move(one), oracle_shrinker(kind, case_seed));
+    }
+    if (config.check_served) {
+      std::vector<Finding> found;
+      served.Check(c, &report.comparisons, &found);
+      handle(std::move(found), served_shrinker);
+    }
+    if (config.check_durable) INFOLEAK_RETURN_IF_ERROR(durable.Add(c));
+    return Status::OK();
+  };
+
+  // ---- 1. Replay the regression corpus -----------------------------------
+  if (!config.corpus_dir.empty()) {
+    INFOLEAK_ASSIGN_OR_RETURN(std::vector<CheckCase> corpus,
+                              LoadCorpus(config.corpus_dir));
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+      // Corpus case seeds live far above the generated index range so
+      // replay determinism survives --cases changes.
+      const uint64_t case_seed =
+          CaseGenerator::CaseSeed(config.seed, (1ULL << 32) + i);
+      INFOLEAK_ASSIGN_OR_RETURN(const CheckCase c, Canonicalize(corpus[i]));
+      ++report.corpus_cases;
+      cases_total.Inc();
+      INFOLEAK_RETURN_IF_ERROR(run_case(c, case_seed));
+    }
+  }
+
+  // ---- 2. Generate adversarial cases -------------------------------------
+  CaseGenerator gen(config.seed);
+  for (std::size_t i = 0; i < config.cases; ++i) {
+    const uint64_t case_seed = CaseGenerator::CaseSeed(config.seed, i);
+    const CheckCase raw = gen.Next();
+    ++report.generated_cases;
+    cases_total.Inc();
+    ++report.comparisons;
+    Result<CheckCase> canonical = Canonicalize(raw);
+    if (!canonical.ok()) {
+      // A generated case that does not survive its own text form is a
+      // serialization bug — the exact class the served path would trip on.
+      std::vector<Finding> one;
+      one.push_back(Finding{"canonicalize",
+                            "case does not round-trip through its text form: " +
+                                canonical.status().message(),
+                            raw});
+      handle(std::move(one), {});
+      continue;
+    }
+    const CheckCase& c = *canonical;
+    ++report.comparisons;
+    if (FormatCase(c) != FormatCase(raw)) {
+      std::vector<Finding> one;
+      one.push_back(Finding{
+          "canonicalize",
+          "text form is not a fixpoint: parsing and re-rendering changed "
+          "the case (lossy double rendering?)",
+          raw});
+      handle(std::move(one), {});
+    }
+    INFOLEAK_RETURN_IF_ERROR(run_case(c, case_seed));
+    if (config.check_durable && i + 1 == config.cases / 2) {
+      INFOLEAK_RETURN_IF_ERROR(durable.SnapshotNow());
+    }
+  }
+
+  // ---- 3. Recover the durable store and re-verify ------------------------
+  if (config.check_durable) {
+    std::vector<Finding> found;
+    INFOLEAK_RETURN_IF_ERROR(durable.Finish(&report.comparisons, &found));
+    handle(std::move(found), {});  // recovery needs the env; no shrinking
+  }
+  if (config.check_served) INFOLEAK_RETURN_IF_ERROR(served.Stop());
+
+  comparisons_total.Inc(report.comparisons);
+  return report;
+}
+
+}  // namespace infoleak::check

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/oracle.h"
+#include "util/result.h"
+
+namespace infoleak::check {
+
+/// What a selfcheck run does: replay the regression corpus, generate
+/// adversarial cases, and cross-check every enabled engine/path — offline
+/// engines through the `Oracle`, plus optionally the served path (a
+/// loopback `infoleak serve`) and the recovered path (a DurableStore
+/// round-trip through close-and-reopen).
+struct SelfCheckConfig {
+  std::size_t cases = 1000;
+  uint64_t seed = 1;
+  OracleConfig oracle;
+  /// Compare offline answers against a loopback server, bit-for-bit.
+  bool check_served = true;
+  /// Append every record to a durable store, recover it at the end of the
+  /// run, and demand bit-identical answers pre- and post-recovery.
+  bool check_durable = true;
+  /// Regression corpus directory; "" skips replay. Replayed before
+  /// generation so a regression fails fast.
+  std::string corpus_dir;
+  /// Write each newly-found, minimized disagreement into `corpus_dir`.
+  bool extend_corpus = true;
+  /// Scratch directory for the durable store; "" picks a unique directory
+  /// under the system temp dir (removed afterwards).
+  std::string scratch_dir;
+  /// Findings minimized, reported, and written to the corpus; further
+  /// disagreements are still counted. Shrinking re-evaluates the oracle
+  /// hundreds of times per finding, so an unbounded pathological run must
+  /// not take hours.
+  std::size_t max_reported = 20;
+};
+
+struct SelfCheckReport {
+  std::size_t corpus_cases = 0;
+  std::size_t generated_cases = 0;
+  std::size_t comparisons = 0;
+  std::size_t disagreements = 0;  ///< all findings, reported or not
+  std::vector<Finding> findings;  ///< minimized, first `max_reported`
+  std::vector<std::string> corpus_written;  ///< new corpus entry paths
+
+  bool clean() const { return disagreements == 0; }
+
+  /// Deterministic multi-line report: totals, then each finding with its
+  /// minimized case in corpus text form (paste-able into a .case file).
+  std::string Summary() const;
+};
+
+/// \brief Runs the differential selfcheck. A non-OK status means the
+/// harness itself could not run (bad corpus file, server failed to start);
+/// disagreements are NOT errors here — they are data in the report, and
+/// the CLI turns a non-clean report into its own failure.
+Result<SelfCheckReport> RunSelfCheck(const SelfCheckConfig& config);
+
+}  // namespace infoleak::check

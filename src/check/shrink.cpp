@@ -1,0 +1,106 @@
+#include "check/shrink.h"
+
+#include <iterator>
+#include <utility>
+#include <vector>
+
+namespace infoleak::check {
+namespace {
+
+enum class Mutated {
+  kOutOfRange,     // index walked past the structure: stop this pass
+  kNotApplicable,  // already in the simplified form: try the next index
+  kApplied,
+};
+
+Mutated Mutate(CheckCase* c, std::size_t which, std::size_t index) {
+  switch (which) {
+    case 0: {  // drop r attribute
+      if (index >= c->r.size()) return Mutated::kOutOfRange;
+      const Attribute a = c->r.attributes()[index];
+      (void)c->r.Erase(a.label, a.value);
+      return Mutated::kApplied;
+    }
+    case 1: {  // drop p attribute
+      if (index >= c->p.size()) return Mutated::kOutOfRange;
+      const Attribute a = c->p.attributes()[index];
+      (void)c->p.Erase(a.label, a.value);
+      return Mutated::kApplied;
+    }
+    case 2: {  // confidence -> 1.0
+      if (index >= c->r.size()) return Mutated::kOutOfRange;
+      const Attribute& a = c->r.attributes()[index];
+      if (a.confidence == 1.0) return Mutated::kNotApplicable;
+      (void)c->r.SetConfidence(a.label, a.value, 1.0);
+      return Mutated::kApplied;
+    }
+    case 3: {  // confidence -> 0.5 (only from a less-simple value)
+      if (index >= c->r.size()) return Mutated::kOutOfRange;
+      const Attribute& a = c->r.attributes()[index];
+      // 1.0 ranks simpler than 0.5: without this order the ->1.0 and ->0.5
+      // mutations would undo each other forever whenever both keep the
+      // predicate, burning the whole step budget on a two-cycle.
+      if (a.confidence == 0.5 || a.confidence == 1.0) {
+        return Mutated::kNotApplicable;
+      }
+      (void)c->r.SetConfidence(a.label, a.value, 0.5);
+      return Mutated::kApplied;
+    }
+    default: {  // drop one explicit weight (back to the default 1)
+      const auto& weights = c->wm.explicit_weights();
+      if (index >= weights.size()) return Mutated::kOutOfRange;
+      auto it = weights.begin();
+      std::advance(it, index);
+      WeightModel pruned;
+      for (const auto& [label, w] : weights) {
+        if (label != it->first) (void)pruned.SetWeight(label, w);
+      }
+      c->wm = std::move(pruned);
+      return Mutated::kApplied;
+    }
+  }
+}
+
+/// Structure-removing mutations shift later elements down one index, so a
+/// kept removal re-tests the same index; in-place edits advance.
+bool RemovesElement(std::size_t which) {
+  return which == 0 || which == 1 || which == 4;
+}
+
+}  // namespace
+
+CheckCase Shrink(const CheckCase& failing,
+                 const std::function<bool(const CheckCase&)>& still_fails,
+                 std::size_t max_steps) {
+  CheckCase best = failing;
+  std::size_t steps = 0;
+  bool changed = true;
+  while (changed && steps < max_steps) {
+    changed = false;
+    for (std::size_t which = 0; which < 5 && steps < max_steps; ++which) {
+      std::size_t i = 0;
+      while (steps < max_steps) {
+        CheckCase candidate = best;
+        const Mutated m = Mutate(&candidate, which, i);
+        if (m == Mutated::kOutOfRange) break;
+        if (m == Mutated::kNotApplicable) {
+          ++i;
+          continue;
+        }
+        Result<CheckCase> canonical = Canonicalize(candidate);
+        ++steps;
+        if (canonical.ok() && still_fails(*canonical)) {
+          best = std::move(*canonical);
+          changed = true;
+          if (!RemovesElement(which)) ++i;
+        } else {
+          ++i;
+        }
+      }
+    }
+  }
+  best.name = failing.name + "/shrunk";
+  return best;
+}
+
+}  // namespace infoleak::check

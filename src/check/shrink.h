@@ -1,0 +1,24 @@
+#pragma once
+
+#include <functional>
+
+#include "check/case.h"
+
+namespace infoleak::check {
+
+/// \brief Greedy delta-debugging minimizer: repeatedly tries the mutations
+/// below, keeping any that still satisfy `still_fails`, until a full pass
+/// changes nothing (or `max_steps` predicate evaluations are spent):
+///
+///   1. drop one attribute of `r`, then of `p`;
+///   2. simplify one confidence to 1.0, then to 0.5;
+///   3. drop one explicit weight (reverting that label to the default 1).
+///
+/// Every candidate is canonicalized before testing, so the minimized case
+/// is exactly what its corpus entry will replay. The input case must
+/// satisfy `still_fails`; the result always does.
+CheckCase Shrink(const CheckCase& failing,
+                 const std::function<bool(const CheckCase&)>& still_fails,
+                 std::size_t max_steps = 2000);
+
+}  // namespace infoleak::check

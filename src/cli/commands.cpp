@@ -9,6 +9,7 @@
 #include <span>
 
 #include "anon/hierarchy.h"
+#include "check/selfcheck.h"
 #include "apps/disinformation.h"
 #include "apps/enhancement.h"
 #include "apps/population.h"
@@ -197,6 +198,24 @@ constexpr FlagDoc kCompactFlags[] = {
     {"data-dir", "durable store directory to compact (required)"},
 };
 
+constexpr FlagDoc kSelfCheckFlags[] = {
+    {"cases", "generated adversarial cases (default 1000)"},
+    {"seed", "deterministic run seed; a (seed, case) pair always "
+             "reproduces (default 1)"},
+    {"engines", "comma list of checks to run: naive,exact,approx,mc,"
+                "bounds,batch,auto,served,durable (default all)"},
+    {"corpus", "regression corpus directory: replay every *.case before "
+               "generating, write new minimized findings back"},
+    {"no-corpus-write", "replay the corpus but do not add new entries"},
+    {"naive-max", "largest record the O(2^|r|) truth oracle enumerates "
+                  "(default 12)"},
+    {"mc-samples", "Monte-Carlo samples per estimate (default 4000)"},
+    {"max-reported", "findings minimized and reported in full; further "
+                     "ones are only counted (default 20)"},
+    {"scratch-dir", "durable-check scratch directory (default: under the "
+                    "system temp dir, removed afterwards)"},
+};
+
 struct CommandDoc {
   std::string_view name;
   std::string_view summary;
@@ -229,6 +248,8 @@ constexpr CommandDoc kCommands[] = {
      RunCall},
     {"compact", "rewrite a durable store's snapshot and reset its WAL",
      kCompactFlags, RunCompact},
+    {"selfcheck", "differential cross-engine check: fuzz, compare, shrink",
+     kSelfCheckFlags, RunSelfCheck},
 };
 
 const CommandDoc* FindCommand(std::string_view name) {
@@ -1103,6 +1124,88 @@ Status RunCompact(const FlagSet& flags, std::string* out) {
   if (!compacted.ok()) return compacted;
   Append(out, "compacted: " + std::to_string((*durable)->store().size()) +
                   " record(s) in one snapshot, wal reset to empty");
+  return Status::OK();
+}
+
+Status RunSelfCheck(const FlagSet& flags, std::string* out) {
+  Status ok = CheckFlags(flags, "selfcheck");
+  if (!ok.ok()) return ok;
+  check::SelfCheckConfig config;
+  auto cases = flags.GetInt("cases", 1000);
+  if (!cases.ok()) return cases.status();
+  if (*cases < 0) return Status::InvalidArgument("--cases must be >= 0");
+  config.cases = static_cast<std::size_t>(*cases);
+  auto seed = flags.GetInt("seed", 1);
+  if (!seed.ok()) return seed.status();
+  config.seed = static_cast<uint64_t>(*seed);
+  auto naive_max = flags.GetInt("naive-max", 12);
+  if (!naive_max.ok()) return naive_max.status();
+  if (*naive_max < 1 || *naive_max > 16) {
+    return Status::InvalidArgument(
+        "--naive-max must be in [1, 16] (the truth oracle enumerates "
+        "2^naive-max worlds)");
+  }
+  config.oracle.naive_max = static_cast<std::size_t>(*naive_max);
+  auto mc_samples = flags.GetInt("mc-samples", 4000);
+  if (!mc_samples.ok()) return mc_samples.status();
+  if (*mc_samples < 2) {
+    return Status::InvalidArgument("--mc-samples must be >= 2");
+  }
+  config.oracle.mc_samples = static_cast<std::size_t>(*mc_samples);
+  auto max_reported = flags.GetInt("max-reported", 20);
+  if (!max_reported.ok()) return max_reported.status();
+  config.max_reported = static_cast<std::size_t>(std::max(0LL, *max_reported));
+  config.corpus_dir = flags.GetString("corpus");
+  config.extend_corpus = !flags.Has("no-corpus-write");
+  config.scratch_dir = flags.GetString("scratch-dir");
+
+  if (flags.Has("engines")) {
+    config.oracle.check_naive = false;
+    config.oracle.check_exact = false;
+    config.oracle.check_approx = false;
+    config.oracle.check_mc = false;
+    config.oracle.check_bounds = false;
+    config.oracle.check_batch = false;
+    config.oracle.check_auto = false;
+    config.check_served = false;
+    config.check_durable = false;
+    for (const std::string& engine :
+         Split(flags.GetString("engines"), ',')) {
+      if (engine == "naive") config.oracle.check_naive = true;
+      else if (engine == "exact") config.oracle.check_exact = true;
+      else if (engine == "approx") config.oracle.check_approx = true;
+      else if (engine == "mc") config.oracle.check_mc = true;
+      else if (engine == "bounds") config.oracle.check_bounds = true;
+      else if (engine == "batch") config.oracle.check_batch = true;
+      else if (engine == "auto") config.oracle.check_auto = true;
+      else if (engine == "served") config.check_served = true;
+      else if (engine == "durable") config.check_durable = true;
+      else if (engine == "all") {
+        config.oracle = check::OracleConfig();
+        config.oracle.naive_max = static_cast<std::size_t>(*naive_max);
+        config.oracle.mc_samples = static_cast<std::size_t>(*mc_samples);
+        config.check_served = true;
+        config.check_durable = true;
+      } else {
+        return Status::InvalidArgument(
+            "unknown --engines entry '" + engine +
+            "' (naive,exact,approx,mc,bounds,batch,auto,served,durable,all)");
+      }
+    }
+  }
+
+  auto report = check::RunSelfCheck(config);
+  if (!report.ok()) return report.status();
+  *out += report->Summary();
+  for (const std::string& path : report->corpus_written) {
+    Append(out, "corpus entry written: " + path);
+  }
+  if (!report->clean()) {
+    return Status::Internal("selfcheck found " +
+                            std::to_string(report->disagreements) +
+                            " disagreement(s)");
+  }
+  Append(out, "selfcheck: all engines and paths agree");
   return Status::OK();
 }
 

@@ -40,6 +40,9 @@ namespace infoleak::cli {
 ///   call        --port P [--host H] [--timeout-ms MS]
 ///               (--request '<json line>' | --verb V [--body '{...}'])
 ///   compact     --data-dir DIR  (offline snapshot + WAL reset)
+///   selfcheck   [--cases N] [--seed S] [--engines naive,exact,...]
+///               [--corpus DIR [--no-corpus-write]] [--naive-max K]
+///               [--mc-samples N] [--max-reported N] [--scratch-dir DIR]
 ///
 /// `infoleak <command> --help` (or `infoleak help <command>`) prints the
 /// command's full flag vocabulary; the same registry backs unknown-flag
@@ -68,6 +71,7 @@ Status RunStats(const FlagSet& flags, std::string* out);
 Status RunServe(const FlagSet& flags, std::string* out);
 Status RunCall(const FlagSet& flags, std::string* out);
 Status RunCompact(const FlagSet& flags, std::string* out);
+Status RunSelfCheck(const FlagSet& flags, std::string* out);
 
 /// Usage text for `infoleak help` / bad invocations.
 std::string UsageText();

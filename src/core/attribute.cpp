@@ -11,7 +11,10 @@ std::string Attribute::ToString() const {
   out += value;
   if (confidence != 1.0) {
     out += ", ";
-    out += FormatDouble(confidence, 4);
+    // Round-trip rendering: parsing the text back must reproduce the exact
+    // double, or every text-transported path (wire protocol, corpus files,
+    // CSV) would silently evaluate a slightly different record.
+    out += FormatDoubleRoundTrip(confidence);
   }
   out += ">";
   return out;

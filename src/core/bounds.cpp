@@ -1,6 +1,8 @@
 #include "core/bounds.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 namespace infoleak {
 
@@ -38,6 +40,48 @@ LeakageBounds BoundRecordLeakage(const Record& r, const Record& p,
   // slack at the boundary).
   bounds.upper = std::max(bounds.upper, bounds.lower);
   return bounds;
+}
+
+double ApproxLeakageErrorBound(const Record& r, const Record& p,
+                               const WeightModel& wm, int order) {
+  const double wp = wm.TotalWeight(p);
+  double mean_all = 0.0;
+  double var_all = 0.0;
+  double weight_all = 0.0;
+  for (const auto& a : r) {
+    const double w = wm.Weight(a.label);
+    mean_all += w * a.confidence;
+    var_all += w * w * a.confidence * (1.0 - a.confidence);
+    weight_all += w;
+  }
+
+  double bound = 0.0;
+  for (const auto& b : p) {
+    const Attribute* match = r.Find(b.label, b.value);
+    if (match == nullptr) continue;
+    const double pb = match->confidence;
+    const double wb = wm.Weight(b.label);
+    if (pb <= 0.0 || wb <= 0.0) continue;  // both engines' term is exactly 0
+    const double c = wb + wp;
+    const double mean = mean_all - wb * pb;
+    const double var = var_all - wb * wb * pb * (1.0 - pb);
+    const double ymax = weight_all - wb;
+    const double denom = mean + c;
+    if (denom <= 0.0) continue;  // engine skips; exact term is 0 too (wb>0
+                                 // forces denom>0 unless weights vanish)
+    const double jensen = wb / denom;
+    const double chord =
+        ymax > 0.0 ? wb / c + (wb / (ymax + c) - wb / c) * (mean / ymax)
+                   : jensen;  // Y is deterministically 0
+    const double gap = std::max(0.0, chord - jensen);
+    const double corr =
+        order >= 2 ? wb / (denom * denom * denom) * std::max(0.0, var) : 0.0;
+    const double term_error =
+        order >= 2 ? std::max(corr, std::max(0.0, gap - corr)) : gap;
+    bound += 2.0 * pb * term_error;
+  }
+  if (std::isnan(bound)) return std::numeric_limits<double>::infinity();
+  return bound;
 }
 
 }  // namespace infoleak

@@ -33,4 +33,29 @@ struct LeakageBounds {
 LeakageBounds BoundRecordLeakage(const Record& r, const Record& p,
                                  const WeightModel& wm);
 
+/// \brief Sound, computable bound B on the truncation error of the §5.2
+/// Taylor approximation: |ApproxLeakage(order) − L(r, p)| ≤ B. This is what
+/// makes "approx within its bound" a checkable oracle property rather than
+/// an empirical observation (Table 5).
+///
+/// Derivation. The exact per-term value is E[f(Y_b)] with
+/// f(y) = w_b/(y + c_b), c_b = w_b + W(p), and Y_b ∈ [0, Ymax_b] the
+/// believed weight of r̄ minus the matched attribute. f is convex on the
+/// support, so
+///   f(E[Y_b])  ≤  E[f(Y_b)]  ≤  chord(E[Y_b]),
+/// where the left side is Jensen (= the order-1 Taylor term the engine
+/// computes) and the right side is the secant of f over [0, Ymax_b]
+/// evaluated at the mean (f ≤ secant pointwise on the support, and the
+/// secant is affine so its expectation is its value at the mean). The
+/// order-2 engine adds corr_b = w_b·Var[Y_b]/(E[Y_b]+c_b)³ ≥ 0, so its
+/// per-term error lies in [−corr_b, (chord_b − jensen_b) − corr_b]. Summing
+/// 2·p(b,r)·max(corr_b, chord_b − jensen_b − corr_b) over matched b gives
+/// B. The engine clamps its output into [0, 1]; since the true L is in
+/// [0, 1], clamping is a contraction and the bound survives it.
+///
+/// Returns +infinity when the inputs overflow double arithmetic (the bound
+/// is then trivially true, and the engines refuse such inputs anyway).
+double ApproxLeakageErrorBound(const Record& r, const Record& p,
+                               const WeightModel& wm, int order = 2);
+
 }  // namespace infoleak

@@ -39,6 +39,31 @@ obs::Counter& PathCounter(bool prepared) {
   return prepared ? prepared_count : string_count;
 }
 
+obs::Counter& NaiveCapCounter() {
+  static obs::Counter& rejected = obs::MetricsRegistry::Global().GetCounter(
+      "infoleak_naive_cap_rejections_total", {},
+      "Naive-engine evaluations refused because the record exceeded the "
+      "2^|r| enumeration cap");
+  return rejected;
+}
+
+/// Every engine output is the expectation of a statistic in [0, 1], so a
+/// finite total may only leave that interval by floating-point rounding
+/// (exact/naive, off by an ulp) or by Taylor truncation error (approx,
+/// which can overshoot badly when Var[Y] dwarfs the denominator — see the
+/// selfcheck corpus). Clamp back into range; a non-finite total means the
+/// weights overflowed double range and there is no meaningful value to
+/// clamp, so refuse instead of propagating NaN/Inf to callers.
+Result<double> FinishUnitInterval(double total, const char* what) {
+  if (!std::isfinite(total)) {
+    return Status::InvalidArgument(
+        std::string(what) +
+        " is not finite; the weight model is too extreme for double "
+        "arithmetic");
+  }
+  return std::clamp(total, 0.0, 1.0);
+}
+
 obs::Histogram& SetLeakageLatency(bool parallel) {
   static obs::Histogram& serial = obs::MetricsRegistry::Global().GetHistogram(
       "infoleak_set_leakage_seconds", {{"mode", "serial"}},
@@ -134,6 +159,7 @@ Result<double> NaiveEnumerate(const PreparedRecord& r,
     max_attributes = kMaxEnumerableAttributes;
   }
   if (r.size() > max_attributes) {
+    NaiveCapCounter().Inc();
     return Status::ResourceExhausted(
         "record has " + std::to_string(r.size()) +
         " attributes; naive enumeration capped at " +
@@ -186,7 +212,7 @@ Result<double> LeakageEngine::ExpectedRecall(const Record& r, const Record& p,
   for (const auto& b : p) {
     num += r.Confidence(b.label, b.value) * wm.Weight(b.label);
   }
-  return num / denom;
+  return FinishUnitInterval(num / denom, "expected recall");
 }
 
 Result<double> LeakageEngine::RecordLeakagePrepared(
@@ -214,7 +240,7 @@ Result<double> LeakageEngine::ExpectedRecallPrepared(
   for (std::size_t j = 0; j < pattrs.size(); ++j) {
     num += ws->match_conf[j] * pattrs[j].weight;
   }
-  return num / denom;
+  return FinishUnitInterval(num / denom, "expected recall");
 }
 
 Result<double> LeakageEngine::AdaptRecordLeakage(const Record& r,
@@ -256,15 +282,19 @@ Result<double> NaiveLeakage::RecordLeakagePrepared(
     LeakageWorkspace* ws) const {
   static obs::Counter& evals = EngineEvalCounter("naive");
   evals.Inc();
-  return NaiveEnumerate(r, p, /*base=*/p.total_weight(), /*factor=*/2.0,
-                        max_attributes_, ws);
+  Result<double> total = NaiveEnumerate(r, p, /*base=*/p.total_weight(),
+                                        /*factor=*/2.0, max_attributes_, ws);
+  if (!total.ok()) return total.status();
+  return FinishUnitInterval(*total, "naive record leakage");
 }
 
 Result<double> NaiveLeakage::ExpectedPrecisionPrepared(
     const PreparedRecord& r, const PreparedReference& p,
     LeakageWorkspace* ws) const {
-  return NaiveEnumerate(r, p, /*base=*/0.0, /*factor=*/1.0, max_attributes_,
-                        ws);
+  Result<double> total = NaiveEnumerate(r, p, /*base=*/0.0, /*factor=*/1.0,
+                                        max_attributes_, ws);
+  if (!total.ok()) return total.status();
+  return FinishUnitInterval(*total, "naive expected precision");
 }
 
 // ---------------------------------------------------------------------------
@@ -282,6 +312,23 @@ Result<double> ExactLeakage::ExpectedPrecision(const Record& r,
   return AdaptExpectedPrecision(r, p, wm);
 }
 
+namespace {
+
+/// Algorithm 1 cancels the constant weight out of every F1 numerator and
+/// denominator — valid only when that weight is positive. A uniform weight
+/// of exactly 0 still passes `UniformWeightOver`, but then every possible
+/// world's weighted F1 is 0/0, which the per-world convention (and
+/// NaiveLeakage) evaluates as 0: no weighted content, no leakage. Cancelling
+/// the 0 instead would silently compute the *unweighted* F1 (the
+/// differential selfcheck caught exactly that: naive 0 vs exact 0.297).
+bool UniformWeightIsZero(const PreparedRecord& r, const PreparedReference& p) {
+  if (r.size() > 0) return r.common_weight() == 0.0;
+  if (p.size() > 0) return p.common_weight() == 0.0;
+  return false;
+}
+
+}  // namespace
+
 Result<double> ExactLeakage::RecordLeakagePrepared(
     const PreparedRecord& r, const PreparedReference& p,
     LeakageWorkspace* ws) const {
@@ -292,8 +339,10 @@ Result<double> ExactLeakage::RecordLeakagePrepared(
         "Algorithm 1 requires a constant weight across the labels of r and "
         "p; use ApproxLeakage or NaiveLeakage for arbitrary weights");
   }
-  return ExactSum(r, p, /*m=*/static_cast<double>(p.size()), /*factor=*/2.0,
-                  ws);
+  if (UniformWeightIsZero(r, p)) return 0.0;
+  return FinishUnitInterval(
+      ExactSum(r, p, /*m=*/static_cast<double>(p.size()), /*factor=*/2.0, ws),
+      "exact record leakage");
 }
 
 Result<double> ExactLeakage::ExpectedPrecisionPrepared(
@@ -303,7 +352,9 @@ Result<double> ExactLeakage::ExpectedPrecisionPrepared(
     return Status::InvalidArgument(
         "exact expected precision requires constant weights");
   }
-  return ExactSum(r, p, /*m=*/0, /*factor=*/1.0, ws);
+  if (UniformWeightIsZero(r, p)) return 0.0;
+  return FinishUnitInterval(ExactSum(r, p, /*m=*/0, /*factor=*/1.0, ws),
+                            "exact expected precision");
 }
 
 // ---------------------------------------------------------------------------
@@ -345,14 +396,17 @@ Result<double> ApproxLeakage::RecordLeakagePrepared(
     LeakageWorkspace* ws) const {
   static obs::Counter& evals = EngineEvalCounter("approx");
   evals.Inc();
-  return ApproxSum(r, p, /*base=*/p.total_weight(), /*factor=*/2.0, order_,
-                   ws);
+  return FinishUnitInterval(ApproxSum(r, p, /*base=*/p.total_weight(),
+                                      /*factor=*/2.0, order_, ws),
+                            "approximate record leakage");
 }
 
 Result<double> ApproxLeakage::ExpectedPrecisionPrepared(
     const PreparedRecord& r, const PreparedReference& p,
     LeakageWorkspace* ws) const {
-  return ApproxSum(r, p, /*base=*/0.0, /*factor=*/1.0, order_, ws);
+  return FinishUnitInterval(ApproxSum(r, p, /*base=*/0.0, /*factor=*/1.0,
+                                      order_, ws),
+                            "approximate expected precision");
 }
 
 // ---------------------------------------------------------------------------

@@ -36,6 +36,13 @@ namespace infoleak {
 ///    reusable buffer, and the steady state does no allocation and no
 ///    string hashing. Both paths produce bit-identical results.
 ///
+/// Every successful evaluation returns a value in [0, 1]: the measures are
+/// expectations of statistics bounded by 1, so finite totals are clamped
+/// back into range when floating-point rounding (or the Taylor truncation
+/// of ApproxLeakage) pushes them out, and non-finite totals — possible only
+/// when the weight model overflows double arithmetic — surface as
+/// InvalidArgument instead of silently propagating NaN/Inf.
+///
 /// Engines are stateless and safe to share across threads; workspaces are
 /// not, so use one workspace per thread.
 class LeakageEngine {

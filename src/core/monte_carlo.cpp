@@ -1,12 +1,13 @@
 #include "core/monte_carlo.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace infoleak {
 
 Result<MonteCarloLeakage::Estimate> MonteCarloLeakage::Run(
     const Record& r, const Record& p, const WeightModel& wm, double base,
-    double factor) const {
+    double factor, uint64_t seed) const {
   // Per-attribute data once; each sample is then O(|r|) flips.
   std::vector<double> weight;
   std::vector<double> confidence;
@@ -20,7 +21,7 @@ Result<MonteCarloLeakage::Estimate> MonteCarloLeakage::Run(
     matched.push_back(p.Contains(a.label, a.value));
   }
 
-  Rng rng(seed_);
+  Rng rng(seed);
   double sum = 0.0;
   double sum_sq = 0.0;
   for (std::size_t s = 0; s < samples_; ++s) {
@@ -41,18 +42,34 @@ Result<MonteCarloLeakage::Estimate> MonteCarloLeakage::Run(
   est.samples = samples_;
   est.mean = sum / static_cast<double>(samples_);
   if (samples_ > 1) {
+    // Unbiased (n−1) sample variance: the oracle's z·SE confidence-interval
+    // test is only sound with the Bessel correction.
     double variance =
         (sum_sq - sum * sum / static_cast<double>(samples_)) /
         static_cast<double>(samples_ - 1);
     est.standard_error =
         std::sqrt(std::max(0.0, variance) / static_cast<double>(samples_));
   }
+  if (!std::isfinite(est.mean) || !std::isfinite(est.standard_error)) {
+    return Status::InvalidArgument(
+        "Monte-Carlo estimate is not finite; the weight model is too "
+        "extreme for double arithmetic");
+  }
+  // Each sampled world's statistic lies in [0, 1], so only accumulation
+  // rounding can push the mean out of range.
+  est.mean = std::min(1.0, std::max(0.0, est.mean));
   return est;
 }
 
 Result<MonteCarloLeakage::Estimate> MonteCarloLeakage::EstimateLeakage(
     const Record& r, const Record& p, const WeightModel& wm) const {
-  return Run(r, p, wm, /*base=*/wm.TotalWeight(p), /*factor=*/2.0);
+  return Run(r, p, wm, /*base=*/wm.TotalWeight(p), /*factor=*/2.0, seed_);
+}
+
+Result<MonteCarloLeakage::Estimate> MonteCarloLeakage::EstimateLeakage(
+    const Record& r, const Record& p, const WeightModel& wm,
+    uint64_t seed) const {
+  return Run(r, p, wm, /*base=*/wm.TotalWeight(p), /*factor=*/2.0, seed);
 }
 
 Result<double> MonteCarloLeakage::RecordLeakage(const Record& r,
@@ -65,7 +82,7 @@ Result<double> MonteCarloLeakage::RecordLeakage(const Record& r,
 
 Result<double> MonteCarloLeakage::ExpectedPrecision(
     const Record& r, const Record& p, const WeightModel& wm) const {
-  auto est = Run(r, p, wm, /*base=*/0.0, /*factor=*/1.0);
+  auto est = Run(r, p, wm, /*base=*/0.0, /*factor=*/1.0, seed_);
   if (!est.ok()) return est.status();
   return est->mean;
 }

@@ -39,12 +39,20 @@ class MonteCarloLeakage : public LeakageEngine {
   Result<Estimate> EstimateLeakage(const Record& r, const Record& p,
                                    const WeightModel& wm) const;
 
+  /// As above with an explicit per-call seed that overrides the constructor
+  /// seed. `selfcheck --seed` plumbs a per-case seed through here so every
+  /// Monte-Carlo comparison in a run is reproducible without constructing
+  /// one engine per case.
+  Result<Estimate> EstimateLeakage(const Record& r, const Record& p,
+                                   const WeightModel& wm, uint64_t seed) const;
+
   std::size_t samples() const { return samples_; }
+  uint64_t seed() const { return seed_; }
 
  private:
   Result<Estimate> Run(const Record& r, const Record& p,
-                       const WeightModel& wm, double base,
-                       double factor) const;
+                       const WeightModel& wm, double base, double factor,
+                       uint64_t seed) const;
 
   std::size_t samples_;
   uint64_t seed_;

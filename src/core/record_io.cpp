@@ -125,7 +125,7 @@ std::string SaveDatabaseCsv(const Database& db) {
   for (std::size_t i = 0; i < db.size(); ++i) {
     for (const auto& a : db[i]) {
       out += Csv::FormatRow({std::to_string(i), a.label, a.value,
-                             FormatDouble(a.confidence, 9)});
+                             FormatDoubleRoundTrip(a.confidence)});
       out += '\n';
     }
   }

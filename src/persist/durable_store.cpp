@@ -63,6 +63,17 @@ std::string DurableStore::RecoveryInfo::Summary() const {
   return s;
 }
 
+Result<std::unique_ptr<DurableStore>> DurableStore::Reopen(
+    std::unique_ptr<DurableStore> store) {
+  if (store == nullptr) {
+    return Status::InvalidArgument("Reopen needs a live store");
+  }
+  const std::string dir = store->dir();
+  const Options options = store->options();
+  store.reset();  // flush the WAL and stop the background thread first
+  return Open(dir, options);
+}
+
 DurableStore::DurableStore(std::string dir, Options options)
     : dir_(std::move(dir)),
       options_(options),

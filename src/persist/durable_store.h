@@ -76,6 +76,14 @@ class DurableStore {
     return Open(dir, Options());
   }
 
+  /// Recovery-oracle hook: closes `store` (flushing the WAL and stopping
+  /// the background thread), then recovers a fresh instance from the same
+  /// directory with the same options. The recovered store must answer every
+  /// leakage query bit-identically to the closed one — `infoleak selfcheck`
+  /// drives its pre- vs post-recovery comparison through this.
+  static Result<std::unique_ptr<DurableStore>> Reopen(
+      std::unique_ptr<DurableStore> store);
+
   /// Stops the background thread and flushes the log (best effort).
   ~DurableStore();
 

@@ -1,0 +1,44 @@
+#include "svc/loopback.h"
+
+namespace infoleak::svc {
+
+namespace {
+
+ServerConfig LoopbackConfig(ServerConfig config) {
+  config.host = "127.0.0.1";
+  config.port = 0;  // always ephemeral: parallel harness runs never collide
+  return config;
+}
+
+}  // namespace
+
+LoopbackServer::LoopbackServer(RecordStore store, ServerConfig config)
+    : service_(std::move(store)),
+      server_(service_, LoopbackConfig(config)) {}
+
+LoopbackServer::~LoopbackServer() { Stop(); }
+
+Status LoopbackServer::Start() {
+  if (started_) return Status::OK();
+  INFOLEAK_RETURN_IF_ERROR(server_.Start());
+  started_ = true;
+  runner_ = std::thread([this] { run_status_ = server_.Run(); });
+  return Status::OK();
+}
+
+Status LoopbackServer::Stop() {
+  if (!started_ || stopped_) return run_status_;
+  server_.RequestShutdown();
+  runner_.join();
+  stopped_ = true;
+  return run_status_;
+}
+
+Result<Client> LoopbackServer::NewClient(int timeout_ms) {
+  if (!started_ || stopped_) {
+    return Status::FailedPrecondition("loopback server is not running");
+  }
+  return Client::Connect("127.0.0.1", server_.port(), timeout_ms);
+}
+
+}  // namespace infoleak::svc

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <string>
+#include <thread>
+
+#include "svc/client.h"
+#include "svc/server.h"
+#include "svc/service.h"
+#include "util/result.h"
+
+namespace infoleak::svc {
+
+/// \brief An in-process query service on an ephemeral loopback port: owns
+/// the `LeakageService`, the `Server`, and the thread blocked in `Run()`.
+/// This is the served-path hook for the differential selfcheck harness
+/// (`infoleak selfcheck --engines ...,served`) and a reusable fixture for
+/// end-to-end tests — anything that needs "the real server, minus the
+/// process boundary".
+///
+/// Lifecycle: construct with the store to serve, `Start()` (binds port 0
+/// and spawns the run thread; the port is available immediately after),
+/// talk to it via `NewClient()`, then `Stop()` (or let the destructor
+/// drain). `Stop()` performs the same graceful drain as SIGTERM: admitted
+/// requests finish, responses flush, and the run status is returned.
+class LoopbackServer {
+ public:
+  explicit LoopbackServer(RecordStore store, ServerConfig config = {});
+  ~LoopbackServer();
+
+  LoopbackServer(const LoopbackServer&) = delete;
+  LoopbackServer& operator=(const LoopbackServer&) = delete;
+
+  /// Binds an ephemeral port and starts serving on a background thread.
+  Status Start();
+
+  /// Graceful drain; idempotent. Returns the server's Run() status.
+  Status Stop();
+
+  /// The bound port (valid after a successful Start).
+  int port() const { return server_.port(); }
+
+  /// Connects a fresh blocking client to the served port.
+  Result<Client> NewClient(int timeout_ms = 30000);
+
+  LeakageService& service() { return service_; }
+
+ private:
+  LeakageService service_;
+  Server server_;
+  std::thread runner_;
+  Status run_status_;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace infoleak::svc

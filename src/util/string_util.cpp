@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 
 namespace infoleak {
 
@@ -86,6 +87,15 @@ std::string FormatDouble(double v, int digits) {
     out.erase(last + 1);
   }
   return out;
+}
+
+std::string FormatDoubleRoundTrip(double v) {
+  char buf[64];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
 }
 
 }  // namespace infoleak

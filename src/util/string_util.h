@@ -36,6 +36,13 @@ std::size_t EditDistance(std::string_view a, std::string_view b);
 /// trailing zeros (stable output for benchmark tables).
 std::string FormatDouble(double v, int digits = 7);
 
+/// \brief Shortest decimal rendering of `v` that strtod parses back to the
+/// identical double (tries increasing %g precision up to 17 significant
+/// digits). Use this wherever a value must survive a text round trip
+/// bit-exactly — record/confidence serialization feeding the differential
+/// selfcheck's served and recovered paths depends on it.
+std::string FormatDoubleRoundTrip(double v);
+
 /// \brief Concatenates any number of string-ish pieces with one allocation
 /// (absl-style). Also sidesteps GCC 12's -Wrestrict false positive on
 /// `const char* + std::string&&` chains (PR105651).

@@ -148,11 +148,74 @@ TEST(CliTest, CompactHelpGoldenOutput) {
   EXPECT_EQ(out, kGolden);
 }
 
+// The selfcheck command's help golden: pins the differential harness's
+// flag vocabulary alongside its registry entry.
+TEST(CliTest, SelfCheckHelpGoldenOutput) {
+  constexpr const char* kGolden =
+      "usage: infoleak selfcheck [flags]\n"
+      "\n"
+      "  differential cross-engine check: fuzz, compare, shrink\n"
+      "\n"
+      "flags:\n"
+      "  --cases            generated adversarial cases (default 1000)\n"
+      "  --seed             deterministic run seed; a (seed, case) pair "
+      "always reproduces (default 1)\n"
+      "  --engines          comma list of checks to run: naive,exact,approx,"
+      "mc,bounds,batch,auto,served,durable (default all)\n"
+      "  --corpus           regression corpus directory: replay every *.case "
+      "before generating, write new minimized findings back\n"
+      "  --no-corpus-write  replay the corpus but do not add new entries\n"
+      "  --naive-max        largest record the O(2^|r|) truth oracle "
+      "enumerates (default 12)\n"
+      "  --mc-samples       Monte-Carlo samples per estimate (default 4000)\n"
+      "  --max-reported     findings minimized and reported in full; further "
+      "ones are only counted (default 20)\n"
+      "  --scratch-dir      durable-check scratch directory (default: under "
+      "the system temp dir, removed afterwards)\n"
+      "\n"
+      "observability riders (accepted by every command):\n"
+      "  --stats            append a metrics report to the command output\n"
+      "  --stats-format     metrics report format: prometheus|json\n"
+      "  --trace            append a trace-span summary to the command "
+      "output\n";
+  std::string out;
+  ASSERT_TRUE(cli::Dispatch({"selfcheck", "--help"}, &out).ok());
+  EXPECT_EQ(out, kGolden);
+}
+
+// A small offline selfcheck run through the CLI: all engines must agree and
+// the command must report the case/comparison totals.
+TEST(CliTest, SelfCheckSmokeRunsClean) {
+  std::string out;
+  Status st = cli::Dispatch(
+      {"selfcheck", "--cases", "40", "--seed", "7",
+       "--engines", "naive,exact,approx,mc,bounds,batch,auto"},
+      &out);
+  ASSERT_TRUE(st.ok()) << st.message() << "\n" << out;
+  EXPECT_NE(out.find("generated 40 case(s)"), std::string::npos) << out;
+  EXPECT_NE(out.find("0 disagreement(s)"), std::string::npos) << out;
+  EXPECT_NE(out.find("all engines and paths agree"), std::string::npos);
+}
+
+TEST(CliTest, SelfCheckRejectsUnknownEngine) {
+  std::string out;
+  Status st = cli::Dispatch({"selfcheck", "--engines", "warp"}, &out);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("'warp'"), std::string::npos);
+}
+
+TEST(CliTest, SelfCheckValidatesNaiveMax) {
+  std::string out;
+  Status st = cli::Dispatch({"selfcheck", "--naive-max", "30"}, &out);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("--naive-max"), std::string::npos);
+}
+
 TEST(CliTest, HelpCommandAndHelpFlagAgree) {
   for (const char* command :
        {"leakage", "er", "incremental", "generate", "anonymize", "dipping",
         "enhance", "disinfo", "reidentify", "stats", "serve", "call",
-        "compact"}) {
+        "compact", "selfcheck"}) {
     std::string via_flag, via_help;
     ASSERT_TRUE(cli::Dispatch({command, "--help"}, &via_flag).ok());
     ASSERT_TRUE(cli::Dispatch({"help", command}, &via_help).ok());
@@ -171,7 +234,7 @@ TEST(CliTest, UsageListsEveryCommand) {
   for (const char* command :
        {"leakage", "er", "incremental", "generate", "anonymize", "dipping",
         "enhance", "disinfo", "reidentify", "stats", "serve", "call",
-        "compact"}) {
+        "compact", "selfcheck"}) {
     EXPECT_NE(out.find(std::string("  ") + command + " "), std::string::npos)
         << command;
   }

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "gen/generator.h"
 
 namespace infoleak {
@@ -100,6 +102,48 @@ TEST(MonteCarloTest, ScalesToRecordsEnumerationCannotTouch) {
 TEST(MonteCarloTest, ZeroSamplesClampedToOne) {
   MonteCarloLeakage mc(0, 1);
   EXPECT_EQ(mc.samples(), 1u);
+}
+
+// The per-call seed overload (the selfcheck harness's reproducibility
+// hook): the same (case, seed) pair must give a bit-identical estimate,
+// independent of the engine's constructor seed, and a different per-call
+// seed must actually resample.
+TEST(MonteCarloTest, PerCallSeedOverridesEngineSeed) {
+  Record p{{"A", "1"}, {"B", "2"}, {"C", "3"}};
+  Record r{{"A", "1", 0.5}, {"B", "2", 0.7}, {"C", "9", 0.3}};
+  WeightModel unit;
+  MonteCarloLeakage mc_a(400, 1);
+  MonteCarloLeakage mc_b(400, 999);  // different constructor seed
+  auto ea = mc_a.EstimateLeakage(r, p, unit, /*seed=*/77);
+  auto eb = mc_b.EstimateLeakage(r, p, unit, /*seed=*/77);
+  ASSERT_TRUE(ea.ok());
+  ASSERT_TRUE(eb.ok());
+  EXPECT_EQ(ea->mean, eb->mean);
+  EXPECT_EQ(ea->standard_error, eb->standard_error);
+
+  auto other = mc_a.EstimateLeakage(r, p, unit, /*seed=*/78);
+  ASSERT_TRUE(other.ok());
+  EXPECT_NE(ea->mean, other->mean);  // 400 Bernoulli draws; ties don't happen
+}
+
+// Verifies the Bessel (n-1) correction numerically. With a single
+// attribute at confidence 0.5 the per-sample F1 is Bernoulli: 1 when the
+// attribute materializes, 0 otherwise. For k successes in n samples the
+// unbiased sample variance is k(n-k)/(n(n-1)), so the reported standard
+// error must equal sqrt(k(n-k)/(n(n-1))/n) to rounding — any biased /n
+// variance would miss by a factor sqrt((n-1)/n).
+TEST(MonteCarloTest, StandardErrorUsesUnbiasedVariance) {
+  Record p{{"A", "1"}};
+  Record r{{"A", "1", 0.5}};
+  WeightModel unit;
+  const std::size_t n = 1000;
+  MonteCarloLeakage mc(n, 3);
+  auto est = mc.EstimateLeakage(r, p, unit, /*seed=*/21);
+  ASSERT_TRUE(est.ok());
+  const double k = std::round(est->mean * static_cast<double>(n));
+  const double nn = static_cast<double>(n);
+  const double unbiased_var = k * (nn - k) / (nn * (nn - 1.0));
+  EXPECT_NEAR(est->standard_error, std::sqrt(unbiased_var / nn), 1e-12);
 }
 
 }  // namespace
