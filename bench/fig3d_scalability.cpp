@@ -50,6 +50,22 @@ double MeasureEngine(const LeakageEngine& engine, const SyntheticDataset& data,
   return timer.ElapsedSeconds();
 }
 
+/// The columnar counterpart: records stream from a pre-built ColumnBank
+/// through the array kernels. The bank is built outside the timer — it is
+/// a once-per-(store, reference) cost, amortized like PrepareReference.
+double MeasureEngineColumnar(const LeakageEngine& engine,
+                             const ColumnBank& bank,
+                             const PreparedReference& ref) {
+  LeakageWorkspace ws;
+  ws.ReserveFor(bank.max_record_size(), ref.size());
+  WallTimer timer;
+  for (std::size_t i = 0; i < bank.size(); ++i) {
+    auto l = engine.RecordLeakageColumnar(bank.view(i), ref, &ws);
+    if (!l.ok()) return -1.0;
+  }
+  return timer.ElapsedSeconds();
+}
+
 /// One engine's state in the sweep: its last measured point and a
 /// complexity model predicting the next point's cost so that hopeless runs
 /// are skipped instead of burning minutes.
@@ -58,6 +74,7 @@ struct EngineTrack {
   // cost(n) exponent model: naive ~ 2^n, Algorithm 1 ~ n^3 (n matched
   // attributes x n^2 polynomial build), approximation ~ n^2.
   enum class Model { kExponential, kCubic, kQuadratic } model;
+  bool columnar = false;  // measure through a ColumnBank instead
   bool alive = true;
   double last_seconds = -1.0;
   std::size_t last_n = 0;
@@ -90,17 +107,22 @@ int main() {
              base.ToString() +
                  "  (sweeping n; per-record-set runtime; '-' = refused, "
                  "'>budget' = predicted or measured over budget)");
-  BenchReport report("fig3d", base.ToString(),
-                     {"n", "naive_s", "alg1_s", "approx_s"});
-  RowPrinter rows({"n", "naive_s", "alg1_s", "approx_s"}, 14, &report);
+  BenchReport report(
+      "fig3d", base.ToString(),
+      {"n", "naive_s", "alg1_s", "approx_s", "alg1_col_s", "approx_col_s"});
+  RowPrinter rows(
+      {"n", "naive_s", "alg1_s", "approx_s", "alg1_col_s", "approx_col_s"},
+      14, &report);
 
   NaiveLeakage naive(/*max_attributes=*/kMaxEnumerableAttributes);
   ExactLeakage exact;
   ApproxLeakage approx;
-  EngineTrack tracks[3] = {
+  EngineTrack tracks[5] = {
       {&naive, EngineTrack::Model::kExponential},
       {&exact, EngineTrack::Model::kCubic},
       {&approx, EngineTrack::Model::kQuadratic},
+      {&exact, EngineTrack::Model::kCubic, /*columnar=*/true},
+      {&approx, EngineTrack::Model::kQuadratic, /*columnar=*/true},
   };
 
   for (std::size_t n :
@@ -116,6 +138,9 @@ int main() {
       return 1;
     }
     const PreparedReference ref(data->reference, data->weights);
+    Database db;
+    for (const auto& r : data->records) db.Add(r);
+    const ColumnBank bank = ColumnBank::FromDatabase(db, ref);
     std::vector<std::string> cells{std::to_string(n)};
     for (auto& track : tracks) {
       if (!track.alive) {
@@ -127,7 +152,9 @@ int main() {
         cells.push_back(">budget");
         continue;
       }
-      double secs = MeasureEngine(*track.engine, *data, ref);
+      double secs = track.columnar
+                        ? MeasureEngineColumnar(*track.engine, bank, ref)
+                        : MeasureEngine(*track.engine, *data, ref);
       if (secs < 0.0) {
         track.alive = false;
         cells.push_back("-");
@@ -143,7 +170,9 @@ int main() {
       }
     }
     rows.Row(cells);
-    if (!tracks[0].alive && !tracks[1].alive && !tracks[2].alive) break;
+    bool any_alive = false;
+    for (const auto& track : tracks) any_alive |= track.alive;
+    if (!any_alive) break;
   }
   std::printf(
       "\nexpected ordering (paper): naive dies first (~12 attrs), Alg. 1 "

@@ -62,11 +62,22 @@ class BenchReport {
   }
 
   /// Writes `BENCH_<name>.json` into `dir` and reports the path on stdout.
+  /// Refused in non-Release builds: a sidecar produced with assertions on
+  /// would silently poison checked-in baselines, so debug runs only print
+  /// the console table.
   Status WriteFile(const std::string& dir = ".") const {
+#ifndef NDEBUG
+    std::printf(
+        "json: skipped (non-Release build; BENCH_%s.json would record "
+        "debug timings — rebuild with -DCMAKE_BUILD_TYPE=Release)\n",
+        name_.c_str());
+    return Status::OK();
+#else
     const std::string path = dir + "/BENCH_" + name_ + ".json";
     Status status = WriteStringToFile(path, ToJson());
     if (status.ok()) std::printf("json: %s\n", path.c_str());
     return status;
+#endif
   }
 
  private:

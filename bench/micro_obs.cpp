@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -111,7 +112,9 @@ BENCHMARK(BM_PreparedExactHotLoop_MetricsOff)->Arg(1000)->Arg(10000);
 }  // namespace infoleak
 
 // Same sidecar convention as micro_prepared: default --benchmark_out to a
-// JSON file so overhead numbers are machine-checkable.
+// JSON file so overhead numbers are machine-checkable. Non-Release builds
+// never write the sidecar by default — debug timings must not masquerade
+// as baselines.
 int main(int argc, char** argv) {
   std::vector<char*> args(argv, argv + argc);
   bool has_out = false;
@@ -120,6 +123,14 @@ int main(int argc, char** argv) {
   }
   std::string out_flag = "--benchmark_out=BENCH_micro_obs.json";
   std::string format_flag = "--benchmark_out_format=json";
+#ifndef NDEBUG
+  if (!has_out) {
+    std::fprintf(stderr,
+                 "note: non-Release build; not writing "
+                 "BENCH_micro_obs.json (pass --benchmark_out to force)\n");
+    has_out = true;  // suppress the default sidecar
+  }
+#endif
   if (!has_out) {
     args.push_back(out_flag.data());
     args.push_back(format_flag.data());

@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -172,12 +173,71 @@ void BM_BatchLeakagePrepared(benchmark::State& state) {
 }
 BENCHMARK(BM_BatchLeakagePrepared)->Arg(1000)->Arg(10000);
 
+// ---------------------------------------------------------------------------
+// Columnar path: the same set-leakage workloads streamed from a ColumnBank
+// through the array kernels. The bank is built outside the timer — it is a
+// once-per-(store, reference) cost, amortized exactly like PrepareReference.
+// ---------------------------------------------------------------------------
+
+void BM_SetLeakageColumnarExact(benchmark::State& state) {
+  auto f = MakeFixture(20, static_cast<std::size_t>(state.range(0)));
+  ExactLeakage engine;
+  const PreparedReference ref(f.data.reference, f.data.weights);
+  const ColumnBank bank = ColumnBank::FromDatabase(f.db, ref);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SetLeakageColumnar(bank, engine));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SetLeakageColumnarExact)->Arg(1000)->Arg(10000);
+
+void BM_SetLeakageColumnarApprox(benchmark::State& state) {
+  auto f = MakeFixture(20, static_cast<std::size_t>(state.range(0)),
+                       /*random_weights=*/true);
+  ApproxLeakage engine;
+  const PreparedReference ref(f.data.reference, f.data.weights);
+  const ColumnBank bank = ColumnBank::FromDatabase(f.db, ref);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SetLeakageColumnar(bank, engine));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SetLeakageColumnarApprox)->Arg(1000)->Arg(10000);
+
+void BM_RecordLeakageColumnar(benchmark::State& state) {
+  auto f = MakeFixture(static_cast<std::size_t>(state.range(0)), 1);
+  ApproxLeakage engine;
+  const PreparedReference ref(f.data.reference, f.data.weights);
+  ColumnBank bank(ref);
+  bank.Append(f.data.records[0]);
+  LeakageWorkspace ws;
+  ws.ReserveFor(bank.max_record_size(), ref.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.RecordLeakageColumnar(bank.view(0), ref, &ws));
+  }
+}
+BENCHMARK(BM_RecordLeakageColumnar)->Arg(20)->Arg(100)->Arg(500);
+
+void BM_BuildColumnBank(benchmark::State& state) {
+  auto f = MakeFixture(20, static_cast<std::size_t>(state.range(0)));
+  const PreparedReference ref(f.data.reference, f.data.weights);
+  for (auto _ : state) {
+    ColumnBank bank = ColumnBank::FromDatabase(f.db, ref);
+    benchmark::DoNotOptimize(bank.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BuildColumnBank)->Arg(1000)->Arg(10000);
+
 }  // namespace
 }  // namespace infoleak
 
 // Custom main: default --benchmark_out to BENCH_micro_prepared.json so every
 // run leaves a machine-readable sidecar next to the console table. An
-// explicit --benchmark_out on the command line still wins.
+// explicit --benchmark_out on the command line still wins. Non-Release
+// builds never write the sidecar by default — debug timings must not
+// masquerade as baselines.
 int main(int argc, char** argv) {
   std::vector<char*> args(argv, argv + argc);
   bool has_out = false;
@@ -186,6 +246,14 @@ int main(int argc, char** argv) {
   }
   std::string out_flag = "--benchmark_out=BENCH_micro_prepared.json";
   std::string format_flag = "--benchmark_out_format=json";
+#ifndef NDEBUG
+  if (!has_out) {
+    std::fprintf(stderr,
+                 "note: non-Release build; not writing "
+                 "BENCH_micro_prepared.json (pass --benchmark_out to force)\n");
+    has_out = true;  // suppress the default sidecar
+  }
+#endif
   if (!has_out) {
     args.push_back(out_flag.data());
     args.push_back(format_flag.data());

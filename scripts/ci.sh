@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Tier-1 CI gate: configure, build, and run the full test suite twice —
-# once as a plain Release build and once under AddressSanitizer
-# (-DINFOLEAK_SANITIZE=address) — plus a ThreadSanitizer pass
+# Tier-1 CI gate: configure, build, and run the full test suite three
+# times — a plain Release build, an AddressSanitizer build
+# (-DINFOLEAK_SANITIZE=address), and a forced-scalar build
+# (-DINFOLEAK_FORCE_SCALAR=ON, pinning the SIMD kernel tables to the
+# scalar reference) — plus a ThreadSanitizer pass
 # (-DINFOLEAK_SANITIZE=thread) over the concurrency-heavy test subset.
 # All runs must be 100% green. Each full pass also end-to-end smoke-tests
 # the query service (serve on an ephemeral port, round-trip
@@ -12,8 +14,8 @@
 #
 # Usage: scripts/ci.sh [jobs]
 #
-# Build trees land in build-ci-release/, build-ci-asan/, and
-# build-ci-tsan/ at the repo root (covered by the build-*/ gitignore
+# Build trees land in build-ci-release/, build-ci-asan/, build-ci-scalar/,
+# and build-ci-tsan/ at the repo root (covered by the build-*/ gitignore
 # pattern) so they never clobber a developer's ./build tree.
 set -euo pipefail
 
@@ -170,7 +172,7 @@ run_tsan_pass() {
   cmake --build "${dir}" -j "${JOBS}"
   echo "=== [${dir}] ctest (concurrency subset) ==="
   ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -R \
-    'Concurrency|SvcServer|SvcQueue|SvcService|Persist|Streaming|Metrics|Trace|SelfCheckRun'
+    'Concurrency|Columnar|SvcServer|SvcQueue|SvcService|Persist|Streaming|Metrics|Trace|SelfCheckRun'
 }
 
 run_pass build-ci-release
@@ -181,6 +183,13 @@ run_pass build-ci-asan -DINFOLEAK_SANITIZE=address
 smoke_serve build-ci-asan
 smoke_crash build-ci-asan
 smoke_selfcheck build-ci-asan
+# Forced-scalar pass: the SIMD kernel tables are compiled out, so every
+# engine runs the scalar reference kernels. The full suite plus selfcheck
+# must stay green — this is what pins the wide tables to the scalar ones
+# (any divergence shows up as a golden/selfcheck failure in exactly one of
+# the two passes).
+run_pass build-ci-scalar -DINFOLEAK_FORCE_SCALAR=ON
+smoke_selfcheck build-ci-scalar
 run_tsan_pass
 
-echo "=== CI OK: Release, ASan, and TSan(concurrency subset) all green ==="
+echo "=== CI OK: Release, ASan, forced-scalar, and TSan(concurrency subset) all green ==="

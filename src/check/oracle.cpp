@@ -304,6 +304,73 @@ OracleOutcome Oracle::Evaluate(const CheckCase& c, uint64_t case_seed) const {
     }
   }
 
+  // ---- Columnar path: bit-identical to prepared, engine by engine --------
+  if (config_.check_columnar) {
+    ColumnBank bank(ref);
+    bank.Append(c.r);
+    const ColumnRecordView v = bank.view(0);
+    if (config_.check_naive) {
+      same_bits("columnar-vs-prepared", "naive leakage",
+                naive_.RecordLeakageColumnar(v, ref, &ws), naive_p);
+      same_bits("columnar-vs-prepared", "naive expected precision",
+                naive_.ExpectedPrecisionColumnar(v, ref, &ws),
+                naive_.ExpectedPrecisionPrepared(pr, ref, &ws));
+    }
+    if (config_.check_exact) {
+      same_bits("columnar-vs-prepared", "exact leakage",
+                exact_.RecordLeakageColumnar(v, ref, &ws), exact_p);
+      same_bits("columnar-vs-prepared", "exact expected precision",
+                exact_.ExpectedPrecisionColumnar(v, ref, &ws),
+                exact_.ExpectedPrecisionPrepared(pr, ref, &ws));
+    }
+    if (config_.check_approx) {
+      same_bits("columnar-vs-prepared", "approx order-1 leakage",
+                approx1_.RecordLeakageColumnar(v, ref, &ws), approx1_p);
+      same_bits("columnar-vs-prepared", "approx order-2 leakage",
+                approx2_.RecordLeakageColumnar(v, ref, &ws), approx2_p);
+    }
+    if (config_.check_auto) {
+      same_bits("columnar-vs-prepared", "auto leakage",
+                auto_.RecordLeakageColumnar(v, ref, &ws), auto_p);
+    }
+    same_bits("columnar-vs-prepared", "expected recall",
+              naive_.ExpectedRecallColumnar(v, ref, &ws),
+              naive_.ExpectedRecallPrepared(pr, ref, &ws));
+    if (config_.check_bounds) {
+      const LeakageBounds a = BoundRecordLeakage(c.r, c.p, c.wm);
+      const LeakageBounds b = BoundRecordLeakageColumnar(bank, 0, &ws);
+      ++out.comparisons;
+      if (a.lower != b.lower || a.upper != b.upper) {
+        fail("columnar-vs-prepared",
+             "bounds: string [" + FormatDoubleRoundTrip(a.lower) + ", " +
+                 FormatDoubleRoundTrip(a.upper) + "] vs columnar [" +
+                 FormatDoubleRoundTrip(b.lower) + ", " +
+                 FormatDoubleRoundTrip(b.upper) + "]");
+      }
+    }
+    if (config_.check_auto && auto_p.ok()) {
+      std::ptrdiff_t argmax = -2;
+      const Result<double> set = SetLeakageColumnar(bank, auto_, &argmax);
+      ++out.comparisons;
+      if (!set.ok() || *set != *auto_p || argmax != 0) {
+        fail("columnar-vs-prepared",
+             "SetLeakageColumnar gave " + Render(set) + " (argmax " +
+                 std::to_string(argmax) + ") vs single " + Render(auto_p));
+      }
+      const Result<std::vector<double>> batch =
+          BatchLeakageColumnar(bank, auto_);
+      ++out.comparisons;
+      if (!batch.ok() || batch->size() != 1 || (*batch)[0] != *auto_p) {
+        fail("columnar-vs-prepared",
+             "BatchLeakageColumnar gave " +
+                 (batch.ok() && batch->size() == 1
+                      ? FormatDoubleRoundTrip((*batch)[0])
+                      : std::string("<error>")) +
+                 " vs single " + Render(auto_p));
+      }
+    }
+  }
+
   return out;
 }
 

@@ -38,6 +38,7 @@ struct OracleConfig {
   bool check_bounds = true;
   bool check_batch = true;
   bool check_auto = true;
+  bool check_columnar = true;
 };
 
 /// One confirmed disagreement: which property broke, the values involved,
@@ -71,6 +72,10 @@ struct OracleOutcome {
 ///  * `batch-vs-single`    — BatchLeakage and SetLeakageArgMax over a
 ///                           one-record database reproduce the single call
 ///  * `auto-dispatch`      — AutoLeakage equals the engine its rule picks
+///  * `columnar-vs-prepared` — the structure-of-arrays path (ColumnBank +
+///                           array kernels) reproduces every prepared-path
+///                           value bit for bit, including leakage bounds
+///                           and the set/batch columnar scans
 ///
 /// "Truth" is the naive oracle when the record is enumerable (arbitrary
 /// weights), else Algorithm 1 when the weights are uniform; large

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "core/kernels.h"
+
 namespace infoleak {
 
 LeakageBounds BoundRecordLeakage(const Record& r, const Record& p,
@@ -39,6 +41,19 @@ LeakageBounds BoundRecordLeakage(const Record& r, const Record& p,
   // Never report an upper bound below the proven lower bound (floating
   // slack at the boundary).
   bounds.upper = std::max(bounds.upper, bounds.lower);
+  return bounds;
+}
+
+LeakageBounds BoundRecordLeakageColumnar(const ColumnBank& bank,
+                                         std::size_t index,
+                                         LeakageWorkspace* ws) {
+  const PreparedReference& p = bank.reference();
+  const ColumnRecordView v = bank.view(index);
+  FillMatchColumns(v, p.size(), ws);
+  LeakageBounds bounds;
+  kern::Active().bounds(v.conf, v.weight, v.size, ws->match_conf.data(),
+                        p.attr_weights().data(), p.size(), p.total_weight(),
+                        &bounds.lower, &bounds.upper);
   return bounds;
 }
 

@@ -33,6 +33,13 @@ struct LeakageBounds {
 LeakageBounds BoundRecordLeakage(const Record& r, const Record& p,
                                  const WeightModel& wm);
 
+/// \brief As BoundRecordLeakage, for record `index` of a column bank —
+/// bit-identical to the string form (pinned by the selfcheck oracle) but
+/// streaming the bank's columns through the bounds kernel with no hashing.
+LeakageBounds BoundRecordLeakageColumnar(const ColumnBank& bank,
+                                         std::size_t index,
+                                         LeakageWorkspace* ws);
+
 /// \brief Sound, computable bound B on the truncation error of the §5.2
 /// Taylor approximation: |ApproxLeakage(order) − L(r, p)| ≤ B. This is what
 /// makes "approx within its bound" a checkable oracle property rather than

@@ -1,9 +1,11 @@
 #include "core/leakage.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <thread>
 
+#include "core/kernels.h"
 #include "core/polynomial.h"
 #include "core/possible_worlds.h"
 #include "obs/metrics.h"
@@ -37,6 +39,26 @@ obs::Counter& PathCounter(bool prepared) {
       obs::MetricsRegistry::Global().GetCounter(
           "infoleak_eval_path_total", {{"path", "string"}}, kPathHelp);
   return prepared ? prepared_count : string_count;
+}
+
+obs::Counter& ColumnarPathCounter() {
+  static obs::Counter& columnar_count =
+      obs::MetricsRegistry::Global().GetCounter(
+          "infoleak_eval_path_total", {{"path", "columnar"}}, kPathHelp);
+  return columnar_count;
+}
+
+/// The kernel table evaluations dispatch to, with the dispatch counted per
+/// invocation under the variant that won (the variant is fixed per process,
+/// so the label resolves once and Inc is a sharded relaxed add).
+const kern::KernelTable& ActiveKernels() {
+  static obs::Counter& dispatches = obs::MetricsRegistry::Global().GetCounter(
+      "infoleak_kernel_dispatch_total",
+      {{"variant", std::string(kern::Active().name)}},
+      "Array-kernel invocations by dispatched variant (scalar / avx2 / "
+      "avx512; forced scalar via INFOLEAK_FORCE_SCALAR)");
+  dispatches.Inc();
+  return kern::Active();
 }
 
 obs::Counter& NaiveCapCounter() {
@@ -74,6 +96,14 @@ obs::Histogram& SetLeakageLatency(bool parallel) {
   return parallel ? par : serial;
 }
 
+obs::Histogram& SetLeakageLatencyColumnar() {
+  static obs::Histogram& columnar =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "infoleak_set_leakage_seconds", {{"mode", "columnar"}},
+          "Wall time of one SetLeakage/SetLeakageArgMax scan");
+  return columnar;
+}
+
 /// Shared core of Algorithm 1 on prepared views. Computes
 ///   factor · Σ_{b∈p} p(b,r) · ∫₀¹ t^m · Π_{a∈z}(c_a·t + 1−c_a) dt
 /// where z = r without the attribute matching b. With m = |p| and
@@ -86,28 +116,17 @@ double ExactSum(const PreparedRecord& r, const PreparedReference& p, double m,
                 double factor, LeakageWorkspace* ws) {
   FillMatches(r, p, ws);
   const auto& rattrs = r.attrs();
-  double total = 0.0;
-  std::vector<double>& y = ws->poly;  // reused across all b ∈ p and calls
-  y.reserve(rattrs.size() + 1);
-  for (std::size_t j = 0; j < p.size(); ++j) {
-    const double pb = ws->match_conf[j];
-    if (pb == 0.0) continue;  // zero-confidence terms contribute nothing
-    const uint32_t skip = ws->match_rpos[j];
-    y.assign(1, 1.0);
-    for (std::size_t i = 0; i < rattrs.size(); ++i) {
-      if (i == skip) continue;
-      // In-place Poly::MultiplyBernoulli: z[k] = c·y[k] + (1−c)·y[k−1],
-      // computed back to front so y can be updated without a scratch list.
-      const double c = rattrs[i].confidence;
-      y.push_back(0.0);
-      for (std::size_t k = y.size() - 1; k > 0; --k) {
-        y[k] = c * y[k] + (1.0 - c) * y[k - 1];
-      }
-      y[0] *= c;
-    }
-    total += factor * pb * Poly::IntegrateAgainstPower(y, m);
-  }
-  return total;
+  const std::size_t rn = rattrs.size();
+  // Gather the confidence column; the kernel then runs Algorithm 1's
+  // coefficient recurrence (in-place Poly::MultiplyBernoulli per attribute,
+  // Poly::IntegrateAgainstPower per b ∈ p) over flat arrays — the same
+  // arithmetic in the same order, shared with the columnar path.
+  ws->conf.resize(rn);
+  for (std::size_t i = 0; i < rn; ++i) ws->conf[i] = rattrs[i].confidence;
+  ws->poly.resize(rn + 1);
+  return ActiveKernels().exact_sum(ws->conf.data(), rn, ws->match_conf.data(),
+                                   ws->match_rpos.data(), p.size(), m, factor,
+                                   ws->poly.data());
 }
 
 /// Shared core of the §5.2 Taylor approximation on prepared views.
@@ -119,33 +138,21 @@ double ApproxSum(const PreparedRecord& r, const PreparedReference& p,
                  double base, double factor, int order,
                  LeakageWorkspace* ws) {
   FillMatches(r, p, ws);
-  // Precompute the moments of the full record once; per-b values follow by
-  // removing the matched attribute's contribution, giving O(|p| + |r|).
-  double mean_all = 0.0;
-  double var_all = 0.0;
-  for (const auto& a : r.attrs()) {
-    mean_all += a.weight * a.confidence;
-    var_all += a.weight * a.weight * a.confidence * (1.0 - a.confidence);
-  }
-  double total = 0.0;
-  const auto& pattrs = p.attrs();
+  // Gather the confidence and weight columns; the kernel precomputes the
+  // record moments once and derives each per-b value by removing the
+  // matched attribute's contribution, giving O(|p| + |r|).
   const auto& rattrs = r.attrs();
-  for (std::size_t j = 0; j < pattrs.size(); ++j) {
-    const uint32_t mi = ws->match_rpos[j];
-    if (mi == PreparedReference::kNoMatch) continue;
-    const double pb = ws->match_conf[j];
-    if (pb == 0.0) continue;
-    const double wb = pattrs[j].weight;
-    const double wm_match = rattrs[mi].weight;  // == wb (same label)
-    const double mean = mean_all - wm_match * pb;
-    const double var = var_all - wm_match * wm_match * pb * (1.0 - pb);
-    const double denom = mean + wb + base;
-    if (denom <= 0.0) continue;
-    double term = wb / denom;
-    if (order >= 2) term += wb / (denom * denom * denom) * var;
-    total += factor * pb * term;
+  const std::size_t rn = rattrs.size();
+  ws->conf.resize(rn);
+  ws->weight.resize(rn);
+  for (std::size_t i = 0; i < rn; ++i) {
+    ws->conf[i] = rattrs[i].confidence;
+    ws->weight[i] = rattrs[i].weight;
   }
-  return total;
+  return ActiveKernels().approx_sum(
+      ws->conf.data(), ws->weight.data(), rn, ws->match_conf.data(),
+      ws->match_rpos.data(), p.attr_weights().data(), p.size(), base, factor,
+      order);
 }
 
 /// Enumerates all 2^|r| worlds (the paper's O(2^|r|·|r|) naive algorithm)
@@ -168,32 +175,45 @@ Result<double> NaiveEnumerate(const PreparedRecord& r,
   const auto& attrs = r.attrs();
   const std::size_t n = attrs.size();
   ws->matched.assign(n, 0);
+  ws->conf.resize(n);
+  ws->weight.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     ws->matched[i] =
         p.MatchPosition(attrs[i].label, attrs[i].value) !=
                 PreparedReference::kNoMatch
             ? 1
             : 0;
+    ws->conf[i] = attrs[i].confidence;
+    ws->weight[i] = attrs[i].weight;
   }
-  double total = 0.0;
-  const uint64_t worlds = uint64_t{1} << n;
-  for (uint64_t mask = 0; mask < worlds; ++mask) {
-    double prob = 1.0;
-    double weight_r = 0.0;
-    double overlap = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (mask & (uint64_t{1} << i)) {
-        prob *= attrs[i].confidence;
-        weight_r += attrs[i].weight;
-        if (ws->matched[i]) overlap += attrs[i].weight;
-      } else {
-        prob *= 1.0 - attrs[i].confidence;
-      }
-    }
-    const double denom = weight_r + base;
-    if (denom > 0.0) total += prob * factor * overlap / denom;
+  return ActiveKernels().naive_sum(ws->conf.data(), ws->weight.data(),
+                                   ws->matched.data(), n, base, factor);
+}
+
+/// Columnar twin of NaiveEnumerate: the bank already holds the confidence
+/// and weight columns, and `matched` falls out of the precomputed match
+/// positions without a single hash lookup.
+Result<double> NaiveEnumerateColumnar(const ColumnRecordView& r, double base,
+                                      double factor,
+                                      std::size_t max_attributes,
+                                      LeakageWorkspace* ws) {
+  if (max_attributes > kMaxEnumerableAttributes) {
+    max_attributes = kMaxEnumerableAttributes;
   }
-  return total;
+  if (r.size > max_attributes) {
+    NaiveCapCounter().Inc();
+    return Status::ResourceExhausted(
+        "record has " + std::to_string(r.size) +
+        " attributes; naive enumeration capped at " +
+        std::to_string(max_attributes));
+  }
+  ws->matched.assign(r.size, 0);
+  for (std::size_t i = 0; i < r.size; ++i) {
+    ws->matched[i] =
+        r.match_pos[i] != PreparedReference::kNoMatch ? 1 : 0;
+  }
+  return ActiveKernels().naive_sum(r.conf, r.weight, ws->matched.data(),
+                                   r.size, base, factor);
 }
 
 }  // namespace
@@ -235,11 +255,33 @@ Result<double> LeakageEngine::ExpectedRecallPrepared(
   const double denom = p.total_weight();
   if (denom <= 0.0) return 0.0;
   FillMatches(r, p, ws);
-  double num = 0.0;
-  const auto& pattrs = p.attrs();
-  for (std::size_t j = 0; j < pattrs.size(); ++j) {
-    num += ws->match_conf[j] * pattrs[j].weight;
-  }
+  const double num = ActiveKernels().recall_sum(
+      ws->match_conf.data(), p.attr_weights().data(), p.size());
+  return FinishUnitInterval(num / denom, "expected recall");
+}
+
+Result<double> LeakageEngine::RecordLeakageColumnar(
+    const ColumnRecordView& /*r*/, const PreparedReference& /*p*/,
+    LeakageWorkspace* /*ws*/) const {
+  return Status::NotSupported("engine '" + std::string(name()) +
+                              "' has no columnar evaluation path");
+}
+
+Result<double> LeakageEngine::ExpectedPrecisionColumnar(
+    const ColumnRecordView& /*r*/, const PreparedReference& /*p*/,
+    LeakageWorkspace* /*ws*/) const {
+  return Status::NotSupported("engine '" + std::string(name()) +
+                              "' has no columnar evaluation path");
+}
+
+Result<double> LeakageEngine::ExpectedRecallColumnar(
+    const ColumnRecordView& r, const PreparedReference& p,
+    LeakageWorkspace* ws) const {
+  const double denom = p.total_weight();
+  if (denom <= 0.0) return 0.0;
+  FillMatchColumns(r, p.size(), ws);
+  const double num = ActiveKernels().recall_sum(
+      ws->match_conf.data(), p.attr_weights().data(), p.size());
   return FinishUnitInterval(num / denom, "expected recall");
 }
 
@@ -297,6 +339,27 @@ Result<double> NaiveLeakage::ExpectedPrecisionPrepared(
   return FinishUnitInterval(*total, "naive expected precision");
 }
 
+Result<double> NaiveLeakage::RecordLeakageColumnar(
+    const ColumnRecordView& r, const PreparedReference& p,
+    LeakageWorkspace* ws) const {
+  static obs::Counter& evals = EngineEvalCounter("naive");
+  evals.Inc();
+  Result<double> total = NaiveEnumerateColumnar(
+      r, /*base=*/p.total_weight(), /*factor=*/2.0, max_attributes_, ws);
+  if (!total.ok()) return total.status();
+  return FinishUnitInterval(*total, "naive record leakage");
+}
+
+Result<double> NaiveLeakage::ExpectedPrecisionColumnar(
+    const ColumnRecordView& r, const PreparedReference& /*p*/,
+    LeakageWorkspace* ws) const {
+  Result<double> total = NaiveEnumerateColumnar(r, /*base=*/0.0,
+                                                /*factor=*/1.0,
+                                                max_attributes_, ws);
+  if (!total.ok()) return total.status();
+  return FinishUnitInterval(*total, "naive expected precision");
+}
+
 // ---------------------------------------------------------------------------
 // ExactLeakage (Algorithm 1)
 // ---------------------------------------------------------------------------
@@ -323,6 +386,13 @@ namespace {
 /// differential selfcheck caught exactly that: naive 0 vs exact 0.297).
 bool UniformWeightIsZero(const PreparedRecord& r, const PreparedReference& p) {
   if (r.size() > 0) return r.common_weight() == 0.0;
+  if (p.size() > 0) return p.common_weight() == 0.0;
+  return false;
+}
+
+bool UniformWeightIsZero(const ColumnRecordView& r,
+                         const PreparedReference& p) {
+  if (r.size > 0) return r.common_weight == 0.0;
   if (p.size() > 0) return p.common_weight() == 0.0;
   return false;
 }
@@ -355,6 +425,52 @@ Result<double> ExactLeakage::ExpectedPrecisionPrepared(
   if (UniformWeightIsZero(r, p)) return 0.0;
   return FinishUnitInterval(ExactSum(r, p, /*m=*/0, /*factor=*/1.0, ws),
                             "exact expected precision");
+}
+
+namespace {
+
+/// Shared core of Algorithm 1 on a bank view: the match columns scatter
+/// straight from the precomputed positions, and the confidence column feeds
+/// the kernel without a gather.
+double ExactSumColumnar(const ColumnRecordView& r, const PreparedReference& p,
+                        double m, double factor, LeakageWorkspace* ws) {
+  FillMatchColumns(r, p.size(), ws);
+  ws->poly.resize(r.size + 1);
+  return ActiveKernels().exact_sum(r.conf, r.size, ws->match_conf.data(),
+                                   ws->match_rpos.data(), p.size(), m, factor,
+                                   ws->poly.data());
+}
+
+}  // namespace
+
+Result<double> ExactLeakage::RecordLeakageColumnar(
+    const ColumnRecordView& r, const PreparedReference& p,
+    LeakageWorkspace* ws) const {
+  static obs::Counter& evals = EngineEvalCounter("exact");
+  evals.Inc();
+  if (!UniformWeightOver(r, p)) {
+    return Status::InvalidArgument(
+        "Algorithm 1 requires a constant weight across the labels of r and "
+        "p; use ApproxLeakage or NaiveLeakage for arbitrary weights");
+  }
+  if (UniformWeightIsZero(r, p)) return 0.0;
+  return FinishUnitInterval(
+      ExactSumColumnar(r, p, /*m=*/static_cast<double>(p.size()),
+                       /*factor=*/2.0, ws),
+      "exact record leakage");
+}
+
+Result<double> ExactLeakage::ExpectedPrecisionColumnar(
+    const ColumnRecordView& r, const PreparedReference& p,
+    LeakageWorkspace* ws) const {
+  if (!UniformWeightOver(r, p)) {
+    return Status::InvalidArgument(
+        "exact expected precision requires constant weights");
+  }
+  if (UniformWeightIsZero(r, p)) return 0.0;
+  return FinishUnitInterval(
+      ExactSumColumnar(r, p, /*m=*/0, /*factor=*/1.0, ws),
+      "exact expected precision");
 }
 
 // ---------------------------------------------------------------------------
@@ -409,22 +525,58 @@ Result<double> ApproxLeakage::ExpectedPrecisionPrepared(
                             "approximate expected precision");
 }
 
+namespace {
+
+/// Shared core of the §5.2 approximation on a bank view: every input is
+/// already a contiguous column, so the kernel runs gather-free.
+double ApproxSumColumnar(const ColumnRecordView& r, const PreparedReference& p,
+                         double base, double factor, int order,
+                         LeakageWorkspace* ws) {
+  FillMatchColumns(r, p.size(), ws);
+  return ActiveKernels().approx_sum(r.conf, r.weight, r.size,
+                                    ws->match_conf.data(),
+                                    ws->match_rpos.data(),
+                                    p.attr_weights().data(), p.size(), base,
+                                    factor, order);
+}
+
+}  // namespace
+
+Result<double> ApproxLeakage::RecordLeakageColumnar(
+    const ColumnRecordView& r, const PreparedReference& p,
+    LeakageWorkspace* ws) const {
+  static obs::Counter& evals = EngineEvalCounter("approx");
+  evals.Inc();
+  return FinishUnitInterval(
+      ApproxSumColumnar(r, p, /*base=*/p.total_weight(), /*factor=*/2.0,
+                        order_, ws),
+      "approximate record leakage");
+}
+
+Result<double> ApproxLeakage::ExpectedPrecisionColumnar(
+    const ColumnRecordView& r, const PreparedReference& p,
+    LeakageWorkspace* ws) const {
+  return FinishUnitInterval(
+      ApproxSumColumnar(r, p, /*base=*/0.0, /*factor=*/1.0, order_, ws),
+      "approximate expected precision");
+}
+
 // ---------------------------------------------------------------------------
 // AutoLeakage
 // ---------------------------------------------------------------------------
 
-const LeakageEngine& AutoLeakage::Pick(const PreparedRecord& r,
-                                       const PreparedReference& p) const {
+const LeakageEngine& AutoLeakage::PickBy(bool uniform,
+                                         std::size_t record_size) const {
   static constexpr char kPickHelp[] =
       "Engine choices made by AutoLeakage's dispatch rule";
-  if (UniformWeightOver(r, p)) {
+  if (uniform) {
     static obs::Counter& picked = obs::MetricsRegistry::Global().GetCounter(
         "infoleak_auto_engine_selected_total", {{"engine", "exact"}},
         kPickHelp);
     picked.Inc();
     return exact_;
   }
-  if (r.size() <= naive_cutoff_) {
+  if (record_size <= naive_cutoff_) {
     static obs::Counter& picked = obs::MetricsRegistry::Global().GetCounter(
         "infoleak_auto_engine_selected_total", {{"engine", "naive"}},
         kPickHelp);
@@ -436,6 +588,11 @@ const LeakageEngine& AutoLeakage::Pick(const PreparedRecord& r,
       kPickHelp);
   picked.Inc();
   return approx_;
+}
+
+const LeakageEngine& AutoLeakage::Pick(const PreparedRecord& r,
+                                       const PreparedReference& p) const {
+  return PickBy(UniformWeightOver(r, p), r.size());
 }
 
 Result<double> AutoLeakage::RecordLeakage(const Record& r, const Record& p,
@@ -459,6 +616,20 @@ Result<double> AutoLeakage::ExpectedPrecisionPrepared(
     const PreparedRecord& r, const PreparedReference& p,
     LeakageWorkspace* ws) const {
   return Pick(r, p).ExpectedPrecisionPrepared(r, p, ws);
+}
+
+Result<double> AutoLeakage::RecordLeakageColumnar(
+    const ColumnRecordView& r, const PreparedReference& p,
+    LeakageWorkspace* ws) const {
+  return PickBy(UniformWeightOver(r, p), r.size)
+      .RecordLeakageColumnar(r, p, ws);
+}
+
+Result<double> AutoLeakage::ExpectedPrecisionColumnar(
+    const ColumnRecordView& r, const PreparedReference& p,
+    LeakageWorkspace* ws) const {
+  return PickBy(UniformWeightOver(r, p), r.size)
+      .ExpectedPrecisionColumnar(r, p, ws);
 }
 
 // ---------------------------------------------------------------------------
@@ -685,6 +856,139 @@ Result<std::vector<double>> BatchLeakage(std::span<const Record* const> records,
                                          const LeakageEngine& engine) {
   const PreparedReference ref(p, wm);
   return BatchLeakage(records, ref, engine);
+}
+
+// ---------------------------------------------------------------------------
+// Columnar set leakage
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// One worker's scan over the contiguous bank range [begin, end): local
+/// first-strictly-greater argmax, optional cancellation polling, first
+/// error wins. Shared by the serial (one range spanning the bank) and
+/// sharded paths so both accumulate identically.
+struct ColumnRangeResult {
+  double best = 0.0;
+  std::ptrdiff_t best_index = -1;
+  Status status = Status::OK();
+};
+
+ColumnRangeResult ScanColumnRange(const ColumnBank& bank,
+                                  const LeakageEngine& engine,
+                                  std::size_t begin, std::size_t end,
+                                  const std::function<bool()>& cancel,
+                                  std::size_t check_every,
+                                  std::atomic<bool>* stop) {
+  ColumnRangeResult out;
+  const PreparedReference& p = bank.reference();
+  LeakageWorkspace ws;
+  ws.ReserveFor(bank.max_record_size(), p.size());
+  for (std::size_t i = begin; i < end; ++i) {
+    if ((i - begin) % check_every == 0) {
+      if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
+        out.status = Status::DeadlineExceeded("set-leakage scan cancelled");
+        return out;
+      }
+      if (cancel && cancel()) {
+        if (stop != nullptr) stop->store(true, std::memory_order_relaxed);
+        out.status = Status::DeadlineExceeded(
+            "set-leakage scan cancelled after " + std::to_string(i - begin) +
+            " of " + std::to_string(end - begin) + " records");
+        return out;
+      }
+    }
+    Result<double> l = engine.RecordLeakageColumnar(bank.view(i), p, &ws);
+    if (!l.ok()) {
+      if (stop != nullptr) stop->store(true, std::memory_order_relaxed);
+      out.status = l.status();
+      return out;
+    }
+    if (out.best_index < 0 || *l > out.best) {
+      out.best = *l;
+      out.best_index = static_cast<std::ptrdiff_t>(i);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<double> SetLeakageColumnar(const ColumnBank& bank,
+                                  const LeakageEngine& engine,
+                                  std::ptrdiff_t* argmax,
+                                  const ColumnScanOptions& options) {
+  if (!engine.SupportsColumnar()) {
+    return Status::NotSupported("engine '" + std::string(engine.name()) +
+                                "' has no columnar evaluation path");
+  }
+  obs::TraceSpan span("leakage/set_columnar");
+  WallTimer timer;
+  const std::size_t check_every =
+      options.check_every == 0 ? 1 : options.check_every;
+  std::size_t num_threads =
+      options.num_threads == 0
+          ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+          : options.num_threads;
+  num_threads = std::min(num_threads, bank.size());
+
+  ColumnRangeResult reduced;
+  if (num_threads <= 1) {
+    reduced = ScanColumnRange(bank, engine, 0, bank.size(), options.cancel,
+                              check_every, nullptr);
+    if (!reduced.status.ok()) return reduced.status;
+  } else {
+    // Contiguous shards: each worker streams one slice of the columns front
+    // to back, and reducing in worker order reproduces the serial scan's
+    // first-strictly-greater argmax exactly.
+    std::vector<ColumnRangeResult> results(num_threads);
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> workers;
+    workers.reserve(num_threads);
+    const std::size_t chunk = (bank.size() + num_threads - 1) / num_threads;
+    for (std::size_t t = 0; t < num_threads; ++t) {
+      const std::size_t begin = t * chunk;
+      const std::size_t end = std::min(bank.size(), begin + chunk);
+      workers.emplace_back([&, t, begin, end] {
+        results[t] = ScanColumnRange(bank, engine, begin, end, options.cancel,
+                                     check_every, &stop);
+      });
+    }
+    for (auto& w : workers) w.join();
+    for (const ColumnRangeResult& r : results) {
+      if (!r.status.ok()) return r.status;
+      if (r.best_index < 0) continue;
+      if (reduced.best_index < 0 || r.best > reduced.best) {
+        reduced.best = r.best;
+        reduced.best_index = r.best_index;
+      }
+    }
+  }
+  ColumnarPathCounter().Inc(bank.size());
+  SetLeakageLatencyColumnar().Observe(timer.ElapsedSeconds());
+  if (argmax != nullptr) *argmax = reduced.best_index;
+  return reduced.best_index < 0 ? 0.0 : reduced.best;
+}
+
+Result<std::vector<double>> BatchLeakageColumnar(const ColumnBank& bank,
+                                                 const LeakageEngine& engine) {
+  if (!engine.SupportsColumnar()) {
+    return Status::NotSupported("engine '" + std::string(engine.name()) +
+                                "' has no columnar evaluation path");
+  }
+  obs::TraceSpan span("leakage/batch_columnar");
+  const PreparedReference& p = bank.reference();
+  std::vector<double> out;
+  out.reserve(bank.size());
+  LeakageWorkspace ws;
+  ws.ReserveFor(bank.max_record_size(), p.size());
+  for (std::size_t i = 0; i < bank.size(); ++i) {
+    Result<double> l = engine.RecordLeakageColumnar(bank.view(i), p, &ws);
+    if (!l.ok()) return l.status();
+    out.push_back(*l);
+  }
+  ColumnarPathCounter().Inc(bank.size());
+  return out;
 }
 
 std::unique_ptr<LeakageEngine> MakeDefaultEngine() {

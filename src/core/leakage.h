@@ -5,6 +5,7 @@
 #include <span>
 #include <string_view>
 
+#include "core/column_bank.h"
 #include "core/database.h"
 #include "core/measures.h"
 #include "core/prepared.h"
@@ -91,6 +92,36 @@ class LeakageEngine {
                                                 const PreparedReference& p,
                                                 LeakageWorkspace* ws) const;
 
+  // ----- Columnar API (ColumnBank views + workspace) -----------------------
+  //
+  // The structure-of-arrays fast path: records live in a `ColumnBank`
+  // prepared once against the reference, so an evaluation streams
+  // contiguous confidence/weight/match-position columns through the array
+  // kernels (core/kernels.h) — no string hashing, no per-record match
+  // lookups, no allocation in the steady state. Bit-identical to the string
+  // and prepared paths (pinned by columnar_equivalence_test and the
+  // selfcheck oracle).
+
+  /// True when the engine implements the columnar fast path.
+  /// SetLeakageColumnar refuses engines that don't.
+  virtual bool SupportsColumnar() const { return false; }
+
+  /// As RecordLeakage, on a bank view. `r` must come from a bank built
+  /// against `p`. Default: NotSupported.
+  virtual Result<double> RecordLeakageColumnar(const ColumnRecordView& r,
+                                               const PreparedReference& p,
+                                               LeakageWorkspace* ws) const;
+
+  /// As ExpectedPrecision, on a bank view. Default: NotSupported.
+  virtual Result<double> ExpectedPrecisionColumnar(const ColumnRecordView& r,
+                                                   const PreparedReference& p,
+                                                   LeakageWorkspace* ws) const;
+
+  /// As ExpectedRecall, on a bank view; exact for every engine.
+  Result<double> ExpectedRecallColumnar(const ColumnRecordView& r,
+                                        const PreparedReference& p,
+                                        LeakageWorkspace* ws) const;
+
  protected:
   /// Adapter bodies for the string API of prepared-capable engines:
   /// prepare (r, p, wm), then forward to the `*Prepared` virtuals.
@@ -121,6 +152,14 @@ class NaiveLeakage : public LeakageEngine {
                                            const PreparedReference& p,
                                            LeakageWorkspace* ws) const override;
 
+  bool SupportsColumnar() const override { return true; }
+  Result<double> RecordLeakageColumnar(const ColumnRecordView& r,
+                                       const PreparedReference& p,
+                                       LeakageWorkspace* ws) const override;
+  Result<double> ExpectedPrecisionColumnar(const ColumnRecordView& r,
+                                           const PreparedReference& p,
+                                           LeakageWorkspace* ws) const override;
+
  private:
   std::size_t max_attributes_;
 };
@@ -142,6 +181,14 @@ class ExactLeakage : public LeakageEngine {
                                        const PreparedReference& p,
                                        LeakageWorkspace* ws) const override;
   Result<double> ExpectedPrecisionPrepared(const PreparedRecord& r,
+                                           const PreparedReference& p,
+                                           LeakageWorkspace* ws) const override;
+
+  bool SupportsColumnar() const override { return true; }
+  Result<double> RecordLeakageColumnar(const ColumnRecordView& r,
+                                       const PreparedReference& p,
+                                       LeakageWorkspace* ws) const override;
+  Result<double> ExpectedPrecisionColumnar(const ColumnRecordView& r,
                                            const PreparedReference& p,
                                            LeakageWorkspace* ws) const override;
 };
@@ -182,6 +229,14 @@ class ApproxLeakage : public LeakageEngine {
                                            const PreparedReference& p,
                                            LeakageWorkspace* ws) const override;
 
+  bool SupportsColumnar() const override { return true; }
+  Result<double> RecordLeakageColumnar(const ColumnRecordView& r,
+                                       const PreparedReference& p,
+                                       LeakageWorkspace* ws) const override;
+  Result<double> ExpectedPrecisionColumnar(const ColumnRecordView& r,
+                                           const PreparedReference& p,
+                                           LeakageWorkspace* ws) const override;
+
  private:
   int order_;
 };
@@ -209,7 +264,19 @@ class AutoLeakage : public LeakageEngine {
                                            const PreparedReference& p,
                                            LeakageWorkspace* ws) const override;
 
+  bool SupportsColumnar() const override { return true; }
+  Result<double> RecordLeakageColumnar(const ColumnRecordView& r,
+                                       const PreparedReference& p,
+                                       LeakageWorkspace* ws) const override;
+  Result<double> ExpectedPrecisionColumnar(const ColumnRecordView& r,
+                                           const PreparedReference& p,
+                                           LeakageWorkspace* ws) const override;
+
  private:
+  /// The dispatch rule itself, shared by the prepared and columnar paths:
+  /// exact when one weight covers (r, p), naive when small enough to
+  /// enumerate, approx otherwise.
+  const LeakageEngine& PickBy(bool uniform, std::size_t record_size) const;
   const LeakageEngine& Pick(const PreparedRecord& r,
                             const PreparedReference& p) const;
 
@@ -279,6 +346,39 @@ Result<std::vector<double>> BatchLeakage(std::span<const Record* const> records,
 Result<std::vector<double>> BatchLeakage(std::span<const Record* const> records,
                                          const PreparedReference& p,
                                          const LeakageEngine& engine);
+
+// ---------------------------------------------------------------------------
+// Columnar set-leakage scans
+// ---------------------------------------------------------------------------
+
+/// \brief Options for a columnar set-leakage scan.
+struct ColumnScanOptions {
+  /// Worker threads sharding the bank (hardware concurrency when 0;
+  /// 1 = serial). Workers take contiguous column ranges, so each streams
+  /// its slice of the bank's arrays front to back.
+  std::size_t num_threads = 1;
+
+  /// Polled every `check_every` evaluations (and before the first); a true
+  /// return aborts the scan with DeadlineExceeded. With num_threads > 1 the
+  /// callback is polled from every worker and must be thread-safe.
+  std::function<bool()> cancel;
+  std::size_t check_every = 256;
+};
+
+/// \brief Set leakage L0 over a column bank: max_i L(bank[i], p), with the
+/// attaining index in `*argmax` (-1 when empty). Serial scans, parallel
+/// scans, and cancelled-then-retried scans all return bit-identical maxima
+/// and the same (first) argmax as SetLeakageArgMax over the source
+/// database. NotSupported for engines without a columnar path.
+Result<double> SetLeakageColumnar(const ColumnBank& bank,
+                                  const LeakageEngine& engine,
+                                  std::ptrdiff_t* argmax = nullptr,
+                                  const ColumnScanOptions& options = {});
+
+/// \brief Per-record leakages over a column bank, in bank order — the
+/// columnar analogue of BatchLeakage.
+Result<std::vector<double>> BatchLeakageColumnar(const ColumnBank& bank,
+                                                 const LeakageEngine& engine);
 
 /// \brief Convenience factory for the dispatching engine.
 std::unique_ptr<LeakageEngine> MakeDefaultEngine();

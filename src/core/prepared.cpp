@@ -5,7 +5,8 @@ namespace infoleak {
 PreparedReference::PreparedReference(const Record& p, const WeightModel& wm)
     : source_(&p), wm_(&wm) {
   attrs_.reserve(p.size());
-  match_.reserve(p.size());
+  attr_weight_.reserve(p.size());
+  match_.Reserve(p.size());
   for (const auto& b : p) {
     PreparedAttr pa;
     pa.label = syms_.labels.Intern(b.label);
@@ -21,10 +22,21 @@ PreparedReference::PreparedReference(const Record& p, const WeightModel& wm)
     } else if (pa.weight != common_weight_) {
       uniform_ = false;
     }
-    match_.emplace(PackSymbolPair(pa.label, pa.value),
-                   static_cast<uint32_t>(attrs_.size()));
+    match_.Insert(PackSymbolPair(pa.label, pa.value),
+                  static_cast<uint32_t>(attrs_.size()));
+    attr_weight_.push_back(pa.weight);
     attrs_.push_back(pa);
   }
+}
+
+void LeakageWorkspace::ReserveFor(std::size_t max_record_attrs,
+                                  std::size_t reference_attrs) {
+  poly.reserve(max_record_attrs + 1);
+  match_conf.reserve(reference_attrs);
+  match_rpos.reserve(reference_attrs);
+  matched.reserve(max_record_attrs);
+  conf.reserve(max_record_attrs);
+  weight.reserve(max_record_attrs);
 }
 
 void PreparedRecord::Assign(const Record& r, const PreparedReference& ref) {

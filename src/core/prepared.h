@@ -1,7 +1,6 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "core/record.h"
@@ -9,6 +8,93 @@
 #include "core/weights.h"
 
 namespace infoleak {
+
+/// \brief Open-addressing map from packed (label, value) id pairs to
+/// reference positions — the data-oriented replacement for the
+/// `std::unordered_map` the match index used to live in. Linear probing
+/// over one flat array of power-of-two capacity: a lookup is one multiply,
+/// one shift, and (at load factor <= 1/2) almost always one cache line,
+/// where the node-based map paid a pointer chase per probe. The packed key
+/// 0xFFFF..FF can never occur (it would need both ids to be kNoSymbol,
+/// which MatchPosition screens out), so it doubles as the empty-slot mark.
+class FlatPairMap {
+ public:
+  /// Value returned by Find for absent keys (== PreparedReference::kNoMatch).
+  static constexpr uint32_t kNotFound = 0xFFFFFFFFu;
+
+  FlatPairMap() { Rehash(kMinCapacity); }
+
+  /// Pre-sizes for `expected` insertions (capacity stays a power of two,
+  /// load factor <= 1/2).
+  void Reserve(std::size_t expected) {
+    std::size_t cap = kMinCapacity;
+    while (cap < expected * 2) cap *= 2;
+    if (cap > keys_.size()) Rehash(cap);
+  }
+
+  /// Inserts (key, value); a key already present keeps its first value
+  /// (mirroring the emplace semantics the match index relies on).
+  void Insert(uint64_t key, uint32_t value) {
+    if ((size_ + 1) * 2 > keys_.size()) Rehash(keys_.size() * 2);
+    std::size_t i = Slot(key);
+    while (keys_[i] != kEmptyKey) {
+      if (keys_[i] == key) return;
+      i = (i + 1) & mask_;
+    }
+    keys_[i] = key;
+    values_[i] = value;
+    ++size_;
+  }
+
+  /// Value for `key`, or kNotFound.
+  uint32_t Find(uint64_t key) const {
+    std::size_t i = Slot(key);
+    while (keys_[i] != kEmptyKey) {
+      if (keys_[i] == key) return values_[i];
+      i = (i + 1) & mask_;
+    }
+    return kNotFound;
+  }
+
+  std::size_t size() const { return size_; }
+
+ private:
+  static constexpr uint64_t kEmptyKey = ~uint64_t{0};
+  static constexpr std::size_t kMinCapacity = 8;
+
+  /// Fibonacci multiplicative hash: ids are dense and low-entropy, the odd
+  /// multiplier spreads them across the high bits, and the shift keeps
+  /// exactly the bits the capacity can address.
+  std::size_t Slot(uint64_t key) const {
+    return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ull) >> shift_) &
+           mask_;
+  }
+
+  void Rehash(std::size_t capacity) {
+    std::vector<uint64_t> old_keys = std::move(keys_);
+    std::vector<uint32_t> old_values = std::move(values_);
+    keys_.assign(capacity, kEmptyKey);
+    values_.assign(capacity, 0);
+    mask_ = capacity - 1;
+    shift_ = 64;
+    for (std::size_t c = capacity; c > 1; c /= 2) --shift_;
+    size_ = 0;
+    for (std::size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] == kEmptyKey) continue;
+      std::size_t j = Slot(old_keys[i]);
+      while (keys_[j] != kEmptyKey) j = (j + 1) & mask_;
+      keys_[j] = old_keys[i];
+      values_[j] = old_values[i];
+      ++size_;
+    }
+  }
+
+  std::vector<uint64_t> keys_;
+  std::vector<uint32_t> values_;
+  std::size_t mask_ = 0;
+  unsigned shift_ = 64;
+  std::size_t size_ = 0;
+};
 
 /// \brief One interned attribute: symbol ids instead of strings, the
 /// per-label weight already resolved. The unit of work of the prepared
@@ -52,17 +138,22 @@ class PreparedReference {
   /// Σ_{b∈p} w_b, summed in canonical order (== wm.TotalWeight(p)).
   double total_weight() const { return total_weight_; }
 
-  /// Position of (label, value) in attrs(), or kNoMatch. O(1).
+  /// Position of (label, value) in attrs(), or kNoMatch. O(1): one probe
+  /// into the flat pair index (FlatPairMap::kNotFound == kNoMatch).
   uint32_t MatchPosition(uint32_t label, uint32_t value) const {
     if (label == SymbolTable::kNoSymbol || value == SymbolTable::kNoSymbol) {
       return kNoMatch;
     }
-    auto it = match_.find(PackSymbolPair(label, value));
-    return it != match_.end() ? it->second : kNoMatch;
+    return match_.Find(PackSymbolPair(label, value));
   }
 
   /// Cached wm.Weight(label) for labels interned by this reference.
   double LabelWeight(uint32_t label) const { return label_weight_[label]; }
+
+  /// Per-position attribute weights as one contiguous column
+  /// (attr_weights()[j] == attrs()[j].weight) — what the array kernels
+  /// stream instead of striding through PreparedAttr.
+  const std::vector<double>& attr_weights() const { return attr_weight_; }
 
   /// True iff every label of `p` carries one weight value (vacuously true
   /// when empty); `common_weight()` is that value.
@@ -78,8 +169,9 @@ class PreparedReference {
  private:
   Symbols syms_;
   std::vector<PreparedAttr> attrs_;       // canonical order of p
+  std::vector<double> attr_weight_;       // by position (weight column)
   std::vector<double> label_weight_;      // by label id
-  std::unordered_map<uint64_t, uint32_t> match_;  // packed ids -> position
+  FlatPairMap match_;                     // packed ids -> position
   double total_weight_ = 0.0;
   bool uniform_ = true;
   double common_weight_ = 0.0;
@@ -136,6 +228,14 @@ struct LeakageWorkspace {
   std::vector<double> match_conf;  // per reference position: p(b, r)
   std::vector<uint32_t> match_rpos;  // per reference position: index into r
   std::vector<uint8_t> matched;      // per record attribute: b ∈ p?
+  std::vector<double> conf;    // per record attribute: confidence column
+  std::vector<double> weight;  // per record attribute: weight column
+
+  /// Pre-grows every buffer for records up to `max_record_attrs` attributes
+  /// against a reference of `reference_attrs` — after this, evaluating any
+  /// such record performs zero allocations (the sharded set-leakage workers
+  /// call it once per contiguous range; asserted by the steady-state test).
+  void ReserveFor(std::size_t max_record_attrs, std::size_t reference_attrs);
 };
 
 /// Fills `ws->match_conf` / `ws->match_rpos` for (r, p): one O(|r|) pass of

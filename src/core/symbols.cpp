@@ -1,21 +1,68 @@
 #include "core/symbols.h"
 
+#include <functional>
+
 namespace infoleak {
+namespace {
+
+constexpr std::size_t kMinIndexCapacity = 16;
+
+// std::hash<string_view> followed by a Fibonacci mix: the standard hash is
+// allowed to be weak in its high bits, and the slot index is taken from the
+// top of the product, so the odd multiplier redistributes whatever entropy
+// the hash produced.
+uint64_t HashOf(std::string_view s) {
+  return std::hash<std::string_view>{}(s) * 0x9E3779B97F4A7C15ull;
+}
+
+}  // namespace
+
+std::size_t SymbolTable::SlotFor(uint64_t hash) const {
+  return static_cast<std::size_t>(hash >> 32) & (index_.size() - 1);
+}
+
+uint32_t SymbolTable::Lookup(std::string_view s, uint64_t hash) const {
+  if (index_.empty()) return kNoSymbol;
+  std::size_t i = SlotFor(hash);
+  while (index_[i].id != kNoSymbol) {
+    if (index_[i].hash == hash && names_[index_[i].id] == s) {
+      return index_[i].id;
+    }
+    i = (i + 1) & (index_.size() - 1);
+  }
+  return kNoSymbol;
+}
+
+void SymbolTable::Grow() {
+  const std::size_t capacity =
+      index_.empty() ? kMinIndexCapacity : index_.size() * 2;
+  std::vector<IndexSlot> old = std::move(index_);
+  index_.assign(capacity, IndexSlot{});
+  for (const IndexSlot& slot : old) {
+    if (slot.id == kNoSymbol) continue;
+    std::size_t i = SlotFor(slot.hash);
+    while (index_[i].id != kNoSymbol) i = (i + 1) & (index_.size() - 1);
+    index_[i] = slot;
+  }
+}
 
 uint32_t SymbolTable::Intern(std::string_view s) {
-  auto it = ids_.find(s);
-  if (it != ids_.end()) return it->second;
+  const uint64_t hash = HashOf(s);
+  const uint32_t found = Lookup(s, hash);
+  if (found != kNoSymbol) return found;
+  if ((names_.size() + 1) * 2 > index_.size()) Grow();
   arena_.emplace_back(s);
   const std::string_view stored = arena_.back();
   const auto id = static_cast<uint32_t>(names_.size());
-  ids_.emplace(stored, id);
   names_.push_back(stored);
+  std::size_t i = SlotFor(hash);
+  while (index_[i].id != kNoSymbol) i = (i + 1) & (index_.size() - 1);
+  index_[i] = IndexSlot{hash, id};
   return id;
 }
 
 uint32_t SymbolTable::Find(std::string_view s) const {
-  auto it = ids_.find(s);
-  return it != ids_.end() ? it->second : kNoSymbol;
+  return Lookup(s, HashOf(s));
 }
 
 }  // namespace infoleak

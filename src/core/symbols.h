@@ -4,7 +4,6 @@
 #include <deque>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 namespace infoleak {
@@ -48,9 +47,23 @@ class SymbolTable {
   bool empty() const { return names_.empty(); }
 
  private:
+  /// One slot of the open-addressing string index: the cached full hash
+  /// (to skip byte comparisons on probe collisions) plus the interned id;
+  /// id == kNoSymbol marks an empty slot. Flat linear probing at load
+  /// factor <= 1/2 replaces the node-based unordered_map the index used to
+  /// be — Find on the record-ingest path is now typically one cache line.
+  struct IndexSlot {
+    uint64_t hash = 0;
+    uint32_t id = kNoSymbol;
+  };
+
+  std::size_t SlotFor(uint64_t hash) const;
+  uint32_t Lookup(std::string_view s, uint64_t hash) const;
+  void Grow();
+
   std::deque<std::string> arena_;  // owns the bytes; addresses are stable
-  std::unordered_map<std::string_view, uint32_t> ids_;  // views into arena_
-  std::vector<std::string_view> names_;                 // id -> view
+  std::vector<IndexSlot> index_;   // open-addressing hash -> id
+  std::vector<std::string_view> names_;  // id -> view
 };
 
 /// \brief The two string domains of an attribute, interned independently so

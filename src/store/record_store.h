@@ -95,6 +95,19 @@ class RecordStore {
                          std::ptrdiff_t* argmax = nullptr,
                          const std::function<bool()>& cancel = {}) const;
 
+  /// Columnar serving path: extends the caller's `bank` with any records
+  /// appended since its last use (under `bank_mu` exclusive), then scans it
+  /// via SetLeakageColumnar (under `bank_mu` shared) — so repeat queries
+  /// against one cached reference pay string resolution only for records
+  /// new since the previous query. The bank must have been built against
+  /// this store's database (it grows only through this method); the store's
+  /// read lock is held throughout for one consistent snapshot. Results are
+  /// bit-identical to `SetLeak` with the same reference.
+  Result<double> SetLeakColumnar(ColumnBank& bank, std::shared_mutex& bank_mu,
+                                 const LeakageEngine& engine,
+                                 std::ptrdiff_t* argmax = nullptr,
+                                 const std::function<bool()>& cancel = {}) const;
+
   /// Record leakage L(r, p) of the stored record `id` against a prepared
   /// reference, through the engine's prepared path (string fallback).
   Result<double> RecordLeak(RecordId id, const PreparedReference& ref,

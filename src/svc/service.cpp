@@ -210,8 +210,15 @@ Result<JsonValue> LeakageService::Dispatch(
     auto engine = PickEngine(body);
     if (!engine.ok()) return engine.status();
     std::ptrdiff_t argmax = -1;
-    auto leakage = ActiveStore().SetLeak((*entry)->prepared, **engine, &argmax,
-                                         cancel);
+    // Columnar-capable engines scan the entry's cached bank (extended with
+    // any records appended since the last query); others fall back to the
+    // record-at-a-time prepared scan. Both are bit-identical.
+    Result<double> leakage =
+        (*engine)->SupportsColumnar()
+            ? ActiveStore().SetLeakColumnar((*entry)->bank, (*entry)->bank_mu,
+                                            **engine, &argmax, cancel)
+            : ActiveStore().SetLeak((*entry)->prepared, **engine, &argmax,
+                                    cancel);
     if (!leakage.ok()) return leakage.status();
     out.Set("leakage", JsonValue::Number(*leakage));
     out.Set("argmax", JsonValue::Number(static_cast<double>(argmax)));

@@ -4,9 +4,11 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 
+#include "core/column_bank.h"
 #include "core/leakage.h"
 #include "store/record_store.h"
 #include "svc/protocol.h"
@@ -68,15 +70,23 @@ class LeakageService {
  private:
   /// Owns the strings a cached PreparedReference points into. Constructed
   /// in place on the heap and never moved afterwards, so the interior
-  /// pointers stay valid for the entry's lifetime.
+  /// pointers stay valid for the entry's lifetime. The entry also carries
+  /// the reference's column bank — the structure-of-arrays copy of the
+  /// store that set-leak scans stream instead of re-preparing records —
+  /// which RecordStore::SetLeakColumnar extends lazily under `bank_mu`
+  /// (mutable: the bank is an evaluation cache, not entry identity, and
+  /// entries are shared as pointers-to-const).
   struct PreparedEntry {
     Record reference;
     WeightModel weights;
     PreparedReference prepared;
+    mutable std::shared_mutex bank_mu;
+    mutable ColumnBank bank;
     PreparedEntry(Record r, WeightModel w)
         : reference(std::move(r)),
           weights(std::move(w)),
-          prepared(reference, weights) {}
+          prepared(reference, weights),
+          bank(prepared) {}
   };
 
   Result<std::shared_ptr<const PreparedEntry>> PrepareReference(

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "cli/flags.h"
+#include "core/kernels.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -564,6 +565,12 @@ TEST(CliStatsTest, LeakageStatsPrometheusGolden) {
       "prepared fast path vs string adapter/fallback\n"
       "# TYPE infoleak_eval_path_total counter\n"
       "infoleak_eval_path_total{path=\"prepared\"} 6\n"
+      "# HELP infoleak_kernel_dispatch_total Array-kernel invocations by "
+      "dispatched variant (scalar / avx2 / avx512; forced scalar via "
+      "INFOLEAK_FORCE_SCALAR)\n"
+      "# TYPE infoleak_kernel_dispatch_total counter\n"
+      "infoleak_kernel_dispatch_total{variant=\"" +
+      std::string(kern::Active().name) + "\"} 6\n"
       "# HELP infoleak_leakage_evaluations_total Record-leakage evaluations "
       "per engine (the hot-loop unit of work)\n"
       "# TYPE infoleak_leakage_evaluations_total counter\n"
@@ -590,6 +597,9 @@ TEST(CliStatsTest, LeakageStatsJsonGolden) {
       "\"labels\":{\"command\":\"leakage\"},\"value\":1},"
       "{\"name\":\"infoleak_eval_path_total\","
       "\"labels\":{\"path\":\"prepared\"},\"value\":6},"
+      "{\"name\":\"infoleak_kernel_dispatch_total\","
+      "\"labels\":{\"variant\":\"" + std::string(kern::Active().name) +
+      "\"},\"value\":6},"
       "{\"name\":\"infoleak_leakage_evaluations_total\","
       "\"labels\":{\"engine\":\"exact\"},\"value\":6}"
       "],\"gauges\":["

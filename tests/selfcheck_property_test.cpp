@@ -319,6 +319,48 @@ TEST(CorpusTest, CheckedInCorpusReplaysClean) {
   }
 }
 
+// The corpus replay above exercises the columnar path implicitly (the
+// oracle's columnar-vs-prepared property is on by default); this pins it
+// explicitly: every checked-in case, pushed through a ColumnBank, must
+// reproduce the prepared path bit for bit on every columnar-capable engine.
+TEST(CorpusTest, CheckedInCorpusReplaysThroughColumnar) {
+  auto corpus = LoadCorpus(kCorpusDir);
+  ASSERT_TRUE(corpus.ok()) << corpus.status().message();
+  ASSERT_GE(corpus->size(), 4u) << "corpus missing from " << kCorpusDir;
+  NaiveLeakage naive(16);
+  ExactLeakage exact;
+  ApproxLeakage approx;
+  AutoLeakage autoe;
+  for (std::size_t i = 0; i < corpus->size(); ++i) {
+    auto c = Canonicalize((*corpus)[i]);
+    ASSERT_TRUE(c.ok()) << (*corpus)[i].name;
+    const PreparedReference ref(c->p, c->wm);
+    PreparedRecord pr(c->r, ref);
+    ColumnBank bank(ref);
+    bank.Append(c->r);
+    const ColumnRecordView v = bank.view(0);
+    LeakageWorkspace ws, cws;
+    for (const LeakageEngine* engine :
+         {static_cast<const LeakageEngine*>(&naive),
+          static_cast<const LeakageEngine*>(&exact),
+          static_cast<const LeakageEngine*>(&approx),
+          static_cast<const LeakageEngine*>(&autoe)}) {
+      const auto lp = engine->RecordLeakagePrepared(pr, ref, &ws);
+      const auto lc = engine->RecordLeakageColumnar(v, ref, &cws);
+      ASSERT_EQ(lp.ok(), lc.ok()) << engine->name() << " " << c->name;
+      if (lp.ok()) {
+        EXPECT_EQ(*lp, *lc) << engine->name() << " " << c->name;
+      }
+      const auto rp = engine->ExpectedRecallPrepared(pr, ref, &ws);
+      const auto rc = engine->ExpectedRecallColumnar(v, ref, &cws);
+      ASSERT_EQ(rp.ok(), rc.ok()) << engine->name() << " " << c->name;
+      if (rp.ok()) {
+        EXPECT_EQ(*rp, *rc) << engine->name() << " " << c->name;
+      }
+    }
+  }
+}
+
 TEST(CorpusTest, MissingDirectoryIsEmptyCorpus) {
   auto corpus = LoadCorpus(INFOLEAK_SOURCE_DIR "/tests/corpus/no-such-dir");
   ASSERT_TRUE(corpus.ok());
