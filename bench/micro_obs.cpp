@@ -13,9 +13,16 @@
 #include <vector>
 
 #include "core/leakage.h"
+#include "core/record_io.h"
 #include "gen/generator.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/request.h"
 #include "obs/trace.h"
+#include "store/record_store.h"
+#include "svc/json.h"
+#include "svc/protocol.h"
+#include "svc/service.h"
 
 namespace infoleak {
 namespace {
@@ -107,6 +114,82 @@ void BM_PreparedExactHotLoop_MetricsOff(benchmark::State& state) {
   PreparedExactHotLoop(state, /*metrics_enabled=*/false);
 }
 BENCHMARK(BM_PreparedExactHotLoop_MetricsOff)->Arg(1000)->Arg(10000);
+
+// What accepting one finished request into the event log costs: the
+// counter/histogram feeds, the slow-ring offer, and the sharded ring push.
+void BM_EventLogRecord(benchmark::State& state) {
+  obs::MetricsRegistry::SetEnabled(true);
+  obs::EventLog log(/*capacity=*/2048, /*slow_capacity=*/32);
+  obs::RequestEvent proto;
+  proto.verb = "set-leak";
+  proto.outcome = "ok";
+  proto.total_nanos = 250000;
+  proto.phase_nanos[static_cast<int>(obs::Phase::kParse)] = 20000;
+  proto.phase_nanos[static_cast<int>(obs::Phase::kEval)] = 200000;
+  proto.phase_nanos[static_cast<int>(obs::Phase::kSerialize)] = 30000;
+  uint64_t id = 0;
+  for (auto _ : state) {
+    obs::RequestEvent event = proto;
+    event.id = ++id;
+    log.Record(std::move(event));
+  }
+  benchmark::DoNotOptimize(log.recorded());
+}
+BENCHMARK(BM_EventLogRecord);
+
+void BM_EventLogRecordDisabled(benchmark::State& state) {
+  obs::EventLog log(/*capacity=*/2048, /*slow_capacity=*/32);
+  log.SetEnabled(false);
+  obs::RequestEvent proto;
+  proto.verb = "set-leak";
+  proto.outcome = "ok";
+  for (auto _ : state) {
+    obs::RequestEvent event = proto;
+    log.Record(std::move(event));
+  }
+  benchmark::DoNotOptimize(log.recorded());
+}
+BENCHMARK(BM_EventLogRecordDisabled);
+
+// The serving hot loop end to end: LeakageService::Handle on a set-leak
+// request, which creates a request context, charges phase timers through
+// store and kernels, and emits one event per call. /log_on vs /log_off is
+// the number docs/observability.md quotes for the request-scoped plane:
+// the acceptance bar is <5% overhead with the event log enabled.
+void ServedSetLeakHotLoop(benchmark::State& state, bool log_enabled) {
+  GeneratorConfig config;
+  config.n = 20;
+  config.num_records = static_cast<std::size_t>(state.range(0));
+  auto data = GenerateDataset(config);
+  Database db;
+  for (const auto& r : data->records) db.Add(r);
+  svc::LeakageService service(RecordStore::FromDatabase(db));
+  const std::string line =
+      std::string(R"({"verb":"set-leak","reference":)") +
+      svc::JsonQuote(FormatRecord(data->reference)) + "}";
+  auto req = svc::ParseRequest(line);
+  if (!req.ok()) {
+    state.SkipWithError("ParseRequest failed");
+    return;
+  }
+  obs::EventLog::Global().SetEnabled(log_enabled);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.Handle(*req));
+  }
+  obs::EventLog::Global().SetEnabled(true);
+  obs::EventLog::Global().Clear();
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_ServedSetLeak_LogOn(benchmark::State& state) {
+  ServedSetLeakHotLoop(state, /*log_enabled=*/true);
+}
+BENCHMARK(BM_ServedSetLeak_LogOn)->Arg(1000)->Arg(10000);
+
+void BM_ServedSetLeak_LogOff(benchmark::State& state) {
+  ServedSetLeakHotLoop(state, /*log_enabled=*/false);
+}
+BENCHMARK(BM_ServedSetLeak_LogOff)->Arg(1000)->Arg(10000);
 
 }  // namespace
 }  // namespace infoleak

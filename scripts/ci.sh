@@ -67,6 +67,28 @@ smoke_serve() {
   "${bin}" call --port "${port}" --verb set-leak \
       --body "{\"reference\":\"${ref}\"}" | grep -q '"argmax":'
   "${bin}" call --port "${port}" --verb stats | grep -q '"records":'
+  # Observability plane: drive a little more set-leak load, then demand the
+  # event log saw it. The enriched stats verb must report event accounting,
+  # the slow-query ring, and build identity; `tail` must stream per-phase
+  # breakdowns (zero phases are omitted from the JSON, so a present "eval"
+  # key is a non-zero eval time), and the slow view must agree.
+  for _ in 1 2 3; do
+    "${bin}" call --port "${port}" --verb set-leak \
+        --body "{\"reference\":\"${ref}\"}" >/dev/null
+  done
+  local stats_out
+  stats_out="$("${bin}" call --port "${port}" --verb stats)"
+  echo "${stats_out}" | grep -q '"events":{"recorded":'
+  echo "${stats_out}" | grep -q '"slow":\['
+  echo "${stats_out}" | grep -q '"build":{"version":'
+  local tail_out
+  tail_out="$("${bin}" tail --port "${port}" --count 50 --min-micros 1)"
+  echo "${tail_out}" | grep -q '"verb":"set-leak"'
+  echo "${tail_out}" | grep '"verb":"set-leak"' | grep -q '"queue":'
+  echo "${tail_out}" | grep '"verb":"set-leak"' | grep -q '"eval":'
+  echo "${tail_out}" | grep '"verb":"set-leak"' | grep -q '"serialize":'
+  "${bin}" top --port "${port}" | grep -q 'slow-query ring:'
+  "${bin}" tail --port "${port}" --slow --count 5 | grep -q '"total_us":'
   kill -TERM "${pid}"
   wait "${pid}"  # graceful drain must exit 0 (set -e aborts otherwise)
   grep -q "drained" "${log}"
@@ -172,7 +194,7 @@ run_tsan_pass() {
   cmake --build "${dir}" -j "${JOBS}"
   echo "=== [${dir}] ctest (concurrency subset) ==="
   ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -R \
-    'Concurrency|Columnar|SvcServer|SvcQueue|SvcService|Persist|Streaming|Metrics|Trace|SelfCheckRun'
+    'Concurrency|Columnar|SvcServer|SvcQueue|SvcService|Persist|Streaming|Metrics|Trace|EventLog|SelfCheckRun'
 }
 
 run_pass build-ci-release

@@ -12,6 +12,7 @@
 #include "check/corpus.h"
 #include "check/shrink.h"
 #include "core/record_io.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "persist/durable_store.h"
 #include "svc/json.h"
@@ -47,10 +48,69 @@ class ServedChecker {
   Status Start() {
     INFOLEAK_RETURN_IF_ERROR(server_.Start());
     INFOLEAK_ASSIGN_OR_RETURN(client_, server_.NewClient());
+    // Event-log accounting baseline: the loopback server shares the
+    // process-global EventLog, and nothing else in a selfcheck run serves
+    // requests, so every recorded event past this point is one of ours.
+    baseline_recorded_ = obs::EventLog::Global().recorded();
     return Status::OK();
   }
 
   Status Stop() { return server_.Stop(); }
+
+  /// Observability invariants over the whole served run, checked once at
+  /// the end: every completed wire request must have produced exactly one
+  /// event-log record (the server emits before it responds, so a received
+  /// reply guarantees the event is already recorded), and the ids the log
+  /// hands back must be unique and strictly increasing. These findings are
+  /// not case-reproducible, so the caller must not shrink them or write
+  /// them to the corpus.
+  void CheckObs(std::size_t* comparisons, std::vector<Finding>* findings) {
+    ++*comparisons;
+    const uint64_t delta =
+        obs::EventLog::Global().recorded() - baseline_recorded_;
+    if (delta != calls_) {
+      findings->push_back(
+          Finding{"obs",
+                  "event-log accounting broke: " + std::to_string(calls_) +
+                      " served request(s) but " + std::to_string(delta) +
+                      " event(s) recorded (exactly one per request expected)",
+                  CheckCase{}});
+    }
+    // Unique ids: pull the freshest window the wire allows and demand the
+    // served ids come back strictly increasing (Recent sorts by id, so a
+    // duplicate would surface as a non-increasing neighbor).
+    ++*comparisons;
+    svc::JsonValue body = svc::JsonValue::Object();
+    body.Set("count", svc::JsonValue::Number(1000.0));
+    Result<svc::JsonValue> response = client_.CallVerb("tail", std::move(body));
+    if (!response.ok()) {
+      findings->push_back(Finding{
+          "obs", "tail over loopback failed: " + response.status().message(),
+          CheckCase{}});
+      return;
+    }
+    const svc::JsonValue* events = response->Find("events");
+    if (events == nullptr || !events->is_array()) {
+      findings->push_back(Finding{
+          "obs", "tail response carries no \"events\" array", CheckCase{}});
+      return;
+    }
+    double prev_id = 0;
+    for (const svc::JsonValue& event : events->items()) {
+      const double id = event.GetNumber("id", 0.0);
+      if (id <= prev_id) {
+        findings->push_back(
+            Finding{"obs",
+                    "request ids not unique/increasing in the event log: id " +
+                        std::to_string(static_cast<uint64_t>(id)) +
+                        " follows id " +
+                        std::to_string(static_cast<uint64_t>(prev_id)),
+                    CheckCase{}});
+        return;
+      }
+      prev_id = id;
+    }
+  }
 
   void Check(const CheckCase& c, std::size_t* comparisons,
              std::vector<Finding>* findings) {
@@ -97,6 +157,7 @@ class ServedChecker {
     const std::string weights = FormatWeights(c.wm);
     if (!weights.empty()) body.Set("weights", svc::JsonValue::Str(weights));
     body.Set("engine", svc::JsonValue::Str(engine));
+    ++calls_;
     INFOLEAK_ASSIGN_OR_RETURN(svc::JsonValue response,
                               client_.CallVerb("leak", std::move(body)));
     const svc::JsonValue* leakage = response.Find("leakage");
@@ -113,6 +174,8 @@ class ServedChecker {
   ApproxLeakage approx_;
   AutoLeakage auto_;
   std::size_t naive_max_;
+  uint64_t baseline_recorded_ = 0;
+  uint64_t calls_ = 0;  ///< wire requests issued through Served()
 };
 
 /// Recovery oracle: every generated record is appended to a real
@@ -373,7 +436,21 @@ Result<SelfCheckReport> RunSelfCheck(const SelfCheckConfig& config) {
     INFOLEAK_RETURN_IF_ERROR(durable.Finish(&report.comparisons, &found));
     handle(std::move(found), {});  // recovery needs the env; no shrinking
   }
-  if (config.check_served) INFOLEAK_RETURN_IF_ERROR(served.Stop());
+  // ---- 4. Observability invariants on the served path --------------------
+  if (config.check_served) {
+    // Not case-reproducible (no shrinking, never written to the corpus):
+    // these findings are about the serving run as a whole.
+    std::vector<Finding> obs_found;
+    served.CheckObs(&report.comparisons, &obs_found);
+    for (Finding& f : obs_found) {
+      ++report.disagreements;
+      disagreements_total.Inc();
+      if (report.findings.size() < config.max_reported) {
+        report.findings.push_back(std::move(f));
+      }
+    }
+    INFOLEAK_RETURN_IF_ERROR(served.Stop());
+  }
 
   comparisons_total.Inc(report.comparisons);
   return report;

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <initializer_list>
 #include <memory>
 #include <span>
+#include <thread>
 
 #include "anon/hierarchy.h"
 #include "check/selfcheck.h"
@@ -18,6 +20,7 @@
 #include "anon/tcloseness.h"
 #include "core/bounds.h"
 #include "core/fbeta_leakage.h"
+#include "core/kernels.h"
 #include "core/leakage.h"
 #include "core/record_io.h"
 #include "er/blocking.h"
@@ -194,6 +197,26 @@ constexpr FlagDoc kCallFlags[] = {
     {"body", "JSON object merged into the request built from --verb"},
 };
 
+constexpr FlagDoc kTailFlags[] = {
+    {"host", "server address (default 127.0.0.1)"},
+    {"port", "server port (required)"},
+    {"timeout-ms", "connect/receive timeout (default 30000)"},
+    {"count", "events per fetch, newest first (default 20, max 1000)"},
+    {"slow", "show the slow-query ring (worst retained requests) instead "
+             "of recent events"},
+    {"after-id", "only events with request id greater than this"},
+    {"min-micros", "only events at least this slow end to end"},
+    {"follow", "keep polling for new events until the server goes away"},
+    {"poll-ms", "polling cadence for --follow (default 500)"},
+};
+
+constexpr FlagDoc kTopFlags[] = {
+    {"host", "server address (default 127.0.0.1)"},
+    {"port", "server port (required)"},
+    {"timeout-ms", "connect/receive timeout (default 30000)"},
+    {"count", "slow-query entries shown (default 10)"},
+};
+
 constexpr FlagDoc kCompactFlags[] = {
     {"data-dir", "durable store directory to compact (required)"},
 };
@@ -246,6 +269,10 @@ constexpr CommandDoc kCommands[] = {
      kServeFlags, RunServe},
     {"call", "send one request to a running `infoleak serve`", kCallFlags,
      RunCall},
+    {"tail", "stream a server's request event log as NDJSON", kTailFlags,
+     RunTail},
+    {"top", "show a server's slowest requests, phase by phase", kTopFlags,
+     RunTop},
     {"compact", "rewrite a durable store's snapshot and reset its WAL",
      kCompactFlags, RunCompact},
     {"selfcheck", "differential cross-engine check: fuzz, compare, shrink",
@@ -305,6 +332,9 @@ std::string HelpText(const CommandDoc& doc) {
 /// Recomputes gauges that are pure functions of other metrics, so every
 /// rendered report shows them consistent with the counters it contains.
 void UpdateDerivedGauges() {
+  // Idempotent: the build-info gauge is identity-in-labels, value 1, so
+  // re-registering on every report is a cheap Set(1.0).
+  obs::RegisterBuildInfo(kern::Active().name);
   auto& reg = obs::MetricsRegistry::Global();
   constexpr std::string_view kPathHelp =
       "Record evaluations by API path: prepared fast path vs string "
@@ -944,6 +974,8 @@ Result<std::size_t> GetSize(const FlagSet& flags, std::string_view name,
 Status RunServe(const FlagSet& flags, std::string* out) {
   Status ok = CheckFlags(flags, "serve");
   if (!ok.ok()) return ok;
+  // Export build identity from process start, not first stats scrape.
+  obs::RegisterBuildInfo(kern::Active().name);
 
   const std::string data_dir = flags.GetString("data-dir");
   if (data_dir.empty()) {
@@ -1105,6 +1137,176 @@ Status RunCall(const FlagSet& flags, std::string* out) {
   auto response = client->CallVerb(verb, std::move(body));
   if (!response.ok()) return response.status();
   Append(out, response->Render());
+  return Status::OK();
+}
+
+namespace {
+
+/// Connection parameters shared by the tail/top introspection commands.
+struct TailTarget {
+  std::string host;
+  int port = 0;
+  int timeout_ms = 0;
+};
+
+Result<TailTarget> ParseTailTarget(const FlagSet& flags) {
+  auto port = flags.GetInt("port", 0);
+  if (!port.ok()) return port.status();
+  if (*port <= 0 || *port > 65535) {
+    return Status::InvalidArgument("missing --port <server port>");
+  }
+  auto timeout = flags.GetInt("timeout-ms", 30000);
+  if (!timeout.ok()) return timeout.status();
+  TailTarget target;
+  target.host = flags.GetString("host", "127.0.0.1");
+  target.port = static_cast<int>(*port);
+  target.timeout_ms = static_cast<int>(*timeout);
+  return target;
+}
+
+/// One `tail` round trip on a fresh connection. Follow mode reconnects per
+/// poll rather than holding a connection open, so the server's idle timeout
+/// never kills a quiet tail.
+Result<svc::JsonValue> FetchTail(const TailTarget& target, long long count,
+                                 bool slow, uint64_t after_id,
+                                 double min_micros) {
+  auto client =
+      svc::Client::Connect(target.host, target.port, target.timeout_ms);
+  if (!client.ok()) return client.status();
+  svc::JsonValue body = svc::JsonValue::Object();
+  body.Set("count", svc::JsonValue::Number(static_cast<double>(count)));
+  if (slow) body.Set("slow", svc::JsonValue::Bool(true));
+  if (after_id > 0) {
+    body.Set("after_id",
+             svc::JsonValue::Number(static_cast<double>(after_id)));
+  }
+  if (min_micros > 0) {
+    body.Set("min_micros", svc::JsonValue::Number(min_micros));
+  }
+  auto response = client->CallVerb("tail", std::move(body));
+  if (!response.ok()) return response.status();
+  const svc::JsonValue* events = response->Find("events");
+  if (events == nullptr || !events->is_array()) {
+    return Status::Internal("tail response missing \"events\" array");
+  }
+  return std::move(response).value();
+}
+
+/// Micros for one phase out of an event's `phases` object (0 when the
+/// server omitted the phase because it never ran).
+double PhaseMicros(const svc::JsonValue& event, std::string_view phase) {
+  const svc::JsonValue* phases = event.Find("phases");
+  if (phases == nullptr) return 0.0;
+  const svc::JsonValue* v = phases->Find(phase);
+  return (v != nullptr && v->is_number()) ? v->as_number() : 0.0;
+}
+
+}  // namespace
+
+Status RunTail(const FlagSet& flags, std::string* out) {
+  Status ok = CheckFlags(flags, "tail");
+  if (!ok.ok()) return ok;
+  auto target = ParseTailTarget(flags);
+  if (!target.ok()) return target.status();
+  auto count = flags.GetInt("count", 20);
+  if (!count.ok()) return count.status();
+  if (*count < 1 || *count > 1000) {
+    return Status::InvalidArgument("--count must be in [1, 1000]");
+  }
+  auto after = flags.GetInt("after-id", 0);
+  if (!after.ok()) return after.status();
+  if (*after < 0) return Status::InvalidArgument("--after-id must be >= 0");
+  auto min_micros = flags.GetDouble("min-micros", 0.0);
+  if (!min_micros.ok()) return min_micros.status();
+  if (*min_micros < 0) {
+    return Status::InvalidArgument("--min-micros must be >= 0");
+  }
+  auto poll_ms = flags.GetInt("poll-ms", 500);
+  if (!poll_ms.ok()) return poll_ms.status();
+  if (*poll_ms < 1) return Status::InvalidArgument("--poll-ms must be >= 1");
+  const bool slow = flags.Has("slow");
+  const bool follow = flags.Has("follow");
+  if (slow && follow) {
+    return Status::InvalidArgument(
+        "--follow tails recent events; it cannot combine with --slow");
+  }
+
+  uint64_t cursor = static_cast<uint64_t>(*after);
+  bool first = true;
+  while (true) {
+    auto response = FetchTail(*target, *count, slow, cursor, *min_micros);
+    if (!response.ok()) {
+      // First fetch failing is a user-facing error (bad port, server not
+      // up). Later failures in follow mode mean the server went away —
+      // that's the documented way a tail ends, not an error.
+      if (first || !follow) return response.status();
+      return Status::OK();
+    }
+    first = false;
+    for (const svc::JsonValue& event : response->Find("events")->items()) {
+      const double id = event.GetNumber("id", 0.0);
+      if (id > 0 && static_cast<uint64_t>(id) > cursor) {
+        cursor = static_cast<uint64_t>(id);
+      }
+      if (follow) {
+        // Stream directly so `tail --follow | jq` sees events live.
+        std::fputs((event.Render() + "\n").c_str(), stdout);
+        std::fflush(stdout);
+      } else {
+        Append(out, event.Render());
+      }
+    }
+    if (!follow) return Status::OK();
+    std::this_thread::sleep_for(std::chrono::milliseconds(*poll_ms));
+  }
+}
+
+Status RunTop(const FlagSet& flags, std::string* out) {
+  Status ok = CheckFlags(flags, "top");
+  if (!ok.ok()) return ok;
+  auto target = ParseTailTarget(flags);
+  if (!target.ok()) return target.status();
+  auto count = flags.GetInt("count", 10);
+  if (!count.ok()) return count.status();
+  if (*count < 1 || *count > 1000) {
+    return Status::InvalidArgument("--count must be in [1, 1000]");
+  }
+  auto response = FetchTail(*target, *count, /*slow=*/true, /*after_id=*/0,
+                            /*min_micros=*/0.0);
+  if (!response.ok()) return response.status();
+
+  const auto& events = response->Find("events")->items();
+  Append(out, "slow-query ring: " + std::to_string(events.size()) +
+                  " retained (recorded " +
+                  std::to_string(static_cast<uint64_t>(
+                      response->GetNumber("recorded", 0.0))) +
+                  ", overwritten " +
+                  std::to_string(static_cast<uint64_t>(
+                      response->GetNumber("overwritten", 0.0))) +
+                  ")");
+  if (events.empty()) return Status::OK();
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "%8s %-9s %-18s %10s %9s %9s %9s %9s %9s %9s %8s %s", "id",
+                "verb", "outcome", "total_ms", "queue", "parse", "catchup",
+                "eval", "fsync", "serial", "records", "kernel");
+  Append(out, line);
+  for (const svc::JsonValue& event : events) {
+    std::snprintf(
+        line, sizeof(line),
+        "%8llu %-9s %-18s %10.3f %9.1f %9.1f %9.1f %9.1f %9.1f %9.1f %8llu "
+        "%s",
+        static_cast<unsigned long long>(event.GetNumber("id", 0.0)),
+        event.GetString("verb", "?").c_str(),
+        event.GetString("outcome", "?").c_str(),
+        event.GetNumber("total_us", 0.0) / 1000.0, PhaseMicros(event, "queue"),
+        PhaseMicros(event, "parse"), PhaseMicros(event, "catchup"),
+        PhaseMicros(event, "eval"), PhaseMicros(event, "fsync"),
+        PhaseMicros(event, "serialize"),
+        static_cast<unsigned long long>(event.GetNumber("records", 0.0)),
+        event.GetString("kernel", "-").c_str());
+    Append(out, line);
+  }
   return Status::OK();
 }
 

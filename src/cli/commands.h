@@ -39,6 +39,11 @@ namespace infoleak::cli {
 ///                [--fsync-interval-ms MS] [--snapshot-every N]]
 ///   call        --port P [--host H] [--timeout-ms MS]
 ///               (--request '<json line>' | --verb V [--body '{...}'])
+///   tail        --port P [--host H] [--count N] [--slow] [--after-id ID]
+///               [--min-micros US] [--follow [--poll-ms MS]]
+///               (stream a server's request event log as NDJSON)
+///   top         --port P [--host H] [--count N]
+///               (table of the server's slowest requests, phase by phase)
 ///   compact     --data-dir DIR  (offline snapshot + WAL reset)
 ///   selfcheck   [--cases N] [--seed S] [--engines naive,exact,...]
 ///               [--corpus DIR [--no-corpus-write]] [--naive-max K]
@@ -70,6 +75,8 @@ Status RunReidentify(const FlagSet& flags, std::string* out);
 Status RunStats(const FlagSet& flags, std::string* out);
 Status RunServe(const FlagSet& flags, std::string* out);
 Status RunCall(const FlagSet& flags, std::string* out);
+Status RunTail(const FlagSet& flags, std::string* out);
+Status RunTop(const FlagSet& flags, std::string* out);
 Status RunCompact(const FlagSet& flags, std::string* out);
 Status RunSelfCheck(const FlagSet& flags, std::string* out);
 

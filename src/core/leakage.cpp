@@ -9,6 +9,7 @@
 #include "core/polynomial.h"
 #include "core/possible_worlds.h"
 #include "obs/metrics.h"
+#include "obs/request.h"
 #include "obs/trace.h"
 #include "util/timer.h"
 
@@ -923,6 +924,14 @@ Result<double> SetLeakageColumnar(const ColumnBank& bank,
                                 "' has no columnar evaluation path");
   }
   obs::TraceSpan span("leakage/set_columnar");
+  // Request-scoped attribution covers every exit (success and
+  // cancellation); records are charged up front as the count visible to
+  // the scan.
+  obs::PhaseTimer eval_phase(options.ctx, obs::Phase::kEval);
+  if (options.ctx != nullptr) {
+    options.ctx->AddRecordsScanned(bank.size());
+    options.ctx->set_kernel_variant(kern::Active().name);
+  }
   WallTimer timer;
   const std::size_t check_every =
       options.check_every == 0 ? 1 : options.check_every;

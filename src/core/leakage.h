@@ -11,6 +11,10 @@
 #include "core/prepared.h"
 #include "core/record.h"
 #include "core/weights.h"
+
+namespace infoleak::obs {
+class RequestContext;
+}
 #include "util/result.h"
 
 namespace infoleak {
@@ -363,6 +367,13 @@ struct ColumnScanOptions {
   /// callback is polled from every worker and must be thread-safe.
   std::function<bool()> cancel;
   std::size_t check_every = 256;
+
+  /// Optional request-scoped attribution sink: when set, the scan charges
+  /// its wall time to the eval phase and reports the records visible to
+  /// the scan plus the dispatched kernel variant. Attribution happens on
+  /// the calling thread only (workers are joined before the scan returns),
+  /// so the context needs no synchronization.
+  obs::RequestContext* ctx = nullptr;
 };
 
 /// \brief Set leakage L0 over a column bank: max_i L(bank[i], p), with the

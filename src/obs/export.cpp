@@ -1,5 +1,6 @@
 #include "obs/export.h"
 
+#include "obs/trace.h"
 #include "util/string_util.h"
 
 namespace infoleak::obs {
@@ -179,6 +180,25 @@ std::string RenderJson(const MetricsSnapshot& snapshot,
   }
   out += "]}";
   return out;
+}
+
+std::string_view BuildVersion() {
+#ifdef INFOLEAK_VERSION
+  return INFOLEAK_VERSION;
+#else
+  return "unknown";
+#endif
+}
+
+void RegisterBuildInfo(std::string_view simd_variant) {
+  MetricsRegistry::Global()
+      .GetGauge("infoleak_build_info",
+                {{"version", std::string(BuildVersion())},
+                 {"simd", std::string(simd_variant)},
+                 {"tracing", INFOLEAK_TRACING_ENABLED ? "on" : "off"}},
+                "Build identity (value is always 1; the info lives in the "
+                "labels)")
+      .Set(1.0);
 }
 
 }  // namespace infoleak::obs

@@ -30,4 +30,16 @@ std::string RenderPrometheus(const MetricsSnapshot& snapshot,
 std::string RenderJson(const MetricsSnapshot& snapshot,
                        const ExportOptions& options = {});
 
+/// \brief Registers the `infoleak_build_info` gauge: value 1 with the
+/// build identity in the labels (`version`, the active SIMD `simd`
+/// variant, and whether the tracing instrumentation was compiled in) —
+/// the Prometheus "info metric" idiom, so both exporters carry it.
+/// `simd_variant` is the active kernel table's name; obs cannot see the
+/// kernel layer, so the caller passes it down. Idempotent.
+void RegisterBuildInfo(std::string_view simd_variant);
+
+/// The version string baked into `infoleak_build_info` (the CMake project
+/// version, or "unknown" in builds without one).
+std::string_view BuildVersion();
+
 }  // namespace infoleak::obs

@@ -1,0 +1,35 @@
+#include "obs/request.h"
+
+#include <atomic>
+
+namespace infoleak::obs {
+namespace {
+
+std::atomic<uint64_t> g_next_request_id{1};
+
+}  // namespace
+
+std::string_view PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kQueue: return "queue";
+    case Phase::kParse: return "parse";
+    case Phase::kCatchup: return "catchup";
+    case Phase::kEval: return "eval";
+    case Phase::kFsync: return "fsync";
+    case Phase::kSerialize: return "serialize";
+  }
+  return "unknown";
+}
+
+RequestContext::RequestContext() : start_ns_(TraceNowNanos()) {
+  event_.id = g_next_request_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+RequestEvent RequestContext::Finish() const {
+  RequestEvent event = event_;
+  event.total_nanos = event_.phase_nanos[static_cast<int>(Phase::kQueue)] +
+                      (TraceNowNanos() - start_ns_);
+  return event;
+}
+
+}  // namespace infoleak::obs

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/request.h"
 #include "obs/trace.h"
 #include "persist/snapshot.h"
 
@@ -154,14 +155,19 @@ DurableStore::~DurableStore() {
   if (wal_.is_open()) wal_.Sync();
 }
 
-Result<RecordId> DurableStore::Append(Record record) {
+Result<RecordId> DurableStore::Append(Record record,
+                                      obs::RequestContext* ctx) {
   bool want_snapshot = false;
   RecordId id;
   {
     std::lock_guard lock(append_mu_);
     // Log first: if the frame cannot be made durable the store must not
     // advance, or an acknowledged id could vanish on restart.
-    INFOLEAK_RETURN_IF_ERROR(wal_.Append(record));
+    {
+      obs::PhaseTimer fsync_phase(ctx, obs::Phase::kFsync);
+      INFOLEAK_RETURN_IF_ERROR(wal_.Append(record));
+    }
+    obs::PhaseTimer eval_phase(ctx, obs::Phase::kEval);
     id = store_.Append(std::move(record));
     if (options_.fsync == FsyncMode::kInterval) wal_dirty_.store(true);
     if (options_.snapshot_every > 0 &&

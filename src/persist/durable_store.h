@@ -12,6 +12,10 @@
 #include "store/record_store.h"
 #include "util/result.h"
 
+namespace infoleak::obs {
+class RequestContext;
+}
+
 namespace infoleak::persist {
 
 /// \brief A `RecordStore` with a durability contract: every `Append` is
@@ -92,8 +96,10 @@ class DurableStore {
 
   /// Persists `record` to the WAL (fsyncing per policy), then applies it to
   /// the in-memory store and returns its id. On a WAL write failure nothing
-  /// is applied and the error is returned — the caller must not ack.
-  Result<RecordId> Append(Record record);
+  /// is applied and the error is returned — the caller must not ack. `ctx`
+  /// (optional, borrowed for the call) receives the WAL write+fsync as the
+  /// fsync phase and the in-memory apply as the eval phase.
+  Result<RecordId> Append(Record record, obs::RequestContext* ctx = nullptr);
 
   /// Writes a snapshot of the current state now (synchronous).
   Status Snapshot();

@@ -48,6 +48,18 @@ obs::Histogram& FsyncSeconds() {
   return h;
 }
 
+obs::Histogram& SyncBatchBytes() {
+  // Powers of 4 from one small frame to 16 MiB: under kAlways every batch
+  // is one frame; under kInterval this is the burst a 25 ms tick flushes
+  // (the durability window a crash could lose).
+  static obs::Histogram& h = obs::MetricsRegistry::Global().GetHistogram(
+      "infoleak_wal_sync_batch_bytes", {},
+      "Bytes made durable by one WAL fsync (appended since the previous)",
+      {64, 256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304,
+       16777216});
+  return h;
+}
+
 }  // namespace
 
 Result<FsyncMode> ParseFsyncMode(std::string_view name) {
@@ -74,6 +86,7 @@ WalWriter::~WalWriter() {
 WalWriter::WalWriter(WalWriter&& other) noexcept
     : fd_(other.fd_),
       offset_(other.offset_),
+      unsynced_bytes_(other.unsynced_bytes_),
       mode_(other.mode_),
       path_(std::move(other.path_)) {
   other.fd_ = -1;
@@ -84,6 +97,7 @@ WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
     if (fd_ >= 0) ::close(fd_);
     fd_ = other.fd_;
     offset_ = other.offset_;
+    unsynced_bytes_ = other.unsynced_bytes_;
     mode_ = other.mode_;
     path_ = std::move(other.path_);
     other.fd_ = -1;
@@ -131,6 +145,7 @@ Status WalWriter::Append(const Record& record) {
 
   INFOLEAK_RETURN_IF_ERROR(WriteFully(fd_, frame.data(), frame.size()));
   offset_ += frame.size();
+  unsynced_bytes_ += frame.size();
   appends.Inc();
   if (mode_ == FsyncMode::kAlways) return Sync();
   return Status::OK();
@@ -141,6 +156,8 @@ Status WalWriter::Sync() {
   obs::HistogramTimer timer(FsyncSeconds());
   if (::fsync(fd_) != 0) return Errno("wal fsync");
   FsyncCounter(mode_).Inc();
+  SyncBatchBytes().Observe(static_cast<double>(unsynced_bytes_));
+  unsynced_bytes_ = 0;
   return Status::OK();
 }
 
@@ -148,6 +165,7 @@ Status WalWriter::Reset() {
   if (fd_ < 0) return Status::FailedPrecondition("wal is not open");
   if (::ftruncate(fd_, 0) != 0) return Errno("wal truncate");
   offset_ = 0;
+  unsynced_bytes_ = 0;
   return Sync();
 }
 

@@ -69,6 +69,7 @@ class WalWriter {
  private:
   int fd_ = -1;
   uint64_t offset_ = 0;
+  uint64_t unsynced_bytes_ = 0;  ///< appended since the last fsync
   FsyncMode mode_ = FsyncMode::kAlways;
   std::string path_;
 };

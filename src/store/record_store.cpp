@@ -6,6 +6,7 @@
 
 #include "core/record_io.h"
 #include "obs/metrics.h"
+#include "obs/request.h"
 #include "obs/trace.h"
 #include "util/file.h"
 
@@ -103,21 +104,26 @@ Result<double> RecordStore::Leakage(const Record& p, const WeightModel& wm,
 Result<double> RecordStore::SetLeak(const PreparedReference& ref,
                                     const LeakageEngine& engine,
                                     std::ptrdiff_t* argmax,
-                                    const std::function<bool()>& cancel) const {
+                                    const std::function<bool()>& cancel,
+                                    obs::RequestContext* ctx) const {
+  obs::PhaseTimer eval_phase(ctx, obs::Phase::kEval);
   std::shared_lock lock(mu_);
+  if (ctx != nullptr) ctx->AddRecordsScanned(db_.size());
   if (!cancel) return SetLeakageArgMax(db_, ref, engine, argmax);
   return SetLeakageArgMax(db_, ref, engine, argmax, cancel);
 }
 
 Result<double> RecordStore::SetLeakColumnar(
     ColumnBank& bank, std::shared_mutex& bank_mu, const LeakageEngine& engine,
-    std::ptrdiff_t* argmax, const std::function<bool()>& cancel) const {
+    std::ptrdiff_t* argmax, const std::function<bool()>& cancel,
+    obs::RequestContext* ctx) const {
   // Lock order is store-then-bank, always: the store's read lock pins the
   // database snapshot, then the bank catches up under its writer lock and
   // is scanned under its reader lock. Concurrent queries against the same
   // cached reference serialize only on the (usually empty) catch-up.
   std::shared_lock store_lock(mu_);
   {
+    obs::PhaseTimer catchup_phase(ctx, obs::Phase::kCatchup);
     std::unique_lock bank_lock(bank_mu);
     if (bank.size() > db_.size()) {
       return Status::Internal(
@@ -130,12 +136,16 @@ Result<double> RecordStore::SetLeakColumnar(
   std::shared_lock bank_lock(bank_mu);
   ColumnScanOptions options;
   options.cancel = cancel;
+  options.ctx = ctx;  // the scan itself charges the eval phase
   return SetLeakageColumnar(bank, engine, argmax, options);
 }
 
 Result<double> RecordStore::RecordLeak(RecordId id,
                                        const PreparedReference& ref,
-                                       const LeakageEngine& engine) const {
+                                       const LeakageEngine& engine,
+                                       obs::RequestContext* ctx) const {
+  obs::PhaseTimer eval_phase(ctx, obs::Phase::kEval);
+  if (ctx != nullptr) ctx->AddRecordsScanned(1);
   std::shared_lock lock(mu_);
   if (id >= db_.size()) {
     return Status::OutOfRange("no record with id " + std::to_string(id));

@@ -10,6 +10,10 @@
 #include "store/inverted_index.h"
 #include "util/result.h"
 
+namespace infoleak::obs {
+class RequestContext;
+}
+
 namespace infoleak {
 
 /// \brief A persistent, indexed record collection: the storage layer a
@@ -89,11 +93,13 @@ class RecordStore {
   /// `cancel` is polled periodically mid-scan so a deadline can abort a
   /// long evaluation with DeadlineExceeded. Holds the read lock for the
   /// whole scan: one consistent snapshot, bit-identical to `Leakage` on a
-  /// quiescent store.
+  /// quiescent store. `ctx` (optional, borrowed for the call) receives
+  /// eval-phase attribution and the records-scanned count.
   Result<double> SetLeak(const PreparedReference& ref,
                          const LeakageEngine& engine,
                          std::ptrdiff_t* argmax = nullptr,
-                         const std::function<bool()>& cancel = {}) const;
+                         const std::function<bool()>& cancel = {},
+                         obs::RequestContext* ctx = nullptr) const;
 
   /// Columnar serving path: extends the caller's `bank` with any records
   /// appended since its last use (under `bank_mu` exclusive), then scans it
@@ -102,16 +108,20 @@ class RecordStore {
   /// new since the previous query. The bank must have been built against
   /// this store's database (it grows only through this method); the store's
   /// read lock is held throughout for one consistent snapshot. Results are
-  /// bit-identical to `SetLeak` with the same reference.
+  /// bit-identical to `SetLeak` with the same reference. `ctx` (optional)
+  /// splits the time into catch-up (bank extension) and eval (the scan)
+  /// phases and reports records scanned plus the kernel variant.
   Result<double> SetLeakColumnar(ColumnBank& bank, std::shared_mutex& bank_mu,
                                  const LeakageEngine& engine,
                                  std::ptrdiff_t* argmax = nullptr,
-                                 const std::function<bool()>& cancel = {}) const;
+                                 const std::function<bool()>& cancel = {},
+                                 obs::RequestContext* ctx = nullptr) const;
 
   /// Record leakage L(r, p) of the stored record `id` against a prepared
   /// reference, through the engine's prepared path (string fallback).
   Result<double> RecordLeak(RecordId id, const PreparedReference& ref,
-                            const LeakageEngine& engine) const;
+                            const LeakageEngine& engine,
+                            obs::RequestContext* ctx = nullptr) const;
 
  private:
   mutable std::shared_mutex mu_;

@@ -19,7 +19,9 @@
 #include <thread>
 #include <vector>
 
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/request.h"
 #include "svc/queue.h"
 #include "util/string_util.h"
 
@@ -146,28 +148,50 @@ struct Server::Impl {
     while (queue.Pop(&task)) {
       Metrics().queue_depth.Set(static_cast<double>(queue.size()));
       const Clock::time_point start = Clock::now();
-      Metrics().queue_wait.Observe(
-          std::chrono::duration<double>(start - task.enqueued).count());
+      const double queue_wait =
+          std::chrono::duration<double>(start - task.enqueued).count();
+      Metrics().queue_wait.Observe(queue_wait);
+      // The worker owns this request's observability context: queue wait
+      // and wire parsing are charged here, the service fills in the rest,
+      // and every admitted request — parse failures and queue expiries
+      // included — emits exactly one event before its response is queued.
+      obs::RequestContext ctx;
+      ctx.set_bytes_in(task.line.size());
+      ctx.AddPhaseNanos(obs::Phase::kQueue,
+                        static_cast<uint64_t>(queue_wait * 1e9));
+      if (task.deadline != Clock::time_point::max()) {
+        ctx.set_deadline_nanos(static_cast<uint64_t>(
+            std::chrono::duration<double>(task.deadline - task.enqueued)
+                .count() *
+            1e9));
+      }
       std::string response;
       std::string code;
-      auto parsed = ParseRequest(task.line);
+      auto parsed = [&] {
+        obs::PhaseTimer parse_phase(&ctx, obs::Phase::kParse);
+        return ParseRequest(task.line);
+      }();
       if (!parsed.ok()) {
-        response = StatusResponse("", parsed.status());
+        ctx.set_verb("invalid");
         code = WireCode(parsed.status());
+        ctx.set_outcome(code);
+        response = StatusResponse("", parsed.status());
       } else if (task.deadline != Clock::time_point::max() &&
                  start > task.deadline) {
         DeadlineMissCounter("queue").Inc();
         n_deadline.fetch_add(1, std::memory_order_relaxed);
+        ctx.set_verb(parsed->verb);
+        code = "deadline_exceeded";
+        ctx.set_outcome(code);
         response = ErrorResponse(parsed->id, "deadline_exceeded",
                                  "request expired while queued");
-        code = "deadline_exceeded";
       } else {
         std::function<bool()> cancel;
         if (task.deadline != Clock::time_point::max()) {
           const Clock::time_point deadline = task.deadline;
           cancel = [deadline] { return Clock::now() > deadline; };
         }
-        response = service.Handle(*parsed, cancel, &code);
+        response = service.Handle(*parsed, cancel, &code, &ctx);
         if (code == "deadline_exceeded") {
           DeadlineMissCounter("eval").Inc();
           n_deadline.fetch_add(1, std::memory_order_relaxed);
@@ -179,6 +203,10 @@ struct Server::Impl {
           .Inc();
       Metrics().request_seconds.Observe(
           std::chrono::duration<double>(Clock::now() - start).count());
+      ctx.set_bytes_out(response.size());
+      // Emit before the response can reach the client: once a caller sees
+      // its reply, the matching event is already tail-able.
+      obs::EventLog::Global().Record(ctx.Finish());
       EnqueueResponse(task.conn, response);
     }
     workers_alive.fetch_sub(1, std::memory_order_acq_rel);

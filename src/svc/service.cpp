@@ -2,8 +2,12 @@
 
 #include <cmath>
 
+#include "core/kernels.h"
 #include "core/record_io.h"
+#include "obs/export.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/request.h"
 #include "obs/trace.h"
 #include "persist/durable_store.h"
 #include "util/timer.h"
@@ -26,7 +30,41 @@ std::string_view SpanName(const std::string& verb) {
   if (verb == "set-leak") return "svc/set-leak";
   if (verb == "resolve") return "svc/resolve";
   if (verb == "stats") return "svc/stats";
+  if (verb == "tail") return "svc/tail";
   return "svc/unknown";
+}
+
+/// One event-log entry as a response-embeddable JSON object — the same
+/// schema as obs::RenderEventJsonl (durations in microseconds, zero phases
+/// omitted), built through the wire JSON model so it nests in a response.
+JsonValue EventJson(const obs::RequestEvent& event) {
+  JsonValue v = JsonValue::Object();
+  v.Set("id", JsonValue::Number(static_cast<double>(event.id)));
+  v.Set("verb", JsonValue::Str(event.verb));
+  v.Set("outcome", JsonValue::Str(event.outcome));
+  v.Set("total_us",
+        JsonValue::Number(static_cast<double>(event.total_nanos) / 1000.0));
+  JsonValue phases = JsonValue::Object();
+  for (int i = 0; i < obs::kNumPhases; ++i) {
+    if (event.phase_nanos[i] == 0) continue;
+    phases.Set(std::string(obs::PhaseName(static_cast<obs::Phase>(i))),
+               JsonValue::Number(static_cast<double>(event.phase_nanos[i]) /
+                                 1000.0));
+  }
+  v.Set("phases", std::move(phases));
+  v.Set("records",
+        JsonValue::Number(static_cast<double>(event.records_scanned)));
+  if (!event.kernel.empty()) {
+    v.Set("kernel", JsonValue::Str(std::string(event.kernel)));
+  }
+  v.Set("bytes_in", JsonValue::Number(static_cast<double>(event.bytes_in)));
+  v.Set("bytes_out", JsonValue::Number(static_cast<double>(event.bytes_out)));
+  if (event.deadline_nanos != 0) {
+    v.Set("deadline_us",
+          JsonValue::Number(static_cast<double>(event.deadline_nanos) /
+                            1000.0));
+  }
+  return v;
 }
 
 /// Extracts a non-negative integral field; `required` distinguishes a
@@ -122,7 +160,8 @@ LeakageService::PrepareReference(const JsonValue& body) {
 }
 
 Result<JsonValue> LeakageService::Dispatch(
-    const Request& req, const std::function<bool()>& cancel) {
+    const Request& req, const std::function<bool()>& cancel,
+    obs::RequestContext* ctx) {
   const JsonValue& body = req.body;
   JsonValue out = OkResponse(req.id);
   out.Set("verb", JsonValue::Str(req.verb));
@@ -133,6 +172,7 @@ Result<JsonValue> LeakageService::Dispatch(
     // exercise shedding and deadline misses deterministically.
     const double burn_ms = body.GetNumber("burn_ms", 0.0);
     if (burn_ms > 0) {
+      obs::PhaseTimer eval_phase(ctx, obs::Phase::kEval);
       WallTimer timer;
       while (timer.ElapsedMillis() < burn_ms) {
         if (cancel && cancel()) {
@@ -149,7 +189,10 @@ Result<JsonValue> LeakageService::Dispatch(
       return Status::InvalidArgument(
           "missing string field \"record\" ({<label, value, conf>, ...})");
     }
-    auto record = ParseRecord(text->as_string());
+    auto record = [&] {
+      obs::PhaseTimer parse_phase(ctx, obs::Phase::kParse);
+      return ParseRecord(text->as_string());
+    }();
     if (!record.ok()) return record.status();
     if (record->empty()) {
       return Status::InvalidArgument("refusing to append an empty record");
@@ -158,10 +201,11 @@ Result<JsonValue> LeakageService::Dispatch(
     if (durable_ != nullptr) {
       // Durability before acknowledgement: the id only reaches the wire
       // after the WAL frame is down (fsynced under --fsync always).
-      auto appended = durable_->Append(std::move(record).value());
+      auto appended = durable_->Append(std::move(record).value(), ctx);
       if (!appended.ok()) return appended.status();
       id = *appended;
     } else {
+      obs::PhaseTimer eval_phase(ctx, obs::Phase::kEval);
       id = store_.Append(std::move(record).value());
     }
     out.Set("appended", JsonValue::Number(static_cast<double>(id)));
@@ -171,7 +215,10 @@ Result<JsonValue> LeakageService::Dispatch(
   }
 
   if (req.verb == "leak") {
-    auto entry = PrepareReference(body);
+    auto entry = [&] {
+      obs::PhaseTimer parse_phase(ctx, obs::Phase::kParse);
+      return PrepareReference(body);
+    }();
     if (!entry.ok()) return entry.status();
     auto engine = PickEngine(body);
     if (!engine.ok()) return engine.status();
@@ -183,8 +230,13 @@ Result<JsonValue> LeakageService::Dispatch(
       if (!text->is_string()) {
         return Status::InvalidArgument("field \"record\" must be a string");
       }
-      auto record = ParseRecord(text->as_string());
+      auto record = [&] {
+        obs::PhaseTimer parse_phase(ctx, obs::Phase::kParse);
+        return ParseRecord(text->as_string());
+      }();
       if (!record.ok()) return record.status();
+      obs::PhaseTimer eval_phase(ctx, obs::Phase::kEval);
+      if (ctx != nullptr) ctx->AddRecordsScanned(1);
       leakage = (*engine)->RecordLeakage(*record, (*entry)->reference,
                                          (*entry)->weights);
     } else {
@@ -197,7 +249,7 @@ Result<JsonValue> LeakageService::Dispatch(
                    : id.status();
       }
       leakage = ActiveStore().RecordLeak(static_cast<RecordId>(*id),
-                                         (*entry)->prepared, **engine);
+                                         (*entry)->prepared, **engine, ctx);
     }
     if (!leakage.ok()) return leakage.status();
     out.Set("leakage", JsonValue::Number(*leakage));
@@ -205,7 +257,10 @@ Result<JsonValue> LeakageService::Dispatch(
   }
 
   if (req.verb == "set-leak") {
-    auto entry = PrepareReference(body);
+    auto entry = [&] {
+      obs::PhaseTimer parse_phase(ctx, obs::Phase::kParse);
+      return PrepareReference(body);
+    }();
     if (!entry.ok()) return entry.status();
     auto engine = PickEngine(body);
     if (!engine.ok()) return engine.status();
@@ -216,9 +271,9 @@ Result<JsonValue> LeakageService::Dispatch(
     Result<double> leakage =
         (*engine)->SupportsColumnar()
             ? ActiveStore().SetLeakColumnar((*entry)->bank, (*entry)->bank_mu,
-                                            **engine, &argmax, cancel)
+                                            **engine, &argmax, cancel, ctx)
             : ActiveStore().SetLeak((*entry)->prepared, **engine, &argmax,
-                                    cancel);
+                                    cancel, ctx);
     if (!leakage.ok()) return leakage.status();
     out.Set("leakage", JsonValue::Number(*leakage));
     out.Set("argmax", JsonValue::Number(static_cast<double>(argmax)));
@@ -233,7 +288,10 @@ Result<JsonValue> LeakageService::Dispatch(
       return Status::InvalidArgument(
           "missing string field \"query\" ({<label, value, conf>, ...})");
     }
-    auto query = ParseRecord(text->as_string());
+    auto query = [&] {
+      obs::PhaseTimer parse_phase(ctx, obs::Phase::kParse);
+      return ParseRecord(text->as_string());
+    }();
     if (!query.ok()) return query.status();
     if (query->empty()) {
       return Status::InvalidArgument("resolve needs a non-empty query");
@@ -253,8 +311,12 @@ Result<JsonValue> LeakageService::Dispatch(
       }
     }
     std::vector<RecordId> members;
-    auto dossier = ActiveStore().Dossier(*query, labels, &members);
+    auto dossier = [&] {
+      obs::PhaseTimer eval_phase(ctx, obs::Phase::kEval);
+      return ActiveStore().Dossier(*query, labels, &members);
+    }();
     if (!dossier.ok()) return dossier.status();
+    if (ctx != nullptr) ctx->AddRecordsScanned(members.size());
     out.Set("dossier", JsonValue::Str(FormatRecord(*dossier)));
     out.Set("members",
             JsonValue::Number(static_cast<double>(members.size())));
@@ -281,11 +343,77 @@ Result<JsonValue> LeakageService::Dispatch(
             JsonValue::Number(static_cast<double>(cached_references())));
     JsonValue verbs = JsonValue::Object();
     for (const char* verb :
-         {"ping", "append", "leak", "set-leak", "resolve", "stats"}) {
+         {"ping", "append", "leak", "set-leak", "resolve", "stats", "tail"}) {
       verbs.Set(verb, JsonValue::Number(
                           static_cast<double>(VerbCounter(verb).Value())));
     }
     out.Set("requests", std::move(verbs));
+    auto& log = obs::EventLog::Global();
+    JsonValue events = JsonValue::Object();
+    events.Set("recorded",
+               JsonValue::Number(static_cast<double>(log.recorded())));
+    events.Set("overwritten",
+               JsonValue::Number(static_cast<double>(log.overwritten())));
+    out.Set("events", std::move(events));
+    // Slow-query summary: worst retained requests, slowest first.
+    JsonValue slow = JsonValue::Array();
+    for (const obs::RequestEvent& event : log.Slowest(5)) {
+      JsonValue entry = JsonValue::Object();
+      entry.Set("id", JsonValue::Number(static_cast<double>(event.id)));
+      entry.Set("verb", JsonValue::Str(event.verb));
+      entry.Set("total_us",
+                JsonValue::Number(static_cast<double>(event.total_nanos) /
+                                  1000.0));
+      slow.Push(std::move(entry));
+    }
+    out.Set("slow", std::move(slow));
+    obs::RegisterBuildInfo(kern::Active().name);
+    JsonValue build = JsonValue::Object();
+    build.Set("version", JsonValue::Str(std::string(obs::BuildVersion())));
+    build.Set("simd", JsonValue::Str(std::string(kern::Active().name)));
+    build.Set("tracing", JsonValue::Bool(INFOLEAK_TRACING_ENABLED != 0));
+    out.Set("build", std::move(build));
+    return out;
+  }
+
+  if (req.verb == "tail") {
+    auto& log = obs::EventLog::Global();
+    long long count = 20;
+    if (body.Find("count") != nullptr) {
+      auto parsed = GetIndex(body, "count");
+      if (!parsed.ok()) return parsed.status();
+      if (*parsed < 1 || *parsed > 1000) {
+        return Status::InvalidArgument("\"count\" must be in [1, 1000]");
+      }
+      count = *parsed;
+    }
+    uint64_t after_id = 0;
+    if (body.Find("after_id") != nullptr) {
+      auto parsed = GetIndex(body, "after_id");
+      if (!parsed.ok()) return parsed.status();
+      after_id = static_cast<uint64_t>(*parsed);
+    }
+    const double min_micros = body.GetNumber("min_micros", 0.0);
+    if (min_micros < 0) {
+      return Status::InvalidArgument("\"min_micros\" must be >= 0");
+    }
+    const bool slow = body.GetBool("slow", false);
+    // One response line with an `events` array — the protocol stays
+    // one-request/one-line; the CLI unfolds the array into NDJSON.
+    std::vector<obs::RequestEvent> events =
+        slow ? log.Slowest(static_cast<std::size_t>(count))
+             : log.Recent(static_cast<std::size_t>(count), after_id,
+                          static_cast<uint64_t>(min_micros * 1000.0));
+    obs::PhaseTimer serialize_phase(ctx, obs::Phase::kSerialize);
+    JsonValue arr = JsonValue::Array();
+    for (const obs::RequestEvent& event : events) {
+      arr.Push(EventJson(event));
+    }
+    out.Set("events", std::move(arr));
+    out.Set("recorded",
+            JsonValue::Number(static_cast<double>(log.recorded())));
+    out.Set("overwritten",
+            JsonValue::Number(static_cast<double>(log.overwritten())));
     return out;
   }
 
@@ -294,16 +422,35 @@ Result<JsonValue> LeakageService::Dispatch(
 
 std::string LeakageService::Handle(const Request& req,
                                    const std::function<bool()>& cancel,
-                                   std::string* wire_code) {
+                                   std::string* wire_code,
+                                   obs::RequestContext* ctx) {
+  // Whoever creates the context emits it: a caller-provided context (the
+  // server's worker loop) is only filled in here, while a null one means
+  // this call is the request's entire life and the event is emitted before
+  // returning.
+  obs::RequestContext local;
+  const bool owned = (ctx == nullptr);
+  obs::RequestContext* rc = owned ? &local : ctx;
+  rc->set_verb(req.verb);
+
   obs::TraceSpan span(SpanName(req.verb));
   VerbCounter(req.verb).Inc();
-  auto result = Dispatch(req, cancel);
+  auto result = Dispatch(req, cancel, rc);
+  std::string response;
   if (!result.ok()) {
+    rc->set_outcome(WireCode(result.status()));
     if (wire_code != nullptr) *wire_code = WireCode(result.status());
-    return StatusResponse(req.id, result.status());
+    obs::PhaseTimer serialize_phase(rc, obs::Phase::kSerialize);
+    response = StatusResponse(req.id, result.status());
+  } else {
+    rc->set_outcome("ok");
+    if (wire_code != nullptr) wire_code->clear();
+    obs::PhaseTimer serialize_phase(rc, obs::Phase::kSerialize);
+    response = result->Render();
   }
-  if (wire_code != nullptr) wire_code->clear();
-  return result->Render();
+  rc->set_bytes_out(response.size());
+  if (owned) obs::EventLog::Global().Record(rc->Finish());
+  return response;
 }
 
 }  // namespace infoleak::svc

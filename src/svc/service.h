@@ -17,6 +17,10 @@ namespace infoleak::persist {
 class DurableStore;
 }
 
+namespace infoleak::obs {
+class RequestContext;
+}
+
 namespace infoleak::svc {
 
 struct ServiceConfig {
@@ -38,8 +42,9 @@ struct ServiceConfig {
 /// many releases) is interned and prepared once, and every later `leak` /
 /// `set-leak` against it starts directly on the prepared fast path.
 ///
-/// Verbs: `ping`, `append`, `leak`, `set-leak`, `resolve`, `stats` — see
-/// protocol.h for the wire shapes and docs/service.md for the grammar.
+/// Verbs: `ping`, `append`, `leak`, `set-leak`, `resolve`, `stats`,
+/// `tail` — see protocol.h for the wire shapes and docs/service.md for
+/// the grammar.
 class LeakageService {
  public:
   explicit LeakageService(RecordStore store, ServiceConfig config = {});
@@ -56,9 +61,18 @@ class LeakageService {
   /// complete response line, without the trailing newline. When `wire_code`
   /// is given it receives the error code of a failed request ("" on
   /// success) so the caller can classify without re-parsing the line.
+  ///
+  /// `ctx` (optional, borrowed for the call) is the request-scoped
+  /// observability context. The creator of a context owns its emission:
+  /// when the caller passes one (the server's worker loop, which has
+  /// already charged queue wait and wire parsing to it), the caller emits
+  /// the finished event into the `obs::EventLog`; when `ctx` is null the
+  /// service creates a context of its own and emits it before returning —
+  /// so every completed request produces exactly one event either way.
   std::string Handle(const Request& req,
                      const std::function<bool()>& cancel = {},
-                     std::string* wire_code = nullptr);
+                     std::string* wire_code = nullptr,
+                     obs::RequestContext* ctx = nullptr);
 
   RecordStore& store() { return ActiveStore(); }
   const RecordStore& store() const {
@@ -93,7 +107,8 @@ class LeakageService {
       const JsonValue& body);
   Result<const LeakageEngine*> PickEngine(const JsonValue& body) const;
   Result<JsonValue> Dispatch(const Request& req,
-                             const std::function<bool()>& cancel);
+                             const std::function<bool()>& cancel,
+                             obs::RequestContext* ctx);
 
   /// The store queries run against: the durable store's when in durable
   /// mode, the owned in-memory one otherwise.

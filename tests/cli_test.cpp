@@ -4,6 +4,7 @@
 
 #include "cli/flags.h"
 #include "core/kernels.h"
+#include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -216,7 +217,7 @@ TEST(CliTest, HelpCommandAndHelpFlagAgree) {
   for (const char* command :
        {"leakage", "er", "incremental", "generate", "anonymize", "dipping",
         "enhance", "disinfo", "reidentify", "stats", "serve", "call",
-        "compact", "selfcheck"}) {
+        "tail", "top", "compact", "selfcheck"}) {
     std::string via_flag, via_help;
     ASSERT_TRUE(cli::Dispatch({command, "--help"}, &via_flag).ok());
     ASSERT_TRUE(cli::Dispatch({"help", command}, &via_help).ok());
@@ -235,7 +236,7 @@ TEST(CliTest, UsageListsEveryCommand) {
   for (const char* command :
        {"leakage", "er", "incremental", "generate", "anonymize", "dipping",
         "enhance", "disinfo", "reidentify", "stats", "serve", "call",
-        "compact", "selfcheck"}) {
+        "tail", "top", "compact", "selfcheck"}) {
     EXPECT_NE(out.find(std::string("  ") + command + " "), std::string::npos)
         << command;
   }
@@ -254,6 +255,34 @@ TEST(CliTest, CallWithoutPortFails) {
   Status st = cli::Dispatch({"call", "--verb", "ping"}, &out);
   ASSERT_FALSE(st.ok());
   EXPECT_NE(st.message().find("--port"), std::string::npos);
+}
+
+TEST(CliTest, TailAndTopValidateFlagsBeforeConnecting) {
+  std::string out;
+  Status st = cli::Dispatch({"tail"}, &out);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("--port"), std::string::npos);
+
+  st = cli::Dispatch({"tail", "--port", "1", "--count", "0"}, &out);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("--count"), std::string::npos);
+
+  st = cli::Dispatch({"tail", "--port", "1", "--min-micros", "-3"}, &out);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("--min-micros"), std::string::npos);
+
+  // --follow is a live recent-events stream; the slow ring is a snapshot.
+  st = cli::Dispatch({"tail", "--port", "1", "--slow", "--follow"}, &out);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("--follow"), std::string::npos);
+
+  st = cli::Dispatch({"top"}, &out);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("--port"), std::string::npos);
+
+  st = cli::Dispatch({"top", "--port", "1", "--count", "5000"}, &out);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("--count"), std::string::npos);
 }
 
 TEST(CliTest, LeakageCommandReproducesSection24) {
@@ -546,6 +575,26 @@ std::string SectionAfter(const std::string& out, const std::string& marker) {
   return pos == std::string::npos ? "" : out.substr(pos + marker.size());
 }
 
+/// Every stats render carries the build-info gauge (value 1, identity in
+/// the labels); the goldens parametrize on the build like they do for the
+/// kernel variant.
+std::string BuildInfoPromGolden() {
+  return "# HELP infoleak_build_info Build identity (value is always 1; "
+         "the info lives in the labels)\n"
+         "# TYPE infoleak_build_info gauge\n"
+         "infoleak_build_info{simd=\"" +
+         std::string(kern::Active().name) + "\",tracing=\"" +
+         (INFOLEAK_TRACING_ENABLED ? "on" : "off") + "\",version=\"" +
+         std::string(obs::BuildVersion()) + "\"} 1\n";
+}
+
+std::string BuildInfoJsonGolden() {
+  return "{\"name\":\"infoleak_build_info\",\"labels\":{\"simd\":\"" +
+         std::string(kern::Active().name) + "\",\"tracing\":\"" +
+         (INFOLEAK_TRACING_ENABLED ? "on" : "off") + "\",\"version\":\"" +
+         std::string(obs::BuildVersion()) + "\"},\"value\":1}";
+}
+
 TEST(CliStatsTest, LeakageStatsPrometheusGolden) {
   obs::MetricsRegistry::Global().ResetAll();
   std::string out;
@@ -574,7 +623,8 @@ TEST(CliStatsTest, LeakageStatsPrometheusGolden) {
       "# HELP infoleak_leakage_evaluations_total Record-leakage evaluations "
       "per engine (the hot-loop unit of work)\n"
       "# TYPE infoleak_leakage_evaluations_total counter\n"
-      "infoleak_leakage_evaluations_total{engine=\"exact\"} 6\n"
+      "infoleak_leakage_evaluations_total{engine=\"exact\"} 6\n" +
+      BuildInfoPromGolden() +
       "# HELP infoleak_prepared_path_hit_ratio Fraction of record "
       "evaluations served by the prepared fast path\n"
       "# TYPE infoleak_prepared_path_hit_ratio gauge\n"
@@ -602,8 +652,9 @@ TEST(CliStatsTest, LeakageStatsJsonGolden) {
       "\"},\"value\":6},"
       "{\"name\":\"infoleak_leakage_evaluations_total\","
       "\"labels\":{\"engine\":\"exact\"},\"value\":6}"
-      "],\"gauges\":["
-      "{\"name\":\"infoleak_prepared_path_hit_ratio\","
+      "],\"gauges\":[" +
+      BuildInfoJsonGolden() +
+      ",{\"name\":\"infoleak_prepared_path_hit_ratio\","
       "\"labels\":{},\"value\":1}"
       "],\"histograms\":[]}";
   EXPECT_EQ(SectionAfter(out, "--- metrics ---\n"), expected) << out;
@@ -635,7 +686,8 @@ TEST(CliStatsTest, ErStatsPrometheusGolden) {
       "infoleak_er_merges_total{resolver=\"transitive\"} 1\n"
       "# HELP infoleak_er_runs_total Entity-resolution runs\n"
       "# TYPE infoleak_er_runs_total counter\n"
-      "infoleak_er_runs_total{resolver=\"transitive\"} 1\n";
+      "infoleak_er_runs_total{resolver=\"transitive\"} 1\n" +
+      BuildInfoPromGolden();
   EXPECT_EQ(SectionAfter(out, "--- metrics ---\n"), expected) << out;
 }
 
@@ -659,7 +711,9 @@ TEST(CliStatsTest, ErStatsJsonGolden) {
       "\"labels\":{\"resolver\":\"transitive\"},\"value\":1},"
       "{\"name\":\"infoleak_er_runs_total\","
       "\"labels\":{\"resolver\":\"transitive\"},\"value\":1}"
-      "],\"gauges\":[],\"histograms\":[]}";
+      "],\"gauges\":[" +
+      BuildInfoJsonGolden() +
+      "],\"histograms\":[]}";
   EXPECT_EQ(SectionAfter(out, "--- metrics ---\n"), expected) << out;
 }
 

@@ -6,6 +6,8 @@
 
 #include "core/leakage.h"
 #include "core/record_io.h"
+#include "obs/log.h"
+#include "obs/request.h"
 #include "svc/json.h"
 
 namespace infoleak::svc {
@@ -179,6 +181,134 @@ TEST(LeakageServiceTest, CancelHookAbortsWithDeadlineExceeded) {
   ASSERT_TRUE(parsed.ok());
   EXPECT_FALSE(parsed->GetBool("ok", true));
   EXPECT_EQ(parsed->GetString("code"), "deadline_exceeded");
+}
+
+TEST(LeakageServiceTest, StatsReportsEventsSlowRingAndBuildInfo) {
+  obs::EventLog::Global().Clear();
+  LeakageService service = MakeService();
+  Handle(service, std::string(R"({"verb":"set-leak","reference":)") +
+                      JsonQuote(kReference) + "}");
+  JsonValue out = Handle(service, R"({"verb":"stats"})");
+  ASSERT_TRUE(out.GetBool("ok", false));
+  const JsonValue* events = out.Find("events");
+  ASSERT_NE(events, nullptr);
+  EXPECT_GE(events->GetNumber("recorded", -1), 1.0);
+  const JsonValue* slow = out.Find("slow");
+  ASSERT_NE(slow, nullptr);
+  ASSERT_TRUE(slow->is_array());
+  ASSERT_FALSE(slow->items().empty());
+  EXPECT_GT(slow->items()[0].GetNumber("total_us", 0.0), 0.0);
+  const JsonValue* build = out.Find("build");
+  ASSERT_NE(build, nullptr);
+  EXPECT_FALSE(build->GetString("version").empty());
+  EXPECT_FALSE(build->GetString("simd").empty());
+}
+
+TEST(LeakageServiceTest, HandleEmitsExactlyOneEventPerRequest) {
+  auto& log = obs::EventLog::Global();
+  log.Clear();
+  LeakageService service = MakeService();
+  Handle(service, R"({"verb":"ping"})");
+  Handle(service, std::string(R"({"verb":"set-leak","reference":)") +
+                      JsonQuote(kReference) + "}");
+  std::string code;
+  service.Handle(Req(R"({"verb":"warp"})"), {}, &code);  // error path too
+  EXPECT_EQ(log.recorded(), 3u);
+  const auto events = log.Recent(10);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].verb, "ping");
+  EXPECT_EQ(events[0].outcome, "ok");
+  EXPECT_EQ(events[1].verb, "set-leak");
+  EXPECT_EQ(events[1].outcome, "ok");
+  EXPECT_EQ(events[2].verb, "warp");
+  EXPECT_EQ(events[2].outcome, "invalid_argument");
+  // Ids are process-unique and increasing.
+  EXPECT_LT(events[0].id, events[1].id);
+  EXPECT_LT(events[1].id, events[2].id);
+  // A caller-provided context transfers emission ownership: the service
+  // must fill it in without recording it.
+  obs::RequestContext ctx;
+  service.Handle(Req(R"({"verb":"ping"})"), {}, nullptr, &ctx);
+  EXPECT_EQ(log.recorded(), 3u);
+  // ...but it still charges the phases it ran to the caller's context.
+  EXPECT_GT(ctx.phase_nanos(obs::Phase::kSerialize), 0u);
+}
+
+TEST(LeakageServiceTest, SetLeakEventCarriesPhaseBreakdown) {
+  auto& log = obs::EventLog::Global();
+  log.Clear();
+  LeakageService service = MakeService();
+  Handle(service, std::string(R"({"verb":"set-leak","reference":)") +
+                      JsonQuote(kReference) + "}");
+  const auto events = log.Recent(1);
+  ASSERT_EQ(events.size(), 1u);
+  const obs::RequestEvent& event = events[0];
+  EXPECT_EQ(event.verb, "set-leak");
+  EXPECT_EQ(event.outcome, "ok");
+  EXPECT_EQ(event.records_scanned, 3u);  // the whole store was scanned
+  // Parse (reference preparation), eval (the scan), and serialize
+  // (rendering) all ran, so each must carry time; the phase sum never
+  // exceeds the end-to-end total.
+  EXPECT_GT(event.phase_nanos[static_cast<int>(obs::Phase::kParse)], 0u);
+  EXPECT_GT(event.phase_nanos[static_cast<int>(obs::Phase::kEval)], 0u);
+  EXPECT_GT(event.phase_nanos[static_cast<int>(obs::Phase::kSerialize)], 0u);
+  uint64_t sum = 0;
+  for (uint64_t nanos : event.phase_nanos) sum += nanos;
+  EXPECT_LE(sum, event.total_nanos);
+}
+
+TEST(LeakageServiceTest, TailReturnsRecentEventsAndHonorsFilters) {
+  auto& log = obs::EventLog::Global();
+  log.Clear();
+  LeakageService service = MakeService();
+  Handle(service, R"({"verb":"ping"})");
+  Handle(service, std::string(R"({"verb":"set-leak","reference":)") +
+                      JsonQuote(kReference) + "}");
+  JsonValue out = Handle(service, R"({"verb":"tail"})");
+  ASSERT_TRUE(out.GetBool("ok", false)) << out.Render();
+  const JsonValue* events = out.Find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  // The tail request itself finishes only after its response is built, so
+  // it never appears in its own window.
+  ASSERT_EQ(events->items().size(), 2u);
+  const JsonValue& ping = events->items()[0];
+  const JsonValue& setleak = events->items()[1];
+  EXPECT_EQ(ping.GetString("verb"), "ping");
+  EXPECT_EQ(setleak.GetString("verb"), "set-leak");
+  EXPECT_EQ(setleak.GetString("outcome"), "ok");
+  EXPECT_GT(setleak.GetNumber("total_us", 0.0), 0.0);
+  const JsonValue* phases = setleak.Find("phases");
+  ASSERT_NE(phases, nullptr);
+  EXPECT_GT(phases->GetNumber("eval", 0.0), 0.0);
+  // Cursor filter: only events past the ping's id.
+  const double ping_id = ping.GetNumber("id", 0.0);
+  JsonValue after =
+      Handle(service, std::string(R"({"verb":"tail","after_id":)") +
+                          JsonNumber(ping_id) + "}");
+  const JsonValue* after_events = after.Find("events");
+  ASSERT_NE(after_events, nullptr);
+  // The set-leak plus the first tail request (which finished by now).
+  ASSERT_GE(after_events->items().size(), 2u);
+  EXPECT_EQ(after_events->items()[0].GetString("verb"), "set-leak");
+  // Slow view: the worst-retained ring renders through the same shape.
+  JsonValue slow = Handle(service, R"({"verb":"tail","slow":true,"count":1})");
+  const JsonValue* slow_events = slow.Find("events");
+  ASSERT_NE(slow_events, nullptr);
+  ASSERT_EQ(slow_events->items().size(), 1u);
+}
+
+TEST(LeakageServiceTest, TailValidatesItsArguments) {
+  LeakageService service = MakeService();
+  std::string code;
+  service.Handle(Req(R"({"verb":"tail","count":0})"), {}, &code);
+  EXPECT_EQ(code, "invalid_argument");
+  service.Handle(Req(R"({"verb":"tail","count":1001})"), {}, &code);
+  EXPECT_EQ(code, "invalid_argument");
+  service.Handle(Req(R"({"verb":"tail","count":2.5})"), {}, &code);
+  EXPECT_EQ(code, "invalid_argument");
+  service.Handle(Req(R"({"verb":"tail","min_micros":-1})"), {}, &code);
+  EXPECT_EQ(code, "invalid_argument");
 }
 
 }  // namespace
