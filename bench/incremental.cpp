@@ -1,0 +1,168 @@
+// Append->query latency for the incremental leakage index vs the columnar
+// rescan, swept over store size |R| in {1k, 10k, 100k}. Each round appends
+// one record through the service and then asks for the set leakage of the
+// same interned reference; with the index on the query is a lookup plus a
+// one-record delta (flat in |R|), with the index off every query rescans
+// the store (linear in |R|). Both modes must land on identical bits.
+// Writes the BENCH_incremental.json sidecar for CI.
+
+#include <algorithm>
+#include <cstdio>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "core/record_io.h"
+#include "gen/generator.h"
+#include "store/record_store.h"
+#include "svc/json.h"
+#include "svc/protocol.h"
+#include "svc/service.h"
+
+namespace infoleak::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct ModePoint {
+  uint64_t queries = 0;
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double leakage = 0.0;
+  double argmax = -1.0;
+  std::string path;
+};
+
+double PercentileUs(std::vector<double>& sorted_us, double q) {
+  if (sorted_us.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted_us.size() - 1) + 0.5);
+  return sorted_us[std::min(rank, sorted_us.size() - 1)];
+}
+
+/// One append->query round trip per iteration, service.Handle directly (no
+/// sockets: this measures the evaluation plane, not the network).
+Result<ModePoint> RunMode(const SyntheticDataset& data, std::size_t base,
+                          const std::vector<std::string>& appends,
+                          bool index_on) {
+  Database db;
+  for (std::size_t i = 0; i < base; ++i) db.Add(data.records[i]);
+  svc::ServiceConfig config;
+  config.enable_index = index_on;
+  svc::LeakageService service(RecordStore::FromDatabase(db), config);
+
+  const std::string set_leak =
+      std::string(R"({"verb":"set-leak","reference":)") +
+      svc::JsonQuote(FormatRecord(data.reference)) + "}";
+  auto set_leak_req = svc::ParseRequest(set_leak);
+  if (!set_leak_req.ok()) return set_leak_req.status();
+
+  // Warm-up registers the reference (and, index-on, pays the one-time
+  // catch-up over the base records) outside the timed region.
+  std::string last = service.Handle(*set_leak_req);
+
+  std::vector<double> micros;
+  micros.reserve(appends.size());
+  for (const std::string& append_line : appends) {
+    auto append_req = svc::ParseRequest(append_line);
+    if (!append_req.ok()) return append_req.status();
+    const Clock::time_point t0 = Clock::now();
+    std::string wire_code;
+    service.Handle(*append_req, {}, &wire_code);
+    if (!wire_code.empty()) return Status::Internal("append: " + wire_code);
+    last = service.Handle(*set_leak_req, {}, &wire_code);
+    if (!wire_code.empty()) return Status::Internal("set-leak: " + wire_code);
+    micros.push_back(std::chrono::duration<double, std::micro>(Clock::now() -
+                                                               t0)
+                         .count());
+  }
+
+  auto parsed = svc::ParseJson(last);
+  if (!parsed.ok()) return parsed.status();
+  ModePoint point;
+  point.queries = micros.size();
+  double sum = 0.0;
+  for (double us : micros) sum += us;
+  point.mean_us = micros.empty() ? 0.0 : sum / static_cast<double>(micros.size());
+  std::sort(micros.begin(), micros.end());
+  point.p50_us = PercentileUs(micros, 0.50);
+  point.p99_us = PercentileUs(micros, 0.99);
+  point.leakage = parsed->GetNumber("leakage", -1.0);
+  point.argmax = parsed->GetNumber("argmax", -2.0);
+  point.path = parsed->GetString("path", "?");
+  return point;
+}
+
+int Main() {
+  const std::vector<std::size_t> sizes{1000, 10000, 100000};
+  const int rounds = 64;
+
+  GeneratorConfig config = GeneratorConfig::Basic();
+  config.n = 20;
+  config.num_records = sizes.back() + static_cast<std::size_t>(rounds);
+  auto data = GenerateDataset(config);
+  if (!data.ok()) {
+    std::fprintf(stderr, "generate: %s\n", data.status().ToString().c_str());
+    return 1;
+  }
+
+  PrintTitle("bench_incremental: append->query latency, index vs rescan",
+             config.ToString() + " rounds=" + std::to_string(rounds));
+  BenchReport report("incremental", config.ToString(),
+                     {"records", "mode", "queries", "mean_us", "p50_us",
+                      "p99_us"});
+  RowPrinter rows(
+      {"records", "mode", "queries", "mean_us", "p50_us", "p99_us"}, 12,
+      &report);
+  for (std::size_t base : sizes) {
+    // The appended records come from past the base prefix so both modes
+    // see the same fresh rows.
+    std::vector<std::string> appends;
+    for (int i = 0; i < rounds; ++i) {
+      appends.push_back(
+          std::string(R"({"verb":"append","record":)") +
+          svc::JsonQuote(FormatRecord(
+              data->records[base + static_cast<std::size_t>(i)])) +
+          "}");
+    }
+    ModePoint got[2];
+    const bool modes[2] = {true, false};
+    const char* names[2] = {"index", "rescan"};
+    for (int m = 0; m < 2; ++m) {
+      auto point = RunMode(*data, base, appends, modes[m]);
+      if (!point.ok()) {
+        std::fprintf(stderr, "records=%zu mode=%s: %s\n", base, names[m],
+                     point.status().ToString().c_str());
+        return 1;
+      }
+      got[m] = *point;
+      rows.Row({std::to_string(base), names[m],
+                std::to_string(point->queries), Fmt(point->mean_us, 6),
+                Fmt(point->p50_us, 6), Fmt(point->p99_us, 6)});
+    }
+    // The speedup is only meaningful if both paths answered identically
+    // (and the fast mode really took the index path).
+    if (got[0].leakage != got[1].leakage || got[0].argmax != got[1].argmax ||
+        got[0].path != "index" || got[1].path != "scan") {
+      std::fprintf(stderr,
+                   "index/rescan disagree at records=%zu: "
+                   "leakage %.17g (%s) vs %.17g (%s), argmax %g vs %g\n",
+                   base, got[0].leakage, got[0].path.c_str(), got[1].leakage,
+                   got[1].path.c_str(), got[0].argmax, got[1].argmax);
+      return 1;
+    }
+  }
+  Status written = report.WriteFile(".");
+  if (!written.ok()) {
+    std::fprintf(stderr, "write: %s\n", written.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace infoleak::bench
+
+int main() { return infoleak::bench::Main(); }

@@ -8,7 +8,9 @@
 # All runs must be 100% green. Each full pass also end-to-end smoke-tests
 # the query service (serve on an ephemeral port, round-trip
 # ping/append/leak/set-leak/stats through `infoleak call`, then SIGTERM
-# and require a clean graceful drain) and runs the differential selfcheck
+# and require a clean graceful drain), smoke-tests the incremental leakage
+# index (index-path set-leaks under appends, `subscribe` deltas, compact
+# mid-load, kill -9 rebuild) and runs the differential selfcheck
 # harness (`infoleak selfcheck`): every engine and path must agree on
 # 2000 adversarial cases plus the checked-in regression corpus.
 #
@@ -169,6 +171,95 @@ smoke_crash() {
   echo "=== [${dir}] crash-recovery smoke OK (${n} appends survived kill -9) ==="
 }
 
+# Incremental-index smoke: serve a durable store with the leakage index on
+# (the default), interleave appends with set-leak load and require every
+# answer off the index path, stream the per-append deltas over `subscribe`,
+# compact mid-load (WAL reset -> epoch bump -> rebuild), check the stats
+# hit/invalidation counters, then kill -9 and require the recovered index
+# to reproduce the pre-crash answer bit for bit.
+smoke_inc() {
+  local dir="$1"
+  local bin="${dir}/src/cli/infoleak"
+  local log="${dir}/inc_smoke.log"
+  local data
+  data="$(mktemp -d "${dir}/inc-data-XXXXXX")"
+  echo "=== [${dir}] incremental-index smoke test ==="
+
+  local pid port
+  start_inc() {
+    "${bin}" serve --data-dir "${data}" --fsync always --port 0 \
+        --workers 2 >"${log}" 2>&1 &
+    pid=$!
+    port=""
+    for _ in $(seq 1 100); do
+      port="$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' "${log}" | head -n1)"
+      [[ -n "${port}" ]] && break
+      kill -0 "${pid}" 2>/dev/null || break
+      sleep 0.1
+    done
+    if [[ -z "${port}" ]]; then
+      echo "inc serve never reported a listening port:"
+      cat "${log}"
+      kill "${pid}" 2>/dev/null || true
+      return 1
+    fi
+  }
+
+  start_inc
+  local ref='{<N, inc1>, <C, c1>}'
+  local body="{\"reference\":\"${ref}\"}"
+  "${bin}" call --port "${port}" --verb append \
+      --body '{"record":"{<N, inc1, 0.9>, <C, c1, 0.8>}"}' >/dev/null
+  # The first set-leak registers the index; every answer must come off it.
+  "${bin}" call --port "${port}" --verb set-leak --body "${body}" \
+      | grep -q '"path":"index"'
+  for i in $(seq 2 20); do
+    "${bin}" call --port "${port}" --verb append \
+        --body "{\"record\":\"{<N, inc${i}, 0.9>, <C, c${i}, 0.8>}\"}" \
+        >/dev/null
+    if (( i % 5 == 0 )); then
+      "${bin}" call --port "${port}" --verb set-leak --body "${body}" \
+          | grep -q '"path":"index"'
+    fi
+  done
+  # The change feed streams the per-append deltas with a resumable cursor.
+  "${bin}" subscribe --port "${port}" --reference-text "${ref}" \
+      --max-events 5 | grep -q '"seq":1'
+  # Compact mid-load: WAL reset -> epoch bump -> the index rebuilds and the
+  # next query still answers off it.
+  "${bin}" call --port "${port}" --verb compact | grep -q '"epoch":'
+  "${bin}" call --port "${port}" --verb append \
+      --body '{"record":"{<N, inc21, 0.9>, <C, c21, 0.8>}"}' >/dev/null
+  local answer_before
+  answer_before="$("${bin}" call --port "${port}" --verb set-leak \
+      --body "${body}")"
+  echo "${answer_before}" | grep -q '"path":"index"'
+  echo "${answer_before}" | grep -q '"records":21'
+  local stats_out
+  stats_out="$("${bin}" call --port "${port}" --verb stats)"
+  echo "${stats_out}" | grep -q '"index":{"enabled":true'
+  echo "${stats_out}" | grep -Eq '"hits":[1-9]'
+  echo "${stats_out}" | grep -Eq '"invalidations":[1-9]'
+  # kill -9: recovery replays snapshot+WAL and rebuilds the index; the
+  # answer must not move by a bit.
+  kill -9 "${pid}"
+  wait "${pid}" 2>/dev/null || true
+  start_inc
+  local answer_after
+  answer_after="$("${bin}" call --port "${port}" --verb set-leak \
+      --body "${body}")"
+  kill -TERM "${pid}"
+  wait "${pid}"
+  if [[ "${answer_before}" != "${answer_after}" ]]; then
+    echo "set-leak answer changed across kill -9 index rebuild:"
+    echo "  before: ${answer_before}"
+    echo "  after:  ${answer_after}"
+    return 1
+  fi
+  rm -rf "${data}"
+  echo "=== [${dir}] incremental-index smoke OK (21 records, index path) ==="
+}
+
 # Differential selfcheck smoke: replay the regression corpus, then fuzz
 # 2000 adversarial cases through every engine and path (offline, served,
 # durable-recovery). Any cross-engine disagreement fails the gate.
@@ -194,16 +285,18 @@ run_tsan_pass() {
   cmake --build "${dir}" -j "${JOBS}"
   echo "=== [${dir}] ctest (concurrency subset) ==="
   ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -R \
-    'Concurrency|Columnar|SvcServer|SvcQueue|SvcService|Persist|Streaming|Metrics|Trace|EventLog|SelfCheckRun'
+    'Concurrency|Columnar|SvcServer|SvcQueue|SvcService|Persist|Streaming|Metrics|Trace|EventLog|SelfCheckRun|Inc'
 }
 
 run_pass build-ci-release
 smoke_serve build-ci-release
 smoke_crash build-ci-release
+smoke_inc build-ci-release
 smoke_selfcheck build-ci-release
 run_pass build-ci-asan -DINFOLEAK_SANITIZE=address
 smoke_serve build-ci-asan
 smoke_crash build-ci-asan
+smoke_inc build-ci-asan
 smoke_selfcheck build-ci-asan
 # Forced-scalar pass: the SIMD kernel tables are compiled out, so every
 # engine runs the scalar reference kernels. The full suite plus selfcheck

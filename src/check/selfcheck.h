@@ -23,6 +23,12 @@ struct SelfCheckConfig {
   /// Append every record to a durable store, recover it at the end of the
   /// run, and demand bit-identical answers pre- and post-recovery.
   bool check_durable = true;
+  /// Drive a seeded append/query/compact interleaving through a served
+  /// durable store (the index-backed set-leak path) and demand every wire
+  /// answer be bit-identical to a cold columnar rescan of a mirror — the
+  /// materialized view must never drift from the scan it stands in for,
+  /// across any prefix of the interleaving, including across WAL resets.
+  bool check_inc = true;
   /// Regression corpus directory; "" skips replay. Replayed before
   /// generation so a regression fails fast.
   std::string corpus_dir;

@@ -185,6 +185,10 @@ constexpr FlagDoc kServeFlags[] = {
                           "(default 25)"},
     {"snapshot-every", "background-snapshot every N appends; 0 disables "
                        "(default 0)"},
+    {"no-index", "disable the incremental leakage index; every set-leak "
+                 "rescans and `subscribe` is refused"},
+    {"index-topk", "top-k entries each leakage index maintains; the k-th "
+                   "value is the bounds-skip threshold (default 8)"},
 };
 
 constexpr FlagDoc kCallFlags[] = {
@@ -193,7 +197,8 @@ constexpr FlagDoc kCallFlags[] = {
     {"timeout-ms", "connect/receive timeout (default 30000)"},
     {"request", "raw request line to send verbatim, e.g. "
                 "'{\"verb\":\"ping\"}'"},
-    {"verb", "request verb: ping|append|leak|set-leak|resolve|stats"},
+    {"verb", "request verb: ping|append|leak|set-leak|resolve|subscribe|"
+             "compact|stats"},
     {"body", "JSON object merged into the request built from --verb"},
 };
 
@@ -208,6 +213,23 @@ constexpr FlagDoc kTailFlags[] = {
     {"min-micros", "only events at least this slow end to end"},
     {"follow", "keep polling for new events until the server goes away"},
     {"poll-ms", "polling cadence for --follow (default 500)"},
+};
+
+constexpr FlagDoc kSubscribeFlags[] = {
+    {"host", "server address (default 127.0.0.1)"},
+    {"port", "server port (required)"},
+    {"timeout-ms", "connect/receive timeout (default 30000)"},
+    {"reference", "reference record file"},
+    {"reference-text", "inline reference record \"{...}\""},
+    {"weights", "weight spec \"Label=2,...\""},
+    {"engine", "leakage engine the index maintains: auto|naive|exact|approx "
+               "(default auto)"},
+    {"max-events", "events per fetch, oldest first (default 64, max 1000)"},
+    {"after-seq", "resume after this delta cursor (default 0: from the "
+                  "oldest retained event)"},
+    {"wait-ms", "server-side long-poll when no events are pending "
+                "(default 0, max 10000)"},
+    {"follow", "keep polling for new deltas until the server goes away"},
 };
 
 constexpr FlagDoc kTopFlags[] = {
@@ -226,7 +248,7 @@ constexpr FlagDoc kSelfCheckFlags[] = {
     {"seed", "deterministic run seed; a (seed, case) pair always "
              "reproduces (default 1)"},
     {"engines", "comma list of checks to run: naive,exact,approx,mc,"
-                "bounds,batch,auto,served,durable (default all)"},
+                "bounds,batch,auto,served,durable,inc (default all)"},
     {"corpus", "regression corpus directory: replay every *.case before "
                "generating, write new minimized findings back"},
     {"no-corpus-write", "replay the corpus but do not add new entries"},
@@ -271,6 +293,8 @@ constexpr CommandDoc kCommands[] = {
      RunCall},
     {"tail", "stream a server's request event log as NDJSON", kTailFlags,
      RunTail},
+    {"subscribe", "stream a server's per-append leakage deltas as NDJSON",
+     kSubscribeFlags, RunSubscribe},
     {"top", "show a server's slowest requests, phase by phase", kTopFlags,
      RunTop},
     {"compact", "rewrite a durable store's snapshot and reset its WAL",
@@ -1028,6 +1052,13 @@ Status RunServe(const FlagSet& flags, std::string* out) {
                             service_config.max_cached_references);
   if (!cache_refs.ok()) return cache_refs.status();
   service_config.max_cached_references = *cache_refs;
+  service_config.enable_index = !flags.Has("no-index");
+  auto index_topk = GetSize(flags, "index-topk", service_config.index_top_k);
+  if (!index_topk.ok()) return index_topk.status();
+  if (*index_topk == 0) {
+    return Status::InvalidArgument("--index-topk must be >= 1");
+  }
+  service_config.index_top_k = *index_topk;
 
   svc::ServerConfig config;
   config.host = flags.GetString("host", config.host);
@@ -1261,6 +1292,104 @@ Status RunTail(const FlagSet& flags, std::string* out) {
   }
 }
 
+Status RunSubscribe(const FlagSet& flags, std::string* out) {
+  Status ok = CheckFlags(flags, "subscribe");
+  if (!ok.ok()) return ok;
+  auto target = ParseTailTarget(flags);
+  if (!target.ok()) return target.status();
+  std::string reference;
+  if (flags.Has("reference-text")) {
+    reference = flags.GetString("reference-text");
+  } else {
+    const std::string path = flags.GetString("reference");
+    if (path.empty()) {
+      return Status::InvalidArgument(
+          "missing --reference <file> (or --reference-text \"{...}\")");
+    }
+    auto text = ReadFileToString(path);
+    if (!text.ok()) return text.status();
+    reference = *text;
+  }
+  while (!reference.empty() &&
+         (reference.back() == '\n' || reference.back() == '\r')) {
+    reference.pop_back();
+  }
+  auto max_events = flags.GetInt("max-events", 64);
+  if (!max_events.ok()) return max_events.status();
+  if (*max_events < 1 || *max_events > 1000) {
+    return Status::InvalidArgument("--max-events must be in [1, 1000]");
+  }
+  auto after = flags.GetInt("after-seq", 0);
+  if (!after.ok()) return after.status();
+  if (*after < 0) return Status::InvalidArgument("--after-seq must be >= 0");
+  auto wait_ms = flags.GetInt("wait-ms", 0);
+  if (!wait_ms.ok()) return wait_ms.status();
+  if (*wait_ms < 0 || *wait_ms > 10000) {
+    return Status::InvalidArgument("--wait-ms must be in [0, 10000]");
+  }
+  const bool follow = flags.Has("follow");
+  // Follow mode long-polls server-side so a quiet feed does not spin;
+  // a single fetch defaults to "whatever the ring holds right now".
+  const long long poll_wait = *wait_ms > 0 ? *wait_ms : 500;
+
+  uint64_t cursor = static_cast<uint64_t>(*after);
+  bool first = true;
+  while (true) {
+    // Reconnect per poll (like `tail --follow`) so the server's idle
+    // timeout never kills a quiet subscription.
+    auto response = [&]() -> Result<svc::JsonValue> {
+      auto client =
+          svc::Client::Connect(target->host, target->port, target->timeout_ms);
+      if (!client.ok()) return client.status();
+      svc::JsonValue body = svc::JsonValue::Object();
+      body.Set("reference", svc::JsonValue::Str(reference));
+      if (flags.Has("weights")) {
+        body.Set("weights", svc::JsonValue::Str(flags.GetString("weights")));
+      }
+      body.Set("engine",
+               svc::JsonValue::Str(flags.GetString("engine", "auto")));
+      body.Set("max_events",
+               svc::JsonValue::Number(static_cast<double>(*max_events)));
+      if (cursor > 0) {
+        body.Set("after_seq",
+                 svc::JsonValue::Number(static_cast<double>(cursor)));
+      }
+      const long long wait = follow ? poll_wait : *wait_ms;
+      if (wait > 0) {
+        body.Set("wait_ms", svc::JsonValue::Number(static_cast<double>(wait)));
+      }
+      auto r = client->CallVerb("subscribe", std::move(body));
+      if (!r.ok()) return r.status();
+      const svc::JsonValue* events = r->Find("events");
+      if (events == nullptr || !events->is_array()) {
+        return Status::Internal("subscribe response missing \"events\" array");
+      }
+      return std::move(r).value();
+    }();
+    if (!response.ok()) {
+      // First fetch failing is a user-facing error; later failures in
+      // follow mode mean the server went away — the documented way a
+      // subscription ends, not an error.
+      if (first || !follow) return response.status();
+      return Status::OK();
+    }
+    first = false;
+    for (const svc::JsonValue& event : response->Find("events")->items()) {
+      if (follow) {
+        std::fputs((event.Render() + "\n").c_str(), stdout);
+        std::fflush(stdout);
+      } else {
+        Append(out, event.Render());
+      }
+    }
+    const double next = response->GetNumber("cursor", 0.0);
+    if (next > 0 && static_cast<uint64_t>(next) > cursor) {
+      cursor = static_cast<uint64_t>(next);
+    }
+    if (!follow) return Status::OK();
+  }
+}
+
 Status RunTop(const FlagSet& flags, std::string* out) {
   Status ok = CheckFlags(flags, "top");
   if (!ok.ok()) return ok;
@@ -1371,6 +1500,7 @@ Status RunSelfCheck(const FlagSet& flags, std::string* out) {
     config.oracle.check_auto = false;
     config.check_served = false;
     config.check_durable = false;
+    config.check_inc = false;
     for (const std::string& engine :
          Split(flags.GetString("engines"), ',')) {
       if (engine == "naive") config.oracle.check_naive = true;
@@ -1382,16 +1512,19 @@ Status RunSelfCheck(const FlagSet& flags, std::string* out) {
       else if (engine == "auto") config.oracle.check_auto = true;
       else if (engine == "served") config.check_served = true;
       else if (engine == "durable") config.check_durable = true;
+      else if (engine == "inc") config.check_inc = true;
       else if (engine == "all") {
         config.oracle = check::OracleConfig();
         config.oracle.naive_max = static_cast<std::size_t>(*naive_max);
         config.oracle.mc_samples = static_cast<std::size_t>(*mc_samples);
         config.check_served = true;
         config.check_durable = true;
+        config.check_inc = true;
       } else {
         return Status::InvalidArgument(
             "unknown --engines entry '" + engine +
-            "' (naive,exact,approx,mc,bounds,batch,auto,served,durable,all)");
+            "' (naive,exact,approx,mc,bounds,batch,auto,served,durable,inc,"
+            "all)");
       }
     }
   }

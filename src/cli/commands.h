@@ -35,6 +35,7 @@ namespace infoleak::cli {
 ///   serve       [--port P] [--workers N] [--queue-depth D]
 ///               [--deadline-ms MS] [--idle-timeout-ms MS]
 ///               [--max-frame-bytes B] [--cache-refs N] [--db <csv>]
+///               [--no-index] [--index-topk K]
 ///               [--data-dir DIR [--fsync always|interval|never]
 ///                [--fsync-interval-ms MS] [--snapshot-every N]]
 ///   call        --port P [--host H] [--timeout-ms MS]
@@ -42,6 +43,10 @@ namespace infoleak::cli {
 ///   tail        --port P [--host H] [--count N] [--slow] [--after-id ID]
 ///               [--min-micros US] [--follow [--poll-ms MS]]
 ///               (stream a server's request event log as NDJSON)
+///   subscribe   --port P --reference <file|--reference-text "{...}">
+///               [--weights N=2,..] [--engine auto|naive|exact|approx]
+///               [--max-events N] [--after-seq S] [--wait-ms MS] [--follow]
+///               (stream a server's per-append leakage deltas as NDJSON)
 ///   top         --port P [--host H] [--count N]
 ///               (table of the server's slowest requests, phase by phase)
 ///   compact     --data-dir DIR  (offline snapshot + WAL reset)
@@ -76,6 +81,7 @@ Status RunStats(const FlagSet& flags, std::string* out);
 Status RunServe(const FlagSet& flags, std::string* out);
 Status RunCall(const FlagSet& flags, std::string* out);
 Status RunTail(const FlagSet& flags, std::string* out);
+Status RunSubscribe(const FlagSet& flags, std::string* out);
 Status RunTop(const FlagSet& flags, std::string* out);
 Status RunCompact(const FlagSet& flags, std::string* out);
 Status RunSelfCheck(const FlagSet& flags, std::string* out);

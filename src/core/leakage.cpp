@@ -1000,6 +1000,27 @@ Result<std::vector<double>> BatchLeakageColumnar(const ColumnBank& bank,
   return out;
 }
 
+Result<double> BankRecordLeakage(const ColumnBank& bank, std::size_t index,
+                                 const LeakageEngine& engine,
+                                 LeakageWorkspace* ws) {
+  if (!engine.SupportsColumnar()) {
+    return Status::NotSupported("engine '" + std::string(engine.name()) +
+                                "' has no columnar evaluation path");
+  }
+  if (index >= bank.size()) {
+    return Status::OutOfRange("bank record " + std::to_string(index) +
+                              " out of range (bank holds " +
+                              std::to_string(bank.size()) + ")");
+  }
+  const PreparedReference& p = bank.reference();
+  LeakageWorkspace scratch;
+  LeakageWorkspace* w = ws != nullptr ? ws : &scratch;
+  w->ReserveFor(bank.max_record_size(), p.size());
+  Result<double> l = engine.RecordLeakageColumnar(bank.view(index), p, w);
+  if (l.ok()) ColumnarPathCounter().Inc(1);
+  return l;
+}
+
 std::unique_ptr<LeakageEngine> MakeDefaultEngine() {
   return std::make_unique<AutoLeakage>();
 }

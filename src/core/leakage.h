@@ -391,6 +391,18 @@ Result<double> SetLeakageColumnar(const ColumnBank& bank,
 Result<std::vector<double>> BatchLeakageColumnar(const ColumnBank& bank,
                                                  const LeakageEngine& engine);
 
+/// \brief Single-record columnar evaluation: L(bank[index], p) through the
+/// engine's columnar kernels, reusing the caller's workspace across calls.
+/// This is the delta-maintenance entry point — an incremental maintainer
+/// evaluates exactly the records appended since its last run, and because
+/// the per-record computation is the same one ScanColumnRange performs, a
+/// sequence of these calls is bit-identical to a cold scan over the same
+/// bank. NotSupported for engines without a columnar path; `ws` may be
+/// null (a scratch workspace is then used).
+Result<double> BankRecordLeakage(const ColumnBank& bank, std::size_t index,
+                                 const LeakageEngine& engine,
+                                 LeakageWorkspace* ws = nullptr);
+
 /// \brief Convenience factory for the dispatching engine.
 std::unique_ptr<LeakageEngine> MakeDefaultEngine();
 

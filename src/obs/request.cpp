@@ -16,6 +16,7 @@ std::string_view PhaseName(Phase phase) {
     case Phase::kCatchup: return "catchup";
     case Phase::kEval: return "eval";
     case Phase::kFsync: return "fsync";
+    case Phase::kPublish: return "publish";
     case Phase::kSerialize: return "serialize";
   }
   return "unknown";

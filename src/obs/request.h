@@ -23,6 +23,8 @@ namespace infoleak::obs {
 ///   kEval      the evaluation proper (kernel scan, record leakage,
 ///              dossier expansion, in-memory store apply)
 ///   kFsync     WAL append + fsync on the durable append path
+///   kPublish   change-feed fan-out on the append path: pushing the delta
+///              into every registered leakage index
 ///   kSerialize rendering the response line
 enum class Phase : int {
   kQueue = 0,
@@ -30,10 +32,11 @@ enum class Phase : int {
   kCatchup,
   kEval,
   kFsync,
+  kPublish,
   kSerialize,
 };
 
-inline constexpr int kNumPhases = 6;
+inline constexpr int kNumPhases = 7;
 
 /// Stable lowercase name ("queue", "parse", ...) used as the `phase` label
 /// and the event-log JSON key.

@@ -167,8 +167,9 @@ Result<RecordId> DurableStore::Append(Record record,
       obs::PhaseTimer fsync_phase(ctx, obs::Phase::kFsync);
       INFOLEAK_RETURN_IF_ERROR(wal_.Append(record));
     }
-    obs::PhaseTimer eval_phase(ctx, obs::Phase::kEval);
-    id = store_.Append(std::move(record));
+    // The store attributes the in-memory apply (eval) and the change-feed
+    // fan-out (publish) itself.
+    id = store_.Append(std::move(record), ctx);
     if (options_.fsync == FsyncMode::kInterval) wal_dirty_.store(true);
     if (options_.snapshot_every > 0 &&
         ++appends_since_snapshot_ >= options_.snapshot_every) {
@@ -236,6 +237,13 @@ Status DurableStore::Compact() {
   last_snapshot_records_.store(db.size());
   appends_since_snapshot_ = 0;
   compactions.Inc();
+  // The WAL — the change feed's CDC source — just restarted: fence every
+  // derived index with an epoch bump so it re-fences and rebuilds in the
+  // background. Published while appends are still held off, so no delta
+  // from the new log can be observed under the old epoch.
+  if (inc::ChangeFeed* feed = store_.change_feed(); feed != nullptr) {
+    feed->PublishEpochBump("compact");
+  }
   return PruneSnapshots(1);
 }
 

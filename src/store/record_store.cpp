@@ -15,13 +15,18 @@ namespace infoleak {
 RecordStore::RecordStore(RecordStore&& other) noexcept
     : db_(std::move(other.db_)),
       index_(std::move(other.index_)),
-      path_(std::move(other.path_)) {}
+      path_(std::move(other.path_)),
+      feed_(other.feed_) {
+  other.feed_ = nullptr;
+}
 
 RecordStore& RecordStore::operator=(RecordStore&& other) noexcept {
   if (this != &other) {
     db_ = std::move(other.db_);
     index_ = std::move(other.index_);
     path_ = std::move(other.path_);
+    feed_ = other.feed_;
+    other.feed_ = nullptr;
   }
   return *this;
 }
@@ -46,7 +51,7 @@ RecordStore RecordStore::FromDatabase(const Database& db) {
   return store;
 }
 
-RecordId RecordStore::Append(Record record) {
+RecordId RecordStore::Append(Record record, obs::RequestContext* ctx) {
   static obs::Counter& appends = obs::MetricsRegistry::Global().GetCounter(
       "infoleak_store_appends_total", {}, "Records appended to a RecordStore");
   appends.Inc();
@@ -55,9 +60,45 @@ RecordId RecordStore::Append(Record record) {
   Record clean;
   for (auto& a : record) clean.Insert(std::move(a));
   std::unique_lock lock(mu_);
-  RecordId id = db_.Add(std::move(clean));
-  index_.Add(id, db_[db_.size() - 1]);
+  RecordId id;
+  {
+    obs::PhaseTimer eval_phase(ctx, obs::Phase::kEval);
+    id = db_.Add(std::move(clean));
+    index_.Add(id, db_[db_.size() - 1]);
+  }
+  if (feed_ != nullptr) {
+    // Publishing under the writer lock is what gives sinks the "deltas
+    // arrive in id order, gap-free" contract; each sink does one record's
+    // worth of work, so the hold stays short.
+    obs::PhaseTimer publish_phase(ctx, obs::Phase::kPublish);
+    inc::AppendDelta delta;
+    delta.id = id;
+    delta.record = &db_[db_.size() - 1];
+    feed_->PublishAppend(delta);
+  }
   return id;
+}
+
+void RecordStore::SetChangeFeed(inc::ChangeFeed* feed) {
+  std::unique_lock lock(mu_);
+  feed_ = feed;
+}
+
+inc::ChangeFeed* RecordStore::change_feed() const {
+  std::shared_lock lock(mu_);
+  return feed_;
+}
+
+Result<inc::IndexAnswer> RecordStore::SetLeakIndexed(
+    inc::LeakageIndex& index, const std::function<bool()>& cancel,
+    obs::RequestContext* ctx) const {
+  std::shared_lock lock(mu_);
+  return index.QueryLocked(db_, cancel, ctx);
+}
+
+bool RecordStore::MaintainIndex(inc::LeakageIndex& index) const {
+  std::shared_lock lock(mu_);
+  return index.MaintainChunkLocked(db_);
 }
 
 Status RecordStore::Flush(const std::string& path) const {

@@ -7,6 +7,8 @@
 
 #include "core/database.h"
 #include "core/leakage.h"
+#include "inc/change_feed.h"
+#include "inc/leakage_index.h"
 #include "store/inverted_index.h"
 #include "util/result.h"
 
@@ -51,8 +53,18 @@ class RecordStore {
   /// Builds an in-memory store from an existing database (no file bound).
   static RecordStore FromDatabase(const Database& db);
 
-  /// Appends a record, indexing its attributes; returns its id.
-  RecordId Append(Record record);
+  /// Appends a record, indexing its attributes; returns its id. With a
+  /// change feed attached, the insert is published to every registered
+  /// leakage index before the writer lock is released — feed order is id
+  /// order, with no gaps. `ctx` (optional) receives the fan-out time as the
+  /// publish phase.
+  RecordId Append(Record record, obs::RequestContext* ctx = nullptr);
+
+  /// Attaches (or detaches, with null) the change feed `Append` publishes
+  /// to. Takes the writer lock, so it cannot race an in-flight append; the
+  /// feed must outlive the store or be detached first.
+  void SetChangeFeed(inc::ChangeFeed* feed);
+  inc::ChangeFeed* change_feed() const;
 
   /// Persists to the bound path (or `path` when given).
   Status Flush(const std::string& path = "") const;
@@ -117,6 +129,22 @@ class RecordStore {
                                  const std::function<bool()>& cancel = {},
                                  obs::RequestContext* ctx = nullptr) const;
 
+  /// Index-backed serving path: answers set-leak from a materialized
+  /// `LeakageIndex` under the store's read lock (one consistent snapshot —
+  /// the same guarantee the scan paths give). The index closes any small
+  /// gap inline; see LeakageIndex::QueryLocked for the failure contract
+  /// (FailedPrecondition = "fall back to a scan", DeadlineExceeded =
+  /// cancelled). Answers are bit-identical to `SetLeakColumnar` with the
+  /// same reference and engine.
+  Result<inc::IndexAnswer> SetLeakIndexed(
+      inc::LeakageIndex& index, const std::function<bool()>& cancel = {},
+      obs::RequestContext* ctx = nullptr) const;
+
+  /// One background catch-up chunk for `index` under the store's read lock;
+  /// returns true when the index fully covers the store. The change feed's
+  /// maintenance thread drives this through the maintainer hook.
+  bool MaintainIndex(inc::LeakageIndex& index) const;
+
   /// Record leakage L(r, p) of the stored record `id` against a prepared
   /// reference, through the engine's prepared path (string fallback).
   Result<double> RecordLeak(RecordId id, const PreparedReference& ref,
@@ -128,6 +156,7 @@ class RecordStore {
   Database db_;
   InvertedIndex index_;
   std::string path_;
+  inc::ChangeFeed* feed_ = nullptr;  // borrowed; null = no incremental plane
 };
 
 }  // namespace infoleak

@@ -12,8 +12,15 @@ ServerConfig LoopbackConfig(ServerConfig config) {
 
 }  // namespace
 
-LoopbackServer::LoopbackServer(RecordStore store, ServerConfig config)
-    : service_(std::move(store)),
+LoopbackServer::LoopbackServer(RecordStore store, ServerConfig config,
+                               ServiceConfig service_config)
+    : service_(std::move(store), service_config),
+      server_(service_, LoopbackConfig(config)) {}
+
+LoopbackServer::LoopbackServer(persist::DurableStore* durable,
+                               ServerConfig config,
+                               ServiceConfig service_config)
+    : service_(durable, service_config),
       server_(service_, LoopbackConfig(config)) {}
 
 LoopbackServer::~LoopbackServer() { Stop(); }

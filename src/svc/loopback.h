@@ -24,7 +24,15 @@ namespace infoleak::svc {
 /// requests finish, responses flush, and the run status is returned.
 class LoopbackServer {
  public:
-  explicit LoopbackServer(RecordStore store, ServerConfig config = {});
+  explicit LoopbackServer(RecordStore store, ServerConfig config = {},
+                          ServiceConfig service_config = {});
+
+  /// Durable mode: the served store lives inside `durable` (borrowed; must
+  /// outlive this object) and the `compact` verb works — the selfcheck
+  /// interleaving checker drives append/query/compact through this.
+  explicit LoopbackServer(persist::DurableStore* durable,
+                          ServerConfig config = {},
+                          ServiceConfig service_config = {});
   ~LoopbackServer();
 
   LoopbackServer(const LoopbackServer&) = delete;

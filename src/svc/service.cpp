@@ -29,9 +29,18 @@ std::string_view SpanName(const std::string& verb) {
   if (verb == "leak") return "svc/leak";
   if (verb == "set-leak") return "svc/set-leak";
   if (verb == "resolve") return "svc/resolve";
+  if (verb == "subscribe") return "svc/subscribe";
+  if (verb == "compact") return "svc/compact";
   if (verb == "stats") return "svc/stats";
   if (verb == "tail") return "svc/tail";
   return "svc/unknown";
+}
+
+obs::Counter& IndexCounter(const char* result) {
+  return obs::MetricsRegistry::Global().GetCounter(
+      "infoleak_inc_index_queries_total", {{"result", result}},
+      "Index-backed set-leak attempts, by outcome (hit = answered from the "
+      "materialized index, fallback = fell back to a full scan)");
 }
 
 /// One event-log entry as a response-embeddable JSON object — the same
@@ -85,12 +94,41 @@ Result<long long> GetIndex(const JsonValue& body, std::string_view key) {
 LeakageService::LeakageService(RecordStore store, ServiceConfig config)
     : store_(std::move(store)), config_(std::move(config)) {
   if (config_.max_cached_references == 0) config_.max_cached_references = 1;
+  if (config_.enable_index) ActiveStore().SetChangeFeed(&feed_);
 }
 
 LeakageService::LeakageService(persist::DurableStore* durable,
                                ServiceConfig config)
     : durable_(durable), config_(std::move(config)) {
   if (config_.max_cached_references == 0) config_.max_cached_references = 1;
+  if (config_.enable_index) ActiveStore().SetChangeFeed(&feed_);
+}
+
+LeakageService::~LeakageService() {
+  // Unhook first (no new publishes), then stop the maintenance thread: a
+  // live index borrows the engines and — through its maintainer — the
+  // store, both of which die with this object.
+  ActiveStore().SetChangeFeed(nullptr);
+  feed_.Shutdown();
+}
+
+std::shared_ptr<inc::LeakageIndex> LeakageService::GetOrCreateIndex(
+    const PreparedEntry& entry, const LeakageEngine* engine) {
+  std::lock_guard<std::mutex> lock(entry.index_mu);
+  for (const auto& [eng, index] : entry.indexes) {
+    if (eng == engine) return index;
+  }
+  inc::IndexOptions options;
+  options.top_k = config_.index_top_k;
+  options.inline_catchup_max = config_.index_inline_catchup;
+  auto index = std::make_shared<inc::LeakageIndex>(
+      entry.reference, entry.weights, engine, &feed_, options,
+      [store = &ActiveStore()](inc::LeakageIndex& idx) {
+        return store->MaintainIndex(idx);
+      });
+  feed_.Register(index);
+  entry.indexes.emplace_back(engine, index);
+  return index;
 }
 
 RecordStore& LeakageService::ActiveStore() {
@@ -205,8 +243,9 @@ Result<JsonValue> LeakageService::Dispatch(
       if (!appended.ok()) return appended.status();
       id = *appended;
     } else {
-      obs::PhaseTimer eval_phase(ctx, obs::Phase::kEval);
-      id = store_.Append(std::move(record).value());
+      // The store attributes the apply (eval) and the change-feed fan-out
+      // (publish) itself.
+      id = store_.Append(std::move(record).value(), ctx);
     }
     out.Set("appended", JsonValue::Number(static_cast<double>(id)));
     out.Set("records",
@@ -265,20 +304,46 @@ Result<JsonValue> LeakageService::Dispatch(
     auto engine = PickEngine(body);
     if (!engine.ok()) return engine.status();
     std::ptrdiff_t argmax = -1;
+    Result<double> leakage = 0.0;
+    bool answered = false;
+    std::string path = "scan";
+    // Fast path: the materialized index answers from its maintained maximum
+    // plus a small catch-up delta. Unusable-index errors (poisoned, too far
+    // behind) fall through to the scan — which is bit-identical, including
+    // any evaluation error a poisoned index is hiding — while a cancelled
+    // catch-up propagates like a cancelled scan would.
+    if (config_.enable_index && (*engine)->SupportsColumnar()) {
+      auto index = GetOrCreateIndex(**entry, *engine);
+      auto ans = ActiveStore().SetLeakIndexed(*index, cancel, ctx);
+      if (ans.ok()) {
+        leakage = ans->leakage;
+        argmax = ans->argmax;
+        answered = true;
+        path = "index";
+        IndexCounter("hit").Inc();
+      } else if (ans.status().IsDeadlineExceeded()) {
+        return ans.status();
+      } else {
+        IndexCounter("fallback").Inc();
+      }
+    }
     // Columnar-capable engines scan the entry's cached bank (extended with
     // any records appended since the last query); others fall back to the
     // record-at-a-time prepared scan. Both are bit-identical.
-    Result<double> leakage =
-        (*engine)->SupportsColumnar()
-            ? ActiveStore().SetLeakColumnar((*entry)->bank, (*entry)->bank_mu,
-                                            **engine, &argmax, cancel, ctx)
-            : ActiveStore().SetLeak((*entry)->prepared, **engine, &argmax,
-                                    cancel, ctx);
+    if (!answered) {
+      leakage =
+          (*engine)->SupportsColumnar()
+              ? ActiveStore().SetLeakColumnar((*entry)->bank, (*entry)->bank_mu,
+                                              **engine, &argmax, cancel, ctx)
+              : ActiveStore().SetLeak((*entry)->prepared, **engine, &argmax,
+                                      cancel, ctx);
+    }
     if (!leakage.ok()) return leakage.status();
     out.Set("leakage", JsonValue::Number(*leakage));
     out.Set("argmax", JsonValue::Number(static_cast<double>(argmax)));
     out.Set("records",
             JsonValue::Number(static_cast<double>(ActiveStore().size())));
+    out.Set("path", JsonValue::Str(path));
     return out;
   }
 
@@ -328,6 +393,99 @@ Result<JsonValue> LeakageService::Dispatch(
     return out;
   }
 
+  if (req.verb == "subscribe") {
+    if (!config_.enable_index) {
+      return Status::FailedPrecondition(
+          "subscribe needs the incremental index (the service runs with "
+          "--no-index)");
+    }
+    auto entry = [&] {
+      obs::PhaseTimer parse_phase(ctx, obs::Phase::kParse);
+      return PrepareReference(body);
+    }();
+    if (!entry.ok()) return entry.status();
+    auto engine = PickEngine(body);
+    if (!engine.ok()) return engine.status();
+    if (!(*engine)->SupportsColumnar()) {
+      return Status::InvalidArgument(
+          "subscribe needs a columnar-capable engine (auto|naive|exact|"
+          "approx all qualify; got an engine without a columnar path)");
+    }
+    long long max_events = 64;
+    if (body.Find("max_events") != nullptr) {
+      auto parsed = GetIndex(body, "max_events");
+      if (!parsed.ok()) return parsed.status();
+      if (*parsed < 1 || *parsed > 1000) {
+        return Status::InvalidArgument("\"max_events\" must be in [1, 1000]");
+      }
+      max_events = *parsed;
+    }
+    uint64_t after_seq = 0;
+    if (body.Find("after_seq") != nullptr) {
+      auto parsed = GetIndex(body, "after_seq");
+      if (!parsed.ok()) return parsed.status();
+      after_seq = static_cast<uint64_t>(*parsed);
+    }
+    const double wait_ms = body.GetNumber("wait_ms", 0.0);
+    if (wait_ms < 0 || wait_ms > 10000) {
+      return Status::InvalidArgument("\"wait_ms\" must be in [0, 10000]");
+    }
+    auto index = GetOrCreateIndex(**entry, *engine);
+    // Prime the index so the first batch reflects the current store; an
+    // unusable index (mid-rebuild) still streams whatever the ring holds.
+    auto primed = ActiveStore().SetLeakIndexed(*index, cancel, ctx);
+    if (!primed.ok() && primed.status().IsDeadlineExceeded()) {
+      return primed.status();
+    }
+    // Long-poll: one response line per call (the protocol stays
+    // one-request/one-line; `infoleak subscribe` loops with the cursor).
+    auto batch = index->EventsAfter(after_seq, static_cast<std::size_t>(max_events));
+    WallTimer timer;
+    while (batch.events.empty() && timer.ElapsedMillis() < wait_ms) {
+      if (cancel && cancel()) break;  // deadline: return an empty batch
+      feed_.WaitForSequence(
+          feed_.sequence(),
+          static_cast<int>(wait_ms - timer.ElapsedMillis()), cancel);
+      batch = index->EventsAfter(after_seq,
+                                 static_cast<std::size_t>(max_events));
+    }
+    obs::PhaseTimer serialize_phase(ctx, obs::Phase::kSerialize);
+    JsonValue arr = JsonValue::Array();
+    uint64_t cursor = after_seq;
+    for (const inc::DeltaEvent& e : batch.events) {
+      JsonValue v = JsonValue::Object();
+      v.Set("seq", JsonValue::Number(static_cast<double>(e.seq)));
+      v.Set("epoch", JsonValue::Number(static_cast<double>(e.epoch)));
+      v.Set("record_id",
+            JsonValue::Number(static_cast<double>(e.record_id)));
+      v.Set("leakage", JsonValue::Number(e.leakage));
+      if (e.skipped) v.Set("skipped", JsonValue::Bool(true));
+      v.Set("set_leakage", JsonValue::Number(e.set_leakage));
+      v.Set("argmax", JsonValue::Number(static_cast<double>(e.argmax)));
+      arr.Push(std::move(v));
+      cursor = e.seq;
+    }
+    out.Set("events", std::move(arr));
+    out.Set("cursor", JsonValue::Number(static_cast<double>(cursor)));
+    out.Set("epoch", JsonValue::Number(static_cast<double>(batch.epoch)));
+    out.Set("covered", JsonValue::Number(static_cast<double>(batch.covered)));
+    out.Set("dropped", JsonValue::Number(static_cast<double>(batch.dropped)));
+    return out;
+  }
+
+  if (req.verb == "compact") {
+    if (durable_ == nullptr) {
+      return Status::FailedPrecondition(
+          "compact needs a durable store (serve --data-dir)");
+    }
+    obs::PhaseTimer eval_phase(ctx, obs::Phase::kEval);
+    INFOLEAK_RETURN_IF_ERROR(durable_->Compact());
+    out.Set("records",
+            JsonValue::Number(static_cast<double>(ActiveStore().size())));
+    out.Set("epoch", JsonValue::Number(static_cast<double>(feed_.epoch())));
+    return out;
+  }
+
   if (req.verb == "stats") {
     RecordStore& store = ActiveStore();
     out.Set("records", JsonValue::Number(static_cast<double>(store.size())));
@@ -343,11 +501,39 @@ Result<JsonValue> LeakageService::Dispatch(
             JsonValue::Number(static_cast<double>(cached_references())));
     JsonValue verbs = JsonValue::Object();
     for (const char* verb :
-         {"ping", "append", "leak", "set-leak", "resolve", "stats", "tail"}) {
+         {"ping", "append", "leak", "set-leak", "resolve", "subscribe",
+          "compact", "stats", "tail"}) {
       verbs.Set(verb, JsonValue::Number(
                           static_cast<double>(VerbCounter(verb).Value())));
     }
     out.Set("requests", std::move(verbs));
+    // Incremental-plane accounting: registered indexes plus the process
+    // counters that prove the fast path and its safety valves fire.
+    JsonValue index = JsonValue::Object();
+    index.Set("enabled", JsonValue::Bool(config_.enable_index));
+    index.Set("registered",
+              JsonValue::Number(static_cast<double>(feed_.registered())));
+    index.Set("epoch", JsonValue::Number(static_cast<double>(feed_.epoch())));
+    index.Set("appends",
+              JsonValue::Number(static_cast<double>(feed_.sequence())));
+    index.Set("hits", JsonValue::Number(
+                          static_cast<double>(IndexCounter("hit").Value())));
+    index.Set("fallbacks",
+              JsonValue::Number(
+                  static_cast<double>(IndexCounter("fallback").Value())));
+    static obs::Counter& skips = obs::MetricsRegistry::Global().GetCounter(
+        "infoleak_inc_bound_skips_total", {},
+        "Delta evaluations skipped because the leakage upper bound proved "
+        "the top-k unchanged");
+    index.Set("bound_skips",
+              JsonValue::Number(static_cast<double>(skips.Value())));
+    static obs::Counter& invalidations =
+        obs::MetricsRegistry::Global().GetCounter(
+            "infoleak_inc_invalidations_total", {},
+            "Epoch bumps published through the change feed (WAL resets)");
+    index.Set("invalidations",
+              JsonValue::Number(static_cast<double>(invalidations.Value())));
+    out.Set("index", std::move(index));
     auto& log = obs::EventLog::Global();
     JsonValue events = JsonValue::Object();
     events.Set("recorded",

@@ -10,6 +10,8 @@
 
 #include "core/column_bank.h"
 #include "core/leakage.h"
+#include "inc/change_feed.h"
+#include "inc/leakage_index.h"
 #include "store/record_store.h"
 #include "svc/protocol.h"
 
@@ -28,6 +30,19 @@ struct ServiceConfig {
   /// shared_ptrs, so evicting one that a concurrent request still uses is
   /// safe — it dies with its last user.
   std::size_t max_cached_references = 64;
+
+  /// Maintain a materialized `inc::LeakageIndex` per (cached reference,
+  /// engine): `set-leak` answers from the index (an O(1) lookup plus a
+  /// small catch-up delta) with a transparent fall back to the columnar
+  /// scan, and `subscribe` streams per-append leakage deltas. Disable to
+  /// force every query onto the scan path (`serve --no-index`).
+  bool enable_index = true;
+  /// Top-k entries each index maintains (the k-th value is the bounds-skip
+  /// threshold).
+  std::size_t index_top_k = 8;
+  /// Largest store-vs-index gap a query closes inline before falling back
+  /// to a scan and leaving the rebuild to the background thread.
+  std::size_t index_inline_catchup = 4096;
 };
 
 /// \brief The query-service brain, free of any socket: executes one parsed
@@ -42,9 +57,16 @@ struct ServiceConfig {
 /// many releases) is interned and prepared once, and every later `leak` /
 /// `set-leak` against it starts directly on the prepared fast path.
 ///
-/// Verbs: `ping`, `append`, `leak`, `set-leak`, `resolve`, `stats`,
-/// `tail` — see protocol.h for the wire shapes and docs/service.md for
-/// the grammar.
+/// The incremental plane (PR 8) goes one step further: each cached entry
+/// can carry per-engine `inc::LeakageIndex` instances registered on the
+/// service's `inc::ChangeFeed`, so the store pushes every append into the
+/// indexes and `set-leak` becomes an index lookup plus a small delta
+/// recompute — bit-identical to the scan it replaces, with an automatic
+/// scan fallback whenever an index is unusable (poisoned, mid-rebuild).
+///
+/// Verbs: `ping`, `append`, `leak`, `set-leak`, `resolve`, `subscribe`,
+/// `compact`, `stats`, `tail` — see protocol.h for the wire shapes and
+/// docs/service.md for the grammar.
 class LeakageService {
  public:
   explicit LeakageService(RecordStore store, ServiceConfig config = {});
@@ -55,6 +77,10 @@ class LeakageService {
   /// outlive the service.
   explicit LeakageService(persist::DurableStore* durable,
                           ServiceConfig config = {});
+
+  /// Detaches the change feed from the store and stops its maintenance
+  /// thread before the engines (which live indexes borrow) go away.
+  ~LeakageService();
 
   /// Executes one request. `cancel` (optional) is polled mid-evaluation;
   /// returning true aborts with a `deadline_exceeded` response. Returns the
@@ -96,6 +122,16 @@ class LeakageService {
     PreparedReference prepared;
     mutable std::shared_mutex bank_mu;
     mutable ColumnBank bank;
+    /// Per-engine materialized leakage indexes (lazily created on the first
+    /// index-eligible query; a handful at most, so a flat vector keyed by
+    /// engine pointer). Mutable for the same reason the bank is: indexes
+    /// are evaluation caches, not entry identity. When the entry is evicted
+    /// and dies, its indexes die with it — the feed holds them weakly — and
+    /// a re-prepared entry starts fresh (rebuild-on-eviction).
+    mutable std::mutex index_mu;
+    mutable std::vector<
+        std::pair<const LeakageEngine*, std::shared_ptr<inc::LeakageIndex>>>
+        indexes;
     PreparedEntry(Record r, WeightModel w)
         : reference(std::move(r)),
           weights(std::move(w)),
@@ -106,6 +142,11 @@ class LeakageService {
   Result<std::shared_ptr<const PreparedEntry>> PrepareReference(
       const JsonValue& body);
   Result<const LeakageEngine*> PickEngine(const JsonValue& body) const;
+
+  /// The entry's index for `engine`, created (and registered on the feed)
+  /// on first use.
+  std::shared_ptr<inc::LeakageIndex> GetOrCreateIndex(
+      const PreparedEntry& entry, const LeakageEngine* engine);
   Result<JsonValue> Dispatch(const Request& req,
                              const std::function<bool()>& cancel,
                              obs::RequestContext* ctx);
@@ -121,6 +162,11 @@ class LeakageService {
   NaiveLeakage naive_engine_;
   ExactLeakage exact_engine_;
   ApproxLeakage approx_engine_;
+  /// The incremental plane's spine: the store publishes every append here
+  /// (hooked up in the constructors), live indexes subscribe, and the
+  /// feed's maintenance thread performs background rebuilds. Shut down
+  /// explicitly in the destructor before the store/engines it fans into.
+  inc::ChangeFeed feed_;
 
   mutable std::mutex cache_mu_;
   std::unordered_map<std::string, std::shared_ptr<const PreparedEntry>>

@@ -117,6 +117,10 @@ TEST(CliTest, ServeHelpGoldenOutput) {
       "(default 25)\n"
       "  --snapshot-every     background-snapshot every N appends; 0 "
       "disables (default 0)\n"
+      "  --no-index           disable the incremental leakage index; every "
+      "set-leak rescans and `subscribe` is refused\n"
+      "  --index-topk         top-k entries each leakage index maintains; "
+      "the k-th value is the bounds-skip threshold (default 8)\n"
       "\n"
       "observability riders (accepted by every command):\n"
       "  --stats              append a metrics report to the command "
@@ -163,7 +167,7 @@ TEST(CliTest, SelfCheckHelpGoldenOutput) {
       "  --seed             deterministic run seed; a (seed, case) pair "
       "always reproduces (default 1)\n"
       "  --engines          comma list of checks to run: naive,exact,approx,"
-      "mc,bounds,batch,auto,served,durable (default all)\n"
+      "mc,bounds,batch,auto,served,durable,inc (default all)\n"
       "  --corpus           regression corpus directory: replay every *.case "
       "before generating, write new minimized findings back\n"
       "  --no-corpus-write  replay the corpus but do not add new entries\n"

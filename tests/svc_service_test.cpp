@@ -311,5 +311,127 @@ TEST(LeakageServiceTest, TailValidatesItsArguments) {
   EXPECT_EQ(code, "invalid_argument");
 }
 
+TEST(LeakageServiceTest, SetLeakReportsItsAnswerPath) {
+  // With the index on (the default) set-leak answers off the materialized
+  // index; with --no-index semantics every query goes to the scan. Both
+  // paths are bit-identical, so only the path tag may differ.
+  LeakageService indexed = MakeService();
+  const std::string line = std::string(R"({"verb":"set-leak",)") +
+                           "\"reference\":" + JsonQuote(kReference) + "}";
+  JsonValue fast = Handle(indexed, line);
+  ASSERT_TRUE(fast.GetBool("ok", false)) << fast.Render();
+  EXPECT_EQ(fast.GetString("path"), "index");
+
+  ServiceConfig config;
+  config.enable_index = false;
+  LeakageService scanning = MakeService(config);
+  JsonValue slow = Handle(scanning, line);
+  ASSERT_TRUE(slow.GetBool("ok", false)) << slow.Render();
+  EXPECT_EQ(slow.GetString("path"), "scan");
+  EXPECT_EQ(fast.GetNumber("leakage", -1.0), slow.GetNumber("leakage", -2.0));
+  EXPECT_EQ(fast.GetNumber("argmax", -1.0), slow.GetNumber("argmax", -2.0));
+}
+
+TEST(LeakageServiceTest, SubscribeStreamsAppendDeltasWithCursor) {
+  LeakageService service = MakeService();
+  const std::string subscribe = std::string(R"({"verb":"subscribe",)") +
+                                "\"reference\":" + JsonQuote(kReference) + "}";
+  // The first call primes the index over the preloaded store: one delta
+  // event per record, cursor at the newest sequence.
+  JsonValue first = Handle(service, subscribe);
+  ASSERT_TRUE(first.GetBool("ok", false)) << first.Render();
+  const JsonValue* events = first.Find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  EXPECT_EQ(events->items().size(), 3u);
+  EXPECT_EQ(first.GetNumber("cursor", -1.0), 3.0);
+  EXPECT_EQ(first.GetNumber("covered", -1.0), 3.0);
+  EXPECT_EQ(first.GetNumber("dropped", -1.0), 0.0);
+
+  // An append published through the feed shows up after the cursor without
+  // any intervening query.
+  Handle(service, R"({"verb":"append","record":"{<N, Alice, 1>}"})");
+  JsonValue next = Handle(
+      service, std::string(R"({"verb":"subscribe","after_seq":3,)") +
+                   "\"reference\":" + JsonQuote(kReference) + "}");
+  ASSERT_TRUE(next.GetBool("ok", false)) << next.Render();
+  const JsonValue* delta = next.Find("events");
+  ASSERT_NE(delta, nullptr);
+  ASSERT_EQ(delta->items().size(), 1u);
+  EXPECT_EQ(delta->items()[0].GetNumber("seq", -1.0), 4.0);
+  EXPECT_EQ(delta->items()[0].GetNumber("record_id", -1.0), 3.0);
+  EXPECT_EQ(next.GetNumber("cursor", -1.0), 4.0);
+}
+
+TEST(LeakageServiceTest, SubscribeNeedsTheIndexAndValidatesItsArguments) {
+  ServiceConfig config;
+  config.enable_index = false;
+  LeakageService disabled = MakeService(config);
+  const std::string subscribe = std::string(R"({"verb":"subscribe",)") +
+                                "\"reference\":" + JsonQuote(kReference) + "}";
+  JsonValue refused = Handle(disabled, subscribe);
+  EXPECT_FALSE(refused.GetBool("ok", true));
+  EXPECT_NE(refused.GetString("error").find("--no-index"), std::string::npos);
+
+  LeakageService service = MakeService();
+  std::string code;
+  service.Handle(Req(std::string(R"({"verb":"subscribe","max_events":0,)") +
+                     "\"reference\":" + JsonQuote(kReference) + "}"),
+                 {}, &code);
+  EXPECT_EQ(code, "invalid_argument");
+  service.Handle(Req(std::string(R"({"verb":"subscribe","wait_ms":20000,)") +
+                     "\"reference\":" + JsonQuote(kReference) + "}"),
+                 {}, &code);
+  EXPECT_EQ(code, "invalid_argument");
+}
+
+TEST(LeakageServiceTest, IndexRebuildsAfterCacheEviction) {
+  // An index lives inside its prepared-cache entry, so FIFO eviction kills
+  // it; re-querying the evicted reference must mint a fresh entry whose
+  // rebuilt index answers identically, still off the index path.
+  ServiceConfig config;
+  config.max_cached_references = 1;
+  LeakageService service = MakeService(config);
+  const std::string line_a = std::string(R"({"verb":"set-leak",)") +
+                             "\"reference\":" + JsonQuote(kReference) + "}";
+  const std::string line_b =
+      R"({"verb":"set-leak","reference":"{<N, Bob, 1>, <P, 987, 1>}"})";
+  JsonValue first = Handle(service, line_a);
+  ASSERT_TRUE(first.GetBool("ok", false)) << first.Render();
+  EXPECT_EQ(first.GetString("path"), "index");
+
+  JsonValue other = Handle(service, line_b);  // evicts A's entry and index
+  ASSERT_TRUE(other.GetBool("ok", false)) << other.Render();
+
+  JsonValue again = Handle(service, line_a);
+  ASSERT_TRUE(again.GetBool("ok", false)) << again.Render();
+  EXPECT_EQ(again.GetString("path"), "index");
+  EXPECT_EQ(again.GetNumber("leakage", -1.0), first.GetNumber("leakage", -2.0));
+  EXPECT_EQ(again.GetNumber("argmax", -1.0), first.GetNumber("argmax", -2.0));
+
+  // The feed prunes the dead sink: only the live entry's index remains.
+  JsonValue stats = Handle(service, R"({"verb":"stats"})");
+  const JsonValue* index = stats.Find("index");
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(index->GetNumber("registered", -1.0), 1.0);
+}
+
+TEST(LeakageServiceTest, StatsReportsIndexAccounting) {
+  LeakageService service = MakeService();
+  const std::string line = std::string(R"({"verb":"set-leak",)") +
+                           "\"reference\":" + JsonQuote(kReference) + "}";
+  Handle(service, line);
+  JsonValue stats = Handle(service, R"({"verb":"stats"})");
+  ASSERT_TRUE(stats.GetBool("ok", false)) << stats.Render();
+  const JsonValue* index = stats.Find("index");
+  ASSERT_NE(index, nullptr) << stats.Render();
+  EXPECT_TRUE(index->GetBool("enabled", false));
+  EXPECT_EQ(index->GetNumber("registered", -1.0), 1.0);
+  // hit/fallback counters are process-global (other tests in this binary
+  // also serve), so only demand they moved, not an exact value.
+  EXPECT_GE(index->GetNumber("hits", -1.0), 1.0);
+  EXPECT_GE(index->GetNumber("invalidations", -1.0), 0.0);
+}
+
 }  // namespace
 }  // namespace infoleak::svc
