@@ -270,7 +270,13 @@ smoke_selfcheck() {
   "${bin}" selfcheck --cases 2000 --seed 1 \
       --corpus tests/corpus/selfcheck --no-corpus-write \
       | grep -q "all engines and paths agree"
-  echo "=== [${dir}] selfcheck smoke OK (2000 cases + corpus) ==="
+  # Second sweep with the measure-family checks pinned on explicitly and a
+  # different seed: cross-measure orderings, brute-force truths, and the
+  # modal-tie/divergence case shapes (docs/measures.md).
+  "${bin}" selfcheck --measures all --cases 2000 --seed 2 \
+      --corpus tests/corpus/selfcheck --no-corpus-write \
+      | grep -q "all engines and paths agree"
+  echo "=== [${dir}] selfcheck smoke OK (2x2000 cases + corpus) ==="
 }
 
 # ThreadSanitizer pass over the concurrency-heavy subset: the server's
@@ -285,7 +291,7 @@ run_tsan_pass() {
   cmake --build "${dir}" -j "${JOBS}"
   echo "=== [${dir}] ctest (concurrency subset) ==="
   ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}" -R \
-    'Concurrency|Columnar|SvcServer|SvcQueue|SvcService|Persist|Streaming|Metrics|Trace|EventLog|SelfCheckRun|Inc'
+    'Concurrency|Columnar|SvcServer|SvcQueue|SvcService|Persist|Streaming|Metrics|Trace|EventLog|SelfCheckRun|Inc|Measure'
 }
 
 run_pass build-ci-release

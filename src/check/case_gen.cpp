@@ -30,6 +30,38 @@ double BoundaryConfidence(Rng& rng) {
   }
 }
 
+/// Confidence hugging the guesswork modal threshold: exactly 0.5, an ulp
+/// or a hair to either side. The include-iff-conf-≥-0.5 tie convention and
+/// its FP sensitivity live or die in this band.
+double ModalTieConfidence(Rng& rng) {
+  switch (rng.NextBounded(6)) {
+    case 0: return 0.5;
+    case 1: return 0.5 - 1e-7;
+    case 2: return 0.5 + 1e-7;
+    case 3: return 0.5 - 1e-15;
+    case 4: return 0.5 + 1e-15;
+    default: return rng.Uniform(0.45, 0.55);
+  }
+}
+
+/// Confidence from the divergence palette: masses near 0 and near 1 but
+/// never at them. This is where the measure family disagrees hardest —
+/// pml counts every conf > 0 match, guesswork only the ≥ 0.5 side, the
+/// expectation weighs both — so biased sampling here stresses exactly the
+/// cross-measure ordering properties.
+double DivergenceConfidence(Rng& rng) {
+  switch (rng.NextBounded(6)) {
+    case 0: return 1e-7;
+    case 1: return 1e-3;
+    case 2: return 0.05;
+    case 3: return 0.95;
+    case 4: return 1.0 - 1e-7;
+    default:
+      return rng.Bernoulli(0.5) ? rng.Uniform(0.0, 0.1)
+                                : rng.Uniform(0.9, 1.0);
+  }
+}
+
 /// Weight from the extreme palette. Kept within [1e-6, 1e6]: wide enough
 /// to exercise cancellation and the Taylor blow-up, narrow enough that no
 /// engine's intermediate sums overflow double range (overflow is rejected
@@ -94,7 +126,7 @@ uint64_t CaseGenerator::CaseSeed(uint64_t seed, std::size_t index) {
 }
 
 CheckCase CaseGenerator::Next() {
-  constexpr std::size_t kShapes = 12;
+  constexpr std::size_t kShapes = 14;
   const std::size_t shape = count_ % kShapes;
   const std::size_t index = count_++;
   CheckCase c;
@@ -170,6 +202,24 @@ CheckCase CaseGenerator::Next() {
                                 rng_.Bernoulli(0.5) ? 1.0 : 0.0);
       }
       FillReferenceFrom(c.r, &c.p, rng_, rng_.NextBounded(3));
+      break;
+    case 11:  // confidences packed around the guesswork modal threshold
+      shape_name = "modal-tie";
+      FillRecord(&c.r, rng_, 1 + rng_.NextBounded(8), 6, 8, false);
+      for (const auto& a : std::vector<Attribute>(c.r.attributes())) {
+        (void)c.r.SetConfidence(a.label, a.value, ModalTieConfidence(rng_));
+      }
+      FillReferenceFrom(c.r, &c.p, rng_, rng_.NextBounded(3));
+      if (rng_.Bernoulli(0.5)) AddExplicitWeights(&c.wm, rng_, 4, true);
+      break;
+    case 12:  // near-0/near-1 confidence split: max measure disagreement
+      shape_name = "measure-divergence";
+      FillRecord(&c.r, rng_, 2 + rng_.NextBounded(9), 6, 8, false);
+      for (const auto& a : std::vector<Attribute>(c.r.attributes())) {
+        (void)c.r.SetConfidence(a.label, a.value, DivergenceConfidence(rng_));
+      }
+      FillReferenceFrom(c.r, &c.p, rng_, rng_.NextBounded(3));
+      if (rng_.Bernoulli(0.5)) AddExplicitWeights(&c.wm, rng_, 4, false);
       break;
     default:  // uniform non-1 weight: exact-eligible with a scaled weight
       shape_name = "uniform-weight";

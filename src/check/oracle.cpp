@@ -1,9 +1,11 @@
 #include "check/oracle.h"
 
 #include <cmath>
+#include <cstdint>
 #include <optional>
 
 #include "core/bounds.h"
+#include "core/measure_family.h"
 #include "util/string_util.h"
 
 namespace infoleak::check {
@@ -371,7 +373,383 @@ OracleOutcome Oracle::Evaluate(const CheckCase& c, uint64_t case_seed) const {
     }
   }
 
+  EvaluateMeasures(c, MeasureEngines{}, &out);
+
   return out;
+}
+
+void Oracle::EvaluateMeasures(const CheckCase& c, const MeasureEngines& engines,
+                              OracleOutcome* out) const {
+  const bool do_pml = config_.check_pml;
+  const bool do_gw = config_.check_guesswork;
+  const bool do_ou = config_.check_overunder;
+  if (!do_pml && !do_gw && !do_ou) return;
+
+  const LeakageEngine* pml_e =
+      engines.pml ? engines.pml : MeasureEngineSingleton(Measure::kPml);
+  const LeakageEngine* gw_e = engines.guesswork
+                                  ? engines.guesswork
+                                  : MeasureEngineSingleton(Measure::kGuesswork);
+  const LeakageEngine* under_e =
+      engines.under ? engines.under : MeasureEngineSingleton(Measure::kUnder);
+  const LeakageEngine* over_e =
+      engines.over ? engines.over : MeasureEngineSingleton(Measure::kOver);
+
+  auto fail = [&](const char* kind, std::string detail) {
+    out->findings.push_back(Finding{kind, std::move(detail), c});
+  };
+  auto same_bits = [&](const char* kind, const std::string& what,
+                       const Result<double>& a, const Result<double>& b) {
+    ++out->comparisons;
+    if (a.ok() != b.ok() || (a.ok() && *a != *b)) {
+      fail(kind, what + ": " + Render(a) + " vs " + Render(b));
+    }
+  };
+  auto in_range = [&](const std::string& what, const Result<double>& v) {
+    ++out->comparisons;
+    if (v.ok() && !(*v >= 0.0 && *v <= 1.0)) {
+      fail("measure-path",
+           what + " = " + Render(v) + " is outside [0, 1]");
+    }
+  };
+
+  const PreparedReference ref(c.p, c.wm);
+  const PreparedRecord pr(c.r, ref);
+  LeakageWorkspace ws;
+  ColumnBank bank(ref);
+  bank.Append(c.r);
+  const ColumnRecordView v = bank.view(0);
+
+  // ---- measure-path: every surface of every measure agrees bit for bit --
+  struct Row {
+    const char* what;
+    const LeakageEngine* e;
+    bool on;
+    bool has_precision;
+  };
+  const Row rows[] = {
+      {"pml leakage", pml_e, do_pml, true},
+      {"guesswork leakage", gw_e, do_gw, true},
+      {"under leakage", under_e, do_ou, false},
+      {"over leakage", over_e, do_ou, false},
+  };
+  // String-path values, indexed like `rows`; the monotone and truth checks
+  // below reuse them (string == prepared == columnar once measure-path
+  // passed, so any one surface is "the" value).
+  Result<double> vals[4] = {
+      Status::NotSupported("measure disabled"),
+      Status::NotSupported("measure disabled"),
+      Status::NotSupported("measure disabled"),
+      Status::NotSupported("measure disabled"),
+  };
+  for (std::size_t i = 0; i < 4; ++i) {
+    const Row& row = rows[i];
+    if (!row.on) continue;
+    const Result<double> s = row.e->RecordLeakage(c.r, c.p, c.wm);
+    const Result<double> p = row.e->RecordLeakagePrepared(pr, ref, &ws);
+    same_bits("measure-path", std::string(row.what) + " string-vs-prepared",
+              s, p);
+    if (config_.check_columnar) {
+      same_bits("measure-path",
+                std::string(row.what) + " columnar-vs-prepared",
+                row.e->RecordLeakageColumnar(v, ref, &ws), p);
+    }
+    in_range(row.what, p);
+    vals[i] = s;
+    if (row.has_precision) {
+      const std::string what = std::string(rows[i].e->name()) + " precision";
+      const Result<double> prec_p =
+          row.e->ExpectedPrecisionPrepared(pr, ref, &ws);
+      same_bits("measure-path", what + " string-vs-prepared",
+                row.e->ExpectedPrecision(c.r, c.p, c.wm), prec_p);
+      if (config_.check_columnar) {
+        same_bits("measure-path", what + " columnar-vs-prepared",
+                  row.e->ExpectedPrecisionColumnar(v, ref, &ws), prec_p);
+      }
+      in_range(what, prec_p);
+    } else {
+      // under/over bound expected F1 only; a precision value would be
+      // unsound, so the engines must refuse rather than answer.
+      ++out->comparisons;
+      const Result<double> prec = row.e->ExpectedPrecision(c.r, c.p, c.wm);
+      if (prec.ok()) {
+        fail("measure-path", std::string(rows[i].e->name()) +
+                                 " precision must be NotSupported, got " +
+                                 Render(prec));
+      }
+    }
+  }
+  const Result<double>& pml_v = vals[0];
+  const Result<double>& gw_v = vals[1];
+  const Result<double>& under_v = vals[2];
+  const Result<double>& over_v = vals[3];
+
+  const bool uniform = c.wm.IsConstantOver(c.r, c.p);
+  const bool small = c.r.size() <= config_.naive_max;
+  const double wp = c.wm.TotalWeight(c.p);
+
+  // Expected-F1 truth, by the same rule Evaluate uses: naive when
+  // enumerable (any weights), else Algorithm 1 when uniform.
+  std::optional<double> truth;
+  if (small) {
+    const Result<double> n = naive_.RecordLeakagePrepared(pr, ref, &ws);
+    if (n.ok()) truth = *n;
+  } else if (uniform) {
+    const Result<double> e = exact_.RecordLeakagePrepared(pr, ref, &ws);
+    if (e.ok()) truth = *e;
+  }
+
+  // ---- measure-truth: independent recomputations --------------------------
+  // pml vs a brute-force maximum over every feasible world. The engine's
+  // closed form rests on a monotonicity argument; the enumeration does not,
+  // so a wrong "optimal world" choice shows up here.
+  if (do_pml && small && pml_v.ok()) {
+    struct Attr {
+      double conf;
+      double w;
+      bool matched;
+    };
+    std::vector<Attr> attrs;
+    attrs.reserve(c.r.size());
+    for (const auto& a : c.r) {
+      attrs.push_back({a.confidence, c.wm.Weight(a.label),
+                       c.p.Find(a.label, a.value) != nullptr});
+    }
+    const std::size_t n = attrs.size();
+    double best = 0.0;
+    for (uint64_t mask = 0; mask < (uint64_t{1} << n); ++mask) {
+      double total = 0.0;
+      double overlap = 0.0;
+      bool feasible = true;
+      for (std::size_t i = 0; i < n; ++i) {
+        if ((mask >> i) & 1) {
+          if (attrs[i].conf == 0.0) {
+            feasible = false;
+            break;
+          }
+          total += attrs[i].w;
+          if (attrs[i].matched) overlap += attrs[i].w;
+        } else if (attrs[i].conf == 1.0) {
+          feasible = false;
+          break;
+        }
+      }
+      if (!feasible) continue;
+      const double denom = total + wp;
+      const double f1 = denom > 0.0 ? 2.0 * overlap / denom : 0.0;
+      if (f1 > best) best = f1;
+    }
+    ++out->comparisons;
+    if (std::abs(*pml_v - best) > config_.exact_tol) {
+      fail("measure-truth",
+           "pml " + Render(pml_v) + " vs brute-force world maximum " +
+               FormatDoubleRoundTrip(best) + " differ by more than " +
+               FormatDoubleRoundTrip(config_.exact_tol));
+    }
+  }
+
+  // guesswork vs the modal world materialized as a deterministic record and
+  // pushed through the Taylor engine: with every confidence at 1 the world
+  // distribution is a point mass, Var[Y] = 0, and the order-2 value is the
+  // modal world's F1 exactly — an independent code path end to end.
+  if (do_gw && gw_v.ok()) {
+    Record modal;
+    for (const auto& a : c.r) {
+      if (a.confidence >= 0.5) modal.Insert(Attribute(a.label, a.value, 1.0));
+    }
+    const Result<double> direct = approx2_.RecordLeakage(modal, c.p, c.wm);
+    if (direct.ok()) {
+      ++out->comparisons;
+      if (std::abs(*gw_v - *direct) > config_.exact_tol) {
+        fail("measure-truth",
+             "guesswork " + Render(gw_v) +
+                 " vs modal-world F1 via the Taylor engine " + Render(direct) +
+                 " differ by more than " +
+                 FormatDoubleRoundTrip(config_.exact_tol));
+      }
+    }
+  }
+
+  // ---- measure-order: the family's provable inequalities ------------------
+  // E[F1] ≤ max-world F1, and the modal world is one feasible world.
+  if (do_pml && pml_v.ok()) {
+    if (truth.has_value()) {
+      ++out->comparisons;
+      if (*truth > *pml_v + config_.slack) {
+        fail("measure-order", "expected-F1 truth " +
+                                  FormatDoubleRoundTrip(*truth) +
+                                  " exceeds pml " + Render(pml_v));
+      }
+    }
+    if (do_gw && gw_v.ok()) {
+      ++out->comparisons;
+      if (*gw_v > *pml_v + config_.slack) {
+        fail("measure-order",
+             "guesswork " + Render(gw_v) + " exceeds pml " + Render(pml_v));
+      }
+    }
+  }
+
+  // ---- measure-bracket: under ≤ E[F1] ≤ over, and under ≤ over ------------
+  if (do_ou) {
+    if (under_v.ok() && over_v.ok()) {
+      ++out->comparisons;
+      if (!(*under_v <= *over_v)) {
+        fail("measure-bracket", "under " + Render(under_v) + " > over " +
+                                    Render(over_v));
+      }
+    }
+    if (truth.has_value()) {
+      if (under_v.ok()) {
+        ++out->comparisons;
+        if (*truth < *under_v - config_.slack) {
+          fail("measure-bracket",
+               "truth " + FormatDoubleRoundTrip(*truth) +
+                   " falls below under " + Render(under_v));
+        }
+      }
+      if (over_v.ok()) {
+        ++out->comparisons;
+        if (*truth > *over_v + config_.slack) {
+          fail("measure-bracket", "truth " + FormatDoubleRoundTrip(*truth) +
+                                      " escapes above over " +
+                                      Render(over_v));
+        }
+      }
+    }
+  }
+
+  // ---- measure-vs-bounds: the bound engines ARE the bounds, bitwise -------
+  // (FinishUnitInterval's clamp is the identity on a well-formed bracket,
+  // so any difference is a real divergence between the two code paths.)
+  if (do_ou) {
+    const LeakageBounds lb = BoundRecordLeakage(c.r, c.p, c.wm);
+    if (under_v.ok()) {
+      ++out->comparisons;
+      if (*under_v != lb.lower) {
+        fail("measure-vs-bounds",
+             "under " + Render(under_v) + " vs BoundRecordLeakage lower " +
+                 FormatDoubleRoundTrip(lb.lower));
+      }
+    }
+    if (over_v.ok()) {
+      ++out->comparisons;
+      if (*over_v != lb.upper) {
+        fail("measure-vs-bounds",
+             "over " + Render(over_v) + " vs BoundRecordLeakage upper " +
+                 FormatDoubleRoundTrip(lb.upper));
+      }
+    }
+  }
+
+  // ---- measure-degenerate: one possible world, everyone must report it ----
+  // All confidences in {0, 1} collapse the distribution to a point: the
+  // included set is exactly the confidence-1 attributes, its F1 is directly
+  // computable at any record size, and max / modal / expectation coincide.
+  // The Jensen lower bound is tight on a point mass too.
+  bool degenerate = true;
+  for (const auto& a : c.r) {
+    if (a.confidence != 0.0 && a.confidence != 1.0) {
+      degenerate = false;
+      break;
+    }
+  }
+  if (degenerate) {
+    double total = 0.0;
+    double overlap = 0.0;
+    for (const auto& a : c.r) {
+      if (a.confidence != 1.0) continue;
+      const double w = c.wm.Weight(a.label);
+      total += w;
+      if (c.p.Find(a.label, a.value) != nullptr) overlap += w;
+    }
+    const double denom = total + wp;
+    const double f1 = denom > 0.0 ? 2.0 * overlap / denom : 0.0;
+    if (std::isfinite(f1)) {
+      auto agree = [&](const char* what, const Result<double>& m) {
+        if (!m.ok()) return;
+        ++out->comparisons;
+        if (std::abs(*m - f1) > config_.exact_tol) {
+          fail("measure-degenerate",
+               std::string(what) + " " + Render(m) +
+                   " vs the single world's F1 " + FormatDoubleRoundTrip(f1));
+        }
+      };
+      if (do_pml) agree("pml", pml_v);
+      if (do_gw) agree("guesswork", gw_v);
+      if (do_ou) {
+        agree("under", under_v);
+        if (over_v.ok()) {
+          ++out->comparisons;
+          if (f1 > *over_v + config_.slack) {
+            fail("measure-degenerate",
+                 "single world's F1 " + FormatDoubleRoundTrip(f1) +
+                     " escapes above over " + Render(over_v));
+          }
+        }
+      }
+    }
+  }
+
+  // ---- measure-monotone: a fresh unmatched attribute cannot help ----------
+  // Extending r with an attribute absent from p adds no overlap: pml skips
+  // it outright when conf < 1 (bit-identical by the branching-skip
+  // contract); guesswork skips it below the 0.5 modal threshold and
+  // otherwise only grows the modal denominator; the under/over bounds both
+  // weakly decrease (larger E[Y] in every Jensen term, unchanged recall
+  // mass).
+  {
+    bool label_free = true;
+    for (const auto& a : c.r) {
+      if (a.label == "__ext") {
+        label_free = false;
+        break;
+      }
+    }
+    for (const auto& a : c.p) {
+      if (a.label == "__ext") {
+        label_free = false;
+        break;
+      }
+    }
+    if (label_free) {
+      auto leq = [&](const char* what, const Result<double>& base,
+                     const Result<double>& ext) {
+        if (!base.ok() || !ext.ok()) return;
+        ++out->comparisons;
+        if (*ext > *base + config_.slack) {
+          fail("measure-monotone",
+               std::string(what) + " grew from " + Render(base) + " to " +
+                   Render(ext) + " on an unmatched extension");
+        }
+      };
+      const double confs[] = {0.75, 0.25};
+      for (const double conf : confs) {
+        Record ext = c.r;
+        ext.Insert(Attribute("__ext", "1", conf));
+        if (do_pml) {
+          same_bits("measure-monotone",
+                    "pml under unmatched conf-" + FormatDoubleRoundTrip(conf) +
+                        " extension",
+                    pml_e->RecordLeakage(ext, c.p, c.wm), pml_v);
+        }
+        if (do_gw) {
+          const Result<double> g = gw_e->RecordLeakage(ext, c.p, c.wm);
+          if (conf < 0.5) {
+            same_bits("measure-monotone",
+                      "guesswork under sub-modal unmatched extension", g,
+                      gw_v);
+          } else {
+            leq("guesswork", gw_v, g);
+          }
+        }
+        if (do_ou) {
+          leq("under", under_v, under_e->RecordLeakage(ext, c.p, c.wm));
+          leq("over", over_v, over_e->RecordLeakage(ext, c.p, c.wm));
+        }
+      }
+    }
+  }
 }
 
 }  // namespace infoleak::check

@@ -39,6 +39,11 @@ struct OracleConfig {
   bool check_batch = true;
   bool check_auto = true;
   bool check_columnar = true;
+  // The measure family (core/measure_family.h): pointwise maximal,
+  // guesswork, and the under/over probabilistic bounds as engines.
+  bool check_pml = true;
+  bool check_guesswork = true;
+  bool check_overunder = true;
 };
 
 /// One confirmed disagreement: which property broke, the values involved,
@@ -82,15 +87,52 @@ struct OracleOutcome {
 /// non-uniform cases have no independent truth, so only the cross-path and
 /// bracket properties apply there.
 ///
+/// The measure family (core/measure_family.h) gets its own property set,
+/// run by `EvaluateMeasures` (called from Evaluate with the default
+/// engines):
+///  * `measure-path`       — string/prepared/columnar bit-identity and
+///                           [0, 1] range, per measure engine
+///  * `measure-truth`      — pml equals an independent brute-force world
+///                           maximum (small records); guesswork equals an
+///                           independent modal-world F1 recomputation
+///  * `measure-order`      — truth ≤ pml and guesswork ≤ pml (+slack)
+///  * `measure-bracket`    — under − slack ≤ truth ≤ over + slack
+///  * `measure-vs-bounds`  — the under/over engines are bitwise equal to
+///                           BoundRecordLeakage's lower/upper
+///  * `measure-degenerate` — all-{0,1}-confidence cases have one possible
+///                           world, whose directly-computed F1 every
+///                           measure must reproduce (any record size)
+///  * `measure-monotone`   — extending r with a fresh unmatched attribute
+///                           leaves pml bit-identical (conf < 1 excluded,
+///                           conf ≥ 0.5 can only grow the modal world):
+///                           guesswork/under/over may only decrease
+///
 /// Thread-compatible: Evaluate is const and engines are stateless, but the
 /// shared workspace means one Oracle per thread.
 class Oracle {
  public:
   explicit Oracle(OracleConfig config = {});
 
+  /// The measure engines one EvaluateMeasures pass cross-validates. Null
+  /// entries resolve to the process-wide singletons; tests inject
+  /// deliberately-perturbed engines here to prove each property would
+  /// catch a wrong implementation.
+  struct MeasureEngines {
+    const LeakageEngine* pml = nullptr;
+    const LeakageEngine* guesswork = nullptr;
+    const LeakageEngine* under = nullptr;
+    const LeakageEngine* over = nullptr;
+  };
+
   /// Runs every enabled comparison on `c`. `case_seed` drives the
   /// Monte-Carlo sampling, so a (case, seed) pair always reproduces.
   OracleOutcome Evaluate(const CheckCase& c, uint64_t case_seed) const;
+
+  /// The measure-family slice of Evaluate, appended into `*out`. Public so
+  /// tests can swap in perturbed engines (the sensitivity proof each new
+  /// measure owes the acceptance criteria).
+  void EvaluateMeasures(const CheckCase& c, const MeasureEngines& engines,
+                        OracleOutcome* out) const;
 
   const OracleConfig& config() const { return config_; }
 

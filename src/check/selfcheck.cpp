@@ -14,6 +14,7 @@
 #include "core/column_bank.h"
 #include "core/database.h"
 #include "core/leakage.h"
+#include "core/measure_family.h"
 #include "core/record_io.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -45,8 +46,12 @@ bool SameOutcome(const Result<double>& a, const Result<double>& b) {
 /// demand.
 class ServedChecker {
  public:
-  explicit ServedChecker(std::size_t naive_max)
-      : server_(RecordStore()), naive_max_(naive_max) {}
+  explicit ServedChecker(const OracleConfig& oracle)
+      : server_(RecordStore()),
+        naive_max_(oracle.naive_max),
+        check_pml_(oracle.check_pml),
+        check_guesswork_(oracle.check_guesswork),
+        check_overunder_(oracle.check_overunder) {}
 
   Status Start() {
     INFOLEAK_RETURN_IF_ERROR(server_.Start());
@@ -117,13 +122,13 @@ class ServedChecker {
 
   void Check(const CheckCase& c, std::size_t* comparisons,
              std::vector<Finding>* findings) {
-    for (const auto& [engine, offline] : OfflineValues(c)) {
+    for (const auto& v : OfflineValues(c)) {
       ++*comparisons;
-      const Result<double> served = Served(c, engine);
-      if (!SameOutcome(offline, served)) {
+      const Result<double> served = Served(c, v.name, v.is_measure);
+      if (!SameOutcome(v.offline, served)) {
         findings->push_back(Finding{
             "served",
-            std::string(engine) + ": offline " + RenderValue(offline) +
+            std::string(v.name) + ": offline " + RenderValue(v.offline) +
                 " vs served " + RenderValue(served),
             c});
       }
@@ -132,34 +137,56 @@ class ServedChecker {
 
   /// Shrink predicate: does any served/offline mismatch remain?
   bool Disagrees(const CheckCase& c) {
-    for (const auto& [engine, offline] : OfflineValues(c)) {
-      if (!SameOutcome(offline, Served(c, engine))) return true;
+    for (const auto& v : OfflineValues(c)) {
+      if (!SameOutcome(v.offline, Served(c, v.name, v.is_measure))) {
+        return true;
+      }
     }
     return false;
   }
 
  private:
-  std::vector<std::pair<const char*, Result<double>>> OfflineValues(
-      const CheckCase& c) {
-    std::vector<std::pair<const char*, Result<double>>> values;
-    values.emplace_back("auto", auto_.RecordLeakage(c.r, c.p, c.wm));
-    values.emplace_back("approx", approx_.RecordLeakage(c.r, c.p, c.wm));
-    values.emplace_back("exact", exact_.RecordLeakage(c.r, c.p, c.wm));
+  /// One wire comparison: `name` is either an engine name (is_measure
+  /// false, sent as the request's "engine") or a measure name (sent as
+  /// "measure" — the field the serving layer resolves to its singleton).
+  struct WireValue {
+    const char* name;
+    bool is_measure;
+    Result<double> offline;
+  };
+
+  std::vector<WireValue> OfflineValues(const CheckCase& c) {
+    std::vector<WireValue> values;
+    values.push_back({"auto", false, auto_.RecordLeakage(c.r, c.p, c.wm)});
+    values.push_back({"approx", false, approx_.RecordLeakage(c.r, c.p, c.wm)});
+    values.push_back({"exact", false, exact_.RecordLeakage(c.r, c.p, c.wm)});
     // The service's naive engine has a larger enumeration cap than the
     // oracle's; compare only where both sides are comfortably inside it.
     if (c.r.size() <= naive_max_) {
-      values.emplace_back("naive", naive_.RecordLeakage(c.r, c.p, c.wm));
+      values.push_back({"naive", false, naive_.RecordLeakage(c.r, c.p, c.wm)});
+    }
+    auto add_measure = [&](Measure m) {
+      const LeakageEngine* e = MeasureEngineSingleton(m);
+      values.push_back({MeasureName(m).data(), true,
+                        e->RecordLeakage(c.r, c.p, c.wm)});
+    };
+    if (check_pml_) add_measure(Measure::kPml);
+    if (check_guesswork_) add_measure(Measure::kGuesswork);
+    if (check_overunder_) {
+      add_measure(Measure::kUnder);
+      add_measure(Measure::kOver);
     }
     return values;
   }
 
-  Result<double> Served(const CheckCase& c, const std::string& engine) {
+  Result<double> Served(const CheckCase& c, const std::string& name,
+                        bool is_measure) {
     svc::JsonValue body = svc::JsonValue::Object();
     body.Set("record", svc::JsonValue::Str(FormatRecord(c.r)));
     body.Set("reference", svc::JsonValue::Str(FormatRecord(c.p)));
     const std::string weights = FormatWeights(c.wm);
     if (!weights.empty()) body.Set("weights", svc::JsonValue::Str(weights));
-    body.Set("engine", svc::JsonValue::Str(engine));
+    body.Set(is_measure ? "measure" : "engine", svc::JsonValue::Str(name));
     ++calls_;
     INFOLEAK_ASSIGN_OR_RETURN(svc::JsonValue response,
                               client_.CallVerb("leak", std::move(body)));
@@ -177,6 +204,9 @@ class ServedChecker {
   ApproxLeakage approx_;
   AutoLeakage auto_;
   std::size_t naive_max_;
+  bool check_pml_;
+  bool check_guesswork_;
+  bool check_overunder_;
   uint64_t baseline_recorded_ = 0;
   uint64_t calls_ = 0;  ///< wire requests issued through Served()
 };
@@ -202,7 +232,11 @@ class DurableChecker {
 
   Status Add(const CheckCase& c) {
     INFOLEAK_ASSIGN_OR_RETURN(RecordId id, store_->Append(c.r));
-    entries_.push_back(Entry{id, c, auto_.RecordLeakage(c.r, c.p, c.wm)});
+    Entry e{id, c, {}};
+    for (const auto& [name, engine] : Engines()) {
+      e.before.emplace_back(name, engine->RecordLeakage(c.r, c.p, c.wm));
+    }
+    entries_.push_back(std::move(e));
     return Status::OK();
   }
 
@@ -240,14 +274,21 @@ class DurableChecker {
             e.c});
         continue;
       }
-      ++*comparisons;
-      const Result<double> after = auto_.RecordLeakage(*rec, e.c.p, e.c.wm);
-      if (!SameOutcome(e.before, after)) {
-        findings->push_back(Finding{
-            "durable-recovery",
-            "leakage changed across recovery: before " +
-                RenderValue(e.before) + " vs after " + RenderValue(after),
-            e.c});
+      for (const auto& [name, before] : e.before) {
+        ++*comparisons;
+        const LeakageEngine* engine = nullptr;
+        for (const auto& [n2, eng] : Engines()) {
+          if (n2 == name) engine = eng;
+        }
+        const Result<double> after =
+            engine->RecordLeakage(*rec, e.c.p, e.c.wm);
+        if (!SameOutcome(before, after)) {
+          findings->push_back(Finding{
+              "durable-recovery",
+              std::string(name) + " leakage changed across recovery: before " +
+                  RenderValue(before) + " vs after " + RenderValue(after),
+              e.c});
+        }
       }
     }
     store_.reset();
@@ -260,8 +301,19 @@ class DurableChecker {
   struct Entry {
     RecordId id;
     CheckCase c;
-    Result<double> before;
+    /// Pre-recovery answer per engine: auto plus the whole measure family
+    /// (a recovered record must answer identically under every adversary
+    /// model, not just the default one).
+    std::vector<std::pair<const char*, Result<double>>> before;
   };
+
+  std::vector<std::pair<const char*, const LeakageEngine*>> Engines() const {
+    return {{"auto", &auto_},
+            {"pml", MeasureEngineSingleton(Measure::kPml)},
+            {"guesswork", MeasureEngineSingleton(Measure::kGuesswork)},
+            {"under", MeasureEngineSingleton(Measure::kUnder)},
+            {"over", MeasureEngineSingleton(Measure::kOver)}};
+  }
 
   std::string dir_;
   std::unique_ptr<persist::DurableStore> store_;
@@ -303,12 +355,17 @@ class IncChecker {
       // Query pool: a handful of generated references, each pinned to one
       // engine so every columnar engine sees the interleaving — including
       // naive/exact, whose structural errors must poison the index into
-      // the bit-identical scan fallback rather than a wrong answer.
-      static constexpr const char* kEngines[] = {"auto", "approx", "exact",
-                                                 "naive"};
+      // the bit-identical scan fallback rather than a wrong answer, and the
+      // measure family, whose per-engine indexes must never leak a stale
+      // default-measure answer. The last four names are measures and travel
+      // as the wire's "measure" field.
+      static constexpr const char* kEngines[] = {
+          "auto", "approx", "exact",     "naive",
+          "pml",  "guesswork", "under", "over"};
+      constexpr std::size_t kNumEngines = 8;
       CaseGenerator gen(seed ^ 0x1c5e11c8ec4ULL);
       std::vector<CheckCase> pool;
-      while (pool.size() < 4) {
+      while (pool.size() < kNumEngines) {
         Result<CheckCase> c = Canonicalize(gen.Next());
         if (c.ok()) pool.push_back(std::move(c).value());
       }
@@ -318,7 +375,8 @@ class IncChecker {
       std::size_t appends = 0, compacts = 0;
       auto check_query = [&](std::size_t step, std::size_t which) -> Status {
         const CheckCase& c = pool[which];
-        const char* engine_name = kEngines[which % 4];
+        const char* engine_name = kEngines[which % kNumEngines];
+        const bool is_measure = (which % kNumEngines) >= 4;
         ++*comparisons;
         // Wire answer through the served, index-backed path.
         svc::JsonValue body = svc::JsonValue::Object();
@@ -327,7 +385,8 @@ class IncChecker {
         if (!weights.empty()) {
           body.Set("weights", svc::JsonValue::Str(weights));
         }
-        body.Set("engine", svc::JsonValue::Str(engine_name));
+        body.Set(is_measure ? "measure" : "engine",
+                 svc::JsonValue::Str(engine_name));
         Result<svc::JsonValue> wire =
             client.CallVerb("set-leak", std::move(body));
         // Cold rescan of the mirror prefix, built from scratch every time.
@@ -423,6 +482,10 @@ class IncChecker {
     if (name == "naive") return naive_;
     if (name == "exact") return exact_;
     if (name == "approx") return approx_;
+    if (Result<Measure> m = ParseMeasure(name);
+        m.ok() && *m != Measure::kExpectedF1) {
+      return *MeasureEngineSingleton(*m);
+    }
     return auto_;
   }
 
@@ -480,7 +543,7 @@ Result<SelfCheckReport> RunSelfCheck(const SelfCheckConfig& config) {
   SelfCheckReport report;
   const Oracle oracle(config.oracle);
 
-  ServedChecker served(config.oracle.naive_max);
+  ServedChecker served(config.oracle);
   if (config.check_served) INFOLEAK_RETURN_IF_ERROR(served.Start());
   DurableChecker durable(config.scratch_dir.empty()
                              ? DefaultScratchDir(config.seed)

@@ -22,6 +22,7 @@
 #include "core/fbeta_leakage.h"
 #include "core/kernels.h"
 #include "core/leakage.h"
+#include "core/measure_family.h"
 #include "core/record_io.h"
 #include "er/blocking.h"
 #include "er/dipping.h"
@@ -70,6 +71,8 @@ constexpr FlagDoc kLeakageFlags[] = {
     {"reference-text", "inline reference record \"{<label, value, conf>, ...}\""},
     {"weights", "weight spec \"Label=2,Other=0.5\" (default: all 1)"},
     {"engine", "leakage engine: auto|naive|exact|approx"},
+    {"measure", "adversary model: expected-f1|pml|guesswork|under|over "
+                "(non-default measures exclude --engine and --beta)"},
     {"beta", "F-beta recall/precision trade-off (default 1.0)"},
     {"bounds", "also print closed-form per-record leakage bounds"},
     {"resolve", "run entity resolution before measuring"},
@@ -93,6 +96,8 @@ constexpr FlagDoc kIncrementalFlags[] = {
     {"reference-text", "inline reference record \"{...}\""},
     {"weights", "weight spec \"Label=2,...\""},
     {"engine", "leakage engine: auto|naive|exact|approx"},
+    {"measure", "adversary model: expected-f1|pml|guesswork|under|over "
+                "(non-default measures exclude --engine)"},
     {"release-text", "candidate record whose release is being evaluated"},
     {"match-rules", "run ER with these rules before both measurements"},
     {"resolver", "ER algorithm: swoosh|transitive|blocked"},
@@ -224,6 +229,8 @@ constexpr FlagDoc kSubscribeFlags[] = {
     {"weights", "weight spec \"Label=2,...\""},
     {"engine", "leakage engine the index maintains: auto|naive|exact|approx "
                "(default auto)"},
+    {"measure", "adversary model the index maintains: expected-f1|pml|"
+                "guesswork|under|over (non-default measures exclude --engine)"},
     {"max-events", "events per fetch, oldest first (default 64, max 1000)"},
     {"after-seq", "resume after this delta cursor (default 0: from the "
                   "oldest retained event)"},
@@ -249,6 +256,8 @@ constexpr FlagDoc kSelfCheckFlags[] = {
              "reproduces (default 1)"},
     {"engines", "comma list of checks to run: naive,exact,approx,mc,"
                 "bounds,batch,auto,served,durable,inc (default all)"},
+    {"measures", "measure-family checks: all|none|comma list of "
+                 "pml,guesswork,overunder (default all)"},
     {"corpus", "regression corpus directory: replay every *.case before "
                "generating, write new minimized findings back"},
     {"no-corpus-write", "replay the corpus but do not add new entries"},
@@ -477,6 +486,41 @@ Result<std::unique_ptr<LeakageEngine>> MakeEngine(const FlagSet& flags) {
                                  "' (auto|naive|exact|approx)");
 }
 
+/// The engine a command evaluates through, after resolving --measure and
+/// --engine together. Non-default measures (core/measure_family.h) have
+/// exactly one engine — a process singleton, borrowed not owned — so an
+/// explicit --engine alongside one is a contradiction and is refused. The
+/// default expected-f1 measure falls through to MakeEngine.
+struct EngineChoice {
+  std::unique_ptr<LeakageEngine> owned;   ///< set for classic engines
+  const LeakageEngine* engine = nullptr;  ///< always valid
+};
+
+Result<EngineChoice> MakeEngineChoice(const FlagSet& flags) {
+  const std::string measure_name = flags.GetString("measure", "expected-f1");
+  auto measure = ParseMeasure(measure_name);
+  if (!measure.ok()) {
+    return Status::InvalidArgument(
+        "unknown --measure '" + measure_name +
+        "' (expected-f1|pml|guesswork|under|over)");
+  }
+  EngineChoice choice;
+  if (*measure != Measure::kExpectedF1) {
+    if (flags.Has("engine")) {
+      return Status::InvalidArgument(
+          "--engine only applies to the default expected-f1 measure; "
+          "--measure " + measure_name + " has exactly one engine");
+    }
+    choice.engine = MeasureEngineSingleton(*measure);
+    return choice;
+  }
+  auto engine = MakeEngine(flags);
+  if (!engine.ok()) return engine.status();
+  choice.owned = std::move(engine).value();
+  choice.engine = choice.owned.get();
+  return choice;
+}
+
 /// Owns the pieces of a configured resolver so callers get one object.
 struct ResolverBundle {
   std::unique_ptr<MatchFunction> match;
@@ -551,6 +595,11 @@ Status RunLeakage(const FlagSet& flags, std::string* out) {
   auto beta = flags.GetDouble("beta", 1.0);
   if (!beta.ok()) return beta.status();
   if (*beta != 1.0) {
+    if (flags.GetString("measure", "expected-f1") != "expected-f1") {
+      return Status::InvalidArgument(
+          "--beta only applies to the default expected-f1 measure (F-beta "
+          "reweights the expectation; the other measures have no beta)");
+    }
     FBetaLeakage fbeta(*beta);
     auto l = fbeta.SetLeakage(analyzed, *reference, *weights);
     if (!l.ok()) return l.status();
@@ -559,8 +608,9 @@ Status RunLeakage(const FlagSet& flags, std::string* out) {
     return Status::OK();
   }
 
-  auto engine = MakeEngine(flags);
-  if (!engine.ok()) return engine.status();
+  auto choice = MakeEngineChoice(flags);
+  if (!choice.ok()) return choice.status();
+  const LeakageEngine& engine = *choice->engine;
   const bool show_bounds = flags.Has("bounds");
   // Prepare the reference once and share it between the per-record report
   // and the set-leakage pass so the whole command stays on the prepared
@@ -569,7 +619,7 @@ Status RunLeakage(const FlagSet& flags, std::string* out) {
   std::vector<const Record*> record_ptrs;
   record_ptrs.reserve(analyzed.size());
   for (const auto& r : analyzed) record_ptrs.push_back(&r);
-  auto per_record = BatchLeakage(record_ptrs, prepared, **engine);
+  auto per_record = BatchLeakage(record_ptrs, prepared, engine);
   if (!per_record.ok()) return per_record.status();
   for (std::size_t i = 0; i < analyzed.size(); ++i) {
     std::string line = "record " + std::to_string(i) + ": L = " +
@@ -583,7 +633,7 @@ Status RunLeakage(const FlagSet& flags, std::string* out) {
     Append(out, line);
   }
   std::ptrdiff_t argmax = -1;
-  auto total = SetLeakageArgMax(analyzed, prepared, **engine, &argmax);
+  auto total = SetLeakageArgMax(analyzed, prepared, engine, &argmax);
   if (!total.ok()) return total.status();
   Append(out, "set leakage L0(R, p) = " + FormatDouble(*total, 7) +
                   " (record " + std::to_string(argmax) + ")");
@@ -620,8 +670,8 @@ Status RunIncremental(const FlagSet& flags, std::string* out) {
   if (!weights.ok()) return weights.status();
   auto release = ParseRecord(flags.GetString("release-text"));
   if (!release.ok()) return release.status();
-  auto engine = MakeEngine(flags);
-  if (!engine.ok()) return engine.status();
+  auto choice = MakeEngineChoice(flags);
+  if (!choice.ok()) return choice.status();
 
   std::unique_ptr<AnalysisOperator> op;
   ResolverBundle bundle;
@@ -635,11 +685,11 @@ Status RunIncremental(const FlagSet& flags, std::string* out) {
   }
 
   Result<double> before =
-      InformationLeakage(*db, *reference, *op, *weights, **engine);
+      InformationLeakage(*db, *reference, *op, *weights, *choice->engine);
   if (!before.ok()) return before.status();
   Result<double> after = InformationLeakage(db->WithRecord(*release),
                                             *reference, *op, *weights,
-                                            **engine);
+                                            *choice->engine);
   if (!after.ok()) return after.status();
   Append(out, "before:      " + FormatDouble(*before, 7));
   Append(out, "after:       " + FormatDouble(*after, 7));
@@ -1346,8 +1396,19 @@ Status RunSubscribe(const FlagSet& flags, std::string* out) {
       if (flags.Has("weights")) {
         body.Set("weights", svc::JsonValue::Str(flags.GetString("weights")));
       }
-      body.Set("engine",
-               svc::JsonValue::Str(flags.GetString("engine", "auto")));
+      // A non-default --measure names its engine by itself; sending the
+      // default "engine" alongside it would trip the wire's
+      // measure-vs-engine contradiction rule.
+      if (flags.GetString("measure", "expected-f1") != "expected-f1") {
+        body.Set("measure", svc::JsonValue::Str(flags.GetString("measure")));
+        if (flags.Has("engine")) {
+          return Status::InvalidArgument(
+              "--engine only applies to the default expected-f1 measure");
+        }
+      } else {
+        body.Set("engine",
+                 svc::JsonValue::Str(flags.GetString("engine", "auto")));
+      }
       body.Set("max_events",
                svc::JsonValue::Number(static_cast<double>(*max_events)));
       if (cursor > 0) {
@@ -1498,6 +1559,11 @@ Status RunSelfCheck(const FlagSet& flags, std::string* out) {
     config.oracle.check_bounds = false;
     config.oracle.check_batch = false;
     config.oracle.check_auto = false;
+    // --engines narrows to the named set; the measure family rides along
+    // only when --measures asks for it (or "all" resets everything).
+    config.oracle.check_pml = false;
+    config.oracle.check_guesswork = false;
+    config.oracle.check_overunder = false;
     config.check_served = false;
     config.check_durable = false;
     config.check_inc = false;
@@ -1525,6 +1591,32 @@ Status RunSelfCheck(const FlagSet& flags, std::string* out) {
             "unknown --engines entry '" + engine +
             "' (naive,exact,approx,mc,bounds,batch,auto,served,durable,inc,"
             "all)");
+      }
+    }
+  }
+
+  // --measures selects the measure-family oracle properties independently
+  // of --engines (parsed after it, so "--engines naive --measures all"
+  // composes). Spellings: all | none | comma list.
+  if (flags.Has("measures")) {
+    config.oracle.check_pml = false;
+    config.oracle.check_guesswork = false;
+    config.oracle.check_overunder = false;
+    const std::string spec = flags.GetString("measures");
+    if (spec != "none") {
+      for (const std::string& m : Split(spec, ',')) {
+        if (m == "pml") config.oracle.check_pml = true;
+        else if (m == "guesswork") config.oracle.check_guesswork = true;
+        else if (m == "overunder") config.oracle.check_overunder = true;
+        else if (m == "all") {
+          config.oracle.check_pml = true;
+          config.oracle.check_guesswork = true;
+          config.oracle.check_overunder = true;
+        } else {
+          return Status::InvalidArgument(
+              "unknown --measures entry '" + m +
+              "' (pml,guesswork,overunder,all,none)");
+        }
       }
     }
   }

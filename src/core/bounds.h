@@ -33,12 +33,26 @@ struct LeakageBounds {
 LeakageBounds BoundRecordLeakage(const Record& r, const Record& p,
                                  const WeightModel& wm);
 
+/// \brief As BoundRecordLeakage, on prepared views — bit-identical to the
+/// string form, gathering the record's columns into the workspace and
+/// running the shared bounds kernel. This is the prepared path the
+/// under/over measure engines (core/measure_family.h) evaluate through.
+LeakageBounds BoundRecordLeakagePrepared(const PreparedRecord& r,
+                                         const PreparedReference& p,
+                                         LeakageWorkspace* ws);
+
 /// \brief As BoundRecordLeakage, for record `index` of a column bank —
 /// bit-identical to the string form (pinned by the selfcheck oracle) but
 /// streaming the bank's columns through the bounds kernel with no hashing.
 LeakageBounds BoundRecordLeakageColumnar(const ColumnBank& bank,
                                          std::size_t index,
                                          LeakageWorkspace* ws);
+
+/// \brief The view-based core the bank overload delegates to, usable with
+/// any `ColumnRecordView` prepared against `p`.
+LeakageBounds BoundRecordLeakageView(const ColumnRecordView& v,
+                                     const PreparedReference& p,
+                                     LeakageWorkspace* ws);
 
 /// \brief Sound, computable bound B on the truncation error of the §5.2
 /// Taylor approximation: |ApproxLeakage(order) − L(r, p)| ≤ B. This is what

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/kernels.h"
+#include "core/measure_family.h"
 #include "core/record_io.h"
 #include "obs/export.h"
 #include "obs/log.h"
@@ -142,6 +143,26 @@ std::size_t LeakageService::cached_references() const {
 
 Result<const LeakageEngine*> LeakageService::PickEngine(
     const JsonValue& body) const {
+  // The optional "measure" field selects an adversary model from the closed
+  // measure vocabulary; unknown names are rejected, never defaulted (the
+  // wire rule every field follows). A non-default measure has exactly one
+  // engine, so combining it with an explicit "engine" is a contradiction we
+  // refuse rather than silently resolve.
+  if (const JsonValue* m = body.Find("measure"); m != nullptr) {
+    if (!m->is_string()) {
+      return Status::InvalidArgument("field \"measure\" must be a string");
+    }
+    auto measure = ParseMeasure(m->as_string());
+    if (!measure.ok()) return measure.status();
+    if (*measure != Measure::kExpectedF1) {
+      if (body.Find("engine") != nullptr) {
+        return Status::InvalidArgument(
+            "\"engine\" only applies to the default expected-f1 measure; "
+            "measure '" + m->as_string() + "' has exactly one engine");
+      }
+      return MeasureEngineSingleton(*measure);
+    }
+  }
   const std::string name = body.GetString("engine", "auto");
   if (name == "auto") return static_cast<const LeakageEngine*>(&auto_engine_);
   if (name == "naive") return static_cast<const LeakageEngine*>(&naive_engine_);

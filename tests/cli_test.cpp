@@ -168,6 +168,8 @@ TEST(CliTest, SelfCheckHelpGoldenOutput) {
       "always reproduces (default 1)\n"
       "  --engines          comma list of checks to run: naive,exact,approx,"
       "mc,bounds,batch,auto,served,durable,inc (default all)\n"
+      "  --measures         measure-family checks: all|none|comma list of "
+      "pml,guesswork,overunder (default all)\n"
       "  --corpus           regression corpus directory: replay every *.case "
       "before generating, write new minimized findings back\n"
       "  --no-corpus-write  replay the corpus but do not add new entries\n"

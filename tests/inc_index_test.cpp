@@ -11,6 +11,7 @@
 #include "core/column_bank.h"
 #include "core/database.h"
 #include "core/leakage.h"
+#include "core/measure_family.h"
 #include "core/record_io.h"
 #include "inc/change_feed.h"
 #include "obs/metrics.h"
@@ -93,6 +94,82 @@ TEST(IncIndexTest, QueryMatchesColdRescanBitExactly) {
     EXPECT_EQ(got->argmax, want_argmax) << engine->name();
     EXPECT_EQ(got->records, db.size());
   }
+}
+
+/// The measure-family engines (core/measure_family.h) maintain indexes too:
+/// per measure, the indexed answer must be bit-identical to a cold columnar
+/// scan under the same engine — and never a stale default-measure value.
+TEST(IncIndexTest, MeasureEngineQueriesMatchColdRescanBitExactly) {
+  const Database db = SeededDb(200);
+  const Record p = Rec(kReference);
+  const WeightModel wm = Weights("N=2,C=1,P=3");
+  for (Measure m : {Measure::kPml, Measure::kGuesswork, Measure::kUnder,
+                    Measure::kOver}) {
+    const LeakageEngine* engine = MeasureEngineSingleton(m);
+    ASSERT_NE(engine, nullptr);
+    const PreparedReference prep(p, wm);
+    ColumnBank bank(prep);
+    bank.ExtendFrom(db);
+    std::ptrdiff_t want_argmax = -1;
+    auto want = SetLeakageColumnar(bank, *engine, &want_argmax);
+    ASSERT_TRUE(want.ok()) << engine->name();
+
+    LeakageIndex index(p, wm, engine, /*feed=*/nullptr);
+    auto got = index.QueryLocked(db);
+    ASSERT_TRUE(got.ok()) << engine->name() << ": " << got.status().ToString();
+    EXPECT_EQ(got->leakage, *want) << engine->name();  // exact, not near
+    EXPECT_EQ(got->argmax, want_argmax) << engine->name();
+    EXPECT_EQ(got->records, db.size());
+  }
+}
+
+/// Guards the engine-identity keying: an index maintained under pml must
+/// not answer with the default measure's value. Every record here keeps a
+/// partial confidence, so the world maximum strictly exceeds the
+/// expectation and any cross-contamination shows up as a value mismatch.
+TEST(IncIndexTest, MeasureIndexNeverServesStaleDefaultAnswers) {
+  Database db;
+  db.Add(Rec("{<N, alice, 0.5>, <C, rome, 0.5>}"));
+  db.Add(Rec("{<N, alice, 0.75>, <P, 123, 0.25>}"));
+  db.Add(Rec("{<C, rome, 0.5>}"));
+  const Record p = Rec(kReference);
+  const WeightModel wm = Weights();
+  AutoLeakage auto_engine;
+  LeakageIndex default_index(p, wm, &auto_engine, nullptr);
+  LeakageIndex pml_index(p, wm, MeasureEngineSingleton(Measure::kPml),
+                         nullptr);
+  auto expected = default_index.QueryLocked(db);
+  auto pml = pml_index.QueryLocked(db);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_TRUE(pml.ok());
+  EXPECT_NE(pml->leakage, expected->leakage)
+      << "pml index returned the default measure's answer";
+  EXPECT_GE(pml->leakage, expected->leakage);  // family ordering on the max
+}
+
+/// Record-at-a-time maintenance under a measure engine lands on the same
+/// bits as the one-shot catch-up — the append path has no measure-specific
+/// code, and this keeps it that way.
+TEST(IncIndexTest, MeasureEngineAppendsMatchOneShotCatchup) {
+  const Database db = SeededDb(120, 7);
+  const Record p = Rec(kReference);
+  const WeightModel wm = Weights();
+  const LeakageEngine* engine = MeasureEngineSingleton(Measure::kGuesswork);
+
+  LeakageIndex one_shot(p, wm, engine, nullptr);
+  auto want = one_shot.QueryLocked(db);
+  ASSERT_TRUE(want.ok());
+
+  LeakageIndex stepped(p, wm, engine, nullptr);
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    AppendDelta delta{static_cast<RecordId>(i), &db[i]};
+    stepped.OnAppend(delta);
+  }
+  auto got = stepped.QueryLocked(db);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->leakage, want->leakage);
+  EXPECT_EQ(got->argmax, want->argmax);
+  EXPECT_EQ(stepped.Stats().covered, db.size());
 }
 
 TEST(IncIndexTest, IncrementalAppendsMatchOneShotCatchup) {

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "core/leakage.h"
+#include "core/measure_family.h"
 #include "core/record_io.h"
 #include "obs/log.h"
 #include "obs/request.h"
@@ -166,6 +167,92 @@ TEST(LeakageServiceTest, ErrorsUseWireCodes) {
   EXPECT_EQ(code, "invalid_argument");
   service.Handle(Req(R"({"verb":"append","record":"{}"})"), {}, &code);
   EXPECT_EQ(code, "invalid_argument");
+}
+
+// The "measure" field follows the closed-vocabulary wire rule: unknown
+// names, wrong types, and contradictory engine selections are
+// invalid_argument on the wire — never a silent fall-back to the default
+// measure.
+TEST(LeakageServiceTest, MeasureFieldUsesClosedVocabulary) {
+  LeakageService service = MakeService();
+  std::string code;
+  const std::string ref = "\"reference\":" + JsonQuote(kReference);
+  service.Handle(
+      Req(R"({"verb":"set-leak",)" + ref + R"(,"measure":"renyi"})"), {},
+      &code);
+  EXPECT_EQ(code, "invalid_argument");
+  service.Handle(Req(R"({"verb":"set-leak",)" + ref + R"(,"measure":3})"),
+                 {}, &code);
+  EXPECT_EQ(code, "invalid_argument");
+  // A non-default measure has exactly one engine; naming another is a
+  // contradiction, not a preference.
+  service.Handle(Req(R"({"verb":"set-leak",)" + ref +
+                     R"(,"measure":"pml","engine":"exact"})"),
+                 {}, &code);
+  EXPECT_EQ(code, "invalid_argument");
+  // The default measure spelled out composes with an engine choice.
+  code.clear();
+  service.Handle(Req(R"({"verb":"set-leak",)" + ref +
+                     R"(,"measure":"expected-f1","engine":"exact"})"),
+                 {}, &code);
+  EXPECT_TRUE(code.empty()) << code;
+}
+
+TEST(LeakageServiceTest, MeasureSetLeakMatchesOfflineApiBitExactly) {
+  auto db = LoadDatabaseCsv(kDbCsv);
+  ASSERT_TRUE(db.ok());
+  auto reference = ParseRecord(kReference);
+  ASSERT_TRUE(reference.ok());
+  auto weights = WeightModel::Parse("");
+  ASSERT_TRUE(weights.ok());
+  for (Measure m : {Measure::kPml, Measure::kGuesswork, Measure::kUnder,
+                    Measure::kOver}) {
+    const LeakageEngine* engine = MeasureEngineSingleton(m);
+    ASSERT_NE(engine, nullptr);
+    std::ptrdiff_t argmax = -1;
+    auto expected =
+        SetLeakageArgMax(*db, *reference, *weights, *engine, &argmax);
+    ASSERT_TRUE(expected.ok()) << engine->name();
+
+    LeakageService service = MakeService();
+    JsonValue out = Handle(
+        service, std::string(R"({"verb":"set-leak",)") +
+                     "\"reference\":" + JsonQuote(kReference) +
+                     ",\"measure\":\"" + std::string(engine->name()) + "\"}");
+    ASSERT_TRUE(out.GetBool("ok", false)) << out.Render();
+    EXPECT_EQ(out.GetNumber("leakage", -1), *expected) << engine->name();
+    EXPECT_EQ(out.GetNumber("argmax", -2), static_cast<double>(argmax))
+        << engine->name();
+  }
+}
+
+// Indexes are keyed by engine identity, so a measure query after a default
+// query on the same reference must answer under its own engine — a stale
+// default-measure value here would be silent data corruption. The appended
+// partial-confidence record makes the two answers provably different.
+TEST(LeakageServiceTest, MeasureSetLeakNeverServesStaleDefaultAnswers) {
+  LeakageService service = MakeService();
+  JsonValue appended = Handle(
+      service,
+      std::string(R"({"verb":"append","record":)") +
+          JsonQuote("{<N, Alice, 0.5>, <P, 123, 0.5>, <C, 999, 0.5>}") + "}");
+  ASSERT_TRUE(appended.GetBool("ok", false)) << appended.Render();
+
+  const std::string ref = "\"reference\":" + JsonQuote(kReference);
+  // Warm the default-measure index first, then query pml on the same
+  // reference; repeat the measure query so it can land on its own index.
+  JsonValue expected =
+      Handle(service, R"({"verb":"set-leak",)" + ref + "}");
+  ASSERT_TRUE(expected.GetBool("ok", false)) << expected.Render();
+  for (int i = 0; i < 2; ++i) {
+    JsonValue pml = Handle(service, R"({"verb":"set-leak",)" + ref +
+                                        R"(,"measure":"pml"})");
+    ASSERT_TRUE(pml.GetBool("ok", false)) << pml.Render();
+    EXPECT_GT(pml.GetNumber("leakage", -1),
+              expected.GetNumber("leakage", 2.0))
+        << "pml answer did not exceed the expected-F1 answer: stale index?";
+    EXPECT_EQ(pml.GetNumber("argmax", -2), 3.0);  // the partial record wins
+  }
 }
 
 TEST(LeakageServiceTest, CancelHookAbortsWithDeadlineExceeded) {
