@@ -1,0 +1,69 @@
+// Extension bench: the anonymization-vs-leakage frontier served by
+// `infoleak frontier`, recorded as a checked-in sidecar. Sweeps a
+// (k, l, suppression) grid over the seeded synthetic registry, prices every
+// mechanism point with the Section-3 adversary pipeline, and charts the
+// utility metrics next to the worst-person leakage. Every cell is a pure
+// function of (seed, grid-coords), so the sidecar is byte-reproducible.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/frontier.h"
+#include "bench/harness.h"
+#include "util/timer.h"
+
+using namespace infoleak;
+using namespace infoleak::bench;
+
+int main() {
+  FrontierConfig config;
+  config.registry.seed = 1;
+  config.registry.rows = 60;
+  config.grid.ks = {2, 3, 5, 10};
+  config.grid.ls = {1, 2};
+  config.grid.suppressions = {0, 3};
+  config.num_threads = 0;  // the sweep fans across the hardware pool
+
+  PrintTitle("Extension: privacy-mechanism evaluation frontier",
+             "seed=1 rows=60 ks={2,3,5,10} ls={1,2} suppress={0,3}; "
+             "adversary = generalized ER + exact set leakage");
+  BenchReport report("anon_frontier",
+                     "seed=1 rows=60 ks={2,3,5,10} ls={1,2} suppress={0,3} "
+                     "measure=expected-f1",
+                     {"k", "l", "suppress", "found", "height", "dropped",
+                      "prec", "discern", "c_avg", "worst_leakage",
+                      "mean_leakage"});
+  RowPrinter rows({"k", "l", "suppress", "found", "height", "dropped",
+                   "prec", "discern", "c_avg", "worst_leak", "mean_leak"},
+                  11, &report);
+
+  WallTimer timer;
+  auto result = RunFrontier(config);
+  if (!result.ok()) {
+    std::printf("frontier sweep failed: %s\n",
+                result.status().ToString().c_str());
+    return 1;
+  }
+  for (const FrontierPoint& p : result->points) {
+    if (!p.found) {
+      rows.Row({std::to_string(p.k), std::to_string(p.l),
+                std::to_string(p.max_suppressed), "no", "-", "-", "-", "-",
+                "-", "-", "-"});
+      continue;
+    }
+    rows.Row({std::to_string(p.k), std::to_string(p.l),
+              std::to_string(p.max_suppressed), "yes",
+              std::to_string(p.height), std::to_string(p.suppressed),
+              Fmt(p.prec, 3), Fmt(p.discernibility, 0), Fmt(p.avg_class, 3),
+              Fmt(p.worst_leakage, 5), Fmt(p.mean_leakage, 5)});
+  }
+  std::printf("\nsweep: %zu points over %zu rows in %.2fs\n",
+              result->points.size(), result->rows, timer.ElapsedSeconds());
+  std::printf(
+      "reading: down any k column the worst-person leakage is non-\n"
+      "increasing while Prec falls — the utility price of every extra\n"
+      "notch of anonymity, the frontier k-anonymity alone cannot chart.\n");
+  if (!report.WriteFile().ok()) return 1;
+  return 0;
+}

@@ -85,7 +85,7 @@ int main() {
       continue;
     }
     std::string levels = std::to_string(result->levels[0]) + StrCat("/", std::to_string(result->levels[1]));
-    double prec = GeneralizationPrecision(qis, result->levels);
+    double prec = GeneralizationPrecision(qis, result->levels).value_or(-1);
     double discern =
         DiscernibilityMetric(result->table, {"Zip", "Age"}).value_or(-1);
     double avg =

@@ -10,7 +10,10 @@
 # ping/append/leak/set-leak/stats through `infoleak call`, then SIGTERM
 # and require a clean graceful drain), smoke-tests the incremental leakage
 # index (index-path set-leaks under appends, `subscribe` deltas, compact
-# mid-load, kill -9 rebuild) and runs the differential selfcheck
+# mid-load, kill -9 rebuild), smoke-tests the anonymization frontier
+# (`infoleak frontier` on a small grid: worst-person leakage must be
+# non-increasing in k and the per-point phase accounting present),
+# and runs the differential selfcheck
 # harness (`infoleak selfcheck`): every engine and path must agree on
 # 2000 adversarial cases plus the checked-in regression corpus.
 #
@@ -260,6 +263,26 @@ smoke_inc() {
   echo "=== [${dir}] incremental-index smoke OK (21 records, index path) ==="
 }
 
+# Frontier smoke: sweep a small anonymization grid through the whole
+# mechanism-evaluation pipeline (lattice search -> generalized ER ->
+# per-person leakage) and require (a) worst-person leakage non-increasing
+# in k — the paper's core monotonicity, any ER or lattice regression
+# breaks it — and (b) the per-point phase accounting present when asked.
+smoke_frontier() {
+  local dir="$1"
+  local bin="${dir}/src/cli/infoleak"
+  echo "=== [${dir}] frontier smoke test ==="
+  local out
+  out="$("${bin}" frontier --rows 40 --ks 2,5,10 --phases)"
+  echo "${out}" | grep -c '"found":true' | grep -qx 3
+  echo "${out}" | grep -v '^#' \
+    | sed -n 's/.*"worst_leakage":\([0-9.eE+-]*\).*/\1/p' \
+    | awk 'NR > 1 && $1 > prev + 1e-12 { exit 1 } { prev = $1 }'
+  echo "${out}" | grep '^# phases' \
+    | grep -q 'anonymize_us=[0-9]* resolve_us=[0-9]* eval_us=[0-9]*'
+  echo "=== [${dir}] frontier smoke OK (worst leakage monotone in k) ==="
+}
+
 # Differential selfcheck smoke: replay the regression corpus, then fuzz
 # 2000 adversarial cases through every engine and path (offline, served,
 # durable-recovery). Any cross-engine disagreement fails the gate.
@@ -298,11 +321,13 @@ run_pass build-ci-release
 smoke_serve build-ci-release
 smoke_crash build-ci-release
 smoke_inc build-ci-release
+smoke_frontier build-ci-release
 smoke_selfcheck build-ci-release
 run_pass build-ci-asan -DINFOLEAK_SANITIZE=address
 smoke_serve build-ci-asan
 smoke_crash build-ci-asan
 smoke_inc build-ci-asan
+smoke_frontier build-ci-asan
 smoke_selfcheck build-ci-asan
 # Forced-scalar pass: the SIMD kernel tables are compiled out, so every
 # engine runs the scalar reference kernels. The full suite plus selfcheck

@@ -1,0 +1,44 @@
+#include "anon/lattice.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace infoleak {
+
+bool ForEachNodeAtHeight(const std::vector<int>& max_levels, int target,
+                         const std::function<bool(const std::vector<int>&)>& fn) {
+  std::vector<int> levels(max_levels.size(), 0);
+  // Depth-first assignment of the height budget, lexicographically: give
+  // position i as little as possible first? Lexicographic order over the
+  // vector means earlier positions ascend last — enumerate by recursion
+  // trying smaller values first at each position.
+  std::function<bool(std::size_t, int)> rec = [&](std::size_t pos,
+                                                  int remaining) -> bool {
+    if (pos == levels.size()) return remaining == 0 && fn(levels);
+    // Upper bound on what later positions can still absorb.
+    int later_capacity = 0;
+    for (std::size_t j = pos + 1; j < max_levels.size(); ++j) {
+      later_capacity += max_levels[j];
+    }
+    int lo = std::max(0, remaining - later_capacity);
+    int hi = std::min(max_levels[pos], remaining);
+    for (int v = lo; v <= hi; ++v) {
+      levels[pos] = v;
+      if (rec(pos + 1, remaining - v)) return true;
+    }
+    return false;
+  };
+  return rec(0, target);
+}
+
+bool ForEachNodeByHeight(const std::vector<int>& max_levels,
+                         const std::function<bool(const std::vector<int>&)>& fn) {
+  const int total_height =
+      std::accumulate(max_levels.begin(), max_levels.end(), 0);
+  for (int h = 0; h <= total_height; ++h) {
+    if (ForEachNodeAtHeight(max_levels, h, fn)) return true;
+  }
+  return false;
+}
+
+}  // namespace infoleak

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace infoleak {
+
+/// Enumeration over the full-domain generalization lattice (the level
+/// vectors `0 <= levels[i] <= max_levels[i]`), shared by the Samarati
+/// binary search, the generalize-then-suppress search, and the frontier
+/// sweeps. Enumerating by ascending height keeps every search linear in
+/// the nodes actually visited instead of materializing the (exponential in
+/// #QIs) lattice up front.
+
+/// \brief Enumerates the level vectors of exactly height `target` in
+/// lexicographic order, invoking `fn` on each until it returns true
+/// (found); returns whether any invocation returned true.
+bool ForEachNodeAtHeight(const std::vector<int>& max_levels, int target,
+                         const std::function<bool(const std::vector<int>&)>& fn);
+
+/// \brief Enumerates every lattice node in (height, lexicographic) order —
+/// the minimality order both generalization searches use — without ever
+/// materializing the lattice. Stops early when `fn` returns true; returns
+/// whether any invocation returned true.
+bool ForEachNodeByHeight(const std::vector<int>& max_levels,
+                         const std::function<bool(const std::vector<int>&)>& fn);
+
+}  // namespace infoleak

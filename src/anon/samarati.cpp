@@ -3,39 +3,9 @@
 #include <algorithm>
 #include <functional>
 
+#include "anon/lattice.h"
+
 namespace infoleak {
-namespace {
-
-/// Enumerates the level vectors of exactly height `target` in lexicographic
-/// order, invoking `fn` on each until it returns true (found); returns
-/// whether any invocation returned true.
-bool ForEachNodeAtHeight(const std::vector<int>& max_levels, int target,
-                         const std::function<bool(const std::vector<int>&)>& fn) {
-  std::vector<int> levels(max_levels.size(), 0);
-  // Depth-first assignment of the height budget, lexicographically: give
-  // position i as little as possible first? Lexicographic order over the
-  // vector means earlier positions ascend last — enumerate by recursion
-  // trying smaller values first at each position.
-  std::function<bool(std::size_t, int)> rec = [&](std::size_t pos,
-                                                  int remaining) -> bool {
-    if (pos == levels.size()) return remaining == 0 && fn(levels);
-    // Upper bound on what later positions can still absorb.
-    int later_capacity = 0;
-    for (std::size_t j = pos + 1; j < max_levels.size(); ++j) {
-      later_capacity += max_levels[j];
-    }
-    int lo = std::max(0, remaining - later_capacity);
-    int hi = std::min(max_levels[pos], remaining);
-    for (int v = lo; v <= hi; ++v) {
-      levels[pos] = v;
-      if (rec(pos + 1, remaining - v)) return true;
-    }
-    return false;
-  };
-  return rec(0, target);
-}
-
-}  // namespace
 
 Result<AnonymizationResult> SamaratiGeneralization(
     const Table& table, const std::vector<QuasiIdentifier>& qis,

@@ -1,7 +1,8 @@
 #include "anon/suppression.h"
 
 #include <algorithm>
-#include <numeric>
+
+#include "anon/lattice.h"
 
 namespace infoleak {
 
@@ -9,6 +10,7 @@ Result<SuppressionResult> MinimalGeneralizationWithSuppression(
     const Table& table, const std::vector<QuasiIdentifier>& qis,
     std::size_t k, std::size_t max_suppressed) {
   std::vector<std::string> qi_columns;
+  std::vector<int> max_levels;
   std::size_t lattice_size = 1;
   for (const auto& qi : qis) {
     if (qi.hierarchy == nullptr) {
@@ -16,6 +18,7 @@ Result<SuppressionResult> MinimalGeneralizationWithSuppression(
                                      "' has no hierarchy");
     }
     qi_columns.push_back(qi.column);
+    max_levels.push_back(qi.hierarchy->max_level());
     lattice_size *= static_cast<std::size_t>(qi.hierarchy->max_level()) + 1;
     if (lattice_size > 1000000) {
       return Status::ResourceExhausted("generalization lattice too large");
@@ -27,39 +30,23 @@ Result<SuppressionResult> MinimalGeneralizationWithSuppression(
         "k-anonymity");
   }
 
-  // Enumerate level vectors in (sum, lexicographic) order.
-  std::vector<std::vector<int>> lattice;
-  lattice.reserve(lattice_size);
-  std::vector<int> cursor(qis.size(), 0);
-  while (true) {
-    lattice.push_back(cursor);
-    std::size_t i = qis.size();
-    bool advanced = false;
-    while (i > 0) {
-      --i;
-      if (cursor[i] < qis[i].hierarchy->max_level()) {
-        ++cursor[i];
-        std::fill(cursor.begin() + static_cast<std::ptrdiff_t>(i) + 1,
-                  cursor.end(), 0);
-        advanced = true;
-        break;
-      }
-    }
-    if (!advanced) break;
-  }
-  std::stable_sort(lattice.begin(), lattice.end(),
-                   [](const std::vector<int>& a, const std::vector<int>& b) {
-                     int sa = std::accumulate(a.begin(), a.end(), 0);
-                     int sb = std::accumulate(b.begin(), b.end(), 0);
-                     if (sa != sb) return sa < sb;
-                     return a < b;
-                   });
-
-  for (const auto& levels : lattice) {
+  // Walk the lattice in (height, lexicographic) order — the same minimality
+  // order the materialize-then-sort version searched, but streamed node by
+  // node so wide QI sets never allocate the (exponential) lattice.
+  Result<SuppressionResult> found = Status::NotFound(
+      "no level vector achieves k-anonymity within the suppression budget");
+  Status iteration_error = Status::OK();
+  ForEachNodeByHeight(max_levels, [&](const std::vector<int>& levels) {
     auto generalized = GeneralizeTable(table, qis, levels);
-    if (!generalized.ok()) return generalized.status();
+    if (!generalized.ok()) {
+      iteration_error = generalized.status();
+      return true;  // abort the enumeration
+    }
     auto classes = EquivalenceClasses(*generalized, qi_columns);
-    if (!classes.ok()) return classes.status();
+    if (!classes.ok()) {
+      iteration_error = classes.status();
+      return true;
+    }
 
     std::vector<std::size_t> to_suppress;
     for (const auto& cls : *classes) {
@@ -67,28 +54,36 @@ Result<SuppressionResult> MinimalGeneralizationWithSuppression(
         to_suppress.insert(to_suppress.end(), cls.begin(), cls.end());
       }
     }
-    if (to_suppress.size() > max_suppressed) continue;
-    if (table.num_rows() - to_suppress.size() < k &&
-        table.num_rows() != to_suppress.size()) {
-      continue;  // survivors themselves could not form a class of size k
-    }
+    if (to_suppress.size() > max_suppressed) return false;
+    // The survivors themselves must form classes of size k. In particular a
+    // budget of num_rows must never "solve" the instance by suppressing
+    // every row: an empty table hides nobody inside a crowd.
+    if (table.num_rows() - to_suppress.size() < k) return false;
 
     std::sort(to_suppress.begin(), to_suppress.end());
     auto kept = Table::Create(generalized->columns());
-    if (!kept.ok()) return kept.status();
+    if (!kept.ok()) {
+      iteration_error = kept.status();
+      return true;
+    }
     std::size_t next = 0;
     for (std::size_t row = 0; row < generalized->num_rows(); ++row) {
       if (next < to_suppress.size() && to_suppress[next] == row) {
         ++next;
         continue;
       }
-      INFOLEAK_RETURN_IF_ERROR(kept->AddRow(generalized->row(row)));
+      Status added = kept->AddRow(generalized->row(row));
+      if (!added.ok()) {
+        iteration_error = added;
+        return true;
+      }
     }
-    return SuppressionResult{std::move(kept).value(), levels,
-                             std::move(to_suppress)};
-  }
-  return Status::NotFound(
-      "no level vector achieves k-anonymity within the suppression budget");
+    found = SuppressionResult{std::move(kept).value(), levels,
+                              std::move(to_suppress)};
+    return true;
+  });
+  if (!iteration_error.ok()) return iteration_error;
+  return found;
 }
 
 }  // namespace infoleak

@@ -28,9 +28,14 @@ Result<double> AverageClassSizeMetric(
   return avg / static_cast<double>(k);
 }
 
-double GeneralizationPrecision(const std::vector<QuasiIdentifier>& qis,
-                               const std::vector<int>& levels) {
-  if (qis.empty() || levels.size() != qis.size()) return 1.0;
+Result<double> GeneralizationPrecision(const std::vector<QuasiIdentifier>& qis,
+                                       const std::vector<int>& levels) {
+  if (qis.empty() && levels.empty()) return 1.0;
+  if (levels.size() != qis.size()) {
+    return Status::InvalidArgument(
+        "levels vector has " + std::to_string(levels.size()) +
+        " entries for " + std::to_string(qis.size()) + " quasi-identifiers");
+  }
   double spent = 0.0;
   std::size_t counted = 0;
   for (std::size_t i = 0; i < qis.size(); ++i) {

@@ -30,8 +30,11 @@ Result<double> AverageClassSizeMetric(const Table& table,
 /// \brief Sweeney's Prec: one minus the average generalization height
 /// ratio. For each quasi-identifier, `levels[i] / max_level(i)` measures
 /// how much of the hierarchy was spent; Prec = 1 − mean of those ratios.
-/// 1.0 = untouched data, 0.0 = fully generalized.
-double GeneralizationPrecision(const std::vector<QuasiIdentifier>& qis,
-                               const std::vector<int>& levels);
+/// 1.0 = untouched data, 0.0 = fully generalized. A levels vector whose
+/// length differs from the QI list is InvalidArgument — it is not
+/// "untouched data", it is a malformed lattice node, and charting it as
+/// perfect utility would corrupt a frontier.
+Result<double> GeneralizationPrecision(const std::vector<QuasiIdentifier>& qis,
+                                       const std::vector<int>& levels);
 
 }  // namespace infoleak

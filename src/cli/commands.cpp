@@ -14,6 +14,7 @@
 #include "check/selfcheck.h"
 #include "apps/disinformation.h"
 #include "apps/enhancement.h"
+#include "apps/frontier.h"
 #include "apps/population.h"
 #include "anon/kanonymity.h"
 #include "anon/ldiversity.h"
@@ -124,6 +125,25 @@ constexpr FlagDoc kAnonymizeFlags[] = {
     {"sensitive", "sensitive column to report l-diversity/t-closeness for"},
 };
 
+constexpr FlagDoc kFrontierFlags[] = {
+    {"seed", "registry PRNG seed (default 1)"},
+    {"rows", "registry rows swept (default 60)"},
+    {"zip-prefixes", "distinct leading zip prefixes in the registry "
+                     "(default 6)"},
+    {"diseases", "sensitive-vocabulary size (default 5)"},
+    {"ks", "comma list of k values to sweep (default 2,5)"},
+    {"ls", "comma list of l-diversity values; 1 disables (default 1)"},
+    {"ts", "comma list of t-closeness values in [0,1]; 1 disables "
+           "(default 1)"},
+    {"suppress", "comma list of suppression budgets (default 0)"},
+    {"measure", "leakage measure pricing each point: "
+                "expected-f1|pml|guesswork|under|over"},
+    {"threads", "worker threads fanning grid points; 0 = hardware "
+                "(default 1)"},
+    {"phases", "append '#' comment lines with per-point "
+               "anonymize/resolve/eval phase micros"},
+};
+
 constexpr FlagDoc kDippingFlags[] = {
     {"db", "CSV database file"},
     {"db-csv", "inline CSV database text"},
@@ -203,7 +223,7 @@ constexpr FlagDoc kCallFlags[] = {
     {"request", "raw request line to send verbatim, e.g. "
                 "'{\"verb\":\"ping\"}'"},
     {"verb", "request verb: ping|append|leak|set-leak|resolve|subscribe|"
-             "compact|stats"},
+             "compact|stats|frontier"},
     {"body", "JSON object merged into the request built from --verb"},
 };
 
@@ -287,6 +307,8 @@ constexpr CommandDoc kCommands[] = {
      RunGenerate},
     {"anonymize", "k-anonymize a table (minimal full-domain search)",
      kAnonymizeFlags, RunAnonymize},
+    {"frontier", "sweep anonymization grids, charting leakage vs utility",
+     kFrontierFlags, RunFrontier},
     {"dipping", "resolve a query record against a database (dossier)",
      kDippingFlags, RunDipping},
     {"enhance", "rank attribute verifications by gain/cost", kEnhanceFlags,
@@ -828,6 +850,112 @@ Status RunAnonymize(const FlagSet& flags, std::string* out) {
                     FormatDouble(*distance, 4));
   }
   *out += result->table.ToCsv();
+  return Status::OK();
+}
+
+namespace {
+
+/// "2,5,10" → {2, 5, 10}; empty entries are skipped, non-numeric ones are
+/// InvalidArgument (naming the flag so the message is actionable).
+Result<std::vector<std::size_t>> ParseSizeList(const std::string& spec,
+                                               std::string_view flag) {
+  std::vector<std::size_t> values;
+  for (const auto& entry : Split(spec, ',')) {
+    std::string token(Trim(entry));
+    if (token.empty()) continue;
+    if (token.find_first_not_of("0123456789") != std::string::npos) {
+      return Status::InvalidArgument("bad --" + std::string(flag) +
+                                     " entry '" + token + "'");
+    }
+    values.push_back(static_cast<std::size_t>(std::atoll(token.c_str())));
+  }
+  if (values.empty()) {
+    return Status::InvalidArgument("--" + std::string(flag) +
+                                   " needs at least one value");
+  }
+  return values;
+}
+
+Result<std::vector<double>> ParseDoubleList(const std::string& spec,
+                                            std::string_view flag) {
+  std::vector<double> values;
+  for (const auto& entry : Split(spec, ',')) {
+    std::string token(Trim(entry));
+    if (token.empty()) continue;
+    char* end = nullptr;
+    double v = std::strtod(token.c_str(), &end);
+    if (end == token.c_str() || *end != '\0') {
+      return Status::InvalidArgument("bad --" + std::string(flag) +
+                                     " entry '" + token + "'");
+    }
+    values.push_back(v);
+  }
+  if (values.empty()) {
+    return Status::InvalidArgument("--" + std::string(flag) +
+                                   " needs at least one value");
+  }
+  return values;
+}
+
+}  // namespace
+
+Status RunFrontier(const FlagSet& flags, std::string* out) {
+  Status ok = CheckFlags(flags, "frontier");
+  if (!ok.ok()) return ok;
+  FrontierConfig config;
+  auto seed = flags.GetInt("seed", 1);
+  if (!seed.ok()) return seed.status();
+  config.registry.seed = static_cast<uint64_t>(*seed);
+  auto rows = flags.GetInt("rows", 60);
+  if (!rows.ok()) return rows.status();
+  if (*rows < 1) return Status::InvalidArgument("--rows must be >= 1");
+  config.registry.rows = static_cast<std::size_t>(*rows);
+  auto zips = flags.GetInt("zip-prefixes", 6);
+  if (!zips.ok()) return zips.status();
+  config.registry.zip_prefixes = static_cast<std::size_t>(*zips);
+  auto diseases = flags.GetInt("diseases", 5);
+  if (!diseases.ok()) return diseases.status();
+  config.registry.diseases = static_cast<std::size_t>(*diseases);
+
+  auto ks = ParseSizeList(flags.GetString("ks", "2,5"), "ks");
+  if (!ks.ok()) return ks.status();
+  config.grid.ks = std::move(*ks);
+  auto ls = ParseSizeList(flags.GetString("ls", "1"), "ls");
+  if (!ls.ok()) return ls.status();
+  config.grid.ls = std::move(*ls);
+  auto ts = ParseDoubleList(flags.GetString("ts", "1"), "ts");
+  if (!ts.ok()) return ts.status();
+  config.grid.ts = std::move(*ts);
+  auto budgets = ParseSizeList(flags.GetString("suppress", "0"), "suppress");
+  if (!budgets.ok()) return budgets.status();
+  config.grid.suppressions = std::move(*budgets);
+
+  if (flags.Has("measure")) {
+    auto measure = ParseMeasure(flags.GetString("measure"));
+    if (!measure.ok()) return measure.status();
+    config.measure = *measure;
+  }
+  auto threads = flags.GetInt("threads", 1);
+  if (!threads.ok()) return threads.status();
+  if (*threads < 0) return Status::InvalidArgument("--threads must be >= 0");
+  config.num_threads = static_cast<std::size_t>(*threads);
+  config.log_points = true;  // the tail/top plane sees the sweep
+
+  auto result = ::infoleak::RunFrontier(config);
+  if (!result.ok()) return result.status();
+  const bool phases = flags.Has("phases");
+  for (const FrontierPoint& point : result->points) {
+    Append(out, FrontierPointLine(point, config));
+    if (phases) {
+      Append(out,
+             "# phases k=" + std::to_string(point.k) +
+                 " l=" + std::to_string(point.l) +
+                 " suppress=" + std::to_string(point.max_suppressed) +
+                 " anonymize_us=" + std::to_string(point.anonymize_nanos / 1000) +
+                 " resolve_us=" + std::to_string(point.resolve_nanos / 1000) +
+                 " eval_us=" + std::to_string(point.eval_nanos / 1000));
+    }
+  }
   return Status::OK();
 }
 

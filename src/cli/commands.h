@@ -25,6 +25,9 @@ namespace infoleak::cli {
 ///               [--m ...] [--seed S] [--random-weights] [--emit-reference]
 ///   anonymize   --table <csv> --qi "Zip:suffix:3,Age:interval:10:50"
 ///               --k K [--sensitive Disease]
+///   frontier    [--seed S] [--rows N] [--ks 2,5] [--ls 1] [--ts 1]
+///               [--suppress 0] [--measure M] [--threads N] [--phases]
+///               (sweep anonymization grids; one NDJSON line per point)
 ///   dipping     --db <csv> --query-text "{...}" --match-rules ...
 ///   enhance     --db <csv> [--budget B]
 ///   disinfo     --db <csv> --reference ... --match-rules ...
@@ -73,6 +76,7 @@ Status RunEr(const FlagSet& flags, std::string* out);
 Status RunIncremental(const FlagSet& flags, std::string* out);
 Status RunGenerate(const FlagSet& flags, std::string* out);
 Status RunAnonymize(const FlagSet& flags, std::string* out);
+Status RunFrontier(const FlagSet& flags, std::string* out);
 Status RunDipping(const FlagSet& flags, std::string* out);
 Status RunEnhance(const FlagSet& flags, std::string* out);
 Status RunDisinfo(const FlagSet& flags, std::string* out);

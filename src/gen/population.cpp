@@ -51,4 +51,43 @@ Result<PopulationDataset> GeneratePopulation(const GeneratorConfig& config,
   return out;
 }
 
+Result<Table> GenerateRegistryTable(const RegistryConfig& config) {
+  if (config.rows == 0) {
+    return Status::InvalidArgument("registry needs at least one row");
+  }
+  if (config.zip_prefixes == 0 || config.zip_prefixes > 10 ||
+      config.diseases == 0) {
+    return Status::InvalidArgument(
+        "registry needs 1..10 zip prefixes and a non-empty disease "
+        "vocabulary");
+  }
+  static const char* kDiseases[] = {"Flu",      "Heart",   "Cancer",
+                                    "Asthma",   "Diabetes", "Measles",
+                                    "Malaria",  "Anemia"};
+  constexpr std::size_t kVocab = sizeof(kDiseases) / sizeof(kDiseases[0]);
+  const std::size_t diseases = std::min(config.diseases, kVocab);
+
+  auto table = Table::Create({"Name", "Zip", "Age", "Disease"});
+  if (!table.ok()) return table.status();
+  // One forked stream per column: perturbing the disease vocabulary can
+  // never reshuffle the zips of unrelated rows.
+  Rng root(config.seed);
+  Rng zip_rng = root.Fork();
+  Rng age_rng = root.Fork();
+  Rng disease_rng = root.Fork();
+  for (std::size_t i = 0; i < config.rows; ++i) {
+    // 4-digit zips sharing `zip_prefixes` leading 3-digit prefixes: the
+    // suffix-suppression hierarchy peels digits right to left, so rows
+    // cluster at level 1 ("10n*") and collapse fully at level 4.
+    std::string zip =
+        std::to_string(100 + zip_rng.NextBounded(config.zip_prefixes)) +
+        std::to_string(zip_rng.NextBounded(10));
+    std::string age = std::to_string(20 + age_rng.NextBounded(60));
+    INFOLEAK_RETURN_IF_ERROR(table->AddRow(
+        {StrCat("P", std::to_string(i)), std::move(zip), std::move(age),
+         kDiseases[disease_rng.NextBounded(diseases)]}));
+  }
+  return table;
+}
+
 }  // namespace infoleak

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
+#include "anon/table.h"
 #include "core/database.h"
 #include "core/record.h"
 #include "core/weights.h"
@@ -31,5 +33,27 @@ struct PopulationDataset {
 Result<PopulationDataset> GeneratePopulation(const GeneratorConfig& config,
                                              std::size_t num_people,
                                              std::size_t records_per_person);
+
+/// \brief Configuration for a synthetic patient-registry table — the typed
+/// (§3, Table 1 style) counterpart of the schema-less population above,
+/// used by the privacy-mechanism frontier sweeps. Zips cluster by prefix,
+/// ages by decade, diseases come from a small vocabulary.
+struct RegistryConfig {
+  uint64_t seed = 1;
+  std::size_t rows = 60;
+  /// Distinct leading zip prefixes (smaller = denser clusters, easier k).
+  std::size_t zip_prefixes = 6;
+  /// Size of the disease vocabulary (the sensitive column).
+  std::size_t diseases = 5;
+};
+
+/// \brief Deterministically generates a registry table with columns
+/// {Name, Zip, Age, Disease}. Name is the identifying column a publisher
+/// drops; Zip/Age are the quasi-identifiers (suffix-suppression / interval
+/// hierarchies fit them); Disease is the sensitive column. Each column
+/// draws from its own forked RNG stream, so every cell is a pure function
+/// of (seed, row) — the bit-reproducibility contract the frontier's
+/// (seed, grid-coords) determinism rides on.
+Result<Table> GenerateRegistryTable(const RegistryConfig& config);
 
 }  // namespace infoleak

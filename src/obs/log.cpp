@@ -19,7 +19,7 @@ constexpr std::size_t kLogShards = 8;
 std::string_view ClampVerb(const std::string& verb) {
   static constexpr std::string_view kKnown[] = {
       "ping", "append", "leak", "set-leak", "resolve", "stats",
-      "tail", "invalid",
+      "tail", "frontier", "invalid",
   };
   for (std::string_view known : kKnown) {
     if (verb == known) return known;

@@ -18,6 +18,8 @@ std::string_view PhaseName(Phase phase) {
     case Phase::kFsync: return "fsync";
     case Phase::kPublish: return "publish";
     case Phase::kSerialize: return "serialize";
+    case Phase::kAnonymize: return "anonymize";
+    case Phase::kResolve: return "resolve";
   }
   return "unknown";
 }

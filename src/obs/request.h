@@ -26,6 +26,11 @@ namespace infoleak::obs {
 ///   kPublish   change-feed fan-out on the append path: pushing the delta
 ///              into every registered leakage index
 ///   kSerialize rendering the response line
+///   kAnonymize mechanism application on the frontier path: the lattice
+///              search that generalizes/suppresses a table for one
+///              (k, l, t, budget) grid point
+///   kResolve   adversary entity resolution on the frontier path: ER over
+///              the published table before leakage is measured
 enum class Phase : int {
   kQueue = 0,
   kParse,
@@ -34,9 +39,11 @@ enum class Phase : int {
   kFsync,
   kPublish,
   kSerialize,
+  kAnonymize,
+  kResolve,
 };
 
-inline constexpr int kNumPhases = 7;
+inline constexpr int kNumPhases = 9;
 
 /// Stable lowercase name ("queue", "parse", ...) used as the `phase` label
 /// and the event-log JSON key.

@@ -270,10 +270,16 @@ bool JsonValue::GetBool(std::string_view key, bool fallback) const {
 }
 
 std::string JsonNumber(double v) {
+  // JSON has no NaN/Inf literal: %.17g would print `nan`/`inf`, which this
+  // file's own parser rejects, so a served non-finite value would be an
+  // unparseable response line. Convention: non-finite numbers render as
+  // `null` — the reader sees "no numeric value here", and a round trip
+  // through ParseJson stays well-formed.
+  if (!std::isfinite(v)) return "null";
   // Integral values (request ids, counts) print without a fraction; the
   // rest get %.17g, enough digits to reconstruct the exact double — the
   // bit-identical contract of the `leak`/`set-leak` responses rides on it.
-  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%.0f", v);
     return buf;

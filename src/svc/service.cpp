@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "apps/frontier.h"
 #include "core/kernels.h"
 #include "core/measure_family.h"
 #include "core/record_io.h"
@@ -34,6 +35,7 @@ std::string_view SpanName(const std::string& verb) {
   if (verb == "compact") return "svc/compact";
   if (verb == "stats") return "svc/stats";
   if (verb == "tail") return "svc/tail";
+  if (verb == "frontier") return "svc/frontier";
   return "svc/unknown";
 }
 
@@ -75,6 +77,50 @@ JsonValue EventJson(const obs::RequestEvent& event) {
                             1000.0));
   }
   return v;
+}
+
+/// Extracts an optional array of non-negative integers ("ks": [2, 5]);
+/// an absent field yields `fallback`, a malformed one InvalidArgument.
+Result<std::vector<std::size_t>> GetSizeArray(const JsonValue& body,
+                                              std::string_view key,
+                                              std::vector<std::size_t> fallback) {
+  const JsonValue* v = body.Find(key);
+  if (v == nullptr) return fallback;
+  if (v->kind() != JsonValue::Kind::kArray) {
+    return Status::InvalidArgument("field \"" + std::string(key) +
+                                   "\" must be an array");
+  }
+  std::vector<std::size_t> values;
+  for (const JsonValue& item : v->items()) {
+    if (!item.is_number() || item.as_number() < 0 ||
+        item.as_number() != std::floor(item.as_number())) {
+      return Status::InvalidArgument(
+          "field \"" + std::string(key) +
+          "\" must contain non-negative integers");
+    }
+    values.push_back(static_cast<std::size_t>(item.as_number()));
+  }
+  return values;
+}
+
+Result<std::vector<double>> GetNumberArray(const JsonValue& body,
+                                           std::string_view key,
+                                           std::vector<double> fallback) {
+  const JsonValue* v = body.Find(key);
+  if (v == nullptr) return fallback;
+  if (v->kind() != JsonValue::Kind::kArray) {
+    return Status::InvalidArgument("field \"" + std::string(key) +
+                                   "\" must be an array");
+  }
+  std::vector<double> values;
+  for (const JsonValue& item : v->items()) {
+    if (!item.is_number()) {
+      return Status::InvalidArgument("field \"" + std::string(key) +
+                                     "\" must contain numbers");
+    }
+    values.push_back(item.as_number());
+  }
+  return values;
 }
 
 /// Extracts a non-negative integral field; `required` distinguishes a
@@ -523,7 +569,7 @@ Result<JsonValue> LeakageService::Dispatch(
     JsonValue verbs = JsonValue::Object();
     for (const char* verb :
          {"ping", "append", "leak", "set-leak", "resolve", "subscribe",
-          "compact", "stats", "tail"}) {
+          "compact", "stats", "tail", "frontier"}) {
       verbs.Set(verb, JsonValue::Number(
                           static_cast<double>(VerbCounter(verb).Value())));
     }
@@ -580,6 +626,76 @@ Result<JsonValue> LeakageService::Dispatch(
     build.Set("simd", JsonValue::Str(std::string(kern::Active().name)));
     build.Set("tracing", JsonValue::Bool(INFOLEAK_TRACING_ENABLED != 0));
     out.Set("build", std::move(build));
+    return out;
+  }
+
+  if (req.verb == "frontier") {
+    FrontierConfig config;
+    auto seed = GetIndex(body, "seed");
+    if (seed.ok()) {
+      config.registry.seed = static_cast<uint64_t>(*seed);
+    } else if (!seed.status().IsNotFound()) {
+      return seed.status();
+    }
+    auto rows = GetIndex(body, "rows");
+    if (rows.ok()) {
+      // Served sweeps are bounded: the evaluation is O(points · rows²)
+      // through ER, and a request must not pin a worker for minutes.
+      if (*rows < 1 || *rows > 500) {
+        return Status::InvalidArgument("\"rows\" must be in [1, 500]");
+      }
+      config.registry.rows = static_cast<std::size_t>(*rows);
+    } else if (!rows.status().IsNotFound()) {
+      return rows.status();
+    }
+    auto ks = GetSizeArray(body, "ks", {2, 5});
+    if (!ks.ok()) return ks.status();
+    config.grid.ks = std::move(*ks);
+    auto ls = GetSizeArray(body, "ls", {1});
+    if (!ls.ok()) return ls.status();
+    config.grid.ls = std::move(*ls);
+    auto ts = GetNumberArray(body, "ts", {1.0});
+    if (!ts.ok()) return ts.status();
+    config.grid.ts = std::move(*ts);
+    auto budgets = GetSizeArray(body, "suppress", {0});
+    if (!budgets.ok()) return budgets.status();
+    config.grid.suppressions = std::move(*budgets);
+    const std::size_t points = config.grid.ks.size() * config.grid.ls.size() *
+                               config.grid.ts.size() *
+                               config.grid.suppressions.size();
+    if (points > 64) {
+      return Status::InvalidArgument(
+          "grid has " + std::to_string(points) +
+          " points; served sweeps are capped at 64 (run the CLI for more)");
+    }
+    if (const JsonValue* m = body.Find("measure"); m != nullptr) {
+      if (!m->is_string()) {
+        return Status::InvalidArgument("field \"measure\" must be a string");
+      }
+      auto measure = ParseMeasure(m->as_string());
+      if (!measure.ok()) return measure.status();
+      config.measure = *measure;
+    }
+    config.num_threads = 1;  // the server's worker pool is the parallelism
+    config.cancel = cancel;
+    auto result = RunFrontier(config);
+    if (!result.ok()) return result.status();
+    // Roll the per-point attribution up onto this request, so the event
+    // log's "frontier" entry splits its latency anonymize/resolve/eval.
+    JsonValue arr = JsonValue::Array();
+    for (const FrontierPoint& point : result->points) {
+      if (ctx != nullptr) {
+        ctx->AddPhaseNanos(obs::Phase::kAnonymize, point.anonymize_nanos);
+        ctx->AddPhaseNanos(obs::Phase::kResolve, point.resolve_nanos);
+        ctx->AddPhaseNanos(obs::Phase::kEval, point.eval_nanos);
+      }
+      auto parsed = ParseJson(FrontierPointLine(point, config));
+      if (!parsed.ok()) return parsed.status();
+      arr.Push(std::move(parsed).value());
+    }
+    obs::PhaseTimer serialize_phase(ctx, obs::Phase::kSerialize);
+    out.Set("rows", JsonValue::Number(static_cast<double>(result->rows)));
+    out.Set("points", std::move(arr));
     return out;
   }
 

@@ -65,8 +65,8 @@ struct ServiceConfig {
 /// scan fallback whenever an index is unusable (poisoned, mid-rebuild).
 ///
 /// Verbs: `ping`, `append`, `leak`, `set-leak`, `resolve`, `subscribe`,
-/// `compact`, `stats`, `tail` — see protocol.h for the wire shapes and
-/// docs/service.md for the grammar.
+/// `compact`, `stats`, `tail`, `frontier` — see protocol.h for the wire
+/// shapes and docs/service.md for the grammar.
 class LeakageService {
  public:
   explicit LeakageService(RecordStore store, ServiceConfig config = {});

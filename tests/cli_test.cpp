@@ -221,9 +221,9 @@ TEST(CliTest, SelfCheckValidatesNaiveMax) {
 
 TEST(CliTest, HelpCommandAndHelpFlagAgree) {
   for (const char* command :
-       {"leakage", "er", "incremental", "generate", "anonymize", "dipping",
-        "enhance", "disinfo", "reidentify", "stats", "serve", "call",
-        "tail", "top", "compact", "selfcheck"}) {
+       {"leakage", "er", "incremental", "generate", "anonymize", "frontier",
+        "dipping", "enhance", "disinfo", "reidentify", "stats", "serve",
+        "call", "tail", "top", "compact", "selfcheck"}) {
     std::string via_flag, via_help;
     ASSERT_TRUE(cli::Dispatch({command, "--help"}, &via_flag).ok());
     ASSERT_TRUE(cli::Dispatch({"help", command}, &via_help).ok());
@@ -240,9 +240,9 @@ TEST(CliTest, UsageListsEveryCommand) {
   std::string out;
   ASSERT_TRUE(cli::Dispatch({"help"}, &out).ok());
   for (const char* command :
-       {"leakage", "er", "incremental", "generate", "anonymize", "dipping",
-        "enhance", "disinfo", "reidentify", "stats", "serve", "call",
-        "tail", "top", "compact", "selfcheck"}) {
+       {"leakage", "er", "incremental", "generate", "anonymize", "frontier",
+        "dipping", "enhance", "disinfo", "reidentify", "stats", "serve",
+        "call", "tail", "top", "compact", "selfcheck"}) {
     EXPECT_NE(out.find(std::string("  ") + command + " "), std::string::npos)
         << command;
   }

@@ -84,6 +84,41 @@ TEST(SuppressionTest, GenerousBudgetSuppressesInsteadOfGeneralizing) {
   EXPECT_EQ(result->table.num_rows(), 3u);
 }
 
+TEST(SuppressionTest, BudgetCoveringEveryRowNeverPublishesAnEmptyTable) {
+  // Six all-distinct rows, k = 5, budget 6: at level 0 every class is a
+  // singleton, so suppressing all six rows fits the budget — the degenerate
+  // "solution" the search used to accept (an empty table hides nobody
+  // inside a crowd). The real minimal answer is level 1, where the 11x
+  // cluster is 5-anonymous once the outlier is suppressed.
+  Table t = OutlierTable();
+  SuffixSuppressionHierarchy zip(3);
+  std::vector<QuasiIdentifier> qis{{"Zip", &zip}};
+  auto result = MinimalGeneralizationWithSuppression(t, qis, 5, 6);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->levels, std::vector<int>{1});
+  EXPECT_EQ(result->suppressed, std::vector<std::size_t>{5});
+  EXPECT_EQ(result->table.num_rows(), 5u);
+  EXPECT_TRUE(IsKAnonymous(result->table, {"Zip"}, 5).value());
+}
+
+TEST(SuppressionTest, SurvivorsUnderKAreNotASolution) {
+  // Budget 2 is enough to suppress both outliers at level 0, but the three
+  // survivors are fewer than k = 5 — that node must be passed over in favor
+  // of full generalization, which keeps all five rows together.
+  auto t = Table::Create({"Zip"});
+  ASSERT_TRUE(t.ok());
+  for (const char* zip : {"111", "111", "111", "888", "999"}) {
+    ASSERT_TRUE(t->AddRow({zip}).ok());
+  }
+  SuffixSuppressionHierarchy zip(3);
+  std::vector<QuasiIdentifier> qis{{"Zip", &zip}};
+  auto result = MinimalGeneralizationWithSuppression(*t, qis, 5, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->levels, std::vector<int>{3});
+  EXPECT_TRUE(result->suppressed.empty());
+  EXPECT_EQ(result->table.num_rows(), 5u);
+}
+
 TEST(SuppressionTest, TooFewRowsIsNotFound) {
   auto t = Table::Create({"Zip"});
   ASSERT_TRUE(t.ok());

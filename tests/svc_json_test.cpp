@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <string>
 
 namespace infoleak::svc {
@@ -85,6 +87,25 @@ TEST(JsonRenderTest, DoublesRoundTripBitExactly) {
   auto back = ParseJson(v.Render());
   ASSERT_TRUE(back.ok());
   EXPECT_EQ(back->as_number(), value);
+}
+
+TEST(JsonRenderTest, NonFiniteNumbersRenderAsNullAndRoundTrip) {
+  // %.17g would print "nan"/"inf" — tokens the parser rejects, so a served
+  // non-finite value used to produce an unparseable response line. The
+  // convention is `null`: every rendered line stays valid JSON.
+  for (double v : {std::nan(""), std::numeric_limits<double>::infinity(),
+                   -std::numeric_limits<double>::infinity()}) {
+    JsonValue num = JsonValue::Number(v);
+    EXPECT_EQ(num.Render(), "null");
+    auto back = ParseJson(num.Render());
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_TRUE(back->is_null());
+  }
+  JsonValue obj = JsonValue::Object();
+  obj.Set("leakage", JsonValue::Number(std::nan("")));
+  auto back = ParseJson(obj.Render());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(back->Find("leakage")->is_null());
 }
 
 TEST(JsonRenderTest, EscapesControlCharactersAndQuotes) {

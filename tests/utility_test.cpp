@@ -68,19 +68,28 @@ TEST(GeneralizationPrecisionTest, Bounds) {
   SuffixSuppressionHierarchy h3(3);
   SuffixSuppressionHierarchy h2(2);
   std::vector<QuasiIdentifier> qis{{"A", &h3}, {"B", &h2}};
-  EXPECT_NEAR(GeneralizationPrecision(qis, {0, 0}), 1.0, kTol);
-  EXPECT_NEAR(GeneralizationPrecision(qis, {3, 2}), 0.0, kTol);
+  EXPECT_NEAR(GeneralizationPrecision(qis, {0, 0}).value(), 1.0, kTol);
+  EXPECT_NEAR(GeneralizationPrecision(qis, {3, 2}).value(), 0.0, kTol);
   // Half of A's hierarchy, none of B's: 1 − (0.5 + 0)/2.
-  EXPECT_NEAR(GeneralizationPrecision(qis, {2, 0}), 1.0 - 1.0 / 3.0, kTol);
+  EXPECT_NEAR(GeneralizationPrecision(qis, {2, 0}).value(), 1.0 - 1.0 / 3.0,
+              kTol);
 }
 
 TEST(GeneralizationPrecisionTest, DegenerateInputs) {
-  EXPECT_NEAR(GeneralizationPrecision({}, {}), 1.0, kTol);
+  EXPECT_NEAR(GeneralizationPrecision({}, {}).value(), 1.0, kTol);
+  std::vector<QuasiIdentifier> null_qi{{"A", nullptr}};
+  EXPECT_NEAR(GeneralizationPrecision(null_qi, {1}).value(), 1.0, kTol);
+}
+
+TEST(GeneralizationPrecisionTest, LevelCountMismatchIsAnError) {
+  // A levels vector of the wrong arity is a malformed lattice node, not
+  // "untouched data" — silently scoring it 1.0 would chart a broken point
+  // as perfect utility.
   SuffixSuppressionHierarchy h(2);
   std::vector<QuasiIdentifier> qis{{"A", &h}};
-  EXPECT_NEAR(GeneralizationPrecision(qis, {1, 2}), 1.0, kTol);  // mismatch
-  std::vector<QuasiIdentifier> null_qi{{"A", nullptr}};
-  EXPECT_NEAR(GeneralizationPrecision(null_qi, {1}), 1.0, kTol);
+  EXPECT_TRUE(GeneralizationPrecision(qis, {1, 2}).status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(GeneralizationPrecision(qis, {}).status().IsInvalidArgument());
 }
 
 }  // namespace
